@@ -1,0 +1,191 @@
+(* atom_cli: drive the Atom library from the command line.
+
+   Subcommands:
+   - round      run a full round with real cryptography at a small scale
+   - simulate   modeled large-scale run over the discrete-event simulator
+   - sizing     anytrust / many-trust group-size tables (Appendix B)
+   - calibrate  measure this host's crypto costs for a group backend *)
+
+open Cmdliner
+open Atom_core
+
+let variant_conv =
+  let parse = function
+    | "basic" -> Ok Config.Basic
+    | "nizk" -> Ok Config.Nizk
+    | "trap" -> Ok Config.Trap
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S (basic|nizk|trap)" s))
+  in
+  let print fmt v =
+    Format.pp_print_string fmt
+      (match v with Config.Basic -> "basic" | Config.Nizk -> "nizk" | Config.Trap -> "trap")
+  in
+  Arg.conv (parse, print)
+
+(* ---- round ---- *)
+
+let run_round variant users servers groups group_size h iterations msg_bytes seed fail_count =
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Pr = Protocol.Make (G) in
+  let config =
+    {
+      Config.variant;
+      n_servers = servers;
+      n_groups = groups;
+      group_size;
+      h;
+      f = 0.2;
+      topology = Config.Square iterations;
+      msg_bytes;
+      seed;
+      mailboxes = 64;
+      dummy_mu = 2.;
+      dummy_b = 1.;
+    }
+  in
+  Config.validate config;
+  let rng = Atom_util.Rng.create seed in
+  let t0 = Unix.gettimeofday () in
+  let net = Pr.setup rng config () in
+  Printf.printf "setup: %d servers, %d groups of %d (quorum %d), width %d elements/unit [%.2fs]\n"
+    servers groups group_size (Config.quorum config) net.Pr.width
+    (Unix.gettimeofday () -. t0);
+  (* Optional fail-stop churn. *)
+  for i = 0 to fail_count - 1 do
+    let victim = net.Pr.groups.(0).Pr.members.(i) in
+    Pr.fail_server net victim;
+    Printf.printf "injected fail-stop: server %d (group 0 member %d)\n" victim i
+  done;
+  let msgs = List.init users (fun i -> Printf.sprintf "anonymous message #%d" i) in
+  let subs =
+    List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod groups) m) msgs
+  in
+  let t1 = Unix.gettimeofday () in
+  let outcome = Pr.run rng net subs in
+  Printf.printf "round executed in %.2fs\n" (Unix.gettimeofday () -. t1);
+  (match outcome.Pr.aborted with
+  | None ->
+      Printf.printf "delivered %d/%d messages:\n" (List.length outcome.Pr.delivered) users;
+      List.iter (fun m -> Printf.printf "  %s\n" m) outcome.Pr.delivered
+  | Some _ -> print_endline "round ABORTED (active attack or group failure detected)");
+  if outcome.Pr.rejected_submissions <> [] then
+    Printf.printf "rejected submissions: %s\n"
+      (String.concat ", " (List.map string_of_int outcome.Pr.rejected_submissions));
+  if outcome.Pr.blamed <> [] then
+    Printf.printf "blamed users: %s\n" (String.concat ", " (List.map string_of_int outcome.Pr.blamed))
+
+let round_cmd =
+  let users = Arg.(value & opt int 8 & info [ "users" ] ~doc:"Number of users.") in
+  let variant = Arg.(value & opt variant_conv Config.Trap & info [ "variant" ] ~doc:"basic|nizk|trap.") in
+  let servers = Arg.(value & opt int 12 & info [ "servers" ] ~doc:"Number of servers.") in
+  let groups = Arg.(value & opt int 4 & info [ "groups" ] ~doc:"Number of groups.") in
+  let group_size = Arg.(value & opt int 3 & info [ "group-size" ] ~doc:"Servers per group (k).") in
+  let h = Arg.(value & opt int 1 & info [ "honest" ] ~doc:"Required honest servers per group (h).") in
+  let iterations = Arg.(value & opt int 4 & info [ "iterations" ] ~doc:"Mixing iterations (T).") in
+  let msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let fail = Arg.(value & opt int 0 & info [ "fail" ] ~doc:"Fail-stop this many servers of group 0.") in
+  Cmd.v
+    (Cmd.info "round" ~doc:"Run one protocol round with real cryptography (small scale).")
+    Term.(
+      const run_round $ variant $ users $ servers $ groups $ group_size $ h $ iterations
+      $ msg_bytes $ seed $ fail)
+
+(* ---- simulate ---- *)
+
+let run_simulate app servers messages measured =
+  let config = { Config.paper_default with Config.n_servers = servers; Config.n_groups = servers } in
+  let cal =
+    if measured then Calibration.measure (Atom_group.Registry.zp_test ()) ()
+    else Calibration.paper
+  in
+  let params =
+    match app with
+    | "microblog" -> Simulate.microblog ~cal config ~n_messages:messages
+    | "dialing" -> Simulate.dialing ~cal config ~n_messages:messages
+    | other -> failwith (Printf.sprintf "unknown app %S (microblog|dialing)" other)
+  in
+  Format.printf "%a@." Calibration.pp cal;
+  let r = Simulate.run params in
+  Printf.printf
+    "latency: %.1f s (%.1f min)\nDES events: %d\nconnections: %d\nbytes on the wire: %.3e\n"
+    r.Simulate.latency (r.Simulate.latency /. 60.) r.Simulate.events r.Simulate.connections
+    r.Simulate.bytes_sent
+
+let simulate_cmd =
+  let app_arg = Arg.(value & opt string "microblog" & info [ "app" ] ~doc:"microblog|dialing.") in
+  let servers = Arg.(value & opt int 1024 & info [ "servers" ] ~doc:"Network size.") in
+  let messages = Arg.(value & opt int 1_000_000 & info [ "messages" ] ~doc:"Messages per round.") in
+  let measured =
+    Arg.(value & flag & info [ "measured" ] ~doc:"Calibrate with this host's costs instead of Table 3.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Modeled large-scale round over the discrete-event simulator.")
+    Term.(const run_simulate $ app_arg $ servers $ messages $ measured)
+
+(* ---- distributed ---- *)
+
+let run_distributed users seed =
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Pr = Protocol.Make (G) in
+  let module Dist = Distributed.Make (G) (Pr) in
+  let config = Config.tiny ~variant:Config.Trap ~seed () in
+  let rng = Atom_util.Rng.create seed in
+  let net = Pr.setup rng config () in
+  let msgs = List.init users (fun i -> Printf.sprintf "distributed message #%d" i) in
+  let subs =
+    List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod config.Config.n_groups) m) msgs
+  in
+  let t0 = Unix.gettimeofday () in
+  let report = Dist.run rng net subs in
+  Printf.printf
+    "real crypto over simulated network: %d messages through %d groups in %.3f virtual s\n(%d DES events, %.0f bytes on the wire, %.2f s wall)\n"
+    (List.length report.Dist.outcome.Pr.delivered)
+    config.Config.n_groups report.Dist.latency report.Dist.events report.Dist.bytes_sent
+    (Unix.gettimeofday () -. t0);
+  List.iter (fun m -> Printf.printf "  %s\n" m) report.Dist.outcome.Pr.delivered
+
+let distributed_cmd =
+  let users = Arg.(value & opt int 8 & info [ "users" ] ~doc:"Number of users.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  Cmd.v
+    (Cmd.info "distributed"
+       ~doc:"Run the real protocol asynchronously over the simulated network.")
+    Term.(const run_distributed $ users $ seed)
+
+(* ---- sizing ---- *)
+
+let run_sizing f groups bits h_max =
+  Printf.printf "adversarial fraction f=%.2f, %d groups, 2^-%d failure budget\n" f groups bits;
+  Printf.printf "%-4s %10s\n" "h" "k";
+  for h = 1 to h_max do
+    Printf.printf "%-4d %10d\n" h
+      (Atom_topology.Group_sizing.required_group_size ~f ~groups ~h ~security_bits:bits ())
+  done
+
+let sizing_cmd =
+  let f = Arg.(value & opt float 0.2 & info [ "f" ] ~doc:"Adversarial fraction.") in
+  let groups = Arg.(value & opt int 1024 & info [ "groups" ] ~doc:"Number of groups.") in
+  let bits = Arg.(value & opt int 64 & info [ "bits" ] ~doc:"Security bits.") in
+  let h_max = Arg.(value & opt int 20 & info [ "h-max" ] ~doc:"Largest h to tabulate.") in
+  Cmd.v
+    (Cmd.info "sizing" ~doc:"Anytrust / many-trust group sizing (Appendix B).")
+    Term.(const run_sizing $ f $ groups $ bits $ h_max)
+
+(* ---- calibrate ---- *)
+
+let run_calibrate backend =
+  let g = Atom_group.Registry.by_name backend in
+  Format.printf "%a@." Calibration.pp (Calibration.measure g ())
+
+let calibrate_cmd =
+  let backend =
+    Arg.(value & opt string "zp-test" & info [ "group" ] ~doc:"p256|zp-test|zp-medium.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Measure this host's cryptographic costs.")
+    Term.(const run_calibrate $ backend)
+
+let () =
+  let info = Cmd.info "atom_cli" ~doc:"Atom: horizontally scaling strong anonymity." in
+  exit (Cmd.eval (Cmd.group info [ round_cmd; simulate_cmd; distributed_cmd; sizing_cmd; calibrate_cmd ]))

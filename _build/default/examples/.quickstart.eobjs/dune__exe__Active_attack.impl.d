@@ -1,0 +1,1 @@
+examples/active_attack.ml: Array Atom_core Atom_group Atom_util Config List Printf String

@@ -1,0 +1,1 @@
+examples/active_attack.mli:

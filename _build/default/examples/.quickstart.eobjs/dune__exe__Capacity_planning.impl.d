@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Atom_core Config Cost_model List Printf Simulate

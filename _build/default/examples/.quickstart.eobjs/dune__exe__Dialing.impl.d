@@ -1,0 +1,1 @@
+examples/dialing.ml: Atom_core Atom_group Atom_util Config Dialing List Printf

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Array Atom_core Atom_group Atom_util Config List Printf

@@ -1,0 +1,1 @@
+examples/microblogging.ml: Array Atom_core Atom_group Atom_util Bulletin Config List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atom_core Atom_group Atom_util Bulletin Config List Printf

@@ -1,0 +1,45 @@
+(* Capacity planning with the calibrated simulator: an operator wants to
+   know how many volunteer servers Atom needs to serve a target user count
+   within a latency budget, and what each volunteer will pay (§7).
+
+     dune exec examples/capacity_planning.exe *)
+
+open Atom_core
+
+let cfg n = { Config.paper_default with Config.n_servers = n; Config.n_groups = n }
+
+let () =
+  let users = 2_000_000 and budget_min = 30. in
+  Printf.printf "target: %d microblogging users per round within %.0f minutes\n\n" users budget_min;
+  Printf.printf "%-10s %14s %14s\n" "servers" "latency (min)" "within budget";
+  let chosen = ref None in
+  List.iter
+    (fun n ->
+      let r = Simulate.run (Simulate.microblog (cfg n) ~n_messages:users) in
+      let minutes = r.Simulate.latency /. 60. in
+      let ok = minutes <= budget_min in
+      if ok && !chosen = None then chosen := Some (n, minutes);
+      Printf.printf "%-10d %14.1f %14s\n" n minutes (if ok then "yes" else "no"))
+    [ 256; 512; 1024; 2048 ];
+  (match !chosen with
+  | Some (n, minutes) ->
+      Printf.printf "\n=> %d servers meet the budget (%.1f min per round)\n" n minutes;
+      (* What each volunteer pays (§7): *)
+      let e = Cost_model.server_estimate ~cores:4 () in
+      Printf.printf
+        "   a 4-core volunteer: $%.0f/month compute + $%.2f/month egress at %.0f KB/s\n"
+        e.Cost_model.compute_month e.Cost_model.bandwidth_month
+        (e.Cost_model.bandwidth_bytes_per_sec /. 1e3);
+      (* And how often a dialing round could run for the same population: *)
+      let d = Simulate.run (Simulate.dialing (cfg n) ~n_messages:users) in
+      Printf.printf "   dialing for the same population: %.1f min per round\n"
+        (d.Simulate.latency /. 60.)
+  | None -> print_endline "\n=> no configuration tested meets the budget; add servers");
+  (* Throughput mode: if the deployment cares about messages/hour rather
+     than per-round latency, pipelining (§4.7) changes the calculus. *)
+  let p = Simulate.microblog (cfg 512) ~n_messages:users in
+  let piped = Simulate.run_pipelined p ~rounds:6 in
+  Printf.printf
+    "\npipelined (512 servers): first round at %.1f min, then one round every %.1f min\n"
+    (piped.Simulate.first_output /. 60.)
+    (piped.Simulate.output_gap /. 60.)

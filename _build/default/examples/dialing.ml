@@ -1,0 +1,81 @@
+(* Dialing (§5): Alice bootstraps a shared secret with Bob through Atom,
+   the way Vuvuzela/Alpenhorn-style messengers establish conversations.
+
+   Alice seals her ephemeral public key to Bob's long-term key, addresses
+   it to Bob's identifier, and sends it through the mix alongside other
+   users' dials and the trustees' differential-privacy dummies. Bob
+   downloads his whole mailbox and trial-decrypts.
+
+     dune exec examples/dialing.exe *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Proto = Atom_core.Protocol.Make (G)
+module El = Proto.El
+open Atom_core
+
+let () =
+  let config = { (Config.tiny ~variant:Config.Trap ~seed:5 ()) with Config.msg_bytes = 72 } in
+  let rng = Atom_util.Rng.create 0xd1a1 in
+  let net = Proto.setup rng config () in
+
+  (* Long-term identities. *)
+  let bob = El.keygen rng in
+  let bob_id = Dialing.id_of_user "bob@example" in
+  let carol = El.keygen rng in
+  let carol_id = Dialing.id_of_user "carol@example" in
+
+  (* Alice dials Bob; Dave dials Carol; three more users send cover dials. *)
+  let alice_eph = "alice-x25519-ephemeral-pk" in
+  let dial_bob =
+    Dialing.encode ~recipient:bob_id
+      ~payload:(El.Kem.to_bytes (El.Kem.enc rng bob.El.pk alice_eph))
+  in
+  let dial_carol =
+    Dialing.encode ~recipient:carol_id
+      ~payload:(El.Kem.to_bytes (El.Kem.enc rng carol.El.pk "dave-ephemeral-pk"))
+  in
+  let cover i =
+    Dialing.encode
+      ~recipient:(Dialing.id_of_user (Printf.sprintf "cover-%d" i))
+      ~payload:(Atom_util.Rng.bytes rng 20)
+  in
+  (* The trustee group's differential-privacy dummies ride along. *)
+  let dummies =
+    Dialing.generate_dummies rng ~trustees:config.Config.group_size ~mu:config.Config.dummy_mu
+      ~b:config.Config.dummy_b ~mailboxes:config.Config.mailboxes ~payload_bytes:20
+  in
+  let all_dials = [ dial_bob; dial_carol; cover 0; cover 1; cover 2 ] @ dummies in
+  Printf.printf "round input: %d real dials + %d DP dummies (eps=%.2f, delta=%.2e per round)\n"
+    5 (List.length dummies)
+    (Dialing.epsilon ~b:config.Config.dummy_b)
+    (Dialing.delta ~mu:config.Config.dummy_mu ~b:config.Config.dummy_b);
+
+  let submissions =
+    List.mapi
+      (fun i m -> Proto.submit rng net ~user:i ~entry_gid:(i mod config.Config.n_groups) m)
+      all_dials
+  in
+  let outcome = Proto.run rng net submissions in
+  (match outcome.Proto.aborted with
+  | Some _ -> failwith "round aborted"
+  | None -> ());
+
+  (* Exit servers sort everything into mailboxes. *)
+  let st = Dialing.deliver ~mailboxes:config.Config.mailboxes outcome.Proto.delivered in
+  Printf.printf "delivered %d units into %d mailboxes\n"
+    (List.length outcome.Proto.delivered)
+    config.Config.mailboxes;
+
+  (* Bob downloads his mailbox and trial-decrypts every payload. *)
+  let bob_payloads = Dialing.download st ~mailboxes:config.Config.mailboxes ~recipient_id:bob_id in
+  Printf.printf "bob's mailbox: %d candidate payloads\n" (List.length bob_payloads);
+  List.iter
+    (fun payload ->
+      match El.Kem.of_bytes payload with
+      | Some sealed -> begin
+          match El.Kem.dec bob.El.sk sealed with
+          | Some key -> Printf.printf "bob recovered a dial: %S — call established!\n" key
+          | None -> print_endline "bob: undecryptable payload (someone else's dial or a dummy)"
+        end
+      | None -> print_endline "bob: not a KEM box (dummy traffic)")
+    bob_payloads

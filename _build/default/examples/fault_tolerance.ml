@@ -1,0 +1,62 @@
+(* Fault tolerance (§4.5): many-trust groups ride out fail-stop churn, and
+   buddy groups resurrect a group that lost too many members.
+
+     dune exec examples/fault_tolerance.exe *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Proto = Atom_core.Protocol.Make (G)
+open Atom_core
+
+let config : Config.t =
+  {
+    (Config.tiny ~variant:Config.Trap ~seed:11 ()) with
+    Config.n_servers = 16;
+    Config.n_groups = 3;
+    Config.group_size = 4; (* k = 4 *)
+    Config.h = 2; (* tolerate h - 1 = 1 failure; quorum = 3 *)
+  }
+
+let run_and_report label rng net msgs =
+  let submissions =
+    List.mapi
+      (fun i m -> Proto.submit rng net ~user:i ~entry_gid:(i mod config.Config.n_groups) m)
+      msgs
+  in
+  let outcome = Proto.run rng net submissions in
+  (match outcome.Proto.aborted with
+  | None -> Printf.printf "%-28s delivered %d/%d messages\n" label
+               (List.length outcome.Proto.delivered) (List.length msgs)
+  | Some (Proto.Group_down { gid }) ->
+      Printf.printf "%-28s STALLED: group %d lacks a quorum\n" label gid
+  | Some _ -> Printf.printf "%-28s aborted\n" label);
+  outcome
+
+let () =
+  let rng = Atom_util.Rng.create 0xfa17 in
+  let net = Proto.setup rng config () in
+  Printf.printf
+    "many-trust config: k=%d, h=%d => any %d of %d members can route (threshold keys via DVSS)\n\n"
+    config.Config.group_size config.Config.h (Config.quorum config) config.Config.group_size;
+  let msgs = List.init 6 (fun i -> Printf.sprintf "message %d" i) in
+
+  (* Healthy round. *)
+  ignore (run_and_report "all servers up:" rng net msgs);
+
+  (* One member of group 0 crashes: within the tolerance h - 1 = 1. *)
+  let victim1 = net.Proto.groups.(0).Proto.members.(1) in
+  Proto.fail_server net victim1;
+  Printf.printf "\n-- server %d (group 0) fails --\n" victim1;
+  ignore (run_and_report "one failure (tolerated):" rng net msgs);
+
+  (* A second member crashes: the group drops below its quorum. *)
+  let victim2 = net.Proto.groups.(0).Proto.members.(2) in
+  Proto.fail_server net victim2;
+  Printf.printf "\n-- server %d (group 0) also fails --\n" victim2;
+  ignore (run_and_report "two failures (group down):" rng net msgs);
+
+  (* Buddy-group recovery: replacement servers collect the re-shared
+     sub-shares held by the buddy group and reconstruct the dead members'
+     key shares. *)
+  Printf.printf "\n-- buddy-group recovery for group 0 --\n";
+  assert (Proto.recover_group net 0);
+  ignore (run_and_report "after recovery:" rng net msgs)

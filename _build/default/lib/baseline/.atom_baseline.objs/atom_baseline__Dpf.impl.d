@@ -1,0 +1,1 @@
+lib/baseline/dpf.ml: Array Atom_cipher Atom_util Bytes Char String

@@ -1,0 +1,1 @@
+lib/baseline/dpf.mli: Atom_util Bytes

@@ -1,0 +1,1 @@
+lib/baseline/riposte.ml: Array Atom_util Dpf Float List String

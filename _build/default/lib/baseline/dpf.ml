@@ -1,0 +1,93 @@
+(* Two-server distributed point function, √n construction (Gilboa–Ishai,
+   as used by Riposte [22]).
+
+   A writer wants to add message m at a secret cell (row i, col j) of an
+   r×c table replicated at two non-colluding servers, revealing the cell to
+   neither. Each key holds one PRG seed and one flag bit per row plus one
+   shared correction word; a row's expansion is
+       PRG(seed) ⊕ (flag · cw).
+   For every row except i the two servers' seeds and flags agree, so their
+   expansions cancel; at row i the seeds differ and exactly one flag is
+   set, leaving  PRG(sA) ⊕ PRG(sB) ⊕ cw = e_j·m.  Key size is O(√n).
+
+   This is the executable core of the Riposte baseline: every write makes
+   *each server* expand the whole table — Θ(n) work per write, Θ(M·n)
+   per round, the quadratic cost Table 12 contrasts with Atom. *)
+
+let seed_bytes = 32
+
+let prg ~(seed : string) ~(len : int) : string =
+  (* ChaCha20 keystream as the PRG. *)
+  Atom_cipher.Chacha20.xor ~key:seed ~nonce:(String.make 12 '\000') ~counter:0
+    (String.make len '\000')
+
+let xor_strings (a : string) (b : string) : string =
+  if String.length a <> String.length b then invalid_arg "Dpf.xor_strings: length mismatch";
+  String.init (String.length a) (fun i -> Char.chr (Char.code a.[i] lxor Char.code b.[i]))
+
+type key = {
+  rows : int;
+  cols : int;
+  cell_bytes : int;
+  seeds : string array; (* one per row *)
+  flags : bool array; (* one per row *)
+  cw : string; (* correction word, cols × cell_bytes *)
+}
+
+(* Generate the two keys for writing [msg] at (row, col). *)
+let gen (rng : Atom_util.Rng.t) ~(rows : int) ~(cols : int) ~(cell_bytes : int) ~(row : int)
+    ~(col : int) (msg : string) : key * key =
+  if row < 0 || row >= rows || col < 0 || col >= cols then invalid_arg "Dpf.gen: cell out of range";
+  if String.length msg > cell_bytes then invalid_arg "Dpf.gen: message too large";
+  let msg = msg ^ String.make (cell_bytes - String.length msg) '\000' in
+  let row_len = cols * cell_bytes in
+  let seeds_a = Array.init rows (fun _ -> Atom_util.Rng.bytes rng seed_bytes) in
+  let seeds_b = Array.mapi (fun r s -> if r = row then Atom_util.Rng.bytes rng seed_bytes else s) seeds_a in
+  let flags_a = Array.init rows (fun _ -> Atom_util.Rng.bool rng) in
+  let flags_b = Array.mapi (fun r f -> if r = row then not f else f) flags_a in
+  (* cw = PRG(sA[i]) ⊕ PRG(sB[i]) ⊕ e_col·msg *)
+  let target = Bytes.make row_len '\000' in
+  Bytes.blit_string msg 0 target (col * cell_bytes) cell_bytes;
+  let cw =
+    xor_strings
+      (xor_strings (prg ~seed:seeds_a.(row) ~len:row_len) (prg ~seed:seeds_b.(row) ~len:row_len))
+      (Bytes.to_string target)
+  in
+  ( { rows; cols; cell_bytes; seeds = seeds_a; flags = flags_a; cw },
+    { rows; cols; cell_bytes; seeds = seeds_b; flags = flags_b; cw } )
+
+(* Expand a key into a full table share (rows × cols × cell_bytes). *)
+let expand (k : key) : Bytes.t =
+  let row_len = k.cols * k.cell_bytes in
+  let out = Bytes.create (k.rows * row_len) in
+  for r = 0 to k.rows - 1 do
+    let base = prg ~seed:k.seeds.(r) ~len:row_len in
+    let line = if k.flags.(r) then xor_strings base k.cw else base in
+    Bytes.blit_string line 0 out (r * row_len) row_len
+  done;
+  out
+
+(* A server's table accumulator. *)
+type server = { mutable table : Bytes.t; rows : int; cols : int; cell_bytes : int }
+
+let server ~(rows : int) ~(cols : int) ~(cell_bytes : int) : server =
+  { table = Bytes.make (rows * cols * cell_bytes) '\000'; rows; cols; cell_bytes }
+
+let apply_write (s : server) (k : key) : unit =
+  if (k.rows, k.cols, k.cell_bytes) <> (s.rows, s.cols, s.cell_bytes) then
+    invalid_arg "Dpf.apply_write: shape mismatch";
+  let share = expand k in
+  for i = 0 to Bytes.length s.table - 1 do
+    Bytes.set s.table i
+      (Char.chr (Char.code (Bytes.get s.table i) lxor Char.code (Bytes.get share i)))
+  done
+
+(* Combine the two servers' tables to reveal the written plaintexts. *)
+let combine (a : server) (b : server) : string array array =
+  let table = xor_strings (Bytes.to_string a.table) (Bytes.to_string b.table) in
+  Array.init a.rows (fun r ->
+      Array.init a.cols (fun c ->
+          String.sub table (((r * a.cols) + c) * a.cell_bytes) a.cell_bytes))
+
+let key_bytes (k : key) : int =
+  (Array.length k.seeds * seed_bytes) + Array.length k.flags + String.length k.cw

@@ -1,0 +1,37 @@
+(** Two-server distributed point function (√n construction, Gilboa–Ishai),
+    the primitive under the Riposte baseline [22].
+
+    The XOR of the two servers' expanded tables is zero everywhere except
+    the secret cell, which holds the written message; a single share reveals
+    nothing. Key size is O(√n); each write costs each server Θ(n) PRG
+    expansion — the quadratic round cost Table 12 contrasts with Atom. *)
+
+type key
+
+val seed_bytes : int
+val prg : seed:string -> len:int -> string
+val xor_strings : string -> string -> string
+
+val gen :
+  Atom_util.Rng.t ->
+  rows:int ->
+  cols:int ->
+  cell_bytes:int ->
+  row:int ->
+  col:int ->
+  string ->
+  key * key
+(** Keys for writing a message at the secret (row, col).
+    @raise Invalid_argument on out-of-range cell or oversized message. *)
+
+val expand : key -> Bytes.t
+(** One server's table share (rows × cols × cell_bytes). *)
+
+type server
+
+val server : rows:int -> cols:int -> cell_bytes:int -> server
+val apply_write : server -> key -> unit
+val combine : server -> server -> string array array
+(** XOR the two accumulators to reveal the written table. *)
+
+val key_bytes : key -> int

@@ -1,0 +1,21 @@
+(* Vuvuzela [72] and Alpenhorn [50] baselines for Table 12 (dialing).
+
+   Centralized anytrust chains of three 36-core servers; both dial one
+   million users in about 0.5 min in their published configurations. Their
+   cost is linear in the user count (hybrid crypto, fixed server set), and
+   their per-server bandwidth is ~166 MB/s versus Atom's <1 MB/s (§6.2). *)
+
+let published_latency_min = 0.5
+let published_users = 1_000_000.
+let server_bandwidth_bytes = 166e6
+
+let dial_latency_minutes ~(users : int) : float =
+  published_latency_min *. (float_of_int users /. published_users)
+
+let scales_horizontally = false
+
+(* Tamper exposure (§6.2): a malicious Vuvuzela/Alpenhorn server can drop
+   all but one honest user's messages — the survivors keep only the
+   differential-privacy guarantee, not anonymity among all honest users.
+   Atom's trap/NIZK defences bound dropping instead. *)
+let malicious_server_can_drop_all_but_one = true

@@ -1,0 +1,1 @@
+lib/cipher/aead.ml: Bytes Chacha20 Char Poly1305 String

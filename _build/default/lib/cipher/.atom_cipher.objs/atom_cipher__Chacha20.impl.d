@@ -1,0 +1,1 @@
+lib/cipher/chacha20.ml: Array Bytes Char String

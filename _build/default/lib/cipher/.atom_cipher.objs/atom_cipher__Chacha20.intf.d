@@ -1,0 +1,1 @@
+lib/cipher/chacha20.mli: Bytes

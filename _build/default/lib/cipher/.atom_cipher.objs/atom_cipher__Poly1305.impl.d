@@ -1,0 +1,1 @@
+lib/cipher/poly1305.ml: Array Bytes Chacha20 Char String

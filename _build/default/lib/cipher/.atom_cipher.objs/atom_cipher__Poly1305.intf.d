@@ -1,0 +1,1 @@
+lib/cipher/poly1305.mli:

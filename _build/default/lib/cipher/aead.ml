@@ -1,0 +1,47 @@
+(* ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+
+   This is the authenticated symmetric layer of Atom's IND-CCA2 inner
+   envelope: the KEM shared secret keys this AEAD, making inner ciphertexts
+   non-malleable so a tampering server cannot create related ciphertexts
+   (§4.4 security analysis). *)
+
+let tag_len = 16
+let key_len = 32
+let nonce_len = 12
+
+let pad16 (n : int) : string = if n mod 16 = 0 then "" else String.make (16 - (n mod 16)) '\000'
+
+let le64 (n : int) : string = String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let mac_data ~(aad : string) ~(ciphertext : string) : string =
+  String.concat ""
+    [
+      aad;
+      pad16 (String.length aad);
+      ciphertext;
+      pad16 (String.length ciphertext);
+      le64 (String.length aad);
+      le64 (String.length ciphertext);
+    ]
+
+let poly_key ~key ~nonce : string = Bytes.sub_string (Chacha20.block ~key ~nonce ~counter:0) 0 32
+
+let encrypt ~(key : string) ~(nonce : string) ?(aad = "") (plaintext : string) : string =
+  if String.length key <> key_len then invalid_arg "Aead.encrypt: key must be 32 bytes";
+  if String.length nonce <> nonce_len then invalid_arg "Aead.encrypt: nonce must be 12 bytes";
+  let ciphertext = Chacha20.encrypt ~key ~nonce ~counter:1 plaintext in
+  let tag = Poly1305.mac ~key:(poly_key ~key ~nonce) (mac_data ~aad ~ciphertext) in
+  ciphertext ^ tag
+
+let decrypt ~(key : string) ~(nonce : string) ?(aad = "") (sealed : string) : string option =
+  if String.length key <> key_len then invalid_arg "Aead.decrypt: key must be 32 bytes";
+  if String.length nonce <> nonce_len then invalid_arg "Aead.decrypt: nonce must be 12 bytes";
+  let n = String.length sealed in
+  if n < tag_len then None
+  else begin
+    let ciphertext = String.sub sealed 0 (n - tag_len) in
+    let tag = String.sub sealed (n - tag_len) tag_len in
+    if Poly1305.verify ~key:(poly_key ~key ~nonce) ~tag (mac_data ~aad ~ciphertext) then
+      Some (Chacha20.decrypt ~key ~nonce ~counter:1 ciphertext)
+    else None
+  end

@@ -1,0 +1,11 @@
+(** ChaCha20-Poly1305 AEAD (RFC 8439). *)
+
+val tag_len : int
+val key_len : int
+val nonce_len : int
+
+val encrypt : key:string -> nonce:string -> ?aad:string -> string -> string
+(** Sealed box: ciphertext ‖ 16-byte tag. *)
+
+val decrypt : key:string -> nonce:string -> ?aad:string -> string -> string option
+(** [None] when authentication fails (tampered or truncated input). *)

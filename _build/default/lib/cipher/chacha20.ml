@@ -1,0 +1,78 @@
+(* ChaCha20 stream cipher (RFC 8439).
+
+   The successor of Salsa20, standing in for the paper's NaCl secretbox as
+   the symmetric layer of the IND-CCA2 inner envelope (Appendix A). *)
+
+let mask32 = 0xffffffff
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let sigma = [| 0x61707865; 0x3320646e; 0x79622d32; 0x6b206574 |] (* "expand 32-byte k" *)
+
+let le32 (s : string) (off : int) : int =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let quarter_round (st : int array) a b c d =
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 16;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 12;
+  st.(a) <- (st.(a) + st.(b)) land mask32;
+  st.(d) <- rotl (st.(d) lxor st.(a)) 8;
+  st.(c) <- (st.(c) + st.(d)) land mask32;
+  st.(b) <- rotl (st.(b) lxor st.(c)) 7
+
+(* One 64-byte keystream block for (key, nonce, counter). *)
+let block ~(key : string) ~(nonce : string) ~(counter : int) : Bytes.t =
+  if String.length key <> 32 then invalid_arg "Chacha20.block: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20.block: nonce must be 12 bytes";
+  let st = Array.make 16 0 in
+  Array.blit sigma 0 st 0 4;
+  for i = 0 to 7 do
+    st.(4 + i) <- le32 key (4 * i)
+  done;
+  st.(12) <- counter land mask32;
+  for i = 0 to 2 do
+    st.(13 + i) <- le32 nonce (4 * i)
+  done;
+  let working = Array.copy st in
+  for _ = 1 to 10 do
+    quarter_round working 0 4 8 12;
+    quarter_round working 1 5 9 13;
+    quarter_round working 2 6 10 14;
+    quarter_round working 3 7 11 15;
+    quarter_round working 0 5 10 15;
+    quarter_round working 1 6 11 12;
+    quarter_round working 2 7 8 13;
+    quarter_round working 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let v = (working.(i) + st.(i)) land mask32 in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  out
+
+(* XOR [msg] with the keystream starting at block [counter]. Encryption and
+   decryption are the same operation. *)
+let xor ~(key : string) ~(nonce : string) ~(counter : int) (msg : string) : string =
+  let n = String.length msg in
+  let out = Bytes.create n in
+  let blocks = (n + 63) / 64 in
+  for b = 0 to blocks - 1 do
+    let ks = block ~key ~nonce ~counter:(counter + b) in
+    let len = min 64 (n - (b * 64)) in
+    for i = 0 to len - 1 do
+      Bytes.set out ((b * 64) + i)
+        (Char.chr (Char.code msg.[(b * 64) + i] lxor Char.code (Bytes.get ks i)))
+    done
+  done;
+  Bytes.unsafe_to_string out
+
+let encrypt = xor
+let decrypt = xor

@@ -1,0 +1,13 @@
+(** ChaCha20 stream cipher (RFC 8439). *)
+
+val block : key:string -> nonce:string -> counter:int -> Bytes.t
+(** One 64-byte keystream block. [key] is 32 bytes, [nonce] 12 bytes. *)
+
+val xor : key:string -> nonce:string -> counter:int -> string -> string
+(** XOR with the keystream starting at block [counter]. *)
+
+val encrypt : key:string -> nonce:string -> counter:int -> string -> string
+val decrypt : key:string -> nonce:string -> counter:int -> string -> string
+
+val le32 : string -> int -> int
+(** Little-endian 32-bit read (shared with Poly1305). *)

@@ -1,0 +1,145 @@
+(* Poly1305 one-time authenticator (RFC 8439).
+
+   Radix-2^26 implementation (five 26-bit limbs): every partial product stays
+   below 2^52 and the largest accumulated sum below 2^58, comfortably inside
+   OCaml's 63-bit native ints. *)
+
+let mask26 = 0x3ffffff
+
+(* Split a 130-bit little-endian value (17 bytes max) into 5 limbs. *)
+let limbs_of_le (s : string) (off : int) (len : int) (extra_bit : bool) : int array
+    =
+  let v = Array.make 5 0 in
+  let get i = if i < len then Char.code s.[off + i] else 0 in
+  (* byte j contributes to bit 8j *)
+  for j = 0 to 16 do
+    let byte = if j < 17 then get j else 0 in
+    let bit = 8 * j in
+    let limb = bit / 26 and sh = bit mod 26 in
+    if limb < 5 then begin
+      v.(limb) <- v.(limb) lor ((byte lsl sh) land mask26);
+      if sh > 18 && limb + 1 < 5 then v.(limb + 1) <- v.(limb + 1) lor (byte lsr (26 - sh))
+    end
+  done;
+  if extra_bit then begin
+    let bit = 8 * len in
+    v.(bit / 26) <- v.(bit / 26) lor (1 lsl (bit mod 26))
+  end;
+  v
+
+let mac ~(key : string) (msg : string) : string =
+  if String.length key <> 32 then invalid_arg "Poly1305.mac: key must be 32 bytes";
+  (* Clamp r. *)
+  let r_bytes = Bytes.of_string (String.sub key 0 16) in
+  let clamp i m = Bytes.set r_bytes i (Char.chr (Char.code (Bytes.get r_bytes i) land m)) in
+  clamp 3 15;
+  clamp 7 15;
+  clamp 11 15;
+  clamp 15 15;
+  clamp 4 252;
+  clamp 8 252;
+  clamp 12 252;
+  let r = limbs_of_le (Bytes.unsafe_to_string r_bytes) 0 16 false in
+  let s = Array.init 4 (fun i -> Chacha20.le32 key (16 + (4 * i))) in
+  let h = Array.make 5 0 in
+  let n = String.length msg in
+  let blocks = (n + 15) / 16 in
+  for b = 0 to blocks - 1 do
+    let len = min 16 (n - (b * 16)) in
+    let m = limbs_of_le msg (b * 16) len true in
+    (* h += m *)
+    for i = 0 to 4 do
+      h.(i) <- h.(i) + m.(i)
+    done;
+    (* h *= r  (mod 2^130 - 5) *)
+    let r5 i = 5 * r.(i) in
+    let d0 = (h.(0) * r.(0)) + (h.(1) * r5 4) + (h.(2) * r5 3) + (h.(3) * r5 2) + (h.(4) * r5 1) in
+    let d1 = (h.(0) * r.(1)) + (h.(1) * r.(0)) + (h.(2) * r5 4) + (h.(3) * r5 3) + (h.(4) * r5 2) in
+    let d2 = (h.(0) * r.(2)) + (h.(1) * r.(1)) + (h.(2) * r.(0)) + (h.(3) * r5 4) + (h.(4) * r5 3) in
+    let d3 = (h.(0) * r.(3)) + (h.(1) * r.(2)) + (h.(2) * r.(1)) + (h.(3) * r.(0)) + (h.(4) * r5 4) in
+    let d4 = (h.(0) * r.(4)) + (h.(1) * r.(3)) + (h.(2) * r.(2)) + (h.(3) * r.(1)) + (h.(4) * r.(0)) in
+    (* carry chain *)
+    let c = d0 lsr 26 in
+    let h0 = d0 land mask26 in
+    let d1 = d1 + c in
+    let c = d1 lsr 26 in
+    let h1 = d1 land mask26 in
+    let d2 = d2 + c in
+    let c = d2 lsr 26 in
+    let h2 = d2 land mask26 in
+    let d3 = d3 + c in
+    let c = d3 lsr 26 in
+    let h3 = d3 land mask26 in
+    let d4 = d4 + c in
+    let c = d4 lsr 26 in
+    let h4 = d4 land mask26 in
+    let h0 = h0 + (c * 5) in
+    let c = h0 lsr 26 in
+    let h0 = h0 land mask26 in
+    let h1 = h1 + c in
+    h.(0) <- h0;
+    h.(1) <- h1;
+    h.(2) <- h2;
+    h.(3) <- h3;
+    h.(4) <- h4
+  done;
+  (* Full carry propagation; run the wrap-around twice so every limb ends
+     strictly below 2^26. *)
+  for _ = 1 to 2 do
+    let c = ref 0 in
+    for i = 0 to 4 do
+      let v = h.(i) + !c in
+      h.(i) <- v land mask26;
+      c := v lsr 26
+    done;
+    h.(0) <- h.(0) + (!c * 5)
+  done;
+  (* Freeze: g = h + 5 - 2^130; pick g if the addition carried past bit 130,
+     i.e. h >= 2^130 - 5. *)
+  let g = Array.make 5 0 in
+  let add5 = [| 5; 0; 0; 0; 0 |] in
+  let carry = ref 0 in
+  for i = 0 to 4 do
+    let v = h.(i) + add5.(i) + !carry in
+    g.(i) <- v land mask26;
+    carry := v lsr 26
+  done;
+  let sel = if !carry = 1 then g else h in
+  (* h = sel mod 2^128, then add s with 32-bit words. *)
+  let w = Array.make 4 0 in
+  (* recombine limbs into 32-bit words *)
+  let bits = Array.make 5 0 in
+  Array.blit sel 0 bits 0 5;
+  for i = 0 to 3 do
+    (* word i = bits [32i, 32i+32) *)
+    let lo_bit = 32 * i in
+    let limb = lo_bit / 26 and sh = lo_bit mod 26 in
+    let v = ref (bits.(limb) lsr sh) in
+    let got = 26 - sh in
+    if limb + 1 < 5 then v := !v lor (bits.(limb + 1) lsl got);
+    if got + 26 < 32 && limb + 2 < 5 then v := !v lor (bits.(limb + 2) lsl (got + 26));
+    w.(i) <- !v land 0xffffffff
+  done;
+  let out = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 0 to 3 do
+    let v = w.(i) + s.(i) + !carry in
+    carry := v lsr 32;
+    let v = v land 0xffffffff in
+    Bytes.set out (4 * i) (Char.chr (v land 0xff));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set out ((4 * i) + 3) (Char.chr ((v lsr 24) land 0xff))
+  done;
+  Bytes.unsafe_to_string out
+
+let verify ~key ~tag msg =
+  String.length tag = 16
+  &&
+  (* Constant-time-style comparison (best effort in OCaml). *)
+  let expected = mac ~key msg in
+  let d = ref 0 in
+  for i = 0 to 15 do
+    d := !d lor (Char.code expected.[i] lxor Char.code tag.[i])
+  done;
+  !d = 0

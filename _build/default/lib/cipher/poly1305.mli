@@ -1,0 +1,8 @@
+(** Poly1305 one-time authenticator (RFC 8439). *)
+
+val mac : key:string -> string -> string
+(** [mac ~key msg] is the 16-byte tag; [key] is the 32-byte one-time key
+    (r ‖ s). @raise Invalid_argument on wrong key length. *)
+
+val verify : key:string -> tag:string -> string -> bool
+(** Recompute-and-compare, with a constant-shape byte comparison. *)

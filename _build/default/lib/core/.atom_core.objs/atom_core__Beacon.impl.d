@@ -1,0 +1,1 @@
+lib/core/beacon.ml: Atom_util Printf

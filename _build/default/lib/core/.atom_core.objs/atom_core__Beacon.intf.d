@@ -1,0 +1,1 @@
+lib/core/beacon.mli: Atom_util

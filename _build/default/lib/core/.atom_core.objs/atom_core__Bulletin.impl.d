@@ -1,0 +1,1 @@
+lib/core/bulletin.ml: List

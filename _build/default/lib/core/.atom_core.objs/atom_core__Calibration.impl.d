@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Array Atom_elgamal Atom_group Atom_hash Atom_util Atom_zkp Format Option Printf String Unix

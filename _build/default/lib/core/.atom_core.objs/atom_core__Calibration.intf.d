@@ -1,0 +1,1 @@
+lib/core/calibration.mli: Atom_group Format

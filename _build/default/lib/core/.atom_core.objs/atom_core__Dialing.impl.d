@@ -1,0 +1,1 @@
+lib/core/dialing.ml: Array Atom_hash Atom_util Char Float List String

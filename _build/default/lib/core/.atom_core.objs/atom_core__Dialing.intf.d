@@ -1,0 +1,1 @@
+lib/core/dialing.mli: Atom_util

@@ -1,0 +1,1 @@
+lib/core/distributed.ml: Array Atom_group Atom_sim Atom_topology Atom_util Config Engine Hashtbl List Machine Mailbox Net Option Protocol Unix

@@ -1,0 +1,1 @@
+lib/core/group_formation.ml: Array Atom_util Beacon Fun

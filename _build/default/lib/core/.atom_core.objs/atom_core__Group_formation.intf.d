@@ -1,0 +1,1 @@
+lib/core/group_formation.mli: Atom_util Beacon

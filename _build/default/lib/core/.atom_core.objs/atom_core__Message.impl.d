@@ -1,0 +1,1 @@
+lib/core/message.ml: Array Atom_group Atom_hash Bytes Char Option String

@@ -1,0 +1,1 @@
+lib/core/simulate.ml: Array Atom_sim Atom_topology Atom_util Beacon Calibration Config Engine Group_formation List Machine Mailbox Net Resource

@@ -1,0 +1,15 @@
+(* Public randomness beacon (§4.1).
+
+   Atom assumes an unbiased public randomness source [14, 68] so that
+   anytrust groups are sampled verifiably at random each round. We model it
+   as a seeded PRG: everyone derives the same per-round stream from
+   (system seed, round number), which preserves the only property the
+   protocol uses — public, unbiased, per-round-fresh randomness — while
+   keeping every experiment reproducible. *)
+
+type t = { seed : int }
+
+let create ~(seed : int) : t = { seed }
+
+let round_rng (b : t) ~(round : int) ~(purpose : string) : Atom_util.Rng.t =
+  Atom_util.Rng.create_string (Printf.sprintf "beacon:%d:%d:%s" b.seed round purpose)

@@ -1,0 +1,11 @@
+(** Public randomness beacon (§4.1).
+
+    Stands in for an unbiased public randomness source [14, 68]: everyone
+    derives the same per-round stream from (seed, round, purpose), which is
+    the only property Atom's group sampling needs, and keeps experiments
+    reproducible. *)
+
+type t
+
+val create : seed:int -> t
+val round_rng : t -> round:int -> purpose:string -> Atom_util.Rng.t

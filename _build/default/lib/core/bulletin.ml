@@ -1,0 +1,21 @@
+(* Public bulletin board — the microblogging application (§5).
+
+   The exit servers of a successful round post the anonymized plaintexts;
+   readers fetch by round. The board is untrusted for anonymity (everything
+   on it is already anonymized) and trivially shardable, so it is plain
+   state here. *)
+
+type post = { round : int; body : string }
+type t = { mutable posts : post list (* chronological *) }
+
+let create () : t = { posts = [] }
+
+let publish_round (t : t) ~(round : int) (messages : string list) : unit =
+  t.posts <- t.posts @ List.map (fun body -> { round; body }) messages
+
+let read_round (t : t) ~(round : int) : string list =
+  List.filter_map (fun p -> if p.round = round then Some p.body else None) t.posts
+
+let read_all (t : t) : (int * string) list = List.map (fun p -> (p.round, p.body)) t.posts
+
+let size (t : t) : int = List.length t.posts

@@ -1,0 +1,9 @@
+(** Public bulletin board — the microblogging application (§5). *)
+
+type t
+
+val create : unit -> t
+val publish_round : t -> round:int -> string list -> unit
+val read_round : t -> round:int -> string list
+val read_all : t -> (int * string) list
+val size : t -> int

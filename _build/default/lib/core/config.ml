@@ -1,0 +1,87 @@
+(* Protocol configuration.
+
+   Defaults follow the paper's large-scale evaluation (§6.2): trap variant,
+   f = 20%, h = 2 (tolerate one failure), group size 33 with a 32-server
+   quorum, square topology with T = 10 iterations, 160-byte microblogging
+   messages. Tests and examples shrink every knob. *)
+
+type variant =
+  | Basic (* §4.2: no protection against active servers (analysis only) *)
+  | Nizk (* §4.3: verifiable shuffles + verifiable decryption *)
+  | Trap (* §4.4: trap messages + trustees *)
+
+type topology_kind = Square of int (* iterations T *) | Butterfly of int (* repetitions *)
+
+type t = {
+  variant : variant;
+  n_servers : int;
+  n_groups : int;
+  group_size : int; (* k *)
+  h : int; (* required honest servers per group; quorum = k - (h-1) *)
+  f : float; (* assumed adversarial fraction, for sizing only *)
+  topology : topology_kind;
+  msg_bytes : int;
+  seed : int;
+  (* Dialing (§5): mailbox count and Vuvuzela-style dummy parameters; the
+     trustee group adds ~ Laplace(mu, b) dummy messages per trustee. *)
+  mailboxes : int;
+  dummy_mu : float;
+  dummy_b : float;
+}
+
+let quorum (c : t) : int = c.group_size - (c.h - 1)
+
+let iterations (c : t) : int =
+  match c.topology with
+  | Square t -> t
+  | Butterfly reps ->
+      let levels = max 1 (int_of_float (Float.round (Float.log2 (float_of_int c.n_groups)))) in
+      levels * reps
+
+let topology (c : t) : Atom_topology.Topology.t =
+  match c.topology with
+  | Square t -> Atom_topology.Topology.square ~groups:c.n_groups ~iterations:t
+  | Butterfly reps -> Atom_topology.Topology.butterfly ~groups:c.n_groups ~repetitions:reps
+
+let validate (c : t) : unit =
+  if c.n_servers < 1 then invalid_arg "Config: n_servers must be >= 1";
+  if c.n_groups < 1 then invalid_arg "Config: n_groups must be >= 1";
+  if c.group_size < 1 || c.group_size > c.n_servers then
+    invalid_arg "Config: need 1 <= group_size <= n_servers";
+  if c.h < 1 || c.h > c.group_size then invalid_arg "Config: need 1 <= h <= group_size";
+  if c.msg_bytes < 1 then invalid_arg "Config: msg_bytes must be positive";
+  if c.mailboxes < 1 then invalid_arg "Config: mailboxes must be >= 1"
+
+(* The paper's 1,024-server trap-variant deployment. *)
+let paper_default : t =
+  {
+    variant = Trap;
+    n_servers = 1024;
+    n_groups = 1024;
+    group_size = 33;
+    h = 2;
+    f = 0.2;
+    topology = Square 10;
+    msg_bytes = 160;
+    seed = 1;
+    mailboxes = 1 lsl 16;
+    dummy_mu = 13_000.;
+    dummy_b = 1_000.;
+  }
+
+(* A small configuration for tests and examples running real cryptography. *)
+let tiny ?(variant = Trap) ?(seed = 42) () : t =
+  {
+    variant;
+    n_servers = 12;
+    n_groups = 4;
+    group_size = 3;
+    h = 1;
+    f = 0.2;
+    topology = Square 4;
+    msg_bytes = 32;
+    seed;
+    mailboxes = 8;
+    dummy_mu = 2.;
+    dummy_b = 1.;
+  }

@@ -1,0 +1,68 @@
+(* Round controller: the §4.6 availability policy.
+
+   The trap variant cannot proactively stop a disruptive user — it detects
+   the disruption at the end of the round, aborts, and blames. If the DoS
+   persists "after many rounds, Atom can fall back to using NIZKs,
+   effectively trading off performance for availability" (§4.6). This state
+   machine encodes that policy: consecutive aborted trap rounds beyond a
+   threshold switch the deployment to the NIZK variant; a streak of clean
+   rounds switches it back. Blamed users are accumulated into a blacklist
+   that the operator applies at submission time. *)
+
+type policy = {
+  abort_threshold : int; (* consecutive trap aborts before falling back *)
+  recovery_threshold : int; (* consecutive clean NIZK rounds before returning *)
+}
+
+let default_policy = { abort_threshold = 3; recovery_threshold = 2 }
+
+type t = {
+  policy : policy;
+  mutable variant : Config.variant;
+  mutable consecutive_aborts : int;
+  mutable consecutive_clean : int;
+  mutable blacklist : int list; (* blamed user ids *)
+  mutable rounds_run : int;
+  mutable rounds_aborted : int;
+}
+
+let create ?(policy = default_policy) ?(variant = Config.Trap) () : t =
+  {
+    policy;
+    variant;
+    consecutive_aborts = 0;
+    consecutive_clean = 0;
+    blacklist = [];
+    rounds_run = 0;
+    rounds_aborted = 0;
+  }
+
+let variant (t : t) : Config.variant = t.variant
+let blacklist (t : t) : int list = t.blacklist
+let is_blacklisted (t : t) (user : int) : bool = List.mem user t.blacklist
+
+(* Feed one round's outcome; returns the variant to use for the next
+   round. *)
+let record (t : t) ~(aborted : bool) ~(blamed : int list) : Config.variant =
+  t.rounds_run <- t.rounds_run + 1;
+  if aborted then t.rounds_aborted <- t.rounds_aborted + 1;
+  t.blacklist <- List.sort_uniq compare (blamed @ t.blacklist);
+  (match (t.variant, aborted) with
+  | Config.Trap, true ->
+      t.consecutive_aborts <- t.consecutive_aborts + 1;
+      if t.consecutive_aborts >= t.policy.abort_threshold then begin
+        t.variant <- Config.Nizk;
+        t.consecutive_aborts <- 0;
+        t.consecutive_clean <- 0
+      end
+  | Config.Trap, false -> t.consecutive_aborts <- 0
+  | Config.Nizk, false ->
+      t.consecutive_clean <- t.consecutive_clean + 1;
+      if t.consecutive_clean >= t.policy.recovery_threshold then begin
+        t.variant <- Config.Trap;
+        t.consecutive_clean <- 0;
+        t.consecutive_aborts <- 0
+      end
+  | Config.Nizk, true -> t.consecutive_clean <- 0
+  | Config.Basic, _ -> () (* no defence, no policy *));
+  t.variant

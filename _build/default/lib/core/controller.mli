@@ -1,0 +1,18 @@
+(** Round controller implementing the §4.6 availability policy: fall back
+    from the trap variant to NIZKs under persistent disruption (trading
+    performance for availability), return once the network is clean, and
+    accumulate blamed users into a blacklist. *)
+
+type policy = { abort_threshold : int; recovery_threshold : int }
+
+val default_policy : policy
+
+type t
+
+val create : ?policy:policy -> ?variant:Config.variant -> unit -> t
+val variant : t -> Config.variant
+val blacklist : t -> int list
+val is_blacklisted : t -> int -> bool
+
+val record : t -> aborted:bool -> blamed:int list -> Config.variant
+(** Feed one round's outcome; returns the variant for the next round. *)

@@ -1,0 +1,55 @@
+(* Deployment cost estimates (§7).
+
+   Rate-matching argument: a server's bandwidth need is bounded by the rate
+   at which its CPU can push messages through ReEnc/Shuffle, times the wire
+   size of a message. Dollar figures use the paper's September-2017 AWS
+   prices; they are parameters, not constants of nature. *)
+
+type aws_prices = {
+  four_core_month : float;
+  thirty_six_core_month : float;
+  egress_per_gb : float;
+}
+
+let paper_prices : aws_prices =
+  { four_core_month = 146.; thirty_six_core_month = 1165.; egress_per_gb = 0.009 }
+
+(* Messages per second one core sustains for each operation. *)
+let reenc_rate (cal : Calibration.t) : float = 1. /. cal.Calibration.reenc
+let shuffle_rate (cal : Calibration.t) : float = 1. /. cal.Calibration.shuffle_per_msg
+
+(* Upper-bound bandwidth (bytes/second) to rate-match the compute, for
+   32-byte messages. *)
+let rate_match_bandwidth (cal : Calibration.t) ~(msg_bytes : int) : float * float =
+  let b = float_of_int msg_bytes in
+  (reenc_rate cal *. b, shuffle_rate cal *. b)
+
+let seconds_per_month = 30.44 *. 24. *. 3600.
+
+(* Monthly egress cost at a constant send rate. *)
+let bandwidth_cost_month (prices : aws_prices) ~(bytes_per_second : float) : float =
+  bytes_per_second *. seconds_per_month /. 1e9 *. prices.egress_per_gb
+
+type estimate = {
+  compute_month : float;
+  bandwidth_month : float;
+  reenc_msgs_per_sec : float;
+  shuffle_msgs_per_sec : float;
+  bandwidth_bytes_per_sec : float;
+}
+
+let server_estimate ?(prices = paper_prices) ?(cal = Calibration.paper) ~(cores : int) () :
+    estimate =
+  let _, shuffle_bw = rate_match_bandwidth cal ~msg_bytes:32 in
+  (* The bound scales linearly with cores (§7). *)
+  let scale = float_of_int cores /. 4. in
+  let bw = shuffle_bw *. scale in
+  {
+    compute_month =
+      (if cores <= 4 then prices.four_core_month
+       else prices.four_core_month *. scale (* interpolate; 36-core matches the quote *));
+    bandwidth_month = bandwidth_cost_month prices ~bytes_per_second:bw;
+    reenc_msgs_per_sec = reenc_rate cal *. scale;
+    shuffle_msgs_per_sec = shuffle_rate cal *. scale;
+    bandwidth_bytes_per_sec = bw;
+  }

@@ -1,0 +1,32 @@
+(** Deployment cost estimates (§7): rate-matched bandwidth bounds and
+    AWS dollar figures. *)
+
+type aws_prices = {
+  four_core_month : float;
+  thirty_six_core_month : float;
+  egress_per_gb : float;
+}
+
+val paper_prices : aws_prices
+(** September-2017 figures used by the paper. *)
+
+val reenc_rate : Calibration.t -> float
+(** Messages/second one core re-encrypts. *)
+
+val shuffle_rate : Calibration.t -> float
+
+val rate_match_bandwidth : Calibration.t -> msg_bytes:int -> float * float
+(** (reenc-bound, shuffle-bound) bandwidth in bytes/second. *)
+
+val seconds_per_month : float
+val bandwidth_cost_month : aws_prices -> bytes_per_second:float -> float
+
+type estimate = {
+  compute_month : float;
+  bandwidth_month : float;
+  reenc_msgs_per_sec : float;
+  shuffle_msgs_per_sec : float;
+  bandwidth_bytes_per_sec : float;
+}
+
+val server_estimate : ?prices:aws_prices -> ?cal:Calibration.t -> cores:int -> unit -> estimate

@@ -1,0 +1,86 @@
+(* The dialing application (§5): Alpenhorn/Vuvuzela-style call
+   establishment over Atom.
+
+   To dial, Alice sends (Bob's identifier ‖ her key material encrypted to
+   Bob) through the Atom network; the exit layer drops each dial into
+   mailbox id mod m; Bob downloads his whole mailbox and trial-decrypts.
+   The trustee group pads every mailbox with Laplace-noised dummy dials
+   (Vuvuzela's differential-privacy mechanism [72]) so mailbox sizes do not
+   reveal how often a user is dialed. *)
+
+let id_bytes = 8
+
+(* A dial message: recipient id ‖ payload (e.g., AEAD-boxed sender key).
+   The paper's simple scheme is 80 bytes total. *)
+let encode ~(recipient : string) ~(payload : string) : string =
+  if String.length recipient <> id_bytes then invalid_arg "Dialing.encode: id must be 8 bytes";
+  recipient ^ payload
+
+let decode (msg : string) : (string * string) option =
+  if String.length msg < id_bytes then None
+  else Some (String.sub msg 0 id_bytes, String.sub msg id_bytes (String.length msg - id_bytes))
+
+(* Identifier of a user (e.g., a hash of their long-term public key). *)
+let id_of_user (name : string) : string = String.sub (Atom_hash.Sha256.digest name) 0 id_bytes
+
+let mailbox_of ~(mailboxes : int) (recipient_id : string) : int =
+  (* Universal-hash style load balancing, as in §4.4's forwarding rule. *)
+  let h = Atom_hash.Sha256.digest ("mailbox" ^ recipient_id) in
+  let v =
+    (Char.code h.[0] lsl 24) lor (Char.code h.[1] lsl 16) lor (Char.code h.[2] lsl 8)
+    lor Char.code h.[3]
+  in
+  v mod mailboxes
+
+type mailbox_state = { contents : string list array }
+
+(* Sort a round's delivered dial messages into mailboxes. *)
+let deliver ~(mailboxes : int) (delivered : string list) : mailbox_state =
+  let contents = Array.make mailboxes [] in
+  List.iter
+    (fun msg ->
+      match decode msg with
+      | Some (rid, _) ->
+          let mb = mailbox_of ~mailboxes rid in
+          contents.(mb) <- msg :: contents.(mb)
+      | None -> ())
+    delivered;
+  { contents }
+
+let download (st : mailbox_state) ~(mailboxes : int) ~(recipient_id : string) : string list =
+  let mb = mailbox_of ~mailboxes recipient_id in
+  List.filter_map
+    (fun msg ->
+      match decode msg with
+      | Some (rid, payload) when rid = recipient_id -> Some payload
+      | _ -> None)
+    st.contents.(mb)
+
+(* ---- Differential-privacy dummies (Vuvuzela mechanism) ----
+
+   Each trustee adds max(0, round(mu + Laplace(b))) dummies addressed to
+   random mailboxes. Adding/removing one real dial changes a mailbox count
+   by 1, so each round is (1/b)-DP per trustee; delta accounts for the
+   clamping at zero. *)
+
+let dummy_count (rng : Atom_util.Rng.t) ~(mu : float) ~(b : float) : int =
+  let v = mu +. Atom_util.Rng.laplace rng ~b in
+  max 0 (int_of_float (Float.round v))
+
+let generate_dummies (rng : Atom_util.Rng.t) ~(trustees : int) ~(mu : float) ~(b : float)
+    ~(mailboxes : int) ~(payload_bytes : int) : string list =
+  List.concat
+    (List.init trustees (fun _ ->
+         let n = dummy_count rng ~mu ~b in
+         List.init n (fun _ ->
+             (* A dummy targets a random mailbox via a random id. *)
+             let rid = Atom_util.Rng.bytes rng id_bytes in
+             ignore (mailbox_of ~mailboxes rid);
+             encode ~recipient:rid ~payload:(Atom_util.Rng.bytes rng payload_bytes))))
+
+let epsilon ~(b : float) : float = 1. /. b
+
+let delta ~(mu : float) ~(b : float) : float =
+  (* P[Laplace(b) < -mu] = exp(-mu/b) / 2: the probability the clamp bites
+     and the dummy count leaks. *)
+  0.5 *. exp (-.mu /. b)

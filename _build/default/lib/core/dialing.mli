@@ -1,0 +1,38 @@
+(** Dialing (§5): Alpenhorn/Vuvuzela-style call establishment over Atom —
+    recipient-addressed sealed payloads, exit-layer mailboxes (id mod m),
+    and Laplace-noised dummy traffic for differential privacy. *)
+
+val id_bytes : int
+
+val encode : recipient:string -> payload:string -> string
+(** @raise Invalid_argument unless the recipient id is {!id_bytes} long. *)
+
+val decode : string -> (string * string) option
+val id_of_user : string -> string
+val mailbox_of : mailboxes:int -> string -> int
+
+type mailbox_state
+
+val deliver : mailboxes:int -> string list -> mailbox_state
+(** Sort a round's delivered dial messages into mailboxes. *)
+
+val download : mailbox_state -> mailboxes:int -> recipient_id:string -> string list
+(** The payloads addressed to [recipient_id] in its mailbox. *)
+
+val dummy_count : Atom_util.Rng.t -> mu:float -> b:float -> int
+(** max(0, round(µ + Laplace(b))) — one trustee's dummy count. *)
+
+val generate_dummies :
+  Atom_util.Rng.t ->
+  trustees:int ->
+  mu:float ->
+  b:float ->
+  mailboxes:int ->
+  payload_bytes:int ->
+  string list
+
+val epsilon : b:float -> float
+(** Per-round ε of the mailbox-count mechanism. *)
+
+val delta : mu:float -> b:float -> float
+(** Clamping failure probability (Laplace sample below −µ). *)

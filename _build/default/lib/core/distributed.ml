@@ -1,0 +1,244 @@
+(* Distributed runtime: the real-cryptography protocol executed as
+   asynchronous group pipelines over the discrete-event network.
+
+   [Protocol.Make] is the synchronous cryptographic ground truth;
+   [Simulate.run] is the calibrated large-scale model. This module closes
+   the loop between them: every group runs as a simulator process, batches
+   of *real* ciphertexts travel between groups through latency- and
+   bandwidth-modeled links, and each cryptographic operation charges the
+   executing machine with its *measured* wall-clock duration. The result is
+   a round whose outputs are cryptographically real and whose latency
+   reflects network structure — a laptop-scale stand-in for an actual
+   deployment, used by the test suite to confirm that the two engines tell
+   the same story. *)
+
+module Make
+    (G : Atom_group.Group_intf.GROUP)
+    (Pr : module type of Protocol.Make (G)) =
+struct
+  open Atom_sim
+  module El = Pr.El
+
+  type report = {
+    outcome : Pr.outcome;
+    latency : float; (* virtual seconds: measured compute + modeled network *)
+    events : int;
+    bytes_sent : float;
+  }
+
+  (* Run [f] on [machine]: the real work happens now (wall clock), and the
+     machine is charged that duration in virtual time. *)
+  let timed_job (m : Machine.t) (f : unit -> 'a) : 'a =
+    let t0 = Unix.gettimeofday () in
+    let result = f () in
+    Machine.job m ~seconds:(Unix.gettimeofday () -. t0);
+    result
+
+  let unit_bytes (net : Pr.network) : float =
+    float_of_int (net.Pr.width * ((2 * G.element_bytes) + 1 + G.element_bytes))
+
+  let run ?(clusters = 4) (rng : Atom_util.Rng.t) (net : Pr.network)
+      (submissions : Pr.submission list) : report =
+    let cfg = net.Pr.config in
+    let engine = Engine.create () in
+    let simnet = Net.create engine in
+    let fleet_rng = Atom_util.Rng.create cfg.Config.seed in
+    let machines =
+      Array.init cfg.Config.n_servers (fun id ->
+          Machine.create engine ~id ~cores:(Machine.paper_cores fleet_rng)
+            ~bandwidth:(Machine.paper_bandwidth fleet_rng)
+            ~cluster:(Atom_util.Rng.int_below fleet_rng clusters))
+    in
+    let n_groups = cfg.Config.n_groups in
+    let iters = net.Pr.topo.Atom_topology.Topology.iterations in
+    (* Entry verification and initial holdings (synchronous prologue —
+       submission arrival is not part of the measured round, matching the
+       paper's "first server receives a message" start point). *)
+    let seen = Hashtbl.create 256 in
+    let accepted, rejected = List.partition (Pr.verify_submission net seen) submissions in
+    let rejected_submissions = List.map (fun s -> s.Pr.user) rejected in
+    let commitments : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (s : Pr.submission) ->
+        match s.Pr.commitment with
+        | Some c ->
+            Hashtbl.replace commitments s.Pr.entry_gid
+              (c :: Option.value ~default:[] (Hashtbl.find_opt commitments s.Pr.entry_gid))
+        | None -> ())
+      accepted;
+    let initial = Array.make n_groups [] in
+    List.iter
+      (fun (s : Pr.submission) ->
+        Array.iter (fun u -> initial.(s.Pr.entry_gid) <- u.Pr.vec :: initial.(s.Pr.entry_gid)) s.Pr.units)
+      accepted;
+    (* Inter-group transport: per-group mailboxes carrying (iter, batch).
+       Every group sends to every in-neighbour each iteration (possibly an
+       empty batch) so receivers can count arrivals. *)
+    let inboxes : (int * El.vec array) Mailbox.t array =
+      Array.init n_groups (fun _ -> Mailbox.create engine)
+    in
+    let exit_box : (int * El.vec array) Mailbox.t = Mailbox.create engine in
+    let abort_box : Pr.abort_reason Mailbox.t = Mailbox.create engine in
+    let in_degree ~iter ~gid =
+      (* Count groups listing [gid] among their neighbours at [iter]. *)
+      let d = ref 0 in
+      for g = 0 to n_groups - 1 do
+        let nbrs = net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:g in
+        if Array.exists (( = ) gid) nbrs then incr d
+      done;
+      !d
+    in
+    let ub = unit_bytes net in
+    Array.iter
+      (fun (g : Pr.group_state) ->
+        Engine.spawn engine (fun () ->
+            let quorum_positions =
+              match Pr.live_quorum net g with
+              | Some q -> q
+              | None ->
+                  Mailbox.send abort_box (Pr.Group_down { gid = g.Pr.gid });
+                  []
+            in
+            if quorum_positions <> [] then begin
+              let member pos = machines.(g.Pr.members.(pos - 1)) in
+              let units = ref (Array.of_list (List.rev initial.(g.Pr.gid))) in
+              (try
+                 for iter = 0 to iters - 1 do
+                   (* Collect this layer's inputs (iteration 0 uses the
+                      client submissions directly). *)
+                   if iter > 0 then begin
+                     let expected = in_degree ~iter:(iter - 1) ~gid:g.Pr.gid in
+                     let parts = ref [] in
+                     for _ = 1 to expected do
+                       let rec take () =
+                         let it, batch = Mailbox.recv inboxes.(g.Pr.gid) in
+                         if it = iter then parts := batch :: !parts
+                         else begin
+                           (* A batch for a later layer raced ahead; requeue. *)
+                           Mailbox.send inboxes.(g.Pr.gid) (it, batch);
+                           Engine.sleep engine 1e-4;
+                           take ()
+                         end
+                       in
+                       take ()
+                     done;
+                     units := Array.concat !parts
+                   end;
+                   (* Pass 1: sequential real shuffles along the quorum. *)
+                   let pk = Pr.group_pk net g.Pr.gid in
+                   let prev = ref None in
+                   List.iter
+                     (fun pos ->
+                       let m = member pos in
+                       (match !prev with
+                       | Some pm ->
+                           Engine.sleep engine
+                             (Net.latency simnet pm m
+                             +. Net.transfer_time pm m
+                                  ~bytes:(float_of_int (Array.length !units) *. ub))
+                       | None -> ());
+                       prev := Some m;
+                       units :=
+                         timed_job m (fun () ->
+                             match El.shuffle_vec rng pk !units with
+                             | Some (shuffled, _) -> shuffled
+                             | None -> [||]))
+                     quorum_positions;
+                   (* Divide + pass 2: decrypt-and-reencrypt per batch. *)
+                   let neighbors =
+                     net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:g.Pr.gid
+                   in
+                   let beta = Array.length neighbors in
+                   let last_iter = iter = iters - 1 in
+                   let batches = Array.make beta [] in
+                   Array.iteri (fun i u -> batches.(i mod beta) <- u :: batches.(i mod beta)) !units;
+                   let batches = Array.map (fun l -> Array.of_list (List.rev l)) batches in
+                   let outgoing = Array.make beta [||] in
+                   Array.iteri
+                     (fun bi batch ->
+                       let next_pk =
+                         if last_iter then None else Some (Pr.group_pk net neighbors.(bi))
+                       in
+                       let current = ref batch in
+                       List.iter
+                         (fun pos ->
+                           let m = member pos in
+                           let share = g.Pr.keys.Pr.Dkg.shares.(pos - 1).Pr.Sh.value in
+                           let coeff = Pr.Sh.lagrange_at_zero ~xs:quorum_positions ~i:pos in
+                           current :=
+                             timed_job m (fun () ->
+                                 Array.map
+                                   (fun v -> fst (El.reenc_vec rng ~share ~coeff ~next_pk v))
+                                   !current))
+                         quorum_positions;
+                       outgoing.(bi) <-
+                         (if last_iter then !current else Array.map El.clear_y_vec !current))
+                     batches;
+                   (* Forward through the last member's NIC. *)
+                   let last = member (List.nth quorum_positions (List.length quorum_positions - 1)) in
+                   if last_iter then
+                     Mailbox.send exit_box (g.Pr.gid, Array.concat (Array.to_list outgoing))
+                   else
+                     Array.iteri
+                       (fun bi batch ->
+                         let bytes = float_of_int (Array.length batch) *. ub in
+                         let dst = machines.(net.Pr.groups.(neighbors.(bi)).Pr.members.(0)) in
+                         Net.send simnet ~src:last ~dst ~bytes inboxes.(neighbors.(bi))
+                           (iter + 1, batch))
+                       outgoing
+                 done
+               with e ->
+                 ignore e;
+                 Mailbox.send abort_box (Pr.Group_down { gid = g.Pr.gid }))
+            end))
+      net.Pr.groups;
+    (* Collector: assemble exit holdings, run the variant's endgame. *)
+    let result = ref None in
+    Engine.spawn engine (fun () ->
+        let holdings = Array.make n_groups [||] in
+        for _ = 1 to n_groups do
+          let gid, units = Mailbox.recv exit_box in
+          holdings.(gid) <- units
+        done;
+        let exits = Pr.decode_exit net holdings in
+        let outcome : Pr.outcome =
+          match cfg.Config.variant with
+          | Config.Basic | Config.Nizk ->
+              let delivered =
+                List.filter_map
+                  (fun (u : Pr.exit_unit) ->
+                    if u.Pr.tag = Pr.Msg.tag_message then Some (Pr.Msg.unpad_plaintext u.Pr.payload)
+                    else None)
+                  exits
+              in
+              { Pr.delivered; aborted = None; rejected_submissions; blamed = [] }
+          | Config.Trap -> begin
+              let reason, inner_payloads = Pr.trap_checks net ~commitments exits in
+              match reason with
+              | Some r ->
+                  { Pr.delivered = []; aborted = Some r; rejected_submissions; blamed = [] }
+              | None ->
+                  let delivered = List.map Pr.Msg.unpad_plaintext (Pr.open_inners net inner_payloads) in
+                  { Pr.delivered; aborted = None; rejected_submissions; blamed = [] }
+            end
+        in
+        result := Some outcome);
+    let latency = Engine.run engine in
+    let outcome =
+      match (!result, Mailbox.try_recv abort_box) with
+      | Some o, _ -> o
+      | None, Some reason ->
+          { Pr.delivered = []; aborted = Some reason; rejected_submissions; blamed = [] }
+      | None, None ->
+          { Pr.delivered = [];
+            aborted = Some (Pr.Group_down { gid = -1 });
+            rejected_submissions;
+            blamed = [] }
+    in
+    {
+      outcome;
+      latency;
+      events = Engine.events_run engine;
+      bytes_sent = simnet.Net.bytes_sent;
+    }
+end

@@ -1,0 +1,91 @@
+(* Message framing: bytes <-> vectors of embedded group elements.
+
+   Every routed unit in a round — plaintext messages in the basic/NIZK
+   variants, inner ciphertexts and trap messages in the trap variant — is
+   framed as  tag(1) ‖ length(2, BE) ‖ payload ‖ zero-padding  and embedded
+   across a fixed number of group elements, so that units of different kinds
+   are indistinguishable on the wire (a requirement of §4.4: a server must
+   not be able to tell traps from real messages). *)
+
+module Make (G : Atom_group.Group_intf.GROUP) = struct
+  let tag_message = 'M' (* inner ciphertext (trap variant) or plaintext unit *)
+  let tag_trap = 'T'
+
+  let header_bytes = 3
+
+  (* Number of group elements needed for a [payload_bytes] unit. *)
+  let width_for ~(payload_bytes : int) : int =
+    (header_bytes + payload_bytes + G.embed_bytes - 1) / G.embed_bytes
+
+  let frame ~(tag : char) (payload : string) ~(width : int) : string =
+    let len = String.length payload in
+    if len > 0xffff then invalid_arg "Message.frame: payload too long";
+    if width < width_for ~payload_bytes:len then invalid_arg "Message.frame: width too small";
+    let total = width * G.embed_bytes in
+    let b = Bytes.make total '\000' in
+    Bytes.set b 0 tag;
+    Bytes.set b 1 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set b 2 (Char.chr (len land 0xff));
+    Bytes.blit_string payload 0 b header_bytes len;
+    Bytes.unsafe_to_string b
+
+  let unframe (framed : string) : (char * string) option =
+    if String.length framed < header_bytes then None
+    else begin
+      let tag = framed.[0] in
+      let len = (Char.code framed.[1] lsl 8) lor Char.code framed.[2] in
+      if header_bytes + len > String.length framed then None
+      else Some (tag, String.sub framed header_bytes len)
+    end
+
+  (* Embed a framed unit into [width] group elements. *)
+  let embed ~(tag : char) (payload : string) ~(width : int) : G.t array =
+    let framed = frame ~tag payload ~width in
+    Array.init width (fun i ->
+        let chunk = String.sub framed (i * G.embed_bytes) G.embed_bytes in
+        match G.embed chunk with
+        | Some el -> el
+        | None -> assert false (* chunk length = embed_bytes by construction *))
+
+  let extract (els : G.t array) : (char * string) option =
+    let chunks = Array.map G.extract els in
+    if Array.exists Option.is_none chunks then None
+    else unframe (String.concat "" (Array.to_list (Array.map Option.get chunks)))
+
+  (* ---- Trap messages (§4.4): payload = gid(4, BE) ‖ nonce(16) ---- *)
+
+  let trap_nonce_bytes = 16
+
+  let make_trap ~(gid : int) ~(nonce : string) : string =
+    if String.length nonce <> trap_nonce_bytes then invalid_arg "Message.make_trap: bad nonce";
+    String.init 4 (fun i -> Char.chr ((gid lsr (8 * (3 - i))) land 0xff)) ^ nonce
+
+  let parse_trap (payload : string) : (int * string) option =
+    if String.length payload <> 4 + trap_nonce_bytes then None
+    else begin
+      let gid =
+        (Char.code payload.[0] lsl 24)
+        lor (Char.code payload.[1] lsl 16)
+        lor (Char.code payload.[2] lsl 8)
+        lor Char.code payload.[3]
+      in
+      Some (gid, String.sub payload 4 trap_nonce_bytes)
+    end
+
+  (* Commitment to a trap: SHA3-256 of the canonical framed bytes (§4.4 uses
+     a hash commitment — the nonce provides the hiding entropy). *)
+  let commit_trap ~(width : int) (trap_payload : string) : string =
+    Atom_hash.Keccak.sha3_256 (frame ~tag:tag_trap trap_payload ~width)
+
+  (* Pad or reject a user message to the configured plaintext size. *)
+  let pad_plaintext ~(msg_bytes : int) (msg : string) : string =
+    if String.length msg > msg_bytes then invalid_arg "Message.pad_plaintext: message too long"
+    else msg ^ String.make (msg_bytes - String.length msg) '\000'
+
+  let unpad_plaintext (padded : string) : string =
+    let n = ref (String.length padded) in
+    while !n > 0 && padded.[!n - 1] = '\000' do
+      decr n
+    done;
+    String.sub padded 0 !n
+end

@@ -1,0 +1,1 @@
+lib/elgamal/elgamal.ml: Array Atom_cipher Atom_group Atom_hash Atom_util Char List Option String

@@ -1,0 +1,1 @@
+lib/elgamal/elgamal.mli: Atom_group Atom_util

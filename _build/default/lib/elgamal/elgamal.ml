@@ -1,0 +1,250 @@
+(* Atom's rerandomizable ElGamal variant (paper Appendix A).
+
+   A ciphertext is a triple (R, c, Y):
+   - Y = ⊥ : a plain ElGamal ciphertext (R, c) = (g^r, m·X^r) under the
+     current group key X.
+   - Y ≠ ⊥ : mid-reencryption state. Y holds the randomness used to encrypt
+     for the *current* group while R accumulates the randomness toward the
+     *next* group, which is what lets servers decrypt "out of order": each
+     group member strips its own share x_s via c ← c / Y^{x_s} while adding
+     fresh randomness toward the next group's key.
+
+   Every operation that a NIZK must later attest to also returns its secret
+   witness (encryption randomness, permutation, rerandomization exponents);
+   callers that do not need the witness simply drop it. *)
+
+module Make (G : Atom_group.Group_intf.GROUP) = struct
+  type keypair = { sk : G.Scalar.t; pk : G.t }
+
+  let keygen (rng : Atom_util.Rng.t) : keypair =
+    let sk = G.Scalar.random rng in
+    { sk; pk = G.pow_gen sk }
+
+  (* The public key of an anytrust group is the product of the members'
+     public keys, so that the matching secret key is the (never materialized)
+     sum of the members' secrets. *)
+  let combine_pks (pks : G.t list) : G.t = List.fold_left G.mul G.one pks
+
+  type cipher = { r : G.t; c : G.t; y : G.t option }
+
+  let cipher_equal a b =
+    G.equal a.r b.r && G.equal a.c b.c
+    &&
+    match (a.y, b.y) with
+    | None, None -> true
+    | Some ya, Some yb -> G.equal ya yb
+    | _ -> false
+
+  let cipher_to_bytes (ct : cipher) : string =
+    let y_part = match ct.y with None -> "\000" | Some y -> "\001" ^ G.to_bytes y in
+    G.to_bytes ct.r ^ G.to_bytes ct.c ^ y_part
+
+  let cipher_of_bytes (s : string) : cipher option =
+    let eb = G.element_bytes in
+    if String.length s < (2 * eb) + 1 then None
+    else begin
+      match (G.of_bytes (String.sub s 0 eb), G.of_bytes (String.sub s eb eb)) with
+      | Some r, Some c -> begin
+          match s.[2 * eb] with
+          | '\000' when String.length s = (2 * eb) + 1 -> Some { r; c; y = None }
+          | '\001' when String.length s = (3 * eb) + 1 -> begin
+              match G.of_bytes (String.sub s ((2 * eb) + 1) eb) with
+              | Some y -> Some { r; c; y = Some y }
+              | None -> None
+            end
+          | _ -> None
+        end
+      | _ -> None
+    end
+
+  (* c ← Enc(X, m): fresh ElGamal encryption; also returns the randomness
+     (the witness for EncProof). *)
+  let enc (rng : Atom_util.Rng.t) (pk : G.t) (m : G.t) : cipher * G.Scalar.t =
+    let r = G.Scalar.random rng in
+    ({ r = G.pow_gen r; c = G.mul m (G.pow pk r); y = None }, r)
+
+  (* Plain decryption with a full secret key; fails on mid-reencryption
+     ciphertexts, as in the paper ("if Y ≠ ⊥ the algorithm fails"). *)
+  let dec (sk : G.Scalar.t) (ct : cipher) : G.t option =
+    match ct.y with Some _ -> None | None -> Some (G.div ct.c (G.pow ct.r sk))
+
+  (* Rerandomize under the same key (the per-ciphertext piece of Shuffle).
+     Only valid when Y = ⊥. *)
+  let rerandomize (rng : Atom_util.Rng.t) (pk : G.t) (ct : cipher) : (cipher * G.Scalar.t) option =
+    match ct.y with
+    | Some _ -> None
+    | None ->
+        let r' = G.Scalar.random rng in
+        Some
+          ( { r = G.mul ct.r (G.pow_gen r'); c = G.mul ct.c (G.pow pk r'); y = None },
+            r' )
+
+  type shuffle_witness = { permutation : int array; rerands : G.Scalar.t array }
+
+  (* C' ← Shuffle(X, C): rerandomize all ciphertexts then permute, returning
+     the witness needed for a proof of shuffle. The convention is
+     output.(i) = rerandomize(input.(permutation.(i)), rerands.(i)). *)
+  let shuffle (rng : Atom_util.Rng.t) (pk : G.t) (cts : cipher array) :
+      (cipher array * shuffle_witness) option =
+    if Array.exists (fun ct -> ct.y <> None) cts then None
+    else begin
+      let n = Array.length cts in
+      let permutation = Atom_util.Rng.permutation rng n in
+      let rerands = Array.make n G.Scalar.zero in
+      let out =
+        Array.init n (fun i ->
+            match rerandomize rng pk cts.(permutation.(i)) with
+            | Some (ct, r') ->
+                rerands.(i) <- r';
+                ct
+            | None -> assert false)
+      in
+      Some (out, { permutation; rerands })
+    end
+
+  type reenc_witness = { stripped : G.t; (* D = Y^(coeff·share) *) fresh : G.Scalar.t (* r' *) }
+
+  (* ReEnc(x_s, X', (R, c, Y)) — one server's decrypt-and-reencrypt step.
+
+     [coeff] is the Lagrange coefficient for threshold (many-trust) groups;
+     [Scalar.one] for plain anytrust groups where shares are additive.
+     [next_pk = None] encodes X' = ⊥ (the exit layer: strip only). *)
+  let reenc (rng : Atom_util.Rng.t) ~(share : G.Scalar.t) ?(coeff = G.Scalar.one)
+      ~(next_pk : G.t option) (ct : cipher) : cipher * reenc_witness =
+    let y, r = match ct.y with None -> (ct.r, G.one) | Some y -> (y, ct.r) in
+    let d = G.pow y (G.Scalar.mul coeff share) in
+    let ctmp = G.div ct.c d in
+    match next_pk with
+    | None -> ({ r; c = ctmp; y = Some y }, { stripped = d; fresh = G.Scalar.zero })
+    | Some pk' ->
+        let r' = G.Scalar.random rng in
+        ( { r = G.mul r (G.pow_gen r'); c = G.mul ctmp (G.pow pk' r'); y = Some y },
+          { stripped = d; fresh = r' } )
+
+  (* The last server of a group clears Y before forwarding: all of this
+     group's layers have been peeled and the ciphertext is now a plain
+     encryption under the next group's key. *)
+  let clear_y (ct : cipher) : cipher = { ct with y = None }
+
+  (* After the exit layer finished stripping, the plaintext sits in [c]. *)
+  let plaintext_of_exit (ct : cipher) : G.t = ct.c
+
+  (* ---- Vector ciphertexts: one component per embedded group element. ---- *)
+
+  type vec = cipher array
+
+  let enc_vec rng pk (ms : G.t array) : vec * G.Scalar.t array =
+    let rs = Array.make (Array.length ms) G.Scalar.zero in
+    let cts =
+      Array.mapi
+        (fun i m ->
+          let ct, r = enc rng pk m in
+          rs.(i) <- r;
+          ct)
+        ms
+    in
+    (cts, rs)
+
+  let dec_vec sk (v : vec) : G.t array option =
+    let out = Array.map (dec sk) v in
+    if Array.exists Option.is_none out then None else Some (Array.map Option.get out)
+
+  let reenc_vec rng ~share ?coeff ~next_pk (v : vec) : vec * reenc_witness array =
+    let wits = Array.make (Array.length v) None in
+    let out =
+      Array.mapi
+        (fun i ct ->
+          let ct', w = reenc rng ~share ?coeff ~next_pk ct in
+          wits.(i) <- Some w;
+          ct')
+        v
+    in
+    (out, Array.map Option.get wits)
+
+  let clear_y_vec (v : vec) : vec = Array.map clear_y v
+
+  type vec_shuffle_witness = { vperm : int array; vrerands : G.Scalar.t array array (* n × width *) }
+
+  (* Shuffle a batch of vector ciphertexts: one shared permutation across
+     messages, independent rerandomization per component. Convention:
+     output.(j) = rerandomize(input.(vperm.(j))) with exponents vrerands.(j). *)
+  let shuffle_vec (rng : Atom_util.Rng.t) (pk : G.t) (vs : vec array) :
+      (vec array * vec_shuffle_witness) option =
+    if Array.exists (fun v -> Array.exists (fun ct -> Option.is_some ct.y) v) vs then None
+    else begin
+      let n = Array.length vs in
+      let vperm = Atom_util.Rng.permutation rng n in
+      let vrerands = Array.map (fun v -> Array.make (Array.length v) G.Scalar.zero) vs in
+      let out =
+        Array.init n (fun j ->
+            let src = vs.(vperm.(j)) in
+            vrerands.(j) <- Array.make (Array.length src) G.Scalar.zero;
+            Array.mapi
+              (fun w ct ->
+                match rerandomize rng pk ct with
+                | Some (ct', r') ->
+                    vrerands.(j).(w) <- r';
+                    ct'
+                | None -> assert false)
+              src)
+      in
+      Some (out, { vperm; vrerands })
+    end
+
+  let vec_to_bytes (v : vec) : string =
+    String.concat "" (Array.to_list (Array.map cipher_to_bytes v))
+
+  (* ---- Hybrid IND-CCA2 encryption (KEM + AEAD), Appendix A. ----
+
+     Used for the *inner* ciphertexts of the trap variant: non-malleability
+     prevents a malicious server from producing a related ciphertext. The
+     KEM share R is bound into the AEAD as associated data. *)
+  module Kem = struct
+    type sealed = { share : G.t; (* R = g^r *) box : string (* AEAD(k, m) *) }
+
+    let derive_key (k : G.t) : string = Atom_hash.Sha256.digest_list [ "atom-kem-v1"; G.to_bytes k ]
+    let nonce = String.make Atom_cipher.Aead.nonce_len '\000' (* fresh key per message *)
+
+    let enc (rng : Atom_util.Rng.t) (pk : G.t) (m : string) : sealed =
+      let r = G.Scalar.random rng in
+      let share = G.pow_gen r in
+      let key = derive_key (G.pow pk r) in
+      { share; box = Atom_cipher.Aead.encrypt ~key ~nonce ~aad:(G.to_bytes share) m }
+
+    let dec (sk : G.Scalar.t) (s : sealed) : string option =
+      let key = derive_key (G.pow s.share sk) in
+      Atom_cipher.Aead.decrypt ~key ~nonce ~aad:(G.to_bytes s.share) s.box
+
+    (* Threshold opening: each trustee i (with additive share x_i) publishes
+       D_i = R^{x_i}; the KEM secret is Π D_i. All trustees are needed —
+       exactly the all-or-nothing release of §4.4. *)
+    let partial (sk_share : G.Scalar.t) (s : sealed) : G.t = G.pow s.share sk_share
+
+    let dec_with_partials (partials : G.t list) (s : sealed) : string option =
+      let key = derive_key (List.fold_left G.mul G.one partials) in
+      Atom_cipher.Aead.decrypt ~key ~nonce ~aad:(G.to_bytes s.share) s.box
+
+    let to_bytes (s : sealed) : string =
+      let len = String.length s.box in
+      G.to_bytes s.share
+      ^ String.init 4 (fun i -> Char.chr ((len lsr (8 * (3 - i))) land 0xff))
+      ^ s.box
+
+    let of_bytes (b : string) : sealed option =
+      let eb = G.element_bytes in
+      if String.length b < eb + 4 then None
+      else begin
+        match G.of_bytes (String.sub b 0 eb) with
+        | None -> None
+        | Some share ->
+            let len =
+              (Char.code b.[eb] lsl 24)
+              lor (Char.code b.[eb + 1] lsl 16)
+              lor (Char.code b.[eb + 2] lsl 8)
+              lor Char.code b.[eb + 3]
+            in
+            if String.length b <> eb + 4 + len then None
+            else Some { share; box = String.sub b (eb + 4) len }
+      end
+  end
+end

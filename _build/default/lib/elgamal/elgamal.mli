@@ -1,0 +1,108 @@
+(** Atom's rerandomizable, out-of-order re-encryptable ElGamal (paper
+    Appendix A).
+
+    A ciphertext is a triple (R, c, Y). With Y = ⊥ it is a plain ElGamal
+    ciphertext under the current group key; once a group starts
+    re-encrypting, Y holds the randomness binding the ciphertext to the
+    *current* group while R accumulates randomness toward the *next* group,
+    which is what lets each group member strip its own key share out of
+    order. Operations that NIZKs later attest to also return their secret
+    witnesses. *)
+
+module Make (G : Atom_group.Group_intf.GROUP) : sig
+  type keypair = { sk : G.Scalar.t; pk : G.t }
+
+  val keygen : Atom_util.Rng.t -> keypair
+
+  val combine_pks : G.t list -> G.t
+  (** Anytrust group key: the product of member keys (secret = sum of
+      shares, never materialized). *)
+
+  type cipher = { r : G.t; c : G.t; y : G.t option }
+
+  val cipher_equal : cipher -> cipher -> bool
+  val cipher_to_bytes : cipher -> string
+  val cipher_of_bytes : string -> cipher option
+
+  val enc : Atom_util.Rng.t -> G.t -> G.t -> cipher * G.Scalar.t
+  (** [enc rng pk m] encrypts a group element, returning the randomness
+      (the EncProof witness). *)
+
+  val dec : G.Scalar.t -> cipher -> G.t option
+  (** Full-key decryption; [None] on mid-reencryption (Y ≠ ⊥) ciphertexts. *)
+
+  val rerandomize : Atom_util.Rng.t -> G.t -> cipher -> (cipher * G.Scalar.t) option
+  (** Fresh randomness under the same key; [None] when Y ≠ ⊥. *)
+
+  type shuffle_witness = { permutation : int array; rerands : G.Scalar.t array }
+
+  val shuffle : Atom_util.Rng.t -> G.t -> cipher array -> (cipher array * shuffle_witness) option
+  (** Rerandomize-and-permute (the per-server piece of Algorithm 1 step 1);
+      output.(i) = rerandomize(input.(permutation.(i))). *)
+
+  type reenc_witness = { stripped : G.t; fresh : G.Scalar.t }
+
+  val reenc :
+    Atom_util.Rng.t ->
+    share:G.Scalar.t ->
+    ?coeff:G.Scalar.t ->
+    next_pk:G.t option ->
+    cipher ->
+    cipher * reenc_witness
+  (** One server's decrypt-and-reencrypt step. [coeff] is the Lagrange
+      coefficient for threshold (many-trust) quorums; [next_pk = None] is
+      the exit layer's X' = ⊥. *)
+
+  val clear_y : cipher -> cipher
+  (** Last server of a group: drop Y before forwarding (all of this group's
+      layers are peeled). *)
+
+  val plaintext_of_exit : cipher -> G.t
+  (** After the exit layer finished stripping, the plaintext sits in [c]. *)
+
+  (* Vector ciphertexts: one component per embedded group element. *)
+  type vec = cipher array
+
+  val enc_vec : Atom_util.Rng.t -> G.t -> G.t array -> vec * G.Scalar.t array
+  val dec_vec : G.Scalar.t -> vec -> G.t array option
+
+  val reenc_vec :
+    Atom_util.Rng.t ->
+    share:G.Scalar.t ->
+    ?coeff:G.Scalar.t ->
+    next_pk:G.t option ->
+    vec ->
+    vec * reenc_witness array
+
+  val clear_y_vec : vec -> vec
+
+  type vec_shuffle_witness = { vperm : int array; vrerands : G.Scalar.t array array }
+
+  val shuffle_vec :
+    Atom_util.Rng.t -> G.t -> vec array -> (vec array * vec_shuffle_witness) option
+  (** One shared permutation across messages, independent rerandomization
+      per component. *)
+
+  val vec_to_bytes : vec -> string
+
+  (** Hybrid IND-CCA2 encryption (ElGamal KEM + AEAD, Appendix A): the
+      non-malleable inner envelope of the trap variant. *)
+  module Kem : sig
+    type sealed = { share : G.t; box : string }
+
+    val derive_key : G.t -> string
+    val nonce : string
+    val enc : Atom_util.Rng.t -> G.t -> string -> sealed
+    val dec : G.Scalar.t -> sealed -> string option
+
+    val partial : G.Scalar.t -> sealed -> G.t
+    (** One trustee's decryption share R^{x_i}. *)
+
+    val dec_with_partials : G.t list -> sealed -> string option
+    (** Open with every trustee's share — the all-or-nothing release of
+        §4.4. *)
+
+    val to_bytes : sealed -> string
+    val of_bytes : string -> sealed option
+  end
+end

@@ -1,0 +1,1 @@
+lib/group/group_intf.ml: Atom_nat Atom_util Nat

@@ -1,0 +1,1 @@
+lib/group/p256.ml: Array Atom_hash Atom_nat Bytes Char Modarith Nat String

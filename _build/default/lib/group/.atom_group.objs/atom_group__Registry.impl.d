@@ -1,0 +1,1 @@
+lib/group/registry.ml: Group_intf P256 Printf Zp

@@ -1,0 +1,1 @@
+lib/group/zp.ml: Atom_hash Atom_nat Atom_util Group_intf Lazy Modarith Nat Prime Printf String

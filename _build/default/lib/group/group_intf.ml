@@ -1,0 +1,100 @@
+(* The cyclic-group abstraction underneath all of Atom's cryptography.
+
+   Two backends implement this signature: [P256] (the curve the paper's
+   prototype uses) and [Zp] (a Schnorr group over a safe prime, much faster
+   in pure OCaml and used to keep the end-to-end protocol tests quick).
+   Everything above — ElGamal, NIZKs, verifiable shuffles, secret sharing,
+   the Atom protocol itself — is a functor over [GROUP]. *)
+
+open Atom_nat
+
+module type GROUP = sig
+  val name : string
+
+  (** Scalars: the field Z_q where q is the (prime) group order. *)
+  module Scalar : sig
+    type t
+
+    val order : Nat.t
+    val zero : t
+    val one : t
+    val of_nat : Nat.t -> t
+    val to_nat : t -> Nat.t
+    val of_int : int -> t
+    val add : t -> t -> t
+    val sub : t -> t -> t
+    val mul : t -> t -> t
+    val neg : t -> t
+
+    val inv : t -> t
+    (** @raise Division_by_zero on zero. *)
+
+    val equal : t -> t -> bool
+    val is_zero : t -> bool
+
+    val random : Atom_util.Rng.t -> t
+    (** Uniform in [0, q). *)
+
+    val of_bytes_mod : string -> t
+    (** Interpret big-endian bytes modulo q (hash-to-scalar). *)
+
+    val to_bytes : t -> string
+    (** Fixed-length big-endian encoding. *)
+  end
+
+  type t
+  (** A group element. Values are canonical: [equal] is structural. *)
+
+  type scalar = Scalar.t
+
+  val generator : t
+  val one : t
+  (** The identity element. *)
+
+  val mul : t -> t -> t
+  (** The group operation. *)
+
+  val inv : t -> t
+  val div : t -> t -> t
+
+  val pow : t -> scalar -> t
+  (** [pow x k] is x^k (scalar multiplication for curves). *)
+
+  val pow_gen : scalar -> t
+  (** [pow_gen k] = [pow generator k]. *)
+
+  val equal : t -> t -> bool
+  val is_one : t -> bool
+
+  val element_bytes : int
+  (** Length of the canonical encoding. *)
+
+  val to_bytes : t -> string
+
+  val of_bytes : string -> t option
+  (** Decode with full validation (subgroup / curve membership); [None] on
+      malformed input. *)
+
+  val embed_bytes : int
+  (** Payload capacity of {!embed}, in bytes. *)
+
+  val embed : string -> t option
+  (** Encode up to [embed_bytes] bytes of payload as a group element
+      (left-padded with zeros). [None] only on oversized input. *)
+
+  val extract : t -> string option
+  (** Recover the [embed_bytes]-byte payload from an embedded element;
+      [None] if the element does not carry an embedding. *)
+
+  val random : Atom_util.Rng.t -> t
+  (** A uniform group element (with known-nothing discrete log only if the
+      RNG is secret; simulation-grade). *)
+
+  val hash_to_scalar : string -> scalar
+  (** Fiat–Shamir hash: SHA-256 of the input, reduced mod q. *)
+
+  val of_hash : string -> t
+  (** Derive a group element with publicly unknown discrete log from a label
+      (hash-to-group). Used for the independent commitment generators of the
+      verifiable shuffle. *)
+end

@@ -1,0 +1,272 @@
+(* NIST P-256 (secp256r1), the curve used by the paper's prototype (§5).
+
+   Short Weierstrass y² = x³ − 3x + b over the P-256 field prime. Internal
+   arithmetic uses Jacobian projective coordinates over the generic
+   Montgomery contexts of [Atom_nat.Modarith]; the public element type is
+   the canonical affine form so that [equal] and [to_bytes] are structural.
+
+   Message embedding is try-and-increment: a 28-byte payload is placed in a
+   fixed slice of the x-coordinate together with a 16-bit counter, and the
+   counter is advanced until x³ − 3x + b is a square (probability 1/2 per
+   attempt). The paper packs 32 bytes per point; we reserve 4 bytes of
+   framing, and the modeled cost tables use the paper's packing so figure
+   shapes are unaffected (see DESIGN.md, Known deviations). *)
+
+open Atom_nat
+
+let p = Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+let n = Nat.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551"
+let b_const = Nat.of_hex "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b"
+let gx = Nat.of_hex "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296"
+let gy = Nat.of_hex "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5"
+
+let fp = Modarith.create p
+let fb = Modarith.of_nat fp b_const
+let three = Modarith.of_int fp 3
+let sqrt_exp = Nat.shift_right (Nat.add p Nat.one) 2 (* (p+1)/4; valid since p ≡ 3 mod 4 *)
+
+module Scalar = struct
+  type t = Modarith.el
+
+  let fq = Modarith.create n
+  let order = n
+  let zero = Modarith.zero fq
+  let one = Modarith.one fq
+  let of_nat v = Modarith.of_nat fq v
+  let to_nat s = Modarith.to_nat fq s
+  let of_int i = Modarith.of_int fq i
+  let add = Modarith.add fq
+  let sub = Modarith.sub fq
+  let mul = Modarith.mul fq
+  let neg = Modarith.neg fq
+  let inv = Modarith.inv fq
+  let equal = Modarith.equal
+  let is_zero = Modarith.is_zero
+  let random rng = of_nat (Nat.random_below rng order)
+  let of_bytes_mod s = of_nat (Nat.of_bytes_be s)
+  let to_bytes s = Nat.to_bytes_be ~length:32 (to_nat s)
+end
+
+type t = Inf | Aff of Modarith.el * Modarith.el
+type scalar = Scalar.t
+
+let name = "p256"
+let one = Inf
+let equal a b =
+  match (a, b) with
+  | Inf, Inf -> true
+  | Aff (x1, y1), Aff (x2, y2) -> Modarith.equal x1 x2 && Modarith.equal y1 y2
+  | _ -> false
+
+let is_one = function Inf -> true | Aff _ -> false
+
+(* y² = x³ - 3x + b *)
+let rhs_of_x (x : Modarith.el) : Modarith.el =
+  let x3 = Modarith.mul fp (Modarith.sqr fp x) x in
+  Modarith.add fp (Modarith.sub fp x3 (Modarith.mul fp three x)) fb
+
+let on_curve = function
+  | Inf -> true
+  | Aff (x, y) -> Modarith.equal (Modarith.sqr fp y) (rhs_of_x x)
+
+(* ---- Jacobian internals ---- *)
+
+type jac = { jx : Modarith.el; jy : Modarith.el; jz : Modarith.el }
+
+let jac_inf = { jx = Modarith.one fp; jy = Modarith.one fp; jz = Modarith.zero fp }
+let jac_is_inf j = Modarith.is_zero j.jz
+
+let to_jac = function
+  | Inf -> jac_inf
+  | Aff (x, y) -> { jx = x; jy = y; jz = Modarith.one fp }
+
+let to_affine (j : jac) : t =
+  if jac_is_inf j then Inf
+  else begin
+    let zinv = Modarith.inv fp j.jz in
+    let zinv2 = Modarith.sqr fp zinv in
+    let zinv3 = Modarith.mul fp zinv2 zinv in
+    Aff (Modarith.mul fp j.jx zinv2, Modarith.mul fp j.jy zinv3)
+  end
+
+(* dbl-2001-b for a = -3. *)
+let jac_double (pt : jac) : jac =
+  if jac_is_inf pt || Modarith.is_zero pt.jy then jac_inf
+  else begin
+    let delta = Modarith.sqr fp pt.jz in
+    let gamma = Modarith.sqr fp pt.jy in
+    let beta = Modarith.mul fp pt.jx gamma in
+    let alpha =
+      Modarith.mul fp three (Modarith.mul fp (Modarith.sub fp pt.jx delta) (Modarith.add fp pt.jx delta))
+    in
+    let eight_beta = Modarith.double fp (Modarith.double fp (Modarith.double fp beta)) in
+    let x3 = Modarith.sub fp (Modarith.sqr fp alpha) eight_beta in
+    let z3 =
+      Modarith.sub fp
+        (Modarith.sub fp (Modarith.sqr fp (Modarith.add fp pt.jy pt.jz)) gamma)
+        delta
+    in
+    let four_beta = Modarith.double fp (Modarith.double fp beta) in
+    let gamma2 = Modarith.sqr fp gamma in
+    let eight_gamma2 = Modarith.double fp (Modarith.double fp (Modarith.double fp gamma2)) in
+    let y3 = Modarith.sub fp (Modarith.mul fp alpha (Modarith.sub fp four_beta x3)) eight_gamma2 in
+    { jx = x3; jy = y3; jz = z3 }
+  end
+
+let jac_add (p1 : jac) (p2 : jac) : jac =
+  if jac_is_inf p1 then p2
+  else if jac_is_inf p2 then p1
+  else begin
+    let z1z1 = Modarith.sqr fp p1.jz in
+    let z2z2 = Modarith.sqr fp p2.jz in
+    let u1 = Modarith.mul fp p1.jx z2z2 in
+    let u2 = Modarith.mul fp p2.jx z1z1 in
+    let s1 = Modarith.mul fp p1.jy (Modarith.mul fp p2.jz z2z2) in
+    let s2 = Modarith.mul fp p2.jy (Modarith.mul fp p1.jz z1z1) in
+    let h = Modarith.sub fp u2 u1 in
+    let r = Modarith.sub fp s2 s1 in
+    if Modarith.is_zero h then if Modarith.is_zero r then jac_double p1 else jac_inf
+    else begin
+      let hh = Modarith.sqr fp h in
+      let hhh = Modarith.mul fp h hh in
+      let v = Modarith.mul fp u1 hh in
+      let x3 =
+        Modarith.sub fp (Modarith.sub fp (Modarith.sqr fp r) hhh) (Modarith.double fp v)
+      in
+      let y3 =
+        Modarith.sub fp (Modarith.mul fp r (Modarith.sub fp v x3)) (Modarith.mul fp s1 hhh)
+      in
+      let z3 = Modarith.mul fp h (Modarith.mul fp p1.jz p2.jz) in
+      { jx = x3; jy = y3; jz = z3 }
+    end
+  end
+
+let mul a b = to_affine (jac_add (to_jac a) (to_jac b))
+
+let inv = function Inf -> Inf | Aff (x, y) -> Aff (x, Modarith.neg fp y)
+let div a b = mul a (inv b)
+
+(* 4-bit fixed-window scalar multiplication. *)
+let pow (base : t) (k : scalar) : t =
+  let e = Scalar.to_nat k in
+  if Nat.is_zero e || is_one base then Inf
+  else begin
+    let table = Array.make 16 jac_inf in
+    table.(1) <- to_jac base;
+    for i = 2 to 15 do
+      table.(i) <- jac_add table.(i - 1) table.(1)
+    done;
+    let bits = Nat.bit_length e in
+    let windows = (bits + 3) / 4 in
+    let acc = ref jac_inf in
+    for w = windows - 1 downto 0 do
+      if w <> windows - 1 then begin
+        acc := jac_double !acc;
+        acc := jac_double !acc;
+        acc := jac_double !acc;
+        acc := jac_double !acc
+      end;
+      let nibble =
+        (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
+        lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
+        lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
+        lor if Nat.test_bit e (4 * w) then 1 else 0
+      in
+      if nibble <> 0 then acc := jac_add !acc table.(nibble)
+    done;
+    to_affine !acc
+  end
+
+let generator = Aff (Modarith.of_nat fp gx, Modarith.of_nat fp gy)
+let pow_gen k = pow generator k
+
+let element_bytes = 33
+
+let to_bytes = function
+  | Inf -> String.make element_bytes '\000'
+  | Aff (x, y) ->
+      let y_odd = Nat.is_odd (Modarith.to_nat fp y) in
+      let prefix = if y_odd then '\003' else '\002' in
+      String.make 1 prefix ^ Nat.to_bytes_be ~length:32 (Modarith.to_nat fp x)
+
+(* Square root mod p via (p+1)/4; returns None if the input is a
+   non-residue. *)
+let sqrt (v : Modarith.el) : Modarith.el option =
+  let r = Modarith.pow fp v sqrt_exp in
+  if Modarith.equal (Modarith.sqr fp r) v then Some r else None
+
+let of_bytes s =
+  if String.length s <> element_bytes then None
+  else if s = String.make element_bytes '\000' then Some Inf
+  else begin
+    match s.[0] with
+    | '\002' | '\003' -> begin
+        let xv = Nat.of_bytes_be (String.sub s 1 32) in
+        if Nat.compare xv p >= 0 then None
+        else begin
+          let x = Modarith.of_nat fp xv in
+          match sqrt (rhs_of_x x) with
+          | None -> None
+          | Some y ->
+              let y_odd = Nat.is_odd (Modarith.to_nat fp y) in
+              let want_odd = s.[0] = '\003' in
+              let y = if y_odd = want_odd then y else Modarith.neg fp y in
+              Some (Aff (x, y))
+        end
+      end
+    | _ -> None
+  end
+
+let embed_bytes = 28
+let embed_marker = '\x01'
+
+let embed payload =
+  if String.length payload > embed_bytes then None
+  else begin
+    let padded = String.make (embed_bytes - String.length payload) '\000' ^ payload in
+    let rec try_counter counter =
+      if counter > 0xffff then None (* probability 2^-65536: unreachable *)
+      else begin
+        let xb =
+          Bytes.of_string
+            (String.concat ""
+               [
+                 "\000"; padded;
+                 String.init 2 (fun i -> Char.chr ((counter lsr (8 * (1 - i))) land 0xff));
+                 String.make 1 embed_marker;
+               ])
+        in
+        let x = Modarith.of_nat fp (Nat.of_bytes_be (Bytes.to_string xb)) in
+        match sqrt (rhs_of_x x) with
+        | Some y -> Some (Aff (x, y))
+        | None -> try_counter (counter + 1)
+      end
+    in
+    try_counter 0
+  end
+
+let extract = function
+  | Inf -> None
+  | Aff (x, _) ->
+      let xb = Nat.to_bytes_be ~length:32 (Modarith.to_nat fp x) in
+      if xb.[0] = '\000' && xb.[31] = embed_marker then Some (String.sub xb 1 embed_bytes)
+      else None
+
+let random rng = pow_gen (Scalar.random rng)
+let hash_to_scalar msg = Scalar.of_bytes_mod (Atom_hash.Sha256.digest msg)
+
+(* Hash-to-curve by try-and-increment on hashed x candidates; the resulting
+   point has a publicly unknown discrete log. *)
+let of_hash label =
+  let rec go ctr =
+    let digest = Atom_hash.Sha256.digest_list [ "p256-of-hash"; label; string_of_int ctr ] in
+    let xv = Nat.of_bytes_be digest in
+    if Nat.compare xv p >= 0 then go (ctr + 1)
+    else begin
+      let x = Modarith.of_nat fp xv in
+      match sqrt (rhs_of_x x) with
+      | Some y when not (Modarith.is_zero y) -> Aff (x, y)
+      | _ -> go (ctr + 1)
+    end
+  in
+  go 0

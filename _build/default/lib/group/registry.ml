@@ -1,0 +1,15 @@
+(* First-class-module handles on the available group backends. *)
+
+let p256 () : (module Group_intf.GROUP) = (module P256)
+
+let zp_test = Zp.test_group
+(** 96-bit Schnorr group: fast, for tests and examples. *)
+
+let zp_medium = Zp.medium_group
+(** 256-bit Schnorr group: realistic size without curve arithmetic. *)
+
+let by_name = function
+  | "p256" -> p256 ()
+  | "zp-test" -> zp_test ()
+  | "zp-medium" -> zp_medium ()
+  | other -> invalid_arg (Printf.sprintf "Registry.by_name: unknown group %S" other)

@@ -1,0 +1,124 @@
+(* Schnorr group backend: the order-q subgroup of quadratic residues of Z_p*
+   where p = 2q + 1 is a safe prime.
+
+   Much faster than P-256 in pure OCaml, so the protocol test-suites run on
+   this backend; the P-256 backend matches the paper's prototype. Message
+   embedding uses the classic QR trick: for p ≡ 3 (mod 4), exactly one of
+   {c, p−c} is a quadratic residue, and exactly one of them is < p/2, so a
+   payload c ∈ [1, p/2) maps bijectively onto QR(p). *)
+
+open Atom_nat
+
+type params = { p : Nat.t; q : Nat.t; g : Nat.t }
+
+let derive_params ~(bits : int) ~(seed : int) : params =
+  let rng = Atom_util.Rng.create seed in
+  let p, q = Prime.random_safe_prime rng ~bits in
+  (* 4 = 2^2 is always a quadratic residue, hence a generator of the order-q
+     subgroup (q prime means every non-identity QR generates it). *)
+  { p; q; g = Nat.of_int 4 }
+
+let make (params : params) : (module Group_intf.GROUP) =
+  let module G = struct
+    let name = Printf.sprintf "zp-%d" (Nat.bit_length params.p)
+    let ctx_p = Modarith.create params.p
+    let ctx_q = Modarith.create params.q
+
+    module Scalar = struct
+      type t = Modarith.el
+
+      let order = params.q
+      let zero = Modarith.zero ctx_q
+      let one = Modarith.one ctx_q
+      let of_nat n = Modarith.of_nat ctx_q n
+      let to_nat s = Modarith.to_nat ctx_q s
+      let of_int i = Modarith.of_int ctx_q i
+      let add = Modarith.add ctx_q
+      let sub = Modarith.sub ctx_q
+      let mul = Modarith.mul ctx_q
+      let neg = Modarith.neg ctx_q
+      let inv = Modarith.inv ctx_q
+      let equal = Modarith.equal
+      let is_zero = Modarith.is_zero
+      let random rng = of_nat (Nat.random_below rng order)
+      let of_bytes_mod s = of_nat (Nat.of_bytes_be s)
+      let scalar_bytes = (Nat.bit_length params.q + 7) / 8
+      let to_bytes s = Nat.to_bytes_be ~length:scalar_bytes (to_nat s)
+    end
+
+    type t = Modarith.el
+    type scalar = Scalar.t
+
+    let generator = Modarith.of_nat ctx_p params.g
+    let one = Modarith.one ctx_p
+    let mul = Modarith.mul ctx_p
+    let inv = Modarith.inv ctx_p
+    let div a b = mul a (inv b)
+    let pow x k = Modarith.pow ctx_p x (Scalar.to_nat k)
+    let pow_gen k = pow generator k
+    let equal = Modarith.equal
+    let is_one x = equal x one
+    let element_bytes = (Nat.bit_length params.p + 7) / 8
+    let to_bytes x = Nat.to_bytes_be ~length:element_bytes (Modarith.to_nat ctx_p x)
+
+    (* Legendre symbol via Euler's criterion: x^q mod p (q = (p-1)/2). *)
+    let is_qr (x : Modarith.el) : bool =
+      Nat.equal (Modarith.to_nat ctx_p (Modarith.pow ctx_p x params.q)) Nat.one
+
+    let of_bytes s =
+      if String.length s <> element_bytes then None
+      else begin
+        let v = Nat.of_bytes_be s in
+        if Nat.is_zero v || Nat.compare v params.p >= 0 then None
+        else begin
+          let el = Modarith.of_nat ctx_p v in
+          if is_qr el then Some el else None
+        end
+      end
+
+    (* Payload must stay below p/2 with margin: reserve 9 bits. *)
+    let embed_bytes = (Nat.bit_length params.p - 9) / 8
+
+    let embed payload =
+      if String.length payload > embed_bytes then None
+      else begin
+        (* c in [1, p/2): the +1 shift avoids zero. *)
+        let c = Nat.add (Nat.of_bytes_be payload) Nat.one in
+        let el = Modarith.of_nat ctx_p c in
+        if is_qr el then Some el else Some (Modarith.neg ctx_p el)
+      end
+
+    let half_p = lazy (Nat.shift_right params.p 1)
+
+    let extract el =
+      let v = Modarith.to_nat ctx_p el in
+      let c = if Nat.compare v (Lazy.force half_p) < 0 then v else Nat.sub params.p v in
+      if Nat.is_zero c then None
+      else begin
+        let payload = Nat.sub c Nat.one in
+        if Nat.bit_length payload > embed_bytes * 8 then None
+        else Some (Nat.to_bytes_be ~length:embed_bytes payload)
+      end
+
+    let random rng = pow_gen (Scalar.random rng)
+    let hash_to_scalar msg = Scalar.of_bytes_mod (Atom_hash.Sha256.digest msg)
+
+    (* Hash-to-group: square the hash value to land in QR(p); nobody knows
+       its discrete log w.r.t. the generator. *)
+    let of_hash label =
+      let rec go ctr =
+        let digest = Atom_hash.Sha256.digest_list [ "zp-of-hash"; label; string_of_int ctr ] in
+        let v = Nat.rem (Nat.of_bytes_be digest) params.p in
+        let el = Modarith.sqr ctx_p (Modarith.of_nat ctx_p v) in
+        if Modarith.is_zero el || is_one el then go (ctr + 1) else el
+      in
+      go 0
+  end in
+  (module G)
+
+(* Cached deterministic parameter sets. *)
+let test_params = lazy (derive_params ~bits:96 ~seed:0x5af3)
+let medium_params = lazy (derive_params ~bits:256 ~seed:0x5af4)
+
+let test_group () : (module Group_intf.GROUP) = make (Lazy.force test_params)
+let medium_group () : (module Group_intf.GROUP) = make (Lazy.force medium_params)

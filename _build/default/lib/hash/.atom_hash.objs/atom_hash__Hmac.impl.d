@@ -1,0 +1,1 @@
+lib/hash/hmac.ml: Buffer Char Sha256 String

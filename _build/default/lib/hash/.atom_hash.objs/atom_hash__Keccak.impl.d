@@ -1,0 +1,1 @@
+lib/hash/keccak.ml: Array Atom_util Buffer Char Int64 String

@@ -1,0 +1,1 @@
+lib/hash/sha256.ml: Array Atom_nat Atom_util Bytes Char Lazy List Nat String

@@ -1,0 +1,30 @@
+(* HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). *)
+
+let block_size = 64
+
+let hmac_sha256 ~(key : string) (msg : string) : string =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  let pad c =
+    String.init block_size (fun i ->
+        let k = if i < String.length key then Char.code key.[i] else 0 in
+        Char.chr (k lxor c))
+  in
+  Sha256.digest (pad 0x5c ^ Sha256.digest (pad 0x36 ^ msg))
+
+let hkdf_extract ?(salt = "") (ikm : string) : string =
+  let salt = if salt = "" then String.make 32 '\000' else salt in
+  hmac_sha256 ~key:salt ikm
+
+let hkdf_expand ~(prk : string) ~(info : string) ~(len : int) : string =
+  if len > 255 * 32 then invalid_arg "Hmac.hkdf_expand: too long";
+  let buf = Buffer.create len in
+  let t = ref "" and i = ref 1 in
+  while Buffer.length buf < len do
+    t := hmac_sha256 ~key:prk (!t ^ info ^ String.make 1 (Char.chr !i));
+    Buffer.add_string buf !t;
+    incr i
+  done;
+  String.sub (Buffer.contents buf) 0 len
+
+let hkdf ?salt ~(ikm : string) ~(info : string) ~(len : int) () : string =
+  hkdf_expand ~prk:(hkdf_extract ?salt ikm) ~info ~len

@@ -1,0 +1,9 @@
+(** HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). *)
+
+val hmac_sha256 : key:string -> string -> string
+(** 32-byte authentication tag. *)
+
+val hkdf_extract : ?salt:string -> string -> string
+val hkdf_expand : prk:string -> info:string -> len:int -> string
+val hkdf : ?salt:string -> ikm:string -> info:string -> len:int -> unit -> string
+(** Extract-then-expand in one call. *)

@@ -1,0 +1,164 @@
+(* Keccak-f[1600] and SHA3-256 (FIPS 202).
+
+   Atom uses SHA-3 for the cryptographic commitments to trap messages (§4.4).
+   Round constants and rotation offsets are generated from the Keccak LFSR
+   and the rho/pi walk instead of being hardcoded; the official FIPS 202 test
+   vectors are pinned in the test suite. *)
+
+(* Round constants via the degree-8 LFSR x^8 + x^6 + x^5 + x^4 + 1. *)
+let round_constants : int64 array =
+  let rc_bit t =
+    let t = t mod 255 in
+    if t = 0 then 1
+    else begin
+      let r = ref 0x01 in
+      for _ = 1 to t do
+        let hi = !r lsr 7 in
+        r := ((!r lsl 1) lxor (hi * 0x71)) land 0xff
+      done;
+      !r land 1
+    end
+  in
+  Array.init 24 (fun i ->
+      let rc = ref 0L in
+      for j = 0 to 6 do
+        if rc_bit ((7 * i) + j) = 1 then
+          rc := Int64.logor !rc (Int64.shift_left 1L ((1 lsl j) - 1))
+      done;
+      !rc)
+
+(* Rho rotation offsets via the (x, y) -> (y, 2x + 3y) walk. *)
+let rho_offsets : int array =
+  let off = Array.make 25 0 in
+  let x = ref 1 and y = ref 0 in
+  for t = 0 to 23 do
+    off.(!x + (5 * !y)) <- (t + 1) * (t + 2) / 2 mod 64;
+    let nx = !y and ny = ((2 * !x) + (3 * !y)) mod 5 in
+    x := nx;
+    y := ny
+  done;
+  off
+
+let rotl64 x n =
+  if n = 0 then x else Int64.logor (Int64.shift_left x n) (Int64.shift_right_logical x (64 - n))
+
+let keccak_f (st : int64 array) : unit =
+  let c = Array.make 5 0L and d = Array.make 5 0L and b = Array.make 25 0L in
+  for round = 0 to 23 do
+    (* theta *)
+    for x = 0 to 4 do
+      c.(x) <-
+        Int64.logxor st.(x)
+          (Int64.logxor st.(x + 5)
+             (Int64.logxor st.(x + 10) (Int64.logxor st.(x + 15) st.(x + 20))))
+    done;
+    for x = 0 to 4 do
+      d.(x) <- Int64.logxor c.((x + 4) mod 5) (rotl64 c.((x + 1) mod 5) 1)
+    done;
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <- Int64.logxor st.(x + (5 * y)) d.(x)
+      done
+    done;
+    (* rho + pi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        let nx = y and ny = ((2 * x) + (3 * y)) mod 5 in
+        b.(nx + (5 * ny)) <- rotl64 st.(x + (5 * y)) rho_offsets.(x + (5 * y))
+      done
+    done;
+    (* chi *)
+    for x = 0 to 4 do
+      for y = 0 to 4 do
+        st.(x + (5 * y)) <-
+          Int64.logxor
+            b.(x + (5 * y))
+            (Int64.logand
+               (Int64.lognot b.(((x + 1) mod 5) + (5 * y)))
+               b.(((x + 2) mod 5) + (5 * y)))
+      done
+    done;
+    (* iota *)
+    st.(0) <- Int64.logxor st.(0) round_constants.(round)
+  done
+
+(* Sponge with rate [rate] bytes, [0x06] domain padding (SHA-3), squeezing
+   [out_len] bytes. *)
+let sponge ~(rate : int) ~(out_len : int) (msg : string) : string =
+  let st = Array.make 25 0L in
+  let xor_byte idx v =
+    let lane = idx / 8 and off = idx mod 8 in
+    st.(lane) <- Int64.logxor st.(lane) (Int64.shift_left (Int64.of_int v) (8 * off))
+  in
+  let n = String.length msg in
+  let blocks = n / rate in
+  for b = 0 to blocks - 1 do
+    for i = 0 to rate - 1 do
+      xor_byte i (Char.code msg.[(b * rate) + i])
+    done;
+    keccak_f st
+  done;
+  (* last (partial) block with padding *)
+  let rem = n - (blocks * rate) in
+  for i = 0 to rem - 1 do
+    xor_byte i (Char.code msg.[(blocks * rate) + i])
+  done;
+  xor_byte rem 0x06;
+  xor_byte (rate - 1) 0x80;
+  keccak_f st;
+  let out = Buffer.create out_len in
+  let squeezed = ref 0 in
+  while !squeezed < out_len do
+    let take = min rate (out_len - !squeezed) in
+    for i = 0 to take - 1 do
+      let lane = i / 8 and off = i mod 8 in
+      Buffer.add_char out
+        (Char.chr (Int64.to_int (Int64.shift_right_logical st.(lane) (8 * off)) land 0xff))
+    done;
+    squeezed := !squeezed + take;
+    if !squeezed < out_len then keccak_f st
+  done;
+  Buffer.contents out
+
+let sha3_256 (msg : string) : string = sponge ~rate:136 ~out_len:32 msg
+let sha3_512 (msg : string) : string = sponge ~rate:72 ~out_len:64 msg
+
+let shake128 ~(out_len : int) (msg : string) : string =
+  (* SHAKE padding uses 0x1f instead of 0x06; reuse the sponge by patching the
+     domain byte is not possible from outside, so inline the variant. *)
+  let rate = 168 in
+  let st = Array.make 25 0L in
+  let xor_byte idx v =
+    let lane = idx / 8 and off = idx mod 8 in
+    st.(lane) <- Int64.logxor st.(lane) (Int64.shift_left (Int64.of_int v) (8 * off))
+  in
+  let n = String.length msg in
+  let blocks = n / rate in
+  for b = 0 to blocks - 1 do
+    for i = 0 to rate - 1 do
+      xor_byte i (Char.code msg.[(b * rate) + i])
+    done;
+    keccak_f st
+  done;
+  let rem = n - (blocks * rate) in
+  for i = 0 to rem - 1 do
+    xor_byte i (Char.code msg.[(blocks * rate) + i])
+  done;
+  xor_byte rem 0x1f;
+  xor_byte (rate - 1) 0x80;
+  keccak_f st;
+  let out = Buffer.create out_len in
+  let squeezed = ref 0 in
+  while !squeezed < out_len do
+    let take = min rate (out_len - !squeezed) in
+    for i = 0 to take - 1 do
+      let lane = i / 8 and off = i mod 8 in
+      Buffer.add_char out
+        (Char.chr (Int64.to_int (Int64.shift_right_logical st.(lane) (8 * off)) land 0xff))
+    done;
+    squeezed := !squeezed + take;
+    if !squeezed < out_len then keccak_f st
+  done;
+  Buffer.contents out
+
+let hex_sha3_256 s = Atom_util.Hex.encode (sha3_256 s)

@@ -1,0 +1,12 @@
+(** Keccak-f[1600] sponge constructions (FIPS 202). *)
+
+val sha3_256 : string -> string
+(** 32-byte SHA3-256 digest. Used for Atom's trap-message commitments. *)
+
+val sha3_512 : string -> string
+(** 64-byte SHA3-512 digest. *)
+
+val shake128 : out_len:int -> string -> string
+(** SHAKE128 extendable-output function. *)
+
+val hex_sha3_256 : string -> string

@@ -1,0 +1,17 @@
+(** SHA-256 (FIPS 180-4), streaming and one-shot. *)
+
+type t
+
+val init : unit -> t
+val feed : t -> string -> unit
+val finalize : t -> string
+(** 32-byte digest; the state must not be reused afterwards. *)
+
+val digest : string -> string
+(** One-shot 32-byte digest. *)
+
+val digest_list : string list -> string
+(** Digest of the concatenation of [parts]. *)
+
+val hex : string -> string
+(** Hex-encoded one-shot digest. *)

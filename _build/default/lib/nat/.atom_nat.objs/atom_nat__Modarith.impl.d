@@ -1,0 +1,1 @@
+lib/nat/modarith.ml: Array Bytes Char Nat String

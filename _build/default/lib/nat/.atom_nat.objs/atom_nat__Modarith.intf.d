@@ -1,0 +1,1 @@
+lib/nat/modarith.mli: Nat

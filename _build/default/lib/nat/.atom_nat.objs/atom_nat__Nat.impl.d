@@ -1,0 +1,1 @@
+lib/nat/nat.ml: Array Atom_util Buffer Bytes Char Format Printf Stdlib String

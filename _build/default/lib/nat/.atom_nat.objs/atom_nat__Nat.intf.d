@@ -1,0 +1,1 @@
+lib/nat/nat.mli: Atom_util Format

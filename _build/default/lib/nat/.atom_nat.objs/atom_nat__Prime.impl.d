@@ -1,0 +1,1 @@
+lib/nat/prime.ml: Array Atom_util List Modarith Nat

@@ -1,0 +1,1 @@
+lib/nat/prime.mli: Atom_util Nat

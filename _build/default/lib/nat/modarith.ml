@@ -1,0 +1,251 @@
+(* Montgomery modular arithmetic for a fixed odd modulus.
+
+   Elements are fixed-width little-endian limb arrays (base 2^26) kept in
+   Montgomery form (x·R mod m with R = 2^(26k)).  Multiplication uses the
+   CIOS (coarsely integrated operand scanning) algorithm; with 26-bit limbs
+   every intermediate product fits comfortably in a 63-bit native int. *)
+
+let limb_bits = 26
+let limb_mask = (1 lsl limb_bits) - 1
+
+type ctx = {
+  modulus : Nat.t;
+  m : int array; (* k limbs of the modulus *)
+  k : int;
+  m0inv : int; (* -m^{-1} mod 2^26 *)
+  r2 : int array; (* R^2 mod m, for entering Montgomery form *)
+  one_m : int array; (* R mod m, i.e. 1 in Montgomery form *)
+}
+
+type el = int array
+
+(* Widen a Nat (canonical, possibly short) to exactly k limbs, going through
+   the byte serialization so Nat's representation stays abstract. *)
+let widen (k : int) (a : Nat.t) : int array =
+  let bytes = Nat.to_bytes_be a in
+  let out = Array.make k 0 in
+  let n = String.length bytes in
+  let acc = ref 0 and acc_bits = ref 0 and limb = ref 0 in
+  (try
+     for i = n - 1 downto 0 do
+       acc := !acc lor (Char.code bytes.[i] lsl !acc_bits);
+       acc_bits := !acc_bits + 8;
+       while !acc_bits >= limb_bits do
+         if !limb >= k then raise Exit;
+         out.(!limb) <- !acc land limb_mask;
+         acc := !acc lsr limb_bits;
+         acc_bits := !acc_bits - limb_bits;
+         incr limb
+       done
+     done;
+     if !acc_bits > 0 && !limb < k then out.(!limb) <- !acc
+     else if !acc <> 0 && !limb >= k then raise Exit
+   with Exit -> invalid_arg "Modarith.widen: value too large");
+  out
+
+let narrow (a : int array) : Nat.t =
+  let k = Array.length a in
+  let byte_len = ((k * limb_bits) + 7) / 8 in
+  let out = Bytes.make byte_len '\000' in
+  for i = 0 to byte_len - 1 do
+    let bit = i * 8 in
+    let limb = bit / limb_bits and off = bit mod limb_bits in
+    if limb < k then begin
+      let v = a.(limb) lsr off in
+      let v =
+        if off > limb_bits - 8 && limb + 1 < k then v lor (a.(limb + 1) lsl (limb_bits - off)) else v
+      in
+      Bytes.set out (byte_len - 1 - i) (Char.chr (v land 0xff))
+    end
+  done;
+  Nat.of_bytes_be (Bytes.unsafe_to_string out)
+
+(* Comparison of fixed-width limb arrays. *)
+let cmp_limbs (a : int array) (b : int array) : int =
+  let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
+  go (Array.length a - 1)
+
+(* a <- a - b (fixed width, assumes a >= b). *)
+let sub_in_place (a : int array) (b : int array) : unit =
+  let borrow = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    let s = a.(i) - b.(i) - !borrow in
+    if s < 0 then begin
+      a.(i) <- s + (1 lsl limb_bits);
+      borrow := 1
+    end
+    else begin
+      a.(i) <- s;
+      borrow := 0
+    end
+  done
+
+let create (modulus : Nat.t) : ctx =
+  if Nat.is_even modulus || Nat.compare modulus (Nat.of_int 3) < 0 then
+    invalid_arg "Modarith.create: modulus must be odd and >= 3";
+  let k = (Nat.bit_length modulus + limb_bits - 1) / limb_bits in
+  let m = widen k modulus in
+  (* m0inv = -m[0]^{-1} mod 2^26 via Newton iteration. *)
+  let m0 = m.(0) in
+  let x = ref 1 in
+  for _ = 1 to 5 do
+    (* Mask the inner term first so the product stays below 2^52. *)
+    x := !x * ((2 - (m0 * !x)) land limb_mask) land limb_mask
+  done;
+  let m0inv = (1 lsl limb_bits) - !x land limb_mask in
+  let m0inv = m0inv land limb_mask in
+  (* R mod m by doubling 1, 26k times, with conditional subtraction. *)
+  let double_mod (a : int array) : unit =
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      let s = (a.(i) lsl 1) lor !carry in
+      a.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done;
+    if !carry = 1 || cmp_limbs a m >= 0 then sub_in_place a m
+  in
+  let one_m = Array.make k 0 in
+  one_m.(0) <- 1;
+  for _ = 1 to k * limb_bits do
+    double_mod one_m
+  done;
+  (* R^2 mod m: double R mod m another 26k times. *)
+  let r2 = Array.copy one_m in
+  for _ = 1 to k * limb_bits do
+    double_mod r2
+  done;
+  { modulus; m; k; m0inv; r2; one_m }
+
+(* Montgomery multiplication: result = a*b*R^{-1} mod m (CIOS). *)
+let mont_mul (ctx : ctx) (a : el) (b : el) : el =
+  let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
+  let t = Array.make (k + 2) 0 in
+  for i = 0 to k - 1 do
+    let ai = a.(i) in
+    (* t += ai * b *)
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s = t.(j) + (ai * b.(j)) + !c in
+      t.(j) <- s land limb_mask;
+      c := s lsr limb_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k) <- s land limb_mask;
+    t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
+    (* reduce one limb *)
+    let mfac = t.(0) * m0inv land limb_mask in
+    let s0 = t.(0) + (mfac * m.(0)) in
+    let c = ref (s0 lsr limb_bits) in
+    for j = 1 to k - 1 do
+      let s = t.(j) + (mfac * m.(j)) + !c in
+      t.(j - 1) <- s land limb_mask;
+      c := s lsr limb_bits
+    done;
+    let s = t.(k) + !c in
+    t.(k - 1) <- s land limb_mask;
+    t.(k) <- t.(k + 1) + (s lsr limb_bits);
+    t.(k + 1) <- 0
+  done;
+  let out = Array.sub t 0 k in
+  if t.(k) <> 0 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
+  out
+
+let of_nat (ctx : ctx) (a : Nat.t) : el =
+  let reduced = if Nat.compare a ctx.modulus >= 0 then Nat.rem a ctx.modulus else a in
+  mont_mul ctx (widen ctx.k reduced) ctx.r2
+
+let to_nat (ctx : ctx) (a : el) : Nat.t =
+  let one_plain = Array.make ctx.k 0 in
+  one_plain.(0) <- 1;
+  narrow (mont_mul ctx a one_plain)
+
+let zero (ctx : ctx) : el = Array.make ctx.k 0
+let one (ctx : ctx) : el = Array.copy ctx.one_m
+let of_int ctx i = of_nat ctx (Nat.of_int i)
+
+let equal (a : el) (b : el) : bool = cmp_limbs a b = 0
+let is_zero (a : el) = Array.for_all (fun x -> x = 0) a
+
+let add (ctx : ctx) (a : el) (b : el) : el =
+  let k = ctx.k in
+  let out = Array.make k 0 in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.(i) + b.(i) + !carry in
+    out.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  if !carry = 1 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
+  out
+
+let sub (ctx : ctx) (a : el) (b : el) : el =
+  let k = ctx.k in
+  let out = Array.make k 0 in
+  let borrow = ref 0 in
+  for i = 0 to k - 1 do
+    let s = a.(i) - b.(i) - !borrow in
+    if s < 0 then begin
+      out.(i) <- s + (1 lsl limb_bits);
+      borrow := 1
+    end
+    else begin
+      out.(i) <- s;
+      borrow := 0
+    end
+  done;
+  if !borrow = 1 then begin
+    (* add modulus back *)
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      let s = out.(i) + ctx.m.(i) + !carry in
+      out.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done
+  end;
+  out
+
+let neg (ctx : ctx) (a : el) : el = if is_zero a then Array.copy a else sub ctx (zero ctx) a
+let mul (ctx : ctx) (a : el) (b : el) : el = mont_mul ctx a b
+let sqr (ctx : ctx) (a : el) : el = mont_mul ctx a a
+
+let double ctx a = add ctx a a
+
+(* Fixed 4-bit-window exponentiation; exponent is a plain Nat. *)
+let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
+  if Nat.is_zero e then one ctx
+  else begin
+    let table = Array.make 16 (one ctx) in
+    table.(1) <- Array.copy base;
+    for i = 2 to 15 do
+      table.(i) <- mont_mul ctx table.(i - 1) base
+    done;
+    let bits = Nat.bit_length e in
+    let windows = (bits + 3) / 4 in
+    let acc = ref (one ctx) in
+    for w = windows - 1 downto 0 do
+      if w <> windows - 1 then begin
+        acc := sqr ctx !acc;
+        acc := sqr ctx !acc;
+        acc := sqr ctx !acc;
+        acc := sqr ctx !acc
+      end;
+      let nibble =
+        (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
+        lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
+        lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
+        lor if Nat.test_bit e (4 * w) then 1 else 0
+      in
+      if nibble <> 0 then acc := mont_mul ctx !acc table.(nibble)
+    done;
+    !acc
+  end
+
+(* Modular inverse via Fermat: only valid when the modulus is prime, which
+   holds for every context in this repo (field primes and group orders). *)
+let inv (ctx : ctx) (a : el) : el =
+  if is_zero a then raise Division_by_zero;
+  pow ctx a (Nat.sub ctx.modulus Nat.two)
+
+let modulus ctx = ctx.modulus
+
+let copy (a : el) : el = Array.copy a

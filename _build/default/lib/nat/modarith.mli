@@ -1,0 +1,40 @@
+(** Montgomery modular arithmetic for a fixed odd modulus.
+
+    A {!ctx} is built once per modulus; elements ({!el}) are fixed-width limb
+    arrays kept in Montgomery form. Inversion uses Fermat's little theorem
+    and therefore requires a prime modulus — every context in this repository
+    (field primes, curve orders, Schnorr subgroup orders) is prime. *)
+
+type ctx
+type el
+
+val create : Nat.t -> ctx
+(** @raise Invalid_argument if the modulus is even or < 3. *)
+
+val modulus : ctx -> Nat.t
+
+val of_nat : ctx -> Nat.t -> el
+(** Reduce mod the modulus and enter Montgomery form. *)
+
+val to_nat : ctx -> el -> Nat.t
+val of_int : ctx -> int -> el
+
+val zero : ctx -> el
+val one : ctx -> el
+val equal : el -> el -> bool
+val is_zero : el -> bool
+val copy : el -> el
+
+val add : ctx -> el -> el -> el
+val sub : ctx -> el -> el -> el
+val neg : ctx -> el -> el
+val mul : ctx -> el -> el -> el
+val sqr : ctx -> el -> el
+val double : ctx -> el -> el
+
+val pow : ctx -> el -> Nat.t -> el
+(** [pow ctx b e] is b^e mod m; the exponent is a plain natural. *)
+
+val inv : ctx -> el -> el
+(** Inverse via Fermat (prime modulus only).
+    @raise Division_by_zero on zero. *)

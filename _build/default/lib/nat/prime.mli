@@ -1,0 +1,13 @@
+(** Primality testing and prime generation (Miller–Rabin). *)
+
+val is_probable_prime : ?extra_rounds:int -> ?rng:Atom_util.Rng.t -> Nat.t -> bool
+(** Deterministic for candidates up to 81 bits (first 13 prime bases);
+    probabilistic with [extra_rounds] random bases beyond that. Intended for
+    parameter generation, not validation of adversarial inputs. *)
+
+val random_prime : Atom_util.Rng.t -> bits:int -> Nat.t
+(** A random probable prime with exactly [bits] bits. *)
+
+val random_safe_prime : Atom_util.Rng.t -> bits:int -> Nat.t * Nat.t
+(** [(p, q)] with p = 2q + 1, both probable primes, p of exactly [bits]
+    bits. *)

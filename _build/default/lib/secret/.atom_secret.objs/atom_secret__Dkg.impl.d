@@ -1,0 +1,1 @@
+lib/secret/dkg.ml: Array Atom_group Atom_util List Shamir

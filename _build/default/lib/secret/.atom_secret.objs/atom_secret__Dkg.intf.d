@@ -1,0 +1,1 @@
+lib/secret/dkg.mli: Atom_group Atom_util Shamir

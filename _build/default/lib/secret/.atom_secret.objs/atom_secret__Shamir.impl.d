@@ -1,0 +1,1 @@
+lib/secret/shamir.ml: Array Atom_group Atom_util List

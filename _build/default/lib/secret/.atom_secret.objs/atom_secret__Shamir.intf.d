@@ -1,0 +1,1 @@
+lib/secret/shamir.mli: Atom_group Atom_util

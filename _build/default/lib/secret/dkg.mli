@@ -1,0 +1,44 @@
+(** Dealerless distributed key generation — the paper's DVSS [67],
+    implemented as joint-Feldman: every member deals a Shamir sharing of a
+    fresh random value; cheating dealers are detected by the Feldman checks
+    and disqualified; the group key is the product of qualified dealers'
+    degree-0 commitments. Also provides the §4.5 buddy-group re-sharing. *)
+
+module Make (G : Atom_group.Group_intf.GROUP) : sig
+  module Sh : module type of Shamir.Make (G)
+
+  type dealing = { dealer : int; comms : Sh.commitments; shares : Sh.share array }
+
+  val deal : Atom_util.Rng.t -> dealer:int -> k:int -> threshold:int -> dealing
+  val verify_dealing : dealing -> member:int -> bool
+
+  type result = {
+    k : int;
+    threshold : int;
+    group_pk : G.t;
+    shares : Sh.share array;
+    combined_comms : Sh.commitments;
+    disqualified : int list;
+  }
+
+  val share_pk : result -> int -> G.t
+  (** The public key of member [j]'s combined share (for ReEncProof
+      verification against threshold quorums). *)
+
+  val run :
+    Atom_util.Rng.t -> k:int -> threshold:int -> ?malicious_dealers:int list -> unit -> result
+  (** Full protocol among the k members; [malicious_dealers] lets tests
+      inject corrupt dealings (they are detected and disqualified). *)
+
+  val exponentiation_count : k:int -> threshold:int -> int
+  (** Operation count for one run — the cost model behind Table 4. *)
+
+  type reshare = { source_idx : int; sub_shares : Sh.share array; sub_comms : Sh.commitments }
+
+  val reshare : Atom_util.Rng.t -> threshold':int -> buddies:int -> Sh.share -> reshare
+  (** §4.5: re-share one member's share to a buddy group. *)
+
+  val recover : reshare -> from:int list -> Sh.share
+  (** A replacement server reconstructs the lost share from >= threshold'
+      buddy sub-shares. *)
+end

@@ -1,0 +1,79 @@
+(* Shamir secret sharing and Feldman verifiable secret sharing over a
+   group's scalar field.
+
+   Shares are evaluations of a random degree-(t−1) polynomial with the
+   secret at f(0); share indices are the non-zero field points 1..n. The
+   Feldman commitments g^{a_k} let any party check its share against the
+   dealer (the building block of the dealerless DKG in [Dkg]). *)
+
+module Make (G : Atom_group.Group_intf.GROUP) = struct
+  module S = G.Scalar
+
+  type share = { idx : int; (* in 1..n *) value : S.t }
+
+  (* Evaluate Σ coeffs.(k) · x^k by Horner's rule. *)
+  let eval_poly (coeffs : S.t array) (x : S.t) : S.t =
+    let acc = ref S.zero in
+    for k = Array.length coeffs - 1 downto 0 do
+      acc := S.add coeffs.(k) (S.mul x !acc)
+    done;
+    !acc
+
+  (* Split [secret] into [n] shares, any [threshold] of which reconstruct.
+     Also returns the polynomial coefficients (the dealer's witness, needed
+     for Feldman commitments). *)
+  let split (rng : Atom_util.Rng.t) ~(threshold : int) ~(n : int) (secret : S.t) :
+      share array * S.t array =
+    if threshold < 1 || threshold > n then invalid_arg "Shamir.split: need 1 <= threshold <= n";
+    let coeffs = Array.init threshold (fun k -> if k = 0 then secret else S.random rng) in
+    let shares = Array.init n (fun i -> { idx = i + 1; value = eval_poly coeffs (S.of_int (i + 1)) }) in
+    (shares, coeffs)
+
+  (* Lagrange coefficient λ_i for interpolating at x = 0 from points [xs]:
+     λ_i = Π_{j ≠ i} x_j / (x_j − x_i). *)
+  let lagrange_at_zero ~(xs : int list) ~(i : int) : S.t =
+    if not (List.mem i xs) then invalid_arg "Shamir.lagrange_at_zero: i not in xs";
+    let xi = S.of_int i in
+    List.fold_left
+      (fun acc j ->
+        if j = i then acc
+        else begin
+          let xj = S.of_int j in
+          S.mul acc (S.mul xj (S.inv (S.sub xj xi)))
+        end)
+      S.one xs
+
+  let reconstruct (shares : share list) : S.t =
+    let xs = List.map (fun s -> s.idx) shares in
+    (match List.sort_uniq compare xs with
+    | uniq when List.length uniq <> List.length xs ->
+        invalid_arg "Shamir.reconstruct: duplicate share indices"
+    | _ -> ());
+    List.fold_left
+      (fun acc s -> S.add acc (S.mul s.value (lagrange_at_zero ~xs ~i:s.idx)))
+      S.zero shares
+
+  (* ---- Feldman VSS ---- *)
+
+  type commitments = G.t array
+  (* A_k = g^{a_k} for each polynomial coefficient. *)
+
+  let commit (coeffs : S.t array) : commitments = Array.map G.pow_gen coeffs
+
+  (* The public key of share [idx]: g^{f(idx)} = Π_k A_k^{idx^k}. *)
+  let share_pk (comms : commitments) (idx : int) : G.t =
+    let x = S.of_int idx in
+    let acc = ref G.one and xp = ref S.one in
+    Array.iter
+      (fun a ->
+        acc := G.mul !acc (G.pow a !xp);
+        xp := S.mul !xp x)
+      comms;
+    !acc
+
+  let verify_share (comms : commitments) (s : share) : bool =
+    G.equal (G.pow_gen s.value) (share_pk comms s.idx)
+
+  let secret_pk (comms : commitments) : G.t =
+    if Array.length comms = 0 then G.one else comms.(0)
+end

@@ -1,0 +1,30 @@
+(** Shamir secret sharing and Feldman VSS over a group's scalar field. *)
+
+module Make (G : Atom_group.Group_intf.GROUP) : sig
+  type share = { idx : int; (* 1..n *) value : G.Scalar.t }
+
+  val eval_poly : G.Scalar.t array -> G.Scalar.t -> G.Scalar.t
+
+  val split :
+    Atom_util.Rng.t -> threshold:int -> n:int -> G.Scalar.t -> share array * G.Scalar.t array
+  (** Shares plus the polynomial coefficients (the dealer's witness).
+      @raise Invalid_argument unless 1 <= threshold <= n. *)
+
+  val lagrange_at_zero : xs:int list -> i:int -> G.Scalar.t
+  (** Interpolation weight of point [i] at x = 0 among points [xs]. *)
+
+  val reconstruct : share list -> G.Scalar.t
+  (** Needs >= threshold shares with distinct indices.
+      @raise Invalid_argument on duplicates. *)
+
+  type commitments = G.t array
+  (** Feldman commitments A_k = g^{a_k}. *)
+
+  val commit : G.Scalar.t array -> commitments
+
+  val share_pk : commitments -> int -> G.t
+  (** g^{f(idx)} — publicly derivable from the commitments. *)
+
+  val verify_share : commitments -> share -> bool
+  val secret_pk : commitments -> G.t
+end

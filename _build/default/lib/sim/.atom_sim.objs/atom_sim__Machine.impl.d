@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Atom_util Engine Multi_resource Resource

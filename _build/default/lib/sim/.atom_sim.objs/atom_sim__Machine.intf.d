@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Atom_util Engine Multi_resource Resource

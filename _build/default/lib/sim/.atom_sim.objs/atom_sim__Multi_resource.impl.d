@@ -1,0 +1,1 @@
+lib/sim/multi_resource.ml: Engine Queue

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Atom_util Engine Float Hashtbl Machine Mailbox Printf Resource

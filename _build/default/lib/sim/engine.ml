@@ -1,0 +1,120 @@
+(* Deterministic discrete-event engine with cooperative processes.
+
+   Events are (virtual-time, sequence-number) ordered in a binary min-heap;
+   the sequence number makes simultaneous events fire in schedule order, so
+   every run is fully deterministic. Processes are ordinary OCaml functions
+   running under an effect handler: performing [Suspend register] captures
+   the continuation and hands a wake-up thunk to [register], which typically
+   schedules it at a later virtual time ([sleep]) or parks it in a mailbox
+   or resource queue. *)
+
+type event = { time : float; seq : int; fn : unit -> unit }
+
+(* Array-based binary min-heap on (time, seq). *)
+module Heap = struct
+  type t = { mutable data : event array; mutable size : int }
+
+  let dummy = { time = 0.; seq = 0; fn = ignore }
+  let create () = { data = Array.make 256 dummy; size = 0 }
+  let is_empty h = h.size = 0
+
+  let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h ev =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- ev;
+    h.size <- h.size + 1;
+    (* sift up *)
+    let i = ref (h.size - 1) in
+    while !i > 0 && lt h.data.(!i) h.data.((!i - 1) / 2) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+type t = { heap : Heap.t; mutable now : float; mutable seq : int; mutable events_run : int }
+
+let create () = { heap = Heap.create (); now = 0.; seq = 0; events_run = 0 }
+let now t = t.now
+let events_run t = t.events_run
+
+let schedule (t : t) ~(delay : float) (fn : unit -> unit) : unit =
+  if delay < 0. || Float.is_nan delay then invalid_arg "Engine.schedule: negative or NaN delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.heap { time = t.now +. delay; seq = t.seq; fn }
+
+(* Run until the event queue drains (or [until] is reached). Returns the
+   final virtual time. *)
+let run ?(until : float option) (t : t) : float =
+  let continue = ref true in
+  while !continue && not (Heap.is_empty t.heap) do
+    let ev = Heap.pop t.heap in
+    match until with
+    | Some limit when ev.time > limit ->
+        t.now <- limit;
+        continue := false
+    | _ ->
+        t.now <- ev.time;
+        t.events_run <- t.events_run + 1;
+        ev.fn ()
+  done;
+  t.now
+
+(* ---- Processes ---- *)
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let spawn (t : t) ?(delay = 0.) (body : unit -> unit) : unit =
+  let runner () =
+    Effect.Deep.match_with body ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    register (fun () -> Effect.Deep.continue k ()))
+            | _ -> None);
+      }
+  in
+  schedule t ~delay runner
+
+(* Must be called from inside a process. *)
+let suspend (register : (unit -> unit) -> unit) : unit = Effect.perform (Suspend register)
+
+let sleep (t : t) (duration : float) : unit =
+  if duration <= 0. then () else suspend (fun wake -> schedule t ~delay:duration wake)

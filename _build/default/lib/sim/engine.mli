@@ -1,0 +1,34 @@
+(** Deterministic discrete-event engine with cooperative processes.
+
+    Events fire in (virtual-time, sequence-number) order, so identical
+    schedules replay identically. Processes are plain functions run under an
+    effect handler: {!suspend} captures the continuation and hands a wake-up
+    thunk to a registrar (a timer, a mailbox, a resource queue). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time in seconds. *)
+
+val events_run : t -> int
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Enqueue a callback [delay] seconds from now.
+    @raise Invalid_argument on negative or NaN delay. *)
+
+val run : ?until:float -> t -> float
+(** Drain the event queue (or stop at [until]); returns the final virtual
+    time. *)
+
+val spawn : t -> ?delay:float -> (unit -> unit) -> unit
+(** Start a process. Inside it, {!sleep}, {!Mailbox.recv},
+    {!Resource.acquire} etc. may suspend. *)
+
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] parks the calling process and passes its wake-up
+    thunk to [register]. Must be called from within a process. *)
+
+val sleep : t -> float -> unit
+(** Suspend the calling process for a virtual duration. *)

@@ -1,0 +1,59 @@
+(* A simulated server machine: cores, NIC bandwidth, liveness.
+
+   Compute charging follows Amdahl: a job with a serial part and a
+   perfectly-parallel part occupies the machine's CPU for
+   serial + parallel/cores. The CPU and NIC are FIFO resources, so a server
+   that participates in many anytrust groups (staggered positions, §4.7)
+   serializes its work exactly like a real machine would. *)
+
+type t = {
+  id : int;
+  cores : int;
+  bandwidth : float; (* bytes/second *)
+  cluster : int;
+  cpu : Resource.t;
+  nic : Resource.t;
+  slots : Multi_resource.t; (* one slot per core, for single-threaded jobs *)
+  mutable alive : bool;
+}
+
+let create (engine : Engine.t) ~(id : int) ~(cores : int) ~(bandwidth : float) ~(cluster : int) : t
+    =
+  {
+    id;
+    cores;
+    bandwidth;
+    cluster;
+    cpu = Resource.create engine;
+    nic = Resource.create engine;
+    slots = Multi_resource.create engine ~capacity:cores;
+    alive = true;
+  }
+
+(* A single-threaded job occupying one core (queueing when all cores are
+   busy serving other groups' pipelines). *)
+let job (m : t) ~(seconds : float) : unit = Multi_resource.job m.slots seconds
+
+(* Charge CPU time; must be called from a process. *)
+let compute (engine : Engine.t) (m : t) ~(serial : float) ~(parallel : float) : unit =
+  let duration = serial +. (parallel /. float_of_int m.cores) in
+  if duration > 0. then
+    Resource.with_resource m.cpu (fun () -> Engine.sleep engine duration)
+
+let fail (m : t) : unit = m.alive <- false
+let recover (m : t) : unit = m.alive <- true
+
+(* The paper's fleet mix (§6.2): 80% 4-core, 10% 8-core, 5% 16-core, 5%
+   32-core machines; bandwidths from the Tor relay distribution: 80%
+   <100 Mb/s, 10% 100–200, 5% 200–300, 5% >300. *)
+let paper_cores (rng : Atom_util.Rng.t) : int =
+  let p = Atom_util.Rng.float rng in
+  if p < 0.80 then 4 else if p < 0.90 then 8 else if p < 0.95 then 16 else 32
+
+let paper_bandwidth (rng : Atom_util.Rng.t) : float =
+  let mbps x = x *. 1e6 /. 8. in
+  let p = Atom_util.Rng.float rng in
+  if p < 0.80 then mbps (30. +. (Atom_util.Rng.float rng *. 70.))
+  else if p < 0.90 then mbps (100. +. (Atom_util.Rng.float rng *. 100.))
+  else if p < 0.95 then mbps (200. +. (Atom_util.Rng.float rng *. 100.))
+  else mbps (300. +. (Atom_util.Rng.float rng *. 200.))

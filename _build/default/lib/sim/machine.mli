@@ -1,0 +1,35 @@
+(** A simulated server: cores, NIC bandwidth, latency cluster, liveness.
+
+    Two compute disciplines:
+    - {!compute}: single-tenant Amdahl charging — the job owns the machine
+      and splits its parallel part across all cores.
+    - {!job}: one single-threaded job occupying one core-slot; used when a
+      machine serves many anytrust groups concurrently (§4.7). *)
+
+type t = {
+  id : int;
+  cores : int;
+  bandwidth : float; (** bytes/second *)
+  cluster : int;
+  cpu : Resource.t;
+  nic : Resource.t;
+  slots : Multi_resource.t;
+  mutable alive : bool;
+}
+
+val create : Engine.t -> id:int -> cores:int -> bandwidth:float -> cluster:int -> t
+
+val compute : Engine.t -> t -> serial:float -> parallel:float -> unit
+(** Occupies the whole machine for serial + parallel/cores seconds. *)
+
+val job : t -> seconds:float -> unit
+(** Occupies one core for [seconds]. *)
+
+val fail : t -> unit
+val recover : t -> unit
+
+val paper_cores : Atom_util.Rng.t -> int
+(** Sample the §6.2 fleet mix: 80% 4-core, 10% 8, 5% 16, 5% 32. *)
+
+val paper_bandwidth : Atom_util.Rng.t -> float
+(** Sample the Tor-derived bandwidth distribution of §6.2 (bytes/s). *)

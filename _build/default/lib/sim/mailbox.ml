@@ -1,0 +1,40 @@
+(* Typed mailboxes for inter-process messages.
+
+   [recv] blocks (suspends the calling process) until a message is
+   available; [send] enqueues and wakes one waiting receiver. Wake-ups go
+   through the engine's event queue so message delivery order remains
+   deterministic. *)
+
+type 'a t = {
+  engine : Engine.t;
+  q : 'a Queue.t;
+  waiters : (unit -> unit) Queue.t;
+  name : string;
+}
+
+let create ?(name = "mailbox") (engine : Engine.t) : 'a t =
+  { engine; q = Queue.create (); waiters = Queue.create (); name }
+
+let length (m : 'a t) : int = Queue.length m.q
+
+let send (m : 'a t) (v : 'a) : unit =
+  Queue.push v m.q;
+  if not (Queue.is_empty m.waiters) then begin
+    let wake = Queue.pop m.waiters in
+    Engine.schedule m.engine ~delay:0. wake
+  end
+
+let recv (m : 'a t) : 'a =
+  let rec go () =
+    match Queue.take_opt m.q with
+    | Some v -> v
+    | None ->
+        Engine.suspend (fun wake -> Queue.push wake m.waiters);
+        go ()
+  in
+  go ()
+
+(* Receive exactly [n] messages. *)
+let recv_n (m : 'a t) (n : int) : 'a list = List.init n (fun _ -> recv m)
+
+let try_recv (m : 'a t) : 'a option = Queue.take_opt m.q

@@ -1,0 +1,20 @@
+(** Typed mailboxes between simulated processes.
+
+    [recv] suspends until a message arrives; [send] enqueues and wakes one
+    waiting receiver through the engine (preserving determinism). *)
+
+type 'a t
+
+val create : ?name:string -> Engine.t -> 'a t
+val length : 'a t -> int
+
+val send : 'a t -> 'a -> unit
+(** Non-blocking; callable from inside or outside a process. *)
+
+val recv : 'a t -> 'a
+(** Blocking; must run inside a process. *)
+
+val recv_n : 'a t -> int -> 'a list
+(** Receive exactly [n] messages (a counting barrier). *)
+
+val try_recv : 'a t -> 'a option

@@ -1,0 +1,47 @@
+(* A counting semaphore: a resource with [capacity] identical slots.
+
+   Models a multi-core machine serving several anytrust-group pipelines at
+   once (§4.7): each single-threaded job occupies one core-slot; when all
+   cores are busy, jobs queue FIFO. *)
+
+type t = {
+  engine : Engine.t;
+  capacity : int;
+  mutable in_use : int;
+  waiters : (unit -> unit) Queue.t;
+  mutable total_core_time : float;
+}
+
+let create (engine : Engine.t) ~(capacity : int) : t =
+  if capacity < 1 then invalid_arg "Multi_resource.create: capacity must be >= 1";
+  { engine; capacity; in_use = 0; waiters = Queue.create (); total_core_time = 0. }
+
+let acquire (r : t) : unit =
+  if r.in_use < r.capacity then r.in_use <- r.in_use + 1
+  else begin
+    Engine.suspend (fun wake -> Queue.push wake r.waiters)
+    (* Ownership of a slot is transferred directly by [release]. *)
+  end
+
+let release (r : t) : unit =
+  if r.in_use <= 0 then invalid_arg "Multi_resource.release: nothing held";
+  match Queue.take_opt r.waiters with
+  | Some wake -> Engine.schedule r.engine ~delay:0. wake (* slot handed over; in_use unchanged *)
+  | None -> r.in_use <- r.in_use - 1
+
+let with_slot (r : t) (f : unit -> 'a) : 'a =
+  acquire r;
+  match f () with
+  | v ->
+      release r;
+      v
+  | exception e ->
+      release r;
+      raise e
+
+(* Run a single-core job of [seconds]; blocks until a slot frees up. *)
+let job (r : t) (seconds : float) : unit =
+  if seconds > 0. then
+    with_slot r (fun () ->
+        r.total_core_time <- r.total_core_time +. seconds;
+        Engine.sleep r.engine seconds)

@@ -1,0 +1,17 @@
+(** Counting semaphore: [capacity] identical slots with FIFO queueing.
+
+    Models a multi-core machine serving several anytrust-group pipelines
+    concurrently (§4.7 staggering): each single-threaded job takes one
+    core-slot. *)
+
+type t
+
+val create : Engine.t -> capacity:int -> t
+(** @raise Invalid_argument when capacity < 1. *)
+
+val acquire : t -> unit
+val release : t -> unit
+val with_slot : t -> (unit -> 'a) -> 'a
+
+val job : t -> float -> unit
+(** Occupy one slot for the given number of virtual seconds. *)

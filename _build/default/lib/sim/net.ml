@@ -1,0 +1,85 @@
+(* Network model.
+
+   The paper injects 40–160 ms pairwise latencies with tc and groups servers
+   into latency clusters (Figure 8): links within a cluster take 40 ms,
+   links across clusters 80–160 ms. We reproduce that: pairwise latency is a
+   deterministic function of the endpoints' clusters (hashed so each cluster
+   pair gets a stable value in the range), transfers are serialized on the
+   sender's NIC at min(sender, receiver) bandwidth, and the first use of a
+   directed pair pays a connection-setup cost (TLS handshake: one round trip
+   plus a fixed CPU charge) — the overhead that makes Figure 11's trustee
+   group sub-linear at huge scale. *)
+
+type t = {
+  engine : Engine.t;
+  intra_latency : float;
+  inter_min : float;
+  inter_max : float;
+  tls_cpu : float; (* handshake compute cost, seconds *)
+  established : (int * int, unit) Hashtbl.t;
+  mutable connections_opened : int;
+  mutable bytes_sent : float;
+}
+
+let default_tls_cpu = 0.001
+
+let create ?(intra_latency = 0.040) ?(inter_min = 0.080) ?(inter_max = 0.160)
+    ?(tls_cpu = default_tls_cpu) (engine : Engine.t) : t =
+  {
+    engine;
+    intra_latency;
+    inter_min;
+    inter_max;
+    tls_cpu;
+    established = Hashtbl.create 4096;
+    connections_opened = 0;
+    bytes_sent = 0.;
+  }
+
+(* One-way propagation latency between two machines. *)
+let latency (net : t) (src : Machine.t) (dst : Machine.t) : float =
+  if src.Machine.cluster = dst.Machine.cluster then net.intra_latency
+  else begin
+    let key =
+      Printf.sprintf "lat:%d:%d"
+        (min src.Machine.cluster dst.Machine.cluster)
+        (max src.Machine.cluster dst.Machine.cluster)
+    in
+    let h = Atom_util.Rng.hash_string key in
+    let frac = float_of_int (h land 0xffff) /. 65536. in
+    net.inter_min +. (frac *. (net.inter_max -. net.inter_min))
+  end
+
+let transfer_time (src : Machine.t) (dst : Machine.t) ~(bytes : float) : float =
+  bytes /. Float.min src.Machine.bandwidth dst.Machine.bandwidth
+
+(* Ensure a connection exists; charges the sender for the handshake on first
+   use. Must run inside a process. *)
+let ensure_connection (net : t) (src : Machine.t) (dst : Machine.t) : unit =
+  let key = (src.Machine.id, dst.Machine.id) in
+  if not (Hashtbl.mem net.established key) then begin
+    Hashtbl.add net.established key ();
+    net.connections_opened <- net.connections_opened + 1;
+    Machine.compute net.engine src ~serial:net.tls_cpu ~parallel:0.;
+    Engine.sleep net.engine (2. *. latency net src dst)
+  end
+
+(* Send [bytes] from [src] to [dst], delivering [msg] into [mailbox] after
+   serialization + propagation. Blocks the caller for the NIC serialization
+   time (back-pressure); propagation happens asynchronously. *)
+let send (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float) (mailbox : 'a Mailbox.t)
+    (msg : 'a) : unit =
+  if not dst.Machine.alive then () (* dropped on the floor: fail-stop *)
+  else begin
+    ensure_connection net src dst;
+    let tx = transfer_time src dst ~bytes in
+    Resource.with_resource src.Machine.nic (fun () -> Engine.sleep net.engine tx);
+    net.bytes_sent <- net.bytes_sent +. bytes;
+    let lat = latency net src dst in
+    Engine.schedule net.engine ~delay:lat (fun () -> Mailbox.send mailbox msg)
+  end
+
+(* Fire-and-forget variant usable from outside a process context. *)
+let send_async (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float)
+    (mailbox : 'a Mailbox.t) (msg : 'a) : unit =
+  Engine.spawn net.engine (fun () -> send net ~src ~dst ~bytes mailbox msg)

@@ -1,0 +1,44 @@
+(** Network model: clustered pairwise latency (40 ms intra, 80–160 ms
+    inter, as injected by the paper with tc — Figure 8), bandwidth-limited
+    transfers serialized on the sender's NIC, and per-directed-pair TLS
+    connection setup (one RTT + a CPU charge on first use). *)
+
+type t = {
+  engine : Engine.t;
+  intra_latency : float;
+  inter_min : float;
+  inter_max : float;
+  tls_cpu : float;
+  established : (int * int, unit) Hashtbl.t;
+  mutable connections_opened : int;
+  mutable bytes_sent : float;
+}
+
+val default_tls_cpu : float
+
+val create :
+  ?intra_latency:float ->
+  ?inter_min:float ->
+  ?inter_max:float ->
+  ?tls_cpu:float ->
+  Engine.t ->
+  t
+
+val latency : t -> Machine.t -> Machine.t -> float
+(** One-way propagation latency; deterministic and symmetric per cluster
+    pair. *)
+
+val transfer_time : Machine.t -> Machine.t -> bytes:float -> float
+(** Serialization time at min(sender, receiver) bandwidth. *)
+
+val ensure_connection : t -> Machine.t -> Machine.t -> unit
+(** Charge the TLS handshake on first use of a directed pair. Must run
+    inside a process. *)
+
+val send : t -> src:Machine.t -> dst:Machine.t -> bytes:float -> 'a Mailbox.t -> 'a -> unit
+(** Blocking send (back-pressure on the sender's NIC); delivery is
+    scheduled after propagation. Messages to dead machines are dropped
+    (fail-stop). Must run inside a process. *)
+
+val send_async : t -> src:Machine.t -> dst:Machine.t -> bytes:float -> 'a Mailbox.t -> 'a -> unit
+(** Fire-and-forget wrapper usable outside a process. *)

@@ -1,0 +1,49 @@
+(* A FIFO-fair exclusive resource.
+
+   Used to model physical occupancy: a server staggered across many anytrust
+   groups (§4.7) is still one machine — while it shuffles for one group its
+   CPU is unavailable to the others, and a NIC serializes outgoing bytes.
+   [with_resource] gives the critical-section discipline. *)
+
+type t = {
+  engine : Engine.t;
+  mutable busy : bool;
+  waiters : (unit -> unit) Queue.t;
+  mutable total_busy_time : float;
+  mutable acquired_at : float;
+}
+
+let create (engine : Engine.t) : t =
+  { engine; busy = false; waiters = Queue.create (); total_busy_time = 0.; acquired_at = 0. }
+
+let acquire (r : t) : unit =
+  if r.busy then begin
+    Engine.suspend (fun wake -> Queue.push wake r.waiters);
+    (* Woken by release: ownership is transferred directly (busy stays set),
+       which preserves FIFO fairness. *)
+    assert r.busy
+  end
+  else r.busy <- true;
+  r.acquired_at <- Engine.now r.engine
+
+let release (r : t) : unit =
+  if not r.busy then invalid_arg "Resource.release: not held";
+  r.total_busy_time <- r.total_busy_time +. (Engine.now r.engine -. r.acquired_at);
+  match Queue.take_opt r.waiters with
+  | Some wake ->
+      (* Hand over directly; the resource never becomes observably free. *)
+      Engine.schedule r.engine ~delay:0. wake
+  | None -> r.busy <- false
+
+let with_resource (r : t) (f : unit -> 'a) : 'a =
+  acquire r;
+  match f () with
+  | v ->
+      release r;
+      v
+  | exception e ->
+      release r;
+      raise e
+
+let utilization (r : t) ~(total_time : float) : float =
+  if total_time <= 0. then 0. else r.total_busy_time /. total_time

@@ -1,0 +1,21 @@
+(** FIFO-fair exclusive resource (mutex with queueing).
+
+    Models physical occupancy: a CPU running one group's shuffle, a NIC
+    serializing bytes. Ownership is handed to the next waiter directly on
+    release, so arrival order is service order. *)
+
+type t
+
+val create : Engine.t -> t
+
+val acquire : t -> unit
+(** Blocking; must run inside a process. *)
+
+val release : t -> unit
+(** @raise Invalid_argument if not held. *)
+
+val with_resource : t -> (unit -> 'a) -> 'a
+(** Acquire/release around [f], exception-safe. *)
+
+val utilization : t -> total_time:float -> float
+(** Fraction of [total_time] the resource was held. *)

@@ -1,0 +1,1 @@
+lib/topology/group_sizing.ml: Float Hashtbl List

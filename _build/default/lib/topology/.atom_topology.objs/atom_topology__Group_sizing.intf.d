@@ -1,0 +1,1 @@
+lib/topology/group_sizing.mli:

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Array Atom_util Float List

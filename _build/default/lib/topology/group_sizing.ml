@@ -1,0 +1,68 @@
+(* Anytrust / many-trust group sizing (§4.1 and Appendix B).
+
+   A group of k servers sampled from a population with adversarial fraction
+   f must contain at least h honest servers except with negligible
+   probability. The failure probability of one group is the binomial tail
+     Pr[< h honest] = Σ_{i=0}^{h-1} C(k,i) (1−f)^i f^{k−i}
+   and the union bound over G groups multiplies by G. Computed in log space
+   — the probabilities of interest sit near 2⁻⁶⁴. *)
+
+let log_factorial : int -> float =
+  let cache = Hashtbl.create 512 in
+  let rec go n =
+    if n <= 1 then 0.
+    else
+      match Hashtbl.find_opt cache n with
+      | Some v -> v
+      | None ->
+          let v = go (n - 1) +. log (float_of_int n) in
+          Hashtbl.add cache n v;
+          v
+  in
+  go
+
+let log_choose k i = log_factorial k -. log_factorial i -. log_factorial (k - i)
+
+let log_sum_exp (xs : float list) : float =
+  match xs with
+  | [] -> neg_infinity
+  | _ ->
+      let m = List.fold_left Float.max neg_infinity xs in
+      if m = neg_infinity then neg_infinity
+      else m +. log (List.fold_left (fun acc x -> acc +. exp (x -. m)) 0. xs)
+
+(* log2 Pr[fewer than h honest servers in a group of k], adversary fraction f. *)
+let log2_group_failure ~(k : int) ~(h : int) ~(f : float) : float =
+  if h > k then 0. (* certain failure *)
+  else begin
+    let terms =
+      List.init h (fun i ->
+          log_choose k i +. (float_of_int i *. log (1. -. f)) +. (float_of_int (k - i) *. log f))
+    in
+    log_sum_exp terms /. log 2.
+  end
+
+(* Smallest k such that the failure probability (union-bounded over
+   [groups] groups when [union_bound]) is below 2^-security_bits. *)
+let required_group_size ?(union_bound = true) ~(f : float) ~(groups : int) ~(h : int)
+    ~(security_bits : int) () : int =
+  if f <= 0. then h
+  else begin
+    let budget = -.float_of_int security_bits in
+    let slack = if union_bound then Float.log2 (float_of_int groups) else 0. in
+    let rec go k =
+      if k > 10_000 then invalid_arg "Group_sizing.required_group_size: no feasible k"
+      else if slack +. log2_group_failure ~k ~h ~f < budget then k
+      else go (k + 1)
+    in
+    go (max h 1)
+  end
+
+(* The paper's evaluation configuration: f = 20%, G = 1024, 2^-64. *)
+let paper_config ~(h : int) : int =
+  required_group_size ~f:0.2 ~groups:1024 ~h ~security_bits:64 ()
+
+(* The sizing rule the paper's §4.5 example uses (k = 33 for h = 2): keep a
+   full 32-server anytrust quorum alive after h−1 fail-stops. Figure 13, by
+   contrast, follows the binomial tail above. *)
+let paper_heuristic ~(h : int) : int = paper_config ~h:1 + (h - 1)

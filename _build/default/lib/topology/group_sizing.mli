@@ -1,0 +1,22 @@
+(** Anytrust / many-trust group sizing (§4.1, Appendix B, Figure 13).
+
+    Computes, in log space, the binomial-tail probability that a group of k
+    servers sampled from a population with adversarial fraction f contains
+    fewer than h honest members, and inverts it for the smallest safe k. *)
+
+val log2_group_failure : k:int -> h:int -> f:float -> float
+(** log₂ Pr[fewer than h honest servers among k]. *)
+
+val required_group_size :
+  ?union_bound:bool -> f:float -> groups:int -> h:int -> security_bits:int -> unit -> int
+(** Smallest k with failure probability below 2^-security_bits;
+    [union_bound] (default true) multiplies by the number of groups. *)
+
+val paper_config : h:int -> int
+(** f = 0.2, G = 1024, 2⁻⁶⁴ — the paper's evaluation setting (Figure 13). *)
+
+val paper_heuristic : h:int -> int
+(** The §4.5 example's rule k(h) = k(1) + h − 1 (yields 33 for h = 2). *)
+
+val log_sum_exp : float list -> float
+val log_choose : int -> int -> float

@@ -1,0 +1,110 @@
+(* Random permutation network topologies (§3).
+
+   A topology wires [groups] logical mixing nodes into [iterations] layers;
+   [neighbors ~iter ~group] lists the β successor nodes that node [group]
+   splits its shuffled batch across in iteration [iter]. Two instances:
+
+   - Square (Håstad's square-lattice shuffle [40]): every node connects to
+     every node in the next layer (β = G), so with M = G² messages each
+     iteration alternately permutes "rows" and "columns" of the message
+     matrix. O(1) iterations suffice; the paper uses T = 10.
+
+   - Iterated butterfly [26]: β = 2, nodes pair up along one address bit per
+     level; O(log² G) total depth. Shallower per-iteration fan-out but many
+     more iterations — the trade-off §3 discusses.
+
+   [simulate] runs the permutation network on abstract message ids with an
+   honest uniform shuffle at every node, returning the final position of
+   every message. It is the measurement tool for the mixing-quality
+   experiments (how close the output is to a uniform random permutation). *)
+
+type t = {
+  name : string;
+  groups : int;
+  iterations : int;
+  neighbors : iter:int -> group:int -> int array;
+}
+
+let square ~(groups : int) ~(iterations : int) : t =
+  if groups < 1 then invalid_arg "Topology.square: need >= 1 group";
+  let all = Array.init groups (fun i -> i) in
+  { name = "square"; groups; iterations; neighbors = (fun ~iter:_ ~group:_ -> all) }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let butterfly ~(groups : int) ~(repetitions : int) : t =
+  if not (is_power_of_two groups) then invalid_arg "Topology.butterfly: groups must be 2^k";
+  let levels = int_of_float (Float.round (Float.log2 (float_of_int groups))) in
+  let levels = max levels 1 in
+  {
+    name = "butterfly";
+    groups;
+    iterations = levels * repetitions;
+    neighbors =
+      (fun ~iter ~group ->
+        let bit = iter mod levels in
+        [| group; group lxor (1 lsl bit) |]);
+  }
+
+(* Standard repetition count for an almost-ideal permutation [26]:
+   O(log M) passes; we use 2·log2(G) passes of the log2(G)-level butterfly,
+   giving the O(log² G) total depth quoted in §3. *)
+let butterfly_paper ~(groups : int) : t =
+  let levels = max 1 (int_of_float (Float.round (Float.log2 (float_of_int groups)))) in
+  butterfly ~groups ~repetitions:(2 * levels)
+
+(* ---- Abstract execution on message ids ---- *)
+
+(* Distribute the (already shuffled) batch of node [g] round-robin across
+   its neighbors; returns per-neighbor message lists, preserving order. *)
+let split_batch (msgs : 'a list) (n_neighbors : int) : 'a list array =
+  let buckets = Array.make n_neighbors [] in
+  List.iteri (fun i m -> buckets.(i mod n_neighbors) <- m :: buckets.(i mod n_neighbors)) msgs;
+  Array.map List.rev buckets
+
+(* Run the network with honest uniform shuffles; input message i starts at
+   node (i mod groups). Returns [final_slot] where final_slot.(i) is the
+   global output position of message i (node-major order). *)
+let simulate (rng : Atom_util.Rng.t) (t : t) ~(messages : int) : int array =
+  let holdings = Array.make t.groups [] in
+  for i = messages - 1 downto 0 do
+    holdings.(i mod t.groups) <- i :: holdings.(i mod t.groups)
+  done;
+  for iter = 0 to t.iterations - 1 do
+    let incoming = Array.make t.groups [] in
+    for g = 0 to t.groups - 1 do
+      (* Shuffle this node's batch. *)
+      let batch = Array.of_list holdings.(g) in
+      Atom_util.Rng.shuffle_in_place rng batch;
+      let nbrs = t.neighbors ~iter ~group:g in
+      let buckets = split_batch (Array.to_list batch) (Array.length nbrs) in
+      Array.iteri (fun bi bucket -> incoming.(nbrs.(bi)) <- bucket :: incoming.(nbrs.(bi))) buckets
+    done;
+    for g = 0 to t.groups - 1 do
+      holdings.(g) <- List.concat (List.rev incoming.(g))
+    done
+  done;
+  (* Final shuffle inside each exit node, then flatten node-major. *)
+  let final = Array.make messages (-1) in
+  let pos = ref 0 in
+  for g = 0 to t.groups - 1 do
+    let batch = Array.of_list holdings.(g) in
+    Atom_util.Rng.shuffle_in_place rng batch;
+    Array.iter
+      (fun msg ->
+        final.(msg) <- !pos;
+        incr pos)
+      batch
+  done;
+  final
+
+(* Empirical mixing quality: total-variation distance between the final
+   position distribution of message 0 and uniform, over [trials] runs.
+   An ideal permutation network gives TV → 0 as trials grow. *)
+let mixing_tv (rng : Atom_util.Rng.t) (t : t) ~(messages : int) ~(trials : int) : float =
+  let counts = Array.make messages 0 in
+  for _ = 1 to trials do
+    let final = simulate rng t ~messages in
+    counts.(final.(0)) <- counts.(final.(0)) + 1
+  done;
+  Atom_util.Stats.tv_distance_uniform counts

@@ -1,0 +1,32 @@
+(** Random permutation network topologies (§3).
+
+    A topology wires [groups] mixing nodes into [iterations] layers;
+    [neighbors ~iter ~group] lists the β successors that node [group]
+    splits its shuffled batch across in iteration [iter]. *)
+
+type t = {
+  name : string;
+  groups : int;
+  iterations : int;
+  neighbors : iter:int -> group:int -> int array;
+}
+
+val square : groups:int -> iterations:int -> t
+(** Håstad's square-lattice shuffle [40]: complete bipartite layers
+    (β = G); O(1) iterations suffice, the paper uses T = 10. *)
+
+val butterfly : groups:int -> repetitions:int -> t
+(** Iterated butterfly [26]: β = 2, one address bit per level, log₂ G
+    levels per repetition. @raise Invalid_argument unless G is a power of
+    two. *)
+
+val butterfly_paper : groups:int -> t
+(** 2·log₂ G repetitions — the O(log² G) depth quoted in §3. *)
+
+val simulate : Atom_util.Rng.t -> t -> messages:int -> int array
+(** Run the network on abstract message ids with honest uniform shuffles;
+    returns each message's final global position. Always a permutation. *)
+
+val mixing_tv : Atom_util.Rng.t -> t -> messages:int -> trials:int -> float
+(** Total-variation distance of message 0's final-position distribution
+    from uniform, estimated over [trials] runs. *)

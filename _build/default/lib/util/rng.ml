@@ -1,0 +1,115 @@
+(* Deterministic random number generator: xoshiro256** seeded via SplitMix64.
+   Simulation-grade (not cryptographic): every experiment in this repo must be
+   reproducible from a seed, so we cannot use [Random]'s global state. *)
+
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let splitmix64 (state : int64 ref) : int64 =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create (seed : int) : t =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+(* FNV-1a, used only to fold a string seed into an int. *)
+let hash_string (s : string) : int =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int !h land max_int
+
+let create_string seed = create (hash_string seed)
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 (t : t) : int64 =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tt = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split (t : t) : t =
+  let st = ref (next_int64 t) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let bits53 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11)
+
+let float t = Float.of_int (bits53 t) *. 0x1p-53
+
+(* Uniform in [0, n) by rejection to avoid modulo bias. *)
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  if n land (n - 1) = 0 then bits53 t land (n - 1)
+  else
+    let limit = 1 lsl 53 in
+    let bucket = limit / n * n in
+    let rec go () =
+      let v = bits53 t in
+      if v < bucket then v mod n else go ()
+    in
+    go ()
+
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Rng.int_range";
+  lo + int_below t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let byte t = Int64.to_int (Int64.logand (next_int64 t) 0xffL)
+
+let bytes t n =
+  let out = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set out i (Char.chr (byte t))
+  done;
+  Bytes.unsafe_to_string out
+
+let shuffle_in_place t (a : 'a array) : unit =
+  for i = Array.length a - 1 downto 1 do
+    let j = int_below t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let exponential t ~mean =
+  let u = float t in
+  (* Clamp away from 0 so log is finite. *)
+  let u = if u <= 0. then 0x1p-53 else u in
+  -.mean *. log u
+
+(* Laplace(0, b): used for Vuvuzela-style differential-privacy dummy counts. *)
+let laplace t ~b =
+  let u = float t -. 0.5 in
+  let s = if u < 0. then -1. else 1. in
+  -.b *. s *. log (1. -. (2. *. Float.abs u))
+
+let gaussian t =
+  (* Box–Muller. *)
+  let u1 = Float.max (float t) 0x1p-53 and u2 = float t in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)

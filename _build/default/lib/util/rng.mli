@@ -1,0 +1,54 @@
+(** Deterministic pseudo-random number generator (xoshiro256** seeded via
+    SplitMix64).
+
+    Simulation-grade, not cryptographic: used wherever an experiment must be
+    reproducible from a seed — topology sampling, workload generation, fault
+    injection, and blinding factors in simulated (non-adversarial) runs. *)
+
+type t
+
+val create : int -> t
+(** Create a generator from an integer seed. Equal seeds give equal streams. *)
+
+val create_string : string -> t
+(** Create a generator from a string label (hashed to a seed). *)
+
+val split : t -> t
+(** Derive an independent child stream; advances the parent. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits53 : t -> int
+(** 53 uniform random bits as a non-negative [int]. *)
+
+val float : t -> float
+(** Uniform float in [0, 1). *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform in [0, n); rejection-sampled (no modulo bias). *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val bool : t -> bool
+val byte : t -> int
+
+val bytes : t -> int -> string
+(** [bytes t n] is an [n]-byte uniform string. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** [permutation t n] is a uniform permutation of [0..n-1]. *)
+
+val exponential : t -> mean:float -> float
+val laplace : t -> b:float -> float
+(** Laplace(0, b) sample, as used for differential-privacy dummy counts. *)
+
+val gaussian : t -> float
+(** Standard normal sample. *)
+
+val hash_string : string -> int
+(** The (stable) string-to-seed fold used by {!create_string}. *)

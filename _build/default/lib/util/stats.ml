@@ -1,0 +1,71 @@
+(* Small statistics helpers used by tests and the benchmark harness. *)
+
+let mean (xs : float array) : float =
+  if Array.length xs = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0. xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.
+  else
+    let m = mean xs in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+    /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let percentile (xs : float array) (p : float) : float =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) and hi = int_of_float (Float.ceil rank) in
+  let frac = rank -. Float.floor rank in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.
+
+(* Pearson chi-square statistic against a uniform expectation; used by the
+   mixing-quality tests to check that permutation networks produce
+   near-uniform output positions. *)
+let chi_square_uniform (counts : int array) : float =
+  let n = Array.fold_left ( + ) 0 counts in
+  let k = Array.length counts in
+  if k = 0 || n = 0 then 0.
+  else
+    let expected = float_of_int n /. float_of_int k in
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0. counts
+
+(* Total variation distance between an empirical distribution (counts) and
+   the uniform distribution over the same support. *)
+let tv_distance_uniform (counts : int array) : float =
+  let n = Array.fold_left ( + ) 0 counts in
+  let k = Array.length counts in
+  if k = 0 || n = 0 then 0.
+  else
+    let u = 1. /. float_of_int k in
+    let acc =
+      Array.fold_left
+        (fun acc c -> acc +. Float.abs ((float_of_int c /. float_of_int n) -. u))
+        0. counts
+    in
+    acc /. 2.
+
+let histogram ~(buckets : int) ~(lo : float) ~(hi : float) (xs : float array) :
+    int array =
+  if buckets <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  let h = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      if x >= lo && x < hi then begin
+        let b = int_of_float ((x -. lo) /. (hi -. lo) *. float_of_int buckets) in
+        let b = if b >= buckets then buckets - 1 else b in
+        h.(b) <- h.(b) + 1
+      end)
+    xs;
+  h

@@ -1,0 +1,20 @@
+(** Statistics helpers for tests and the benchmark harness. *)
+
+val mean : float array -> float
+val variance : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0..100], linear interpolation. *)
+
+val median : float array -> float
+
+val chi_square_uniform : int array -> float
+(** Pearson chi-square statistic of the counts against a uniform expectation
+    over all cells. *)
+
+val tv_distance_uniform : int array -> float
+(** Total-variation distance between the empirical distribution given by
+    [counts] and the uniform distribution on the same support. *)
+
+val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array

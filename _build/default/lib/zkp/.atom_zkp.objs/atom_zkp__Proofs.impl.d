@@ -1,0 +1,1 @@
+lib/zkp/proofs.ml: Array Atom_elgamal Atom_group Atom_util Option String Transcript

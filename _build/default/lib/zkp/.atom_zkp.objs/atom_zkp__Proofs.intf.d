@@ -1,0 +1,1 @@
+lib/zkp/proofs.mli: Atom_elgamal Atom_group Atom_util

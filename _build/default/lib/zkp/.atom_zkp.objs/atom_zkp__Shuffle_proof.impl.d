@@ -1,0 +1,1 @@
+lib/zkp/shuffle_proof.ml: Array Atom_elgamal Atom_group Atom_util Buffer Char Option Printf String Transcript

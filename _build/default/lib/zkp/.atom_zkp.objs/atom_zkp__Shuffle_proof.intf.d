@@ -1,0 +1,1 @@
+lib/zkp/shuffle_proof.mli: Atom_elgamal Atom_group Atom_util

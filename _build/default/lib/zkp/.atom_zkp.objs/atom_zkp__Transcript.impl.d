@@ -1,0 +1,1 @@
+lib/zkp/transcript.ml: Array Atom_hash Buffer Char List String

@@ -1,0 +1,1 @@
+lib/zkp/transcript.mli:

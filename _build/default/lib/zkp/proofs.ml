@@ -1,0 +1,229 @@
+(* Sigma-protocol NIZKs (Fiat–Shamir): EncProof and ReEncProof.
+
+   - [Enc_proof]: Schnorr proof of knowledge of the encryption randomness,
+     exactly the construction of the paper's Appendix A, with the entry
+     group's id folded into the challenge so a proof cannot be replayed at a
+     different group (§3).
+   - [Dleq]: Chaum–Pedersen discrete-log-equality proof [20].
+   - [Reenc_proof]: verifiable decrypt-and-reencrypt, composed from one DLEQ
+     attesting the stripped factor D = Y^{x_s} against the server's public
+     share and one DLEQ attesting the fresh rerandomization toward the next
+     group's key. *)
+
+module Make
+    (G : Atom_group.Group_intf.GROUP)
+    (El : module type of Atom_elgamal.Elgamal.Make (G)) =
+struct
+  (* Serialization helpers: group elements are fixed-width; scalars use the
+     backend's canonical fixed-width big-endian encoding. *)
+  let scalar_bytes = String.length (G.Scalar.to_bytes G.Scalar.zero)
+
+  let read_element (s : string) (off : int) : (G.t * int) option =
+    if off + G.element_bytes > String.length s then None
+    else
+      match G.of_bytes (String.sub s off G.element_bytes) with
+      | Some el -> Some (el, off + G.element_bytes)
+      | None -> None
+
+  let read_scalar (s : string) (off : int) : (G.Scalar.t * int) option =
+    if off + scalar_bytes > String.length s then None
+    else Some (G.Scalar.of_bytes_mod (String.sub s off scalar_bytes), off + scalar_bytes)
+  module Enc_proof = struct
+    type t = { a : G.t; u : G.Scalar.t }
+
+    let challenge ~(pk : G.t) ~(context : string) (ct : El.cipher) (a : G.t) : G.Scalar.t =
+      let tr = Transcript.create ~domain:"enc-proof" in
+      Transcript.add_list tr
+        [ context; G.to_bytes pk; G.to_bytes ct.El.r; G.to_bytes ct.El.c; G.to_bytes a ];
+      G.hash_to_scalar (Transcript.digest tr)
+
+    (* Prove knowledge of r with ct.r = g^r. [context] binds the proof to
+       the entry group (and anything else the caller includes). *)
+    let prove (rng : Atom_util.Rng.t) ~(pk : G.t) ~(context : string) (ct : El.cipher)
+        ~(randomness : G.Scalar.t) : t =
+      let s = G.Scalar.random rng in
+      let a = G.pow_gen s in
+      let t = challenge ~pk ~context ct a in
+      { a; u = G.Scalar.add s (G.Scalar.mul t randomness) }
+
+    let verify ~(pk : G.t) ~(context : string) (ct : El.cipher) (pi : t) : bool =
+      let t = challenge ~pk ~context ct pi.a in
+      G.equal (G.pow_gen pi.u) (G.mul pi.a (G.pow ct.El.r t))
+
+    let to_bytes (pi : t) : string = G.to_bytes pi.a ^ G.Scalar.to_bytes pi.u
+
+    let of_bytes (s : string) : t option =
+      match read_element s 0 with
+      | Some (a, off) -> begin
+          match read_scalar s off with
+          | Some (u, off') when off' = String.length s -> Some { a; u }
+          | _ -> None
+        end
+      | None -> None
+
+    (* Vector ciphertexts carry one proof per component. *)
+    let prove_vec rng ~pk ~context (v : El.vec) ~(randomness : G.Scalar.t array) : t array =
+      Array.mapi (fun i ct -> prove rng ~pk ~context ct ~randomness:randomness.(i)) v
+
+    let verify_vec ~pk ~context (v : El.vec) (pis : t array) : bool =
+      Array.length pis = Array.length v
+      && Array.for_all2 (fun ct pi -> verify ~pk ~context ct pi) v pis
+  end
+
+  module Dleq = struct
+    type t = { a1 : G.t; a2 : G.t; u : G.Scalar.t }
+
+    (* Prove log_{g1} h1 = log_{g2} h2 (= secret x). *)
+    let challenge ~context (g1, h1, g2, h2) a1 a2 =
+      let tr = Transcript.create ~domain:"dleq" in
+      Transcript.add_list tr
+        [
+          context; G.to_bytes g1; G.to_bytes h1; G.to_bytes g2; G.to_bytes h2; G.to_bytes a1;
+          G.to_bytes a2;
+        ];
+      G.hash_to_scalar (Transcript.digest tr)
+
+    let prove (rng : Atom_util.Rng.t) ~(context : string) ~(g1 : G.t) ~(h1 : G.t) ~(g2 : G.t)
+        ~(h2 : G.t) ~(x : G.Scalar.t) : t =
+      let s = G.Scalar.random rng in
+      let a1 = G.pow g1 s and a2 = G.pow g2 s in
+      let t = challenge ~context (g1, h1, g2, h2) a1 a2 in
+      { a1; a2; u = G.Scalar.add s (G.Scalar.mul t x) }
+
+    let verify ~(context : string) ~(g1 : G.t) ~(h1 : G.t) ~(g2 : G.t) ~(h2 : G.t) (pi : t) : bool
+        =
+      let t = challenge ~context (g1, h1, g2, h2) pi.a1 pi.a2 in
+      G.equal (G.pow g1 pi.u) (G.mul pi.a1 (G.pow h1 t))
+      && G.equal (G.pow g2 pi.u) (G.mul pi.a2 (G.pow h2 t))
+
+    let to_bytes (pi : t) : string =
+      G.to_bytes pi.a1 ^ G.to_bytes pi.a2 ^ G.Scalar.to_bytes pi.u
+
+    let of_bytes_at (s : string) (off : int) : (t * int) option =
+      match read_element s off with
+      | None -> None
+      | Some (a1, off) -> begin
+          match read_element s off with
+          | None -> None
+          | Some (a2, off) -> begin
+              match read_scalar s off with
+              | None -> None
+              | Some (u, off) -> Some ({ a1; a2; u }, off)
+            end
+        end
+
+    let of_bytes (s : string) : t option =
+      match of_bytes_at s 0 with
+      | Some (pi, off) when off = String.length s -> Some pi
+      | _ -> None
+  end
+
+  module Reenc_proof = struct
+    type t = {
+      stripped : G.t; (* D = Y^{x_eff}, published *)
+      strip_proof : Dleq.t; (* DLEQ(g, eff_pk; Y, D) *)
+      rerand_proof : Dleq.t option; (* DLEQ(g, R'/R; X', c'·D/c); None at the exit layer *)
+    }
+
+    (* Perform one server's ReEnc step and prove it. [eff_pk] = g^{x_eff}
+       where x_eff = coeff·share is the effective exponent this server uses
+       (for anytrust groups coeff = 1 and eff_pk is the server's public
+       key; for many-trust groups it is share_pk^λ). *)
+    let reenc_with_proof (rng : Atom_util.Rng.t) ~(share : G.Scalar.t) ?(coeff = G.Scalar.one)
+        ~(next_pk : G.t option) ~(context : string) (ct : El.cipher) : El.cipher * t =
+      let x_eff = G.Scalar.mul coeff share in
+      let eff_pk = G.pow_gen x_eff in
+      let y_in, r_in = match ct.El.y with None -> (ct.El.r, G.one) | Some y -> (y, ct.El.r) in
+      let ct', wit = El.reenc rng ~share ~coeff ~next_pk ct in
+      let d = wit.El.stripped in
+      let strip_proof =
+        Dleq.prove rng ~context ~g1:G.generator ~h1:eff_pk ~g2:y_in ~h2:d ~x:x_eff
+      in
+      let rerand_proof =
+        match next_pk with
+        | None -> None
+        | Some pk' ->
+            let h1 = G.div ct'.El.r r_in in
+            let h2 = G.div (G.mul ct'.El.c d) ct.El.c in
+            Some (Dleq.prove rng ~context ~g1:G.generator ~h1 ~g2:pk' ~h2 ~x:wit.El.fresh)
+      in
+      (ct', { stripped = d; strip_proof; rerand_proof })
+
+    let verify ~(eff_pk : G.t) ~(next_pk : G.t option) ~(context : string) ~(input : El.cipher)
+        ~(output : El.cipher) (pi : t) : bool =
+      let y_in, r_in =
+        match input.El.y with None -> (input.El.r, G.one) | Some y -> (y, input.El.r)
+      in
+      (* The output must carry Y = Y_in. *)
+      let y_ok = match output.El.y with Some y -> G.equal y y_in | None -> false in
+      y_ok
+      && Dleq.verify ~context ~g1:G.generator ~h1:eff_pk ~g2:y_in ~h2:pi.stripped pi.strip_proof
+      &&
+      match (next_pk, pi.rerand_proof) with
+      | None, None ->
+          (* Exit layer: pure strip, no fresh randomness. *)
+          G.equal output.El.c (G.div input.El.c pi.stripped) && G.equal output.El.r r_in
+      | Some pk', Some rp ->
+          let h1 = G.div output.El.r r_in in
+          let h2 = G.div (G.mul output.El.c pi.stripped) input.El.c in
+          Dleq.verify ~context ~g1:G.generator ~h1 ~g2:pk' ~h2 rp
+      | _ -> false
+
+    let reenc_vec_with_proof rng ~share ?coeff ~next_pk ~context (v : El.vec) :
+        El.vec * t array =
+      let proofs = Array.make (Array.length v) None in
+      let out =
+        Array.mapi
+          (fun i ct ->
+            let ct', pi = reenc_with_proof rng ~share ?coeff ~next_pk ~context ct in
+            proofs.(i) <- Some pi;
+            ct')
+          v
+      in
+      (out, Array.map Option.get proofs)
+
+    let to_bytes (pi : t) : string =
+      let tag, rest =
+        match pi.rerand_proof with
+        | None -> ("\000", "")
+        | Some rp -> ("\001", Dleq.to_bytes rp)
+      in
+      G.to_bytes pi.stripped ^ Dleq.to_bytes pi.strip_proof ^ tag ^ rest
+
+    let of_bytes (s : string) : t option =
+      match read_element s 0 with
+      | None -> None
+      | Some (stripped, off) -> begin
+          match Dleq.of_bytes_at s off with
+          | None -> None
+          | Some (strip_proof, off) ->
+              if off >= String.length s then None
+              else begin
+                match s.[off] with
+                | '\000' when off + 1 = String.length s ->
+                    Some { stripped; strip_proof; rerand_proof = None }
+                | '\001' -> begin
+                    match Dleq.of_bytes_at s (off + 1) with
+                    | Some (rp, off') when off' = String.length s ->
+                        Some { stripped; strip_proof; rerand_proof = Some rp }
+                    | _ -> None
+                  end
+                | _ -> None
+              end
+        end
+
+    let verify_vec ~eff_pk ~next_pk ~context ~(input : El.vec) ~(output : El.vec)
+        (pis : t array) : bool =
+      Array.length pis = Array.length input
+      && Array.length output = Array.length input
+      && begin
+           let ok = ref true in
+           Array.iteri
+             (fun i pi ->
+               if not (verify ~eff_pk ~next_pk ~context ~input:input.(i) ~output:output.(i) pi)
+               then ok := false)
+             pis;
+           !ok
+         end
+  end
+end

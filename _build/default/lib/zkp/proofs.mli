@@ -1,0 +1,76 @@
+(** Sigma-protocol NIZKs (Fiat–Shamir): the paper's EncProof and ReEncProof.
+
+    [Enc_proof] is the Appendix-A Schnorr proof of plaintext knowledge with
+    the entry-group id bound into the challenge (anti-replay, §3);
+    [Dleq] is the Chaum–Pedersen discrete-log-equality proof [20];
+    [Reenc_proof] composes two DLEQs into verifiable
+    decrypt-and-reencrypt. All proof objects have byte codecs whose
+    decoders validate every group element. *)
+
+module Make
+    (G : Atom_group.Group_intf.GROUP)
+    (El : module type of Atom_elgamal.Elgamal.Make (G)) : sig
+  val scalar_bytes : int
+  val read_element : string -> int -> (G.t * int) option
+  val read_scalar : string -> int -> (G.Scalar.t * int) option
+
+  module Enc_proof : sig
+    type t = { a : G.t; u : G.Scalar.t }
+
+    val prove :
+      Atom_util.Rng.t -> pk:G.t -> context:string -> El.cipher -> randomness:G.Scalar.t -> t
+    (** Prove knowledge of the encryption randomness; [context] binds the
+        proof to the entry group. *)
+
+    val verify : pk:G.t -> context:string -> El.cipher -> t -> bool
+    val to_bytes : t -> string
+    val of_bytes : string -> t option
+
+    val prove_vec :
+      Atom_util.Rng.t -> pk:G.t -> context:string -> El.vec -> randomness:G.Scalar.t array ->
+      t array
+
+    val verify_vec : pk:G.t -> context:string -> El.vec -> t array -> bool
+  end
+
+  module Dleq : sig
+    type t = { a1 : G.t; a2 : G.t; u : G.Scalar.t }
+
+    val prove :
+      Atom_util.Rng.t -> context:string -> g1:G.t -> h1:G.t -> g2:G.t -> h2:G.t ->
+      x:G.Scalar.t -> t
+    (** Prove log_{g1} h1 = log_{g2} h2 = x. *)
+
+    val verify : context:string -> g1:G.t -> h1:G.t -> g2:G.t -> h2:G.t -> t -> bool
+    val to_bytes : t -> string
+    val of_bytes_at : string -> int -> (t * int) option
+    val of_bytes : string -> t option
+  end
+
+  module Reenc_proof : sig
+    type t = { stripped : G.t; strip_proof : Dleq.t; rerand_proof : Dleq.t option }
+
+    val reenc_with_proof :
+      Atom_util.Rng.t -> share:G.Scalar.t -> ?coeff:G.Scalar.t -> next_pk:G.t option ->
+      context:string -> El.cipher -> El.cipher * t
+    (** Perform one server's ReEnc step and prove it: one DLEQ for the
+        stripped factor D = Y^{x_eff} against the server's effective public
+        share, one DLEQ for the fresh rerandomization (absent at the exit
+        layer). *)
+
+    val verify :
+      eff_pk:G.t -> next_pk:G.t option -> context:string -> input:El.cipher ->
+      output:El.cipher -> t -> bool
+
+    val to_bytes : t -> string
+    val of_bytes : string -> t option
+
+    val reenc_vec_with_proof :
+      Atom_util.Rng.t -> share:G.Scalar.t -> ?coeff:G.Scalar.t -> next_pk:G.t option ->
+      context:string -> El.vec -> El.vec * t array
+
+    val verify_vec :
+      eff_pk:G.t -> next_pk:G.t option -> context:string -> input:El.vec -> output:El.vec ->
+      t array -> bool
+  end
+end

@@ -1,0 +1,36 @@
+(** Verifiable shuffle of ElGamal vector ciphertexts — a
+    commitment-consistent proof of shuffle in the Terelius–Wikström style
+    (playing the role of Neff's shuffle [59] in the paper; see DESIGN.md).
+
+    Proves that [output] is a rerandomized permutation of [input] under the
+    group key, without revealing the permutation: Pedersen commitments to
+    the permutation over hash-derived generators, a product-chain pinning
+    Π u' = Π u, and one shared sigma challenge tying the committed
+    exponents to both ciphertext components of every column. *)
+
+module Make
+    (G : Atom_group.Group_intf.GROUP)
+    (El : module type of Atom_elgamal.Elgamal.Make (G)) : sig
+  type t
+
+  val generator_h : string -> G.t
+  val generator_hi : string -> int -> G.t
+
+  val prove :
+    Atom_util.Rng.t ->
+    pk:G.t ->
+    context:string ->
+    input:El.vec array ->
+    output:El.vec array ->
+    witness:El.vec_shuffle_witness ->
+    t
+  (** @raise Invalid_argument on empty or ragged input. *)
+
+  val verify : pk:G.t -> context:string -> input:El.vec array -> output:El.vec array -> t -> bool
+
+  val to_bytes : t -> string
+
+  val of_bytes : string -> t option
+  (** Decodes with full element validation; [None] on any malformed,
+      truncated, or trailing input. *)
+end

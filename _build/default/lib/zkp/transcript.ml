@@ -1,0 +1,30 @@
+(* Fiat–Shamir transcripts.
+
+   A transcript is a running hash over length-prefixed, domain-separated
+   parts; length prefixing rules out ambiguity attacks where two different
+   part sequences serialize to the same byte stream. *)
+
+type t = { buf : Buffer.t }
+
+let create ~(domain : string) : t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "atom-fs-v1\000";
+  Buffer.add_string buf domain;
+  Buffer.add_char buf '\000';
+  { buf }
+
+let add (t : t) (part : string) : unit =
+  let len = String.length part in
+  for i = 3 downto 0 do
+    Buffer.add_char t.buf (Char.chr ((len lsr (8 * i)) land 0xff))
+  done;
+  Buffer.add_string t.buf part
+
+let add_list (t : t) (parts : string list) : unit = List.iter (add t) parts
+
+let digest (t : t) : string = Atom_hash.Sha256.digest (Buffer.contents t.buf)
+
+(* Derive a stream of independent challenges from one transcript state. *)
+let digest_n (t : t) (n : int) : string array =
+  let base = digest t in
+  Array.init n (fun i -> Atom_hash.Sha256.digest_list [ base; string_of_int i ])

@@ -1,0 +1,15 @@
+(** Fiat–Shamir transcripts: a running hash over length-prefixed,
+    domain-separated parts (length prefixing rules out concatenation
+    ambiguity). *)
+
+type t
+
+val create : domain:string -> t
+val add : t -> string -> unit
+val add_list : t -> string list -> unit
+
+val digest : t -> string
+(** 32-byte challenge seed over everything added so far. *)
+
+val digest_n : t -> int -> string array
+(** A stream of [n] independent challenge seeds. *)

@@ -1,0 +1,1 @@
+test/test_anonymity.ml: Alcotest Array Atom_core Atom_group Atom_util Config Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Array Atom_core Atom_group Atom_util Bulletin Config Cost_model Dialing List Printf String

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Atom_baseline Atom_util Bytes Dpf List Printf Riposte String Vuvuzela

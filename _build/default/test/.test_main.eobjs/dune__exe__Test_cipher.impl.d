@@ -1,0 +1,1 @@
+test/test_cipher.ml: Aead Alcotest Atom_cipher Atom_util Bytes Chacha20 Char List Poly1305 Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_elgamal.ml: Alcotest Array Atom_elgamal Atom_group Atom_util Bytes Char List Option

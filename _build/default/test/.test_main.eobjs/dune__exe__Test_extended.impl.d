@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Array Atom_core Atom_group Atom_util Beacon Char Config Controller Dialing Group_formation List Printf QCheck2 QCheck_alcotest Simulate String

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Atom_group Atom_nat Atom_util Nat Option Printf String

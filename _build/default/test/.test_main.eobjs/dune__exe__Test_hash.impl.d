@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Atom_hash Atom_util Char Hmac Keccak List Printf QCheck2 QCheck_alcotest Sha256 String

@@ -1,0 +1,1 @@
+test/test_nat.ml: Alcotest Array Atom_nat Atom_util Char List Modarith Nat Prime Printf QCheck2 QCheck_alcotest String

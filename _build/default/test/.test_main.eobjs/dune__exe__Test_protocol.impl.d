@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Atom_core Atom_group Atom_util Beacon Config Group_formation List Option Printf String

@@ -1,0 +1,1 @@
+test/test_secret.ml: Alcotest Array Atom_elgamal Atom_group Atom_nat Atom_secret Atom_util List Option Printf QCheck2 QCheck_alcotest

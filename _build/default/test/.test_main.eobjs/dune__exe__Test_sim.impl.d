@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Atom_sim Atom_util Engine Float List Machine Mailbox Net Resource

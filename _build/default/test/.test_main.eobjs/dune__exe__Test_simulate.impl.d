@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Array Atom_core Atom_util Calibration Config Printf Simulate

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Atom_topology Atom_util Fun Group_sizing List Printf Topology

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Atom_util Float Fun Hex List QCheck2 QCheck_alcotest Rng Stats

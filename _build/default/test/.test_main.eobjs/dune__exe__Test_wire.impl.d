@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Atom_core Atom_group Atom_util Bulletin Bytes Char Config Controller List Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_zkp.ml: Alcotest Array Atom_elgamal Atom_group Atom_util Atom_zkp List Option Printf

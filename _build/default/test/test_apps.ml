@@ -1,0 +1,142 @@
+(* Tests for the two applications (§5): the bulletin board and the dialing
+   protocol with differential-privacy dummies, including an end-to-end
+   dialing flow over the real protocol engine. *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Pr = Atom_core.Protocol.Make (G)
+module El = Pr.El
+open Atom_core
+
+let test_bulletin () =
+  let b = Bulletin.create () in
+  Bulletin.publish_round b ~round:0 [ "first"; "second" ];
+  Bulletin.publish_round b ~round:1 [ "third" ];
+  Alcotest.(check (list string)) "round 0" [ "first"; "second" ] (Bulletin.read_round b ~round:0);
+  Alcotest.(check (list string)) "round 1" [ "third" ] (Bulletin.read_round b ~round:1);
+  Alcotest.(check (list string)) "missing round" [] (Bulletin.read_round b ~round:7);
+  Alcotest.(check int) "size" 3 (Bulletin.size b)
+
+let test_dialing_codec () =
+  let rid = Dialing.id_of_user "bob" in
+  Alcotest.(check int) "id length" Dialing.id_bytes (String.length rid);
+  let msg = Dialing.encode ~recipient:rid ~payload:"alice-key-material" in
+  (match Dialing.decode msg with
+  | Some (r, p) ->
+      Alcotest.(check string) "recipient" rid r;
+      Alcotest.(check string) "payload" "alice-key-material" p
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "short rejected" true (Dialing.decode "abc" = None)
+
+let test_mailbox_assignment () =
+  (* Deterministic, in range, and reasonably spread. *)
+  let mailboxes = 16 in
+  let ids = List.init 200 (fun i -> Dialing.id_of_user (Printf.sprintf "user-%d" i)) in
+  let counts = Array.make mailboxes 0 in
+  List.iter
+    (fun id ->
+      let mb = Dialing.mailbox_of ~mailboxes id in
+      Alcotest.(check bool) "in range" true (mb >= 0 && mb < mailboxes);
+      Alcotest.(check int) "deterministic" mb (Dialing.mailbox_of ~mailboxes id);
+      counts.(mb) <- counts.(mb) + 1)
+    ids;
+  Alcotest.(check bool) "spread" true (Atom_util.Stats.chi_square_uniform counts < 50.)
+
+let test_deliver_download () =
+  let mailboxes = 8 in
+  let bob = Dialing.id_of_user "bob" and carol = Dialing.id_of_user "carol" in
+  let delivered =
+    [
+      Dialing.encode ~recipient:bob ~payload:"from-alice";
+      Dialing.encode ~recipient:carol ~payload:"from-dave";
+      Dialing.encode ~recipient:bob ~payload:"from-erin";
+    ]
+  in
+  let st = Dialing.deliver ~mailboxes delivered in
+  let bob_gets = List.sort compare (Dialing.download st ~mailboxes ~recipient_id:bob) in
+  Alcotest.(check (list string)) "bob's dials" [ "from-alice"; "from-erin" ] bob_gets;
+  Alcotest.(check (list string)) "carol's dials" [ "from-dave" ]
+    (Dialing.download st ~mailboxes ~recipient_id:carol);
+  Alcotest.(check (list string)) "stranger gets nothing" []
+    (Dialing.download st ~mailboxes ~recipient_id:(Dialing.id_of_user "mallory"))
+
+let test_dummies () =
+  let rng = Atom_util.Rng.create 31 in
+  let dummies =
+    Dialing.generate_dummies rng ~trustees:4 ~mu:50. ~b:10. ~mailboxes:8 ~payload_bytes:32
+  in
+  let n = List.length dummies in
+  (* 4 trustees x (50 +/- noise): far from zero, near 200. *)
+  Alcotest.(check bool) (Printf.sprintf "count %d plausible" n) true (n > 100 && n < 300);
+  List.iter
+    (fun d -> Alcotest.(check bool) "well-formed" true (Dialing.decode d <> None))
+    dummies;
+  (* DP accounting. *)
+  Alcotest.(check (float 1e-9)) "epsilon" 0.1 (Dialing.epsilon ~b:10.);
+  Alcotest.(check bool) "delta small" true (Dialing.delta ~mu:50. ~b:10. < 0.005)
+
+(* End-to-end dialing over the real protocol: Alice dials Bob through Atom;
+   Bob downloads his mailbox and recovers Alice's key, with dummies mixed
+   in. *)
+let test_dialing_end_to_end () =
+  let r = Atom_util.Rng.create 0xd1a1 in
+  let config = { (Config.tiny ~variant:Config.Trap ()) with Config.msg_bytes = 72 } in
+  let net = Pr.setup r config () in
+  (* Bob's long-term keypair; Alice seals her identity key to him. *)
+  let bob_kp = El.keygen r in
+  let bob_id = Dialing.id_of_user "bob" in
+  let alice_key = "alice-ephemeral-key-0001" in
+  let sealed = El.Kem.to_bytes (El.Kem.enc r bob_kp.El.pk alice_key) in
+  Alcotest.(check bool) "dial fits" true
+    (Dialing.id_bytes + String.length sealed <= config.Config.msg_bytes);
+  let dial = Dialing.encode ~recipient:bob_id ~payload:sealed in
+  (* Other users' cover dials. *)
+  let others =
+    List.init 5 (fun i ->
+        Dialing.encode
+          ~recipient:(Dialing.id_of_user (Printf.sprintf "user%d" i))
+          ~payload:(Atom_util.Rng.bytes r 16))
+  in
+  let msgs = dial :: others in
+  let subs =
+    List.mapi (fun i m -> Pr.submit r net ~user:i ~entry_gid:(i mod config.Config.n_groups) m) msgs
+  in
+  let outcome = Pr.run r net subs in
+  Alcotest.(check bool) "round clean" true (outcome.Pr.aborted = None);
+  let st = Dialing.deliver ~mailboxes:config.Config.mailboxes outcome.Pr.delivered in
+  let payloads =
+    Dialing.download st ~mailboxes:config.Config.mailboxes ~recipient_id:bob_id
+  in
+  Alcotest.(check int) "one dial for bob" 1 (List.length payloads);
+  (match El.Kem.of_bytes (List.hd payloads) with
+  | Some s -> Alcotest.(check (option string)) "bob decrypts" (Some alice_key) (El.Kem.dec bob_kp.El.sk s)
+  | None -> Alcotest.fail "payload not a KEM box")
+
+let test_cost_model () =
+  let e4 = Cost_model.server_estimate ~cores:4 () in
+  (* §7: ~2,700 reenc/s and ~9,200 shuffle/s per 4-core server; ~300 KB/s
+     rate-matched bandwidth; ~$7.2/month egress. *)
+  Alcotest.(check bool) "reenc rate" true
+    (e4.Cost_model.reenc_msgs_per_sec > 2_000. && e4.Cost_model.reenc_msgs_per_sec < 4_000.);
+  Alcotest.(check bool) "shuffle rate" true
+    (e4.Cost_model.shuffle_msgs_per_sec > 7_000. && e4.Cost_model.shuffle_msgs_per_sec < 12_000.);
+  Alcotest.(check bool) "bandwidth ~300KB/s" true
+    (e4.Cost_model.bandwidth_bytes_per_sec > 2e5 && e4.Cost_model.bandwidth_bytes_per_sec < 4e5);
+  Alcotest.(check bool) "egress cost ~$7" true
+    (e4.Cost_model.bandwidth_month > 4. && e4.Cost_model.bandwidth_month < 10.);
+  Alcotest.(check (float 1e-9)) "compute $146" 146. e4.Cost_model.compute_month;
+  (* 36-core scales ~linearly (§7: ~$65/month bandwidth). *)
+  let e36 = Cost_model.server_estimate ~cores:36 () in
+  Alcotest.(check bool) "36-core egress ~$65" true
+    (e36.Cost_model.bandwidth_month > 40. && e36.Cost_model.bandwidth_month < 90.)
+
+let suite =
+  ( "apps",
+    [
+      Alcotest.test_case "bulletin board" `Quick test_bulletin;
+      Alcotest.test_case "dialing codec" `Quick test_dialing_codec;
+      Alcotest.test_case "mailbox assignment" `Quick test_mailbox_assignment;
+      Alcotest.test_case "deliver/download" `Quick test_deliver_download;
+      Alcotest.test_case "dp dummies" `Quick test_dummies;
+      Alcotest.test_case "dialing end-to-end" `Quick test_dialing_end_to_end;
+      Alcotest.test_case "deployment cost model" `Quick test_cost_model;
+    ] )

@@ -1,0 +1,98 @@
+(* Tests for atom_baseline: DPF correctness, Riposte toy round, and the
+   calibrated comparator models behind Table 12. *)
+
+open Atom_baseline
+
+let test_dpf_point_function () =
+  let rng = Atom_util.Rng.create 41 in
+  let rows = 5 and cols = 7 and cell_bytes = 16 in
+  let ka, kb = Dpf.gen rng ~rows ~cols ~cell_bytes ~row:2 ~col:4 "secret!" in
+  let a = Dpf.expand ka and b = Dpf.expand kb in
+  let combined = Dpf.xor_strings (Bytes.to_string a) (Bytes.to_string b) in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      let cell = String.sub combined (((r * cols) + c) * cell_bytes) cell_bytes in
+      if r = 2 && c = 4 then
+        Alcotest.(check string) "target cell" ("secret!" ^ String.make 9 '\000') cell
+      else
+        Alcotest.(check string) (Printf.sprintf "zero cell %d,%d" r c)
+          (String.make cell_bytes '\000') cell
+    done
+  done
+
+let test_dpf_share_looks_random () =
+  (* A single key's expansion reveals nothing: it is never all-zero and the
+     two shares differ everywhere except by the point function. *)
+  let rng = Atom_util.Rng.create 42 in
+  let ka, kb = Dpf.gen rng ~rows:4 ~cols:4 ~cell_bytes:8 ~row:0 ~col:0 "x" in
+  let a = Bytes.to_string (Dpf.expand ka) and b = Bytes.to_string (Dpf.expand kb) in
+  Alcotest.(check bool) "share A not zero" true (a <> String.make (String.length a) '\000');
+  Alcotest.(check bool) "shares differ" true (a <> b)
+
+let test_dpf_key_size_sublinear () =
+  let rng = Atom_util.Rng.create 43 in
+  let size n =
+    let ka, _ = Dpf.gen rng ~rows:n ~cols:n ~cell_bytes:8 ~row:0 ~col:0 "m" in
+    Dpf.key_bytes ka
+  in
+  (* Table has n² cells; the key grows ~linearly in n (i.e., sqrt of cells). *)
+  let s8 = size 8 and s32 = size 32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "key grows sublinearly in cells (%d -> %d)" s8 s32)
+    true
+    (s32 < 16 * s8)
+
+let test_dpf_invalid_args () =
+  let rng = Atom_util.Rng.create 44 in
+  Alcotest.check_raises "cell out of range" (Invalid_argument "Dpf.gen: cell out of range")
+    (fun () -> ignore (Dpf.gen rng ~rows:2 ~cols:2 ~cell_bytes:4 ~row:2 ~col:0 "m"));
+  Alcotest.check_raises "message too large" (Invalid_argument "Dpf.gen: message too large")
+    (fun () -> ignore (Dpf.gen rng ~rows:2 ~cols:2 ~cell_bytes:2 ~row:0 ~col:0 "toolong"))
+
+let test_riposte_toy_round () =
+  let rng = Atom_util.Rng.create 45 in
+  let messages = List.init 6 (fun i -> Printf.sprintf "riposte-msg-%d" i) in
+  let res = Riposte.run_toy rng ~headroom:64 ~messages ~cell_bytes:32 () in
+  (* All messages appear (collisions are possible but unlikely at 4x
+     headroom with this seed). *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) ("delivered " ^ m) true (List.mem m res.Riposte.delivered))
+    messages;
+  (* Quadratic server work: the per-server byte count is M x table. *)
+  Alcotest.(check bool) "server work recorded" true (res.Riposte.server_bytes_processed > 0)
+
+let test_riposte_quadratic_cost () =
+  let rng = Atom_util.Rng.create 46 in
+  let work m =
+    let messages = List.init m (fun i -> Printf.sprintf "m%d" i) in
+    (Riposte.run_toy rng ~messages ~cell_bytes:8 ()).Riposte.server_bytes_processed
+  in
+  let w8 = work 8 and w32 = work 32 in
+  (* 4x messages -> ~16x server work (table grows with M too). *)
+  let ratio = float_of_int w32 /. float_of_int w8 in
+  Alcotest.(check bool) (Printf.sprintf "quadratic growth (%.1fx)" ratio) true (ratio > 8.)
+
+let test_table12_models () =
+  (* The published calibration points. *)
+  Alcotest.(check (float 1e-6)) "riposte 1M" 669.2 (Riposte.latency_minutes ~messages:1_000_000);
+  Alcotest.(check (float 1e-6)) "vuvuzela 1M" 0.5 (Vuvuzela.dial_latency_minutes ~users:1_000_000);
+  (* Shapes: Riposte quadratic, Vuvuzela linear. *)
+  Alcotest.(check (float 1e-6)) "riposte 2M = 4x" (4. *. 669.2)
+    (Riposte.latency_minutes ~messages:2_000_000);
+  Alcotest.(check (float 1e-6)) "vuvuzela 2M = 2x" 1.0
+    (Vuvuzela.dial_latency_minutes ~users:2_000_000);
+  Alcotest.(check bool) "neither scales horizontally" false
+    (Riposte.scales_horizontally || Vuvuzela.scales_horizontally)
+
+let suite =
+  ( "baseline",
+    [
+      Alcotest.test_case "dpf point function" `Quick test_dpf_point_function;
+      Alcotest.test_case "dpf share randomness" `Quick test_dpf_share_looks_random;
+      Alcotest.test_case "dpf key size" `Quick test_dpf_key_size_sublinear;
+      Alcotest.test_case "dpf invalid args" `Quick test_dpf_invalid_args;
+      Alcotest.test_case "riposte toy round" `Quick test_riposte_toy_round;
+      Alcotest.test_case "riposte quadratic cost" `Quick test_riposte_quadratic_cost;
+      Alcotest.test_case "table 12 comparator models" `Quick test_table12_models;
+    ] )

@@ -1,0 +1,114 @@
+(* Tests for atom_cipher against RFC 8439 vectors, plus AEAD tamper
+   resistance (the property Atom's trap variant relies on, §4.4). *)
+
+open Atom_cipher
+
+let hex = Atom_util.Hex.decode
+
+let rfc_key = hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+let sunscreen =
+  "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it."
+
+let test_chacha20_block () =
+  (* RFC 8439 §2.3.2 *)
+  let nonce = hex "000000090000004a00000000" in
+  let block = Bytes.to_string (Chacha20.block ~key:rfc_key ~nonce ~counter:1) in
+  Alcotest.(check string) "keystream block"
+    "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+    (Atom_util.Hex.encode block)
+
+let test_chacha20_encrypt () =
+  (* RFC 8439 §2.4.2 *)
+  let nonce = hex "000000000000004a00000000" in
+  let ct = Chacha20.encrypt ~key:rfc_key ~nonce ~counter:1 sunscreen in
+  Alcotest.(check string) "ciphertext"
+    "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90bbf74a35be6b40b8eedf2785e42874d"
+    (Atom_util.Hex.encode ct);
+  Alcotest.(check string) "roundtrip" sunscreen (Chacha20.decrypt ~key:rfc_key ~nonce ~counter:1 ct)
+
+let test_poly1305_rfc () =
+  (* RFC 8439 §2.5.2 *)
+  let key = hex "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b" in
+  let tag = Poly1305.mac ~key "Cryptographic Forum Research Group" in
+  Alcotest.(check string) "tag" "a8061dc1305136c6c22b8baf0c0127a9" (Atom_util.Hex.encode tag);
+  Alcotest.(check bool) "verify ok" true
+    (Poly1305.verify ~key ~tag "Cryptographic Forum Research Group");
+  Alcotest.(check bool) "verify bad" false (Poly1305.verify ~key ~tag "cryptographic Forum Research Group")
+
+let test_poly1305_edge_lengths () =
+  let key = hex "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b" in
+  List.iter
+    (fun n ->
+      let tag = Poly1305.mac ~key (String.make n 'z') in
+      Alcotest.(check int) (Printf.sprintf "len %d" n) 16 (String.length tag))
+    [ 0; 1; 15; 16; 17; 31; 32; 33; 100 ]
+
+let test_aead_rfc () =
+  (* RFC 8439 §2.8.2 *)
+  let key = hex "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f" in
+  let nonce = hex "070000004041424344454647" in
+  let aad = hex "50515253c0c1c2c3c4c5c6c7" in
+  let sealed = Aead.encrypt ~key ~nonce ~aad sunscreen in
+  Alcotest.(check string) "ciphertext+tag"
+    ("d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d63dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b3692ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc3ff4def08e4b7a9de576d26586cec64b6116"
+    ^ "1ae10b594f09e26a7e902ecbd0600691")
+    (Atom_util.Hex.encode sealed);
+  (match Aead.decrypt ~key ~nonce ~aad sealed with
+  | Some pt -> Alcotest.(check string) "decrypt" sunscreen pt
+  | None -> Alcotest.fail "decryption failed")
+
+let test_aead_tamper () =
+  let key = String.make 32 'k' and nonce = String.make 12 'n' in
+  let sealed = Aead.encrypt ~key ~nonce ~aad:"hdr" "secret payload" in
+  (* Flipping any single byte must break authentication. *)
+  for i = 0 to String.length sealed - 1 do
+    let b = Bytes.of_string sealed in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Alcotest.(check (option string))
+      (Printf.sprintf "bit flip at %d rejected" i)
+      None
+      (Aead.decrypt ~key ~nonce ~aad:"hdr" (Bytes.to_string b))
+  done;
+  (* Wrong AAD must break authentication. *)
+  Alcotest.(check (option string)) "wrong aad" None (Aead.decrypt ~key ~nonce ~aad:"hdx" sealed);
+  (* Truncation must be rejected. *)
+  Alcotest.(check (option string)) "truncated" None
+    (Aead.decrypt ~key ~nonce ~aad:"hdr" (String.sub sealed 0 10))
+
+let prop_chacha_roundtrip =
+  QCheck2.Test.make ~name:"chacha20 roundtrip" ~count:200
+    QCheck2.Gen.(triple (string_size (return 32)) (string_size (return 12)) (string_size (int_bound 300)))
+    (fun (key, nonce, msg) ->
+      Chacha20.decrypt ~key ~nonce ~counter:0 (Chacha20.encrypt ~key ~nonce ~counter:0 msg) = msg)
+
+let prop_aead_roundtrip =
+  QCheck2.Test.make ~name:"aead roundtrip" ~count:200
+    QCheck2.Gen.(
+      quad (string_size (return 32)) (string_size (return 12)) (string_size (int_bound 40))
+        (string_size (int_bound 300)))
+    (fun (key, nonce, aad, msg) ->
+      Aead.decrypt ~key ~nonce ~aad (Aead.encrypt ~key ~nonce ~aad msg) = Some msg)
+
+let prop_aead_key_sensitivity =
+  QCheck2.Test.make ~name:"aead wrong key rejected" ~count:100
+    QCheck2.Gen.(triple (string_size (return 32)) (string_size (return 32)) (string_size (int_bound 100)))
+    (fun (k1, k2, msg) ->
+      k1 = k2
+      || Aead.decrypt ~key:k2 ~nonce:(String.make 12 '\000')
+           (Aead.encrypt ~key:k1 ~nonce:(String.make 12 '\000') msg)
+         = None)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "cipher",
+    [
+      Alcotest.test_case "chacha20 RFC block" `Quick test_chacha20_block;
+      Alcotest.test_case "chacha20 RFC encryption" `Quick test_chacha20_encrypt;
+      Alcotest.test_case "poly1305 RFC" `Quick test_poly1305_rfc;
+      Alcotest.test_case "poly1305 edge lengths" `Quick test_poly1305_edge_lengths;
+      Alcotest.test_case "aead RFC" `Quick test_aead_rfc;
+      Alcotest.test_case "aead tamper detection" `Quick test_aead_tamper;
+      q prop_chacha_roundtrip;
+      q prop_aead_roundtrip;
+      q prop_aead_key_sensitivity;
+    ] )

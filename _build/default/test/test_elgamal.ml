@@ -1,0 +1,238 @@
+(* Tests for atom_elgamal: the Appendix-A rerandomizable / out-of-order
+   re-encryptable ElGamal variant and the IND-CCA2 KEM envelope. *)
+
+module Run (G : Atom_group.Group_intf.GROUP) = struct
+  module El = Atom_elgamal.Elgamal.Make (G)
+
+  let rng () = Atom_util.Rng.create (Atom_util.Rng.hash_string ("elgamal" ^ G.name))
+
+  let test_enc_dec () =
+    let r = rng () in
+    for _ = 1 to 5 do
+      let kp = El.keygen r in
+      let m = G.random r in
+      let ct, _ = El.enc r kp.El.pk m in
+      match El.dec kp.El.sk ct with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (G.equal m m')
+      | None -> Alcotest.fail "decryption failed"
+    done
+
+  let test_dec_wrong_key () =
+    let r = rng () in
+    let kp = El.keygen r and kp2 = El.keygen r in
+    let m = G.random r in
+    let ct, _ = El.enc r kp.El.pk m in
+    match El.dec kp2.El.sk ct with
+    | Some m' -> Alcotest.(check bool) "wrong key garbles" false (G.equal m m')
+    | None -> Alcotest.fail "plain dec should not fail"
+
+  let test_rerandomize () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let m = G.random r in
+    let ct, _ = El.enc r kp.El.pk m in
+    match El.rerandomize r kp.El.pk ct with
+    | None -> Alcotest.fail "rerandomize failed"
+    | Some (ct', _) ->
+        Alcotest.(check bool) "ciphertext changed" false (El.cipher_equal ct ct');
+        Alcotest.(check bool) "plaintext preserved" true
+          (G.equal m (Option.get (El.dec kp.El.sk ct')))
+
+  let test_anytrust_group_key () =
+    (* The group key is the product of member keys; decrypting requires every
+       member's share. *)
+    let r = rng () in
+    let members = List.init 4 (fun _ -> El.keygen r) in
+    let gpk = El.combine_pks (List.map (fun kp -> kp.El.pk) members) in
+    let m = G.random r in
+    let ct, _ = El.enc r gpk m in
+    (* Strip shares one by one via reenc with next_pk = None. *)
+    let final =
+      List.fold_left
+        (fun ct kp -> fst (El.reenc r ~share:kp.El.sk ~next_pk:None ct))
+        ct members
+    in
+    Alcotest.(check bool) "plaintext recovered" true (G.equal m (El.plaintext_of_exit final));
+    (* With one member missing the result is garbage. *)
+    let partial =
+      match members with
+      | _ :: rest ->
+          List.fold_left (fun ct kp -> fst (El.reenc r ~share:kp.El.sk ~next_pk:None ct)) ct rest
+      | [] -> assert false
+    in
+    Alcotest.(check bool) "missing share garbles" false
+      (G.equal m (El.plaintext_of_exit partial))
+
+  (* The heart of Atom: a ciphertext encrypted only to the entry group can be
+     routed through a chain of groups, each collectively stripping its own
+     layer while re-encrypting toward the next group, out of order. *)
+  let test_out_of_order_pipeline () =
+    let r = rng () in
+    let n_groups = 4 and k = 3 in
+    let groups =
+      Array.init n_groups (fun _ -> Array.init k (fun _ -> El.keygen r))
+    in
+    let gpk g = El.combine_pks (Array.to_list (Array.map (fun kp -> kp.El.pk) groups.(g))) in
+    let m = G.random r in
+    let ct0, _ = El.enc r (gpk 0) m in
+    let ct = ref ct0 in
+    for g = 0 to n_groups - 1 do
+      let next_pk = if g = n_groups - 1 then None else Some (gpk (g + 1)) in
+      (* Each server in the group strips its share and re-encrypts. *)
+      Array.iter (fun kp -> ct := fst (El.reenc r ~share:kp.El.sk ~next_pk !ct)) groups.(g);
+      if g < n_groups - 1 then begin
+        ct := El.clear_y !ct;
+        (* Between groups the ciphertext is a plain encryption under the next
+           group key: shuffling (rerandomization) must be possible. *)
+        match El.rerandomize r (gpk (g + 1)) !ct with
+        | Some (ct', _) -> ct := ct'
+        | None -> Alcotest.fail "mid-route rerandomize failed"
+      end
+    done;
+    Alcotest.(check bool) "plaintext after 4 groups" true (G.equal m (El.plaintext_of_exit !ct))
+
+  let test_dec_fails_mid_reenc () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let m = G.random r in
+    let ct, _ = El.enc r kp.El.pk m in
+    let mid, _ = El.reenc r ~share:kp.El.sk ~next_pk:(Some kp.El.pk) ct in
+    Alcotest.(check bool) "Y <> bot rejected by Dec" true (El.dec kp.El.sk mid = None);
+    Alcotest.(check bool) "Y <> bot rejected by rerandomize" true
+      (El.rerandomize r kp.El.pk mid = None)
+
+  let test_shuffle_preserves_multiset () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let msgs = Array.init 8 (fun _ -> G.random r) in
+    let cts = Array.map (fun m -> fst (El.enc r kp.El.pk m)) msgs in
+    match El.shuffle r kp.El.pk cts with
+    | None -> Alcotest.fail "shuffle failed"
+    | Some (out, wit) ->
+        Alcotest.(check int) "same count" 8 (Array.length out);
+        (* Decrypting the outputs yields the same multiset of messages. *)
+        let dec_out = Array.map (fun ct -> Option.get (El.dec kp.El.sk ct)) out in
+        Array.iteri
+          (fun i ct_out ->
+            ignore ct_out;
+            Alcotest.(check bool) "witness consistent" true
+              (G.equal dec_out.(i) msgs.(wit.El.permutation.(i))))
+          out;
+        let key m = Atom_util.Hex.encode (G.to_bytes m) in
+        let sort a = List.sort compare (List.map key (Array.to_list a)) in
+        Alcotest.(check (list string)) "multiset preserved" (sort msgs) (sort dec_out)
+
+  let test_vec_roundtrip () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let ms = Array.init 3 (fun _ -> G.random r) in
+    let v, _ = El.enc_vec r kp.El.pk ms in
+    match El.dec_vec kp.El.sk v with
+    | None -> Alcotest.fail "vec dec failed"
+    | Some ms' ->
+        Alcotest.(check int) "width" 3 (Array.length ms');
+        Array.iteri (fun i m -> Alcotest.(check bool) "component" true (G.equal m ms'.(i))) ms
+
+  let test_cipher_serialization () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let m = G.random r in
+    let ct, _ = El.enc r kp.El.pk m in
+    (match El.cipher_of_bytes (El.cipher_to_bytes ct) with
+    | Some ct' -> Alcotest.(check bool) "y=bot roundtrip" true (El.cipher_equal ct ct')
+    | None -> Alcotest.fail "decode failed");
+    let mid, _ = El.reenc r ~share:kp.El.sk ~next_pk:(Some kp.El.pk) ct in
+    (match El.cipher_of_bytes (El.cipher_to_bytes mid) with
+    | Some ct' -> Alcotest.(check bool) "y<>bot roundtrip" true (El.cipher_equal mid ct')
+    | None -> Alcotest.fail "decode failed");
+    Alcotest.(check bool) "garbage rejected" true (El.cipher_of_bytes "nonsense" = None)
+
+  let test_multiplicative_homomorphism () =
+    (* ElGamal is multiplicatively homomorphic: Enc(m1)*Enc(m2) decrypts to
+       m1*m2 — the property rerandomization (multiplying by Enc(1)) relies
+       on. *)
+    let r = rng () in
+    let kp = El.keygen r in
+    for _ = 1 to 5 do
+      let m1 = G.random r and m2 = G.random r in
+      let c1, _ = El.enc r kp.El.pk m1 and c2, _ = El.enc r kp.El.pk m2 in
+      let prod = { El.r = G.mul c1.El.r c2.El.r; El.c = G.mul c1.El.c c2.El.c; El.y = None } in
+      Alcotest.(check bool) "homomorphic" true
+        (G.equal (G.mul m1 m2) (Option.get (El.dec kp.El.sk prod)))
+    done
+
+  let test_rerandomize_composes () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let m = G.random r in
+    let ct, _ = El.enc r kp.El.pk m in
+    let ct = ref ct in
+    for _ = 1 to 10 do
+      ct := fst (Option.get (El.rerandomize r kp.El.pk !ct))
+    done;
+    Alcotest.(check bool) "10x rerandomized still decrypts" true
+      (G.equal m (Option.get (El.dec kp.El.sk !ct)))
+
+  let test_kem_roundtrip () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let msg = "inner plaintext: dialing request for bob" in
+    let sealed = El.Kem.enc r kp.El.pk msg in
+    Alcotest.(check (option string)) "roundtrip" (Some msg) (El.Kem.dec kp.El.sk sealed);
+    (* Serialization roundtrip. *)
+    (match El.Kem.of_bytes (El.Kem.to_bytes sealed) with
+    | Some sealed' -> Alcotest.(check (option string)) "serialized" (Some msg) (El.Kem.dec kp.El.sk sealed')
+    | None -> Alcotest.fail "kem decode failed")
+
+  let test_kem_non_malleable () =
+    let r = rng () in
+    let kp = El.keygen r in
+    let sealed = El.Kem.enc r kp.El.pk "attack at dawn" in
+    (* Tamper with the box: must fail to decrypt. *)
+    let bytes = Bytes.of_string sealed.El.Kem.box in
+    Bytes.set bytes 0 (Char.chr (Char.code (Bytes.get bytes 0) lxor 1));
+    let tampered = { sealed with El.Kem.box = Bytes.to_string bytes } in
+    Alcotest.(check (option string)) "tampered box" None (El.Kem.dec kp.El.sk tampered);
+    (* Swap the KEM share: AAD binding must break it. *)
+    let other = El.Kem.enc r kp.El.pk "attack at dawn" in
+    let spliced = { sealed with El.Kem.share = other.El.Kem.share } in
+    Alcotest.(check (option string)) "spliced share" None (El.Kem.dec kp.El.sk spliced)
+
+  let test_kem_threshold () =
+    let r = rng () in
+    (* Trustees with additive shares: pk = g^(x1+x2+x3). *)
+    let trustees = List.init 3 (fun _ -> El.keygen r) in
+    let pk = El.combine_pks (List.map (fun kp -> kp.El.pk) trustees) in
+    let sealed = El.Kem.enc r pk "trap-protected inner ciphertext" in
+    let partials = List.map (fun kp -> El.Kem.partial kp.El.sk sealed) trustees in
+    Alcotest.(check (option string)) "all partials" (Some "trap-protected inner ciphertext")
+      (El.Kem.dec_with_partials partials sealed);
+    (* One missing trustee: failure (all-or-nothing release, §4.4). *)
+    Alcotest.(check (option string)) "missing partial" None
+      (El.Kem.dec_with_partials (List.tl partials) sealed)
+
+  let cases =
+    let n = G.name in
+    [
+      Alcotest.test_case (n ^ " enc/dec") `Quick test_enc_dec;
+      Alcotest.test_case (n ^ " wrong key") `Quick test_dec_wrong_key;
+      Alcotest.test_case (n ^ " rerandomize") `Quick test_rerandomize;
+      Alcotest.test_case (n ^ " anytrust group key") `Quick test_anytrust_group_key;
+      Alcotest.test_case (n ^ " out-of-order pipeline") `Quick test_out_of_order_pipeline;
+      Alcotest.test_case (n ^ " dec rejects mid-reenc") `Quick test_dec_fails_mid_reenc;
+      Alcotest.test_case (n ^ " shuffle multiset") `Quick test_shuffle_preserves_multiset;
+      Alcotest.test_case (n ^ " vector ciphertexts") `Quick test_vec_roundtrip;
+      Alcotest.test_case (n ^ " serialization") `Quick test_cipher_serialization;
+      Alcotest.test_case (n ^ " multiplicative homomorphism") `Quick test_multiplicative_homomorphism;
+      Alcotest.test_case (n ^ " rerandomize composes") `Quick test_rerandomize_composes;
+      Alcotest.test_case (n ^ " kem roundtrip") `Quick test_kem_roundtrip;
+      Alcotest.test_case (n ^ " kem non-malleable") `Quick test_kem_non_malleable;
+      Alcotest.test_case (n ^ " kem threshold") `Quick test_kem_threshold;
+    ]
+end
+
+let suite () =
+  let module G_zp = (val Atom_group.Registry.zp_test ()) in
+  let module Zp_run = Run (G_zp) in
+  let module P256_run = Run (Atom_group.P256) in
+  ("elgamal", Zp_run.cases @ P256_run.cases)

@@ -1,0 +1,131 @@
+(* Tests for atom_hash against official FIPS 180-4 / FIPS 202 / RFC 4231
+   vectors, plus structural properties. *)
+
+open Atom_hash
+
+let check_hex name expected actual = Alcotest.(check string) name expected (Atom_util.Hex.encode actual)
+
+let test_sha256_vectors () =
+  check_hex "empty" "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.digest "");
+  check_hex "abc" "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.digest "abc");
+  check_hex "two-block message" "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+
+let test_sha256_million_a () =
+  check_hex "million a" "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.digest (String.make 1_000_000 'a'))
+
+let test_sha256_streaming () =
+  (* Feeding in arbitrary chunks must match the one-shot digest. *)
+  let msg = String.init 1000 (fun i -> Char.chr (i land 0xff)) in
+  let oneshot = Sha256.digest msg in
+  let rng = Atom_util.Rng.create 21 in
+  for _ = 1 to 20 do
+    let st = Sha256.init () in
+    let pos = ref 0 in
+    while !pos < String.length msg do
+      let take = min (Atom_util.Rng.int_below rng 130 + 1) (String.length msg - !pos) in
+      Sha256.feed st (String.sub msg !pos take);
+      pos := !pos + take
+    done;
+    Alcotest.(check string) "chunked = oneshot" oneshot (Sha256.finalize st)
+  done
+
+let test_sha256_length_boundaries () =
+  (* Padding edge cases: lengths around the 55/56/64 byte boundaries. *)
+  List.iter
+    (fun n ->
+      let m = String.make n 'x' in
+      let st = Sha256.init () in
+      Sha256.feed st m;
+      Alcotest.(check string) (Printf.sprintf "len %d" n) (Sha256.digest m) (Sha256.finalize st))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+
+let test_sha3_vectors () =
+  check_hex "sha3-256 empty" "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+    (Keccak.sha3_256 "");
+  check_hex "sha3-256 abc" "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+    (Keccak.sha3_256 "abc");
+  check_hex "sha3-512 empty"
+    "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a615b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"
+    (Keccak.sha3_512 "")
+
+let test_shake128 () =
+  check_hex "shake128 empty 32" "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"
+    (Keccak.shake128 ~out_len:32 "");
+  (* XOF property: a longer output extends a shorter one. *)
+  let short = Keccak.shake128 ~out_len:16 "atom" in
+  let long = Keccak.shake128 ~out_len:200 "atom" in
+  Alcotest.(check string) "prefix property" short (String.sub long 0 16);
+  Alcotest.(check int) "length" 200 (String.length long)
+
+let test_sha3_rate_boundaries () =
+  (* Message lengths around the 136-byte rate boundary must all differ and be
+     32 bytes long. *)
+  let digests =
+    List.map (fun n -> Keccak.sha3_256 (String.make n 'y')) [ 0; 1; 135; 136; 137; 271; 272; 273 ]
+  in
+  List.iter (fun d -> Alcotest.(check int) "digest length" 32 (String.length d)) digests;
+  let uniq = List.sort_uniq compare digests in
+  Alcotest.(check int) "all distinct" (List.length digests) (List.length uniq)
+
+let test_hmac_rfc4231 () =
+  check_hex "rfc4231 case 1" "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hmac_sha256 ~key:(String.make 20 '\x0b') "Hi There");
+  check_hex "rfc4231 case 2" "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hmac_sha256 ~key:"Jefe" "what do ya want for nothing?")
+
+let test_hkdf_rfc5869 () =
+  (* RFC 5869 Appendix A, test case 1. *)
+  let ikm = String.make 22 '\x0b' in
+  let salt = Atom_util.Hex.decode "000102030405060708090a0b0c" in
+  let info = Atom_util.Hex.decode "f0f1f2f3f4f5f6f7f8f9" in
+  let okm = Hmac.hkdf ~salt ~ikm ~info ~len:42 () in
+  Alcotest.(check string) "okm"
+    "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+    (Atom_util.Hex.encode okm)
+
+let test_hkdf_basic () =
+  let okm = Hmac.hkdf ~salt:"salt" ~ikm:"input key material" ~info:"ctx" ~len:42 () in
+  Alcotest.(check int) "length" 42 (String.length okm);
+  (* Deterministic and sensitive to each input. *)
+  Alcotest.(check string) "deterministic" okm
+    (Hmac.hkdf ~salt:"salt" ~ikm:"input key material" ~info:"ctx" ~len:42 ());
+  let okm2 = Hmac.hkdf ~salt:"salt" ~ikm:"input key material" ~info:"ctx2" ~len:42 () in
+  Alcotest.(check bool) "info matters" true (okm <> okm2)
+
+let prop_sha256_deterministic =
+  QCheck2.Test.make ~name:"sha256 deterministic, 32 bytes" ~count:200
+    QCheck2.Gen.(string_size (int_bound 300))
+    (fun s -> Sha256.digest s = Sha256.digest s && String.length (Sha256.digest s) = 32)
+
+let prop_sha3_no_trivial_collisions =
+  QCheck2.Test.make ~name:"sha3-256 distinct on distinct inputs" ~count:200
+    QCheck2.Gen.(pair (string_size (int_bound 100)) (string_size (int_bound 100)))
+    (fun (a, b) -> a = b || Keccak.sha3_256 a <> Keccak.sha3_256 b)
+
+let prop_digest_list_concat =
+  QCheck2.Test.make ~name:"sha256 digest_list = digest of concat" ~count:100
+    QCheck2.Gen.(list_size (int_bound 8) (string_size (int_bound 50)))
+    (fun parts -> Sha256.digest_list parts = Sha256.digest (String.concat "" parts))
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "hash",
+    [
+      Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
+      Alcotest.test_case "sha256 million a" `Slow test_sha256_million_a;
+      Alcotest.test_case "sha256 streaming" `Quick test_sha256_streaming;
+      Alcotest.test_case "sha256 padding boundaries" `Quick test_sha256_length_boundaries;
+      Alcotest.test_case "sha3 FIPS vectors" `Quick test_sha3_vectors;
+      Alcotest.test_case "shake128" `Quick test_shake128;
+      Alcotest.test_case "sha3 rate boundaries" `Quick test_sha3_rate_boundaries;
+      Alcotest.test_case "hmac RFC 4231" `Quick test_hmac_rfc4231;
+      Alcotest.test_case "hkdf RFC 5869" `Quick test_hkdf_rfc5869;
+      Alcotest.test_case "hkdf" `Quick test_hkdf_basic;
+      q prop_sha256_deterministic;
+      q prop_sha3_no_trivial_collisions;
+      q prop_digest_list_concat;
+    ] )

@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "atom"
+    [
+      Test_util.suite;
+      Test_nat.suite;
+      Test_hash.suite;
+      Test_cipher.suite;
+      Test_group.suite ();
+      Test_elgamal.suite ();
+      Test_zkp.suite ();
+      Test_zkp.suite_p256 ();
+      Test_secret.suite;
+      Test_sim.suite;
+      Test_topology.suite;
+      Test_protocol.suite;
+      Test_simulate.suite;
+      Test_apps.suite;
+      Test_baseline.suite;
+      Test_extended.suite;
+      Test_wire.suite;
+      Test_anonymity.suite;
+      Test_misc.suite;
+    ]

@@ -1,0 +1,246 @@
+(* Tests for atom_nat: naturals, Montgomery arithmetic, primality. *)
+
+open Atom_nat
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+
+let test_of_to_int () =
+  List.iter
+    (fun i -> Alcotest.(check int) "roundtrip" i (Nat.to_int_exn (Nat.of_int i)))
+    [ 0; 1; 2; 1000; 0x3ffffff; 0x4000000; max_int / 4 ];
+  Alcotest.(check bool) "zero" true (Nat.is_zero Nat.zero)
+
+let test_add_sub () =
+  let a = Nat.of_decimal "123456789012345678901234567890" in
+  let b = Nat.of_decimal "987654321098765432109876543210" in
+  let s = Nat.add a b in
+  Alcotest.(check nat) "a+b" (Nat.of_decimal "1111111110111111111011111111100") s;
+  Alcotest.(check nat) "a+b-b" a (Nat.sub s b);
+  Alcotest.(check nat) "a+b-a" b (Nat.sub s a);
+  Alcotest.check_raises "negative sub" (Invalid_argument "Nat.sub: negative result") (fun () ->
+      ignore (Nat.sub a b))
+
+let test_mul () =
+  let a = Nat.of_decimal "123456789" in
+  let b = Nat.of_decimal "987654321" in
+  Alcotest.(check nat) "small product" (Nat.of_decimal "121932631112635269") (Nat.mul a b);
+  let big = Nat.of_decimal "340282366920938463463374607431768211455" in
+  (* (2^128-1)^2 = 2^256 - 2^129 + 1 *)
+  Alcotest.(check nat) "big square"
+    (Nat.of_decimal
+       "115792089237316195423570985008687907852589419931798687112530834793049593217025")
+    (Nat.mul big big);
+  Alcotest.(check nat) "times zero" Nat.zero (Nat.mul a Nat.zero)
+
+let test_div_rem () =
+  let a = Nat.of_decimal "121932631112635269" in
+  let b = Nat.of_decimal "987654321" in
+  let q, r = Nat.div_rem a b in
+  Alcotest.(check nat) "quotient" (Nat.of_decimal "123456789") q;
+  Alcotest.(check nat) "remainder" Nat.zero r;
+  let q2, r2 = Nat.div_rem (Nat.add a (Nat.of_int 17)) b in
+  Alcotest.(check nat) "quotient 2" (Nat.of_decimal "123456789") q2;
+  Alcotest.(check nat) "remainder 2" (Nat.of_int 17) r2;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Nat.div_rem a Nat.zero))
+
+let test_shift () =
+  let a = Nat.of_decimal "12345678901234567890" in
+  Alcotest.(check nat) "shift roundtrip" a (Nat.shift_right (Nat.shift_left a 67) 67);
+  Alcotest.(check nat) "shl = *2^k" (Nat.mul a (Nat.of_int 1024)) (Nat.shift_left a 10);
+  Alcotest.(check nat) "shr drops" (Nat.of_int 1) (Nat.shift_right (Nat.of_int 3) 1);
+  Alcotest.(check nat) "shr to zero" Nat.zero (Nat.shift_right a 100)
+
+let test_bytes_roundtrip () =
+  let a = Nat.of_hex "deadbeef0123456789abcdef" in
+  Alcotest.(check nat) "bytes roundtrip" a (Nat.of_bytes_be (Nat.to_bytes_be a));
+  Alcotest.(check string) "hex" "deadbeef0123456789abcdef" (Nat.to_hex a);
+  let padded = Nat.to_bytes_be ~length:16 a in
+  Alcotest.(check int) "padded length" 16 (String.length padded);
+  Alcotest.(check nat) "padded roundtrip" a (Nat.of_bytes_be padded);
+  Alcotest.check_raises "too short" (Invalid_argument "Nat.to_bytes_be: does not fit") (fun () ->
+      ignore (Nat.to_bytes_be ~length:4 a))
+
+let test_decimal_roundtrip () =
+  let s = "115792089237316195423570985008687907853269984665640564039457584007913129639936" in
+  Alcotest.(check string) "decimal roundtrip" s (Nat.to_decimal (Nat.of_decimal s));
+  Alcotest.(check string) "zero" "0" (Nat.to_decimal Nat.zero)
+
+let test_bit_ops () =
+  let a = Nat.of_int 0b1011 in
+  Alcotest.(check int) "bit_length" 4 (Nat.bit_length a);
+  Alcotest.(check bool) "bit 0" true (Nat.test_bit a 0);
+  Alcotest.(check bool) "bit 2" false (Nat.test_bit a 2);
+  Alcotest.(check bool) "bit 3" true (Nat.test_bit a 3);
+  Alcotest.(check bool) "bit 100" false (Nat.test_bit a 100);
+  Alcotest.(check int) "bit_length zero" 0 (Nat.bit_length Nat.zero)
+
+let test_mod_small () =
+  let a = Nat.of_decimal "123456789012345678901234567890" in
+  Alcotest.(check int) "mod 97" (* computed independently *)
+    (let r = ref 0 in
+     String.iter (fun c -> r := ((!r * 10) + (Char.code c - 48)) mod 97) "123456789012345678901234567890";
+     !r)
+    (Nat.mod_small a 97);
+  Alcotest.(check int) "mod 2" 0 (Nat.mod_small a 2)
+
+(* Montgomery arithmetic cross-checked against plain Nat arithmetic. *)
+let p_test = Nat.of_decimal "57896044618658097711785492504343953926634992332820282019728792003956564819949"
+(* 2^255 - 19, a well-known prime *)
+
+let test_modarith_matches_nat () =
+  let ctx = Modarith.create p_test in
+  let rng = Atom_util.Rng.create 11 in
+  for _ = 1 to 50 do
+    let a = Nat.random_below rng p_test and b = Nat.random_below rng p_test in
+    let ma = Modarith.of_nat ctx a and mb = Modarith.of_nat ctx b in
+    Alcotest.(check nat) "add" (Nat.rem (Nat.add a b) p_test) (Modarith.to_nat ctx (Modarith.add ctx ma mb));
+    Alcotest.(check nat) "mul" (Nat.rem (Nat.mul a b) p_test) (Modarith.to_nat ctx (Modarith.mul ctx ma mb));
+    Alcotest.(check nat) "sqr" (Nat.rem (Nat.mul a a) p_test) (Modarith.to_nat ctx (Modarith.sqr ctx ma));
+    let sub_expected = if Nat.compare a b >= 0 then Nat.sub a b else Nat.sub (Nat.add a p_test) b in
+    Alcotest.(check nat) "sub" sub_expected (Modarith.to_nat ctx (Modarith.sub ctx ma mb))
+  done
+
+let test_modarith_pow () =
+  let ctx = Modarith.create p_test in
+  let g = Modarith.of_int ctx 5 in
+  (* Fermat: g^(p-1) = 1 *)
+  let e = Nat.sub p_test Nat.one in
+  Alcotest.(check nat) "fermat" Nat.one (Modarith.to_nat ctx (Modarith.pow ctx g e));
+  (* pow matches iterated multiplication for small exponents *)
+  let acc = ref (Modarith.one ctx) in
+  for i = 0 to 20 do
+    Alcotest.(check nat)
+      (Printf.sprintf "pow %d" i)
+      (Modarith.to_nat ctx !acc)
+      (Modarith.to_nat ctx (Modarith.pow ctx g (Nat.of_int i)));
+    acc := Modarith.mul ctx !acc g
+  done
+
+let test_modarith_inv () =
+  let ctx = Modarith.create p_test in
+  let rng = Atom_util.Rng.create 12 in
+  for _ = 1 to 20 do
+    let a = Nat.add Nat.one (Nat.random_below rng (Nat.sub p_test Nat.one)) in
+    let ma = Modarith.of_nat ctx a in
+    let prod = Modarith.mul ctx ma (Modarith.inv ctx ma) in
+    Alcotest.(check nat) "a * a^-1 = 1" Nat.one (Modarith.to_nat ctx prod)
+  done;
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () ->
+      ignore (Modarith.inv ctx (Modarith.zero ctx)))
+
+let test_modarith_small_modulus () =
+  (* Exhaustive check of multiplication mod 101. *)
+  let ctx = Modarith.create (Nat.of_int 101) in
+  for a = 0 to 100 do
+    for b = 0 to 100 do
+      let m =
+        Modarith.to_nat ctx (Modarith.mul ctx (Modarith.of_int ctx a) (Modarith.of_int ctx b))
+      in
+      Alcotest.(check int) "mod 101" (a * b mod 101) (Nat.to_int_exn m)
+    done
+  done
+
+let test_prime_known () =
+  let primes = [ 2; 3; 5; 7; 97; 65537; 1_000_000_007 ] in
+  List.iter
+    (fun p -> Alcotest.(check bool) (string_of_int p) true (Prime.is_probable_prime (Nat.of_int p)))
+    primes;
+  let composites = [ 0; 1; 4; 100; 65535; 561; 41041; 825265 (* Carmichael *) ] in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (string_of_int c) false (Prime.is_probable_prime (Nat.of_int c)))
+    composites;
+  Alcotest.(check bool) "2^255-19" true (Prime.is_probable_prime p_test);
+  Alcotest.(check bool) "2^255-19 + 2" false (Prime.is_probable_prime (Nat.add p_test Nat.two))
+
+let test_random_prime () =
+  let rng = Atom_util.Rng.create 13 in
+  let p = Prime.random_prime rng ~bits:64 in
+  Alcotest.(check int) "bit length" 64 (Nat.bit_length p);
+  Alcotest.(check bool) "is prime" true (Prime.is_probable_prime p)
+
+let test_safe_prime () =
+  let rng = Atom_util.Rng.create 14 in
+  let p, q = Prime.random_safe_prime rng ~bits:48 in
+  Alcotest.(check int) "bit length" 48 (Nat.bit_length p);
+  Alcotest.(check nat) "p = 2q+1" p (Nat.add (Nat.shift_left q 1) Nat.one);
+  Alcotest.(check bool) "p prime" true (Prime.is_probable_prime p);
+  Alcotest.(check bool) "q prime" true (Prime.is_probable_prime q)
+
+let test_random_below_uniform () =
+  (* Rejection sampling over a non-power-of-two bound: bucket counts must be
+     uniform (the classic modulo-bias failure would skew low buckets). *)
+  let rng = Atom_util.Rng.create 777 in
+  let bound = Nat.of_int 1000 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 50_000 do
+    let v = Nat.to_int_exn (Nat.random_below rng bound) in
+    buckets.(v / 100) <- buckets.(v / 100) + 1
+  done;
+  (* chi-square, 9 dof: 99.9th percentile ~27.9 *)
+  Alcotest.(check bool) "uniform buckets" true
+    (Atom_util.Stats.chi_square_uniform buckets < 30.)
+
+(* Property tests *)
+
+let gen_nat : Nat.t QCheck2.Gen.t =
+  QCheck2.Gen.map
+    (fun s -> Nat.of_bytes_be s)
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 24))
+
+let prop_add_commutative =
+  QCheck2.Test.make ~name:"nat add commutative" ~count:300 (QCheck2.Gen.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.add a b) (Nat.add b a))
+
+let prop_mul_commutative =
+  QCheck2.Test.make ~name:"nat mul commutative" ~count:300 (QCheck2.Gen.pair gen_nat gen_nat)
+    (fun (a, b) -> Nat.equal (Nat.mul a b) (Nat.mul b a))
+
+let prop_mul_distributes =
+  QCheck2.Test.make ~name:"nat mul distributes over add" ~count:300
+    (QCheck2.Gen.triple gen_nat gen_nat gen_nat) (fun (a, b, c) ->
+      Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)))
+
+let prop_div_rem =
+  QCheck2.Test.make ~name:"nat a = q*b + r, r < b" ~count:300 (QCheck2.Gen.pair gen_nat gen_nat)
+    (fun (a, b) ->
+      QCheck2.assume (not (Nat.is_zero b));
+      let q, r = Nat.div_rem a b in
+      Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.lt r b)
+
+let prop_bytes_roundtrip =
+  QCheck2.Test.make ~name:"nat bytes roundtrip" ~count:300 gen_nat (fun a ->
+      Nat.equal a (Nat.of_bytes_be (Nat.to_bytes_be a)))
+
+let prop_decimal_roundtrip =
+  QCheck2.Test.make ~name:"nat decimal roundtrip" ~count:200 gen_nat (fun a ->
+      Nat.equal a (Nat.of_decimal (Nat.to_decimal a)))
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "nat",
+    [
+      Alcotest.test_case "of/to int" `Quick test_of_to_int;
+      Alcotest.test_case "add/sub" `Quick test_add_sub;
+      Alcotest.test_case "mul" `Quick test_mul;
+      Alcotest.test_case "div_rem" `Quick test_div_rem;
+      Alcotest.test_case "shifts" `Quick test_shift;
+      Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+      Alcotest.test_case "decimal roundtrip" `Quick test_decimal_roundtrip;
+      Alcotest.test_case "bit operations" `Quick test_bit_ops;
+      Alcotest.test_case "mod_small" `Quick test_mod_small;
+      Alcotest.test_case "montgomery matches nat" `Quick test_modarith_matches_nat;
+      Alcotest.test_case "montgomery pow" `Quick test_modarith_pow;
+      Alcotest.test_case "montgomery inverse" `Quick test_modarith_inv;
+      Alcotest.test_case "montgomery small modulus exhaustive" `Slow test_modarith_small_modulus;
+      Alcotest.test_case "known primes and composites" `Quick test_prime_known;
+      Alcotest.test_case "random prime" `Quick test_random_prime;
+      Alcotest.test_case "safe prime" `Quick test_safe_prime;
+      Alcotest.test_case "random_below uniform" `Slow test_random_below_uniform;
+      q prop_add_commutative;
+      q prop_mul_commutative;
+      q prop_mul_distributes;
+      q prop_div_rem;
+      q prop_bytes_roundtrip;
+      q prop_decimal_roundtrip;
+    ] )

@@ -1,0 +1,310 @@
+(* End-to-end tests of the Atom protocol engine (real cryptography):
+   correctness of all three variants, active-attack detection, malicious
+   users + blame, fail-stop churn, and buddy-group recovery. *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Pr = Atom_core.Protocol.Make (G)
+module El = Pr.El
+module Msg = Pr.Msg
+open Atom_core
+
+let rng () = Atom_util.Rng.create 0xa70e
+
+let messages_of n = List.init n (fun i -> Printf.sprintf "message-%02d" i)
+
+let submit_all r net msgs =
+  List.mapi
+    (fun i msg ->
+      Pr.submit r net ~user:i ~entry_gid:(i mod net.Pr.config.Config.n_groups) msg)
+    msgs
+
+let check_delivery ?(extra_ok = false) (msgs : string list) (outcome : Pr.outcome) =
+  Alcotest.(check bool) "no abort" true (outcome.Pr.aborted = None);
+  let sent = List.sort compare msgs in
+  let got = List.sort compare outcome.Pr.delivered in
+  if extra_ok then
+    List.iter
+      (fun m -> Alcotest.(check bool) ("delivered " ^ m) true (List.mem m got))
+      sent
+  else Alcotest.(check (list string)) "all messages delivered" sent got
+
+let test_variant variant () =
+  let r = rng () in
+  let config = Config.tiny ~variant () in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 8 in
+  let outcome = Pr.run r net (submit_all r net msgs) in
+  check_delivery msgs outcome;
+  Alcotest.(check (list int)) "no rejections" [] outcome.Pr.rejected_submissions;
+  Alcotest.(check (list int)) "no blame" [] outcome.Pr.blamed
+
+(* The output order must not reveal the input order: with everything honest,
+   the permutation should differ across seeds (smoke test for mixing — the
+   statistical version lives in the topology suite). *)
+let test_output_order_varies () =
+  let config = Config.tiny ~variant:Config.Basic () in
+  let orders =
+    List.map
+      (fun seed ->
+        let r = Atom_util.Rng.create seed in
+        let net = Pr.setup r { config with Config.seed } () in
+        let msgs = messages_of 8 in
+        (Pr.run r net (submit_all r net msgs)).Pr.delivered)
+      [ 1; 2; 3 ]
+  in
+  match orders with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "orders differ" true (a <> b || b <> c);
+      Alcotest.(check (list string)) "same multiset" (List.sort compare a) (List.sort compare b)
+  | _ -> assert false
+
+let test_invalid_proof_rejected () =
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Basic () in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 4 in
+  let subs = submit_all r net msgs in
+  (* Corrupt user 2's submission: re-encrypt the vec so proofs break. *)
+  let subs =
+    List.map
+      (fun s ->
+        if s.Pr.user <> 2 then s
+        else begin
+          let u = s.Pr.units.(0) in
+          let vec', _ = Option.get (El.rerandomize r (Pr.group_pk net s.Pr.entry_gid) u.Pr.vec.(0)) in
+          let bad_vec = Array.copy u.Pr.vec in
+          bad_vec.(0) <- vec';
+          { s with Pr.units = [| { u with Pr.vec = bad_vec } |] }
+        end)
+      subs
+  in
+  let outcome = Pr.run r net subs in
+  Alcotest.(check (list int)) "user 2 rejected" [ 2 ] outcome.Pr.rejected_submissions;
+  Alcotest.(check int) "other messages delivered" 3 (List.length outcome.Pr.delivered)
+
+let test_duplicate_ciphertext_rejected () =
+  (* A malicious user replays another user's exact submission ciphertext:
+     the entry group's duplicate check catches it (§3). *)
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Basic () in
+  let net = Pr.setup r config () in
+  let s0 = Pr.submit r net ~user:0 ~entry_gid:0 "victim message" in
+  let clone = { s0 with Pr.user = 1 } in
+  let outcome = Pr.run r net [ s0; clone ] in
+  Alcotest.(check (list int)) "replay rejected" [ 1 ] outcome.Pr.rejected_submissions;
+  Alcotest.(check (list string)) "victim delivered" [ "victim message" ] outcome.Pr.delivered
+
+let test_nizk_catches_bad_shuffle () =
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Nizk () in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 6 in
+  let adversary =
+    { Pr.no_adversary with Pr.cheat_shuffle = (fun ~iter ~gid -> iter = 1 && gid = 0) }
+  in
+  let outcome = Pr.run r net ~adversary (submit_all r net msgs) in
+  (match outcome.Pr.aborted with
+  | Some (Pr.Shuffle_proof_rejected { gid = 0; iter = 1 }) -> ()
+  | other ->
+      Alcotest.failf "expected shuffle proof rejection, got %s"
+        (match other with None -> "no abort" | Some _ -> "different abort"));
+  Alcotest.(check (list string)) "nothing delivered" [] outcome.Pr.delivered
+
+let test_nizk_catches_forward_tampering () =
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Nizk () in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 6 in
+  let adversary =
+    {
+      Pr.no_adversary with
+      Pr.tamper =
+        (fun ~iter ~gid ~next_pk batch ->
+          if iter = 0 && gid = 1 && Array.length batch > 0 then begin
+            let b = Array.copy batch in
+            b.(0) <- Pr.garbage_unit r net ~next_pk;
+            b
+          end
+          else batch);
+    }
+  in
+  let outcome = Pr.run r net ~adversary (submit_all r net msgs) in
+  (match outcome.Pr.aborted with
+  | Some (Pr.Reenc_proof_rejected _) -> ()
+  | _ -> Alcotest.fail "expected reenc proof rejection")
+
+(* Trap variant vs a tampering server: replacing one unit hits a trap with
+   probability 1/2 (abort) and a real message otherwise (one message lost,
+   no deanonymization). Checked over repeated rounds. *)
+let test_trap_detection_probability () =
+  let aborts = ref 0 and losses = ref 0 and runs = 20 in
+  for seed = 1 to runs do
+    let r = Atom_util.Rng.create (1000 + seed) in
+    let config = { (Config.tiny ~variant:Config.Trap ~seed ()) with Config.n_groups = 2 } in
+    let net = Pr.setup r config () in
+    let msgs = messages_of 6 in
+    let tampered = ref false in
+    let adversary =
+      {
+        Pr.no_adversary with
+        Pr.tamper =
+          (fun ~iter ~gid ~next_pk batch ->
+            if iter = 1 && gid = 0 && Array.length batch > 0 && not !tampered then begin
+              tampered := true;
+              let b = Array.copy batch in
+              b.(0) <- Pr.garbage_unit r net ~next_pk;
+              b
+            end
+            else batch);
+      }
+    in
+    let outcome = Pr.run r net ~adversary (submit_all r net msgs) in
+    Alcotest.(check bool) "tamper happened" true !tampered;
+    match outcome.Pr.aborted with
+    | Some _ -> incr aborts
+    | None ->
+        (* Undetected: exactly one message lost, the rest unharmed. *)
+        Alcotest.(check int) "one message lost" 5 (List.length outcome.Pr.delivered);
+        incr losses
+  done;
+  (* p = 1/2 per tamper: 20 trials, expect both outcomes to occur well away
+     from 0 (P[<=2] < 0.1%). *)
+  Alcotest.(check bool)
+    (Printf.sprintf "aborts=%d losses=%d" !aborts !losses)
+    true
+    (!aborts >= 3 && !losses >= 3)
+
+let test_trap_bad_user_blamed () =
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Trap () in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 4 in
+  let subs = submit_all r net msgs in
+  (* User 1 lies: commitment does not match any trap it submitted. *)
+  let subs =
+    List.map
+      (fun s ->
+        if s.Pr.user = 1 then { s with Pr.commitment = Some (String.make 32 'x') } else s)
+      subs
+  in
+  let outcome = Pr.run r net subs in
+  Alcotest.(check bool) "round aborted" true (outcome.Pr.aborted <> None);
+  Alcotest.(check (list int)) "user 1 blamed" [ 1 ] outcome.Pr.blamed
+
+let test_trap_duplicate_inner_blamed () =
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Trap () in
+  let net = Pr.setup r config () in
+  (* Users 2 and 3 collude: both route the same inner ciphertext. *)
+  let honest = [ Pr.submit r net ~user:0 ~entry_gid:0 "honest-a"; Pr.submit r net ~user:1 ~entry_gid:1 "honest-b" ] in
+  let padded = Msg.pad_plaintext ~msg_bytes:net.Pr.config.Config.msg_bytes "colluder" in
+  let inner = El.Kem.to_bytes (El.Kem.enc r net.Pr.trustee_pk padded) in
+  let colluder user gid =
+    let nonce = Atom_util.Rng.bytes r Msg.trap_nonce_bytes in
+    let trap = Msg.make_trap ~gid ~nonce in
+    let unit_m = Pr.encrypt_unit r net ~gid ~tag:Msg.tag_message inner in
+    let unit_t = Pr.encrypt_unit r net ~gid ~tag:Msg.tag_trap trap in
+    {
+      Pr.user;
+      Pr.entry_gid = gid;
+      Pr.units = [| unit_m; unit_t |];
+      Pr.commitment = Some (Msg.commit_trap ~width:net.Pr.width trap);
+    }
+  in
+  let outcome = Pr.run r net (honest @ [ colluder 2 2; colluder 3 3 ]) in
+  (match outcome.Pr.aborted with
+  | Some Pr.Duplicate_inner -> ()
+  | _ -> Alcotest.fail "expected duplicate-inner abort");
+  (* At least the second submitter of the duplicate is blamed. *)
+  Alcotest.(check bool) "a colluder is blamed" true
+    (List.exists (fun u -> u = 2 || u = 3) outcome.Pr.blamed)
+
+(* Fail-stop churn (§4.5): with h = 2 the group rides out one failure. *)
+let churn_config seed : Config.t =
+  {
+    (Config.tiny ~variant:Config.Trap ~seed ()) with
+    Config.n_servers = 16;
+    Config.n_groups = 3;
+    Config.group_size = 4;
+    Config.h = 2;
+  }
+
+let test_churn_tolerated () =
+  let r = rng () in
+  let config = churn_config 7 in
+  let net = Pr.setup r config () in
+  (* Fail one member of group 0. *)
+  Pr.fail_server net net.Pr.groups.(0).Pr.members.(1);
+  let msgs = messages_of 6 in
+  let outcome = Pr.run r net (submit_all r net msgs) in
+  check_delivery msgs outcome
+
+let test_group_down_and_recovery () =
+  let r = rng () in
+  let config = churn_config 8 in
+  let net = Pr.setup r config () in
+  (* Two failures in a 4-server group with quorum 3: the group is down. *)
+  Pr.fail_server net net.Pr.groups.(0).Pr.members.(0);
+  Pr.fail_server net net.Pr.groups.(0).Pr.members.(2);
+  let msgs = messages_of 6 in
+  let outcome = Pr.run r net (submit_all r net msgs) in
+  (match outcome.Pr.aborted with
+  | Some (Pr.Group_down { gid = 0 }) -> ()
+  | _ -> Alcotest.fail "expected group 0 down");
+  (* Buddy-group recovery restores the shares; the next round succeeds. *)
+  Alcotest.(check bool) "recovery succeeds" true (Pr.recover_group net 0);
+  let outcome = Pr.run r net (submit_all r net msgs) in
+  check_delivery msgs outcome
+
+let test_anytrust_sampling_property () =
+  (* With f = 20% of servers malicious and the paper's sizing, sampled
+     groups essentially always contain an honest server. Tiny scale: just
+     check the checker itself. *)
+  let beacon = Beacon.create ~seed:5 in
+  let formation =
+    Group_formation.form beacon ~round:0 ~n_servers:40 ~n_groups:10 ~group_size:12 ()
+  in
+  Alcotest.(check bool) "honest everywhere (f=0.2)" true
+    (Group_formation.all_groups_have_honest formation ~malicious:(fun s -> s mod 5 = 0));
+  Alcotest.(check bool) "all malicious fails" false
+    (Group_formation.all_groups_have_honest formation ~malicious:(fun _ -> true))
+
+let test_staggering () =
+  (* §4.7: a server appearing in several groups should occupy different
+     pipeline positions. *)
+  let beacon = Beacon.create ~seed:6 in
+  let formation = Group_formation.form beacon ~round:0 ~n_servers:8 ~n_groups:8 ~group_size:8 () in
+  (* With group_size = n_servers every group has everyone; position of
+     server s in group g is (index + gid) rotation, so positions differ. *)
+  let positions server =
+    Array.to_list
+      (Array.map
+         (fun (g : Group_formation.group) ->
+           let pos = ref (-1) in
+           Array.iteri (fun i m -> if m = server then pos := i) g.Group_formation.members;
+           !pos)
+         formation.Group_formation.groups)
+  in
+  let p0 = positions 0 in
+  Alcotest.(check bool) "server 0 occupies multiple positions" true
+    (List.length (List.sort_uniq compare p0) > 1)
+
+let suite =
+  ( "protocol",
+    [
+      Alcotest.test_case "basic variant end-to-end" `Quick (test_variant Config.Basic);
+      Alcotest.test_case "nizk variant end-to-end" `Quick (test_variant Config.Nizk);
+      Alcotest.test_case "trap variant end-to-end" `Quick (test_variant Config.Trap);
+      Alcotest.test_case "output order varies" `Quick test_output_order_varies;
+      Alcotest.test_case "invalid enc proof rejected" `Quick test_invalid_proof_rejected;
+      Alcotest.test_case "duplicate ciphertext rejected" `Quick test_duplicate_ciphertext_rejected;
+      Alcotest.test_case "nizk catches bad shuffle" `Quick test_nizk_catches_bad_shuffle;
+      Alcotest.test_case "nizk catches forward tampering" `Quick test_nizk_catches_forward_tampering;
+      Alcotest.test_case "trap detection probability" `Slow test_trap_detection_probability;
+      Alcotest.test_case "trap bad user blamed" `Quick test_trap_bad_user_blamed;
+      Alcotest.test_case "trap duplicate inner blamed" `Quick test_trap_duplicate_inner_blamed;
+      Alcotest.test_case "churn tolerated (h=2)" `Quick test_churn_tolerated;
+      Alcotest.test_case "group down and buddy recovery" `Quick test_group_down_and_recovery;
+      Alcotest.test_case "anytrust sampling" `Quick test_anytrust_sampling_property;
+      Alcotest.test_case "staggering" `Quick test_staggering;
+    ] )

@@ -1,0 +1,263 @@
+(* Tests for atom_sim: event ordering, effect-based processes, mailboxes,
+   FIFO resources, the compute model, and the network model. *)
+
+open Atom_sim
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_event_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:3. (fun () -> log := "c" :: !log);
+  Engine.schedule e ~delay:1. (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:2. (fun () -> log := "b" :: !log);
+  (* Ties fire in schedule order. *)
+  Engine.schedule e ~delay:1. (fun () -> log := "a2" :: !log);
+  let final = Engine.run e in
+  feq "final time" 3. final;
+  Alcotest.(check (list string)) "order" [ "a"; "a2"; "b"; "c" ] (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1. (fun () ->
+      log := ("x", Engine.now e) :: !log;
+      Engine.schedule e ~delay:0.5 (fun () -> log := ("y", Engine.now e) :: !log));
+  ignore (Engine.run e);
+  Alcotest.(check (list (pair string (float 1e-9)))) "nested" [ ("x", 1.); ("y", 1.5) ]
+    (List.rev !log)
+
+let test_run_until () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:10. (fun () -> fired := true);
+  let t = Engine.run ~until:5. e in
+  feq "stopped at limit" 5. t;
+  Alcotest.(check bool) "event not fired" false !fired
+
+let test_sleep () =
+  let e = Engine.create () in
+  let times = ref [] in
+  Engine.spawn e (fun () ->
+      times := Engine.now e :: !times;
+      Engine.sleep e 2.5;
+      times := Engine.now e :: !times;
+      Engine.sleep e 1.5;
+      times := Engine.now e :: !times);
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "sleep times" [ 0.; 2.5; 4.0 ] (List.rev !times)
+
+let test_mailbox_blocking () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got = ref (-1., -1) in
+  Engine.spawn e (fun () ->
+      let v = Mailbox.recv mb in
+      got := (Engine.now e, v));
+  Engine.schedule e ~delay:3. (fun () -> Mailbox.send mb 42);
+  ignore (Engine.run e);
+  Alcotest.(check (pair (float 1e-9) int)) "blocked until send" (3., 42) !got
+
+let test_mailbox_queued () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  let got = ref [] in
+  Engine.spawn e (fun () -> got := Mailbox.recv_n mb 2);
+  ignore (Engine.run e);
+  Alcotest.(check (list int)) "fifo" [ 1; 2 ] !got
+
+let test_mailbox_two_receivers () =
+  let e = Engine.create () in
+  let mb = Mailbox.create e in
+  let got = ref [] in
+  for i = 1 to 2 do
+    Engine.spawn e (fun () ->
+        let v = Mailbox.recv mb in
+        got := (i, v, Engine.now e) :: !got)
+  done;
+  Engine.schedule e ~delay:1. (fun () -> Mailbox.send mb 10);
+  Engine.schedule e ~delay:2. (fun () -> Mailbox.send mb 20);
+  ignore (Engine.run e);
+  Alcotest.(check int) "both received" 2 (List.length !got);
+  let values = List.sort compare (List.map (fun (_, v, _) -> v) !got) in
+  Alcotest.(check (list int)) "each got one" [ 10; 20 ] values
+
+let test_resource_mutual_exclusion () =
+  let e = Engine.create () in
+  let r = Resource.create e in
+  let spans = ref [] in
+  for i = 0 to 2 do
+    Engine.spawn e (fun () ->
+        Resource.with_resource r (fun () ->
+            let start = Engine.now e in
+            Engine.sleep e 1.;
+            spans := (i, start, Engine.now e) :: !spans))
+  done;
+  ignore (Engine.run e);
+  (* Three unit-length critical sections serialize: total time 3. *)
+  let spans = List.rev !spans in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  List.iteri
+    (fun k (_, start, stop) ->
+      feq "serialized start" (float_of_int k) start;
+      feq "serialized stop" (float_of_int (k + 1)) stop)
+    spans;
+  (* FIFO order: processes acquired in spawn order. *)
+  Alcotest.(check (list int)) "fifo order" [ 0; 1; 2 ] (List.map (fun (i, _, _) -> i) spans)
+
+let test_resource_utilization () =
+  let e = Engine.create () in
+  let r = Resource.create e in
+  Engine.spawn e (fun () ->
+      Resource.with_resource r (fun () -> Engine.sleep e 2.);
+      Engine.sleep e 2.);
+  ignore (Engine.run e);
+  feq "utilization" 0.5 (Resource.utilization r ~total_time:4.)
+
+let test_machine_compute () =
+  let e = Engine.create () in
+  let m = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e6 ~cluster:0 in
+  let done_at = ref 0. in
+  Engine.spawn e (fun () ->
+      Machine.compute e m ~serial:1. ~parallel:8.;
+      done_at := Engine.now e);
+  ignore (Engine.run e);
+  (* 1 + 8/4 = 3 *)
+  feq "amdahl" 3. !done_at
+
+let test_machine_contention () =
+  (* Two groups using the same machine serialize on its CPU. *)
+  let e = Engine.create () in
+  let m = Machine.create e ~id:0 ~cores:1 ~bandwidth:1e6 ~cluster:0 in
+  let finish = ref [] in
+  for _ = 1 to 2 do
+    Engine.spawn e (fun () ->
+        Machine.compute e m ~serial:1. ~parallel:0.;
+        finish := Engine.now e :: !finish)
+  done;
+  ignore (Engine.run e);
+  Alcotest.(check (list (float 1e-9))) "serialized" [ 2.; 1. ] !finish
+
+let test_net_latency_model () =
+  let e = Engine.create () in
+  let net = Net.create e in
+  let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let c = Machine.create e ~id:2 ~cores:4 ~bandwidth:1e9 ~cluster:3 in
+  feq "intra cluster" 0.040 (Net.latency net a b);
+  let inter = Net.latency net a c in
+  Alcotest.(check bool) "inter in range" true (inter >= 0.080 && inter <= 0.160);
+  feq "deterministic" inter (Net.latency net a c);
+  feq "symmetric" inter (Net.latency net c a)
+
+let test_net_send_timing () =
+  let e = Engine.create () in
+  let net = Net.create e ~tls_cpu:0. in
+  (* 1 MB/s bandwidth: sending 1 MB takes 1 s of serialization. *)
+  let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e6 ~cluster:0 in
+  let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let mb = Mailbox.create e in
+  let arrival = ref 0. in
+  Engine.spawn e (fun () -> Net.send net ~src:a ~dst:b ~bytes:1e6 mb "payload");
+  Engine.spawn e (fun () ->
+      let _ = Mailbox.recv mb in
+      arrival := Engine.now e);
+  ignore (Engine.run e);
+  (* handshake RTT (2×0.04) + serialization 1.0 + propagation 0.04 *)
+  feq "arrival" (0.08 +. 1.0 +. 0.04) !arrival;
+  Alcotest.(check int) "one connection" 1 net.Net.connections_opened
+
+let test_net_connection_reuse () =
+  let e = Engine.create () in
+  let net = Net.create e ~tls_cpu:0. in
+  let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let mb = Mailbox.create e in
+  Engine.spawn e (fun () ->
+      Net.send net ~src:a ~dst:b ~bytes:10. mb 1;
+      Net.send net ~src:a ~dst:b ~bytes:10. mb 2);
+  ignore (Engine.run e);
+  Alcotest.(check int) "handshake once" 1 net.Net.connections_opened
+
+let test_net_dead_destination () =
+  let e = Engine.create () in
+  let net = Net.create e in
+  let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  Machine.fail b;
+  let mb = Mailbox.create e in
+  Engine.spawn e (fun () -> Net.send net ~src:a ~dst:b ~bytes:10. mb ());
+  ignore (Engine.run e);
+  Alcotest.(check int) "dropped" 0 (Mailbox.length mb)
+
+let test_paper_fleet_distribution () =
+  let rng = Atom_util.Rng.create 99 in
+  let n = 20_000 in
+  let cores = Array.init n (fun _ -> Machine.paper_cores rng) in
+  let frac k = float_of_int (Array.length (Array.of_list (List.filter (( = ) k) (Array.to_list cores)))) /. float_of_int n in
+  Alcotest.(check bool) "80% 4-core" true (Float.abs (frac 4 -. 0.80) < 0.02);
+  Alcotest.(check bool) "10% 8-core" true (Float.abs (frac 8 -. 0.10) < 0.02);
+  Alcotest.(check bool) "5% 16-core" true (Float.abs (frac 16 -. 0.05) < 0.02);
+  Alcotest.(check bool) "5% 32-core" true (Float.abs (frac 32 -. 0.05) < 0.02)
+
+let test_determinism () =
+  (* Two identical runs produce identical event counts and times. *)
+  let run () =
+    let e = Engine.create () in
+    let net = Net.create e in
+    let machines =
+      Array.init 8 (fun i -> Machine.create e ~id:i ~cores:4 ~bandwidth:1e8 ~cluster:(i mod 3))
+    in
+    let mb = Mailbox.create e in
+    for i = 0 to 7 do
+      Engine.spawn e (fun () ->
+          Machine.compute e machines.(i) ~serial:0.001 ~parallel:0.01;
+          Net.send net ~src:machines.(i) ~dst:machines.((i + 1) mod 8) ~bytes:1000. mb i)
+    done;
+    Engine.spawn e (fun () -> ignore (Mailbox.recv_n mb 8));
+    let t = Engine.run e in
+    (t, Engine.events_run e)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (pair (float 1e-12) int)) "identical runs" a b
+
+let test_heap_stress () =
+  (* 10k events scheduled in random order fire in exact time order. *)
+  let e = Engine.create () in
+  let rng = Atom_util.Rng.create 4242 in
+  let fired = ref [] in
+  for _ = 1 to 10_000 do
+    let t = Atom_util.Rng.float rng *. 1000. in
+    Engine.schedule e ~delay:t (fun () -> fired := Engine.now e :: !fired)
+  done;
+  ignore (Engine.run e);
+  let times = Array.of_list (List.rev !fired) in
+  Alcotest.(check int) "all fired" 10_000 (Array.length times);
+  for i = 1 to Array.length times - 1 do
+    if times.(i) < times.(i - 1) then Alcotest.fail "out-of-order event"
+  done
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "event ordering" `Quick test_event_ordering;
+      Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+      Alcotest.test_case "run until" `Quick test_run_until;
+      Alcotest.test_case "process sleep" `Quick test_sleep;
+      Alcotest.test_case "mailbox blocking recv" `Quick test_mailbox_blocking;
+      Alcotest.test_case "mailbox queueing" `Quick test_mailbox_queued;
+      Alcotest.test_case "mailbox two receivers" `Quick test_mailbox_two_receivers;
+      Alcotest.test_case "resource mutual exclusion" `Quick test_resource_mutual_exclusion;
+      Alcotest.test_case "resource utilization" `Quick test_resource_utilization;
+      Alcotest.test_case "machine amdahl" `Quick test_machine_compute;
+      Alcotest.test_case "machine contention" `Quick test_machine_contention;
+      Alcotest.test_case "net latency model" `Quick test_net_latency_model;
+      Alcotest.test_case "net send timing" `Quick test_net_send_timing;
+      Alcotest.test_case "net connection reuse" `Quick test_net_connection_reuse;
+      Alcotest.test_case "net dead destination" `Quick test_net_dead_destination;
+      Alcotest.test_case "paper fleet distribution" `Quick test_paper_fleet_distribution;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "heap stress (10k events)" `Quick test_heap_stress;
+    ] )

@@ -1,0 +1,145 @@
+(* Tests for the modeled large-scale simulator: the headline evaluation
+   claims of §6 must hold in simulation (shape and, where the paper is
+   explicit, approximate magnitude). *)
+
+open Atom_core
+
+let paper_cfg n =
+  { Config.paper_default with Config.n_servers = n; Config.n_groups = n }
+
+let test_headline_latency () =
+  (* §6.2 / Table 12: one million microblog messages, 1,024 servers,
+     28.2 min. Accept ±20%. *)
+  let r = Simulate.run (Simulate.microblog (paper_cfg 1024) ~n_messages:1_000_000) in
+  let minutes = r.Simulate.latency /. 60. in
+  Alcotest.(check bool)
+    (Printf.sprintf "28 min +/- 20%% (got %.1f)" minutes)
+    true
+    (minutes > 22. && minutes < 34.)
+
+let test_latency_linear_in_messages () =
+  (* Figure 9: latency grows linearly with the number of messages. *)
+  let latency m = (Simulate.run (Simulate.microblog (paper_cfg 256) ~n_messages:m)).Simulate.latency in
+  let l1 = latency 100_000 and l2 = latency 200_000 and l4 = latency 400_000 in
+  Alcotest.(check bool) "monotone" true (l1 < l2 && l2 < l4);
+  let r21 = l2 /. l1 and r42 = l4 /. l2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "doubling messages ~doubles latency (%.2f, %.2f)" r21 r42)
+    true
+    (r21 > 1.6 && r21 < 2.4 && r42 > 1.6 && r42 < 2.4)
+
+let test_horizontal_scalability () =
+  (* Figure 10: twice the servers, half the latency (roughly). *)
+  let latency n = (Simulate.run (Simulate.microblog (paper_cfg n) ~n_messages:250_000)).Simulate.latency in
+  let l128 = latency 128 and l256 = latency 256 and l512 = latency 512 in
+  let s1 = l128 /. l256 and s2 = l256 /. l512 in
+  Alcotest.(check bool)
+    (Printf.sprintf "near-linear speedup (%.2f, %.2f)" s1 s2)
+    true
+    (s1 > 1.6 && s1 < 2.4 && s2 > 1.6 && s2 < 2.4)
+
+let test_dialing_faster_than_microblog () =
+  (* Figure 9: dialing (80 B) is cheaper per message than microblogging
+     (160 B) once real traffic dominates the ~410k fixed DP dummies. *)
+  let cfg = paper_cfg 256 in
+  let mb = (Simulate.run (Simulate.microblog cfg ~n_messages:1_500_000)).Simulate.latency in
+  let dl = (Simulate.run (Simulate.dialing cfg ~n_messages:1_500_000)).Simulate.latency in
+  Alcotest.(check bool) (Printf.sprintf "dialing %.0fs < microblog %.0fs" dl mb) true (dl < mb)
+
+let test_nizk_slower_factor () =
+  (* §6.1: the NIZK variant is about 4x slower than the trap variant. *)
+  let t_trap =
+    Simulate.one_iteration_seconds ~cal:Calibration.paper ~variant:Config.Trap ~k:32 ~units:2048
+      ~points:1 ()
+  in
+  let t_nizk =
+    Simulate.one_iteration_seconds ~cal:Calibration.paper ~variant:Config.Nizk ~k:32 ~units:1024
+      ~points:1 ()
+  in
+  let ratio = t_nizk /. t_trap in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f in [3, 5]" ratio) true (ratio > 3. && ratio < 5.)
+
+let test_iteration_time_linear_in_group_size () =
+  (* Figure 6: mixing time linear in k. *)
+  let t k =
+    Simulate.one_iteration_seconds ~cal:Calibration.paper ~variant:Config.Trap ~k ~units:2048
+      ~points:1 ()
+  in
+  let r = t 64 /. t 32 in
+  Alcotest.(check bool) (Printf.sprintf "t(64)/t(32) = %.2f" r) true (r > 1.8 && r < 2.2)
+
+let test_cores_speedup () =
+  (* Figure 7: near-linear speedup for trap, sub-linear for NIZK. *)
+  (* Compute-bound experiment: the paper's speedups require the network
+     share to be negligible (see EXPERIMENTS.md). *)
+  let t variant cores =
+    Simulate.one_iteration_seconds ~cal:Calibration.paper ~variant ~k:32 ~units:1024 ~points:1
+      ~cores ~intra_parallel:true ~include_network:false ()
+  in
+  let trap_speedup = t Config.Trap 4 /. t Config.Trap 36 in
+  let nizk_speedup = t Config.Nizk 4 /. t Config.Nizk 36 in
+  Alcotest.(check bool)
+    (Printf.sprintf "trap speedup %.1f near-linear" trap_speedup)
+    true
+    (trap_speedup > 6. && trap_speedup < 9.);
+  Alcotest.(check bool)
+    (Printf.sprintf "nizk speedup %.1f sub-linear" nizk_speedup)
+    true
+    (nizk_speedup > 2.5 && nizk_speedup < 6.);
+  Alcotest.(check bool) "nizk < trap" true (nizk_speedup < trap_speedup)
+
+let test_deterministic () =
+  let run () = (Simulate.run (Simulate.microblog (paper_cfg 128) ~n_messages:50_000)).Simulate.latency in
+  Alcotest.(check (float 1e-9)) "same latency" (run ()) (run ())
+
+let test_bandwidth_claim () =
+  (* §6.2: Atom servers use less than 1 MB/s on average. *)
+  let r = Simulate.run (Simulate.microblog (paper_cfg 1024) ~n_messages:1_000_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-server send rate %.0f B/s < 1MB/s" r.Simulate.max_server_bandwidth)
+    true
+    (r.Simulate.max_server_bandwidth < 1e6)
+
+let test_iteration_times_structure () =
+  let r = Simulate.run (Simulate.microblog (paper_cfg 128) ~n_messages:100_000) in
+  let t = r.Simulate.iteration_times in
+  Alcotest.(check int) "T layers recorded" 10 (Array.length t);
+  for i = 1 to Array.length t - 1 do
+    Alcotest.(check bool) "monotone" true (t.(i) > t.(i - 1))
+  done;
+  (* Steady-state layers are equally paced (first may differ: entry+TLS). *)
+  let gaps = Array.init 8 (fun i -> t.(i + 2) -. t.(i + 1)) in
+  let spread = Atom_util.Stats.stddev gaps /. Atom_util.Stats.mean gaps in
+  Alcotest.(check bool) (Printf.sprintf "even pacing (cv %.3f)" spread) true (spread < 0.05)
+
+let test_trap_doubles_basic () =
+  (* The trap variant routes twice the units of the basic variant: its
+     latency should be roughly double. *)
+  let cfg v = { (paper_cfg 128) with Config.variant = v } in
+  let l v = (Simulate.run (Simulate.microblog (cfg v) ~n_messages:200_000)).Simulate.latency in
+  let ratio = l Config.Trap /. l Config.Basic in
+  Alcotest.(check bool) (Printf.sprintf "trap/basic = %.2f" ratio) true (ratio > 1.6 && ratio < 2.4)
+
+let test_layer_overhead_additive () =
+  let p = Simulate.microblog (paper_cfg 128) ~n_messages:50_000 in
+  let base = (Simulate.run p).Simulate.latency in
+  let with_oh = (Simulate.run { p with Simulate.layer_overhead = 100. }).Simulate.latency in
+  (* T = 10 layers; the overhead sleeps apply between layers (9 gaps). *)
+  Alcotest.(check (float 5.)) "overhead additive" (base +. 900.) with_oh
+
+let suite =
+  ( "simulate",
+    [
+      Alcotest.test_case "headline 1M/1024 latency" `Quick test_headline_latency;
+      Alcotest.test_case "latency linear in messages" `Quick test_latency_linear_in_messages;
+      Alcotest.test_case "horizontal scalability" `Quick test_horizontal_scalability;
+      Alcotest.test_case "dialing cheaper than microblog" `Quick test_dialing_faster_than_microblog;
+      Alcotest.test_case "nizk ~4x slower" `Quick test_nizk_slower_factor;
+      Alcotest.test_case "iteration linear in group size" `Quick test_iteration_time_linear_in_group_size;
+      Alcotest.test_case "cores speedup (fig 7)" `Quick test_cores_speedup;
+      Alcotest.test_case "simulator determinism" `Quick test_deterministic;
+      Alcotest.test_case "bandwidth under 1MB/s" `Quick test_bandwidth_claim;
+      Alcotest.test_case "iteration time structure" `Quick test_iteration_times_structure;
+      Alcotest.test_case "trap doubles basic" `Quick test_trap_doubles_basic;
+      Alcotest.test_case "layer overhead additive" `Quick test_layer_overhead_additive;
+    ] )

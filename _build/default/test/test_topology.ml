@@ -1,0 +1,157 @@
+(* Tests for atom_topology: group sizing (Appendix B / Figure 13) and the
+   random permutation networks of §3. *)
+
+open Atom_topology
+
+let test_paper_group_sizes () =
+  (* §4.1: f = 20%, G = 1024, 2^-64 -> k = 32 for plain anytrust. *)
+  Alcotest.(check int) "h=1 gives k=32" 32 (Group_sizing.paper_config ~h:1);
+  (* §4.5 quotes k >= 33 for h = 2, which matches the heuristic
+     k(h) = k(1) + (h−1) (keep a 32-wide anytrust quorum after h−1
+     failures); the binomial tail itself gives 31 (single group) / 35
+     (union bound over G). All three are reported in EXPERIMENTS.md. *)
+  Alcotest.(check int) "h=2 single-group tail" 31
+    (Group_sizing.required_group_size ~union_bound:false ~f:0.2 ~groups:1024 ~h:2
+       ~security_bits:64 ());
+  Alcotest.(check int) "h=2 union-bound tail" 35
+    (Group_sizing.required_group_size ~f:0.2 ~groups:1024 ~h:2 ~security_bits:64 ());
+  Alcotest.(check int) "h=2 paper heuristic" 33 (Group_sizing.paper_heuristic ~h:2)
+
+let test_group_size_monotonicity () =
+  let k h = Group_sizing.paper_config ~h in
+  for h = 1 to 19 do
+    Alcotest.(check bool) (Printf.sprintf "k(h=%d) <= k(h=%d)" h (h + 1)) true (k h <= k (h + 1))
+  done;
+  (* Figure 13 end point: h=20 needs around 70 servers. *)
+  Alcotest.(check bool) "h=20 in figure range" true (k 20 >= 60 && k 20 <= 80);
+  (* More adversaries -> bigger groups. *)
+  let k_f f = Group_sizing.required_group_size ~f ~groups:1024 ~h:1 ~security_bits:64 () in
+  Alcotest.(check bool) "f monotone" true (k_f 0.1 < k_f 0.2 && k_f 0.2 < k_f 0.3);
+  (* Trivial cases. *)
+  Alcotest.(check int) "f=0" 3
+    (Group_sizing.required_group_size ~f:0. ~groups:10 ~h:3 ~security_bits:64 ())
+
+let test_failure_probability_values () =
+  (* Cross-check the log-space tail against a directly computable case:
+     k=4, h=1, f=0.5 -> 0.5^4 = 2^-4. *)
+  Alcotest.(check (float 1e-9)) "simple tail" (-4.)
+    (Group_sizing.log2_group_failure ~k:4 ~h:1 ~f:0.5);
+  (* k=3, h=2, f=0.5: P[<2 honest] = P[0]+P[1] = 1/8 + 3/8 = 0.5 -> -1. *)
+  Alcotest.(check (float 1e-9)) "two-term tail" (-1.)
+    (Group_sizing.log2_group_failure ~k:3 ~h:2 ~f:0.5);
+  (* h > k: certain failure. *)
+  Alcotest.(check (float 1e-9)) "h > k" 0. (Group_sizing.log2_group_failure ~k:2 ~h:3 ~f:0.2)
+
+let test_square_structure () =
+  let t = Topology.square ~groups:4 ~iterations:3 in
+  Alcotest.(check int) "iterations" 3 t.Topology.iterations;
+  for iter = 0 to 2 do
+    for g = 0 to 3 do
+      Alcotest.(check (array int)) "complete bipartite" [| 0; 1; 2; 3 |]
+        (t.Topology.neighbors ~iter ~group:g)
+    done
+  done
+
+let test_butterfly_structure () =
+  let t = Topology.butterfly ~groups:8 ~repetitions:2 in
+  Alcotest.(check int) "iterations = levels * reps" 6 t.Topology.iterations;
+  (* Level 0 pairs along bit 0. *)
+  Alcotest.(check (array int)) "level 0 of node 2" [| 2; 3 |] (t.Topology.neighbors ~iter:0 ~group:2);
+  (* Level 1 pairs along bit 1. *)
+  Alcotest.(check (array int)) "level 1 of node 2" [| 2; 0 |] (t.Topology.neighbors ~iter:1 ~group:2);
+  (* Level 2 pairs along bit 2; then wraps around. *)
+  Alcotest.(check (array int)) "level 2 of node 2" [| 2; 6 |] (t.Topology.neighbors ~iter:2 ~group:2);
+  Alcotest.(check (array int)) "wrap to level 0" [| 2; 3 |] (t.Topology.neighbors ~iter:3 ~group:2);
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Topology.butterfly: groups must be 2^k") (fun () ->
+      ignore (Topology.butterfly ~groups:6 ~repetitions:1))
+
+let is_permutation (a : int array) : bool =
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  sorted = Array.init (Array.length a) Fun.id
+
+let test_simulate_is_permutation () =
+  let rng = Atom_util.Rng.create 7 in
+  List.iter
+    (fun (t, messages) ->
+      for _ = 1 to 5 do
+        let final = Topology.simulate rng t ~messages in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s permutation" t.Topology.name)
+          true (is_permutation final)
+      done)
+    [
+      (Topology.square ~groups:4 ~iterations:6, 16);
+      (Topology.butterfly_paper ~groups:8, 32);
+      (Topology.square ~groups:1 ~iterations:2, 7);
+      (Topology.square ~groups:5 ~iterations:4, 23 (* uneven batches *));
+    ]
+
+(* Joint exit-group distribution of two messages sharing an entry group:
+   with T = 1 the square network can never place them in the same exit
+   group (round-robin split), a strong deviation from uniform; with enough
+   iterations the joint distribution approaches uniform. *)
+let joint_exit_tv (t : Topology.t) ~(messages : int) ~(trials : int) ~seed : float =
+  let rng = Atom_util.Rng.create seed in
+  let groups = t.Topology.groups in
+  let per_group = messages / groups in
+  let counts = Array.make (groups * groups) 0 in
+  for _ = 1 to trials do
+    let final = Topology.simulate rng t ~messages in
+    (* messages 0 and [groups] both enter group 0 *)
+    let g0 = final.(0) / per_group and g1 = final.(groups) / per_group in
+    let idx = (g0 * groups) + g1 in
+    counts.(idx) <- counts.(idx) + 1
+  done;
+  (* Compare against the true uniform-permutation joint law is close to
+     uniform over distinct-slot pairs; the uniform-over-cells TV is a good
+     mixing proxy. *)
+  Atom_util.Stats.tv_distance_uniform counts
+
+let test_square_mixing_improves () =
+  let messages = 16 in
+  let tv1 = joint_exit_tv (Topology.square ~groups:4 ~iterations:1) ~messages ~trials:3000 ~seed:11 in
+  let tv6 = joint_exit_tv (Topology.square ~groups:4 ~iterations:6) ~messages ~trials:3000 ~seed:12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "T=1 badly mixed (tv=%.3f)" tv1)
+    true (tv1 > 0.15);
+  Alcotest.(check bool)
+    (Printf.sprintf "T=6 well mixed (tv=%.3f)" tv6)
+    true (tv6 < 0.08);
+  Alcotest.(check bool) "monotone improvement" true (tv6 < tv1)
+
+let test_butterfly_mixing () =
+  (* The iterated butterfly also mixes: marginal of one message near
+     uniform. *)
+  let t = Topology.butterfly_paper ~groups:4 in
+  let rng = Atom_util.Rng.create 13 in
+  let tv = Topology.mixing_tv rng t ~messages:16 ~trials:2000 in
+  Alcotest.(check bool) (Printf.sprintf "butterfly marginal (tv=%.3f)" tv) true (tv < 0.1)
+
+let test_depth_comparison () =
+  (* §3: butterfly needs O(log² G) iterations vs O(1) for square — the
+     reason the paper picks the square network. *)
+  let square = Topology.square ~groups:1024 ~iterations:10 in
+  let butterfly = Topology.butterfly_paper ~groups:1024 in
+  Alcotest.(check int) "square depth" 10 square.Topology.iterations;
+  Alcotest.(check int) "butterfly depth = 2 log² G" 200 butterfly.Topology.iterations;
+  (* per-iteration fan-out: G vs 2 *)
+  Alcotest.(check int) "square fanout" 1024
+    (Array.length (square.Topology.neighbors ~iter:0 ~group:0));
+  Alcotest.(check int) "butterfly fanout" 2
+    (Array.length (butterfly.Topology.neighbors ~iter:0 ~group:0))
+
+let suite =
+  ( "topology",
+    [
+      Alcotest.test_case "paper group sizes" `Quick test_paper_group_sizes;
+      Alcotest.test_case "group size monotonicity" `Quick test_group_size_monotonicity;
+      Alcotest.test_case "failure probability values" `Quick test_failure_probability_values;
+      Alcotest.test_case "square structure" `Quick test_square_structure;
+      Alcotest.test_case "butterfly structure" `Quick test_butterfly_structure;
+      Alcotest.test_case "simulate produces permutations" `Quick test_simulate_is_permutation;
+      Alcotest.test_case "square mixing improves with T" `Slow test_square_mixing_improves;
+      Alcotest.test_case "butterfly mixing" `Slow test_butterfly_mixing;
+      Alcotest.test_case "depth comparison" `Quick test_depth_comparison;
+    ] )

@@ -1,0 +1,132 @@
+(* Tests for atom_util: hex codec, deterministic RNG, statistics helpers. *)
+
+open Atom_util
+
+let test_hex_roundtrip () =
+  let cases = [ ""; "\x00"; "\xff"; "atom"; "\x01\x23\x45\x67\x89\xab\xcd\xef" ] in
+  List.iter
+    (fun s -> Alcotest.(check string) "roundtrip" s (Hex.decode (Hex.encode s)))
+    cases;
+  Alcotest.(check string) "known" "0123456789abcdef" (Hex.encode "\x01\x23\x45\x67\x89\xab\xcd\xef");
+  Alcotest.(check string) "uppercase accepted" "\xab\xcd" (Hex.decode "ABCD")
+
+let test_hex_invalid () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.decode: odd length") (fun () ->
+      ignore (Hex.decode "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hex.decode: not a hex digit") (fun () ->
+      ignore (Hex.decode "zz"))
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.next_int64 a <> Rng.next_int64 c then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.next_int64 parent) in
+  let ys = List.init 20 (fun _ -> Rng.next_int64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_below_range () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_below rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done
+
+let test_rng_int_below_uniform () =
+  let rng = Rng.create 2 in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Rng.int_below rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* chi-square with 9 dof: 99.9th percentile is ~27.9 *)
+  Alcotest.(check bool) "chi-square sane" true (Stats.chi_square_uniform counts < 30.)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let f = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_permutation () =
+  let rng = Rng.create 4 in
+  let p = Rng.permutation rng 100 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_laplace_mean () =
+  let rng = Rng.create 5 in
+  let n = 200_000 in
+  let sum = ref 0. and sum_abs = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.laplace rng ~b:2.0 in
+    sum := !sum +. x;
+    sum_abs := !sum_abs +. Float.abs x
+  done;
+  let mean = !sum /. float_of_int n and mean_abs = !sum_abs /. float_of_int n in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.05);
+  (* E|X| = b for Laplace(0,b) *)
+  Alcotest.(check bool) "scale near b" true (Float.abs (mean_abs -. 2.0) < 0.05)
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 6 in
+  let n = 200_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng ~mean:3.0
+  done;
+  Alcotest.(check bool) "mean near 3" true (Float.abs ((!sum /. float_of_int n) -. 3.0) < 0.05)
+
+let test_stats_basic () =
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "variance" 2.5 (Stats.variance xs);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100" 5. (Stats.percentile xs 100.)
+
+let test_stats_tv_uniform () =
+  Alcotest.(check (float 1e-9)) "uniform counts" 0. (Stats.tv_distance_uniform [| 5; 5; 5; 5 |]);
+  Alcotest.(check (float 1e-9)) "point mass" 0.75 (Stats.tv_distance_uniform [| 20; 0; 0; 0 |])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [| 0.5; 1.5; 1.7; 3.9; 5.0 |] in
+  Alcotest.(check (array int)) "histogram" [| 1; 2; 0; 1 |] h
+
+let qcheck_hex_roundtrip =
+  QCheck2.Test.make ~name:"hex roundtrip (random strings)" ~count:500
+    QCheck2.Gen.(string_size (int_bound 64))
+    (fun s -> Hex.decode (Hex.encode s) = s)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "util",
+    [
+      Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+      Alcotest.test_case "hex invalid input" `Quick test_hex_invalid;
+      Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng int_below range" `Quick test_rng_int_below_range;
+      Alcotest.test_case "rng int_below uniformity" `Quick test_rng_int_below_uniform;
+      Alcotest.test_case "rng float range" `Quick test_rng_float_range;
+      Alcotest.test_case "rng permutation" `Quick test_rng_permutation;
+      Alcotest.test_case "rng laplace moments" `Slow test_rng_laplace_mean;
+      Alcotest.test_case "rng exponential mean" `Slow test_rng_exponential_mean;
+      Alcotest.test_case "stats basics" `Quick test_stats_basic;
+      Alcotest.test_case "stats tv distance" `Quick test_stats_tv_uniform;
+      Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+      q qcheck_hex_roundtrip;
+    ] )

@@ -1,0 +1,220 @@
+(* Wire-format serialization (proofs, submissions) and the multi-round
+   Session driver with the §4.6 fallback policy. *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Pr = Atom_core.Protocol.Make (G)
+module El = Pr.El
+module P = Pr.P
+module Shuf = Pr.Shuf
+module Msg = Pr.Msg
+open Atom_core
+
+let rng () = Atom_util.Rng.create 0x31e7
+
+let test_enc_proof_roundtrip () =
+  let r = rng () in
+  let kp = El.keygen r in
+  let m = G.random r in
+  let ct, randomness = El.enc r kp.El.pk m in
+  let pi = P.Enc_proof.prove r ~pk:kp.El.pk ~context:"c" ct ~randomness in
+  match P.Enc_proof.of_bytes (P.Enc_proof.to_bytes pi) with
+  | None -> Alcotest.fail "decode failed"
+  | Some pi' ->
+      Alcotest.(check bool) "decoded proof verifies" true
+        (P.Enc_proof.verify ~pk:kp.El.pk ~context:"c" ct pi');
+      Alcotest.(check bool) "garbage rejected" true (P.Enc_proof.of_bytes "junk" = None)
+
+let test_dleq_roundtrip () =
+  let r = rng () in
+  let x = G.Scalar.random r in
+  let g2 = G.random r in
+  let h1 = G.pow_gen x and h2 = G.pow g2 x in
+  let pi = P.Dleq.prove r ~context:"d" ~g1:G.generator ~h1 ~g2 ~h2 ~x in
+  match P.Dleq.of_bytes (P.Dleq.to_bytes pi) with
+  | None -> Alcotest.fail "decode failed"
+  | Some pi' ->
+      Alcotest.(check bool) "decoded dleq verifies" true
+        (P.Dleq.verify ~context:"d" ~g1:G.generator ~h1 ~g2 ~h2 pi');
+      (* Trailing bytes rejected. *)
+      Alcotest.(check bool) "trailing rejected" true
+        (P.Dleq.of_bytes (P.Dleq.to_bytes pi ^ "\000") = None)
+
+let test_reenc_proof_roundtrip () =
+  let r = rng () in
+  let kp = El.keygen r and next = El.keygen r in
+  let m = G.random r in
+  let ct, _ = El.enc r kp.El.pk m in
+  List.iter
+    (fun next_pk ->
+      let ct', pi = P.Reenc_proof.reenc_with_proof r ~share:kp.El.sk ~next_pk ~context:"x" ct in
+      match P.Reenc_proof.of_bytes (P.Reenc_proof.to_bytes pi) with
+      | None -> Alcotest.fail "decode failed"
+      | Some pi' ->
+          Alcotest.(check bool) "decoded reenc proof verifies" true
+            (P.Reenc_proof.verify ~eff_pk:kp.El.pk ~next_pk ~context:"x" ~input:ct ~output:ct' pi'))
+    [ Some next.El.pk; None ]
+
+let test_shuffle_proof_roundtrip () =
+  let r = rng () in
+  let kp = El.keygen r in
+  let input = Array.init 5 (fun _ -> fst (El.enc_vec r kp.El.pk [| G.random r; G.random r |])) in
+  let output, witness = Option.get (El.shuffle_vec r kp.El.pk input) in
+  let pi = Shuf.prove r ~pk:kp.El.pk ~context:"s" ~input ~output ~witness in
+  let bytes = Shuf.to_bytes pi in
+  (match Shuf.of_bytes bytes with
+  | None -> Alcotest.fail "decode failed"
+  | Some pi' ->
+      Alcotest.(check bool) "decoded shuffle proof verifies" true
+        (Shuf.verify ~pk:kp.El.pk ~context:"s" ~input ~output pi'));
+  (* Any truncation is rejected. *)
+  Alcotest.(check bool) "truncated rejected" true
+    (Shuf.of_bytes (String.sub bytes 0 (String.length bytes - 1)) = None);
+  Alcotest.(check bool) "empty rejected" true (Shuf.of_bytes "" = None)
+
+let test_shuffle_proof_bitflip () =
+  let r = rng () in
+  let kp = El.keygen r in
+  let input = Array.init 3 (fun _ -> fst (El.enc_vec r kp.El.pk [| G.random r |])) in
+  let output, witness = Option.get (El.shuffle_vec r kp.El.pk input) in
+  let pi = Shuf.prove r ~pk:kp.El.pk ~context:"s" ~input ~output ~witness in
+  let bytes = Shuf.to_bytes pi in
+  (* Flip a byte in 20 random positions: decode must fail or verification
+     must reject (never accept). *)
+  let rr = rng () in
+  for _ = 1 to 20 do
+    let i = Atom_util.Rng.int_below rr (String.length bytes - 8) + 8 in
+    let b = Bytes.of_string bytes in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+    match Shuf.of_bytes (Bytes.to_string b) with
+    | None -> ()
+    | Some pi' ->
+        Alcotest.(check bool) "corrupted proof rejected" false
+          (Shuf.verify ~pk:kp.El.pk ~context:"s" ~input ~output pi')
+  done;
+  ignore pi
+
+let test_submission_roundtrip () =
+  let r = rng () in
+  List.iter
+    (fun variant ->
+      let config = Config.tiny ~variant () in
+      let net = Pr.setup r config () in
+      let s = Pr.submit r net ~user:5 ~entry_gid:2 "wire format test" in
+      match Pr.Wire.submission_of_bytes (Pr.Wire.submission_to_bytes s) with
+      | None -> Alcotest.fail "submission decode failed"
+      | Some s' ->
+          Alcotest.(check int) "user" 5 s'.Pr.user;
+          Alcotest.(check int) "gid" 2 s'.Pr.entry_gid;
+          Alcotest.(check int) "units" (Array.length s.Pr.units) (Array.length s'.Pr.units);
+          Alcotest.(check (option string)) "commitment" s.Pr.commitment s'.Pr.commitment)
+    [ Config.Basic; Config.Trap ]
+
+let test_round_from_decoded_submissions () =
+  (* Serialize every submission, decode on the "server side", run the
+     round: everything still verifies and delivers. *)
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Trap ~seed:91 () in
+  let net = Pr.setup r config () in
+  let msgs = List.init 5 (fun i -> Printf.sprintf "wired-%d" i) in
+  let decoded =
+    List.mapi
+      (fun i m ->
+        let s = Pr.submit r net ~user:i ~entry_gid:(i mod 4) m in
+        Option.get (Pr.Wire.submission_of_bytes (Pr.Wire.submission_to_bytes s)))
+      msgs
+  in
+  let outcome = Pr.run r net decoded in
+  Alcotest.(check bool) "no abort" true (outcome.Pr.aborted = None);
+  Alcotest.(check (list string)) "delivered" (List.sort compare msgs)
+    (List.sort compare outcome.Pr.delivered)
+
+let prop_submission_decode_total =
+  QCheck2.Test.make ~name:"submission_of_bytes never raises" ~count:300
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 300))
+    (fun s -> match Pr.Wire.submission_of_bytes s with Some _ | None -> true)
+
+(* ---- Session driver ---- *)
+
+let session_config = Config.tiny ~variant:Config.Trap ~seed:1234 ()
+
+let honest_messages n = List.init n (fun i -> (i, Printf.sprintf "sess-%d" i))
+
+let test_session_clean_rounds () =
+  let r = rng () in
+  let session = Pr.Session.create session_config in
+  for _ = 1 to 3 do
+    let report = Pr.Session.run_round session r (honest_messages 4) in
+    Alcotest.(check bool) "clean" true (report.Pr.Session.outcome.Pr.aborted = None);
+    Alcotest.(check bool) "trap variant" true (report.Pr.Session.variant_used = Config.Trap)
+  done;
+  Alcotest.(check int) "rounds counted" 3 (Pr.Session.rounds_run session);
+  Alcotest.(check int) "board accumulates" 12 (Bulletin.size (Pr.Session.board session))
+
+(* A disruptive user submits a bogus commitment; the round aborts, blame
+   identifies them, the session blacklists them and the next round runs
+   clean without their traffic. *)
+let test_session_blames_and_blacklists () =
+  let r = rng () in
+  let session = Pr.Session.create session_config in
+  let evil_submit rng net ~user ~entry_gid msg =
+    let s = Pr.submit rng net ~user ~entry_gid msg in
+    if user = 2 then { s with Pr.commitment = Some (String.make 32 '?') } else s
+  in
+  let report = Pr.Session.run_round session r ~submit_fn:evil_submit (honest_messages 4) in
+  Alcotest.(check bool) "aborted" true (report.Pr.Session.outcome.Pr.aborted <> None);
+  Alcotest.(check (list int)) "blamed" [ 2 ] report.Pr.Session.outcome.Pr.blamed;
+  (* Next round: user 2 is filtered out before submission. *)
+  let report2 = Pr.Session.run_round session r (honest_messages 4) in
+  Alcotest.(check (list int)) "skipped" [ 2 ] report2.Pr.Session.skipped_users;
+  Alcotest.(check bool) "clean" true (report2.Pr.Session.outcome.Pr.aborted = None);
+  Alcotest.(check int) "three honest messages" 3
+    (List.length report2.Pr.Session.outcome.Pr.delivered)
+
+(* A Sybil disruptor uses a fresh user id every round, defeating the
+   blacklist; after [abort_threshold] consecutive aborts the controller
+   falls back to the NIZK variant, where users cannot halt rounds at all
+   (§4.6). *)
+let test_session_falls_back_to_nizk () =
+  let r = rng () in
+  let session = Pr.Session.create session_config in
+  let round = ref 0 in
+  let sybil_submit rng net ~user ~entry_gid msg =
+    let s = Pr.submit rng net ~user ~entry_gid msg in
+    (* a different disruptor id each round *)
+    if user = 100 + !round then { s with Pr.commitment = Some (String.make 32 '!') } else s
+  in
+  let aborted_rounds = ref 0 in
+  let variant_seen = ref Config.Trap in
+  for _ = 1 to 4 do
+    let messages = honest_messages 3 @ [ (100 + !round, "sybil junk") ] in
+    let report = Pr.Session.run_round session r ~submit_fn:sybil_submit messages in
+    if report.Pr.Session.outcome.Pr.aborted <> None then incr aborted_rounds;
+    variant_seen := Controller.variant (session.Pr.Session.controller);
+    incr round
+  done;
+  Alcotest.(check int) "three trap rounds aborted" 3 !aborted_rounds;
+  Alcotest.(check bool) "controller fell back to nizk" true (!variant_seen = Config.Nizk);
+  (* In the NIZK variant the same junk cannot stop the round (the sybil's
+     submission has no trap/commitment structure to poison). *)
+  let report = Pr.Session.run_round session r (honest_messages 3 @ [ (999, "sybil junk") ]) in
+  Alcotest.(check bool) "nizk round used" true (report.Pr.Session.variant_used = Config.Nizk);
+  Alcotest.(check bool) "nizk round clean" true (report.Pr.Session.outcome.Pr.aborted = None);
+  Alcotest.(check int) "all four delivered" 4
+    (List.length report.Pr.Session.outcome.Pr.delivered)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "wire",
+    [
+      Alcotest.test_case "enc proof roundtrip" `Quick test_enc_proof_roundtrip;
+      Alcotest.test_case "dleq roundtrip" `Quick test_dleq_roundtrip;
+      Alcotest.test_case "reenc proof roundtrip" `Quick test_reenc_proof_roundtrip;
+      Alcotest.test_case "shuffle proof roundtrip" `Quick test_shuffle_proof_roundtrip;
+      Alcotest.test_case "shuffle proof bitflips" `Quick test_shuffle_proof_bitflip;
+      Alcotest.test_case "submission roundtrip" `Quick test_submission_roundtrip;
+      Alcotest.test_case "round from decoded submissions" `Quick test_round_from_decoded_submissions;
+      Alcotest.test_case "session clean rounds" `Quick test_session_clean_rounds;
+      Alcotest.test_case "session blame + blacklist" `Quick test_session_blames_and_blacklists;
+      Alcotest.test_case "session nizk fallback" `Quick test_session_falls_back_to_nizk;
+      q prop_submission_decode_total;
+    ] )
