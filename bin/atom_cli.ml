@@ -125,7 +125,7 @@ let simulate_cmd =
 
 (* ---- distributed ---- *)
 
-let run_distributed users seed =
+let run_distributed users seed kill_group kill_fraction fail_at loss =
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Pr = Protocol.Make (G) in
   let module Dist = Distributed.Make (G) (Pr) in
@@ -136,22 +136,61 @@ let run_distributed users seed =
   let subs =
     List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod config.Config.n_groups) m) msgs
   in
+  let faults =
+    (match kill_group with
+    | Some gid when gid < 0 || gid >= config.Config.n_groups ->
+        failwith
+          (Printf.sprintf "--kill-group %d: group ids are 0..%d" gid (config.Config.n_groups - 1))
+    | Some gid -> Atom_sim.Faults.fail_machines ~at:fail_at net.Pr.groups.(gid).Pr.members
+    | None -> [])
+    @
+    match kill_fraction with
+    | Some fraction ->
+        Atom_sim.Faults.fail_fraction
+          (Atom_util.Rng.create (seed lxor 0xc4a5))
+          ~at:fail_at ~fraction ~n:config.Config.n_servers
+    | None -> []
+  in
+  (* Injected churn makes latency the interesting output: charge calibrated
+     per-op costs so the number is reproducible across hosts. *)
+  let costs = if faults = [] && loss = 0. then Dist.Measured else Dist.Calibrated Calibration.paper in
   let t0 = Unix.gettimeofday () in
-  let report = Dist.run rng net subs in
+  let report = Dist.run ~faults ~loss_prob:loss ~costs rng net subs in
   Printf.printf
     "real crypto over simulated network: %d messages through %d groups in %.3f virtual s\n(%d DES events, %.0f bytes on the wire, %.2f s wall)\n"
     (List.length report.Dist.outcome.Pr.delivered)
     config.Config.n_groups report.Dist.latency report.Dist.events report.Dist.bytes_sent
     (Unix.gettimeofday () -. t0);
+  let f = report.Dist.faults in
+  if faults <> [] || loss > 0. then
+    Printf.printf
+      "churn: %d failures injected, %d recoveries (%.2fs inside recovery), %d timeouts, %d retransmits, %d drops\n"
+      f.Dist.failures_injected f.Dist.recoveries f.Dist.recovery_latency f.Dist.timeouts_fired
+      f.Dist.retransmits f.Dist.messages_dropped;
+  (match report.Dist.abort_error with
+  | Some err -> Printf.printf "pipeline error: %s\n" err
+  | None -> ());
   List.iter (fun m -> Printf.printf "  %s\n" m) report.Dist.outcome.Pr.delivered
 
 let distributed_cmd =
   let users = Arg.(value & opt int 8 & info [ "users" ] ~doc:"Number of users.") in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let kill_group =
+    Arg.(value & opt (some int) None & info [ "kill-group" ] ~doc:"Fail every member of this group mid-round.")
+  in
+  let kill_fraction =
+    Arg.(value & opt (some float) None & info [ "kill-fraction" ] ~doc:"Fail a random fraction of all servers mid-round.")
+  in
+  let fail_at =
+    Arg.(value & opt float 0.05 & info [ "fail-at" ] ~doc:"Virtual time (s) at which injected failures fire.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Per-message loss probability on every link.")
+  in
   Cmd.v
     (Cmd.info "distributed"
        ~doc:"Run the real protocol asynchronously over the simulated network.")
-    Term.(const run_distributed $ users $ seed)
+    Term.(const run_distributed $ users $ seed $ kill_group $ kill_fraction $ fail_at $ loss)
 
 (* ---- sizing ---- *)
 

@@ -24,6 +24,7 @@ type t = {
   mutable blacklist : int list; (* blamed user ids *)
   mutable rounds_run : int;
   mutable rounds_aborted : int;
+  mutable total_recoveries : int; (* buddy-group recoveries across rounds *)
 }
 
 let create ?(policy = default_policy) ?(variant = Config.Trap) () : t =
@@ -35,14 +36,20 @@ let create ?(policy = default_policy) ?(variant = Config.Trap) () : t =
     blacklist = [];
     rounds_run = 0;
     rounds_aborted = 0;
+    total_recoveries = 0;
   }
 
 let variant (t : t) : Config.variant = t.variant
 let blacklist (t : t) : int list = t.blacklist
 let is_blacklisted (t : t) (user : int) : bool = List.mem user t.blacklist
+let total_recoveries (t : t) : int = t.total_recoveries
 
-(* Feed one round's outcome; returns the variant to use for the next
-   round. *)
+(* Buddy-group resurrections are churn telemetry an operator watches,
+   distinct from disruption aborts: churn never triggers the NIZK
+   fallback, so it feeds a plain counter rather than [record]. *)
+let note_recoveries (t : t) (n : int) : unit =
+  t.total_recoveries <- t.total_recoveries + n
+
 let record (t : t) ~(aborted : bool) ~(blamed : int list) : Config.variant =
   t.rounds_run <- t.rounds_run + 1;
   if aborted then t.rounds_aborted <- t.rounds_aborted + 1;

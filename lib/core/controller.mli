@@ -14,5 +14,12 @@ val variant : t -> Config.variant
 val blacklist : t -> int list
 val is_blacklisted : t -> int -> bool
 
+val total_recoveries : t -> int
+(** Buddy-group recoveries accumulated across recorded rounds. *)
+
+val note_recoveries : t -> int -> unit
+(** Add this round's buddy-group resurrections to the churn telemetry.
+    Tracked for operators, never part of the NIZK-fallback decision. *)
+
 val record : t -> aborted:bool -> blamed:int list -> Config.variant
 (** Feed one round's outcome; returns the variant for the next round. *)

@@ -6,11 +6,23 @@
    the loop between them: every group runs as a simulator process, batches
    of *real* ciphertexts travel between groups through latency- and
    bandwidth-modeled links, and each cryptographic operation charges the
-   executing machine with its *measured* wall-clock duration. The result is
-   a round whose outputs are cryptographically real and whose latency
-   reflects network structure — a laptop-scale stand-in for an actual
-   deployment, used by the test suite to confirm that the two engines tell
-   the same story. *)
+   executing machine with its *measured* wall-clock duration (or, with
+   [Calibrated], its Table-3 modeled cost — bit-identical across runs). The
+   result is a round whose outputs are cryptographically real and whose
+   latency reflects network structure — a laptop-scale stand-in for an
+   actual deployment, used by the test suite to confirm that the two
+   engines tell the same story.
+
+   The runtime is churn-tolerant (§4.5): a fault plan ([Faults.plan]) can
+   fail machines mid-round. Inter-group receives use timeouts instead of
+   blocking forever; a group whose quorum collapses detects it (at an
+   iteration boundary, or via a receive timeout while parked) and performs
+   buddy-group recovery *inside virtual time* — replacement servers collect
+   the re-shared sub-shares from the buddy group over modeled links, pay
+   for reconstruction, and the re-formed quorum finishes the round with
+   degraded latency instead of aborting. Traffic toward dead machines is
+   retransmitted with exponential backoff by [Net], so a batch sent while
+   the receiver was down lands once recovery brings it back. *)
 
 module Make
     (G : Atom_group.Group_intf.GROUP)
@@ -19,29 +31,43 @@ struct
   open Atom_sim
   module El = Pr.El
 
+  (* How cryptographic work is charged to machines in virtual time.
+     [Measured] times the real computation on the wall clock (faithful but
+     host-dependent); [Calibrated] charges per-op costs from a calibration
+     table, making [report.latency] a pure function of (seed, fault plan). *)
+  type cost_model = Measured | Calibrated of Calibration.t
+
+  type fault_stats = {
+    failures_injected : int; (* machines actually killed by the plan *)
+    recoveries : int; (* dead member positions resurrected via buddies *)
+    retransmits : int;
+    timeouts_fired : int; (* recv timeouts that expired *)
+    messages_dropped : int; (* messages abandoned after max retries *)
+    bytes_dropped : float;
+    recovery_latency : float; (* virtual seconds spent inside recovery *)
+  }
+
   type report = {
     outcome : Pr.outcome;
     latency : float; (* virtual seconds: measured compute + modeled network *)
     events : int;
     bytes_sent : float;
+    faults : fault_stats;
+    abort_error : string option; (* exception text, if a pipeline crashed *)
   }
-
-  (* Run [f] on [machine]: the real work happens now (wall clock), and the
-     machine is charged that duration in virtual time. *)
-  let timed_job (m : Machine.t) (f : unit -> 'a) : 'a =
-    let t0 = Unix.gettimeofday () in
-    let result = f () in
-    Machine.job m ~seconds:(Unix.gettimeofday () -. t0);
-    result
 
   let unit_bytes (net : Pr.network) : float =
     float_of_int (net.Pr.width * ((2 * G.element_bytes) + 1 + G.element_bytes))
 
-  let run ?(clusters = 4) (rng : Atom_util.Rng.t) (net : Pr.network)
-      (submissions : Pr.submission list) : report =
+  (* Raised by a group that struck out waiting for an upstream batch. *)
+  exception Upstream_silent of { iter : int; got : int; expected : int }
+
+  let run ?(clusters = 4) ?(faults : Faults.plan = []) ?(loss_prob = 0.)
+      ?(recv_timeout = 2.0) ?(max_timeouts = 32) ?(costs = Measured) (rng : Atom_util.Rng.t)
+      (net : Pr.network) (submissions : Pr.submission list) : report =
     let cfg = net.Pr.config in
     let engine = Engine.create () in
-    let simnet = Net.create engine in
+    let simnet = Net.create engine ~loss_prob ~loss_seed:(cfg.Config.seed lxor 0x10ad) in
     let fleet_rng = Atom_util.Rng.create cfg.Config.seed in
     let machines =
       Array.init cfg.Config.n_servers (fun id ->
@@ -49,8 +75,33 @@ struct
             ~bandwidth:(Machine.paper_bandwidth fleet_rng)
             ~cluster:(Atom_util.Rng.int_below fleet_rng clusters))
     in
+    (* Mirror pre-existing protocol-level failures into the fleet. *)
+    Array.iteri (fun sid dead -> if dead then Machine.fail machines.(sid)) net.Pr.failed;
+    (* The fault plan flips machine liveness and the protocol's registry in
+       lock-step, on the engine clock. *)
+    let injector =
+      Faults.install engine ~machines faults
+        ~on_fail:(fun sid -> Pr.fail_server net sid)
+        ~on_recover:(fun sid -> Pr.recover_server net sid)
+    in
+    (* Run [f] on [m], charging either its wall-clock duration or the
+       modeled cost. *)
+    let charge m ~modeled f =
+      match costs with
+      | Measured ->
+          let t0 = Unix.gettimeofday () in
+          let result = f () in
+          Machine.job m ~seconds:(Unix.gettimeofday () -. t0);
+          result
+      | Calibrated cal ->
+          let result = f () in
+          Machine.job m ~seconds:(Float.max 0. (modeled cal));
+          result
+    in
     let n_groups = cfg.Config.n_groups in
     let iters = net.Pr.topo.Atom_topology.Topology.iterations in
+    let quorum = Config.quorum cfg in
+    let points = float_of_int net.Pr.width in
     (* Entry verification and initial holdings (synchronous prologue —
        submission arrival is not part of the measured round, matching the
        paper's "first server receives a message" start point). *)
@@ -71,14 +122,19 @@ struct
       (fun (s : Pr.submission) ->
         Array.iter (fun u -> initial.(s.Pr.entry_gid) <- u.Pr.vec :: initial.(s.Pr.entry_gid)) s.Pr.units)
       accepted;
-    (* Inter-group transport: per-group mailboxes carrying (iter, batch).
-       Every group sends to every in-neighbour each iteration (possibly an
-       empty batch) so receivers can count arrivals. *)
-    let inboxes : (int * El.vec array) Mailbox.t array =
-      Array.init n_groups (fun _ -> Mailbox.create engine)
+    (* Inter-group transport: one mailbox per (destination group, layer), so
+       a batch racing ahead of a slow group parks in its own slot instead of
+       being requeued through a polling loop. *)
+    let inboxes : El.vec array Mailbox.t array array =
+      Array.init n_groups (fun _ -> Array.init (iters + 1) (fun _ -> Mailbox.create engine))
     in
     let exit_box : (int * El.vec array) Mailbox.t = Mailbox.create engine in
     let abort_box : Pr.abort_reason Mailbox.t = Mailbox.create engine in
+    (* Churn telemetry shared by all group processes. *)
+    let recoveries = ref 0 in
+    let timeouts_fired = ref 0 in
+    let recovery_latency = ref 0. in
+    let abort_error = ref None in
     let in_degree ~iter ~gid =
       (* Count groups listing [gid] among their neighbours at [iter]. *)
       let d = ref 0 in
@@ -89,110 +145,202 @@ struct
       !d
     in
     let ub = unit_bytes net in
+    let share_bytes = float_of_int (G.element_bytes + 4) (* Shamir index + scalar *) in
+    (* The machine a batch for group [gid] should be addressed to: its first
+       live member (falling back to position 0 if the whole group is down —
+       Net's retransmission then waits out the group's recovery). *)
+    let dst_machine (gid : int) : Machine.t =
+      let members = net.Pr.groups.(gid).Pr.members in
+      let rec pick i =
+        if i >= Array.length members then machines.(members.(0))
+        else if not net.Pr.failed.(members.(i)) then machines.(members.(i))
+        else pick (i + 1)
+      in
+      pick 0
+    in
+    (* §4.5 buddy-group recovery, charged in virtual time: for every dead
+       position, the replacement server (adopting the dead member's Shamir
+       index) waits for the slowest of [quorum] sub-share transfers from the
+       buddy group's machines, then pays for reconstructing the share. *)
+    let recover_group_timed (g : Pr.group_state) : unit =
+      let t0 = Engine.now engine in
+      let buddy_members = net.Pr.groups.(g.Pr.buddies.(0)).Pr.members in
+      List.iter
+        (fun pos ->
+          let replacement = machines.(g.Pr.members.(pos - 1)) in
+          Machine.recover replacement;
+          let slowest = ref 0. in
+          for b = 0 to quorum - 1 do
+            let bm = machines.(buddy_members.(b mod Array.length buddy_members)) in
+            if bm.Machine.id <> replacement.Machine.id then begin
+              let d =
+                Net.latency simnet bm replacement
+                +. Net.transfer_time bm replacement ~bytes:share_bytes
+              in
+              if d > !slowest then slowest := d
+            end
+          done;
+          Engine.sleep engine !slowest;
+          simnet.Net.bytes_sent <- simnet.Net.bytes_sent +. (float_of_int quorum *. share_bytes);
+          charge replacement
+            ~modeled:(fun cal -> float_of_int quorum *. cal.Calibration.reenc)
+            (fun () -> Pr.recover_position net g.Pr.gid pos);
+          incr recoveries)
+        (Pr.dead_positions net g);
+      recovery_latency := !recovery_latency +. (Engine.now engine -. t0)
+    in
+    (* The quorum to route with right now; collapses trigger recovery. *)
+    let ensure_quorum (g : Pr.group_state) : int list =
+      match Pr.live_quorum net g with
+      | Some q -> q
+      | None -> begin
+          recover_group_timed g;
+          match Pr.live_quorum net g with
+          | Some q -> q
+          | None ->
+              failwith
+                (Printf.sprintf "group %d unrecoverable: buddy recovery left no quorum" g.Pr.gid)
+        end
+    in
     Array.iter
       (fun (g : Pr.group_state) ->
         Engine.spawn engine (fun () ->
-            let quorum_positions =
-              match Pr.live_quorum net g with
-              | Some q -> q
-              | None ->
-                  Mailbox.send abort_box (Pr.Group_down { gid = g.Pr.gid });
-                  []
-            in
-            if quorum_positions <> [] then begin
-              let member pos = machines.(g.Pr.members.(pos - 1)) in
-              let units = ref (Array.of_list (List.rev initial.(g.Pr.gid))) in
-              (try
-                 for iter = 0 to iters - 1 do
-                   (* Collect this layer's inputs (iteration 0 uses the
-                      client submissions directly). *)
-                   if iter > 0 then begin
-                     let expected = in_degree ~iter:(iter - 1) ~gid:g.Pr.gid in
-                     let parts = ref [] in
-                     for _ = 1 to expected do
-                       let rec take () =
-                         let it, batch = Mailbox.recv inboxes.(g.Pr.gid) in
-                         if it = iter then parts := batch :: !parts
-                         else begin
-                           (* A batch for a later layer raced ahead; requeue. *)
-                           Mailbox.send inboxes.(g.Pr.gid) (it, batch);
-                           Engine.sleep engine 1e-4;
-                           take ()
-                         end
-                       in
-                       take ()
-                     done;
-                     units := Array.concat !parts
-                   end;
-                   (* Pass 1: sequential real shuffles along the quorum. *)
-                   let pk = Pr.group_pk net g.Pr.gid in
-                   let prev = ref None in
-                   List.iter
-                     (fun pos ->
-                       let m = member pos in
-                       (match !prev with
-                       | Some pm ->
-                           Engine.sleep engine
-                             (Net.latency simnet pm m
-                             +. Net.transfer_time pm m
-                                  ~bytes:(float_of_int (Array.length !units) *. ub))
-                       | None -> ());
-                       prev := Some m;
-                       units :=
-                         timed_job m (fun () ->
-                             match El.shuffle_vec rng pk !units with
-                             | Some (shuffled, _) -> shuffled
-                             | None -> [||]))
-                     quorum_positions;
-                   (* Divide + pass 2: decrypt-and-reencrypt per batch. *)
-                   let neighbors =
-                     net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:g.Pr.gid
-                   in
-                   let beta = Array.length neighbors in
-                   let last_iter = iter = iters - 1 in
-                   let batches = Array.make beta [] in
-                   Array.iteri (fun i u -> batches.(i mod beta) <- u :: batches.(i mod beta)) !units;
-                   let batches = Array.map (fun l -> Array.of_list (List.rev l)) batches in
-                   let outgoing = Array.make beta [||] in
-                   Array.iteri
-                     (fun bi batch ->
-                       let next_pk =
-                         if last_iter then None else Some (Pr.group_pk net neighbors.(bi))
-                       in
-                       let current = ref batch in
-                       List.iter
-                         (fun pos ->
-                           let m = member pos in
-                           let share = g.Pr.keys.Pr.Dkg.shares.(pos - 1).Pr.Sh.value in
-                           let coeff = Pr.Sh.lagrange_at_zero ~xs:quorum_positions ~i:pos in
-                           current :=
-                             timed_job m (fun () ->
-                                 Array.map
-                                   (fun v -> fst (El.reenc_vec rng ~share ~coeff ~next_pk v))
-                                   !current))
-                         quorum_positions;
-                       outgoing.(bi) <-
-                         (if last_iter then !current else Array.map El.clear_y_vec !current))
-                     batches;
-                   (* Forward through the last member's NIC. *)
-                   let last = member (List.nth quorum_positions (List.length quorum_positions - 1)) in
-                   if last_iter then
-                     Mailbox.send exit_box (g.Pr.gid, Array.concat (Array.to_list outgoing))
-                   else
-                     Array.iteri
-                       (fun bi batch ->
-                         let bytes = float_of_int (Array.length batch) *. ub in
-                         let dst = machines.(net.Pr.groups.(neighbors.(bi)).Pr.members.(0)) in
-                         Net.send simnet ~src:last ~dst ~bytes inboxes.(neighbors.(bi))
-                           (iter + 1, batch))
-                       outgoing
-                 done
-               with e ->
-                 ignore e;
-                 Mailbox.send abort_box (Pr.Group_down { gid = g.Pr.gid }))
-            end))
+            let member pos = machines.(g.Pr.members.(pos - 1)) in
+            let units = ref (Array.of_list (List.rev initial.(g.Pr.gid))) in
+            try
+              for iter = 0 to iters - 1 do
+                (* Collect this layer's inputs (iteration 0 uses the client
+                   submissions directly). Timeouts double as the liveness
+                   probe: a group parked here when its machines die heals
+                   itself so upstream retransmissions find a live endpoint. *)
+                if iter > 0 then begin
+                  let expected = in_degree ~iter:(iter - 1) ~gid:g.Pr.gid in
+                  let parts = ref [] in
+                  let got = ref 0 in
+                  let strikes = ref 0 in
+                  while !got < expected do
+                    match Mailbox.recv_timeout inboxes.(g.Pr.gid).(iter) ~timeout:recv_timeout with
+                    | Some batch ->
+                        parts := batch :: !parts;
+                        incr got
+                    | None ->
+                        incr timeouts_fired;
+                        incr strikes;
+                        if !strikes > max_timeouts then
+                          raise (Upstream_silent { iter; got = !got; expected });
+                        (match Pr.live_quorum net g with
+                        | Some _ -> ()
+                        | None -> recover_group_timed g)
+                  done;
+                  units := Array.concat (List.rev !parts)
+                end;
+                (* Pass 1: sequential real shuffles along the quorum. Members
+                   that died since the quorum formed are skipped (their
+                   permutation layer is lost, which is harmless). *)
+                let quorum_positions = ensure_quorum g in
+                let pk = Pr.group_pk net g.Pr.gid in
+                let prev = ref None in
+                List.iter
+                  (fun pos ->
+                    let m = member pos in
+                    if m.Machine.alive then begin
+                      (match !prev with
+                      | Some pm ->
+                          Engine.sleep engine
+                            (Net.latency simnet pm m
+                            +. Net.transfer_time pm m
+                                 ~bytes:(float_of_int (Array.length !units) *. ub))
+                      | None -> ());
+                      prev := Some m;
+                      units :=
+                        charge m
+                          ~modeled:(fun cal ->
+                            float_of_int (Array.length !units)
+                            *. points *. cal.Calibration.shuffle_per_msg)
+                          (fun () ->
+                            match El.shuffle_vec rng pk !units with
+                            | Some (shuffled, _) -> shuffled
+                            | None -> [||])
+                    end)
+                  quorum_positions;
+                (* Members may have died during pass 1; the threshold
+                   decryption below needs a full live quorum for its
+                   Lagrange coefficients, so re-form it (recovering if the
+                   group collapsed). *)
+                let quorum_positions =
+                  if List.for_all (fun pos -> (member pos).Machine.alive) quorum_positions then
+                    quorum_positions
+                  else ensure_quorum g
+                in
+                (* Divide + pass 2: decrypt-and-reencrypt per batch. *)
+                let neighbors =
+                  net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:g.Pr.gid
+                in
+                let beta = Array.length neighbors in
+                let last_iter = iter = iters - 1 in
+                let batches = Array.make beta [] in
+                Array.iteri (fun i u -> batches.(i mod beta) <- u :: batches.(i mod beta)) !units;
+                let batches = Array.map (fun l -> Array.of_list (List.rev l)) batches in
+                let outgoing = Array.make beta [||] in
+                Array.iteri
+                  (fun bi batch ->
+                    let next_pk =
+                      if last_iter then None else Some (Pr.group_pk net neighbors.(bi))
+                    in
+                    let current = ref batch in
+                    List.iter
+                      (fun pos ->
+                        let m = member pos in
+                        let share = g.Pr.keys.Pr.Dkg.shares.(pos - 1).Pr.Sh.value in
+                        let coeff = Pr.Sh.lagrange_at_zero ~xs:quorum_positions ~i:pos in
+                        current :=
+                          charge m
+                            ~modeled:(fun cal ->
+                              float_of_int (Array.length !current)
+                              *. points *. cal.Calibration.reenc)
+                            (fun () ->
+                              Array.map
+                                (fun v -> fst (El.reenc_vec rng ~share ~coeff ~next_pk v))
+                                !current))
+                      quorum_positions;
+                    outgoing.(bi) <-
+                      (if last_iter then !current else Array.map El.clear_y_vec !current))
+                  batches;
+                (* Forward through the last live quorum member's NIC. *)
+                let last = member (List.nth quorum_positions (List.length quorum_positions - 1)) in
+                if last_iter then
+                  Mailbox.send exit_box (g.Pr.gid, Array.concat (Array.to_list outgoing))
+                else
+                  Array.iteri
+                    (fun bi batch ->
+                      let bytes = float_of_int (Array.length batch) *. ub in
+                      Net.send simnet ~src:last ~dst:(dst_machine neighbors.(bi)) ~bytes
+                        inboxes.(neighbors.(bi)).(iter + 1)
+                        batch)
+                    outgoing
+              done
+            with
+            | Upstream_silent { iter; got; expected } ->
+                if !abort_error = None then
+                  abort_error :=
+                    Some
+                      (Printf.sprintf
+                         "group %d: upstream silent at iteration %d (%d/%d batches after %d timeouts)"
+                         g.Pr.gid iter got expected max_timeouts);
+                Mailbox.send abort_box (Pr.Group_down { gid = g.Pr.gid });
+                Mailbox.send exit_box (g.Pr.gid, [||])
+            | e ->
+                (* A real crypto/logic bug: record the exception text so it
+                   surfaces in the report instead of masquerading as churn. *)
+                let detail = Printexc.to_string e in
+                if !abort_error = None then abort_error := Some detail;
+                Mailbox.send abort_box (Pr.Runtime_failure { gid = g.Pr.gid; detail });
+                Mailbox.send exit_box (g.Pr.gid, [||])))
       net.Pr.groups;
-    (* Collector: assemble exit holdings, run the variant's endgame. *)
+    (* Collector: assemble exit holdings, run the variant's endgame. Every
+       group sends exactly one exit message — empty on its abort path — so
+       the collector always completes and the round ends with whatever was
+       delivered. *)
     let result = ref None in
     Engine.spawn engine (fun () ->
         let holdings = Array.make n_groups [||] in
@@ -224,8 +372,13 @@ struct
         in
         result := Some outcome);
     let latency = Engine.run engine in
+    let first_abort = Mailbox.try_recv abort_box in
     let outcome =
-      match (!result, Mailbox.try_recv abort_box) with
+      match (!result, first_abort) with
+      | Some o, Some reason when o.Pr.aborted = None ->
+          (* The endgame survived but a pipeline gave up along the way:
+             surface the pipeline's reason as the round verdict. *)
+          { o with Pr.aborted = Some reason }
       | Some o, _ -> o
       | None, Some reason ->
           { Pr.delivered = []; aborted = Some reason; rejected_submissions; blamed = [] }
@@ -240,5 +393,16 @@ struct
       latency;
       events = Engine.events_run engine;
       bytes_sent = simnet.Net.bytes_sent;
+      faults =
+        {
+          failures_injected = injector.Faults.failures_injected;
+          recoveries = !recoveries;
+          retransmits = simnet.Net.retransmits;
+          timeouts_fired = !timeouts_fired;
+          messages_dropped = simnet.Net.messages_dropped;
+          bytes_dropped = simnet.Net.bytes_dropped;
+          recovery_latency = !recovery_latency;
+        };
+      abort_error = !abort_error;
     }
 end

@@ -124,7 +124,26 @@ type result = {
   connections : int;
   events : int;
   max_server_bandwidth : float; (* peak per-server average send rate, B/s *)
+  retransmits : int; (* link-layer retries (loss / dead receivers) *)
+  messages_dropped : int; (* messages abandoned after max retries *)
+  bytes_dropped : float;
 }
+
+(* Modeled cost of one §4.5 buddy-group recovery: each dead member's
+   replacement server waits for the slowest of [quorum] sub-share transfers
+   from the buddy group and pays a Lagrange reconstruction, charged like
+   [quorum] re-encryptions. Sequential over dead members, matching the
+   distributed runtime's accounting — the closed-form hook behind capacity
+   planning for churny fleets. *)
+let recovery_seconds ~(cal : Calibration.t) ~(quorum : int) ~(dead : int)
+    ?(hop_latency = 0.040) ?(bandwidth = 12.5e6) ?(share_bytes = 36.) () : float =
+  if dead <= 0 then 0.
+  else
+    let per_dead =
+      hop_latency +. (share_bytes /. bandwidth)
+      +. (float_of_int quorum *. cal.Calibration.reenc)
+    in
+    float_of_int dead *. per_dead
 
 let run (p : params) : result =
   Config.validate p.config;
@@ -318,6 +337,9 @@ let run (p : params) : result =
     connections = net.Net.connections_opened;
     events = Engine.events_run engine;
     max_server_bandwidth = max_bw;
+    retransmits = net.Net.retransmits;
+    messages_dropped = net.Net.messages_dropped;
+    bytes_dropped = net.Net.bytes_dropped;
   }
 
 (* ---- Pipelined operation (§4.7) ----

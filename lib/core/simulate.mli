@@ -55,7 +55,24 @@ type result = {
   connections : int;
   events : int;
   max_server_bandwidth : float;
+  retransmits : int;  (** link-layer retries (loss / dead receivers) *)
+  messages_dropped : int;  (** messages abandoned after max retries *)
+  bytes_dropped : float;
 }
+
+val recovery_seconds :
+  cal:Calibration.t ->
+  quorum:int ->
+  dead:int ->
+  ?hop_latency:float ->
+  ?bandwidth:float ->
+  ?share_bytes:float ->
+  unit ->
+  float
+(** Closed-form cost of §4.5 buddy-group recovery for [dead] lost members:
+    per member, one sub-share transfer round from the buddy group plus a
+    Lagrange reconstruction charged like [quorum] re-encryptions. Matches
+    the distributed runtime's virtual-time accounting. *)
 
 val run : params -> result
 (** One full round, end to end (entry verification through trustee

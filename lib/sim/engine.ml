@@ -8,13 +8,15 @@
    schedules it at a later virtual time ([sleep]) or parks it in a mailbox
    or resource queue. *)
 
-type event = { time : float; seq : int; fn : unit -> unit }
+type event = { time : float; seq : int; fn : unit -> unit; mutable cancelled : bool }
+
+type timer = event
 
 (* Array-based binary min-heap on (time, seq). *)
 module Heap = struct
   type t = { mutable data : event array; mutable size : int }
 
-  let dummy = { time = 0.; seq = 0; fn = ignore }
+  let dummy = { time = 0.; seq = 0; fn = ignore; cancelled = false }
   let create () = { data = Array.make 256 dummy; size = 0 }
   let is_empty h = h.size = 0
 
@@ -69,25 +71,35 @@ let create () = { heap = Heap.create (); now = 0.; seq = 0; events_run = 0 }
 let now t = t.now
 let events_run t = t.events_run
 
-let schedule (t : t) ~(delay : float) (fn : unit -> unit) : unit =
+let schedule_timer (t : t) ~(delay : float) (fn : unit -> unit) : timer =
   if delay < 0. || Float.is_nan delay then invalid_arg "Engine.schedule: negative or NaN delay";
   t.seq <- t.seq + 1;
-  Heap.push t.heap { time = t.now +. delay; seq = t.seq; fn }
+  let ev = { time = t.now +. delay; seq = t.seq; fn; cancelled = false } in
+  Heap.push t.heap ev;
+  ev
+
+let cancel (ev : timer) : unit = ev.cancelled <- true
+
+let schedule (t : t) ~(delay : float) (fn : unit -> unit) : unit =
+  ignore (schedule_timer t ~delay fn)
 
 (* Run until the event queue drains (or [until] is reached). Returns the
-   final virtual time. *)
+   final virtual time. Cancelled timers are discarded without advancing the
+   clock or the event count, so an unfired timeout leaves no trace in the
+   reported latency. *)
 let run ?(until : float option) (t : t) : float =
   let continue = ref true in
   while !continue && not (Heap.is_empty t.heap) do
     let ev = Heap.pop t.heap in
-    match until with
-    | Some limit when ev.time > limit ->
-        t.now <- limit;
-        continue := false
-    | _ ->
-        t.now <- ev.time;
-        t.events_run <- t.events_run + 1;
-        ev.fn ()
+    if not ev.cancelled then
+      match until with
+      | Some limit when ev.time > limit ->
+          t.now <- limit;
+          continue := false
+      | _ ->
+          t.now <- ev.time;
+          t.events_run <- t.events_run + 1;
+          ev.fn ()
   done;
   t.now
 

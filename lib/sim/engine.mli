@@ -18,6 +18,17 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Enqueue a callback [delay] seconds from now.
     @raise Invalid_argument on negative or NaN delay. *)
 
+type timer
+(** Handle to a scheduled callback that may still be cancelled. *)
+
+val schedule_timer : t -> delay:float -> (unit -> unit) -> timer
+(** Like {!schedule}, but returns a handle usable with {!cancel}. *)
+
+val cancel : timer -> unit
+(** Discard a pending timer. A cancelled timer never fires, does not
+    advance the virtual clock, and is not counted in {!events_run} —
+    timeouts that lose the race leave no trace in the reported latency. *)
+
 val run : ?until:float -> t -> float
 (** Drain the event queue (or stop at [until]); returns the final virtual
     time. *)

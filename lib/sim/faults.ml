@@ -1,0 +1,82 @@
+(* Deterministic fault injection.
+
+   A fault *plan* is plain data: fail/recover actions against specific
+   machines at specific virtual times. [install] compiles the plan onto the
+   engine's event queue, so injections interleave with protocol events in
+   (time, seq) order and every run replays bit-identically from the same
+   plan. Random plans (an f-fraction sample of the fleet) draw from a
+   caller-seeded RNG at plan-*construction* time, never at fire time, which
+   keeps the schedule independent of engine state.
+
+   Whole-machine fail-stop is the paper's §4.5 fault model; probabilistic
+   per-message loss lives in [Net] (see [Net.create ~loss_prob]) because it
+   is a property of links, not machines. *)
+
+type action = Fail of int | Recover of int
+
+type event = { at : float; action : action }
+
+type plan = event list
+
+let fail ~(at : float) (sid : int) : event = { at; action = Fail sid }
+let recover ~(at : float) (sid : int) : event = { at; action = Recover sid }
+
+let fail_machines ~(at : float) (sids : int array) : plan =
+  Array.to_list (Array.map (fun sid -> fail ~at sid) sids)
+
+let recover_machines ~(at : float) (sids : int array) : plan =
+  Array.to_list (Array.map (fun sid -> recover ~at sid) sids)
+
+(* A random f-fraction of [n] machines, sampled without replacement by
+   partial Fisher–Yates from [rng]. Deterministic in the RNG state. *)
+let sample_fraction (rng : Atom_util.Rng.t) ~(fraction : float) ~(n : int) : int array =
+  if fraction < 0. || fraction > 1. then invalid_arg "Faults.sample_fraction: bad fraction";
+  let count = min n (int_of_float (Float.ceil (fraction *. float_of_int n))) in
+  let pool = Array.init n Fun.id in
+  for i = 0 to count - 1 do
+    let j = i + Atom_util.Rng.int_below rng (n - i) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 count
+
+let fail_fraction (rng : Atom_util.Rng.t) ~(at : float) ~(fraction : float) ~(n : int) : plan =
+  fail_machines ~at (sample_fraction rng ~fraction ~n)
+
+(* Sort by time, stable over the original order for equal times, so a plan
+   assembled from several builders injects deterministically. *)
+let normalize (p : plan) : plan = List.stable_sort (fun a b -> Float.compare a.at b.at) p
+
+type t = {
+  mutable failures_injected : int;
+  mutable recoveries_injected : int;
+  plan_size : int;
+}
+
+let install (engine : Engine.t) ~(machines : Machine.t array) ?(on_fail = fun (_ : int) -> ())
+    ?(on_recover = fun (_ : int) -> ()) (plan : plan) : t =
+  let t = { failures_injected = 0; recoveries_injected = 0; plan_size = List.length plan } in
+  List.iter
+    (fun ev ->
+      match ev.action with
+      | Fail sid ->
+          if sid < 0 || sid >= Array.length machines then
+            invalid_arg (Printf.sprintf "Faults.install: no machine %d" sid);
+          Engine.schedule engine ~delay:ev.at (fun () ->
+              if machines.(sid).Machine.alive then begin
+                Machine.fail machines.(sid);
+                t.failures_injected <- t.failures_injected + 1;
+                on_fail sid
+              end)
+      | Recover sid ->
+          if sid < 0 || sid >= Array.length machines then
+            invalid_arg (Printf.sprintf "Faults.install: no machine %d" sid);
+          Engine.schedule engine ~delay:ev.at (fun () ->
+              if not machines.(sid).Machine.alive then begin
+                Machine.recover machines.(sid);
+                t.recoveries_injected <- t.recoveries_injected + 1;
+                on_recover sid
+              end))
+    (normalize plan);
+  t

@@ -1,0 +1,58 @@
+(** Deterministic fault injection: fail-stop plans driven off the engine
+    clock.
+
+    A {!plan} is plain data — fail/recover actions against machine ids at
+    virtual times. {!install} schedules it on the engine, so injections
+    interleave with protocol events deterministically and identical
+    (seed, plan) pairs replay bit-identically. Random plans sample their
+    victims from a caller-seeded RNG at construction time.
+
+    Per-message probabilistic loss is configured on the link layer instead:
+    see [Net.create ~loss_prob ~loss_seed]. *)
+
+type action = Fail of int | Recover of int
+
+type event = { at : float; action : action }
+
+type plan = event list
+
+val fail : at:float -> int -> event
+(** Fail-stop one machine at virtual time [at]. *)
+
+val recover : at:float -> int -> event
+(** Bring one machine back at virtual time [at]. *)
+
+val fail_machines : at:float -> int array -> plan
+(** Fail a whole set (e.g. every member of a group) at once. *)
+
+val recover_machines : at:float -> int array -> plan
+
+val sample_fraction : Atom_util.Rng.t -> fraction:float -> n:int -> int array
+(** Sample ceil(fraction·n) distinct machine ids without replacement;
+    deterministic in the RNG state. *)
+
+val fail_fraction : Atom_util.Rng.t -> at:float -> fraction:float -> n:int -> plan
+(** Fail a random f-fraction of an [n]-machine fleet at time [at]. *)
+
+val normalize : plan -> plan
+(** Stable-sort a plan by time (builders may be combined in any order). *)
+
+type t = {
+  mutable failures_injected : int;
+  mutable recoveries_injected : int;
+  plan_size : int;
+}
+(** Telemetry for one installed plan. Counters tick when an action actually
+    changes a machine's liveness (failing a dead machine is a no-op). *)
+
+val install :
+  Engine.t ->
+  machines:Machine.t array ->
+  ?on_fail:(int -> unit) ->
+  ?on_recover:(int -> unit) ->
+  plan ->
+  t
+(** Schedule every action of the plan on the engine. [on_fail]/[on_recover]
+    run after the machine's liveness flips, letting higher layers mirror
+    liveness into their own registries (e.g. the protocol's [failed] set).
+    @raise Invalid_argument if an action names a machine outside the fleet. *)

@@ -3,12 +3,22 @@
    [recv] blocks (suspends the calling process) until a message is
    available; [send] enqueues and wakes one waiting receiver. Wake-ups go
    through the engine's event queue so message delivery order remains
-   deterministic. *)
+   deterministic.
+
+   [recv_timeout] races the arrival against an engine timer: whichever
+   fires first marks the waiter done, and the loser is cancelled (a stale
+   timeout neither wakes anyone nor advances the clock). *)
+
+type waiter = {
+  mutable live : bool; (* false once woken by a send or a timeout *)
+  wake : unit -> unit;
+  mutable timer : Engine.timer option;
+}
 
 type 'a t = {
   engine : Engine.t;
   q : 'a Queue.t;
-  waiters : (unit -> unit) Queue.t;
+  waiters : waiter Queue.t;
   name : string;
 }
 
@@ -19,20 +29,48 @@ let length (m : 'a t) : int = Queue.length m.q
 
 let send (m : 'a t) (v : 'a) : unit =
   Queue.push v m.q;
-  if not (Queue.is_empty m.waiters) then begin
-    let wake = Queue.pop m.waiters in
-    Engine.schedule m.engine ~delay:0. wake
-  end
+  (* Wake the first waiter that has not already been timed out. *)
+  let rec wake_one () =
+    match Queue.take_opt m.waiters with
+    | None -> ()
+    | Some w when not w.live -> wake_one ()
+    | Some w ->
+        w.live <- false;
+        (match w.timer with Some tm -> Engine.cancel tm | None -> ());
+        Engine.schedule m.engine ~delay:0. w.wake
+  in
+  wake_one ()
 
 let recv (m : 'a t) : 'a =
   let rec go () =
     match Queue.take_opt m.q with
     | Some v -> v
     | None ->
-        Engine.suspend (fun wake -> Queue.push wake m.waiters);
+        Engine.suspend (fun wake ->
+            Queue.push { live = true; wake; timer = None } m.waiters);
         go ()
   in
   go ()
+
+let recv_timeout (m : 'a t) ~(timeout : float) : 'a option =
+  match Queue.take_opt m.q with
+  | Some v -> Some v
+  | None ->
+      if timeout <= 0. then None
+      else begin
+        Engine.suspend (fun wake ->
+            let w = { live = true; wake; timer = None } in
+            Queue.push w m.waiters;
+            w.timer <-
+              Some
+                (Engine.schedule_timer m.engine ~delay:timeout (fun () ->
+                     if w.live then begin
+                       w.live <- false;
+                       w.wake ()
+                     end)));
+        (* Woken either by a send (message queued) or by the timeout. *)
+        Queue.take_opt m.q
+      end
 
 (* Receive exactly [n] messages. *)
 let recv_n (m : 'a t) (n : int) : 'a list = List.init n (fun _ -> recv m)

@@ -14,6 +14,12 @@ val send : 'a t -> 'a -> unit
 val recv : 'a t -> 'a
 (** Blocking; must run inside a process. *)
 
+val recv_timeout : 'a t -> timeout:float -> 'a option
+(** Blocking receive that gives up after [timeout] virtual seconds,
+    returning [None]. Whichever of message arrival and timer fires first
+    wins; the loser is cancelled and leaves no trace in the engine clock
+    or event count. Must run inside a process. *)
+
 val recv_n : 'a t -> int -> 'a list
 (** Receive exactly [n] messages (a counting barrier). *)
 

@@ -8,7 +8,14 @@
    sender's NIC at min(sender, receiver) bandwidth, and the first use of a
    directed pair pays a connection-setup cost (TLS handshake: one round trip
    plus a fixed CPU charge) — the overhead that makes Figure 11's trustee
-   group sub-linear at huge scale. *)
+   group sub-linear at huge scale.
+
+   Delivery is retried, not fire-and-forget: a transmission toward a dead
+   machine (or one eaten by probabilistic loss, sampled from a dedicated
+   seeded RNG so runs replay bit-identically) is retransmitted with
+   exponential backoff up to [max_retries] times before being dropped for
+   good. Every retransmit and terminal drop is counted, so churn leaves an
+   audit trail in the stats instead of silently vanishing traffic. *)
 
 type t = {
   engine : Engine.t;
@@ -16,24 +23,45 @@ type t = {
   inter_min : float;
   inter_max : float;
   tls_cpu : float; (* handshake compute cost, seconds *)
+  loss_prob : float; (* per-transmission random loss probability *)
+  loss_rng : Atom_util.Rng.t;
+  max_retries : int;
+  retry_backoff : float; (* first backoff; doubles per retry *)
   established : (int * int, unit) Hashtbl.t;
   mutable connections_opened : int;
   mutable bytes_sent : float;
+  mutable retransmits : int;
+  mutable messages_lost : int; (* transmissions eaten by random loss *)
+  mutable messages_dropped : int; (* messages abandoned after max_retries *)
+  mutable bytes_dropped : float;
 }
 
 let default_tls_cpu = 0.001
+let default_max_retries = 8
+let default_retry_backoff = 0.25
 
 let create ?(intra_latency = 0.040) ?(inter_min = 0.080) ?(inter_max = 0.160)
-    ?(tls_cpu = default_tls_cpu) (engine : Engine.t) : t =
+    ?(tls_cpu = default_tls_cpu) ?(loss_prob = 0.) ?(loss_seed = 0x10ad)
+    ?(max_retries = default_max_retries) ?(retry_backoff = default_retry_backoff)
+    (engine : Engine.t) : t =
+  if loss_prob < 0. || loss_prob >= 1. then invalid_arg "Net.create: need 0 <= loss_prob < 1";
   {
     engine;
     intra_latency;
     inter_min;
     inter_max;
     tls_cpu;
+    loss_prob;
+    loss_rng = Atom_util.Rng.create loss_seed;
+    max_retries;
+    retry_backoff;
     established = Hashtbl.create 4096;
     connections_opened = 0;
     bytes_sent = 0.;
+    retransmits = 0;
+    messages_lost = 0;
+    messages_dropped = 0;
+    bytes_dropped = 0.;
   }
 
 (* One-way propagation latency between two machines. *)
@@ -66,18 +94,46 @@ let ensure_connection (net : t) (src : Machine.t) (dst : Machine.t) : unit =
 
 (* Send [bytes] from [src] to [dst], delivering [msg] into [mailbox] after
    serialization + propagation. Blocks the caller for the NIC serialization
-   time (back-pressure); propagation happens asynchronously. *)
+   time (back-pressure) and for any retransmission backoff; propagation
+   happens asynchronously. Returns [true] iff delivery was scheduled. *)
+let send_tracked (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float)
+    (mailbox : 'a Mailbox.t) (msg : 'a) : bool =
+  let give_up () =
+    net.messages_dropped <- net.messages_dropped + 1;
+    net.bytes_dropped <- net.bytes_dropped +. bytes;
+    false
+  in
+  let rec attempt tries backoff =
+    let retry () =
+      if tries >= net.max_retries then give_up ()
+      else begin
+        Engine.sleep net.engine backoff;
+        net.retransmits <- net.retransmits + 1;
+        attempt (tries + 1) (backoff *. 2.)
+      end
+    in
+    if not dst.Machine.alive then retry () (* fail-stop peer: back off, re-probe *)
+    else begin
+      ensure_connection net src dst;
+      let tx = transfer_time src dst ~bytes in
+      Resource.with_resource src.Machine.nic (fun () -> Engine.sleep net.engine tx);
+      net.bytes_sent <- net.bytes_sent +. bytes;
+      if net.loss_prob > 0. && Atom_util.Rng.float net.loss_rng < net.loss_prob then begin
+        net.messages_lost <- net.messages_lost + 1;
+        retry ()
+      end
+      else begin
+        let lat = latency net src dst in
+        Engine.schedule net.engine ~delay:lat (fun () -> Mailbox.send mailbox msg);
+        true
+      end
+    end
+  in
+  attempt 0 net.retry_backoff
+
 let send (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float) (mailbox : 'a Mailbox.t)
     (msg : 'a) : unit =
-  if not dst.Machine.alive then () (* dropped on the floor: fail-stop *)
-  else begin
-    ensure_connection net src dst;
-    let tx = transfer_time src dst ~bytes in
-    Resource.with_resource src.Machine.nic (fun () -> Engine.sleep net.engine tx);
-    net.bytes_sent <- net.bytes_sent +. bytes;
-    let lat = latency net src dst in
-    Engine.schedule net.engine ~delay:lat (fun () -> Mailbox.send mailbox msg)
-  end
+  ignore (send_tracked net ~src ~dst ~bytes mailbox msg)
 
 (* Fire-and-forget variant usable from outside a process context. *)
 let send_async (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float)

@@ -1,0 +1,253 @@
+(* Churn and fault-injection coverage: the §4.5 buddy-group recovery path
+   exercised end to end through the distributed runtime, plus the Faults
+   plan machinery itself.
+
+   All distributed runs here use the [Calibrated] cost model so latency is
+   a pure function of (seed, fault plan) — the determinism test depends on
+   it, and the comparisons between faulty and fault-free rounds stay
+   meaningful across hosts. *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Pr = Atom_core.Protocol.Make (G)
+module Dist = Atom_core.Distributed.Make (G) (Pr)
+open Atom_core
+open Atom_sim
+
+let rng () = Atom_util.Rng.create 0xfa17
+
+(* 16 servers in 3 groups of k = 4 with h = 2: quorum 3, each group rides
+   out k - quorum = 1 fail-stop without recovery, and buddy recovery can
+   resurrect the rest. *)
+let churn_config ?(variant = Config.Trap) seed : Config.t =
+  {
+    (Config.tiny ~variant ~seed ()) with
+    Config.n_servers = 16;
+    Config.n_groups = 3;
+    Config.group_size = 4;
+    Config.h = 2;
+  }
+
+let messages_of n = List.init n (fun i -> Printf.sprintf "fault-msg-%02d" i)
+
+let submit_all r (net : Pr.network) msgs =
+  List.mapi
+    (fun i m -> Pr.submit r net ~user:i ~entry_gid:(i mod net.Pr.config.Config.n_groups) m)
+    msgs
+
+let check_delivery msgs (outcome : Pr.outcome) =
+  Alcotest.(check bool) "no abort" true (outcome.Pr.aborted = None);
+  Alcotest.(check (list string)) "all messages delivered" (List.sort compare msgs)
+    (List.sort compare outcome.Pr.delivered)
+
+let calibrated = Dist.Calibrated Calibration.paper
+
+(* ---- Faults plan machinery ---- *)
+
+let test_sample_fraction_deterministic () =
+  let pick seed = Faults.sample_fraction (Atom_util.Rng.create seed) ~fraction:0.25 ~n:64 in
+  let a = pick 5 and b = pick 5 in
+  Alcotest.(check (list int)) "same seed, same victims" (Array.to_list a) (Array.to_list b);
+  Alcotest.(check int) "ceil(f*n) victims" 16 (Array.length a);
+  let sorted = List.sort_uniq compare (Array.to_list a) in
+  Alcotest.(check int) "distinct" 16 (List.length sorted);
+  List.iter (fun id -> Alcotest.(check bool) "in range" true (id >= 0 && id < 64)) sorted
+
+let test_plan_normalize () =
+  let plan =
+    Faults.normalize
+      [ Faults.recover ~at:3. 1; Faults.fail ~at:1. 0; Faults.fail ~at:2. 1 ]
+  in
+  Alcotest.(check (list (float 1e-9))) "sorted by time" [ 1.; 2.; 3. ]
+    (List.map (fun (ev : Faults.event) -> ev.Faults.at) plan)
+
+let test_install_counts_liveness_flips () =
+  let e = Engine.create () in
+  let machines =
+    Array.init 4 (fun id -> Machine.create e ~id ~cores:4 ~bandwidth:1e9 ~cluster:0)
+  in
+  let failed_log = ref [] in
+  let plan =
+    [
+      Faults.fail ~at:1. 2;
+      Faults.fail ~at:2. 2 (* no-op: already dead; must not count *);
+      Faults.recover ~at:3. 2;
+      Faults.fail ~at:4. 0;
+    ]
+  in
+  let inj = Faults.install e ~machines plan ~on_fail:(fun sid -> failed_log := sid :: !failed_log) in
+  ignore (Engine.run e);
+  Alcotest.(check int) "failures counted once" 2 inj.Faults.failures_injected;
+  Alcotest.(check int) "recoveries counted" 1 inj.Faults.recoveries_injected;
+  Alcotest.(check (list int)) "hooks fired on real flips" [ 0; 2 ] (List.sort compare !failed_log);
+  Alcotest.(check bool) "machine 0 dead" false machines.(0).Machine.alive;
+  Alcotest.(check bool) "machine 2 back" true machines.(2).Machine.alive
+
+let test_install_rejects_unknown_machine () =
+  let e = Engine.create () in
+  let machines =
+    Array.init 2 (fun id -> Machine.create e ~id ~cores:4 ~bandwidth:1e9 ~cluster:0)
+  in
+  Alcotest.check_raises "out-of-range sid" (Invalid_argument "Faults.install: no machine 7")
+    (fun () -> ignore (Faults.install e ~machines [ Faults.fail ~at:1. 7 ]))
+
+(* ---- Churn matrix: k - quorum failures mid-round, every variant ---- *)
+
+let test_churn_matrix () =
+  List.iter
+    (fun variant ->
+      let r = rng () in
+      let config = churn_config ~variant 31 in
+      let net = Pr.setup r config () in
+      let msgs = messages_of 6 in
+      let subs = submit_all r net msgs in
+      (* Fail one member (= k - quorum) of every group mid-round: the live
+         quorums carry on without any buddy recovery. *)
+      let faults =
+        List.concat_map
+          (fun (g : Pr.group_state) -> [ Faults.fail ~at:0.05 g.Pr.members.(1) ])
+          (Array.to_list net.Pr.groups)
+      in
+      let report = Dist.run ~faults ~costs:calibrated r net subs in
+      let vname =
+        match variant with Config.Basic -> "basic" | Config.Nizk -> "nizk" | Config.Trap -> "trap"
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "all failures injected (%s)" vname)
+        config.Config.n_groups report.Dist.faults.Dist.failures_injected;
+      check_delivery msgs report.Dist.outcome)
+    [ Config.Basic; Config.Nizk; Config.Trap ]
+
+(* ---- Acceptance: h-1 failures per group, round still completes ---- *)
+
+let test_tolerated_failures_no_recovery_needed () =
+  let r = rng () in
+  let config = churn_config 32 in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 6 in
+  let subs = submit_all r net msgs in
+  let faults =
+    List.concat_map
+      (fun (g : Pr.group_state) ->
+        List.init (config.Config.h - 1) (fun i -> Faults.fail ~at:0.04 g.Pr.members.(i)))
+      (Array.to_list net.Pr.groups)
+  in
+  let report = Dist.run ~faults ~costs:calibrated r net subs in
+  check_delivery msgs report.Dist.outcome;
+  Alcotest.(check bool) "delivered non-empty" true (report.Dist.outcome.Pr.delivered <> [])
+
+(* ---- Acceptance: a fully dead group is resurrected via its buddies ---- *)
+
+let test_dead_group_buddy_recovery () =
+  let config = churn_config 33 in
+  let msgs = messages_of 6 in
+  let run_with faults =
+    let r = rng () in
+    let net = Pr.setup r config () in
+    let subs = submit_all r net msgs in
+    Dist.run ~faults ~costs:calibrated r net subs
+  in
+  let baseline = run_with [] in
+  check_delivery msgs baseline.Dist.outcome;
+  (* Kill every member of group 1 mid-round. *)
+  let victims =
+    let r = rng () in
+    let net = Pr.setup r config () in
+    Array.copy net.Pr.groups.(1).Pr.members
+  in
+  let faulty = run_with (Faults.fail_machines ~at:0.05 victims) in
+  check_delivery msgs faulty.Dist.outcome;
+  Alcotest.(check bool)
+    (Printf.sprintf "recoveries %d >= 1" faulty.Dist.faults.Dist.recoveries)
+    true
+    (faulty.Dist.faults.Dist.recoveries >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "faulty latency %.3fs > clean %.3fs" faulty.Dist.latency baseline.Dist.latency)
+    true
+    (faulty.Dist.latency > baseline.Dist.latency);
+  Alcotest.(check bool) "recovery time accounted" true
+    (faulty.Dist.faults.Dist.recovery_latency > 0.)
+
+(* ---- recover_group under maximal churn (synchronous engine) ---- *)
+
+let test_recover_group_maximal_churn () =
+  let r = rng () in
+  let config = churn_config 34 in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 6 in
+  (* Kill the whole of group 0 — every share lost. *)
+  Array.iter (fun sid -> Pr.fail_server net sid) net.Pr.groups.(0).Pr.members;
+  let outcome = Pr.run r net (submit_all r net msgs) in
+  (match outcome.Pr.aborted with
+  | Some (Pr.Group_down { gid = 0 }) -> ()
+  | _ -> Alcotest.fail "expected group 0 down");
+  (* The buddy group re-shares every sub-share: full resurrection. *)
+  Alcotest.(check bool) "maximal recovery succeeds" true (Pr.recover_group net 0);
+  let outcome = Pr.run r net (submit_all r net msgs) in
+  check_delivery msgs outcome
+
+(* ---- Determinism: identical (seed, plan) replays bit-identically ---- *)
+
+let test_fault_replay_deterministic () =
+  let config = churn_config 35 in
+  let msgs = messages_of 5 in
+  let one () =
+    let r = Atom_util.Rng.create 0xd0d0 in
+    let net = Pr.setup r config () in
+    let subs = submit_all r net msgs in
+    let faults =
+      Faults.fail_machines ~at:0.05 net.Pr.groups.(2).Pr.members
+      @ [ Faults.fail ~at:0.02 net.Pr.groups.(0).Pr.members.(0) ]
+    in
+    Dist.run ~faults ~loss_prob:0.05 ~costs:calibrated r net subs
+  in
+  let a = one () and b = one () in
+  Alcotest.(check (float 0.)) "identical latency" a.Dist.latency b.Dist.latency;
+  Alcotest.(check int) "identical event counts" a.Dist.events b.Dist.events;
+  Alcotest.(check (list string)) "identical deliveries"
+    (List.sort compare a.Dist.outcome.Pr.delivered)
+    (List.sort compare b.Dist.outcome.Pr.delivered);
+  Alcotest.(check int) "identical retransmits" a.Dist.faults.Dist.retransmits
+    b.Dist.faults.Dist.retransmits;
+  Alcotest.(check int) "identical timeouts" a.Dist.faults.Dist.timeouts_fired
+    b.Dist.faults.Dist.timeouts_fired
+
+(* ---- Telemetry plumbing ---- *)
+
+let test_report_carries_drop_counters () =
+  (* A lossy round surfaces link-layer telemetry in the report. *)
+  let r = rng () in
+  let config = churn_config 36 in
+  let net = Pr.setup r config () in
+  let msgs = messages_of 5 in
+  let report = Dist.run ~loss_prob:0.3 ~costs:calibrated r net (submit_all r net msgs) in
+  check_delivery msgs report.Dist.outcome;
+  Alcotest.(check bool) "retransmits observed" true (report.Dist.faults.Dist.retransmits > 0);
+  Alcotest.(check int) "nothing dropped at this loss rate" 0
+    report.Dist.faults.Dist.messages_dropped
+
+let test_controller_recovery_telemetry () =
+  let c = Controller.create () in
+  Alcotest.(check int) "starts at zero" 0 (Controller.total_recoveries c);
+  Controller.note_recoveries c 3;
+  ignore (Controller.record c ~aborted:false ~blamed:[]);
+  Controller.note_recoveries c 1;
+  Alcotest.(check int) "accumulates" 4 (Controller.total_recoveries c);
+  Alcotest.(check bool) "churn never flips the variant" true
+    (Controller.variant c = Config.Trap)
+
+let suite =
+  ( "faults",
+    [
+      Alcotest.test_case "sample_fraction deterministic" `Quick test_sample_fraction_deterministic;
+      Alcotest.test_case "plan normalize" `Quick test_plan_normalize;
+      Alcotest.test_case "install counts liveness flips" `Quick test_install_counts_liveness_flips;
+      Alcotest.test_case "install rejects unknown machine" `Quick
+        test_install_rejects_unknown_machine;
+      Alcotest.test_case "churn matrix (all variants)" `Quick test_churn_matrix;
+      Alcotest.test_case "h-1 failures tolerated" `Quick test_tolerated_failures_no_recovery_needed;
+      Alcotest.test_case "dead group buddy recovery" `Quick test_dead_group_buddy_recovery;
+      Alcotest.test_case "recover_group maximal churn" `Quick test_recover_group_maximal_churn;
+      Alcotest.test_case "fault replay determinism" `Quick test_fault_replay_deterministic;
+      Alcotest.test_case "report drop counters" `Quick test_report_carries_drop_counters;
+      Alcotest.test_case "controller recovery telemetry" `Quick test_controller_recovery_telemetry;
+    ] )

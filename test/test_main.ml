@@ -20,4 +20,5 @@ let () =
       Test_wire.suite;
       Test_anonymity.suite;
       Test_misc.suite;
+      Test_faults.suite;
     ]

@@ -223,6 +223,110 @@ let test_determinism () =
   let a = run () and b = run () in
   Alcotest.(check (pair (float 1e-12) int)) "identical runs" a b
 
+let test_timer_cancellation () =
+  (* A cancelled timer never fires, and — crucially for latency reporting —
+     does not advance the clock or the event count. *)
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Engine.schedule_timer e ~delay:100. (fun () -> fired := true) in
+  Engine.schedule e ~delay:1. (fun () -> Engine.cancel t);
+  let final = Engine.run e in
+  Alcotest.(check bool) "cancelled timer silent" false !fired;
+  feq "clock stops at the live event" 1. final;
+  Alcotest.(check int) "cancelled event not counted" 1 (Engine.events_run e)
+
+let test_recv_timeout_expires () =
+  let e = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create e in
+  let got = ref (Some 0) in
+  let when_ = ref (-1.) in
+  Engine.spawn e (fun () ->
+      got := Mailbox.recv_timeout mb ~timeout:2.5;
+      when_ := Engine.now e);
+  ignore (Engine.run e);
+  Alcotest.(check bool) "timed out empty-handed" true (!got = None);
+  feq "woke exactly at the deadline" 2.5 !when_
+
+let test_recv_timeout_message_wins () =
+  (* A send racing the timer wins, and the losing timer leaves no trace in
+     the final virtual time. *)
+  let e = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create e in
+  let got = ref None in
+  Engine.spawn e (fun () -> got := Mailbox.recv_timeout mb ~timeout:60.);
+  Engine.schedule e ~delay:1. (fun () -> Mailbox.send mb 7);
+  let final = Engine.run e in
+  Alcotest.(check bool) "received" true (!got = Some 7);
+  feq "stale timeout did not inflate latency" 1. final
+
+let test_recv_timeout_queued_value () =
+  (* A value already waiting returns immediately, no timer scheduled. *)
+  let e = Engine.create () in
+  let mb : int Mailbox.t = Mailbox.create e in
+  Mailbox.send mb 9;
+  let got = ref None in
+  Engine.spawn e (fun () -> got := Mailbox.recv_timeout mb ~timeout:5.);
+  let final = Engine.run e in
+  Alcotest.(check bool) "immediate" true (!got = Some 9);
+  feq "no time passed" 0. final
+
+let test_net_retransmit_until_recovery () =
+  (* dst is dead at send time and comes back at t=1; backoff retries land
+     the message, counted as retransmits, not drops. *)
+  let e = Engine.create () in
+  let net = Net.create e ~tls_cpu:0. in
+  let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  Machine.fail b;
+  Engine.schedule e ~delay:1. (fun () -> Machine.recover b);
+  let mb = Mailbox.create e in
+  let delivered = ref false in
+  Engine.spawn e (fun () -> delivered := Net.send_tracked net ~src:a ~dst:b ~bytes:10. mb ());
+  ignore (Engine.run e);
+  Alcotest.(check bool) "delivered after recovery" true !delivered;
+  Alcotest.(check int) "message arrived" 1 (Mailbox.length mb);
+  Alcotest.(check bool) "retries were needed" true (net.Net.retransmits > 0);
+  Alcotest.(check int) "nothing dropped" 0 net.Net.messages_dropped
+
+let test_net_drop_counters () =
+  (* dst never recovers: retries exhaust and the drop is accounted. *)
+  let e = Engine.create () in
+  let net = Net.create e ~max_retries:3 in
+  let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+  Machine.fail b;
+  let mb = Mailbox.create e in
+  let delivered = ref true in
+  Engine.spawn e (fun () -> delivered := Net.send_tracked net ~src:a ~dst:b ~bytes:64. mb ());
+  ignore (Engine.run e);
+  Alcotest.(check bool) "reported dropped" false !delivered;
+  Alcotest.(check int) "counted" 1 net.Net.messages_dropped;
+  feq "bytes accounted" 64. net.Net.bytes_dropped;
+  Alcotest.(check int) "retried max times" 3 net.Net.retransmits
+
+let test_net_loss_deterministic () =
+  (* Probabilistic loss replays bit-identically for a fixed loss_seed. *)
+  let run () =
+    let e = Engine.create () in
+    let net = Net.create e ~tls_cpu:0. ~loss_prob:0.4 ~loss_seed:77 in
+    let a = Machine.create e ~id:0 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+    let b = Machine.create e ~id:1 ~cores:4 ~bandwidth:1e9 ~cluster:0 in
+    let mb = Mailbox.create e in
+    Engine.spawn e (fun () ->
+        for i = 0 to 19 do
+          Net.send net ~src:a ~dst:b ~bytes:10. mb i
+        done);
+    let t = Engine.run e in
+    (t, net.Net.retransmits, net.Net.messages_lost, Mailbox.length mb)
+  in
+  let (t1, r1, l1, n1) = run () and (t2, r2, l2, n2) = run () in
+  Alcotest.(check bool) "losses actually sampled" true (l1 > 0);
+  Alcotest.(check int) "all eventually delivered" 20 n1;
+  feq "same final time" t1 t2;
+  Alcotest.(check int) "same retransmits" r1 r2;
+  Alcotest.(check int) "same losses" l1 l2;
+  Alcotest.(check int) "same deliveries" n1 n2
+
 let test_heap_stress () =
   (* 10k events scheduled in random order fire in exact time order. *)
   let e = Engine.create () in
@@ -257,6 +361,13 @@ let suite =
       Alcotest.test_case "net send timing" `Quick test_net_send_timing;
       Alcotest.test_case "net connection reuse" `Quick test_net_connection_reuse;
       Alcotest.test_case "net dead destination" `Quick test_net_dead_destination;
+      Alcotest.test_case "timer cancellation" `Quick test_timer_cancellation;
+      Alcotest.test_case "recv_timeout expires" `Quick test_recv_timeout_expires;
+      Alcotest.test_case "recv_timeout message wins" `Quick test_recv_timeout_message_wins;
+      Alcotest.test_case "recv_timeout queued value" `Quick test_recv_timeout_queued_value;
+      Alcotest.test_case "net retransmit until recovery" `Quick test_net_retransmit_until_recovery;
+      Alcotest.test_case "net drop counters" `Quick test_net_drop_counters;
+      Alcotest.test_case "net loss determinism" `Quick test_net_loss_deterministic;
       Alcotest.test_case "paper fleet distribution" `Quick test_paper_fleet_distribution;
       Alcotest.test_case "determinism" `Quick test_determinism;
       Alcotest.test_case "heap stress (10k events)" `Quick test_heap_stress;
