@@ -20,6 +20,21 @@ let header title =
   Printf.printf "%s\n" title;
   line ()
 
+(* --json: also write the fast-path primitive measurements (and the Table 3
+   rows) to BENCH_crypto.json in the current directory, for CI smoke runs
+   and for tracking the multi-exponentiation engine's speedups. *)
+let json_mode = ref false
+
+(* P-256 numbers recorded at the growth seed with this same harness on the
+   same host — the "before" column of the engine's speedup claims. *)
+let seed_baseline =
+  [
+    ("pow_gen", 1.812e-3);
+    ("pow fixed-base", 1.749e-3);
+    ("Enc", 3.750e-3);
+    ("ShufProof verify (n=64)", 1.173e0);
+  ]
+
 (* ---- Table 3: cryptographic primitive latencies ---- *)
 
 let bechamel_estimates (tests : Bechamel.Test.t list) : (string * float) list =
@@ -111,7 +126,73 @@ let table3 () =
     (fun (name, measured, paper) ->
       Printf.printf "%-26s %14.3e %14.3e %8.2f\n" name measured paper (measured /. paper))
     rows;
-  print_newline ()
+  print_newline ();
+  (* Fast-path primitives of the multi-exponentiation engine, against the
+     numbers recorded at the growth seed (the shuffle-verify unit is n = 64,
+     matching the baseline recording). *)
+  let batch64 = Array.sub batch 0 64 in
+  let shuffled64, witness64 = Option.get (El.shuffle_vec rng kp.El.pk batch64) in
+  let spi64 =
+    Shuf.prove rng ~pk:kp.El.pk ~context:"b" ~input:batch64 ~output:shuffled64 ~witness:witness64
+  in
+  let k1 = G.Scalar.random rng and k2 = G.Scalar.random rng in
+  let x1 = G.random rng and x2 = G.random rng in
+  let msm_pairs = Array.init 64 (fun _ -> (G.random rng, G.Scalar.random rng)) in
+  let prims =
+    bechamel_estimates
+      [
+        t "pow_gen" (fun () -> ignore (G.pow_gen k1));
+        t "pow fixed-base" (fun () -> ignore (G.pow kp.El.pk k2));
+        t "pow2" (fun () -> ignore (G.pow2 x1 k1 x2 k2));
+        t "msm n=64" (fun () -> ignore (G.msm msm_pairs));
+        t "ShufProof verify (n=64)" (fun () ->
+            ignore (Shuf.verify ~pk:kp.El.pk ~context:"b" ~input:batch64 ~output:shuffled64 spi64));
+      ]
+  in
+  let prim_names = [ "pow_gen"; "pow fixed-base"; "pow2"; "msm n=64"; "Enc"; "ShufProof verify (n=64)" ] in
+  let prim_rows =
+    List.map (fun n -> (n, if n = "Enc" then find "Enc" singles else find n prims)) prim_names
+  in
+  Printf.printf "%-26s %14s %14s %8s\n" "fast-path primitive" "measured (s)" "seed (s)" "speedup";
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name seed_baseline with
+      | Some b -> Printf.printf "%-26s %14.3e %14.3e %7.1fx\n" name v b (b /. v)
+      | None -> Printf.printf "%-26s %14.3e %14s %8s\n" name v "-" "-")
+    prim_rows;
+  print_newline ();
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"schema\": \"atom-bench-crypto/1\",\n  \"group\": \"p256\",\n";
+    Buffer.add_string buf
+      "  \"baseline_source\": \"growth seed, same host and bechamel harness\",\n";
+    Buffer.add_string buf "  \"primitives\": [\n";
+    let np = List.length prim_rows in
+    List.iteri
+      (fun i (name, v) ->
+        Buffer.add_string buf (Printf.sprintf "    {\"name\": %S, \"seconds\": %.6e" name v);
+        (match List.assoc_opt name seed_baseline with
+        | Some b ->
+            Buffer.add_string buf
+              (Printf.sprintf ", \"seed_seconds\": %.6e, \"speedup\": %.2f" b (b /. v))
+        | None -> ());
+        Buffer.add_string buf (if i = np - 1 then "}\n" else "},\n"))
+      prim_rows;
+    Buffer.add_string buf "  ],\n  \"table3\": [\n";
+    let nr = List.length rows in
+    List.iteri
+      (fun i (name, measured, paper) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"name\": %S, \"seconds\": %.6e, \"paper_seconds\": %.6e}%s\n"
+             name measured paper
+             (if i = nr - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_crypto.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_crypto.json\n\n"
+  end
 
 (* ---- Table 4: anytrust group setup latency (DKG) ---- *)
 
@@ -459,6 +540,8 @@ let experiments : (string * string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let json, args = List.partition (fun a -> a = "--json") args in
+  json_mode := json <> [];
   let selected =
     match args with
     | [] -> experiments

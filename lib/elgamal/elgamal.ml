@@ -22,8 +22,11 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
 
   (* The public key of an anytrust group is the product of the members'
      public keys, so that the matching secret key is the (never materialized)
-     sum of the members' secrets. *)
-  let combine_pks (pks : G.t list) : G.t = List.fold_left G.mul G.one pks
+     sum of the members' secrets. Computed as a unit-scalar MSM so curve
+     backends pay one affine normalization for the whole product instead of
+     one per fold step. *)
+  let combine_pks (pks : G.t list) : G.t =
+    G.msm (Array.of_list (List.map (fun pk -> (pk, G.Scalar.one)) pks))
 
   type cipher = { r : G.t; c : G.t; y : G.t option }
 
@@ -90,14 +93,13 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
     else begin
       let n = Array.length cts in
       let permutation = Atom_util.Rng.permutation rng n in
-      let rerands = Array.make n G.Scalar.zero in
+      let rerands = Array.init n (fun _ -> G.Scalar.random rng) in
+      let gr = G.pow_gen_batch rerands in
+      let pkr = G.pow_batch pk rerands in
       let out =
         Array.init n (fun i ->
-            match rerandomize rng pk cts.(permutation.(i)) with
-            | Some (ct, r') ->
-                rerands.(i) <- r';
-                ct
-            | None -> assert false)
+            let src = cts.(permutation.(i)) in
+            { r = G.mul src.r gr.(i); c = G.mul src.c pkr.(i); y = None })
       in
       Some (out, { permutation; rerands })
     end
@@ -133,33 +135,57 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
 
   type vec = cipher array
 
+  (* Batch encryption: all the fixed-base work (g^{r_i} from the comb
+     table, pk^{r_i} from one window table) is normalized with a single
+     inversion per batch instead of one per exponentiation. Randomness is
+     drawn in the same order as the elementwise path. *)
   let enc_vec rng pk (ms : G.t array) : vec * G.Scalar.t array =
-    let rs = Array.make (Array.length ms) G.Scalar.zero in
-    let cts =
-      Array.mapi
-        (fun i m ->
-          let ct, r = enc rng pk m in
-          rs.(i) <- r;
-          ct)
-        ms
-    in
+    let rs = Array.init (Array.length ms) (fun _ -> G.Scalar.random rng) in
+    let gr = G.pow_gen_batch rs in
+    let pkr = G.pow_batch pk rs in
+    let cts = Array.mapi (fun i m -> { r = gr.(i); c = G.mul m pkr.(i); y = None }) ms in
     (cts, rs)
 
   let dec_vec sk (v : vec) : G.t array option =
     let out = Array.map (dec sk) v in
     if Array.exists Option.is_none out then None else Some (Array.map Option.get out)
 
-  let reenc_vec rng ~share ?coeff ~next_pk (v : vec) : vec * reenc_witness array =
-    let wits = Array.make (Array.length v) None in
-    let out =
-      Array.mapi
-        (fun i ct ->
-          let ct', w = reenc rng ~share ?coeff ~next_pk ct in
-          wits.(i) <- Some w;
-          ct')
-        v
-    in
-    (out, Array.map Option.get wits)
+  (* Batch re-encryption. The strip factors D_i = Y_i^{x_eff} have distinct
+     bases and cannot share tables, but the fresh-randomness half (g^{r'_i}
+     and X'^{r'_i}) is pure fixed-base work and batches. Randomness is drawn
+     in the same order as the elementwise path. *)
+  let reenc_vec rng ~share ?(coeff = G.Scalar.one) ~next_pk (v : vec) :
+      vec * reenc_witness array =
+    match next_pk with
+    | None ->
+        let x_eff = G.Scalar.mul coeff share in
+        let wits = Array.make (Array.length v) { stripped = G.one; fresh = G.Scalar.zero } in
+        let out =
+          Array.mapi
+            (fun i ct ->
+              let y, r = match ct.y with None -> (ct.r, G.one) | Some y -> (y, ct.r) in
+              let d = G.pow y x_eff in
+              wits.(i) <- { stripped = d; fresh = G.Scalar.zero };
+              { r; c = G.div ct.c d; y = Some y })
+            v
+        in
+        (out, wits)
+    | Some pk' ->
+        let x_eff = G.Scalar.mul coeff share in
+        let fresh = Array.init (Array.length v) (fun _ -> G.Scalar.random rng) in
+        let gr = G.pow_gen_batch fresh in
+        let pkr = G.pow_batch pk' fresh in
+        let wits = Array.make (Array.length v) { stripped = G.one; fresh = G.Scalar.zero } in
+        let out =
+          Array.mapi
+            (fun i ct ->
+              let y, r = match ct.y with None -> (ct.r, G.one) | Some y -> (y, ct.r) in
+              let d = G.pow y x_eff in
+              wits.(i) <- { stripped = d; fresh = fresh.(i) };
+              { r = G.mul r gr.(i); c = G.mul (G.div ct.c d) pkr.(i); y = Some y })
+            v
+        in
+        (out, wits)
 
   let clear_y_vec (v : vec) : vec = Array.map clear_y v
 
@@ -174,20 +200,26 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
     else begin
       let n = Array.length vs in
       let vperm = Atom_util.Rng.permutation rng n in
-      let vrerands = Array.map (fun v -> Array.make (Array.length v) G.Scalar.zero) vs in
-      let out =
+      (* Draw all rerandomization exponents in the elementwise order, then
+         batch the fixed-base work across the whole n × width matrix. *)
+      let vrerands =
         Array.init n (fun j ->
-            let src = vs.(vperm.(j)) in
-            vrerands.(j) <- Array.make (Array.length src) G.Scalar.zero;
-            Array.mapi
-              (fun w ct ->
-                match rerandomize rng pk ct with
-                | Some (ct', r') ->
-                    vrerands.(j).(w) <- r';
-                    ct'
-                | None -> assert false)
-              src)
+            Array.init (Array.length vs.(vperm.(j))) (fun _ -> G.Scalar.random rng))
       in
+      let flat = Array.concat (Array.to_list vrerands) in
+      let gr = G.pow_gen_batch flat in
+      let pkr = G.pow_batch pk flat in
+      let out = Array.make n [||] in
+      let off = ref 0 in
+      for j = 0 to n - 1 do
+        let src = vs.(vperm.(j)) in
+        let base = !off in
+        out.(j) <-
+          Array.mapi
+            (fun w ct -> { r = G.mul ct.r gr.(base + w); c = G.mul ct.c pkr.(base + w); y = None })
+            src;
+        off := base + Array.length src
+      done;
       Some (out, { vperm; vrerands })
     end
 

@@ -61,7 +61,30 @@ module type GROUP = sig
   (** [pow x k] is x^k (scalar multiplication for curves). *)
 
   val pow_gen : scalar -> t
-  (** [pow_gen k] = [pow generator k]. *)
+  (** [pow_gen k] = [pow generator k]. Backends may serve this from a
+      precomputed fixed-base table. *)
+
+  (* Fast-path multi-exponentiation. Every operation below is semantically
+     a composition of [pow] and [mul]; backends are free to implement them
+     with shared-doubling tricks (Shamir/Straus, Pippenger buckets) and
+     batch affine normalization. [Naive_multi] provides honest fallbacks. *)
+
+  val pow2 : t -> scalar -> t -> scalar -> t
+  (** [pow2 a j b k] = a^j · b^k (double-scalar multiplication, the shape of
+      every sigma-protocol verification equation). *)
+
+  val msm : (t * scalar) array -> t
+  (** Multi-scalar multiplication: [msm [|(x1,k1);…|]] = Π xi^ki; the empty
+      product is [one]. *)
+
+  val pow_batch : t -> scalar array -> t array
+  (** [pow_batch x ks] = [|x^k1; x^k2; …|]: one base, many scalars. The
+      base's window table is built once and curve backends normalize the
+      whole batch with a single field inversion. *)
+
+  val pow_gen_batch : scalar array -> t array
+  (** [pow_gen_batch ks] = [pow_batch generator ks], served from the
+      fixed-base table. *)
 
   val equal : t -> t -> bool
   val is_one : t -> bool
@@ -97,4 +120,27 @@ module type GROUP = sig
   (** Derive a group element with publicly unknown discrete log from a label
       (hash-to-group). Used for the independent commitment generators of the
       verifiable shuffle. *)
+end
+
+(** What a backend must provide before the multi-exponentiation fast path
+    is bolted on. *)
+module type POW_CORE = sig
+  type t
+  type scalar
+
+  val one : t
+  val mul : t -> t -> t
+  val pow : t -> scalar -> t
+  val pow_gen : scalar -> t
+end
+
+(** Honest (naive-composition) fallbacks for the multi-exponentiation
+    operations, for backends without a bespoke fast path. Results agree
+    with the specialized implementations by construction — the property
+    tests pin the specialized paths against these shapes. *)
+module Naive_multi (B : POW_CORE) = struct
+  let pow2 a j b k = B.mul (B.pow a j) (B.pow b k)
+  let msm pairs = Array.fold_left (fun acc (x, k) -> B.mul acc (B.pow x k)) B.one pairs
+  let pow_batch x ks = Array.map (B.pow x) ks
+  let pow_gen_batch ks = Array.map B.pow_gen ks
 end

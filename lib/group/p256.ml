@@ -146,39 +146,350 @@ let mul a b = to_affine (jac_add (to_jac a) (to_jac b))
 let inv = function Inf -> Inf | Aff (x, y) -> Aff (x, Modarith.neg fp y)
 let div a b = mul a (inv b)
 
-(* 4-bit fixed-window scalar multiplication. *)
+let generator = Aff (Modarith.of_nat fp gx, Modarith.of_nat fp gy)
+
+(* ---- Fast-path scalar-multiplication engine ----
+
+   Four ingredients (see DESIGN.md, "Performance engineering"):
+   - mixed Jacobian+affine addition, ~4 field mults cheaper than the
+     general Jacobian add, used everywhere a precomputed table is affine;
+   - batch affine normalization (Montgomery's simultaneous-inversion
+     trick): k points cost one Fermat inversion instead of k;
+   - a precomputed fixed-base comb table for the generator (64 4-bit
+     windows × 15 entries), making [pow_gen] a doubling-free sum of ≤ 64
+     table lookups;
+   - an MRU cache of per-base affine window tables for long-lived bases
+     (public keys): the table is built on a base's second sighting, so
+     one-shot bases never pay the normalization inversion. *)
+
+let nibble_of (e : Nat.t) (w : int) : int =
+  (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
+  lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
+  lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
+  lor if Nat.test_bit e (4 * w) then 1 else 0
+
+(* Mixed addition p1 + (x2, y2) where the second operand is affine
+   (z2 = 1): madd-2004-hmv. *)
+let jac_add_aff (p1 : jac) (x2 : Modarith.el) (y2 : Modarith.el) : jac =
+  if jac_is_inf p1 then { jx = x2; jy = y2; jz = Modarith.one fp }
+  else begin
+    let z1z1 = Modarith.sqr fp p1.jz in
+    let u2 = Modarith.mul fp x2 z1z1 in
+    let s2 = Modarith.mul fp y2 (Modarith.mul fp p1.jz z1z1) in
+    let h = Modarith.sub fp u2 p1.jx in
+    let r = Modarith.sub fp s2 p1.jy in
+    if Modarith.is_zero h then if Modarith.is_zero r then jac_double p1 else jac_inf
+    else begin
+      let hh = Modarith.sqr fp h in
+      let hhh = Modarith.mul fp h hh in
+      let v = Modarith.mul fp p1.jx hh in
+      let x3 =
+        Modarith.sub fp (Modarith.sub fp (Modarith.sqr fp r) hhh) (Modarith.double fp v)
+      in
+      let y3 =
+        Modarith.sub fp (Modarith.mul fp r (Modarith.sub fp v x3)) (Modarith.mul fp p1.jy hhh)
+      in
+      { jx = x3; jy = y3; jz = Modarith.mul fp p1.jz h }
+    end
+  end
+
+let jac_add_point (p1 : jac) (p2 : t) : jac =
+  match p2 with Inf -> p1 | Aff (x, y) -> jac_add_aff p1 x y
+
+(* Montgomery's simultaneous-inversion trick: normalize a whole batch of
+   Jacobian points with a single field inversion (plus 3 mults per point
+   for the prefix bookkeeping). *)
+let to_affine_batch (js : jac array) : t array =
+  let n = Array.length js in
+  let prefix = Array.make n (Modarith.one fp) in
+  let acc = ref (Modarith.one fp) in
+  for i = 0 to n - 1 do
+    prefix.(i) <- !acc;
+    if not (jac_is_inf js.(i)) then acc := Modarith.mul fp !acc js.(i).jz
+  done;
+  let out = Array.make n Inf in
+  let inv_acc = ref (Modarith.inv fp !acc) in
+  for i = n - 1 downto 0 do
+    let j = js.(i) in
+    if not (jac_is_inf j) then begin
+      let zinv = Modarith.mul fp !inv_acc prefix.(i) in
+      inv_acc := Modarith.mul fp !inv_acc j.jz;
+      let zinv2 = Modarith.sqr fp zinv in
+      out.(i) <-
+        Aff (Modarith.mul fp j.jx zinv2, Modarith.mul fp j.jy (Modarith.mul fp zinv2 zinv))
+    end
+  done;
+  out
+
+(* Fixed-base comb table: gen_table.(w).(d-1) = (d·16^w)·G in affine,
+   for the 64 4-bit windows of a P-256 scalar. d·16^w is never ≡ 0 mod n
+   (it is positive, < 2^256 < 2n, and ≠ n by parity), so every entry is
+   finite. Built lazily with one batch normalization (~1 ms, once). *)
+let gen_table : t array array lazy_t =
+  lazy
+    begin
+      let windows = 64 in
+      let flat = Array.make (windows * 15) jac_inf in
+      let base = ref (to_jac generator) in
+      for w = 0 to windows - 1 do
+        flat.(w * 15) <- !base;
+        for d = 2 to 15 do
+          flat.((w * 15) + d - 1) <- jac_add flat.((w * 15) + d - 2) !base
+        done;
+        if w < windows - 1 then
+          base := jac_double (jac_double (jac_double (jac_double flat.(w * 15))))
+      done;
+      let aff = to_affine_batch flat in
+      Array.init windows (fun w -> Array.sub aff (w * 15) 15)
+    end
+
+(* g^e as a Jacobian point: one mixed addition per nonzero nibble, no
+   doublings at all. *)
+let comb_jac (e : Nat.t) : jac =
+  let table = Lazy.force gen_table in
+  let windows = (Nat.bit_length e + 3) / 4 in
+  let acc = ref jac_inf in
+  for w = 0 to windows - 1 do
+    let d = nibble_of e w in
+    if d <> 0 then acc := jac_add_point !acc table.(w).(d - 1)
+  done;
+  !acc
+
+let pow_gen (k : scalar) : t =
+  let e = Scalar.to_nat k in
+  if Nat.is_zero e then Inf else to_affine (comb_jac e)
+
+(* 15-entry affine window table for an arbitrary base: one batch
+   normalization (one inversion) per table. *)
+let affine_table (base : t) : t array =
+  let bj = to_jac base in
+  let jt = Array.make 15 jac_inf in
+  jt.(0) <- bj;
+  for d = 1 to 14 do
+    jt.(d) <- jac_add jt.(d - 1) bj
+  done;
+  to_affine_batch jt
+
+(* MRU cache of per-base affine tables, for long-lived bases (group public
+   keys, DKG share keys). A base's first sighting only records its key; the
+   table is built — and the inversion spent — from the second sighting on,
+   so one-shot bases (shuffle commitments, fresh ciphertext components)
+   cost nothing beyond an O(cap) key scan. *)
+type base_entry = { key : t; mutable table : t array option }
+
+let base_cache : base_entry list ref = ref []
+let base_cache_cap = 16
+
+let cached_table (base : t) : t array option =
+  let rec extract acc = function
+    | [] -> None
+    | e :: rest when equal e.key base -> Some (e, List.rev_append acc rest)
+    | e :: rest -> extract (e :: acc) rest
+  in
+  match extract [] !base_cache with
+  | Some (e, rest) ->
+      base_cache := e :: rest;
+      let table =
+        match e.table with
+        | Some t -> t
+        | None ->
+            let t = affine_table base in
+            e.table <- Some t;
+            t
+      in
+      Some table
+  | None ->
+      let tail = List.filteri (fun i _ -> i < base_cache_cap - 1) !base_cache in
+      base_cache := { key = base; table = None } :: tail;
+      None
+
+(* 4-bit windowed double-and-add over an affine table. *)
+let windowed_jac (tab : t array) (e : Nat.t) : jac =
+  let windows = (Nat.bit_length e + 3) / 4 in
+  let acc = ref jac_inf in
+  for w = windows - 1 downto 0 do
+    if w <> windows - 1 then begin
+      acc := jac_double !acc;
+      acc := jac_double !acc;
+      acc := jac_double !acc;
+      acc := jac_double !acc
+    end;
+    let d = nibble_of e w in
+    if d <> 0 then acc := jac_add_point !acc tab.(d - 1)
+  done;
+  !acc
+
+(* One-shot path: per-call Jacobian table, no inversion spent on it. *)
+let windowed_jac_oneshot (base : t) (e : Nat.t) : jac =
+  let table = Array.make 16 jac_inf in
+  table.(1) <- to_jac base;
+  for i = 2 to 15 do
+    table.(i) <- jac_add table.(i - 1) table.(1)
+  done;
+  let windows = (Nat.bit_length e + 3) / 4 in
+  let acc = ref jac_inf in
+  for w = windows - 1 downto 0 do
+    if w <> windows - 1 then begin
+      acc := jac_double !acc;
+      acc := jac_double !acc;
+      acc := jac_double !acc;
+      acc := jac_double !acc
+    end;
+    let d = nibble_of e w in
+    if d <> 0 then acc := jac_add !acc table.(d)
+  done;
+  !acc
+
 let pow (base : t) (k : scalar) : t =
   let e = Scalar.to_nat k in
   if Nat.is_zero e || is_one base then Inf
+  else if equal base generator then to_affine (comb_jac e)
   else begin
-    let table = Array.make 16 jac_inf in
-    table.(1) <- to_jac base;
-    for i = 2 to 15 do
-      table.(i) <- jac_add table.(i - 1) table.(1)
-    done;
-    let bits = Nat.bit_length e in
-    let windows = (bits + 3) / 4 in
-    let acc = ref jac_inf in
-    for w = windows - 1 downto 0 do
-      if w <> windows - 1 then begin
-        acc := jac_double !acc;
-        acc := jac_double !acc;
-        acc := jac_double !acc;
-        acc := jac_double !acc
-      end;
-      let nibble =
-        (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
-        lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
-        lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
-        lor if Nat.test_bit e (4 * w) then 1 else 0
-      in
-      if nibble <> 0 then acc := jac_add !acc table.(nibble)
-    done;
-    to_affine !acc
+    match cached_table base with
+    | Some tab -> to_affine (windowed_jac tab e)
+    | None -> to_affine (windowed_jac_oneshot base e)
   end
 
-let generator = Aff (Modarith.of_nat fp gx, Modarith.of_nat fp gy)
-let pow_gen k = pow generator k
+(* ---- Multi-scalar multiplication ---- *)
+
+(* Straus (shared doublings, per-base 4-bit window tables) for small batches.
+   Tables are Jacobian and built only up to the largest nibble the scalar
+   can produce, so tiny scalars (e.g. the all-ones MSM of combine_pks) skip
+   table construction entirely. *)
+let msm_straus (bases : t array) (exps : Nat.t array) ~(use_cache : bool) : jac =
+  let n = Array.length bases in
+  let max_bits = ref 0 in
+  for i = 0 to n - 1 do
+    max_bits := max !max_bits (Nat.bit_length exps.(i))
+  done;
+  let adders =
+    Array.init n (fun i ->
+        let cached = if use_cache then cached_table bases.(i) else None in
+        match cached with
+        | Some tab -> fun acc d -> jac_add_point acc tab.(d - 1)
+        | None ->
+            let max_d =
+              if Nat.bit_length exps.(i) > 4 then 15 else Nat.to_int_exn exps.(i)
+            in
+            let table = Array.make (max_d + 1) jac_inf in
+            if max_d >= 1 then table.(1) <- to_jac bases.(i);
+            for d = 2 to max_d do
+              table.(d) <- jac_add table.(d - 1) table.(1)
+            done;
+            fun acc d -> jac_add acc table.(d))
+  in
+  let windows = (!max_bits + 3) / 4 in
+  let acc = ref jac_inf in
+  for w = windows - 1 downto 0 do
+    if w <> windows - 1 then begin
+      acc := jac_double !acc;
+      acc := jac_double !acc;
+      acc := jac_double !acc;
+      acc := jac_double !acc
+    end;
+    for i = 0 to n - 1 do
+      let d = nibble_of exps.(i) w in
+      if d <> 0 then acc := adders.(i) !acc d
+    done
+  done;
+  !acc
+
+(* Pippenger bucket method for large batches: per window, drop each point
+   into the bucket of its digit, then aggregate buckets with two running
+   sums. ~(256/c)·(n + 2^{c+1}) additions overall. *)
+let msm_pippenger (bases : t array) (exps : Nat.t array) : jac =
+  let n = Array.length bases in
+  let c = if n < 512 then 6 else if n < 2048 then 7 else 8 in
+  let points = Array.map to_jac bases in
+  let max_bits = ref 0 in
+  for i = 0 to n - 1 do
+    max_bits := max !max_bits (Nat.bit_length exps.(i))
+  done;
+  let digit e off =
+    let d = ref 0 in
+    for b = c - 1 downto 0 do
+      d := (!d lsl 1) lor if Nat.test_bit e (off + b) then 1 else 0
+    done;
+    !d
+  in
+  let nwin = (!max_bits + c - 1) / c in
+  let nbuckets = (1 lsl c) - 1 in
+  let buckets = Array.make nbuckets jac_inf in
+  let acc = ref jac_inf in
+  for w = nwin - 1 downto 0 do
+    if w <> nwin - 1 then
+      for _ = 1 to c do
+        acc := jac_double !acc
+      done;
+    Array.fill buckets 0 nbuckets jac_inf;
+    for i = 0 to n - 1 do
+      let d = digit exps.(i) (w * c) in
+      if d <> 0 then buckets.(d - 1) <- jac_add buckets.(d - 1) points.(i)
+    done;
+    let run = ref jac_inf and sum = ref jac_inf in
+    for d = nbuckets - 1 downto 0 do
+      run := jac_add !run buckets.(d);
+      sum := jac_add !sum !run
+    done;
+    acc := jac_add !acc !sum
+  done;
+  !acc
+
+let pippenger_threshold = 200
+
+let msm (pairs : (t * scalar) array) : t =
+  (* Generator terms collapse into a single comb exponent (g^a·g^b = g^{a+b});
+     identity bases and zero scalars drop out. The cache is consulted only
+     for small MSMs — flooding it with a shuffle-sized batch of one-shot
+     bases would evict the long-lived public keys. *)
+  let gen_k = ref Scalar.zero in
+  let rest = ref [] in
+  Array.iter
+    (fun (x, k) ->
+      if is_one x || Scalar.is_zero k then ()
+      else if equal x generator then gen_k := Scalar.add !gen_k k
+      else rest := (x, Scalar.to_nat k) :: !rest)
+    pairs;
+  let comb_part =
+    if Scalar.is_zero !gen_k then jac_inf else comb_jac (Scalar.to_nat !gen_k)
+  in
+  let rest = Array.of_list !rest in
+  let n = Array.length rest in
+  let main =
+    if n = 0 then jac_inf
+    else begin
+      let bases = Array.map fst rest and exps = Array.map snd rest in
+      if n > pippenger_threshold then msm_pippenger bases exps
+      else msm_straus bases exps ~use_cache:(Array.length pairs <= 8)
+    end
+  in
+  to_affine (jac_add main comb_part)
+
+let pow2 (a : t) (j : scalar) (b : t) (k : scalar) : t = msm [| (a, j); (b, k) |]
+
+(* ---- Batch fixed-base exponentiation with one shared normalization ---- *)
+
+let pow_gen_batch (ks : scalar array) : t array =
+  to_affine_batch
+    (Array.map
+       (fun k ->
+         let e = Scalar.to_nat k in
+         if Nat.is_zero e then jac_inf else comb_jac e)
+       ks)
+
+let pow_batch (base : t) (ks : scalar array) : t array =
+  if Array.length ks = 0 then [||]
+  else if is_one base then Array.map (fun _ -> Inf) ks
+  else if equal base generator then pow_gen_batch ks
+  else begin
+    let tab = match cached_table base with Some t -> t | None -> affine_table base in
+    to_affine_batch
+      (Array.map
+         (fun k ->
+           let e = Scalar.to_nat k in
+           if Nat.is_zero e then jac_inf else windowed_jac tab e)
+         ks)
+  end
 
 let element_bytes = 33
 

@@ -1,4 +1,10 @@
-(* First-class-module handles on the available group backends. *)
+(* First-class-module handles on the available group backends.
+
+   Every backend implements the full [Group_intf.GROUP] signature including
+   the multi-exponentiation fast path: [P256] with comb tables, Straus /
+   Pippenger and batch affine normalization, [Zp] with the honest
+   [Group_intf.Naive_multi] fallbacks (whose Montgomery contexts still cache
+   fixed-base window tables). *)
 
 let p256 () : (module Group_intf.GROUP) = (module P256)
 
@@ -8,8 +14,13 @@ let zp_test = Zp.test_group
 let zp_medium = Zp.medium_group
 (** 256-bit Schnorr group: realistic size without curve arithmetic. *)
 
-let by_name = function
-  | "p256" -> p256 ()
-  | "zp-test" -> zp_test ()
-  | "zp-medium" -> zp_medium ()
-  | other -> invalid_arg (Printf.sprintf "Registry.by_name: unknown group %S" other)
+let available : (string * (unit -> (module Group_intf.GROUP))) list =
+  [ ("p256", p256); ("zp-test", zp_test); ("zp-medium", zp_medium) ]
+
+let by_name (name : string) : (module Group_intf.GROUP) =
+  match List.assoc_opt name available with
+  | Some make -> make ()
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Registry.by_name: unknown group %S (available: %s)" name
+           (String.concat ", " (List.map fst available)))

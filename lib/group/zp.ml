@@ -56,6 +56,28 @@ let make (params : params) : (module Group_intf.GROUP) =
     let div a b = mul a (inv b)
     let pow x k = Modarith.pow ctx_p x (Scalar.to_nat k)
     let pow_gen k = pow generator k
+
+    (* Multi-exponentiation. The batch-pow entry points are honest
+       fallbacks — [Modarith.pow]'s per-context table cache already gives
+       repeated fixed-base calls (pow_gen, pow pk) their speedup, and Z_p*
+       has no affine-normalization cost to batch — but [msm]/[pow2] ride
+       Straus interleaving in Modarith so the batched shuffle verifier's
+       single big product shares its squarings here too. *)
+    include Group_intf.Naive_multi (struct
+      type nonrec t = t
+      type nonrec scalar = scalar
+
+      let one = one
+      let mul = mul
+      let pow = pow
+      let pow_gen = pow_gen
+    end)
+
+    let msm pairs =
+      Modarith.msm ctx_p (Array.map (fun (x, k) -> (x, Scalar.to_nat k)) pairs)
+
+    let pow2 a j b k = msm [| (a, j); (b, k) |]
+
     let equal = Modarith.equal
     let is_one x = equal x one
     let element_bytes = (Nat.bit_length params.p + 7) / 8

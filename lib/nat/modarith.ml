@@ -8,6 +8,8 @@
 let limb_bits = 26
 let limb_mask = (1 lsl limb_bits) - 1
 
+type el = int array
+
 type ctx = {
   modulus : Nat.t;
   m : int array; (* k limbs of the modulus *)
@@ -15,9 +17,11 @@ type ctx = {
   m0inv : int; (* -m^{-1} mod 2^26 *)
   r2 : int array; (* R^2 mod m, for entering Montgomery form *)
   one_m : int array; (* R mod m, i.e. 1 in Montgomery form *)
+  one_plain : int array; (* plain 1, the fixed second operand of to_nat *)
+  scratch : int array; (* k+2 CIOS accumulator, reused across mont_mul calls *)
+  scratch_sqr : int array; (* 2k+1 accumulator for mont_sqr *)
+  mutable pow_cache : (el * el array) list; (* MRU base -> window table *)
 }
-
-type el = int array
 
 (* Widen a Nat (canonical, possibly short) to exactly k limbs, going through
    the byte serialization so Nat's representation stays abstract. *)
@@ -114,12 +118,28 @@ let create (modulus : Nat.t) : ctx =
   for _ = 1 to k * limb_bits do
     double_mod r2
   done;
-  { modulus; m; k; m0inv; r2; one_m }
+  let one_plain = Array.make k 0 in
+  one_plain.(0) <- 1;
+  {
+    modulus;
+    m;
+    k;
+    m0inv;
+    r2;
+    one_m;
+    one_plain;
+    scratch = Array.make (k + 2) 0;
+    scratch_sqr = Array.make ((2 * k) + 1) 0;
+    pow_cache = [];
+  }
 
-(* Montgomery multiplication: result = a*b*R^{-1} mod m (CIOS). *)
+(* Montgomery multiplication: result = a*b*R^{-1} mod m (CIOS). The
+   accumulator lives in [ctx.scratch]: mont_mul never calls itself and the
+   inputs are never the scratch array, so reuse is safe. *)
 let mont_mul (ctx : ctx) (a : el) (b : el) : el =
   let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
-  let t = Array.make (k + 2) 0 in
+  let t = ctx.scratch in
+  Array.fill t 0 (k + 2) 0;
   for i = 0 to k - 1 do
     let ai = a.(i) in
     (* t += ai * b *)
@@ -150,14 +170,63 @@ let mont_mul (ctx : ctx) (a : el) (b : el) : el =
   if t.(k) <> 0 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
   out
 
+(* Montgomery squaring: a*a*R^{-1} mod m. Exploits product symmetry — each
+   cross term a_i·a_j (i<j) is computed once and doubled, so the schoolbook
+   phase does ~k²/2 limb products instead of CIOS's k². The doubling-heavy
+   curve ladder (jac_double is 5 squarings per step) lands here. Bounds: a
+   doubled cross product is < 2^53 and carries stay < 2^28, so every
+   intermediate fits a 62-bit native int. *)
+let mont_sqr (ctx : ctx) (a : el) : el =
+  let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
+  let t = ctx.scratch_sqr in
+  Array.fill t 0 ((2 * k) + 1) 0;
+  (* t <- a·a, with symmetry. *)
+  for i = 0 to k - 1 do
+    let ai = a.(i) in
+    let s = t.(2 * i) + (ai * ai) in
+    t.(2 * i) <- s land limb_mask;
+    let c = ref (s lsr limb_bits) in
+    let idx = ref ((2 * i) + 1) in
+    for j = i + 1 to k - 1 do
+      let p = ai * a.(j) in
+      let s = t.(!idx) + p + p + !c in
+      t.(!idx) <- s land limb_mask;
+      c := s lsr limb_bits;
+      incr idx
+    done;
+    while !c <> 0 do
+      let s = t.(!idx) + !c in
+      t.(!idx) <- s land limb_mask;
+      c := s lsr limb_bits;
+      incr idx
+    done
+  done;
+  (* Montgomery reduction of the 2k-limb product, one limb at a time. *)
+  for i = 0 to k - 1 do
+    let mfac = t.(i) * m0inv land limb_mask in
+    let c = ref 0 in
+    for j = 0 to k - 1 do
+      let s = t.(i + j) + (mfac * m.(j)) + !c in
+      t.(i + j) <- s land limb_mask;
+      c := s lsr limb_bits
+    done;
+    let idx = ref (i + k) in
+    while !c <> 0 do
+      let s = t.(!idx) + !c in
+      t.(!idx) <- s land limb_mask;
+      c := s lsr limb_bits;
+      incr idx
+    done
+  done;
+  let out = Array.sub t k k in
+  if t.(2 * k) <> 0 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
+  out
+
 let of_nat (ctx : ctx) (a : Nat.t) : el =
   let reduced = if Nat.compare a ctx.modulus >= 0 then Nat.rem a ctx.modulus else a in
   mont_mul ctx (widen ctx.k reduced) ctx.r2
 
-let to_nat (ctx : ctx) (a : el) : Nat.t =
-  let one_plain = Array.make ctx.k 0 in
-  one_plain.(0) <- 1;
-  narrow (mont_mul ctx a one_plain)
+let to_nat (ctx : ctx) (a : el) : Nat.t = narrow (mont_mul ctx a ctx.one_plain)
 
 let zero (ctx : ctx) : el = Array.make ctx.k 0
 let one (ctx : ctx) : el = Array.copy ctx.one_m
@@ -206,19 +275,50 @@ let sub (ctx : ctx) (a : el) (b : el) : el =
 
 let neg (ctx : ctx) (a : el) : el = if is_zero a then Array.copy a else sub ctx (zero ctx) a
 let mul (ctx : ctx) (a : el) (b : el) : el = mont_mul ctx a b
-let sqr (ctx : ctx) (a : el) : el = mont_mul ctx a a
+let sqr (ctx : ctx) (a : el) : el = mont_sqr ctx a
 
 let double ctx a = add ctx a a
+
+(* Small MRU cache of 4-bit window tables, so exponentiations with a
+   long-lived base (the Schnorr generator, a group public key) skip table
+   construction. Lookup is a linear scan with limb comparison — at most
+   [pow_cache_cap] k-limb compares, negligible next to an exponentiation.
+   One-shot bases cost one table build either way; they merely churn the
+   tail of the list. *)
+let pow_cache_cap = 8
+
+let pow_table (ctx : ctx) (base : el) : el array =
+  let rec extract acc = function
+    | [] -> None
+    | ((b, _) as hit) :: rest when cmp_limbs b base = 0 -> Some (hit, List.rev_append acc rest)
+    | entry :: rest -> extract (entry :: acc) rest
+  in
+  match extract [] ctx.pow_cache with
+  | Some ((_, table) as hit, rest) ->
+      ctx.pow_cache <- hit :: rest;
+      table
+  | None ->
+      let table = Array.make 16 (one ctx) in
+      table.(1) <- Array.copy base;
+      for i = 2 to 15 do
+        table.(i) <- mont_mul ctx table.(i - 1) base
+      done;
+      let cache = (Array.copy base, table) :: ctx.pow_cache in
+      ctx.pow_cache <- List.filteri (fun i _ -> i < pow_cache_cap) cache;
+      table
+
+(* 4-bit window [w] of exponent [e]. *)
+let nibble_of (e : Nat.t) (w : int) : int =
+  (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
+  lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
+  lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
+  lor if Nat.test_bit e (4 * w) then 1 else 0
 
 (* Fixed 4-bit-window exponentiation; exponent is a plain Nat. *)
 let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
   if Nat.is_zero e then one ctx
   else begin
-    let table = Array.make 16 (one ctx) in
-    table.(1) <- Array.copy base;
-    for i = 2 to 15 do
-      table.(i) <- mont_mul ctx table.(i - 1) base
-    done;
+    let table = pow_table ctx base in
     let bits = Nat.bit_length e in
     let windows = (bits + 3) / 4 in
     let acc = ref (one ctx) in
@@ -229,16 +329,54 @@ let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
         acc := sqr ctx !acc;
         acc := sqr ctx !acc
       end;
-      let nibble =
-        (if Nat.test_bit e ((4 * w) + 3) then 8 else 0)
-        lor (if Nat.test_bit e ((4 * w) + 2) then 4 else 0)
-        lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
-        lor if Nat.test_bit e (4 * w) then 1 else 0
-      in
+      let nibble = nibble_of e w in
       if nibble <> 0 then acc := mont_mul ctx !acc table.(nibble)
     done;
     !acc
   end
+
+(* Straus interleaved multi-scalar multiplication: Π base_i^{e_i} with one
+   shared run of squarings across all pairs — 4 squarings per window total
+   instead of 4 per window per base. Window tables are built lazily to the
+   largest digit an exponent can produce, so a unit-exponent pair (common
+   in the batched shuffle verifier) costs a single table slot. The cached
+   [pow_table] is deliberately not consulted: MSM callers pass crowds of
+   one-shot bases that would flush it. *)
+let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el =
+  let live = List.filter (fun (_, e) -> not (Nat.is_zero e)) (Array.to_list pairs) in
+  match live with
+  | [] -> one ctx
+  | live ->
+      let live = Array.of_list live in
+      let max_bits = Array.fold_left (fun acc (_, e) -> max acc (Nat.bit_length e)) 0 live in
+      let windows = (max_bits + 3) / 4 in
+      let tables =
+        Array.map
+          (fun (b, e) ->
+            let max_d = if Nat.bit_length e > 4 then 15 else Nat.to_int_exn e in
+            let t = Array.make (max_d + 1) (one ctx) in
+            if max_d >= 1 then t.(1) <- b;
+            for d = 2 to max_d do
+              t.(d) <- mont_mul ctx t.(d - 1) b
+            done;
+            t)
+          live
+      in
+      let acc = ref (one ctx) in
+      for w = windows - 1 downto 0 do
+        if w <> windows - 1 then begin
+          acc := mont_sqr ctx !acc;
+          acc := mont_sqr ctx !acc;
+          acc := mont_sqr ctx !acc;
+          acc := mont_sqr ctx !acc
+        end;
+        Array.iteri
+          (fun i (_, e) ->
+            let nib = nibble_of e w in
+            if nib <> 0 then acc := mont_mul ctx !acc tables.(i).(nib))
+          live
+      done;
+      !acc
 
 (* Modular inverse via Fermat: only valid when the modulus is prime, which
    holds for every context in this repo (field primes and group orders). *)

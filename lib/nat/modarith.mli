@@ -29,11 +29,28 @@ val add : ctx -> el -> el -> el
 val sub : ctx -> el -> el -> el
 val neg : ctx -> el -> el
 val mul : ctx -> el -> el -> el
+
+val mont_sqr : ctx -> el -> el
+(** Specialized Montgomery squaring: computes each cross-limb product once
+    and doubles it, roughly halving the schoolbook work of a general
+    multiplication. *)
+
 val sqr : ctx -> el -> el
+(** [sqr ctx a] = [mont_sqr ctx a]. *)
+
 val double : ctx -> el -> el
 
 val pow : ctx -> el -> Nat.t -> el
-(** [pow ctx b e] is b^e mod m; the exponent is a plain natural. *)
+(** [pow ctx b e] is b^e mod m; the exponent is a plain natural. Window
+    tables for recently used bases are kept in a small per-context MRU
+    cache, so repeated exponentiations of a fixed base (a generator, a
+    public key) skip table construction. *)
+
+val msm : ctx -> (el * Nat.t) array -> el
+(** [msm ctx [|(b1, e1); ...|]] is Π bᵢ^eᵢ mod m via Straus interleaving:
+    all pairs share one run of squarings, so an n-term product costs about
+    one exponentiation's squarings plus n window-digit multiplications per
+    window. Zero exponents are skipped; the empty product is [one]. *)
 
 val inv : ctx -> el -> el
 (** Inverse via Fermat (prime modulus only).

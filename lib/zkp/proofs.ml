@@ -46,9 +46,12 @@ struct
       let t = challenge ~pk ~context ct a in
       { a; u = G.Scalar.add s (G.Scalar.mul t randomness) }
 
+    (* g^u = a·R^t  ⇔  g^u·R^{-t} = a: one Straus double-scalar
+       multiplication (with the generator half served by the comb table)
+       instead of two full exponentiations and a group op. *)
     let verify ~(pk : G.t) ~(context : string) (ct : El.cipher) (pi : t) : bool =
       let t = challenge ~pk ~context ct pi.a in
-      G.equal (G.pow_gen pi.u) (G.mul pi.a (G.pow ct.El.r t))
+      G.equal (G.pow2 G.generator pi.u ct.El.r (G.Scalar.neg t)) pi.a
 
     let to_bytes (pi : t) : string = G.to_bytes pi.a ^ G.Scalar.to_bytes pi.u
 
@@ -90,11 +93,15 @@ struct
       let t = challenge ~context (g1, h1, g2, h2) a1 a2 in
       { a1; a2; u = G.Scalar.add s (G.Scalar.mul t x) }
 
+    (* Each leg g^u = a·h^t is checked as g^u·h^{-t} = a (one double-scalar
+       multiplication). g1 is the group generator in every caller, so that
+       half rides the comb table, and long-lived h bases (eff_pk, the next
+       group's key) hit the per-base table cache. *)
     let verify ~(context : string) ~(g1 : G.t) ~(h1 : G.t) ~(g2 : G.t) ~(h2 : G.t) (pi : t) : bool
         =
       let t = challenge ~context (g1, h1, g2, h2) pi.a1 pi.a2 in
-      G.equal (G.pow g1 pi.u) (G.mul pi.a1 (G.pow h1 t))
-      && G.equal (G.pow g2 pi.u) (G.mul pi.a2 (G.pow h2 t))
+      let neg_t = G.Scalar.neg t in
+      G.equal (G.pow2 g1 pi.u h1 neg_t) pi.a1 && G.equal (G.pow2 g2 pi.u h2 neg_t) pi.a2
 
     let to_bytes (pi : t) : string =
       G.to_bytes pi.a1 ^ G.to_bytes pi.a2 ^ G.Scalar.to_bytes pi.u

@@ -79,9 +79,12 @@ struct
     let perm = witness.El.vperm in
     let h = generator_h context in
     let hi = Array.init n (generator_hi context) in
-    (* 1. permutation commitments *)
+    (* 1. permutation commitments: g^{r_j}·h_{π(j)} as a unit-scalar MSM so
+       curve backends spend one normalization, not two. *)
     let r = Array.init n (fun _ -> S.random rng) in
-    let perm_comm = Array.init n (fun j -> G.mul (G.pow_gen r.(j)) hi.(perm.(j))) in
+    let perm_comm =
+      Array.init n (fun j -> G.msm [| (G.generator, r.(j)); (hi.(perm.(j)), S.one) |])
+    in
     (* 2. challenges u, permuted u' *)
     let tr = statement_transcript ~pk ~context input output in
     Array.iter (fun c -> Transcript.add tr (G.to_bytes c)) perm_comm;
@@ -94,7 +97,7 @@ struct
     let d = ref S.zero in
     let prev = ref h in
     for i = 0 to n - 1 do
-      chain.(i) <- G.mul (G.pow_gen shat.(i)) (G.pow !prev uprime.(i));
+      chain.(i) <- G.pow2 G.generator shat.(i) !prev uprime.(i);
       d := S.add shat.(i) (S.mul uprime.(i) !d);
       prev := chain.(i)
     done;
@@ -116,34 +119,29 @@ struct
     let w_prime = Array.init n (fun _ -> S.random rng) in
     let w_hat = Array.init n (fun _ -> S.random rng) in
     let t_a =
-      let acc = ref (G.pow_gen w_rbar) in
-      for i = 0 to n - 1 do
-        acc := G.mul !acc (G.pow hi.(i) w_prime.(i))
-      done;
-      !acc
+      G.msm
+        (Array.init (n + 1) (fun i ->
+             if i = 0 then (G.generator, w_rbar) else (hi.(i - 1), w_prime.(i - 1))))
     in
     let t_b = G.pow_gen w_rhat in
     let t_c = G.pow_gen w_d in
     let t_chain =
       Array.init n (fun i ->
           let prev = if i = 0 then h else chain.(i - 1) in
-          G.mul (G.pow_gen w_hat.(i)) (G.pow prev w_prime.(i)))
+          G.pow2 G.generator w_hat.(i) prev w_prime.(i))
     in
     let t_er =
       Array.init width (fun w ->
-          let acc = ref (G.pow_gen w_s.(w)) in
-          for i = 0 to n - 1 do
-            acc := G.mul !acc (G.pow input.(i).(w).El.r w_prime.(i))
-          done;
-          !acc)
+          G.msm
+            (Array.init (n + 1) (fun i ->
+                 if i = 0 then (G.generator, w_s.(w))
+                 else (input.(i - 1).(w).El.r, w_prime.(i - 1)))))
     in
     let t_ec =
       Array.init width (fun w ->
-          let acc = ref (G.pow pk w_s.(w)) in
-          for i = 0 to n - 1 do
-            acc := G.mul !acc (G.pow input.(i).(w).El.c w_prime.(i))
-          done;
-          !acc)
+          G.msm
+            (Array.init (n + 1) (fun i ->
+                 if i = 0 then (pk, w_s.(w)) else (input.(i - 1).(w).El.c, w_prime.(i - 1)))))
     in
     (* 5. challenge v over everything *)
     Array.iter (fun c -> Transcript.add tr (G.to_bytes c)) chain;
@@ -201,77 +199,86 @@ struct
              Array.iter (fun x -> Transcript.add tr (G.to_bytes x)) pi.t_er;
              Array.iter (fun x -> Transcript.add tr (G.to_bytes x)) pi.t_ec;
              let v = G.hash_to_scalar (Transcript.digest tr) in
-             (* statement aggregates *)
-             let big_a =
-               let acc = ref G.one in
-               for j = 0 to n - 1 do
-                 acc := G.mul !acc (G.pow pi.perm_comm.(j) u.(j))
-               done;
-               !acc
+             (* Batched verification. Each relation (A)–(E) is rearranged
+                into a product that must equal the identity, scaled by an
+                independent transcript-derived coefficient ρ, and the whole
+                system is folded into ONE multi-scalar multiplication: a
+                curve backend pays a single Pippenger run over ~(6+4w)·n
+                points instead of ~6n full exponentiations. Soundness is
+                Schwartz–Zippel: the ρ are derived from the transcript
+                *after* every prover message is absorbed, so a violated
+                relation survives the random linear combination with
+                probability 1/|scalar field|.
+
+                The rearranged identity forms (all checked as Π = 1):
+                  (A)   g^{k_rbar} · Π hi_i^{k'_i} · Π c_j^{−v·u_j} · t_a^{−1}
+                  (B)   g^{k_rhat} · Π c_j^{−v} · Π hi_i^{v} · t_b^{−1}
+                  (C)   g^{k_d} · ĉ_{n−1}^{−v} · h^{v·Πu} · t_c^{−1}
+                  (D_i) g^{k̂_i} · prev_i^{k'_i} · ĉ_i^{−v} · t̂_i^{−1}
+                  (E_w) g^{k_s}·Π in_r^{k'}·Π out_r^{−v·u}·t_er^{−1}  (and
+                        the c-component twin with pk^{k_s} and t_ec)
+
+                Exponents on shared bases (g, pk, h, hi, c_j, ĉ_i) are
+                folded in scalar arithmetic before the group ever sees
+                them, so each base appears once in the MSM. *)
+             Transcript.add tr "batch-verify";
+             let rho =
+               Array.map G.hash_to_scalar (Transcript.digest_n tr (3 + n + (2 * width)))
              in
-             let big_b =
-               let num = Array.fold_left G.mul G.one pi.perm_comm in
-               let den = Array.fold_left G.mul G.one hi in
-               G.div num den
-             in
+             let rho_a = rho.(0) and rho_b = rho.(1) and rho_c = rho.(2) in
+             let rho_d i = rho.(3 + i) in
+             let rho_er w = rho.(3 + n + (2 * w)) in
+             let rho_ec w = rho.(3 + n + (2 * w) + 1) in
+             let vu = Array.map (S.mul v) u in
              let u_prod = Array.fold_left S.mul S.one u in
-             let big_c = G.div pi.chain.(n - 1) (G.pow h u_prod) in
-             (* (A) g^{k_rbar} Π hi^{k'_i} = t_a · A^v *)
-             let lhs_a =
-               let acc = ref (G.pow_gen pi.k_rbar) in
-               for i = 0 to n - 1 do
-                 acc := G.mul !acc (G.pow hi.(i) pi.k_prime.(i))
-               done;
-               !acc
-             in
-             let ok_a = G.equal lhs_a (G.mul pi.t_a (G.pow big_a v)) in
-             (* (B) *)
-             let ok_b = G.equal (G.pow_gen pi.k_rhat) (G.mul pi.t_b (G.pow big_b v)) in
-             (* (C) *)
-             let ok_c = G.equal (G.pow_gen pi.k_d) (G.mul pi.t_c (G.pow big_c v)) in
-             (* (D) chain steps *)
-             let ok_d = ref true in
+             let terms = ref [] in
+             let push base k = terms := (base, k) :: !terms in
+             let gen_k = ref S.zero in
+             let add_gen k = gen_k := S.add !gen_k k in
+             (* (A) + (B): hi and perm_comm each collect both relations. *)
+             add_gen (S.mul rho_a pi.k_rbar);
+             add_gen (S.mul rho_b pi.k_rhat);
              for i = 0 to n - 1 do
-               let prev = if i = 0 then h else pi.chain.(i - 1) in
-               let lhs = G.mul (G.pow_gen pi.k_hat.(i)) (G.pow prev pi.k_prime.(i)) in
-               let rhs = G.mul pi.t_chain.(i) (G.pow pi.chain.(i) v) in
-               if not (G.equal lhs rhs) then ok_d := false
+               push hi.(i) (S.add (S.mul rho_a pi.k_prime.(i)) (S.mul rho_b v));
+               push pi.perm_comm.(i)
+                 (S.neg (S.add (S.mul rho_a vu.(i)) (S.mul rho_b v)))
              done;
-             (* (E) per column, both components *)
-             let ok_e = ref true in
+             push pi.t_a (S.neg rho_a);
+             push pi.t_b (S.neg rho_b);
+             (* (C) + (D): the h and chain exponents fold C's endpoint term,
+                D_i's own −v term and D_{i+1}'s prev term. *)
+             add_gen (S.mul rho_c pi.k_d);
+             push pi.t_c (S.neg rho_c);
+             let h_k = ref (S.mul rho_c (S.mul v u_prod)) in
+             h_k := S.add !h_k (S.mul (rho_d 0) pi.k_prime.(0));
+             for i = 0 to n - 1 do
+               let rd = rho_d i in
+               add_gen (S.mul rd pi.k_hat.(i));
+               let ck = ref (S.neg (S.mul rd v)) in
+               if i = n - 1 then ck := S.sub !ck (S.mul rho_c v)
+               else ck := S.add !ck (S.mul (rho_d (i + 1)) pi.k_prime.(i + 1));
+               push pi.chain.(i) !ck;
+               push pi.t_chain.(i) (S.neg rd)
+             done;
+             push h !h_k;
+             (* (E) both components per column; pk collects every column. *)
+             let pk_k = ref S.zero in
              for w = 0 to width - 1 do
-               let e_r =
-                 let acc = ref G.one in
-                 for j = 0 to n - 1 do
-                   acc := G.mul !acc (G.pow output.(j).(w).El.r u.(j))
-                 done;
-                 !acc
-               in
-               let e_c =
-                 let acc = ref G.one in
-                 for j = 0 to n - 1 do
-                   acc := G.mul !acc (G.pow output.(j).(w).El.c u.(j))
-                 done;
-                 !acc
-               in
-               let lhs_r =
-                 let acc = ref (G.pow_gen pi.k_s.(w)) in
-                 for i = 0 to n - 1 do
-                   acc := G.mul !acc (G.pow input.(i).(w).El.r pi.k_prime.(i))
-                 done;
-                 !acc
-               in
-               let lhs_c =
-                 let acc = ref (G.pow pk pi.k_s.(w)) in
-                 for i = 0 to n - 1 do
-                   acc := G.mul !acc (G.pow input.(i).(w).El.c pi.k_prime.(i))
-                 done;
-                 !acc
-               in
-               if not (G.equal lhs_r (G.mul pi.t_er.(w) (G.pow e_r v))) then ok_e := false;
-               if not (G.equal lhs_c (G.mul pi.t_ec.(w) (G.pow e_c v))) then ok_e := false
+               let rr = rho_er w and rc = rho_ec w in
+               add_gen (S.mul rr pi.k_s.(w));
+               pk_k := S.add !pk_k (S.mul rc pi.k_s.(w));
+               for i = 0 to n - 1 do
+                 push input.(i).(w).El.r (S.mul rr pi.k_prime.(i));
+                 push input.(i).(w).El.c (S.mul rc pi.k_prime.(i));
+                 push output.(i).(w).El.r (S.neg (S.mul rr vu.(i)));
+                 push output.(i).(w).El.c (S.neg (S.mul rc vu.(i)))
+               done;
+               push pi.t_er.(w) (S.neg rr);
+               push pi.t_ec.(w) (S.neg rc)
              done;
-             ok_a && ok_b && ok_c && !ok_d && !ok_e
+             push pk !pk_k;
+             push G.generator !gen_k;
+             G.is_one (G.msm (Array.of_list !terms))
            end
 
   (* ---- Serialization ----

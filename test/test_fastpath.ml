@@ -1,0 +1,153 @@
+(* Fast-path agreement tests: the multi-exponentiation engine (comb tables,
+   pow2/Straus, msm/Pippenger, batch normalization, per-base table caches)
+   must agree with the naive composition of [pow] and [mul] on every
+   backend, including the degenerate inputs the optimized ladders love to
+   get wrong: zero scalars, the identity element / point at infinity,
+   repeated bases, singleton and empty batches. *)
+
+module Laws (G : Atom_group.Group_intf.GROUP) : sig
+  val cases : unit Alcotest.test_case list
+end = struct
+  module S = G.Scalar
+
+  let rng () = Atom_util.Rng.create (Atom_util.Rng.hash_string ("fastpath-" ^ G.name))
+
+  let check msg expected got = Alcotest.(check bool) msg true (G.equal expected got)
+
+  (* Reference implementations in terms of the independently-tested
+     single-base [pow] and [mul]. *)
+  let naive_pow2 a j b k = G.mul (G.pow a j) (G.pow b k)
+  let naive_msm pairs = Array.fold_left (fun acc (x, k) -> G.mul acc (G.pow x k)) G.one pairs
+
+  let test_pow_gen_agrees () =
+    let r = rng () in
+    (* Tiny scalars cross every nibble boundary of the comb. *)
+    for k = 0 to 33 do
+      check (Printf.sprintf "comb k=%d" k)
+        (G.pow G.generator (S.of_int k))
+        (G.pow_gen (S.of_int k))
+    done;
+    (* Order-adjacent scalars: top windows fully populated. *)
+    let n1 = S.of_nat (Atom_nat.Nat.sub S.order Atom_nat.Nat.one) in
+    check "comb k=q-1" (G.pow G.generator n1) (G.pow_gen n1);
+    for _ = 1 to 10 do
+      let k = S.random r in
+      check "comb random" (G.pow G.generator k) (G.pow_gen k)
+    done;
+    Alcotest.(check bool) "comb k=0" true (G.is_one (G.pow_gen S.zero))
+
+  let test_pow_cached_base () =
+    let r = rng () in
+    let x = G.random r in
+    let ks = Array.init 5 (fun _ -> S.random r) in
+    (* Repeated same-base calls walk the cache's record/build/hit states;
+       every call must agree with the first (naive) answer. *)
+    Array.iter
+      (fun k ->
+        let expected = G.mul (G.pow x k) G.one in
+        for pass = 1 to 3 do
+          check (Printf.sprintf "cached pow pass %d" pass) expected (G.pow x k)
+        done)
+      ks
+
+  let test_pow2_agrees () =
+    let r = rng () in
+    for _ = 1 to 10 do
+      let a = G.random r and b = G.random r in
+      let j = S.random r and k = S.random r in
+      check "pow2 random" (naive_pow2 a j b k) (G.pow2 a j b k);
+      check "pow2 j=0" (naive_pow2 a S.zero b k) (G.pow2 a S.zero b k);
+      check "pow2 k=0" (naive_pow2 a j b S.zero) (G.pow2 a j b S.zero);
+      check "pow2 both zero" G.one (G.pow2 a S.zero b S.zero);
+      check "pow2 identity base" (G.pow b k) (G.pow2 G.one j b k);
+      check "pow2 generator base" (naive_pow2 G.generator j b k) (G.pow2 G.generator j b k);
+      check "pow2 same base" (G.pow a (S.add j k)) (G.pow2 a j a k)
+    done
+
+  let test_msm_agrees () =
+    let r = rng () in
+    let sizes = [ 0; 1; 2; 5; 17 ] in
+    List.iter
+      (fun n ->
+        let pairs = Array.init n (fun _ -> (G.random r, S.random r)) in
+        check (Printf.sprintf "msm n=%d" n) (naive_msm pairs) (G.msm pairs))
+      sizes;
+    (* Degenerate terms mixed into one product: zero scalars, the identity
+       base, generator terms (folded onto the comb), a repeated base. *)
+    let x = G.random r and y = G.random r in
+    let j = S.random r and k = S.random r in
+    let pairs =
+      [|
+        (G.generator, j);
+        (x, S.zero);
+        (G.one, k);
+        (y, k);
+        (G.generator, k);
+        (y, S.one);
+        (x, j);
+      |]
+    in
+    check "msm degenerate mix" (naive_msm pairs) (G.msm pairs);
+    check "msm all-zero scalars" G.one (G.msm [| (x, S.zero); (y, S.zero) |]);
+    check "msm all-identity bases" G.one (G.msm [| (G.one, j); (G.one, k) |]);
+    check "msm empty" G.one (G.msm [||]);
+    (* Tiny scalars exercise the lazily-shortened window tables. *)
+    let tiny = Array.init 8 (fun i -> (G.random r, S.of_int i)) in
+    check "msm tiny scalars" (naive_msm tiny) (G.msm tiny)
+
+  let test_msm_large () =
+    (* Past the Pippenger cutover on the curve backend (n > 200). *)
+    let r = rng () in
+    let pairs = Array.init 220 (fun _ -> (G.random r, S.random r)) in
+    check "msm n=220" (naive_msm pairs) (G.msm pairs)
+
+  let test_pow_batch_agrees () =
+    let r = rng () in
+    let x = G.random r in
+    let ks = Array.init 6 (fun i -> if i = 2 then S.zero else S.random r) in
+    let expected = Array.map (G.pow x) ks in
+    let got = G.pow_batch x ks in
+    Alcotest.(check int) "pow_batch length" (Array.length expected) (Array.length got);
+    Array.iteri (fun i e -> check (Printf.sprintf "pow_batch [%d]" i) e got.(i)) expected;
+    (* Batch-normalization edge cases: every output infinite, a singleton
+       batch, the empty batch. *)
+    let all_inf = G.pow_batch G.one ks in
+    Array.iteri
+      (fun i e -> Alcotest.(check bool) (Printf.sprintf "identity batch [%d]" i) true (G.is_one e))
+      all_inf;
+    let single = G.pow_batch x [| ks.(0) |] in
+    check "singleton batch" (G.pow x ks.(0)) single.(0);
+    Alcotest.(check int) "empty batch" 0 (Array.length (G.pow_batch x [||]));
+    let gen = G.pow_batch G.generator ks in
+    Array.iteri
+      (fun i k -> check (Printf.sprintf "generator batch vs pow [%d]" i) (G.pow_gen k) gen.(i))
+      ks
+
+  let test_pow_gen_batch_agrees () =
+    let r = rng () in
+    (* Zero scalars interleaved with random ones: the batch normalizer must
+       skip the infinities without misaligning the rest. *)
+    let ks = [| S.zero; S.random r; S.zero; S.random r; S.one; S.zero |] in
+    let got = G.pow_gen_batch ks in
+    Array.iteri (fun i k -> check (Printf.sprintf "pow_gen_batch [%d]" i) (G.pow_gen k) got.(i)) ks;
+    let all_zero = G.pow_gen_batch [| S.zero; S.zero |] in
+    Array.iter (fun e -> Alcotest.(check bool) "all-zero gen batch" true (G.is_one e)) all_zero;
+    Alcotest.(check int) "empty gen batch" 0 (Array.length (G.pow_gen_batch [||]))
+
+  let cases =
+    [
+      Alcotest.test_case (G.name ^ " comb pow_gen = pow g") `Quick test_pow_gen_agrees;
+      Alcotest.test_case (G.name ^ " cached-base pow stable") `Quick test_pow_cached_base;
+      Alcotest.test_case (G.name ^ " pow2 = pow·pow") `Quick test_pow2_agrees;
+      Alcotest.test_case (G.name ^ " msm = fold pow") `Quick test_msm_agrees;
+      Alcotest.test_case (G.name ^ " msm large (Pippenger)") `Slow test_msm_large;
+      Alcotest.test_case (G.name ^ " pow_batch = map pow") `Quick test_pow_batch_agrees;
+      Alcotest.test_case (G.name ^ " pow_gen_batch edge cases") `Quick test_pow_gen_batch_agrees;
+    ]
+end
+
+let suite () =
+  let module Zp_laws = Laws ((val Atom_group.Registry.zp_test ())) in
+  let module Zp256_laws = Laws ((val Atom_group.Registry.zp_medium ())) in
+  let module P256_laws = Laws (Atom_group.P256) in
+  ("fastpath", Zp_laws.cases @ Zp256_laws.cases @ P256_laws.cases)

@@ -6,6 +6,7 @@ let () =
       Test_hash.suite;
       Test_cipher.suite;
       Test_group.suite ();
+      Test_fastpath.suite ();
       Test_elgamal.suite ();
       Test_zkp.suite ();
       Test_zkp.suite_p256 ();
