@@ -1,13 +1,36 @@
 (* atom_cli: drive the Atom library from the command line.
 
    Subcommands:
-   - round      run a full round with real cryptography at a small scale
-   - simulate   modeled large-scale run over the discrete-event simulator
-   - sizing     anytrust / many-trust group-size tables (Appendix B)
-   - calibrate  measure this host's crypto costs for a group backend *)
+   - round       run a full round with real cryptography at a small scale
+   - simulate    modeled large-scale run over the discrete-event simulator
+   - distributed run the real protocol asynchronously over the simulated network
+   - trace       distributed round with virtual-time tracing; Chrome trace JSON
+   - sizing      anytrust / many-trust group-size tables (Appendix B)
+   - calibrate   measure this host's crypto costs for a group backend *)
 
 open Cmdliner
 open Atom_core
+
+(* Shared --metrics plumbing: group-op tallies around a run, plus the
+   registry dump when a live one was threaded through. *)
+let opcounts_before () = Atom_obs.Opcount.snapshot ()
+
+let print_opcounts before =
+  Format.printf "%a@." Atom_obs.Opcount.pp
+    (Atom_obs.Opcount.diff (Atom_obs.Opcount.snapshot ()) before)
+
+let print_registry obs = Format.printf "%a@." Atom_obs.Metrics.pp (Atom_obs.Ctx.metrics obs)
+
+(* p50/p90/p99 of per-iteration durations, from the cumulative layer-end
+   stamps in [iteration_times]. *)
+let print_iteration_percentiles (times : float array) =
+  if Array.length times > 0 then begin
+    let durs =
+      Array.mapi (fun i t -> if i = 0 then t else t -. times.(i - 1)) times
+    in
+    let p q = Atom_util.Stats.percentile durs q in
+    Printf.printf "iteration time p50/p90/p99: %.3f / %.3f / %.3f s\n" (p 50.) (p 90.) (p 99.)
+  end
 
 let variant_conv =
   let parse = function
@@ -24,7 +47,9 @@ let variant_conv =
 
 (* ---- round ---- *)
 
-let run_round variant users servers groups group_size h iterations msg_bytes seed fail_count =
+let run_round variant users servers groups group_size h iterations msg_bytes seed fail_count
+    metrics =
+  let ops0 = opcounts_before () in
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Pr = Protocol.Make (G) in
   let config =
@@ -72,7 +97,16 @@ let run_round variant users servers groups group_size h iterations msg_bytes see
     Printf.printf "rejected submissions: %s\n"
       (String.concat ", " (List.map string_of_int outcome.Pr.rejected_submissions));
   if outcome.Pr.blamed <> [] then
-    Printf.printf "blamed users: %s\n" (String.concat ", " (List.map string_of_int outcome.Pr.blamed))
+    Printf.printf "blamed users: %s\n" (String.concat ", " (List.map string_of_int outcome.Pr.blamed));
+  if metrics then print_opcounts ops0
+
+let metrics_flag =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the metrics registry and group-op tallies.")
+
+(* The modeled simulator charges costs without doing real group ops, so
+   its flag doesn't promise tallies. *)
+let sim_metrics_flag =
+  Arg.(value & flag & info [ "metrics" ] ~doc:"Dump the metrics registry.")
 
 let round_cmd =
   let users = Arg.(value & opt int 8 & info [ "users" ] ~doc:"Number of users.") in
@@ -89,11 +123,11 @@ let round_cmd =
     (Cmd.info "round" ~doc:"Run one protocol round with real cryptography (small scale).")
     Term.(
       const run_round $ variant $ users $ servers $ groups $ group_size $ h $ iterations
-      $ msg_bytes $ seed $ fail)
+      $ msg_bytes $ seed $ fail $ metrics_flag)
 
 (* ---- simulate ---- *)
 
-let run_simulate app servers messages measured =
+let run_simulate app servers messages measured metrics =
   let config = { Config.paper_default with Config.n_servers = servers; Config.n_groups = servers } in
   let cal =
     if measured then Calibration.measure (Atom_group.Registry.zp_test ()) ()
@@ -106,11 +140,14 @@ let run_simulate app servers messages measured =
     | other -> failwith (Printf.sprintf "unknown app %S (microblog|dialing)" other)
   in
   Format.printf "%a@." Calibration.pp cal;
-  let r = Simulate.run params in
+  let obs = if metrics then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop in
+  let r = Simulate.run ~obs params in
   Printf.printf
     "latency: %.1f s (%.1f min)\nDES events: %d\nconnections: %d\nbytes on the wire: %.3e\n"
     r.Simulate.latency (r.Simulate.latency /. 60.) r.Simulate.events r.Simulate.connections
-    r.Simulate.bytes_sent
+    r.Simulate.bytes_sent;
+  print_iteration_percentiles r.Simulate.iteration_times;
+  if metrics then print_registry obs
 
 let simulate_cmd =
   let app_arg = Arg.(value & opt string "microblog" & info [ "app" ] ~doc:"microblog|dialing.") in
@@ -121,11 +158,32 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Modeled large-scale round over the discrete-event simulator.")
-    Term.(const run_simulate $ app_arg $ servers $ messages $ measured)
+    Term.(const run_simulate $ app_arg $ servers $ messages $ measured $ sim_metrics_flag)
 
 (* ---- distributed ---- *)
 
-let run_distributed users seed kill_group kill_fraction fail_at loss =
+(* Fault-plan construction shared by [distributed] and [trace]: kill a
+   whole group and/or a random fraction of the fleet at [fail_at]. The
+   group membership lookup needs the protocol network, so the builder is
+   applied after setup. *)
+let build_fault_plan ~(config : Config.t) ~seed ~kill_group ~kill_fraction ~fail_at
+    (group_members : int -> int array) : Atom_sim.Faults.plan =
+  (match kill_group with
+  | Some gid when gid < 0 || gid >= config.Config.n_groups ->
+      failwith
+        (Printf.sprintf "--kill-group %d: group ids are 0..%d" gid (config.Config.n_groups - 1))
+  | Some gid -> Atom_sim.Faults.fail_machines ~at:fail_at (group_members gid)
+  | None -> [])
+  @
+  match kill_fraction with
+  | Some fraction ->
+      Atom_sim.Faults.fail_fraction
+        (Atom_util.Rng.create (seed lxor 0xc4a5))
+        ~at:fail_at ~fraction ~n:config.Config.n_servers
+  | None -> []
+
+let run_distributed users seed kill_group kill_fraction fail_at loss metrics =
+  let ops0 = opcounts_before () in
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Pr = Protocol.Make (G) in
   let module Dist = Distributed.Make (G) (Pr) in
@@ -137,25 +195,15 @@ let run_distributed users seed kill_group kill_fraction fail_at loss =
     List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod config.Config.n_groups) m) msgs
   in
   let faults =
-    (match kill_group with
-    | Some gid when gid < 0 || gid >= config.Config.n_groups ->
-        failwith
-          (Printf.sprintf "--kill-group %d: group ids are 0..%d" gid (config.Config.n_groups - 1))
-    | Some gid -> Atom_sim.Faults.fail_machines ~at:fail_at net.Pr.groups.(gid).Pr.members
-    | None -> [])
-    @
-    match kill_fraction with
-    | Some fraction ->
-        Atom_sim.Faults.fail_fraction
-          (Atom_util.Rng.create (seed lxor 0xc4a5))
-          ~at:fail_at ~fraction ~n:config.Config.n_servers
-    | None -> []
+    build_fault_plan ~config ~seed ~kill_group ~kill_fraction ~fail_at (fun gid ->
+        net.Pr.groups.(gid).Pr.members)
   in
   (* Injected churn makes latency the interesting output: charge calibrated
      per-op costs so the number is reproducible across hosts. *)
   let costs = if faults = [] && loss = 0. then Dist.Measured else Dist.Calibrated Calibration.paper in
+  let obs = Atom_obs.Ctx.create () in
   let t0 = Unix.gettimeofday () in
-  let report = Dist.run ~faults ~loss_prob:loss ~costs rng net subs in
+  let report = Dist.run ~obs ~faults ~loss_prob:loss ~costs rng net subs in
   Printf.printf
     "real crypto over simulated network: %d messages through %d groups in %.3f virtual s\n(%d DES events, %.0f bytes on the wire, %.2f s wall)\n"
     (List.length report.Dist.outcome.Pr.delivered)
@@ -170,7 +218,11 @@ let run_distributed users seed kill_group kill_fraction fail_at loss =
   (match report.Dist.abort_error with
   | Some err -> Printf.printf "pipeline error: %s\n" err
   | None -> ());
-  List.iter (fun m -> Printf.printf "  %s\n" m) report.Dist.outcome.Pr.delivered
+  List.iter (fun m -> Printf.printf "  %s\n" m) report.Dist.outcome.Pr.delivered;
+  if metrics then begin
+    print_registry obs;
+    print_opcounts ops0
+  end
 
 let distributed_cmd =
   let users = Arg.(value & opt int 8 & info [ "users" ] ~doc:"Number of users.") in
@@ -190,7 +242,89 @@ let distributed_cmd =
   Cmd.v
     (Cmd.info "distributed"
        ~doc:"Run the real protocol asynchronously over the simulated network.")
-    Term.(const run_distributed $ users $ seed $ kill_group $ kill_fraction $ fail_at $ loss)
+    Term.(
+      const run_distributed $ users $ seed $ kill_group $ kill_fraction $ fail_at $ loss
+      $ metrics_flag)
+
+(* ---- trace ---- *)
+
+let run_trace scenario users seed kill_group kill_fraction fail_at loss out metrics =
+  let ops0 = opcounts_before () in
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Pr = Protocol.Make (G) in
+  let module Dist = Distributed.Make (G) (Pr) in
+  let config =
+    match scenario with
+    | "microblog" -> Config.tiny ~variant:Config.Trap ~seed ()
+    | "dialing" -> { (Config.tiny ~variant:Config.Basic ~seed ()) with Config.msg_bytes = 80 }
+    | other -> failwith (Printf.sprintf "unknown scenario %S (microblog|dialing)" other)
+  in
+  let rng = Atom_util.Rng.create seed in
+  let net = Pr.setup rng config () in
+  let msgs = List.init users (fun i -> Printf.sprintf "traced message #%d" i) in
+  let subs =
+    List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod config.Config.n_groups) m) msgs
+  in
+  let faults =
+    build_fault_plan ~config ~seed ~kill_group ~kill_fraction ~fail_at (fun gid ->
+        net.Pr.groups.(gid).Pr.members)
+  in
+  (* Always calibrated: the trace is a pure function of (seed, fault plan),
+     so two identical invocations serialize byte-identical JSON. *)
+  let obs = Atom_obs.Ctx.create ~tracing:true () in
+  let report =
+    Dist.run ~obs ~faults ~loss_prob:loss ~costs:(Dist.Calibrated Calibration.paper) rng net subs
+  in
+  let tracer = Atom_obs.Ctx.tracer obs in
+  let events = Atom_obs.Trace.events tracer in
+  Printf.printf "%s: %d messages, %d groups, %d delivered; %.3f virtual s, %d trace events\n"
+    scenario users config.Config.n_groups
+    (List.length report.Dist.outcome.Pr.delivered)
+    report.Dist.latency
+    (Atom_obs.Trace.event_count tracer);
+  (match report.Dist.abort_error with
+  | Some err -> Printf.printf "pipeline error: %s\n" err
+  | None -> ());
+  print_string (Atom_obs.Trace.Breakdown.render ~label:"group" ~latency:report.Dist.latency events);
+  (match out with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Atom_obs.Trace.to_chrome_json tracer));
+      Printf.printf "wrote %s (load it at https://ui.perfetto.dev or chrome://tracing)\n" path
+  | None -> ());
+  if metrics then begin
+    print_registry obs;
+    print_opcounts ops0
+  end
+
+let trace_cmd =
+  let scenario =
+    Arg.(value & pos 0 string "microblog" & info [] ~docv:"SCENARIO" ~doc:"microblog|dialing.")
+  in
+  let users = Arg.(value & opt int 8 & info [ "users" ] ~doc:"Number of users.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let kill_group =
+    Arg.(value & opt (some int) None & info [ "kill-group" ] ~doc:"Fail every member of this group mid-round.")
+  in
+  let kill_fraction =
+    Arg.(value & opt (some float) None & info [ "kill-fraction" ] ~doc:"Fail a random fraction of all servers mid-round.")
+  in
+  let fail_at =
+    Arg.(value & opt float 0.05 & info [ "fail-at" ] ~doc:"Virtual time (s) at which injected failures fire.")
+  in
+  let loss =
+    Arg.(value & opt float 0. & info [ "loss" ] ~doc:"Per-message loss probability on every link.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc:"Write Chrome trace_event JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Distributed round with virtual-time tracing: per-phase breakdown on stdout, \
+             Perfetto-loadable trace JSON with --out.")
+    Term.(
+      const run_trace $ scenario $ users $ seed $ kill_group $ kill_fraction $ fail_at $ loss
+      $ out $ metrics_flag)
 
 (* ---- sizing ---- *)
 
@@ -227,4 +361,7 @@ let calibrate_cmd =
 
 let () =
   let info = Cmd.info "atom_cli" ~doc:"Atom: horizontally scaling strong anonymity." in
-  exit (Cmd.eval (Cmd.group info [ round_cmd; simulate_cmd; distributed_cmd; sizing_cmd; calibrate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ round_cmd; simulate_cmd; distributed_cmd; trace_cmd; sizing_cmd; calibrate_cmd ]))

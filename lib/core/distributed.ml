@@ -62,11 +62,17 @@ struct
   (* Raised by a group that struck out waiting for an upstream batch. *)
   exception Upstream_silent of { iter : int; got : int; expected : int }
 
-  let run ?(clusters = 4) ?(faults : Faults.plan = []) ?(loss_prob = 0.)
-      ?(recv_timeout = 2.0) ?(max_timeouts = 32) ?(costs = Measured) (rng : Atom_util.Rng.t)
-      (net : Pr.network) (submissions : Pr.submission list) : report =
+  (* [obs] defaults to a live metrics registry (tracing off): [fault_stats]
+     is assembled from registry counters, so passing [Atom_obs.Ctx.noop]
+     zeroes the churn telemetry in the report. Pass a tracing context to get
+     per-(group, iteration) spans and phase tracks in virtual time. *)
+  let run ?(obs = Atom_obs.Ctx.create ()) ?(clusters = 4) ?(faults : Faults.plan = [])
+      ?(loss_prob = 0.) ?(recv_timeout = 2.0) ?(max_timeouts = 32) ?(costs = Measured)
+      (rng : Atom_util.Rng.t) (net : Pr.network) (submissions : Pr.submission list) : report =
     let cfg = net.Pr.config in
-    let engine = Engine.create () in
+    let engine = Engine.create ~obs () in
+    let reg = Atom_obs.Ctx.metrics obs in
+    let tr = Atom_obs.Ctx.tracer obs in
     let simnet = Net.create engine ~loss_prob ~loss_seed:(cfg.Config.seed lxor 0x10ad) in
     let fleet_rng = Atom_util.Rng.create cfg.Config.seed in
     let machines =
@@ -130,10 +136,11 @@ struct
     in
     let exit_box : (int * El.vec array) Mailbox.t = Mailbox.create engine in
     let abort_box : Pr.abort_reason Mailbox.t = Mailbox.create engine in
-    (* Churn telemetry shared by all group processes. *)
-    let recoveries = ref 0 in
-    let timeouts_fired = ref 0 in
-    let recovery_latency = ref 0. in
+    (* Churn telemetry shared by all group processes, kept in the registry
+       so hosts can read it live and [fault_stats] is just a read-out. *)
+    let m_recoveries = Atom_obs.Metrics.counter reg "dist.recoveries" in
+    let m_timeouts = Atom_obs.Metrics.counter reg "dist.timeouts" in
+    let m_recovery_seconds = Atom_obs.Metrics.counter reg "dist.recovery_seconds" in
     let abort_error = ref None in
     let in_degree ~iter ~gid =
       (* Count groups listing [gid] among their neighbours at [iter]. *)
@@ -162,8 +169,18 @@ struct
        position, the replacement server (adopting the dead member's Shamir
        index) waits for the slowest of [quorum] sub-share transfers from the
        buddy group's machines, then pays for reconstructing the share. *)
-    let recover_group_timed (g : Pr.group_state) : unit =
+    let recover_group_timed ?phases (g : Pr.group_state) : unit =
       let t0 = Engine.now engine in
+      (* Attribute the healing time to the "recovery" phase, then return the
+         track to whatever phase it was interrupted in. *)
+      let resume =
+        match phases with
+        | None -> fun () -> ()
+        | Some ph ->
+            let before = Atom_obs.Trace.Phase.current ph in
+            Atom_obs.Trace.Phase.switch ph "recovery";
+            fun () -> Atom_obs.Trace.Phase.switch ph before
+      in
       let buddy_members = net.Pr.groups.(g.Pr.buddies.(0)).Pr.members in
       List.iter
         (fun pos ->
@@ -185,16 +202,17 @@ struct
           charge replacement
             ~modeled:(fun cal -> float_of_int quorum *. cal.Calibration.reenc)
             (fun () -> Pr.recover_position net g.Pr.gid pos);
-          incr recoveries)
+          Atom_obs.Metrics.incr m_recoveries)
         (Pr.dead_positions net g);
-      recovery_latency := !recovery_latency +. (Engine.now engine -. t0)
+      Atom_obs.Metrics.add m_recovery_seconds (Engine.now engine -. t0);
+      resume ()
     in
     (* The quorum to route with right now; collapses trigger recovery. *)
-    let ensure_quorum (g : Pr.group_state) : int list =
+    let ensure_quorum ?phases (g : Pr.group_state) : int list =
       match Pr.live_quorum net g with
       | Some q -> q
       | None -> begin
-          recover_group_timed g;
+          recover_group_timed ?phases g;
           match Pr.live_quorum net g with
           | Some q -> q
           | None ->
@@ -205,40 +223,68 @@ struct
     Array.iter
       (fun (g : Pr.group_state) ->
         Engine.spawn engine (fun () ->
+            let gid = g.Pr.gid in
+            Atom_obs.Trace.thread_name tr ~tid:gid (Printf.sprintf "group %d" gid);
+            (* Exclusive phase accounting: this track is inside exactly one
+               of verify/network/shuffle/decrypt/recovery at every instant,
+               so its per-phase durations tile the pipeline's lifetime and
+               the critical group's total equals the round latency. *)
+            let phases = Atom_obs.Trace.Phase.start tr ~tid:gid "verify" in
             let member pos = machines.(g.Pr.members.(pos - 1)) in
-            let units = ref (Array.of_list (List.rev initial.(g.Pr.gid))) in
+            let units = ref (Array.of_list (List.rev initial.(gid))) in
             try
+              (* Entry verification runs synchronously in the prologue (the
+                 crypto is already checked); charge its modeled cost to the
+                 group's first live member so the virtual timeline includes
+                 the verify step the paper's round starts with. Under
+                 [Measured] the charge is ~0 — the work was timed outside
+                 the round. *)
+              (match Pr.live_quorum net g with
+              | Some (pos :: _) ->
+                  charge (member pos)
+                    ~modeled:(fun cal ->
+                      float_of_int (Array.length !units)
+                      *. points *. cal.Calibration.encproof_verify)
+                    (fun () -> ())
+              | _ -> ());
               for iter = 0 to iters - 1 do
+                let span =
+                  Atom_obs.Trace.begin_span tr ~cat:"iteration"
+                    ~args:[ ("group", Atom_obs.Trace.I gid); ("iter", Atom_obs.Trace.I iter) ]
+                    ~tid:gid
+                    (Printf.sprintf "iter %d" iter)
+                in
+                Atom_obs.Trace.Phase.switch phases "network";
                 (* Collect this layer's inputs (iteration 0 uses the client
                    submissions directly). Timeouts double as the liveness
                    probe: a group parked here when its machines die heals
                    itself so upstream retransmissions find a live endpoint. *)
                 if iter > 0 then begin
-                  let expected = in_degree ~iter:(iter - 1) ~gid:g.Pr.gid in
+                  let expected = in_degree ~iter:(iter - 1) ~gid in
                   let parts = ref [] in
                   let got = ref 0 in
                   let strikes = ref 0 in
                   while !got < expected do
-                    match Mailbox.recv_timeout inboxes.(g.Pr.gid).(iter) ~timeout:recv_timeout with
+                    match Mailbox.recv_timeout inboxes.(gid).(iter) ~timeout:recv_timeout with
                     | Some batch ->
                         parts := batch :: !parts;
                         incr got
                     | None ->
-                        incr timeouts_fired;
+                        Atom_obs.Metrics.incr m_timeouts;
                         incr strikes;
                         if !strikes > max_timeouts then
                           raise (Upstream_silent { iter; got = !got; expected });
                         (match Pr.live_quorum net g with
                         | Some _ -> ()
-                        | None -> recover_group_timed g)
+                        | None -> recover_group_timed ~phases g)
                   done;
                   units := Array.concat (List.rev !parts)
                 end;
                 (* Pass 1: sequential real shuffles along the quorum. Members
                    that died since the quorum formed are skipped (their
                    permutation layer is lost, which is harmless). *)
-                let quorum_positions = ensure_quorum g in
-                let pk = Pr.group_pk net g.Pr.gid in
+                let quorum_positions = ensure_quorum ~phases g in
+                let pk = Pr.group_pk net gid in
                 let prev = ref None in
                 List.iter
                   (fun pos ->
@@ -246,12 +292,14 @@ struct
                     if m.Machine.alive then begin
                       (match !prev with
                       | Some pm ->
+                          Atom_obs.Trace.Phase.switch phases "network";
                           Engine.sleep engine
                             (Net.latency simnet pm m
                             +. Net.transfer_time pm m
                                  ~bytes:(float_of_int (Array.length !units) *. ub))
                       | None -> ());
                       prev := Some m;
+                      Atom_obs.Trace.Phase.switch phases "shuffle";
                       units :=
                         charge m
                           ~modeled:(fun cal ->
@@ -270,8 +318,9 @@ struct
                 let quorum_positions =
                   if List.for_all (fun pos -> (member pos).Machine.alive) quorum_positions then
                     quorum_positions
-                  else ensure_quorum g
+                  else ensure_quorum ~phases g
                 in
+                Atom_obs.Trace.Phase.switch phases "decrypt";
                 (* Divide + pass 2: decrypt-and-reencrypt per batch. *)
                 let neighbors =
                   net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:g.Pr.gid
@@ -307,9 +356,10 @@ struct
                       (if last_iter then !current else Array.map El.clear_y_vec !current))
                   batches;
                 (* Forward through the last live quorum member's NIC. *)
+                Atom_obs.Trace.Phase.switch phases "network";
                 let last = member (List.nth quorum_positions (List.length quorum_positions - 1)) in
                 if last_iter then
-                  Mailbox.send exit_box (g.Pr.gid, Array.concat (Array.to_list outgoing))
+                  Mailbox.send exit_box (gid, Array.concat (Array.to_list outgoing))
                 else
                   Array.iteri
                     (fun bi batch ->
@@ -317,25 +367,32 @@ struct
                       Net.send simnet ~src:last ~dst:(dst_machine neighbors.(bi)) ~bytes
                         inboxes.(neighbors.(bi)).(iter + 1)
                         batch)
-                    outgoing
-              done
+                    outgoing;
+                Atom_obs.Trace.end_span tr span
+              done;
+              Atom_obs.Trace.Phase.stop phases
             with
             | Upstream_silent { iter; got; expected } ->
+                Atom_obs.Trace.Phase.stop phases;
                 if !abort_error = None then
                   abort_error :=
                     Some
                       (Printf.sprintf
                          "group %d: upstream silent at iteration %d (%d/%d batches after %d timeouts)"
-                         g.Pr.gid iter got expected max_timeouts);
-                Mailbox.send abort_box (Pr.Group_down { gid = g.Pr.gid });
-                Mailbox.send exit_box (g.Pr.gid, [||])
+                         gid iter got expected max_timeouts);
+                Atom_obs.Log.warn "dist: group %d aborting, upstream silent at iteration %d" gid
+                  iter;
+                Mailbox.send abort_box (Pr.Group_down { gid });
+                Mailbox.send exit_box (gid, [||])
             | e ->
                 (* A real crypto/logic bug: record the exception text so it
                    surfaces in the report instead of masquerading as churn. *)
+                Atom_obs.Trace.Phase.stop phases;
                 let detail = Printexc.to_string e in
                 if !abort_error = None then abort_error := Some detail;
-                Mailbox.send abort_box (Pr.Runtime_failure { gid = g.Pr.gid; detail });
-                Mailbox.send exit_box (g.Pr.gid, [||])))
+                Atom_obs.Log.error "dist: group %d pipeline failed: %s" gid detail;
+                Mailbox.send abort_box (Pr.Runtime_failure { gid; detail });
+                Mailbox.send exit_box (gid, [||])))
       net.Pr.groups;
     (* Collector: assemble exit holdings, run the variant's endgame. Every
        group sends exactly one exit message — empty on its abort path — so
@@ -372,6 +429,7 @@ struct
         in
         result := Some outcome);
     let latency = Engine.run engine in
+    Machine.publish_fleet reg machines;
     let first_abort = Mailbox.try_recv abort_box in
     let outcome =
       match (!result, first_abort) with
@@ -394,14 +452,16 @@ struct
       events = Engine.events_run engine;
       bytes_sent = simnet.Net.bytes_sent;
       faults =
+        (* Assembled from the registry: the counters are the ground truth,
+           the report is a read-out. *)
         {
           failures_injected = injector.Faults.failures_injected;
-          recoveries = !recoveries;
+          recoveries = int_of_float (Atom_obs.Metrics.counter_value reg "dist.recoveries");
           retransmits = simnet.Net.retransmits;
-          timeouts_fired = !timeouts_fired;
+          timeouts_fired = int_of_float (Atom_obs.Metrics.counter_value reg "dist.timeouts");
           messages_dropped = simnet.Net.messages_dropped;
           bytes_dropped = simnet.Net.bytes_dropped;
-          recovery_latency = !recovery_latency;
+          recovery_latency = Atom_obs.Metrics.counter_value reg "dist.recovery_seconds";
         };
       abort_error = !abort_error;
     }

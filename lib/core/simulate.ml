@@ -145,10 +145,15 @@ let recovery_seconds ~(cal : Calibration.t) ~(quorum : int) ~(dead : int)
     in
     float_of_int dead *. per_dead
 
-let run (p : params) : result =
+(* [obs] defaults to no-op observability: metrics and spans cost one dead
+   branch each. Pass a tracing context to get per-(group, iteration) spans
+   and exclusive phase tracks (verify/shuffle/decrypt/network/barrier/exit)
+   stamped in virtual time — pure functions of the seed. *)
+let run ?(obs = Atom_obs.Ctx.noop) (p : params) : result =
   Config.validate p.config;
   let cfg = p.config in
-  let engine = Engine.create () in
+  let engine = Engine.create ~obs () in
+  let tr = Atom_obs.Ctx.tracer obs in
   let net = Net.create engine in
   let rng = Atom_util.Rng.create cfg.Config.seed in
   let machines =
@@ -218,6 +223,12 @@ let run (p : params) : result =
   Array.iter
     (fun (g : Group_formation.group) ->
       Engine.spawn engine (fun () ->
+          let gid = g.Group_formation.gid in
+          Atom_obs.Trace.thread_name tr ~tid:gid (Printf.sprintf "group %d" gid);
+          (* Exclusive phase accounting: the track is inside exactly one of
+             verify/shuffle/decrypt/network/barrier/exit at every instant,
+             so phase durations tile the pipeline's lifetime. *)
+          let phases = Atom_obs.Trace.Phase.start tr ~tid:gid "verify" in
           let members =
             Array.to_list (Array.sub g.Group_formation.members 0 quorum)
             |> List.map (fun sid -> machines.(sid))
@@ -226,19 +237,29 @@ let run (p : params) : result =
           (* Entry: all members verify the users' EncProofs in parallel. *)
           parallel_jobs members (u *. w *. cal.Calibration.encproof_verify);
           for iter = 0 to iters - 1 do
-            let (_ : int) = Mailbox.recv layer_start.(g.Group_formation.gid) in
+            Atom_obs.Trace.Phase.switch phases "barrier";
+            let (_ : int) = Mailbox.recv layer_start.(gid) in
+            let span =
+              Atom_obs.Trace.begin_span tr ~cat:"iteration"
+                ~args:[ ("group", Atom_obs.Trace.I gid); ("iter", Atom_obs.Trace.I iter) ]
+                ~tid:gid
+                (Printf.sprintf "iter %d" iter)
+            in
             (* Pass 1: sequential shuffle chain. *)
             let rec chain prev = function
               | [] -> ()
               | m :: rest ->
+                  Atom_obs.Trace.Phase.switch phases "shuffle";
                   job m (u *. w *. cal.Calibration.shuffle_per_msg);
                   if nizk then begin
                     job m (u *. w *. cal.Calibration.shufproof_prove_per_msg);
                     let others = List.filter (fun o -> o != m) members in
+                    Atom_obs.Trace.Phase.switch phases "verify";
                     parallel_jobs others (u *. w *. cal.Calibration.shufproof_verify_per_msg)
                   end;
                   (match prev with
                   | Some pm ->
+                      Atom_obs.Trace.Phase.switch phases "network";
                       Engine.sleep engine
                         (Net.latency net pm m +. Net.transfer_time pm m ~bytes:batch_bytes)
                   | None -> ());
@@ -249,14 +270,17 @@ let run (p : params) : result =
             let rec chain2 prev = function
               | [] -> ()
               | m :: rest ->
+                  Atom_obs.Trace.Phase.switch phases "decrypt";
                   job m (u *. w *. cal.Calibration.reenc);
                   if nizk then begin
                     job m (u *. w *. cal.Calibration.reencproof_prove);
                     let others = List.filter (fun o -> o != m) members in
+                    Atom_obs.Trace.Phase.switch phases "verify";
                     parallel_jobs others (u *. w *. cal.Calibration.reencproof_verify)
                   end;
                   (match prev with
                   | Some pm ->
+                      Atom_obs.Trace.Phase.switch phases "network";
                       Engine.sleep engine
                         (Net.latency net pm m +. Net.transfer_time pm m ~bytes:batch_bytes)
                   | None -> ());
@@ -266,8 +290,9 @@ let run (p : params) : result =
             (* Forward: the last server serializes β batches out its NIC;
                first iteration pays TLS setup toward every neighbour. *)
             if iter < iters - 1 then begin
+              Atom_obs.Trace.Phase.switch phases "network";
               let beta =
-                Array.length (topo.Atom_topology.Topology.neighbors ~iter ~group:g.Group_formation.gid)
+                Array.length (topo.Atom_topology.Topology.neighbors ~iter ~group:gid)
               in
               if iter = 0 then begin
                 job last_machine (float_of_int beta *. net.Net.tls_cpu);
@@ -277,15 +302,16 @@ let run (p : params) : result =
                   Engine.sleep engine (batch_bytes /. last_machine.Machine.bandwidth));
               net.Net.bytes_sent <- net.Net.bytes_sent +. batch_bytes
             end;
+            Atom_obs.Trace.end_span tr span;
             Mailbox.send layer_done ()
           done;
           (* Exit phase. *)
-          if trap then begin
+          Atom_obs.Trace.Phase.switch phases "exit";
+          if trap then
             (* Decode units, check trap commitments, report to trustees. *)
             job last_machine (u *. cal.Calibration.commit_check);
-            Mailbox.send finished (`Report g.Group_formation.gid)
-          end
-          else Mailbox.send finished (`Report g.Group_formation.gid)))
+          Atom_obs.Trace.Phase.stop phases;
+          Mailbox.send finished (`Report gid)))
     formation.Group_formation.groups;
   (* Trustee endgame (trap variant): collect G reports over fresh TLS
      connections, release shares, groups open inner ciphertexts. *)
@@ -297,11 +323,19 @@ let run (p : params) : result =
   in
   let final = Mailbox.create engine in
   Engine.spawn engine (fun () ->
+      (* The trustee track spans the whole round (started at t = 0), so in
+         the trap variant — where the endgame runs past the last group's
+         exit — the critical track still tiles [0, latency]: mostly
+         "barrier" (waiting out the mixing), then the endgame phases. *)
+      let t_tid = n_groups in
+      Atom_obs.Trace.thread_name tr ~tid:t_tid "trustees";
+      let phases = Atom_obs.Trace.Phase.start tr ~tid:t_tid "barrier" in
       (* Wait for mixing and all G exit reports. *)
       let expected = 1 + n_groups in
       ignore (Mailbox.recv_n finished expected);
       if trap then begin
         (* Each trustee accepts G report connections and processes them. *)
+        Atom_obs.Trace.Phase.switch phases "exit";
         let per_trustee = float_of_int n_groups *. (net.Net.tls_cpu +. 1e-5) in
         net.Net.connections_opened <-
           net.Net.connections_opened + (n_groups * Array.length trustee_machines);
@@ -314,15 +348,19 @@ let run (p : params) : result =
           trustee_machines;
         ignore (Mailbox.recv_n done_mb (Array.length trustee_machines));
         (* Report RTT + share release back to the groups. *)
+        Atom_obs.Trace.Phase.switch phases "network";
         Engine.sleep engine (2. *. net.Net.inter_max);
         (* Groups decrypt the inner ciphertexts (half the units). *)
+        Atom_obs.Trace.Phase.switch phases "decrypt";
         Engine.sleep engine (u /. 2. *. cal.Calibration.kem_open)
       end;
+      Atom_obs.Trace.Phase.stop phases;
       Mailbox.send final ());
   Engine.spawn engine (fun () ->
       let () = Mailbox.recv final in
       ());
   let latency = Engine.run engine in
+  Machine.publish_fleet (Atom_obs.Ctx.metrics obs) machines;
   let max_bw =
     (* Peak average send rate per server: forwarded bytes per iteration over
        the iteration time (reporting aid for the §6.2 bandwidth claim). *)

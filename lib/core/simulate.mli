@@ -74,9 +74,12 @@ val recovery_seconds :
     Lagrange reconstruction charged like [quorum] re-encryptions. Matches
     the distributed runtime's virtual-time accounting. *)
 
-val run : params -> result
+val run : ?obs:Atom_obs.Ctx.t -> params -> result
 (** One full round, end to end (entry verification through trustee
-    release). Deterministic in [config.seed]. *)
+    release). Deterministic in [config.seed]: with a tracing [obs] (default
+    no-op) the per-(group, iteration) spans and exclusive phase tracks
+    (verify/shuffle/decrypt/network/barrier/exit) are stamped in virtual
+    time, so identical parameters yield byte-identical traces. *)
 
 type pipeline_result = {
   first_output : float;

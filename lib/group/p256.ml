@@ -256,6 +256,7 @@ let comb_jac (e : Nat.t) : jac =
   !acc
 
 let pow_gen (k : scalar) : t =
+  Atom_obs.Opcount.note_pow_gen ();
   let e = Scalar.to_nat k in
   if Nat.is_zero e then Inf else to_affine (comb_jac e)
 
@@ -341,6 +342,7 @@ let windowed_jac_oneshot (base : t) (e : Nat.t) : jac =
   !acc
 
 let pow (base : t) (k : scalar) : t =
+  Atom_obs.Opcount.note_pow ();
   let e = Scalar.to_nat k in
   if Nat.is_zero e || is_one base then Inf
   else if equal base generator then to_affine (comb_jac e)
@@ -437,7 +439,7 @@ let msm_pippenger (bases : t array) (exps : Nat.t array) : jac =
 
 let pippenger_threshold = 200
 
-let msm (pairs : (t * scalar) array) : t =
+let msm_raw (pairs : (t * scalar) array) : t =
   (* Generator terms collapse into a single comb exponent (g^a·g^b = g^{a+b});
      identity bases and zero scalars drop out. The cache is consulted only
      for small MSMs — flooding it with a shuffle-sized batch of one-shot
@@ -465,11 +467,19 @@ let msm (pairs : (t * scalar) array) : t =
   in
   to_affine (jac_add main comb_part)
 
-let pow2 (a : t) (j : scalar) (b : t) (k : scalar) : t = msm [| (a, j); (b, k) |]
+let msm (pairs : (t * scalar) array) : t =
+  Atom_obs.Opcount.note_msm ~terms:(Array.length pairs);
+  msm_raw pairs
+
+(* pow2 goes through [msm_raw] so it tallies as one composite op, not also
+   as an msm call. *)
+let pow2 (a : t) (j : scalar) (b : t) (k : scalar) : t =
+  Atom_obs.Opcount.note_pow2 ();
+  msm_raw [| (a, j); (b, k) |]
 
 (* ---- Batch fixed-base exponentiation with one shared normalization ---- *)
 
-let pow_gen_batch (ks : scalar array) : t array =
+let pow_gen_batch_raw (ks : scalar array) : t array =
   to_affine_batch
     (Array.map
        (fun k ->
@@ -477,10 +487,15 @@ let pow_gen_batch (ks : scalar array) : t array =
          if Nat.is_zero e then jac_inf else comb_jac e)
        ks)
 
+let pow_gen_batch (ks : scalar array) : t array =
+  Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
+  pow_gen_batch_raw ks
+
 let pow_batch (base : t) (ks : scalar array) : t array =
+  Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
   if Array.length ks = 0 then [||]
   else if is_one base then Array.map (fun _ -> Inf) ks
-  else if equal base generator then pow_gen_batch ks
+  else if equal base generator then pow_gen_batch_raw ks
   else begin
     let tab = match cached_table base with Some t -> t | None -> affine_table base in
     to_affine_batch

@@ -54,29 +54,53 @@ let make (params : params) : (module Group_intf.GROUP) =
     let mul = Modarith.mul ctx_p
     let inv = Modarith.inv ctx_p
     let div a b = mul a (inv b)
-    let pow x k = Modarith.pow ctx_p x (Scalar.to_nat k)
-    let pow_gen k = pow generator k
+    let pow_raw x k = Modarith.pow ctx_p x (Scalar.to_nat k)
+    let pow_gen_raw k = pow_raw generator k
+
+    let pow x k =
+      Atom_obs.Opcount.note_pow ();
+      pow_raw x k
+
+    let pow_gen k =
+      Atom_obs.Opcount.note_pow_gen ();
+      pow_gen_raw k
 
     (* Multi-exponentiation. The batch-pow entry points are honest
        fallbacks — [Modarith.pow]'s per-context table cache already gives
        repeated fixed-base calls (pow_gen, pow pk) their speedup, and Z_p*
        has no affine-normalization cost to batch — but [msm]/[pow2] ride
        Straus interleaving in Modarith so the batched shuffle verifier's
-       single big product shares its squarings here too. *)
+       single big product shares its squarings here too. The functor gets
+       the raw pows so a batch call tallies once, as a batch. *)
     include Group_intf.Naive_multi (struct
       type nonrec t = t
       type nonrec scalar = scalar
 
       let one = one
       let mul = mul
-      let pow = pow
-      let pow_gen = pow_gen
+      let pow = pow_raw
+      let pow_gen = pow_gen_raw
     end)
 
-    let msm pairs =
+    let pow_batch x ks =
+      Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
+      pow_batch x ks
+
+    let pow_gen_batch ks =
+      Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
+      pow_gen_batch ks
+
+    let msm_raw pairs =
       Modarith.msm ctx_p (Array.map (fun (x, k) -> (x, Scalar.to_nat k)) pairs)
 
-    let pow2 a j b k = msm [| (a, j); (b, k) |]
+    let msm pairs =
+      Atom_obs.Opcount.note_msm ~terms:(Array.length pairs);
+      msm_raw pairs
+
+    (* One composite op: must not also tally as an msm call. *)
+    let pow2 a j b k =
+      Atom_obs.Opcount.note_pow2 ();
+      msm_raw [| (a, j); (b, k) |]
 
     let equal = Modarith.equal
     let is_one x = equal x one

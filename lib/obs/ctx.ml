@@ -1,0 +1,18 @@
+(* The observability context threaded through the runtime: one metrics
+   registry plus one tracer, created together and passed to
+   [Engine.create], which binds its virtual clock into the tracer. A
+   context is cheap and per-run; [noop] disables everything at once. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let noop : t = { metrics = Metrics.noop; trace = Trace.noop }
+
+let create ?(tracing = false) () : t =
+  { metrics = Metrics.create (); trace = (if tracing then Trace.create () else Trace.noop) }
+
+let metrics (t : t) : Metrics.t = t.metrics
+let tracer (t : t) : Trace.t = t.trace
+let enabled (t : t) : bool = Metrics.enabled t.metrics
+let tracing (t : t) : bool = Trace.enabled t.trace
+
+let bind_clock (t : t) (clock : unit -> float) : unit = Trace.set_clock t.trace clock

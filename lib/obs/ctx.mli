@@ -1,0 +1,22 @@
+(** The observability context threaded through the runtime: a metrics
+    registry and a tracer created together. Pass one to [Engine.create];
+    the engine binds its virtual clock into the tracer, so spans are
+    timestamped in virtual time and traces replay byte-identically. *)
+
+type t
+
+val noop : t
+(** Metrics and tracing both disabled; every record is a cheap no-op. *)
+
+val create : ?tracing:bool -> unit -> t
+(** A live context. Tracing is off unless requested — metrics are bounded
+    in memory, a trace grows with the run. *)
+
+val metrics : t -> Metrics.t
+val tracer : t -> Trace.t
+val enabled : t -> bool
+val tracing : t -> bool
+
+val bind_clock : t -> (unit -> float) -> unit
+(** Point the tracer's clock at a time source (the engine's virtual
+    [now]). Later bindings win; no-op on {!noop}. *)

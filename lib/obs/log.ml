@@ -1,0 +1,37 @@
+(* Leveled library logging, off by default.
+
+   Library code must never write to stdout unannounced: anything the Atom
+   libraries want to say goes through here, is disabled unless a host
+   explicitly raises the level, and lands on stderr (or a caller-supplied
+   sink) — never stdout, which belongs to the CLI's structured output.
+   Disabled log statements cost one branch and allocate nothing. *)
+
+type level = Debug | Info | Warn | Error
+
+let level_value = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+let level_name = function Debug -> "debug" | Info -> "info" | Warn -> "warn" | Error -> "error"
+
+(* [None] = logging off entirely (the default). *)
+let current : level option ref = ref None
+
+let default_sink (lvl : level) (msg : string) : unit =
+  Printf.eprintf "[atom:%s] %s\n%!" (level_name lvl) msg
+
+let sink : (level -> string -> unit) ref = ref default_sink
+
+let set_level (l : level option) : unit = current := l
+let get_level () : level option = !current
+let set_sink (f : level -> string -> unit) : unit = sink := f
+let reset_sink () : unit = sink := default_sink
+
+let enabled_at (lvl : level) : bool =
+  match !current with None -> false | Some min -> level_value lvl >= level_value min
+
+let logf (lvl : level) fmt =
+  if enabled_at lvl then Printf.ksprintf (fun s -> !sink lvl s) fmt
+  else Printf.ifprintf () fmt
+
+let debug fmt = logf Debug fmt
+let info fmt = logf Info fmt
+let warn fmt = logf Warn fmt
+let error fmt = logf Error fmt

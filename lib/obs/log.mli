@@ -1,0 +1,26 @@
+(** Leveled library logging, off by default.
+
+    Atom's libraries never write to stdout: diagnostics route through here
+    and are dropped unless a host raises the level with {!set_level}.
+    Enabled messages go to stderr (or a caller-supplied sink). Disabled
+    statements cost one branch. *)
+
+type level = Debug | Info | Warn | Error
+
+val set_level : level option -> unit
+(** [Some l] enables messages at [l] and above; [None] (the default)
+    silences everything. *)
+
+val get_level : unit -> level option
+
+val set_sink : (level -> string -> unit) -> unit
+(** Redirect enabled messages (default: stderr, ["[atom:<level>] ..."]). *)
+
+val reset_sink : unit -> unit
+val enabled_at : level -> bool
+
+val logf : level -> ('a, unit, string, unit) format4 -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val warn : ('a, unit, string, unit) format4 -> 'a
+val error : ('a, unit, string, unit) format4 -> 'a

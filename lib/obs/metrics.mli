@@ -1,0 +1,69 @@
+(** Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+    Recording is a load and a store on a mutable cell — cheap enough to
+    leave on in hot paths. The {!noop} registry hands out shared scratch
+    cells, so instrumented code is branch-free either way and a disabled
+    run records nothing. Metrics are find-or-create by name; dumps are
+    name-sorted and therefore deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A live registry that accumulates everything recorded against it. *)
+
+val noop : t
+(** The disabled registry: hands out shared scratch cells; records
+    nothing; {!dump} is always empty. *)
+
+val enabled : t -> bool
+(** [false] exactly for {!noop}. Guard expensive label construction
+    (e.g. [Printf.sprintf] metric names) on this. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> string -> counter
+(** Find or create. @raise Invalid_argument if the name is already
+    registered as a different kind. *)
+
+val gauge : t -> string -> gauge
+
+val histogram : t -> ?buckets:int -> lo:float -> hi:float -> string -> histogram
+(** Equal-width buckets over [lo, hi] following
+    {!Atom_util.Stats.bucket_index} (last bucket closed at [hi]);
+    out-of-range observations are tallied in separate under/overflow cells
+    and still contribute to sum/count/min/max. Default 16 buckets. *)
+
+val incr : counter -> unit
+val add : counter -> float -> unit
+val value : counter -> float
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+
+val hist_quantile : histogram -> float -> float
+(** Percentile estimate by linear interpolation inside the target bucket;
+    the extreme ranks return the exact observed min/max. 0 when empty. *)
+
+type view =
+  | V_counter of float
+  | V_gauge of float
+  | V_histogram of histogram
+
+val dump : t -> (string * view) list
+(** All metrics, sorted by name. *)
+
+val find : t -> string -> view option
+
+val counter_value : t -> string -> float
+(** Counter value by name; 0 when absent or not a counter. The registry-
+    read primitive used to assemble end-of-run reports. *)
+
+val pp : Format.formatter -> t -> unit
+(** Plain-text table of every metric (deterministic order). *)

@@ -1,0 +1,98 @@
+(* Global group-operation tallies.
+
+   The GROUP backends bump these on every exported exponentiation-shaped
+   call, so Table-3-style cost attribution ("how many pows did that round
+   actually perform, and at what multi-exponentiation sizes?") is measured
+   rather than inferred from protocol arithmetic. Counters are plain
+   global ints bumped unconditionally: one integer increment against
+   multi-hundred-microsecond field operations is unmeasurable, which is
+   what lets the crypto bench run uninstrumented-fast with observability
+   compiled in.
+
+   Composite fast-path entry points count once at their own level — a
+   [pow2] does not also count as an [msm] — so a snapshot diff reads as
+   "calls the protocol made", not "calls the backend internally
+   decomposed into". *)
+
+type snapshot = {
+  pow : int; (* variable-base single exponentiations *)
+  pow_gen : int; (* fixed-base (generator) exponentiations *)
+  pow2 : int; (* double-scalar products (sigma verification shape) *)
+  msm_calls : int;
+  msm_terms : int; (* total terms across all msm calls *)
+  batch_calls : int; (* pow_batch + pow_gen_batch invocations *)
+  batch_scalars : int; (* total scalars across batch calls *)
+}
+
+let zero = { pow = 0; pow_gen = 0; pow2 = 0; msm_calls = 0; msm_terms = 0; batch_calls = 0; batch_scalars = 0 }
+
+let c_pow = ref 0
+let c_pow_gen = ref 0
+let c_pow2 = ref 0
+let c_msm_calls = ref 0
+let c_msm_terms = ref 0
+let c_batch_calls = ref 0
+let c_batch_scalars = ref 0
+
+let note_pow () = incr c_pow
+let note_pow_gen () = incr c_pow_gen
+let note_pow2 () = incr c_pow2
+
+let note_msm ~(terms : int) =
+  incr c_msm_calls;
+  c_msm_terms := !c_msm_terms + terms
+
+let note_batch ~(scalars : int) =
+  incr c_batch_calls;
+  c_batch_scalars := !c_batch_scalars + scalars
+
+let snapshot () : snapshot =
+  {
+    pow = !c_pow;
+    pow_gen = !c_pow_gen;
+    pow2 = !c_pow2;
+    msm_calls = !c_msm_calls;
+    msm_terms = !c_msm_terms;
+    batch_calls = !c_batch_calls;
+    batch_scalars = !c_batch_scalars;
+  }
+
+let diff (after : snapshot) (before : snapshot) : snapshot =
+  {
+    pow = after.pow - before.pow;
+    pow_gen = after.pow_gen - before.pow_gen;
+    pow2 = after.pow2 - before.pow2;
+    msm_calls = after.msm_calls - before.msm_calls;
+    msm_terms = after.msm_terms - before.msm_terms;
+    batch_calls = after.batch_calls - before.batch_calls;
+    batch_scalars = after.batch_scalars - before.batch_scalars;
+  }
+
+let reset () =
+  c_pow := 0;
+  c_pow_gen := 0;
+  c_pow2 := 0;
+  c_msm_calls := 0;
+  c_msm_terms := 0;
+  c_batch_calls := 0;
+  c_batch_scalars := 0
+
+let total_calls (s : snapshot) : int =
+  s.pow + s.pow_gen + s.pow2 + s.msm_calls + s.batch_calls
+
+let pp (fmt : Format.formatter) (s : snapshot) : unit =
+  Format.fprintf fmt
+    "group ops: pow %d  pow_gen %d  pow2 %d  msm %d (%d terms)  batch %d (%d scalars)"
+    s.pow s.pow_gen s.pow2 s.msm_calls s.msm_terms s.batch_calls s.batch_scalars
+
+(* Mirror a snapshot into a registry as gauges, so --metrics dumps carry
+   the op tallies next to the runtime counters. *)
+let publish (reg : Metrics.t) ?(prefix = "group.ops.") (s : snapshot) : unit =
+  let set name v = Metrics.set (Metrics.gauge reg (prefix ^ name)) (float_of_int v) in
+  set "pow" s.pow;
+  set "pow_gen" s.pow_gen;
+  set "pow2" s.pow2;
+  set "msm_calls" s.msm_calls;
+  set "msm_terms" s.msm_terms;
+  set "batch_calls" s.batch_calls;
+  set "batch_scalars" s.batch_scalars

@@ -1,0 +1,36 @@
+(** Global group-operation tallies, bumped by the GROUP backends on every
+    exported exponentiation-shaped call. One integer increment per
+    multi-hundred-microsecond field operation: free to leave on.
+
+    Composite fast-path calls count once at their own level (a [pow2] is
+    not also an [msm]), so a snapshot diff reads as calls the protocol
+    made. *)
+
+type snapshot = {
+  pow : int;
+  pow_gen : int;
+  pow2 : int;
+  msm_calls : int;
+  msm_terms : int;
+  batch_calls : int;
+  batch_scalars : int;
+}
+
+val zero : snapshot
+
+val note_pow : unit -> unit
+val note_pow_gen : unit -> unit
+val note_pow2 : unit -> unit
+val note_msm : terms:int -> unit
+val note_batch : scalars:int -> unit
+
+val snapshot : unit -> snapshot
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before]. *)
+
+val reset : unit -> unit
+val total_calls : snapshot -> int
+val pp : Format.formatter -> snapshot -> unit
+
+val publish : Metrics.t -> ?prefix:string -> snapshot -> unit
+(** Mirror as gauges (default prefix ["group.ops."]). *)

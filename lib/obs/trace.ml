@@ -1,0 +1,316 @@
+(* Span-based tracing against a pluggable clock.
+
+   The clock is whatever the host binds — the discrete-event engine's
+   virtual [now] for simulator and distributed runs (making traces a pure
+   function of (seed, plan): two identical runs serialize byte-identically),
+   or a wall clock for the crypto bench. Spans are Chrome trace_event
+   "complete" events ('X': ts + dur); tracks (tid) are protocol entities —
+   one per group pipeline, one per coordinator — named via metadata events
+   so Perfetto renders a labelled lane per group.
+
+   [Phase] is the accounting discipline on top: a phase tracker keeps its
+   track inside exactly one leaf phase span at every instant, so the phase
+   durations of a track tile its lifetime with no gaps or overlap — the
+   per-phase breakdown of the round-critical track must sum to the round
+   latency by construction. *)
+
+type arg = S of string | I of int | F of float
+
+type event = {
+  name : string;
+  cat : string;
+  ph : char; (* 'X' complete span, 'i' instant, 'M' metadata *)
+  ts : float; (* seconds on the bound clock *)
+  dur : float; (* seconds; 0 unless ph = 'X' *)
+  tid : int;
+  args : (string * arg) list;
+}
+
+type t = {
+  enabled : bool;
+  mutable clock : unit -> float;
+  mutable rev_events : event list;
+  mutable count : int;
+}
+
+let create () : t = { enabled = true; clock = (fun () -> 0.); rev_events = []; count = 0 }
+let noop : t = { enabled = false; clock = (fun () -> 0.); rev_events = []; count = 0 }
+let enabled (t : t) : bool = t.enabled
+let set_clock (t : t) (clock : unit -> float) : unit = if t.enabled then t.clock <- clock
+let now (t : t) : float = t.clock ()
+
+let emit (t : t) (ev : event) : unit =
+  t.rev_events <- ev :: t.rev_events;
+  t.count <- t.count + 1
+
+let events (t : t) : event list = List.rev t.rev_events
+let event_count (t : t) : int = t.count
+
+let clear (t : t) : unit =
+  t.rev_events <- [];
+  t.count <- 0
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_start : float;
+  sp_args : (string * arg) list;
+  mutable sp_closed : bool;
+}
+
+let null_span = { sp_name = ""; sp_cat = ""; sp_tid = 0; sp_start = 0.; sp_args = []; sp_closed = true }
+
+let begin_span (t : t) ?(cat = "") ?(args = []) ~(tid : int) (name : string) : span =
+  if not t.enabled then null_span
+  else { sp_name = name; sp_cat = cat; sp_tid = tid; sp_start = t.clock (); sp_args = args; sp_closed = false }
+
+let end_span (t : t) (sp : span) : unit =
+  if t.enabled && not sp.sp_closed then begin
+    sp.sp_closed <- true;
+    emit t
+      {
+        name = sp.sp_name;
+        cat = sp.sp_cat;
+        ph = 'X';
+        ts = sp.sp_start;
+        dur = t.clock () -. sp.sp_start;
+        tid = sp.sp_tid;
+        args = sp.sp_args;
+      }
+  end
+
+let with_span (t : t) ?cat ?args ~(tid : int) (name : string) (f : unit -> 'a) : 'a =
+  let sp = begin_span t ?cat ?args ~tid name in
+  match f () with
+  | v ->
+      end_span t sp;
+      v
+  | exception e ->
+      end_span t sp;
+      raise e
+
+let instant (t : t) ?(cat = "") ?(args = []) ~(tid : int) (name : string) : unit =
+  if t.enabled then emit t { name; cat; ph = 'i'; ts = t.clock (); dur = 0.; tid; args }
+
+let thread_name (t : t) ~(tid : int) (name : string) : unit =
+  if t.enabled then
+    emit t { name = "thread_name"; cat = ""; ph = 'M'; ts = 0.; dur = 0.; tid; args = [ ("name", S name) ] }
+
+(* ---- Phase tracker ---- *)
+
+module Phase = struct
+  type tracker = {
+    tr : t;
+    tid : int;
+    mutable cur : string;
+    mutable since : float;
+    mutable args : (string * arg) list;
+    mutable stopped : bool;
+  }
+
+  let cat = "phase"
+
+  let start (tr : t) ?(args = []) ~(tid : int) (name : string) : tracker =
+    { tr; tid; cur = name; since = (if tr.enabled then tr.clock () else 0.); args; stopped = false }
+
+  let current (p : tracker) : string = p.cur
+
+  (* Close the running segment (dropping zero-length ones: a phase the
+     track merely passed through adds nothing to the breakdown and would
+     bloat the trace). *)
+  let flush (p : tracker) (t1 : float) : unit =
+    if t1 > p.since then
+      emit p.tr
+        { name = p.cur; cat; ph = 'X'; ts = p.since; dur = t1 -. p.since; tid = p.tid; args = p.args }
+
+  let switch (p : tracker) ?args (name : string) : unit =
+    if p.tr.enabled && not p.stopped && name <> p.cur then begin
+      let t1 = p.tr.clock () in
+      flush p t1;
+      p.cur <- name;
+      p.since <- t1;
+      match args with Some a -> p.args <- a | None -> ()
+    end
+
+  let stop (p : tracker) : unit =
+    if p.tr.enabled && not p.stopped then begin
+      p.stopped <- true;
+      flush p (p.tr.clock ())
+    end
+end
+
+(* ---- Chrome trace_event JSON ---- *)
+
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let arg_json = function
+  | S s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | I i -> string_of_int i
+  | F f -> Printf.sprintf "%.6g" f
+
+(* Microsecond timestamps printed with fixed sub-µs precision, so equal
+   clock readings always serialize to equal bytes. *)
+let us (seconds : float) : string = Printf.sprintf "%.3f" (seconds *. 1e6)
+
+let event_json (buf : Buffer.t) (ev : event) : unit =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%s"
+       (json_escape ev.name)
+       (json_escape (if ev.cat = "" then "atom" else ev.cat))
+       ev.ph (us ev.ts));
+  if ev.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (us ev.dur));
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" ev.tid);
+  if ev.args <> [] then begin
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "\"%s\":%s" (json_escape k) (arg_json v)))
+      ev.args;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}'
+
+let to_chrome_json (t : t) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      event_json buf ev)
+    (events t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* ---- Per-phase breakdown ---- *)
+
+module Breakdown = struct
+  type track = {
+    tid : int;
+    phases : (string * float) list; (* phase -> total seconds, canonical order *)
+    total : float; (* sum of the phase durations *)
+    t_end : float; (* when the track's last phase segment closed *)
+  }
+
+  (* Fixed presentation order for the protocol phases; anything else
+     follows alphabetically. *)
+  let canonical = [ "verify"; "shuffle"; "decrypt"; "network"; "recovery"; "barrier"; "exit" ]
+
+  let phase_rank name =
+    let rec idx i = function
+      | [] -> None
+      | x :: _ when x = name -> Some i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 canonical
+
+  let order_phases (ps : (string * float) list) : (string * float) list =
+    List.sort
+      (fun (a, _) (b, _) ->
+        match (phase_rank a, phase_rank b) with
+        | Some i, Some j -> compare i j
+        | Some _, None -> -1
+        | None, Some _ -> 1
+        | None, None -> compare a b)
+      ps
+
+  let tracks (evs : event list) : track list =
+    let tbl : (int, (string, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 16 in
+    let ends : (int, float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        if ev.ph = 'X' && ev.cat = Phase.cat then begin
+          let per =
+            match Hashtbl.find_opt tbl ev.tid with
+            | Some h -> h
+            | None ->
+                let h = Hashtbl.create 8 in
+                Hashtbl.add tbl ev.tid h;
+                h
+          in
+          Hashtbl.replace per ev.name
+            ((match Hashtbl.find_opt per ev.name with Some v -> v | None -> 0.) +. ev.dur);
+          let fin = ev.ts +. ev.dur in
+          match Hashtbl.find_opt ends ev.tid with
+          | Some e when e >= fin -> ()
+          | _ -> Hashtbl.replace ends ev.tid fin
+        end)
+      evs;
+    Hashtbl.fold
+      (fun tid per acc ->
+        let phases = order_phases (Hashtbl.fold (fun k v l -> (k, v) :: l) per []) in
+        {
+          tid;
+          phases;
+          total = List.fold_left (fun a (_, v) -> a +. v) 0. phases;
+          t_end = (match Hashtbl.find_opt ends tid with Some e -> e | None -> 0.);
+        }
+        :: acc)
+      tbl []
+    |> List.sort (fun a b -> compare a.tid b.tid)
+
+  (* The critical track: the one whose final phase segment closes last —
+     the chain that determined the round's end. Ties break toward the
+     lowest tid, deterministically. *)
+  let critical (evs : event list) : track option =
+    List.fold_left
+      (fun best t ->
+        match best with
+        | Some b when b.t_end >= t.t_end -> best
+        | _ -> Some t)
+      None (tracks evs)
+
+  (* Aggregate phase totals across every track (core-seconds view). *)
+  let totals (evs : event list) : (string * float) list =
+    let acc : (string, float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun tr ->
+        List.iter
+          (fun (name, v) ->
+            Hashtbl.replace acc name
+              ((match Hashtbl.find_opt acc name with Some x -> x | None -> 0.) +. v))
+          tr.phases)
+      (tracks evs);
+    order_phases (Hashtbl.fold (fun k v l -> (k, v) :: l) acc [])
+
+  (* Render the per-phase table for the critical track next to the
+     all-track totals. [latency] is the reported round latency; the
+     critical track's phases tile its lifetime, so their sum matches it
+     (the coverage line makes the invariant visible). *)
+  let render ?(label = "track") ~(latency : float) (evs : event list) : string =
+    let buf = Buffer.create 512 in
+    (match critical evs with
+    | None -> Buffer.add_string buf "(no phase spans recorded)\n"
+    | Some crit ->
+        let tot = totals evs in
+        Buffer.add_string buf
+          (Printf.sprintf "per-phase round breakdown (critical %s %d):\n" label crit.tid);
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %14s %7s %18s\n" "phase" "critical (s)" "share" "all tracks (s)");
+        List.iter
+          (fun (name, total_all) ->
+            let v = match List.assoc_opt name crit.phases with Some v -> v | None -> 0. in
+            let share = if latency > 0. then 100. *. v /. latency else 0. in
+            Buffer.add_string buf
+              (Printf.sprintf "  %-10s %14.6f %6.1f%% %18.6f\n" name v share total_all))
+          tot;
+        let share = if latency > 0. then 100. *. crit.total /. latency else 0. in
+        Buffer.add_string buf (Printf.sprintf "  %-10s %14.6f %6.1f%%\n" "total" crit.total share);
+        Buffer.add_string buf
+          (Printf.sprintf "  round latency %.6f s  (critical-path coverage %.2f%%)\n" latency share));
+    Buffer.contents buf
+end

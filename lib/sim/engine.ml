@@ -65,10 +65,36 @@ module Heap = struct
     top
 end
 
-type t = { heap : Heap.t; mutable now : float; mutable seq : int; mutable events_run : int }
+type t = {
+  heap : Heap.t;
+  mutable now : float;
+  mutable seq : int;
+  mutable events_run : int;
+  obs : Atom_obs.Ctx.t;
+  m_events : Atom_obs.Metrics.counter;
+  m_cancels : Atom_obs.Metrics.counter;
+}
 
-let create () = { heap = Heap.create (); now = 0.; seq = 0; events_run = 0 }
+let create ?(obs = Atom_obs.Ctx.noop) () =
+  let reg = Atom_obs.Ctx.metrics obs in
+  let t =
+    {
+      heap = Heap.create ();
+      now = 0.;
+      seq = 0;
+      events_run = 0;
+      obs;
+      m_events = Atom_obs.Metrics.counter reg "engine.events";
+      m_cancels = Atom_obs.Metrics.counter reg "engine.cancels_discarded";
+    }
+  in
+  (* Spans recorded against this engine's context are stamped in its
+     virtual time, so identical schedules serialize identical traces. *)
+  Atom_obs.Ctx.bind_clock obs (fun () -> t.now);
+  t
+
 let now t = t.now
+let obs t = t.obs
 let events_run t = t.events_run
 
 let schedule_timer (t : t) ~(delay : float) (fn : unit -> unit) : timer =
@@ -91,7 +117,8 @@ let run ?(until : float option) (t : t) : float =
   let continue = ref true in
   while !continue && not (Heap.is_empty t.heap) do
     let ev = Heap.pop t.heap in
-    if not ev.cancelled then
+    if ev.cancelled then Atom_obs.Metrics.incr t.m_cancels
+    else
       match until with
       | Some limit when ev.time > limit ->
           t.now <- limit;
@@ -99,6 +126,7 @@ let run ?(until : float option) (t : t) : float =
       | _ ->
           t.now <- ev.time;
           t.events_run <- t.events_run + 1;
+          Atom_obs.Metrics.incr t.m_events;
           ev.fn ()
   done;
   t.now

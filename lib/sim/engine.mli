@@ -7,10 +7,18 @@
 
 type t
 
-val create : unit -> t
+val create : ?obs:Atom_obs.Ctx.t -> unit -> t
+(** [obs] (default {!Atom_obs.Ctx.noop}) receives the engine's telemetry:
+    event/cancel counters land in its registry, and its tracer's clock is
+    bound to this engine's virtual time, so spans recorded downstream are
+    virtual-time-stamped and traces replay byte-identically. *)
 
 val now : t -> float
 (** Current virtual time in seconds. *)
+
+val obs : t -> Atom_obs.Ctx.t
+(** The observability context bound at {!create}; simulator components
+    (network, machines) record against it. *)
 
 val events_run : t -> int
 
@@ -27,7 +35,8 @@ val schedule_timer : t -> delay:float -> (unit -> unit) -> timer
 val cancel : timer -> unit
 (** Discard a pending timer. A cancelled timer never fires, does not
     advance the virtual clock, and is not counted in {!events_run} —
-    timeouts that lose the race leave no trace in the reported latency. *)
+    timeouts that lose the race leave no trace in the reported latency
+    (discards are tallied in the ["engine.cancels_discarded"] metric). *)
 
 val run : ?until:float -> t -> float
 (** Drain the event queue (or stop at [until]); returns the final virtual

@@ -67,6 +67,12 @@ let install (engine : Engine.t) ~(machines : Machine.t array) ?(on_fail = fun (_
               if machines.(sid).Machine.alive then begin
                 Machine.fail machines.(sid);
                 t.failures_injected <- t.failures_injected + 1;
+                Atom_obs.Trace.instant
+                  (Atom_obs.Ctx.tracer (Engine.obs engine))
+                  ~cat:"fault" ~tid:0
+                  ~args:[ ("machine", Atom_obs.Trace.I sid) ]
+                  "fail";
+                Atom_obs.Log.debug "faults: machine %d failed" sid;
                 on_fail sid
               end)
       | Recover sid ->
@@ -76,6 +82,12 @@ let install (engine : Engine.t) ~(machines : Machine.t array) ?(on_fail = fun (_
               if not machines.(sid).Machine.alive then begin
                 Machine.recover machines.(sid);
                 t.recoveries_injected <- t.recoveries_injected + 1;
+                Atom_obs.Trace.instant
+                  (Atom_obs.Ctx.tracer (Engine.obs engine))
+                  ~cat:"fault" ~tid:0
+                  ~args:[ ("machine", Atom_obs.Trace.I sid) ]
+                  "recover";
+                Atom_obs.Log.debug "faults: machine %d recovered" sid;
                 on_recover sid
               end))
     (normalize plan);

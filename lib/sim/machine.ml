@@ -43,6 +43,31 @@ let compute (engine : Engine.t) (m : t) ~(serial : float) ~(parallel : float) : 
 let fail (m : t) : unit = m.alive <- false
 let recover (m : t) : unit = m.alive <- true
 
+let core_seconds (m : t) : float = Multi_resource.core_seconds m.slots
+
+(* Summarize fleet core occupancy into a registry at end of run: total and
+   peak per-machine busy core-time, plus which machine was busiest — the
+   §4.7 staggering question ("is some server the bottleneck?") answered
+   from data instead of eyeballing. *)
+let publish_fleet (reg : Atom_obs.Metrics.t) (machines : t array) : unit =
+  if Atom_obs.Metrics.enabled reg && Array.length machines > 0 then begin
+    let total = ref 0. and peak = ref 0. and busiest = ref 0 in
+    Array.iter
+      (fun m ->
+        let cs = core_seconds m in
+        total := !total +. cs;
+        if cs > !peak then begin
+          peak := cs;
+          busiest := m.id
+        end)
+      machines;
+    let set name v = Atom_obs.Metrics.set (Atom_obs.Metrics.gauge reg name) v in
+    set "fleet.machines" (float_of_int (Array.length machines));
+    set "fleet.core_seconds_total" !total;
+    set "fleet.core_seconds_peak" !peak;
+    set "fleet.busiest_machine" (float_of_int !busiest)
+  end
+
 (* The paper's fleet mix (§6.2): 80% 4-core, 10% 8-core, 5% 16-core, 5%
    32-core machines; bandwidths from the Tor relay distribution: 80%
    <100 Mb/s, 10% 100–200, 5% 200–300, 5% >300. *)

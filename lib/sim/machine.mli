@@ -28,6 +28,14 @@ val job : t -> seconds:float -> unit
 val fail : t -> unit
 val recover : t -> unit
 
+val core_seconds : t -> float
+(** Busy core-time charged to this machine's slots so far. *)
+
+val publish_fleet : Atom_obs.Metrics.t -> t array -> unit
+(** Record fleet core-occupancy gauges (["fleet.*"]): machine count, total
+    and peak per-machine core-seconds, busiest machine id. No-op on a
+    disabled registry. *)
+
 val paper_cores : Atom_util.Rng.t -> int
 (** Sample the §6.2 fleet mix: 80% 4-core, 10% 8, 5% 16, 5% 32. *)
 

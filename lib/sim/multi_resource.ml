@@ -2,7 +2,9 @@
 
    Models a multi-core machine serving several anytrust-group pipelines at
    once (§4.7): each single-threaded job occupies one core-slot; when all
-   cores are busy, jobs queue FIFO. *)
+   cores are busy, jobs queue FIFO. Core occupancy is observable: jobs and
+   their queueing delay feed the engine's metrics registry, and
+   [core_seconds] totals the busy time charged through this semaphore. *)
 
 type t = {
   engine : Engine.t;
@@ -10,11 +12,29 @@ type t = {
   mutable in_use : int;
   waiters : (unit -> unit) Queue.t;
   mutable total_core_time : float;
+  m_jobs : Atom_obs.Metrics.counter;
+  m_job_seconds : Atom_obs.Metrics.histogram;
+  m_queue_wait : Atom_obs.Metrics.histogram;
 }
 
 let create (engine : Engine.t) ~(capacity : int) : t =
   if capacity < 1 then invalid_arg "Multi_resource.create: capacity must be >= 1";
-  { engine; capacity; in_use = 0; waiters = Queue.create (); total_core_time = 0. }
+  let reg = Atom_obs.Ctx.metrics (Engine.obs engine) in
+  {
+    engine;
+    capacity;
+    in_use = 0;
+    waiters = Queue.create ();
+    total_core_time = 0.;
+    m_jobs = Atom_obs.Metrics.counter reg "cores.jobs";
+    m_job_seconds = Atom_obs.Metrics.histogram reg ~buckets:20 ~lo:0. ~hi:10. "cores.job_seconds";
+    m_queue_wait = Atom_obs.Metrics.histogram reg ~buckets:20 ~lo:0. ~hi:10. "cores.queue_wait_seconds";
+  }
+
+let capacity (r : t) : int = r.capacity
+let in_use (r : t) : int = r.in_use
+
+let core_seconds (r : t) : float = r.total_core_time
 
 let acquire (r : t) : unit =
   if r.in_use < r.capacity then r.in_use <- r.in_use + 1
@@ -41,7 +61,12 @@ let with_slot (r : t) (f : unit -> 'a) : 'a =
 
 (* Run a single-core job of [seconds]; blocks until a slot frees up. *)
 let job (r : t) (seconds : float) : unit =
-  if seconds > 0. then
+  if seconds > 0. then begin
+    let t0 = Engine.now r.engine in
     with_slot r (fun () ->
+        Atom_obs.Metrics.incr r.m_jobs;
+        Atom_obs.Metrics.observe r.m_queue_wait (Engine.now r.engine -. t0);
+        Atom_obs.Metrics.observe r.m_job_seconds seconds;
         r.total_core_time <- r.total_core_time +. seconds;
         Engine.sleep r.engine seconds)
+  end

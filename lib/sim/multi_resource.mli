@@ -14,4 +14,13 @@ val release : t -> unit
 val with_slot : t -> (unit -> 'a) -> 'a
 
 val job : t -> float -> unit
-(** Occupy one slot for the given number of virtual seconds. *)
+(** Occupy one slot for the given number of virtual seconds. Jobs, their
+    durations, and the time spent queueing for a free slot feed the
+    ["cores.*"] metrics of the engine's registry. *)
+
+val capacity : t -> int
+val in_use : t -> int
+
+val core_seconds : t -> float
+(** Total busy core-time charged through this semaphore so far — the
+    occupancy numerator for a machine over a run. *)

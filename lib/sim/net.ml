@@ -34,6 +34,14 @@ type t = {
   mutable messages_lost : int; (* transmissions eaten by random loss *)
   mutable messages_dropped : int; (* messages abandoned after max_retries *)
   mutable bytes_dropped : float;
+  reg : Atom_obs.Metrics.t;
+  m_sends : Atom_obs.Metrics.counter;
+  m_bytes : Atom_obs.Metrics.counter;
+  m_retransmits : Atom_obs.Metrics.counter;
+  m_losses : Atom_obs.Metrics.counter;
+  m_drops : Atom_obs.Metrics.counter;
+  m_connections : Atom_obs.Metrics.counter;
+  m_send_bytes : Atom_obs.Metrics.histogram;
 }
 
 let default_tls_cpu = 0.001
@@ -45,7 +53,17 @@ let create ?(intra_latency = 0.040) ?(inter_min = 0.080) ?(inter_max = 0.160)
     ?(max_retries = default_max_retries) ?(retry_backoff = default_retry_backoff)
     (engine : Engine.t) : t =
   if loss_prob < 0. || loss_prob >= 1. then invalid_arg "Net.create: need 0 <= loss_prob < 1";
+  let reg = Atom_obs.Ctx.metrics (Engine.obs engine) in
   {
+    reg;
+    m_sends = Atom_obs.Metrics.counter reg "net.sends";
+    m_bytes = Atom_obs.Metrics.counter reg "net.bytes_sent";
+    m_retransmits = Atom_obs.Metrics.counter reg "net.retransmits";
+    m_losses = Atom_obs.Metrics.counter reg "net.losses";
+    m_drops = Atom_obs.Metrics.counter reg "net.drops";
+    m_connections = Atom_obs.Metrics.counter reg "net.connections";
+    m_send_bytes =
+      Atom_obs.Metrics.histogram reg ~buckets:24 ~lo:0. ~hi:1e6 "net.send_bytes";
     engine;
     intra_latency;
     inter_min;
@@ -88,6 +106,7 @@ let ensure_connection (net : t) (src : Machine.t) (dst : Machine.t) : unit =
   if not (Hashtbl.mem net.established key) then begin
     Hashtbl.add net.established key ();
     net.connections_opened <- net.connections_opened + 1;
+    Atom_obs.Metrics.incr net.m_connections;
     Machine.compute net.engine src ~serial:net.tls_cpu ~parallel:0.;
     Engine.sleep net.engine (2. *. latency net src dst)
   end
@@ -101,6 +120,9 @@ let send_tracked (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float
   let give_up () =
     net.messages_dropped <- net.messages_dropped + 1;
     net.bytes_dropped <- net.bytes_dropped +. bytes;
+    Atom_obs.Metrics.incr net.m_drops;
+    Atom_obs.Log.warn "net: dropped %.0f bytes %d->%d after %d retries" bytes src.Machine.id
+      dst.Machine.id net.max_retries;
     false
   in
   let rec attempt tries backoff =
@@ -109,6 +131,7 @@ let send_tracked (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float
       else begin
         Engine.sleep net.engine backoff;
         net.retransmits <- net.retransmits + 1;
+        Atom_obs.Metrics.incr net.m_retransmits;
         attempt (tries + 1) (backoff *. 2.)
       end
     in
@@ -118,8 +141,19 @@ let send_tracked (net : t) ~(src : Machine.t) ~(dst : Machine.t) ~(bytes : float
       let tx = transfer_time src dst ~bytes in
       Resource.with_resource src.Machine.nic (fun () -> Engine.sleep net.engine tx);
       net.bytes_sent <- net.bytes_sent +. bytes;
+      Atom_obs.Metrics.incr net.m_sends;
+      Atom_obs.Metrics.add net.m_bytes bytes;
+      Atom_obs.Metrics.observe net.m_send_bytes bytes;
+      (* Per-edge byte accounting at latency-cluster granularity (bounded
+         cardinality); label construction only when the registry is live. *)
+      if Atom_obs.Metrics.enabled net.reg then
+        Atom_obs.Metrics.add
+          (Atom_obs.Metrics.counter net.reg
+             (Printf.sprintf "net.edge.%d->%d.bytes" src.Machine.cluster dst.Machine.cluster))
+          bytes;
       if net.loss_prob > 0. && Atom_util.Rng.float net.loss_rng < net.loss_prob then begin
         net.messages_lost <- net.messages_lost + 1;
+        Atom_obs.Metrics.incr net.m_losses;
         retry ()
       end
       else begin

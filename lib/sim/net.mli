@@ -25,6 +25,14 @@ type t = {
   mutable messages_lost : int;
   mutable messages_dropped : int;
   mutable bytes_dropped : float;
+  reg : Atom_obs.Metrics.t;
+  m_sends : Atom_obs.Metrics.counter;
+  m_bytes : Atom_obs.Metrics.counter;
+  m_retransmits : Atom_obs.Metrics.counter;
+  m_losses : Atom_obs.Metrics.counter;
+  m_drops : Atom_obs.Metrics.counter;
+  m_connections : Atom_obs.Metrics.counter;
+  m_send_bytes : Atom_obs.Metrics.histogram;
 }
 
 val default_tls_cpu : float

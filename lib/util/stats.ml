@@ -14,13 +14,20 @@ let variance xs =
 
 let stddev xs = sqrt (variance xs)
 
+(* Linear interpolation between closest ranks (the "exclusive of the
+   endpoints only when interpolating" convention used by numpy's default):
+   rank = p/100 * (n-1); p = 0 and p = 100 are exactly the min and max, and
+   a single-element array returns that element for every p. *)
 let percentile (xs : float array) (p : float) : float =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty";
+  if Float.is_nan p || p < 0. || p > 100. then
+    invalid_arg "Stats.percentile: p must be in [0, 100]";
   let sorted = Array.copy xs in
   Array.sort compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
-  let lo = int_of_float (Float.floor rank) and hi = int_of_float (Float.ceil rank) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = min (n - 1) (int_of_float (Float.ceil rank)) in
   let frac = rank -. Float.floor rank in
   (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
 
@@ -56,16 +63,26 @@ let tv_distance_uniform (counts : int array) : float =
     in
     acc /. 2.
 
+(* Bucket of [x] in a [buckets]-way equal-width partition of [lo, hi].
+   Half-open buckets [lo + i*w, lo + (i+1)*w) except the last, which is
+   closed — a value exactly at [hi] counts in the final bucket instead of
+   falling off the edge. [None] for values outside [lo, hi]. *)
+let bucket_index ~(buckets : int) ~(lo : float) ~(hi : float) (x : float) : int option =
+  if buckets <= 0 || hi <= lo then invalid_arg "Stats.bucket_index";
+  if Float.is_nan x || x < lo || x > hi then None
+  else begin
+    let b = int_of_float ((x -. lo) /. (hi -. lo) *. float_of_int buckets) in
+    Some (if b >= buckets then buckets - 1 else b)
+  end
+
 let histogram ~(buckets : int) ~(lo : float) ~(hi : float) (xs : float array) :
     int array =
   if buckets <= 0 || hi <= lo then invalid_arg "Stats.histogram";
   let h = Array.make buckets 0 in
   Array.iter
     (fun x ->
-      if x >= lo && x < hi then begin
-        let b = int_of_float ((x -. lo) /. (hi -. lo) *. float_of_int buckets) in
-        let b = if b >= buckets then buckets - 1 else b in
-        h.(b) <- h.(b) + 1
-      end)
+      match bucket_index ~buckets ~lo ~hi x with
+      | Some b -> h.(b) <- h.(b) + 1
+      | None -> ())
     xs;
   h

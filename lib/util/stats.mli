@@ -5,7 +5,11 @@ val variance : float array -> float
 val stddev : float array -> float
 
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [0..100], linear interpolation. *)
+(** [percentile xs p] with [p] in [0..100]: linear interpolation between
+    closest ranks at rank [p/100 * (n-1)]. [p = 0] is the minimum, [p =
+    100] the maximum, and a single-element array returns its element for
+    every [p].
+    @raise Invalid_argument on an empty array or [p] outside [0, 100]. *)
 
 val median : float array -> float
 
@@ -17,4 +21,11 @@ val tv_distance_uniform : int array -> float
 (** Total-variation distance between the empirical distribution given by
     [counts] and the uniform distribution on the same support. *)
 
+val bucket_index : buckets:int -> lo:float -> hi:float -> float -> int option
+(** Index of the equal-width bucket of [lo, hi] containing the value:
+    half-open buckets except the last, which includes [hi] exactly. [None]
+    outside [lo, hi] (or on NaN).
+    @raise Invalid_argument when [buckets <= 0] or [hi <= lo]. *)
+
 val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array
+(** Bucket counts per {!bucket_index}; out-of-range values are dropped. *)

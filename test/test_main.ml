@@ -22,4 +22,5 @@ let () =
       Test_anonymity.suite;
       Test_misc.suite;
       Test_faults.suite;
+      Test_obs.suite;
     ]

@@ -1,0 +1,425 @@
+(* Observability layer: metrics-registry semantics, virtual-time span
+   tracing and exclusive phase accounting, Chrome trace_event JSON
+   well-formedness, leveled logging, group-op tallies — and the end-to-end
+   guarantee the layer is built around: a distributed round's trace is a
+   pure function of (seed, fault plan), and the critical track's per-phase
+   breakdown tiles the round latency. *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module Pr = Atom_core.Protocol.Make (G)
+module Dist = Atom_core.Distributed.Make (G) (Pr)
+open Atom_obs
+
+(* ---- metrics registry ---- *)
+
+let test_counter_gauge () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "a.count" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 2.5;
+  Alcotest.(check (float 1e-9)) "counter accumulates" 4.5 (Metrics.value c);
+  (* find-or-create returns the same cell. *)
+  Metrics.incr (Metrics.counter reg "a.count");
+  Alcotest.(check (float 1e-9)) "aliased by name" 5.5 (Metrics.counter_value reg "a.count");
+  let g = Metrics.gauge reg "a.gauge" in
+  Metrics.set g 3.;
+  Metrics.set g 7.;
+  Alcotest.(check (float 1e-9)) "gauge keeps last" 7. (Metrics.gauge_value g);
+  (* Same name, different kind: refused. *)
+  (match Metrics.gauge reg "a.count" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch should raise");
+  Alcotest.(check int) "dump lists both" 2 (List.length (Metrics.dump reg));
+  Alcotest.(check (float 1e-9)) "absent counter reads 0" 0. (Metrics.counter_value reg "nope")
+
+let test_histogram_semantics () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:4 ~lo:0. ~hi:4. "h" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 1.7; 3.9; 4.0; -1.0; 9.0 ];
+  Alcotest.(check int) "count includes out-of-range" 7 (Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "sum" 19.6 (Metrics.hist_sum h);
+  Alcotest.(check (float 1e-9)) "mean" (19.6 /. 7.) (Metrics.hist_mean h);
+  Alcotest.(check (float 1e-9)) "p0 is exact min" (-1.0) (Metrics.hist_quantile h 0.);
+  Alcotest.(check (float 1e-9)) "p100 is exact max" 9.0 (Metrics.hist_quantile h 100.);
+  (* Interior quantiles are bucket estimates but never leave [min, max]. *)
+  List.iter
+    (fun p ->
+      let q = Metrics.hist_quantile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f in range" p)
+        true
+        (q >= -1.0 && q <= 9.0))
+    [ 10.; 50.; 90.; 99. ]
+
+let test_noop_registry () =
+  let reg = Metrics.noop in
+  Alcotest.(check bool) "disabled" false (Metrics.enabled reg);
+  let c = Metrics.counter reg "x" in
+  Metrics.incr c;
+  Metrics.add c 10.;
+  Metrics.observe (Metrics.histogram reg ~lo:0. ~hi:1. "h") 0.5;
+  Alcotest.(check (float 1e-9)) "records nothing" 0. (Metrics.counter_value reg "x");
+  Alcotest.(check int) "dump empty" 0 (List.length (Metrics.dump reg));
+  Alcotest.(check bool) "live registry is enabled" true (Metrics.enabled (Metrics.create ()))
+
+(* ---- tracer against a fake clock ---- *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  let now = ref 0. in
+  Trace.set_clock tr (fun () -> !now);
+  let outer = Trace.begin_span tr ~tid:1 "outer" in
+  now := 1.;
+  Trace.with_span tr ~tid:1 "inner" (fun () -> now := 3.);
+  now := 5.;
+  Trace.end_span tr outer;
+  Trace.end_span tr outer;
+  (* idempotent: emitted once *)
+  let evs = Trace.events tr in
+  Alcotest.(check int) "two spans" 2 (List.length evs);
+  (* Complete events are emitted at close, so the child precedes the
+     parent, each stamped from the bound clock. *)
+  (match evs with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "child first" "inner" inner.Trace.name;
+      Alcotest.(check (float 1e-9)) "child ts" 1. inner.Trace.ts;
+      Alcotest.(check (float 1e-9)) "child dur" 2. inner.Trace.dur;
+      Alcotest.(check string) "parent last" "outer" outer.Trace.name;
+      Alcotest.(check (float 1e-9)) "parent ts" 0. outer.Trace.ts;
+      Alcotest.(check (float 1e-9)) "parent dur" 5. outer.Trace.dur
+  | _ -> Alcotest.fail "unexpected event shape");
+  (* The noop tracer records nothing. *)
+  let sp = Trace.begin_span Trace.noop ~tid:0 "x" in
+  Trace.end_span Trace.noop sp;
+  Alcotest.(check int) "noop records nothing" 0 (Trace.event_count Trace.noop)
+
+let test_phase_tiling () =
+  let tr = Trace.create () in
+  let now = ref 0. in
+  Trace.set_clock tr (fun () -> !now);
+  let ph = Trace.Phase.start tr ~tid:3 "a" in
+  now := 2.;
+  Trace.Phase.switch ph "b";
+  Trace.Phase.switch ph "b";
+  (* same phase: no segment break *)
+  now := 3.;
+  Trace.Phase.switch ph "a";
+  Trace.Phase.switch ph "c";
+  (* zero-length "a" segment: dropped *)
+  Alcotest.(check string) "current" "c" (Trace.Phase.current ph);
+  now := 7.;
+  Trace.Phase.stop ph;
+  let evs = Trace.events tr in
+  Alcotest.(check int) "three segments" 3 (List.length evs);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check string) "phase category" Trace.Phase.cat e.Trace.cat)
+    evs;
+  (* Segments tile [0, 7]: no gaps, no overlap, in order. *)
+  let total = List.fold_left (fun acc (e : Trace.event) -> acc +. e.Trace.dur) 0. evs in
+  Alcotest.(check (float 1e-9)) "durations tile lifetime" 7. total;
+  match Trace.Breakdown.tracks evs with
+  | [ t ] ->
+      Alcotest.(check int) "track tid" 3 t.Trace.Breakdown.tid;
+      Alcotest.(check (float 1e-9)) "track total" 7. t.Trace.Breakdown.total;
+      Alcotest.(check (float 1e-9)) "track end" 7. t.Trace.Breakdown.t_end;
+      Alcotest.(check (float 1e-9)) "phase a" 2.
+        (List.assoc "a" t.Trace.Breakdown.phases);
+      Alcotest.(check (float 1e-9)) "phase c" 4.
+        (List.assoc "c" t.Trace.Breakdown.phases)
+  | _ -> Alcotest.fail "expected one track"
+
+(* ---- Chrome trace JSON ---- *)
+
+(* Minimal JSON validator: accepts exactly the grammar (objects, arrays,
+   strings with escapes, numbers, literals) and fails loudly on anything
+   malformed — enough to guarantee Perfetto can load what we emit. *)
+let validate_json (s : string) : unit =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.fail (Printf.sprintf "json: %s at byte %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if peek () = Some c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l else fail w
+  in
+  let str () =
+    expect '"';
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            pos := !pos + 2;
+            go ()
+        | c when Char.code c < 0x20 -> fail "unescaped control char"
+        | _ ->
+            incr pos;
+            go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> fail "value"
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec items () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            items ()
+        | Some ']' -> incr pos
+        | _ -> fail "array"
+      in
+      items ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            members ()
+        | Some '}' -> incr pos
+        | _ -> fail "object"
+      in
+      members ()
+  in
+  value ();
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage"
+
+let count_occurrences needle hay =
+  let rec go from acc =
+    match String.index_from_opt hay from needle.[0] with
+    | None -> acc
+    | Some i ->
+        if i + String.length needle <= String.length hay
+           && String.sub hay i (String.length needle) = needle
+        then go (i + 1) (acc + 1)
+        else go (i + 1) acc
+  in
+  go 0 0
+
+let test_chrome_json_well_formed () =
+  let tr = Trace.create () in
+  let now = ref 0. in
+  Trace.set_clock tr (fun () -> !now);
+  Trace.thread_name tr ~tid:1 "group \"one\"\nnasty";
+  (* escaping *)
+  Trace.instant tr ~cat:"fault" ~tid:1 ~args:[ ("machine", Trace.I 3) ] "fail";
+  now := 0.5;
+  Trace.with_span tr ~tid:1
+    ~args:[ ("group", Trace.I 1); ("note", Trace.S "a\\b"); ("x", Trace.F 1.5) ]
+    "iter 0"
+    (fun () -> now := 1.);
+  let json = Trace.to_chrome_json tr in
+  validate_json json;
+  Alcotest.(check int) "one json object per event" (Trace.event_count tr)
+    (count_occurrences "\"ph\":" json);
+  Alcotest.(check bool) "perfetto preamble" true
+    (String.length json > 20 && String.sub json 0 20 = "{\"displayTimeUnit\":\"")
+
+(* ---- leveled logging ---- *)
+
+let test_log_levels () =
+  let seen = ref [] in
+  Log.set_sink (fun lvl msg -> seen := (lvl, msg) :: !seen);
+  (* Off by default: nothing reaches the sink. *)
+  Log.debug "dropped %d" 1;
+  Log.error "also dropped";
+  Alcotest.(check int) "silent by default" 0 (List.length !seen);
+  Log.set_level (Some Log.Warn);
+  Log.info "below level";
+  Log.warn "kept %s" "w";
+  Log.error "kept e";
+  Log.set_level None;
+  Log.reset_sink ();
+  Alcotest.(check int) "level filter" 2 (List.length !seen);
+  Alcotest.(check bool) "message formatted" true
+    (List.exists (fun (_, m) -> m = "kept w") !seen)
+
+(* ---- group-op tallies ---- *)
+
+let test_opcount () =
+  let rng = Atom_util.Rng.create 99 in
+  let k = G.Scalar.random rng in
+  let x = G.pow_gen (G.Scalar.random rng) in
+  let s0 = Opcount.snapshot () in
+  let (_ : G.t) = G.pow_gen k in
+  let (_ : G.t) = G.pow x k in
+  let (_ : G.t) = G.pow2 x k x k in
+  let (_ : G.t) = G.msm [| (x, k); (x, k); (x, k) |] in
+  let (_ : G.t array) = G.pow_batch x [| k; k |] in
+  let (_ : G.t array) = G.pow_gen_batch [| k; k; k |] in
+  let d = Opcount.diff (Opcount.snapshot ()) s0 in
+  Alcotest.(check int) "pow_gen" 1 d.Opcount.pow_gen;
+  Alcotest.(check int) "pow" 1 d.Opcount.pow;
+  (* Composite calls count once at their own level. *)
+  Alcotest.(check int) "pow2" 1 d.Opcount.pow2;
+  Alcotest.(check int) "msm calls" 1 d.Opcount.msm_calls;
+  Alcotest.(check int) "msm terms" 3 d.Opcount.msm_terms;
+  Alcotest.(check int) "batch calls" 2 d.Opcount.batch_calls;
+  Alcotest.(check int) "batch scalars" 5 d.Opcount.batch_scalars;
+  Alcotest.(check int) "total calls" 6 (Opcount.total_calls d)
+
+(* ---- end-to-end: traced distributed round ---- *)
+
+let traced_round seed =
+  let config = Atom_core.Config.tiny ~variant:Atom_core.Config.Trap ~seed () in
+  let rng = Atom_util.Rng.create seed in
+  let net = Pr.setup rng config () in
+  let msgs = List.init 6 (fun i -> Printf.sprintf "traced-%d" i) in
+  let subs =
+    List.mapi
+      (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod config.Atom_core.Config.n_groups) m)
+      msgs
+  in
+  let obs = Ctx.create ~tracing:true () in
+  let report =
+    Dist.run ~obs ~costs:(Dist.Calibrated Atom_core.Calibration.paper) rng net subs
+  in
+  (config, net, report, obs)
+
+let test_trace_determinism () =
+  let run () =
+    let _, _, report, obs = traced_round 11 in
+    (report.Dist.latency, Trace.to_chrome_json (Ctx.tracer obs))
+  in
+  let l1, j1 = run () in
+  let l2, j2 = run () in
+  Alcotest.(check (float 0.)) "same latency" l1 l2;
+  Alcotest.(check string) "byte-identical traces" j1 j2;
+  validate_json j1
+
+let test_trace_coverage () =
+  let config, net, report, obs = traced_round 11 in
+  let evs = Trace.events (Ctx.tracer obs) in
+  let iters = net.Pr.topo.Atom_topology.Topology.iterations in
+  let n_groups = config.Atom_core.Config.n_groups in
+  let iteration_spans =
+    List.filter (fun (e : Trace.event) -> e.Trace.cat = "iteration" && e.Trace.ph = 'X') evs
+  in
+  (* Every (group, iteration) pair gets exactly one span. *)
+  Alcotest.(check int) "iteration spans" (n_groups * iters) (List.length iteration_spans);
+  let pairs =
+    List.sort_uniq compare
+      (List.map
+         (fun (e : Trace.event) ->
+           (List.assoc "group" e.Trace.args, List.assoc "iter" e.Trace.args))
+         iteration_spans)
+  in
+  Alcotest.(check int) "all pairs distinct" (n_groups * iters) (List.length pairs);
+  (* The critical track's phase durations sum to the round latency. *)
+  match Trace.Breakdown.critical evs with
+  | None -> Alcotest.fail "no phase tracks"
+  | Some crit ->
+      let cover = crit.Trace.Breakdown.total /. report.Dist.latency in
+      Alcotest.(check bool)
+        (Printf.sprintf "coverage within 1%% (got %.4f)" cover)
+        true
+        (Float.abs (cover -. 1.) <= 0.01);
+      (* The breakdown table renders and agrees with the totals line. *)
+      let table =
+        Trace.Breakdown.render ~label:"group" ~latency:report.Dist.latency evs
+      in
+      Alcotest.(check bool) "table mentions every canonical phase seen" true
+        (List.for_all
+           (fun (name, _) ->
+             let needle = name in
+             count_occurrences needle table >= 1)
+           crit.Trace.Breakdown.phases)
+
+let test_noop_obs_round () =
+  (* With the noop context the run still works; churn telemetry reads 0
+     because there is no registry to accumulate into (documented caveat). *)
+  let config = Atom_core.Config.tiny ~variant:Atom_core.Config.Trap ~seed:11 () in
+  let rng = Atom_util.Rng.create 11 in
+  let net = Pr.setup rng config () in
+  let subs =
+    [ Pr.submit rng net ~user:0 ~entry_gid:0 "noop-obs" ]
+  in
+  let report =
+    Dist.run ~obs:Ctx.noop ~costs:(Dist.Calibrated Atom_core.Calibration.paper) rng net subs
+  in
+  Alcotest.(check bool) "round completes" true (report.Dist.latency > 0.);
+  Alcotest.(check int) "no recoveries recorded" 0 report.Dist.faults.Dist.recoveries
+
+(* ---- engine binding ---- *)
+
+let test_engine_virtual_clock () =
+  let obs = Ctx.create ~tracing:true () in
+  let engine = Atom_sim.Engine.create ~obs () in
+  let tr = Ctx.tracer obs in
+  Atom_sim.Engine.spawn engine (fun () ->
+      Atom_sim.Engine.sleep engine 1.5;
+      Trace.with_span tr ~tid:0 "work" (fun () -> Atom_sim.Engine.sleep engine 2.));
+  let (_ : float) = Atom_sim.Engine.run engine in
+  (match Trace.events tr with
+  | [ e ] ->
+      Alcotest.(check (float 1e-9)) "span starts at virtual 1.5" 1.5 e.Trace.ts;
+      Alcotest.(check (float 1e-9)) "span lasts virtual 2" 2. e.Trace.dur
+  | evs -> Alcotest.fail (Printf.sprintf "expected one event, got %d" (List.length evs)));
+  Alcotest.(check bool) "engine events counted" true
+    (Metrics.counter_value (Ctx.metrics obs) "engine.events" > 0.)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "metrics counter+gauge" `Quick test_counter_gauge;
+      Alcotest.test_case "metrics histogram" `Quick test_histogram_semantics;
+      Alcotest.test_case "metrics noop" `Quick test_noop_registry;
+      Alcotest.test_case "span nesting+ordering" `Quick test_span_nesting;
+      Alcotest.test_case "phase tiling" `Quick test_phase_tiling;
+      Alcotest.test_case "chrome json well-formed" `Quick test_chrome_json_well_formed;
+      Alcotest.test_case "log levels" `Quick test_log_levels;
+      Alcotest.test_case "opcount composite semantics" `Quick test_opcount;
+      Alcotest.test_case "trace determinism" `Slow test_trace_determinism;
+      Alcotest.test_case "trace coverage + span tree" `Slow test_trace_coverage;
+      Alcotest.test_case "noop obs round" `Slow test_noop_obs_round;
+      Alcotest.test_case "engine virtual clock binding" `Quick test_engine_virtual_clock;
+    ] )

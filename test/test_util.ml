@@ -106,6 +106,47 @@ let test_stats_histogram () =
   let h = Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [| 0.5; 1.5; 1.7; 3.9; 5.0 |] in
   Alcotest.(check (array int)) "histogram" [| 1; 2; 0; 1 |] h
 
+(* Pin the interpolation convention: rank p/100*(n-1), linear between
+   closest ranks (numpy's default), and the documented edge behaviour. *)
+let test_stats_percentile_edges () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> true
+    | (_ : float) -> false
+  in
+  Alcotest.(check bool) "empty raises" true (raises (fun () -> Stats.percentile [||] 50.));
+  Alcotest.(check bool) "p < 0 raises" true (raises (fun () -> Stats.percentile [| 1. |] (-1.)));
+  Alcotest.(check bool) "p > 100 raises" true (raises (fun () -> Stats.percentile [| 1. |] 101.));
+  Alcotest.(check bool) "nan p raises" true (raises (fun () -> Stats.percentile [| 1. |] Float.nan));
+  (* Single element: every percentile is that element. *)
+  Alcotest.(check (float 1e-9)) "singleton p0" 7. (Stats.percentile [| 7. |] 0.);
+  Alcotest.(check (float 1e-9)) "singleton p50" 7. (Stats.percentile [| 7. |] 50.);
+  Alcotest.(check (float 1e-9)) "singleton p100" 7. (Stats.percentile [| 7. |] 100.);
+  (* Interpolation: [|10;20;30;40|] at p=25 → rank 0.75 → 17.5. *)
+  Alcotest.(check (float 1e-9)) "interpolated" 17.5 (Stats.percentile [| 10.; 20.; 30.; 40. |] 25.);
+  (* Unsorted input is sorted internally; input array is not mutated. *)
+  let xs = [| 40.; 10.; 30.; 20. |] in
+  Alcotest.(check (float 1e-9)) "unsorted p50" 25. (Stats.percentile xs 50.);
+  Alcotest.(check (array (float 1e-9))) "input untouched" [| 40.; 10.; 30.; 20. |] xs
+
+let test_stats_bucket_index () =
+  let bi = Stats.bucket_index ~buckets:4 ~lo:0. ~hi:4. in
+  Alcotest.(check (option int)) "lo lands in bucket 0" (Some 0) (bi 0.);
+  Alcotest.(check (option int)) "half-open boundary" (Some 1) (bi 1.);
+  (* hi is included in the last bucket (closed), not dropped. *)
+  Alcotest.(check (option int)) "hi in last bucket" (Some 3) (bi 4.);
+  Alcotest.(check (option int)) "below lo" None (bi (-0.1));
+  Alcotest.(check (option int)) "above hi" None (bi 4.1);
+  Alcotest.(check (option int)) "nan" None (bi Float.nan);
+  (match Stats.bucket_index ~buckets:0 ~lo:0. ~hi:1. 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "buckets=0 should raise");
+  (match Stats.bucket_index ~buckets:4 ~lo:1. ~hi:1. 1. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "hi <= lo should raise");
+  (* histogram keeps values exactly at hi. *)
+  Alcotest.(check (array int)) "hi kept" [| 0; 0; 0; 1 |]
+    (Stats.histogram ~buckets:4 ~lo:0. ~hi:4. [| 4.0 |])
+
 let qcheck_hex_roundtrip =
   QCheck2.Test.make ~name:"hex roundtrip (random strings)" ~count:500
     QCheck2.Gen.(string_size (int_bound 64))
@@ -128,5 +169,7 @@ let suite =
       Alcotest.test_case "stats basics" `Quick test_stats_basic;
       Alcotest.test_case "stats tv distance" `Quick test_stats_tv_uniform;
       Alcotest.test_case "stats histogram" `Quick test_stats_histogram;
+      Alcotest.test_case "stats percentile edges" `Quick test_stats_percentile_edges;
+      Alcotest.test_case "stats bucket_index edges" `Quick test_stats_bucket_index;
       q qcheck_hex_roundtrip;
     ] )
