@@ -516,9 +516,85 @@ let ablation_loadbalance () =
 
 (* ---- main ---- *)
 
+(* ---- Wire codec throughput ----
+
+   Encode/decode bandwidth of the binary wire format on the transport PR's
+   hot payloads: a 1,024-ciphertext Batch message and a shuffle proof over
+   the same batch. Decode is the expensive direction — every group element
+   is validated (subgroup membership) on the way in, which is the price of
+   total decoders; the bench keeps that cost visible. *)
+
+let wire_bench () =
+  header "Wire codec: encode/decode throughput (zp-test group, 1,024-unit batch)";
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module El = Atom_elgamal.Elgamal.Make (G) in
+  let module Shuf = Atom_zkp.Shuffle_proof.Make (G) (El) in
+  let module C = Atom_wire.Codec.Make (G) (El) in
+  let rng = Atom_util.Rng.create 0xbe7c in
+  let kp = El.keygen rng in
+  let units =
+    Array.init 1024 (fun _ -> fst (El.enc_vec rng kp.El.pk [| G.random rng; G.random rng |]))
+  in
+  let msg =
+    C.Batch
+      { gid = 0; iter = 1; src_gid = 1; input = units; output = units;
+        proofs = Array.make 1024 "" }
+  in
+  let encoded = C.encode msg in
+  let shuffled, witness = Option.get (El.shuffle_vec rng kp.El.pk units) in
+  let spi = Shuf.prove rng ~pk:kp.El.pk ~context:"w" ~input:units ~output:shuffled ~witness in
+  let sbytes = Shuf.to_bytes spi in
+  let open Bechamel in
+  let t name f = Test.make ~name (Staged.stage f) in
+  let est =
+    bechamel_estimates
+      [
+        t "batch encode" (fun () -> ignore (C.encode msg));
+        t "batch decode" (fun () -> ignore (C.decode encoded));
+        t "shufproof encode" (fun () -> ignore (Shuf.to_bytes spi));
+        t "shufproof decode" (fun () -> ignore (Shuf.of_bytes sbytes));
+      ]
+  in
+  let find name = try List.assoc name est with Not_found -> nan in
+  let rows =
+    [
+      ("batch encode", String.length encoded, find "batch encode");
+      ("batch decode", String.length encoded, find "batch decode");
+      ("shufproof encode", String.length sbytes, find "shufproof encode");
+      ("shufproof decode", String.length sbytes, find "shufproof decode");
+    ]
+  in
+  Printf.printf "%-20s %12s %14s %12s\n" "operation" "bytes" "seconds" "MB/s";
+  List.iter
+    (fun (name, bytes, s) ->
+      Printf.printf "%-20s %12d %14.3e %12.1f\n" name bytes s (float_of_int bytes /. s /. 1e6))
+    rows;
+  print_newline ();
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"schema\": \"atom-bench-wire/1\",\n  \"group\": \"zp-test\",\n";
+    Buffer.add_string buf "  \"batch_units\": 1024,\n  \"items\": [\n";
+    let n = List.length rows in
+    List.iteri
+      (fun i (name, bytes, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": %S, \"bytes\": %d, \"seconds\": %.6e, \"mb_per_s\": %.2f}%s\n" name
+             bytes s
+             (float_of_int bytes /. s /. 1e6)
+             (if i = n - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_wire.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_wire.json\n\n"
+  end
+
 let experiments : (string * string * (unit -> unit)) list =
   [
     ("table3", "crypto primitive latencies (bechamel)", table3);
+    ("wire", "wire codec encode/decode throughput", wire_bench);
     ("table4", "group setup latency (DKG)", table4);
     ("fig5", "mixing iteration vs #messages", fig5);
     ("fig6", "mixing iteration vs group size", fig6);

@@ -82,12 +82,15 @@ let run_round variant users servers groups group_size h iterations msg_bytes see
     Printf.printf "injected fail-stop: server %d (group 0 member %d)\n" victim i
   done;
   let msgs = List.init users (fun i -> Printf.sprintf "anonymous message #%d" i) in
+  let t1 = Unix.gettimeofday () in
   let subs =
     List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod groups) m) msgs
   in
-  let t1 = Unix.gettimeofday () in
+  let t2 = Unix.gettimeofday () in
+  Printf.printf "submissions: %d users encrypted and proven [%.2fs]\n" users (t2 -. t1);
   let outcome = Pr.run rng net subs in
-  Printf.printf "round executed in %.2fs\n" (Unix.gettimeofday () -. t1);
+  let t3 = Unix.gettimeofday () in
+  Printf.printf "round executed in %.2fs (%.2fs wall total)\n" (t3 -. t2) (t3 -. t0);
   (match outcome.Pr.aborted with
   | None ->
       Printf.printf "delivered %d/%d messages:\n" (List.length outcome.Pr.delivered) users;
@@ -326,6 +329,216 @@ let trace_cmd =
       const run_trace $ scenario $ users $ seed $ kill_group $ kill_fraction $ fail_at $ loss
       $ out $ metrics_flag)
 
+(* ---- cluster ---- *)
+
+let variant_name = function
+  | Config.Basic -> "basic"
+  | Config.Nizk -> "nizk"
+  | Config.Trap -> "trap"
+
+(* Spawn N atom_node processes on loopback, drive a full round over real
+   TCP, and check the published plaintexts against the single-process
+   reference run for the same seed. *)
+let run_cluster variant users servers groups group_size h iterations msg_bytes seed node_bin
+    timeout metrics metrics_out log_dir =
+  let ops0 = opcounts_before () in
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
+  let module Tcp = Atom_rpc.Tcp_transport in
+  let module Ctrl = Atom_wire.Control in
+  let config =
+    {
+      Config.variant;
+      n_servers = servers;
+      n_groups = groups;
+      group_size;
+      h;
+      f = 0.2;
+      topology = Config.Square iterations;
+      msg_bytes;
+      seed;
+      mailboxes = 64;
+      dummy_mu = 2.;
+      dummy_b = 1.;
+    }
+  in
+  Config.validate config;
+  let obs =
+    if metrics || metrics_out <> None then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop
+  in
+  let coord = servers in
+  let t = Tcp.create ~obs ~node_id:coord () in
+  let port = Tcp.port t in
+  let node_bin =
+    match node_bin with
+    | Some p -> p
+    | None ->
+        (* Sibling of this binary; dune names it atom_node.exe, an
+           installed copy plain atom_node. *)
+        let dir = Filename.dirname Sys.executable_name in
+        let exe = Filename.concat dir "atom_node.exe" in
+        if Sys.file_exists exe then exe else Filename.concat dir "atom_node"
+  in
+  let t0 = Unix.gettimeofday () in
+  let poll = 0.2 in
+  (match log_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  let pids =
+    Array.init servers (fun i ->
+        let args =
+          [|
+            node_bin; "--node-id"; string_of_int i;
+            "--coordinator-port"; string_of_int port;
+            "--variant"; variant_name variant;
+            "--servers"; string_of_int servers;
+            "--groups"; string_of_int groups;
+            "--group-size"; string_of_int group_size;
+            "--honest"; string_of_int h;
+            "--iterations"; string_of_int iterations;
+            "--msg-bytes"; string_of_int msg_bytes;
+            "--seed"; string_of_int seed;
+            "--recv-timeout"; Printf.sprintf "%g" poll;
+            "--max-idle"; string_of_int (max 1 (int_of_float (timeout /. poll)));
+          |]
+        in
+        match log_dir with
+        | None -> Unix.create_process node_bin args Unix.stdin Unix.stdout Unix.stderr
+        | Some dir ->
+            let log =
+              Unix.openfile
+                (Filename.concat dir (Printf.sprintf "node-%d.log" i))
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+            in
+            let pid =
+              Unix.create_process node_bin (Array.append args [| "--verbose" |]) Unix.stdin log
+                log
+            in
+            Unix.close log;
+            pid)
+  in
+  let reap ~kill =
+    let deadline = Unix.gettimeofday () +. 5. in
+    let remaining = ref (Array.to_list pids) in
+    while !remaining <> [] && Unix.gettimeofday () < deadline do
+      remaining :=
+        List.filter
+          (fun pid -> match Unix.waitpid [ Unix.WNOHANG ] pid with 0, _ -> true | _ -> false)
+          !remaining;
+      if !remaining <> [] && not kill then Unix.sleepf 0.05
+      else if !remaining <> [] then begin
+        List.iter (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()) !remaining
+      end
+    done;
+    List.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      !remaining
+  in
+  let die msg =
+    Printf.printf "cluster FAILED: %s\n" msg;
+    reap ~kill:true;
+    Tcp.close t;
+    exit 1
+  in
+  (* Bring-up: every node joins with its listen port, learns the fleet,
+     and acks — only then does protocol traffic start. *)
+  let deadline = Unix.gettimeofday () +. timeout in
+  let ports = Hashtbl.create servers in
+  while Hashtbl.length ports < servers && Unix.gettimeofday () < deadline do
+    match Tcp.recv t ~timeout:0.5 with
+    | Some (_, frame) -> (
+        match Ctrl.decode frame with
+        | Some (Ctrl.Join { node_id; port }) ->
+            Hashtbl.replace ports node_id port;
+            Tcp.add_peer t ~node_id ~host:"127.0.0.1" ~port
+        | _ -> ())
+    | None -> ()
+  done;
+  if Hashtbl.length ports < servers then
+    die (Printf.sprintf "%d/%d nodes joined before timeout" (Hashtbl.length ports) servers);
+  let peers = Array.init servers (fun i -> (i, Hashtbl.find ports i)) in
+  for i = 0 to servers - 1 do
+    ignore (Tcp.send t ~dst:i (Ctrl.encode (Ctrl.Peers { peers })))
+  done;
+  let acked = ref 0 in
+  while !acked < servers && Unix.gettimeofday () < deadline do
+    match Tcp.recv t ~timeout:0.5 with
+    | Some (_, frame) -> (
+        match Ctrl.decode frame with Some (Ctrl.Ack _) -> incr acked | _ -> ())
+    | None -> ()
+  done;
+  if !acked < servers then die (Printf.sprintf "%d/%d nodes acked the peer list" !acked servers);
+  Printf.printf "cluster: %d node processes on loopback (coordinator port %d) [%.2fs]\n" servers
+    port
+    (Unix.gettimeofday () -. t0);
+  let result =
+    Node.run_coordinator t ~config ~users ~recv_timeout:0.25
+      ~max_idle:(max 1 (int_of_float (timeout /. 0.25)))
+      ()
+  in
+  reap ~kill:false;
+  Tcp.close t;
+  Printf.printf "cluster round: %d/%d messages delivered over TCP in %.2fs wall\n"
+    (List.length result.Node.delivered) users
+    (Unix.gettimeofday () -. t0);
+  (match result.Node.cluster_abort with
+  | Some d -> Printf.printf "cluster ABORTED: %s\n" d
+  | None -> ());
+  if result.Node.rejected_submissions <> [] then
+    Printf.printf "rejected submissions: %s\n"
+      (String.concat ", " (List.map string_of_int result.Node.rejected_submissions));
+  List.iter (fun m -> Printf.printf "  %s\n" m) result.Node.delivered;
+  print_endline
+    (if result.Node.matched then
+       "MATCH: cluster output equals the single-process reference"
+     else "MISMATCH: cluster output differs from the single-process reference");
+  (match metrics_out with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Format.asprintf "%a" Atom_obs.Metrics.pp (Atom_obs.Ctx.metrics obs)));
+      Printf.printf "wrote %s\n" path
+  | None -> ());
+  if metrics then begin
+    print_registry obs;
+    print_opcounts ops0
+  end;
+  if not result.Node.matched then exit 1
+
+let cluster_cmd =
+  let users = Arg.(value & opt int 16 & info [ "users" ] ~doc:"Number of users.") in
+  let variant =
+    Arg.(value & opt variant_conv Config.Nizk & info [ "variant" ] ~doc:"basic|nizk|trap.")
+  in
+  let servers = Arg.(value & opt int 8 & info [ "servers" ] ~doc:"Node processes to spawn.") in
+  let groups = Arg.(value & opt int 4 & info [ "groups" ] ~doc:"Number of groups.") in
+  let group_size = Arg.(value & opt int 2 & info [ "group-size" ] ~doc:"Servers per group (k).") in
+  let h = Arg.(value & opt int 1 & info [ "honest" ] ~doc:"Required honest servers per group (h).") in
+  let iterations = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Mixing iterations (T).") in
+  let msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let node_bin =
+    Arg.(value & opt (some string) None & info [ "node-bin" ] ~doc:"Path to the atom_node binary.")
+  in
+  let timeout =
+    Arg.(value & opt float 120. & info [ "timeout" ] ~doc:"Per-phase timeout budget (s).")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc:"Write the coordinator metrics dump here.")
+  in
+  let log_dir =
+    Arg.(value & opt (some string) None & info [ "log-dir" ] ~doc:"Per-node verbose logs go here.")
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Spawn N atom_node processes on loopback, run a round over real TCP, and check \
+             the output against the single-process reference.")
+    Term.(
+      const run_cluster $ variant $ users $ servers $ groups $ group_size $ h $ iterations
+      $ msg_bytes $ seed $ node_bin $ timeout $ metrics_flag $ metrics_out $ log_dir)
+
 (* ---- sizing ---- *)
 
 let run_sizing f groups bits h_max =
@@ -364,4 +577,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ round_cmd; simulate_cmd; distributed_cmd; trace_cmd; sizing_cmd; calibrate_cmd ]))
+          [
+            round_cmd; simulate_cmd; distributed_cmd; trace_cmd; cluster_cmd; sizing_cmd;
+            calibrate_cmd;
+          ]))

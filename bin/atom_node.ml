@@ -1,0 +1,98 @@
+(* atom_node: one Atom server as a standalone OS process.
+
+   Spawned by `atom_cli cluster` (or by hand): connects to the
+   coordinator over loopback TCP, announces its listen port with a Join
+   frame, registers the fleet from the coordinator's Peers frame, and
+   then runs the event-driven group pipeline ([Atom_rpc.Node]) until the
+   coordinator shuts the round down.
+
+   Every node derives the full network key material from --seed, so the
+   only bytes on the wire are the protocol's own framed messages. *)
+
+open Cmdliner
+open Atom_core
+
+let variant_conv =
+  let parse = function
+    | "basic" -> Ok Config.Basic
+    | "nizk" -> Ok Config.Nizk
+    | "trap" -> Ok Config.Trap
+    | s -> Error (`Msg (Printf.sprintf "unknown variant %S (basic|nizk|trap)" s))
+  in
+  let print fmt v =
+    Format.pp_print_string fmt
+      (match v with Config.Basic -> "basic" | Config.Nizk -> "nizk" | Config.Trap -> "trap")
+  in
+  Arg.conv (parse, print)
+
+let run node_id coord_port host variant servers groups group_size h iterations msg_bytes seed
+    recv_timeout max_idle verbose =
+  if verbose then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
+  let config =
+    {
+      Config.variant;
+      n_servers = servers;
+      n_groups = groups;
+      group_size;
+      h;
+      f = 0.2;
+      topology = Config.Square iterations;
+      msg_bytes;
+      seed;
+      mailboxes = 64;
+      dummy_mu = 2.;
+      dummy_b = 1.;
+    }
+  in
+  Config.validate config;
+  let coord = servers in
+  let t = Atom_rpc.Tcp_transport.create ~host ~node_id () in
+  Atom_rpc.Tcp_transport.add_peer t ~node_id:coord ~host ~port:coord_port;
+  if
+    not
+      (Atom_rpc.Tcp_transport.send t ~dst:coord
+         (Atom_wire.Control.encode
+            (Atom_wire.Control.Join { node_id; port = Atom_rpc.Tcp_transport.port t })))
+  then begin
+    prerr_endline "atom_node: cannot reach coordinator";
+    exit 1
+  end;
+  Node.run_node t ~config ~node_id ~coord ~recv_timeout ~max_idle
+    ~on_peers:(fun peers ->
+      Array.iter
+        (fun (id, port) ->
+          if id <> node_id then Atom_rpc.Tcp_transport.add_peer t ~node_id:id ~host ~port)
+        peers)
+    ();
+  Atom_rpc.Tcp_transport.close t
+
+let cmd =
+  let node_id = Arg.(required & opt (some int) None & info [ "node-id" ] ~doc:"This server's id.") in
+  let coord_port =
+    Arg.(required & opt (some int) None & info [ "coordinator-port" ] ~doc:"Coordinator TCP port.")
+  in
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Bind/connect address.") in
+  let variant = Arg.(value & opt variant_conv Config.Nizk & info [ "variant" ] ~doc:"basic|nizk|trap.") in
+  let servers = Arg.(value & opt int 8 & info [ "servers" ] ~doc:"Number of servers.") in
+  let groups = Arg.(value & opt int 4 & info [ "groups" ] ~doc:"Number of groups.") in
+  let group_size = Arg.(value & opt int 2 & info [ "group-size" ] ~doc:"Servers per group (k).") in
+  let h = Arg.(value & opt int 1 & info [ "honest" ] ~doc:"Required honest servers per group (h).") in
+  let iterations = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Mixing iterations (T).") in
+  let msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let recv_timeout =
+    Arg.(value & opt float 0.5 & info [ "recv-timeout" ] ~doc:"Event-loop poll interval (s).")
+  in
+  let max_idle =
+    Arg.(value & opt int 240 & info [ "max-idle" ] ~doc:"Exit after this many idle polls.")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log node activity to stderr.") in
+  Cmd.v
+    (Cmd.info "atom_node" ~doc:"One Atom server process (spawned by atom_cli cluster).")
+    Term.(
+      const run $ node_id $ coord_port $ host $ variant $ servers $ groups $ group_size $ h
+      $ iterations $ msg_bytes $ seed $ recv_timeout $ max_idle $ verbose)
+
+let () = exit (Cmd.eval cmd)

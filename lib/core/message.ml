@@ -29,13 +29,27 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
     Bytes.blit_string payload 0 b header_bytes len;
     Bytes.unsafe_to_string b
 
+  (* Strict inverse of [frame]: unknown tags and any non-zero byte in the
+     padding region are rejected, not ignored — otherwise a malicious
+     server could smuggle a covert channel through the padding (or mark
+     units via the tag byte), breaking §4.4's trap/message
+     indistinguishability. *)
   let unframe (framed : string) : (char * string) option =
     if String.length framed < header_bytes then None
     else begin
       let tag = framed.[0] in
-      let len = (Char.code framed.[1] lsl 8) lor Char.code framed.[2] in
-      if header_bytes + len > String.length framed then None
-      else Some (tag, String.sub framed header_bytes len)
+      if tag <> tag_message && tag <> tag_trap then None
+      else begin
+        let len = (Char.code framed.[1] lsl 8) lor Char.code framed.[2] in
+        if header_bytes + len > String.length framed then None
+        else begin
+          let padding_clean = ref true in
+          for i = header_bytes + len to String.length framed - 1 do
+            if framed.[i] <> '\000' then padding_clean := false
+          done;
+          if !padding_clean then Some (tag, String.sub framed header_bytes len) else None
+        end
+      end
     end
 
   (* Embed a framed unit into [width] group elements. *)

@@ -725,6 +725,30 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
         if !pos <> String.length b then raise Malformed;
         Some { user; entry_gid; units; commitment }
       with Malformed -> None
+
+    (* Atom_wire framing: one entry group's submissions as a checksummed
+       [Control.Submissions] frame — what a coordinator ships to the
+       group's head over a real transport. The decoder is all-or-nothing;
+       receivers that want per-submission rejection decode the blobs
+       individually with [submission_of_bytes]. *)
+    let submissions_to_frame ~(gid : int) (subs : submission list) : string =
+      Atom_wire.Control.encode
+        (Atom_wire.Control.Submissions
+           { gid; blobs = Array.of_list (List.map submission_to_bytes subs) })
+
+    let submissions_of_frame (frame : string) : (int * submission list) option =
+      match Atom_wire.Control.decode frame with
+      | Some (Atom_wire.Control.Submissions { gid; blobs }) ->
+          let subs =
+            Array.fold_right
+              (fun b acc ->
+                match (acc, submission_of_bytes b) with
+                | Some acc, Some s -> Some (s :: acc)
+                | _ -> None)
+              blobs (Some [])
+          in
+          Option.map (fun subs -> (gid, subs)) subs
+      | _ -> None
   end
 
   (* ---- Session: multi-round operation (4.6 policy) ----

@@ -18,6 +18,9 @@ type ctx = {
   r2 : int array; (* R^2 mod m, for entering Montgomery form *)
   one_m : int array; (* R mod m, i.e. 1 in Montgomery form *)
   one_plain : int array; (* plain 1, the fixed second operand of to_nat *)
+  (* The scratch accumulators make a ctx single-threaded: concurrent calls
+     through one ctx corrupt each other's limbs. Give each thread (or
+     process) its own ctx — group instances are cheap to create. *)
   scratch : int array; (* k+2 CIOS accumulator, reused across mont_mul calls *)
   scratch_sqr : int array; (* 2k+1 accumulator for mont_sqr *)
   mutable pow_cache : (el * el array) list; (* MRU base -> window table *)

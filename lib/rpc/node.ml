@@ -1,0 +1,638 @@
+(* The multi-process node runtime: Atom's per-group pipeline, split across
+   real processes and driven by wire messages.
+
+   [Protocol.process_group] executes a group's iteration as one in-memory
+   loop over the quorum. Here the same choreography runs as messages
+   between the actual member processes, carrying all per-step state in the
+   message (members are stateless between messages; only the group head
+   accumulates):
+
+     head (pos 1)        shuffles, sends Shuffle_step to pos 2
+     pos p               verifies pos p-1's ShufProof, shuffles, forwards
+     tail (pos q)        sends its step back to the head (step = q+1)
+     head                verifies the tail, divides into β batches,
+                         runs its ReEnc step, sends Reenc_step to pos 2
+     pos p               verifies pos p-1's ReEnc proofs, steps, forwards
+     tail                sends Batch to the next-layer head — which
+                         verifies the tail's proofs (Algorithm 2 step 3b)
+                         — or Exit_batch to the coordinator at the last
+                         layer
+
+   In the single-process engine every member verifies every proof; here
+   each proof is checked by its successor in the pipeline (and the final
+   step by the receiving group / coordinator), which preserves the
+   anytrust argument as long as some honest member sits downstream of
+   every dishonest one — the h ≥ 1 honest member per group is somewhere in
+   the chain, and an abort anywhere stops the round.
+
+   Every process — the N nodes and the coordinator — derives identical key
+   material by running [Protocol.setup] over the same seeded RNG, so no
+   secret ever crosses the wire and cross-process runs are comparable to
+   the single-process reference round. A production deployment would run
+   the interactive DKG here; the deterministic derivation stands in for it
+   so the harness can check end-to-end correctness (EXPERIMENTS.md recipe:
+   published plaintexts must equal the single-process run's, as sets). *)
+
+open Atom_core
+
+module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
+  module Pr = Protocol.Make (G)
+  module C = Atom_wire.Codec.Make (G) (Pr.El)
+  module Ctrl = Atom_wire.Control
+  module Frame = Atom_wire.Frame
+
+  (* ---- shared derivations ---- *)
+
+  let quorum_positions (net : Pr.network) : int list =
+    List.init (Config.quorum net.Pr.config) (fun i -> i + 1)
+
+  let iter_ctx (net : Pr.network) (gid : int) (iter : int) : string =
+    Printf.sprintf "%s:iter=%d" (Pr.proof_context net gid) iter
+
+  (* Effective public key of the member at Shamir position [pos]: its share
+     commitment raised to the Lagrange coefficient for the no-churn quorum. *)
+  let eff_pk (net : Pr.network) (gid : int) (pos : int) : G.t =
+    let g = net.Pr.groups.(gid) in
+    let coeff = Pr.Sh.lagrange_at_zero ~xs:(quorum_positions net) ~i:pos in
+    G.pow (Pr.Dkg.share_pk g.Pr.keys pos) coeff
+
+  let share_and_coeff (net : Pr.network) (gid : int) (pos : int) :
+      G.Scalar.t * G.Scalar.t =
+    let g = net.Pr.groups.(gid) in
+    ( g.Pr.keys.Pr.Dkg.shares.(pos - 1).Pr.Sh.value,
+      Pr.Sh.lagrange_at_zero ~xs:(quorum_positions net) ~i:pos )
+
+  (* Member server id at quorum position [pos] (1-based). *)
+  let member_at (net : Pr.network) (gid : int) (pos : int) : int =
+    net.Pr.groups.(gid).Pr.members.(pos - 1)
+
+  let neighbors (net : Pr.network) ~(iter : int) ~(gid : int) : int array =
+    net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:gid
+
+  let iterations (net : Pr.network) : int =
+    net.Pr.topo.Atom_topology.Topology.iterations
+
+  (* Batches arriving at [gid]'s layer [iter]: the fan-out of layer iter−1
+     toward it. Derived from the topology so any wiring works, not just
+     the square's all-to-all. *)
+  let in_degree (net : Pr.network) (gid : int) (iter : int) : int =
+    let n = ref 0 in
+    for src = 0 to net.Pr.config.Config.n_groups - 1 do
+      Array.iter (fun d -> if d = gid then incr n) (neighbors net ~iter:(iter - 1) ~gid:src)
+    done;
+    !n
+
+  let expected_exits (net : Pr.network) : int =
+    let last = iterations net - 1 in
+    let n = ref 0 in
+    for gid = 0 to net.Pr.config.Config.n_groups - 1 do
+      n := !n + Array.length (neighbors net ~iter:last ~gid)
+    done;
+    !n
+
+  (* Per-unit ReEnc proof vectors travel as one opaque blob per unit. *)
+  let reenc_proofs_to_blob (pis : Pr.P.Reenc_proof.t array) : string =
+    let b = Buffer.create 256 in
+    Frame.W.u16 b (Array.length pis);
+    Array.iter (fun pi -> Frame.W.str32 b (Pr.P.Reenc_proof.to_bytes pi)) pis;
+    Buffer.contents b
+
+  let reenc_proofs_of_blob (s : string) : Pr.P.Reenc_proof.t array option =
+    Frame.R.decode s (fun r ->
+        let n = Frame.R.u16 r in
+        Array.init n (fun _ ->
+            match Pr.P.Reenc_proof.of_bytes (Frame.R.str32 ~max:65536 r) with
+            | Some pi -> pi
+            | None -> Frame.R.fail ()))
+
+  (* Verify one proof-carrying hop: [proofs] has one blob per unit proving
+     input.(u) → output.(u) under [eff_pk]/[next_pk]. *)
+  let verify_hop ~(eff_pk : G.t) ~(next_pk : G.t option) ~(context : string)
+      ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proofs : string array) : bool =
+    Array.length input = Array.length output
+    && Array.length input = Array.length proofs
+    && begin
+         let ok = ref true in
+         Array.iteri
+           (fun u blob ->
+             if !ok then
+               match reenc_proofs_of_blob blob with
+               | None -> ok := false
+               | Some pis ->
+                   if
+                     not
+                       (Pr.P.Reenc_proof.verify_vec ~eff_pk ~next_pk ~context
+                          ~input:input.(u) ~output:output.(u) pis)
+                   then ok := false)
+           proofs;
+         !ok
+       end
+
+  (* ---- the node ---- *)
+
+  type head_input = { mutable parts : Pr.El.vec array list; mutable got : int }
+
+  type node = {
+    t : T.t;
+    net : Pr.network;
+    rng : Atom_util.Rng.t; (* node-local randomness; never needs to agree *)
+    node_id : int;
+    coord : int;
+    (* quorum positions this server holds, per group: (gid, pos) *)
+    roles : (int * int) list;
+    (* head-only: accumulating inputs keyed (gid, iter) *)
+    inputs : (int * int, head_input) Hashtbl.t;
+    entry_units : (int, Pr.El.vec array) Hashtbl.t; (* gid -> verified units *)
+    entry_started : (int, unit) Hashtbl.t;
+    seen : (string, int) Hashtbl.t; (* duplicate-submission check, per head *)
+    mutable barrier : bool;
+    mutable stop : bool;
+    m_verify_failures : Atom_obs.Metrics.counter;
+    m_steps : Atom_obs.Metrics.counter;
+  }
+
+  let roles_of (net : Pr.network) (node_id : int) : (int * int) list =
+    let quorum = Config.quorum net.Pr.config in
+    let out = ref [] in
+    Array.iter
+      (fun g ->
+        Array.iteri
+          (fun i sid -> if sid = node_id && i < quorum then out := (g.Pr.gid, i + 1) :: !out)
+          g.Pr.members)
+      net.Pr.groups;
+    List.rev !out
+
+  let abort (n : node) ~(code : int) (detail : string) : unit =
+    Atom_obs.Metrics.incr n.m_verify_failures;
+    Atom_obs.Log.warn "node %d: abort (%s)" n.node_id detail;
+    ignore (T.send n.t ~dst:n.coord (Ctrl.encode (Ctrl.Abort { code; detail })));
+    n.stop <- true
+
+  let send_to (n : node) ~(dst : int) (frame : string) : unit =
+    if not (T.send n.t ~dst frame) then
+      abort n ~code:Ctrl.abort_internal
+        (Printf.sprintf "send to node %d failed after retries" dst)
+
+  let nizk (n : node) : bool = n.net.Pr.config.Config.variant = Config.Nizk
+
+  (* Step 2+3 of the group iteration, run by the head once the collective
+     shuffle is done: divide into β batches and launch each decrypt-and-
+     reencrypt chain with this head's own step. *)
+  let rec divide_and_reenc (n : node) (gid : int) (iter : int) (units : Pr.El.vec array) : unit =
+    let net = n.net in
+    let quorum = Config.quorum net.Pr.config in
+    let nbrs = neighbors net ~iter ~gid in
+    let beta = Array.length nbrs in
+    let last_iter = iter = iterations net - 1 in
+    let ctx = iter_ctx net gid iter in
+    let share, coeff = share_and_coeff net gid 1 in
+    let batches = Array.make beta [] in
+    Array.iteri (fun i u -> batches.(i mod beta) <- u :: batches.(i mod beta)) units;
+    let batches = Array.map (fun l -> Array.of_list (List.rev l)) batches in
+    Array.iteri
+      (fun bi batch ->
+        if not n.stop then begin
+          let next_pk = if last_iter then None else Some (Pr.group_pk net nbrs.(bi)) in
+          let output, proofs =
+            if nizk n then begin
+              let stepped =
+                Array.map
+                  (fun v ->
+                    Pr.P.Reenc_proof.reenc_vec_with_proof n.rng ~share ~coeff ~next_pk
+                      ~context:ctx v)
+                  batch
+              in
+              (Array.map fst stepped, Array.map (fun (_, pis) -> reenc_proofs_to_blob pis) stepped)
+            end
+            else
+              ( Array.map (fun v -> fst (Pr.El.reenc_vec n.rng ~share ~coeff ~next_pk v)) batch,
+                Array.map (fun _ -> "") batch )
+          in
+          Atom_obs.Metrics.incr n.m_steps;
+          if quorum > 1 then
+            send_to n
+              ~dst:(member_at n.net gid 2)
+              (C.encode (C.Reenc_step { gid; iter; batch_idx = bi; step = 2; input = batch; output; proofs }))
+          else
+            (* Single-member quorum: the head is also the tail. *)
+            finish_batch n gid iter bi ~input:batch ~output ~proofs
+        end)
+      batches
+
+  (* Tail hand-off: forward the proven batch to the next layer's head, or
+     to the coordinator at the exit layer. The receiver re-verifies the
+     proofs before accepting (Algorithm 2, step 3b). *)
+  and finish_batch (n : node) (gid : int) (iter : int) (batch_idx : int)
+      ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (* pre-clear_y *)
+      ~(proofs : string array) : unit =
+    let net = n.net in
+    let last_iter = iter = iterations net - 1 in
+    if last_iter then
+      send_to n ~dst:n.coord
+        (C.encode (C.Exit_batch { gid; batch_idx; input; output; proofs }))
+    else begin
+      let dst_gid = (neighbors net ~iter ~gid).(batch_idx) in
+      send_to n
+        ~dst:(member_at net dst_gid 1)
+        (C.encode
+           (C.Batch { gid = dst_gid; iter = iter + 1; src_gid = gid; input; output; proofs }))
+    end
+
+  (* Head: start the collective shuffle for (gid, iter) over [units]. *)
+  let begin_iter (n : node) (gid : int) (iter : int) (units : Pr.El.vec array) : unit =
+    let net = n.net in
+    let quorum = Config.quorum net.Pr.config in
+    if Array.length units = 0 then
+      (* Nothing to mix: skip the shuffle pass, keep the (empty) batch flow
+         so downstream in-degree counting stays uniform. *)
+      divide_and_reenc n gid iter units
+    else begin
+      match Pr.El.shuffle_vec n.rng (Pr.group_pk net gid) units with
+      | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
+      | Some (shuffled, witness) ->
+          Atom_obs.Metrics.incr n.m_steps;
+          if quorum = 1 then divide_and_reenc n gid iter shuffled
+          else begin
+            let proof =
+              if nizk n then
+                Pr.Shuf.to_bytes
+                  (Pr.Shuf.prove n.rng ~pk:(Pr.group_pk net gid) ~context:(iter_ctx net gid iter)
+                     ~input:units ~output:shuffled ~witness)
+              else ""
+            in
+            send_to n
+              ~dst:(member_at net gid 2)
+              (C.encode (C.Shuffle_step { gid; iter; step = 2; input = units; output = shuffled; proof }))
+          end
+    end
+
+  (* Head: record one input batch for (gid, iter); fire when complete. *)
+  let accept_input (n : node) (gid : int) (iter : int) (units : Pr.El.vec array) : unit =
+    let key = (gid, iter) in
+    let st =
+      match Hashtbl.find_opt n.inputs key with
+      | Some st -> st
+      | None ->
+          let st = { parts = []; got = 0 } in
+          Hashtbl.add n.inputs key st;
+          st
+    in
+    st.parts <- units :: st.parts;
+    st.got <- st.got + 1;
+    if st.got = in_degree n.net gid iter then begin
+      Hashtbl.remove n.inputs key;
+      begin_iter n gid iter (Array.concat (List.rev st.parts))
+    end
+
+  let maybe_start_entry (n : node) (gid : int) : unit =
+    if n.barrier && not (Hashtbl.mem n.entry_started gid) then
+      match Hashtbl.find_opt n.entry_units gid with
+      | Some units ->
+          Hashtbl.add n.entry_started gid ();
+          begin_iter n gid 0 units
+      | None -> ()
+
+  (* ---- message handlers ---- *)
+
+  let on_submissions (n : node) (gid : int) (blobs : string array) : unit =
+    (* Entry charge: decode each submission, verify its EncProofs and the
+       duplicate-ciphertext check, keep accepted units in arrival order.
+       (The single-process engine shares one duplicate table across entry
+       groups; per-head tables are equivalent for well-formed traffic
+       since a submission targets exactly one entry group.) *)
+    let units = ref [] in
+    Array.iter
+      (fun blob ->
+        match Pr.Wire.submission_of_bytes blob with
+        | None -> Atom_obs.Metrics.incr n.m_verify_failures
+        | Some s ->
+            if s.Pr.entry_gid = gid && Pr.verify_submission n.net n.seen s then
+              Array.iter (fun u -> units := u.Pr.vec :: !units) s.Pr.units
+            else Atom_obs.Metrics.incr n.m_verify_failures)
+      blobs;
+    Hashtbl.replace n.entry_units gid (Array.of_list (List.rev !units));
+    maybe_start_entry n gid
+
+  let on_shuffle_step (n : node) ~(gid : int) ~(iter : int) ~(step : int)
+      ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proof : string) : unit =
+    let net = n.net in
+    let quorum = Config.quorum net.Pr.config in
+    let pk = Pr.group_pk net gid in
+    let ctx = iter_ctx net gid iter in
+    let verified =
+      (not (nizk n))
+      || Array.length input = 0
+      ||
+      match Pr.Shuf.of_bytes proof with
+      | None -> false
+      | Some pi -> Pr.Shuf.verify ~pk ~context:ctx ~input ~output pi
+    in
+    if not verified then
+      abort n ~code:Ctrl.abort_proof_rejected
+        (Printf.sprintf "shuffle proof rejected gid=%d iter=%d step=%d" gid iter step)
+    else if step > quorum then
+      (* Back at the head: the whole quorum has shuffled. *)
+      divide_and_reenc n gid iter output
+    else begin
+      match Pr.El.shuffle_vec n.rng pk output with
+      | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
+      | Some (shuffled, witness) ->
+          Atom_obs.Metrics.incr n.m_steps;
+          let proof' =
+            if nizk n then
+              Pr.Shuf.to_bytes
+                (Pr.Shuf.prove n.rng ~pk ~context:ctx ~input:output ~output:shuffled ~witness)
+            else ""
+          in
+          let next_pos = if step = quorum then 1 else step + 1 in
+          send_to n
+            ~dst:(member_at net gid next_pos)
+            (C.encode
+               (C.Shuffle_step
+                  { gid; iter; step = step + 1; input = output; output = shuffled; proof = proof' }))
+    end
+
+  let on_reenc_step (n : node) ~(gid : int) ~(iter : int) ~(batch_idx : int) ~(step : int)
+      ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proofs : string array) : unit =
+    let net = n.net in
+    let quorum = Config.quorum net.Pr.config in
+    let last_iter = iter = iterations net - 1 in
+    let ctx = iter_ctx net gid iter in
+    let next_pk =
+      if last_iter then None else Some (Pr.group_pk net (neighbors net ~iter ~gid).(batch_idx))
+    in
+    let prev_ok =
+      (not (nizk n))
+      || verify_hop ~eff_pk:(eff_pk net gid (step - 1)) ~next_pk ~context:ctx ~input ~output proofs
+    in
+    if not prev_ok then
+      abort n ~code:Ctrl.abort_proof_rejected
+        (Printf.sprintf "reenc proofs rejected gid=%d iter=%d step=%d" gid iter (step - 1))
+    else begin
+      let share, coeff = share_and_coeff net gid step in
+      let output', proofs' =
+        if nizk n then begin
+          let stepped =
+            Array.map
+              (fun v ->
+                Pr.P.Reenc_proof.reenc_vec_with_proof n.rng ~share ~coeff ~next_pk ~context:ctx v)
+              output
+          in
+          (Array.map fst stepped, Array.map (fun (_, pis) -> reenc_proofs_to_blob pis) stepped)
+        end
+        else
+          ( Array.map (fun v -> fst (Pr.El.reenc_vec n.rng ~share ~coeff ~next_pk v)) output,
+            Array.map (fun _ -> "") output )
+      in
+      Atom_obs.Metrics.incr n.m_steps;
+      if step < quorum then
+        send_to n
+          ~dst:(member_at net gid (step + 1))
+          (C.encode
+             (C.Reenc_step
+                { gid; iter; batch_idx; step = step + 1; input = output; output = output'; proofs = proofs' }))
+      else finish_batch n gid iter batch_idx ~input:output ~output:output' ~proofs:proofs'
+    end
+
+  let on_batch (n : node) ~(gid : int) ~(iter : int) ~(src_gid : int)
+      ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proofs : string array) : unit =
+    (* Next-layer head verifies the sending tail's final ReEnc step, then
+       strips the carried Y components before mixing. *)
+    let net = n.net in
+    let quorum = Config.quorum net.Pr.config in
+    let ok =
+      (not (nizk n))
+      || verify_hop
+           ~eff_pk:(eff_pk net src_gid quorum)
+           ~next_pk:(Some (Pr.group_pk net gid))
+           ~context:(iter_ctx net src_gid (iter - 1))
+           ~input ~output proofs
+    in
+    if not ok then
+      abort n ~code:Ctrl.abort_proof_rejected
+        (Printf.sprintf "batch from gid=%d rejected at gid=%d iter=%d" src_gid gid iter)
+    else accept_input n gid iter (Array.map Pr.El.clear_y_vec output)
+
+  let handle_control (n : node) (msg : Ctrl.t) : unit =
+    match msg with
+    | Ctrl.Peers _ | Ctrl.Hello _ | Ctrl.Join _ | Ctrl.Ack _ | Ctrl.Published _
+    | Ctrl.Trap_commitments _ ->
+        () (* peers are registered by the caller's [on_peers]; rest is informational *)
+    | Ctrl.Group_assign { gid; members } ->
+        (* Cross-check the coordinator's view against our own derivation:
+           any divergence means the deterministic setup drifted. *)
+        if
+          gid < 0
+          || gid >= Array.length n.net.Pr.groups
+          || n.net.Pr.groups.(gid).Pr.members <> members
+        then abort n ~code:Ctrl.abort_bad_assignment (Printf.sprintf "group %d assignment mismatch" gid)
+    | Ctrl.Barrier { iter } ->
+        if iter = 0 then begin
+          n.barrier <- true;
+          List.iter (fun (gid, pos) -> if pos = 1 then maybe_start_entry n gid) n.roles
+        end
+    | Ctrl.Submissions { gid; blobs } -> on_submissions n gid blobs
+    | Ctrl.Abort { detail; _ } ->
+        Atom_obs.Log.warn "node %d: abort relayed: %s" n.node_id detail;
+        n.stop <- true
+    | Ctrl.Shutdown -> n.stop <- true
+
+  let handle_codec (n : node) (msg : C.msg) : unit =
+    match msg with
+    | C.Group_key { gid; pk } ->
+        if gid < 0 || gid >= Array.length n.net.Pr.groups
+           || not (G.equal pk (Pr.group_pk n.net gid))
+        then abort n ~code:Ctrl.abort_bad_assignment (Printf.sprintf "group %d key mismatch" gid)
+    | C.Shuffle_step { gid; iter; step; input; output; proof } ->
+        on_shuffle_step n ~gid ~iter ~step ~input ~output proof
+    | C.Reenc_step { gid; iter; batch_idx; step; input; output; proofs } ->
+        on_reenc_step n ~gid ~iter ~batch_idx ~step ~input ~output proofs
+    | C.Batch { gid; iter; src_gid; input; output; proofs } ->
+        on_batch n ~gid ~iter ~src_gid ~input ~output proofs
+    | C.Exit_batch _ -> () (* coordinator-only traffic *)
+
+  let handle_frame (n : node) (frame : string) : unit =
+    match Frame.kind_of frame with
+    | Some k when k >= Frame.kind_group_key -> (
+        match C.decode frame with
+        | Some msg -> handle_codec n msg
+        | None -> abort n ~code:Ctrl.abort_bad_frame (Printf.sprintf "bad %s frame" (Frame.kind_name k)))
+    | Some k -> (
+        match Ctrl.decode frame with
+        | Some msg -> handle_control n msg
+        | None -> abort n ~code:Ctrl.abort_bad_frame (Printf.sprintf "bad %s frame" (Frame.kind_name k)))
+    | None -> abort n ~code:Ctrl.abort_bad_frame "unparseable frame"
+
+  (* Run one server's event loop until Shutdown / abort / idle expiry.
+     [on_peers] lets the transport register discovered peers (TCP needs
+     host:port; the simulator transport knows everyone already). *)
+  let run_node ?(obs = Atom_obs.Ctx.noop) (t : T.t) ~(config : Config.t) ~(node_id : int)
+      ~(coord : int) ?(recv_timeout = 0.5) ?(max_idle = 240)
+      ?(on_peers = fun (_ : (int * int) array) -> ()) () : unit =
+    let reg = Atom_obs.Ctx.metrics obs in
+    let net = Pr.setup (Atom_util.Rng.create config.Config.seed) config () in
+    let n =
+      {
+        t;
+        net;
+        rng = Atom_util.Rng.create (config.Config.seed lxor (0x6e0de * (node_id + 1)));
+        node_id;
+        coord;
+        roles = roles_of net node_id;
+        inputs = Hashtbl.create 16;
+        entry_units = Hashtbl.create 8;
+        entry_started = Hashtbl.create 8;
+        seen = Hashtbl.create 64;
+        barrier = false;
+        stop = false;
+        m_verify_failures = Atom_obs.Metrics.counter reg "node.verify_failures";
+        m_steps = Atom_obs.Metrics.counter reg "node.steps";
+      }
+    in
+    let idle = ref 0 in
+    while (not n.stop) && !idle < max_idle do
+      match T.recv t ~timeout:recv_timeout with
+      | None -> incr idle
+      | Some (_src, frame) ->
+          idle := 0;
+          (match Ctrl.decode frame with
+          | Some (Ctrl.Peers { peers }) ->
+              (* Register the fleet, then tell the coordinator we can route:
+                 no data-plane traffic flows until every node has acked. *)
+              on_peers peers;
+              ignore (T.send t ~dst:coord (Ctrl.encode (Ctrl.Ack { token = node_id })))
+          | _ -> ());
+          handle_frame n frame
+    done
+
+  (* ---- coordinator ---- *)
+
+  type cluster_outcome = {
+    delivered : string list; (* from the cluster, exit order *)
+    reference : string list; (* single-process run, same seed *)
+    matched : bool; (* sorted multiset equality *)
+    cluster_abort : string option;
+    rejected_submissions : int list;
+  }
+
+  (* Drive a full round over [t]: ship submissions to entry heads, release
+     the barrier, collect and verify exit batches, run the variant endgame,
+     and compare against the in-process reference execution. *)
+  let run_coordinator ?(obs = Atom_obs.Ctx.noop) (t : T.t) ~(config : Config.t)
+      ~(users : int) ?(recv_timeout = 0.5) ?(max_idle = 240) () : cluster_outcome =
+    ignore obs;
+    let rng = Atom_util.Rng.create config.Config.seed in
+    let net = Pr.setup rng config () in
+    let n_groups = config.Config.n_groups in
+    let msgs = List.init users (fun i -> Printf.sprintf "anonymous message #%d" i) in
+    let subs =
+      List.mapi (fun i m -> Pr.submit rng net ~user:i ~entry_gid:(i mod n_groups) m) msgs
+    in
+    (* The reference execution: same seed, same submissions, one process. *)
+    let reference = Pr.run rng net subs in
+    (* Entry accounting mirrors [Pr.run]: the heads verify on their side;
+       the coordinator's own pass supplies reject lists and commitments. *)
+    let seen = Hashtbl.create 256 in
+    let accepted, rejected = List.partition (Pr.verify_submission net seen) subs in
+    let rejected_submissions = List.map (fun s -> s.Pr.user) rejected in
+    let commitments : (int, string list) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun s ->
+        match s.Pr.commitment with
+        | Some c ->
+            Hashtbl.replace commitments s.Pr.entry_gid
+              (c :: Option.value ~default:[] (Hashtbl.find_opt commitments s.Pr.entry_gid))
+        | None -> ())
+      accepted;
+    (* Consistency cross-checks + submissions + barrier. *)
+    for gid = 0 to n_groups - 1 do
+      let g = net.Pr.groups.(gid) in
+      let head = g.Pr.members.(0) in
+      Array.iter
+        (fun sid ->
+          ignore (T.send t ~dst:sid (Ctrl.encode (Ctrl.Group_assign { gid; members = g.Pr.members })));
+          ignore (T.send t ~dst:sid (C.encode (C.Group_key { gid; pk = Pr.group_pk net gid }))))
+        g.Pr.members;
+      ignore
+        (T.send t ~dst:head
+           (Pr.Wire.submissions_to_frame ~gid
+              (List.filter (fun s -> s.Pr.entry_gid = gid) subs)))
+    done;
+    for sid = 0 to config.Config.n_servers - 1 do
+      ignore (T.send t ~dst:sid (Ctrl.encode (Ctrl.Barrier { iter = 0 })))
+    done;
+    (* Collect exit batches. *)
+    let last = iterations net - 1 in
+    let quorum = Config.quorum config in
+    let want = expected_exits net in
+    let holdings = Array.make n_groups [] in
+    let got = ref 0 in
+    let idle = ref 0 in
+    let cluster_abort = ref None in
+    while !got < want && !cluster_abort = None && !idle < max_idle do
+      match T.recv t ~timeout:recv_timeout with
+      | None -> incr idle
+      | Some (_src, frame) -> (
+          idle := 0;
+          match C.decode frame with
+          | Some (C.Exit_batch { gid; batch_idx = _; input; output; proofs }) ->
+              let ok =
+                config.Config.variant <> Config.Nizk
+                || verify_hop ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
+                     ~context:(iter_ctx net gid last) ~input ~output proofs
+              in
+              if ok then begin
+                Array.iter (fun v -> holdings.(gid) <- v :: holdings.(gid)) output;
+                incr got
+              end
+              else cluster_abort := Some (Printf.sprintf "exit proofs rejected gid=%d" gid)
+          | Some _ -> ()
+          | None -> (
+              match Ctrl.decode frame with
+              | Some (Ctrl.Abort { detail; _ }) -> cluster_abort := Some detail
+              | _ -> ()))
+    done;
+    if !cluster_abort = None && !got < want then
+      cluster_abort := Some (Printf.sprintf "timed out with %d/%d exit batches" !got want);
+    (* Variant endgame over the assembled holdings, as in [Pr.run]. *)
+    let delivered =
+      if !cluster_abort <> None then []
+      else begin
+        let holdings = Array.map (fun l -> Array.of_list (List.rev l)) holdings in
+        let exits = Pr.decode_exit net holdings in
+        match config.Config.variant with
+        | Config.Basic | Config.Nizk ->
+            List.filter_map
+              (fun u ->
+                if u.Pr.tag = Pr.Msg.tag_message then Some (Pr.Msg.unpad_plaintext u.Pr.payload)
+                else None)
+              exits
+        | Config.Trap -> (
+            match Pr.trap_checks net ~commitments exits with
+            | Some _, _ ->
+                cluster_abort := Some "trap checks failed";
+                []
+            | None, inner_payloads ->
+                List.map Pr.Msg.unpad_plaintext (Pr.open_inners net inner_payloads))
+      end
+    in
+    (* Publish and shut the fleet down. *)
+    for sid = 0 to config.Config.n_servers - 1 do
+      ignore
+        (T.send t ~dst:sid
+           (Ctrl.encode (Ctrl.Published { plaintexts = Array.of_list delivered })));
+      ignore (T.send t ~dst:sid (Ctrl.encode Ctrl.Shutdown))
+    done;
+    let matched =
+      !cluster_abort = None
+      && reference.Pr.aborted = None
+      && List.sort compare delivered = List.sort compare reference.Pr.delivered
+    in
+    {
+      delivered;
+      reference = reference.Pr.delivered;
+      matched;
+      cluster_abort = !cluster_abort;
+      rejected_submissions;
+    }
+end

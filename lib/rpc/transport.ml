@@ -1,0 +1,36 @@
+(* The transport abstraction: byte-oriented, peer-addressed messaging.
+
+   Two implementations satisfy this signature: [Sim_transport] moves frames
+   through the discrete-event simulator's latency/bandwidth-modeled links
+   (deterministic — timeouts and delivery order are a pure function of the
+   seed), and [Tcp_transport] moves the same frames over real sockets with
+   connection pooling and backoff reconnects. Code written against
+   [Transport.S] — the ring exercise in the test suite, protocol
+   choreography sketches — runs unchanged over both, which is how the test
+   suite pins the two transports to the same semantics.
+
+   Contract:
+   - [send] is best-effort-with-retries: [true] means the message was
+     handed to the network (delivery still races node death), [false]
+     means it was abandoned after the implementation's retry budget.
+   - [recv ~timeout] blocks (virtual or wall time) for the next message,
+     returning the sender's node id alongside the bytes.
+   - Messages between a given pair arrive in the order sent (mailbox FIFO
+     in the simulator; a single pooled TCP stream per direction for real
+     sockets). No ordering holds across different senders. *)
+
+module type S = sig
+  type t
+
+  val self : t -> int
+  (** This endpoint's node id. *)
+
+  val send : t -> dst:int -> string -> bool
+  (** Send one framed message; [false] after the retry budget is spent or
+      when [dst] is unknown. *)
+
+  val recv : t -> timeout:float -> (int * string) option
+  (** Next (sender, message); [None] on timeout. *)
+
+  val close : t -> unit
+end

@@ -1,0 +1,208 @@
+(* Data-plane codecs: every message whose payload contains group elements —
+   ciphertext batches, proof-carrying shuffle / decrypt-and-reencrypt
+   steps, group public keys. Parametric over the group backend (and its
+   ElGamal instantiation) exactly like the protocol engine itself.
+
+   Proof objects travel as opaque length-prefixed blobs at this layer; the
+   proof modules' own [of_bytes] decoders (which validate every element)
+   run at the protocol boundary, keeping the wire layer free of the zkp
+   dependency while every byte still gets validated before use.
+
+   Body layouts (big-endian; header per Frame):
+
+     cipher       u8 has_y=0 ⇒ R ‖ c          (2·eb + 1 bytes)
+                  u8 has_y=1 ⇒ R ‖ c ‖ Y      (3·eb + 1 bytes)
+                  (exactly Elgamal.cipher_to_bytes: R ‖ c ‖ flag [‖ Y])
+     vec          u16 width ‖ width × cipher
+     vecs         u32 count ‖ count × vec
+     proofs       u32 count ‖ count × str32
+
+     group_key    u32 gid ‖ element
+     batch        u32 dst_gid ‖ u32 iter ‖ u32 src_gid ‖ vecs input ‖
+                  vecs output ‖ proofs
+     shuffle_step u32 gid ‖ u32 iter ‖ u16 step ‖ vecs input ‖
+                  vecs output ‖ str32 proof
+     reenc_step   u32 gid ‖ u32 iter ‖ u32 batch_idx ‖ u16 step ‖
+                  vecs input ‖ vecs output ‖ proofs
+     exit_batch   u32 gid ‖ u32 batch_idx ‖ vecs input ‖ vecs output ‖
+                  proofs
+
+   Strict and total like every decoder in this library: arbitrary bytes
+   yield [None], never an exception, and every group element is validated
+   by the backend codec on the way in. *)
+
+module Make
+    (G : Atom_group.Group_intf.GROUP)
+    (El : module type of Atom_elgamal.Elgamal.Make (G)) =
+struct
+  type msg =
+    | Group_key of { gid : int; pk : G.t }
+    | Batch of {
+        gid : int; (* destination group *)
+        iter : int; (* destination layer *)
+        src_gid : int;
+        input : El.vec array; (* pre-final-step state, for proof checks *)
+        output : El.vec array; (* proven output (Y not yet cleared) *)
+        proofs : string array; (* last ReEnc step's proofs, per unit *)
+      }
+    | Shuffle_step of {
+        gid : int;
+        iter : int;
+        step : int; (* quorum index of the receiving member *)
+        input : El.vec array;
+        output : El.vec array;
+        proof : string; (* ShufProof bytes; empty in the basic variant *)
+      }
+    | Reenc_step of {
+        gid : int;
+        iter : int;
+        batch_idx : int;
+        step : int;
+        input : El.vec array;
+        output : El.vec array;
+        proofs : string array;
+      }
+    | Exit_batch of {
+        gid : int;
+        batch_idx : int;
+        input : El.vec array;
+        output : El.vec array;
+        proofs : string array;
+      }
+
+  let max_width = 4096
+  let max_proof = Frame.max_body
+
+  (* ---- writers ---- *)
+
+  let write_vec (b : Buffer.t) (v : El.vec) =
+    if Array.length v > max_width then invalid_arg "Codec.write_vec: width too large";
+    Frame.W.u16 b (Array.length v);
+    Array.iter (fun ct -> Buffer.add_string b (El.cipher_to_bytes ct)) v
+
+  let write_vecs (b : Buffer.t) (vs : El.vec array) =
+    Frame.W.u32 b (Array.length vs);
+    Array.iter (write_vec b) vs
+
+  let write_proofs (b : Buffer.t) (ps : string array) =
+    Frame.W.u32 b (Array.length ps);
+    Array.iter (Frame.W.str32 b) ps
+
+  (* ---- readers ---- *)
+
+  let read_cipher (r : Frame.R.t) : El.cipher =
+    let eb = G.element_bytes in
+    let head = Frame.R.bytes r ((2 * eb) + 1) in
+    let full =
+      match head.[2 * eb] with
+      | '\000' -> head
+      | '\001' -> head ^ Frame.R.bytes r eb
+      | _ -> Frame.R.fail ()
+    in
+    match El.cipher_of_bytes full with Some ct -> ct | None -> Frame.R.fail ()
+
+  let read_vec (r : Frame.R.t) : El.vec =
+    let w = Frame.R.u16 r in
+    if w > max_width then Frame.R.fail ();
+    Array.init w (fun _ -> read_cipher r)
+
+  let read_vecs (r : Frame.R.t) : El.vec array =
+    (* Each vec consumes ≥ 2 bytes, so [remaining] bounds the allocation. *)
+    let n = Frame.R.count r ~max:(Frame.R.remaining r) in
+    Array.init n (fun _ -> read_vec r)
+
+  let read_proofs (r : Frame.R.t) : string array =
+    let n = Frame.R.count r ~max:(Frame.R.remaining r) in
+    Array.init n (fun _ -> Frame.R.str32 ~max:max_proof r)
+
+  let read_element (r : Frame.R.t) : G.t =
+    match G.of_bytes (Frame.R.bytes r G.element_bytes) with
+    | Some e -> e
+    | None -> Frame.R.fail ()
+
+  (* ---- message codec ---- *)
+
+  let encode (msg : msg) : string =
+    let b = Buffer.create 256 in
+    let kind =
+      match msg with
+      | Group_key { gid; pk } ->
+          Frame.W.u32 b gid;
+          Buffer.add_string b (G.to_bytes pk);
+          Frame.kind_group_key
+      | Batch { gid; iter; src_gid; input; output; proofs } ->
+          Frame.W.u32 b gid;
+          Frame.W.u32 b iter;
+          Frame.W.u32 b src_gid;
+          write_vecs b input;
+          write_vecs b output;
+          write_proofs b proofs;
+          Frame.kind_batch
+      | Shuffle_step { gid; iter; step; input; output; proof } ->
+          Frame.W.u32 b gid;
+          Frame.W.u32 b iter;
+          Frame.W.u16 b step;
+          write_vecs b input;
+          write_vecs b output;
+          Frame.W.str32 b proof;
+          Frame.kind_shuffle_step
+      | Reenc_step { gid; iter; batch_idx; step; input; output; proofs } ->
+          Frame.W.u32 b gid;
+          Frame.W.u32 b iter;
+          Frame.W.u32 b batch_idx;
+          Frame.W.u16 b step;
+          write_vecs b input;
+          write_vecs b output;
+          write_proofs b proofs;
+          Frame.kind_reenc_step
+      | Exit_batch { gid; batch_idx; input; output; proofs } ->
+          Frame.W.u32 b gid;
+          Frame.W.u32 b batch_idx;
+          write_vecs b input;
+          write_vecs b output;
+          write_proofs b proofs;
+          Frame.kind_exit_batch
+    in
+    Frame.encode ~kind (Buffer.contents b)
+
+  let decode_body (kind : int) (body : string) : msg option =
+    let open Frame.R in
+    decode body (fun r ->
+        if kind = Frame.kind_group_key then
+          let gid = u32 r in
+          Group_key { gid; pk = read_element r }
+        else if kind = Frame.kind_batch then
+          let gid = u32 r in
+          let iter = u32 r in
+          let src_gid = u32 r in
+          let input = read_vecs r in
+          let output = read_vecs r in
+          Batch { gid; iter; src_gid; input; output; proofs = read_proofs r }
+        else if kind = Frame.kind_shuffle_step then
+          let gid = u32 r in
+          let iter = u32 r in
+          let step = u16 r in
+          let input = read_vecs r in
+          let output = read_vecs r in
+          Shuffle_step { gid; iter; step; input; output; proof = str32 ~max:max_proof r }
+        else if kind = Frame.kind_reenc_step then
+          let gid = u32 r in
+          let iter = u32 r in
+          let batch_idx = u32 r in
+          let step = u16 r in
+          let input = read_vecs r in
+          let output = read_vecs r in
+          Reenc_step { gid; iter; batch_idx; step; input; output; proofs = read_proofs r }
+        else if kind = Frame.kind_exit_batch then
+          let gid = u32 r in
+          let batch_idx = u32 r in
+          let input = read_vecs r in
+          let output = read_vecs r in
+          Exit_batch { gid; batch_idx; input; output; proofs = read_proofs r }
+        else fail ())
+
+  let decode (framed : string) : msg option =
+    match Frame.decode framed with
+    | None -> None
+    | Some (kind, body) -> decode_body kind body
+end

@@ -1,0 +1,147 @@
+(* Control-plane messages: node bring-up, group assignment, iteration
+   barriers, abort notices. These are independent of the group backend, so
+   they decode without a functor — the transport layer itself uses [Hello]
+   to identify peers, and the coordinator drives the round with the rest.
+
+   Body layouts (big-endian; see Frame for the header):
+
+     hello             u32 node_id
+     join              u32 node_id ‖ u16 port
+     peers             u32 n ‖ n × (u32 node_id ‖ u16 port)
+     group_assign      u32 gid ‖ u32 n ‖ n × u32 member
+     barrier           u32 iter
+     abort             u16 code ‖ str32 detail
+     shutdown          (empty)
+     ack               u32 token
+     submissions       u32 gid ‖ u32 n ‖ n × str32 blob
+     trap_commitments  u32 gid ‖ u32 n ‖ n × 32-byte commitment
+     published         u32 n ‖ n × str32 plaintext
+
+   Submission blobs are opaque at this layer (their group elements are
+   validated by [Protocol.Wire.submission_of_bytes] at the protocol
+   boundary); everything else is fully validated here. *)
+
+type t =
+  | Hello of { node_id : int }
+  | Join of { node_id : int; port : int }
+  | Peers of { peers : (int * int) array (* node_id, port *) }
+  | Group_assign of { gid : int; members : int array }
+  | Barrier of { iter : int }
+  | Abort of { code : int; detail : string }
+  | Shutdown
+  | Ack of { token : int }
+  | Submissions of { gid : int; blobs : string array }
+  | Trap_commitments of { gid : int; commitments : string array }
+  | Published of { plaintexts : string array }
+
+(* Abort codes (carried on the wire; the detail string is for humans). *)
+let abort_bad_frame = 1
+let abort_proof_rejected = 2
+let abort_bad_assignment = 3
+let abort_internal = 4
+
+let max_nodes = 1 lsl 16
+let max_items = 1 lsl 16
+let max_blob = 1 lsl 20
+let commitment_bytes = 32
+
+let encode (msg : t) : string =
+  let b = Buffer.create 64 in
+  let kind =
+    match msg with
+    | Hello { node_id } ->
+        Frame.W.u32 b node_id;
+        Frame.kind_hello
+    | Join { node_id; port } ->
+        Frame.W.u32 b node_id;
+        Frame.W.u16 b port;
+        Frame.kind_join
+    | Peers { peers } ->
+        Frame.W.u32 b (Array.length peers);
+        Array.iter
+          (fun (id, port) ->
+            Frame.W.u32 b id;
+            Frame.W.u16 b port)
+          peers;
+        Frame.kind_peers
+    | Group_assign { gid; members } ->
+        Frame.W.u32 b gid;
+        Frame.W.u32 b (Array.length members);
+        Array.iter (Frame.W.u32 b) members;
+        Frame.kind_group_assign
+    | Barrier { iter } ->
+        Frame.W.u32 b iter;
+        Frame.kind_barrier
+    | Abort { code; detail } ->
+        Frame.W.u16 b code;
+        Frame.W.str32 b detail;
+        Frame.kind_abort
+    | Shutdown -> Frame.kind_shutdown
+    | Ack { token } ->
+        Frame.W.u32 b token;
+        Frame.kind_ack
+    | Submissions { gid; blobs } ->
+        Frame.W.u32 b gid;
+        Frame.W.u32 b (Array.length blobs);
+        Array.iter (Frame.W.str32 b) blobs;
+        Frame.kind_submissions
+    | Trap_commitments { gid; commitments } ->
+        Frame.W.u32 b gid;
+        Frame.W.u32 b (Array.length commitments);
+        Array.iter
+          (fun c ->
+            if String.length c <> commitment_bytes then
+              invalid_arg "Control.encode: commitment must be 32 bytes";
+            Buffer.add_string b c)
+          commitments;
+        Frame.kind_trap_commitments
+    | Published { plaintexts } ->
+        Frame.W.u32 b (Array.length plaintexts);
+        Array.iter (Frame.W.str32 b) plaintexts;
+        Frame.kind_published
+  in
+  Frame.encode ~kind (Buffer.contents b)
+
+let decode_body (kind : int) (body : string) : t option =
+  let open Frame.R in
+  decode body (fun r ->
+      if kind = Frame.kind_hello then Hello { node_id = u32 r }
+      else if kind = Frame.kind_join then
+        let node_id = u32 r in
+        Join { node_id; port = u16 r }
+      else if kind = Frame.kind_peers then
+        let n = count r ~max:max_nodes in
+        Peers
+          {
+            peers =
+              Array.init n (fun _ ->
+                  let id = u32 r in
+                  (id, u16 r));
+          }
+      else if kind = Frame.kind_group_assign then
+        let gid = u32 r in
+        let n = count r ~max:max_nodes in
+        Group_assign { gid; members = Array.init n (fun _ -> u32 r) }
+      else if kind = Frame.kind_barrier then Barrier { iter = u32 r }
+      else if kind = Frame.kind_abort then
+        let code = u16 r in
+        Abort { code; detail = str32 ~max:max_blob r }
+      else if kind = Frame.kind_shutdown then Shutdown
+      else if kind = Frame.kind_ack then Ack { token = u32 r }
+      else if kind = Frame.kind_submissions then
+        let gid = u32 r in
+        let n = count r ~max:max_items in
+        Submissions { gid; blobs = Array.init n (fun _ -> str32 ~max:max_blob r) }
+      else if kind = Frame.kind_trap_commitments then
+        let gid = u32 r in
+        let n = count r ~max:max_items in
+        Trap_commitments { gid; commitments = Array.init n (fun _ -> bytes r commitment_bytes) }
+      else if kind = Frame.kind_published then
+        let n = count r ~max:max_items in
+        Published { plaintexts = Array.init n (fun _ -> str32 ~max:max_blob r) }
+      else fail ())
+
+let decode (framed : string) : t option =
+  match Frame.decode framed with
+  | None -> None
+  | Some (kind, body) -> decode_body kind body

@@ -1,0 +1,26 @@
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+
+   The wire header carries a CRC of the frame body so a flipped bit on the
+   wire is caught before a strict decoder ever parses the payload. CRC is
+   an integrity check against accidents, not an authenticator — transport
+   security is TLS's job in a real deployment (DESIGN.md). *)
+
+let table : int array =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let update (crc : int) (s : string) ~(pos : int) ~(len : int) : int =
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF land 0xFFFFFFFF
+
+let string (s : string) : int = update 0 s ~pos:0 ~len:(String.length s)

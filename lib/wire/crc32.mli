@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE), used as the wire frame's body checksum. *)
+
+val string : string -> int
+(** CRC of a whole string (in [0, 0xFFFFFFFF]). *)
+
+val update : int -> string -> pos:int -> len:int -> int
+(** Incremental: [update crc s ~pos ~len] extends [crc] with a slice. *)

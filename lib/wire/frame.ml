@@ -1,0 +1,219 @@
+(* Versioned, length-prefixed binary framing for everything that crosses a
+   machine boundary.
+
+   Frame layout (all integers big-endian):
+
+     offset  size  field
+     0       4     magic     "ATOM" (0x41544F4D)
+     4       1     version   (currently 1)
+     5       1     kind      (registered message kind)
+     6       2     flags     (reserved, must be 0)
+     8       4     body_len
+     12      4     crc32     (IEEE CRC-32 of the body)
+     16      ...   body
+
+   Version policy: a decoder accepts exactly the versions it knows
+   (currently only 1) and rejects everything else — there is no silent
+   downgrade. Adding a message kind is a same-version change (old peers
+   reject unknown kinds loudly); changing the layout of an existing kind
+   bumps [version].
+
+   Decoders are strict and total: truncated, oversized, trailing-garbage,
+   bad-checksum, unknown-kind, and non-zero-flag inputs all return [None];
+   no exception escapes on arbitrary bytes. *)
+
+let magic = 0x41544F4D
+let version = 1
+let header_bytes = 16
+
+(* Frames larger than this are rejected outright — a malicious length
+   prefix must not make a node allocate unbounded memory. 64 MiB clears a
+   1M-message batch at paper scale while still bounding allocation. *)
+let max_body = 1 lsl 26
+
+(* ---- Message kinds ----
+
+   One byte on the wire. Control-plane kinds (node bring-up, barriers,
+   aborts) are G-independent and decoded by [Control]; data-plane kinds
+   (ciphertext batches, proof-carrying steps) depend on the group backend
+   and are decoded by [Codec.Make]. *)
+
+let kind_hello = 0x01
+let kind_join = 0x02
+let kind_peers = 0x03
+let kind_group_assign = 0x04
+let kind_barrier = 0x05
+let kind_abort = 0x06
+let kind_shutdown = 0x07
+let kind_ack = 0x08
+let kind_submissions = 0x09
+let kind_trap_commitments = 0x0a
+let kind_published = 0x0b
+let kind_group_key = 0x10
+let kind_batch = 0x11
+let kind_shuffle_step = 0x12
+let kind_reenc_step = 0x13
+let kind_exit_batch = 0x14
+
+let kind_names : (int * string) list =
+  [
+    (kind_hello, "hello");
+    (kind_join, "join");
+    (kind_peers, "peers");
+    (kind_group_assign, "group_assign");
+    (kind_barrier, "barrier");
+    (kind_abort, "abort");
+    (kind_shutdown, "shutdown");
+    (kind_ack, "ack");
+    (kind_submissions, "submissions");
+    (kind_trap_commitments, "trap_commitments");
+    (kind_published, "published");
+    (kind_group_key, "group_key");
+    (kind_batch, "batch");
+    (kind_shuffle_step, "shuffle_step");
+    (kind_reenc_step, "reenc_step");
+    (kind_exit_batch, "exit_batch");
+  ]
+
+let kind_name (k : int) : string =
+  match List.assoc_opt k kind_names with
+  | Some n -> n
+  | None -> Printf.sprintf "unknown(0x%02x)" k
+
+let kind_known (k : int) : bool = List.mem_assoc k kind_names
+
+(* ---- Writer primitives ---- *)
+
+module W = struct
+  let u8 (b : Buffer.t) (v : int) = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 (b : Buffer.t) (v : int) =
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u32 (b : Buffer.t) (v : int) =
+    u8 b (v lsr 24);
+    u8 b (v lsr 16);
+    u8 b (v lsr 8);
+    u8 b v
+
+  (* Length-prefixed byte string. *)
+  let str32 (b : Buffer.t) (s : string) =
+    u32 b (String.length s);
+    Buffer.add_string b s
+end
+
+(* ---- Strict reader ----
+
+   A cursor over an immutable string. Every read checks bounds and raises
+   the private [Malformed] exception, which only [decode] catches — so a
+   decoder body reads linearly and totality is enforced at the boundary. *)
+
+module R = struct
+  exception Malformed
+
+  type t = { s : string; mutable pos : int; limit : int }
+
+  let of_string ?(pos = 0) ?limit (s : string) : t =
+    let limit = match limit with Some l -> l | None -> String.length s in
+    { s; pos; limit }
+
+  let fail () = raise Malformed
+  let remaining (r : t) : int = r.limit - r.pos
+  let need (r : t) (n : int) = if n < 0 || r.pos + n > r.limit then fail ()
+
+  let u8 (r : t) : int =
+    need r 1;
+    let v = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u16 (r : t) : int =
+    let a = u8 r in
+    let b = u8 r in
+    (a lsl 8) lor b
+
+  let u32 (r : t) : int =
+    let a = u16 r in
+    let b = u16 r in
+    (a lsl 16) lor b
+
+  let bytes (r : t) (n : int) : string =
+    need r n;
+    let s = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let str32 ?(max = max_body) (r : t) : string =
+    let n = u32 r in
+    if n > max then fail ();
+    bytes r n
+
+  (* Bounded count prefix: an attacker-controlled element count must never
+     drive an allocation bigger than the bytes actually present. *)
+  let count (r : t) ~(max : int) : int =
+    let n = u32 r in
+    if n > max then fail ();
+    n
+
+  let expect_end (r : t) = if r.pos <> r.limit then fail ()
+
+  (* The totality boundary: every decoder runs under this. *)
+  let decode (s : string) (f : t -> 'a) : 'a option =
+    let r = of_string s in
+    match
+      let v = f r in
+      expect_end r;
+      v
+    with
+    | v -> Some v
+    | exception Malformed -> None
+end
+
+(* ---- Framing ---- *)
+
+let encode ~(kind : int) (body : string) : string =
+  if String.length body > max_body then invalid_arg "Frame.encode: body too large";
+  if not (kind_known kind) then invalid_arg "Frame.encode: unregistered kind";
+  let b = Buffer.create (header_bytes + String.length body) in
+  W.u32 b magic;
+  W.u8 b version;
+  W.u8 b kind;
+  W.u16 b 0;
+  W.u32 b (String.length body);
+  W.u32 b (Crc32.string body);
+  Buffer.add_string b body;
+  Buffer.contents b
+
+type header = { kind : int; body_len : int; crc : int }
+
+(* Parse and validate the fixed 16-byte prefix (streaming receive path:
+   read 16 bytes, learn [body_len], read the body, then [decode] the whole
+   frame). Rejects bad magic/version/flags and oversized bodies. *)
+let read_header (s : string) : header option =
+  if String.length s < header_bytes then None
+  else
+    R.decode (String.sub s 0 header_bytes) (fun r ->
+        if R.u32 r <> magic then R.fail ();
+        if R.u8 r <> version then R.fail ();
+        let kind = R.u8 r in
+        if R.u16 r <> 0 then R.fail ();
+        let body_len = R.u32 r in
+        if body_len > max_body then R.fail ();
+        let crc = R.u32 r in
+        if not (kind_known kind) then R.fail ();
+        { kind; body_len; crc })
+
+(* Full strict decode of one frame: header valid, body length exact (no
+   trailing garbage), checksum matches. *)
+let decode (s : string) : (int * string) option =
+  match read_header s with
+  | None -> None
+  | Some h ->
+      if String.length s <> header_bytes + h.body_len then None
+      else
+        let body = String.sub s header_bytes h.body_len in
+        if Crc32.string body <> h.crc then None else Some (h.kind, body)
+
+let kind_of (s : string) : int option =
+  match read_header s with Some h -> Some h.kind | None -> None

@@ -23,4 +23,5 @@ let () =
       Test_misc.suite;
       Test_faults.suite;
       Test_obs.suite;
+      Test_rpc.suite;
     ]

@@ -1,0 +1,222 @@
+(* The RPC layer: transport implementations and the multi-process node
+   runtime.
+
+   Three angles:
+   - the TCP transport's socket mechanics on loopback (framed delivery,
+     ordering, self-send, timeouts, unknown peers);
+   - a full cluster round over the simulator transport, inside engine
+     processes — deterministic, so two runs must replay bit-identically
+     and match the single-process reference for every variant;
+   - the same node runtime over real TCP, with each server on its own
+     thread, pinning both transports to the same semantics. *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module SimT = Atom_rpc.Sim_transport
+module TcpT = Atom_rpc.Tcp_transport
+module NodeSim = Atom_rpc.Node.Make (G) (SimT.Check)
+module NodeTcp = Atom_rpc.Node.Make (G) (TcpT.Check)
+module Pr = NodeSim.Pr
+module El = Pr.El
+module Ctrl = Atom_wire.Control
+open Atom_core
+open Atom_sim
+
+(* Both implementations really do satisfy the transport signature. *)
+module _ : Atom_rpc.Transport.S = SimT.Check
+module _ : Atom_rpc.Transport.S = TcpT.Check
+
+(* ---- TCP transport mechanics ---- *)
+
+let test_tcp_loopback () =
+  let a = TcpT.create ~node_id:0 () in
+  let b = TcpT.create ~node_id:1 () in
+  TcpT.add_peer a ~node_id:1 ~host:"127.0.0.1" ~port:(TcpT.port b);
+  TcpT.add_peer b ~node_id:0 ~host:"127.0.0.1" ~port:(TcpT.port a);
+  Alcotest.(check int) "self id" 0 (TcpT.self a);
+  Alcotest.(check (list int)) "peer ids" [ 1 ] (TcpT.peer_ids a);
+  let f1 = Ctrl.encode (Ctrl.Ack { token = 41 }) in
+  let f2 = Ctrl.encode (Ctrl.Barrier { iter = 7 }) in
+  Alcotest.(check bool) "send 1" true (TcpT.send a ~dst:1 f1);
+  Alcotest.(check bool) "send 2" true (TcpT.send a ~dst:1 f2);
+  (* Same-pair ordering holds: one pooled stream per direction. *)
+  (match TcpT.recv b ~timeout:5.0 with
+  | Some (src, frame) ->
+      Alcotest.(check int) "src" 0 src;
+      Alcotest.(check string) "frame 1 intact" f1 frame
+  | None -> Alcotest.fail "first frame not delivered");
+  (match TcpT.recv b ~timeout:5.0 with
+  | Some (_, frame) -> Alcotest.(check string) "frame 2 in order" f2 frame
+  | None -> Alcotest.fail "second frame not delivered");
+  (* Self-send loops through the inbox without a socket. *)
+  Alcotest.(check bool) "self-send accepted" true (TcpT.send b ~dst:1 f1);
+  (match TcpT.recv b ~timeout:5.0 with
+  | Some (src, frame) ->
+      Alcotest.(check int) "self src" 1 src;
+      Alcotest.(check string) "self frame" f1 frame
+  | None -> Alcotest.fail "self-send not delivered");
+  Alcotest.(check bool) "unknown peer refused" false (TcpT.send a ~dst:99 f1);
+  Alcotest.(check bool) "empty recv times out" true (TcpT.recv a ~timeout:0.05 = None);
+  TcpT.close a;
+  TcpT.close b
+
+(* ---- ReEnc proof blobs (the one node-layer codec) ---- *)
+
+let test_reenc_blob_roundtrip () =
+  let r = Atom_util.Rng.create 0x99 in
+  let kp = El.keygen r in
+  let v = fst (El.enc_vec r kp.El.pk [| G.random r; G.random r |]) in
+  let _, pis =
+    Pr.P.Reenc_proof.reenc_vec_with_proof r ~share:(G.Scalar.random r)
+      ~coeff:(G.Scalar.random r) ~next_pk:None ~context:"blob" v
+  in
+  let blob = NodeSim.reenc_proofs_to_blob pis in
+  (match NodeSim.reenc_proofs_of_blob blob with
+  | None -> Alcotest.fail "blob decode failed"
+  | Some pis' -> Alcotest.(check int) "proof count" (Array.length pis) (Array.length pis'));
+  for i = 0 to String.length blob - 1 do
+    if NodeSim.reenc_proofs_of_blob (String.sub blob 0 i) <> None then
+      Alcotest.failf "blob truncation at byte %d accepted" i
+  done
+
+let prop_reenc_blob_total =
+  QCheck2.Test.make ~name:"reenc_proofs_of_blob never raises" ~count:300
+    QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 200))
+    (fun s -> match NodeSim.reenc_proofs_of_blob s with Some _ | None -> true)
+
+(* ---- Cluster rounds over the simulator transport ---- *)
+
+(* The CI smoke shape: 8 servers, 4 groups of 2 with h = 1 (quorum 2),
+   3 square iterations. *)
+let cluster_config variant =
+  {
+    (Config.tiny ~variant ~seed:5 ()) with
+    Config.n_servers = 8;
+    n_groups = 4;
+    group_size = 2;
+    h = 1;
+    topology = Config.Square 3;
+  }
+
+let run_sim_cluster (config : Config.t) ~(users : int) : NodeSim.cluster_outcome =
+  let e = Engine.create () in
+  let net = Net.create e in
+  let n = config.Config.n_servers in
+  let coord = n in
+  let machines =
+    Array.init (n + 1) (fun id -> Machine.create e ~id ~cores:4 ~bandwidth:1e9 ~cluster:0)
+  in
+  let fleet = SimT.fleet e net ~machines in
+  for sid = 0 to n - 1 do
+    Engine.spawn e (fun () ->
+        NodeSim.run_node fleet.(sid) ~config ~node_id:sid ~coord ~recv_timeout:1.0
+          ~max_idle:120 ())
+  done;
+  let outcome = ref None in
+  Engine.spawn e (fun () ->
+      outcome :=
+        Some (NodeSim.run_coordinator fleet.(coord) ~config ~users ~recv_timeout:1.0 ~max_idle:120 ()));
+  ignore (Engine.run e);
+  match !outcome with
+  | Some o -> o
+  | None -> Alcotest.fail "coordinator never completed"
+
+let test_sim_cluster_all_variants () =
+  List.iter
+    (fun variant ->
+      let o = run_sim_cluster (cluster_config variant) ~users:12 in
+      Alcotest.(check (option string)) "no abort" None o.NodeSim.cluster_abort;
+      Alcotest.(check int) "all delivered" 12 (List.length o.NodeSim.delivered);
+      Alcotest.(check bool) "matches single-process reference" true o.NodeSim.matched)
+    [ Config.Basic; Config.Nizk; Config.Trap ]
+
+let test_sim_cluster_deterministic () =
+  let o1 = run_sim_cluster (cluster_config Config.Nizk) ~users:10 in
+  let o2 = run_sim_cluster (cluster_config Config.Nizk) ~users:10 in
+  Alcotest.(check bool) "run 1 matched" true o1.NodeSim.matched;
+  (* Identical seeds replay bit-identically: same plaintexts in the same
+     exit order, not just the same set. *)
+  Alcotest.(check (list string)) "delivery order replays" o1.NodeSim.delivered
+    o2.NodeSim.delivered
+
+(* A node that receives unparseable bytes aborts the round loudly (with
+   the bad-frame code) rather than wedging or crashing. *)
+let test_sim_node_rejects_bad_frame () =
+  let e = Engine.create () in
+  let net = Net.create e in
+  let machines =
+    Array.init 2 (fun id -> Machine.create e ~id ~cores:4 ~bandwidth:1e9 ~cluster:0)
+  in
+  let fleet = SimT.fleet e net ~machines in
+  let config = cluster_config Config.Nizk in
+  Engine.spawn e (fun () ->
+      NodeSim.run_node fleet.(0) ~config ~node_id:0 ~coord:1 ~recv_timeout:1.0 ~max_idle:60 ());
+  let got = ref None in
+  Engine.spawn e (fun () ->
+      ignore (SimT.send fleet.(1) ~dst:0 "this is not a frame");
+      match SimT.recv fleet.(1) ~timeout:60.0 with
+      | Some (0, frame) -> got := Ctrl.decode frame
+      | _ -> ());
+  ignore (Engine.run e);
+  match !got with
+  | Some (Ctrl.Abort { code; _ }) ->
+      Alcotest.(check int) "bad-frame abort code" Ctrl.abort_bad_frame code
+  | _ -> Alcotest.fail "node did not abort on garbage"
+
+(* ---- The same runtime over real TCP, one thread per server ---- *)
+
+let test_tcp_threaded_cluster () =
+  let config =
+    {
+      (Config.tiny ~variant:Config.Basic ~seed:7 ()) with
+      Config.n_servers = 4;
+      n_groups = 2;
+      group_size = 2;
+      h = 1;
+      topology = Config.Square 2;
+    }
+  in
+  let n = config.Config.n_servers in
+  let coord = n in
+  let ts = Array.init (n + 1) (fun node_id -> TcpT.create ~node_id ()) in
+  (* Full mesh up-front; the Join/Peers/Ack bring-up belongs to the CLI
+     launcher, not the runtime under test. *)
+  Array.iteri
+    (fun i t ->
+      Array.iteri
+        (fun j u ->
+          if i <> j then TcpT.add_peer t ~node_id:j ~host:"127.0.0.1" ~port:(TcpT.port u))
+        ts)
+    ts;
+  let threads =
+    List.init n (fun sid ->
+        Thread.create
+          (fun () ->
+            (* Each thread gets its own group instance: Modarith contexts
+               carry shared scratch accumulators and are single-threaded
+               (like the per-process instances of the real deployment). *)
+            let module Gt = (val Atom_group.Registry.zp_test ()) in
+            let module N = Atom_rpc.Node.Make (Gt) (TcpT.Check) in
+            N.run_node ts.(sid) ~config ~node_id:sid ~coord ~recv_timeout:0.2
+              ~max_idle:150 ())
+          ())
+  in
+  let outcome =
+    NodeTcp.run_coordinator ts.(coord) ~config ~users:6 ~recv_timeout:0.2 ~max_idle:150 ()
+  in
+  List.iter Thread.join threads;
+  Array.iter TcpT.close ts;
+  Alcotest.(check (option string)) "no abort" None outcome.NodeTcp.cluster_abort;
+  Alcotest.(check bool) "tcp cluster matches reference" true outcome.NodeTcp.matched
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "rpc",
+    [
+      Alcotest.test_case "tcp loopback" `Quick test_tcp_loopback;
+      Alcotest.test_case "reenc blob roundtrip" `Quick test_reenc_blob_roundtrip;
+      Alcotest.test_case "sim cluster all variants" `Quick test_sim_cluster_all_variants;
+      Alcotest.test_case "sim cluster deterministic" `Quick test_sim_cluster_deterministic;
+      Alcotest.test_case "node aborts on bad frame" `Quick test_sim_node_rejects_bad_frame;
+      Alcotest.test_case "tcp threaded cluster" `Quick test_tcp_threaded_cluster;
+      q prop_reenc_blob_total;
+    ] )

@@ -202,6 +202,256 @@ let test_session_falls_back_to_nizk () =
   Alcotest.(check int) "all four delivered" 4
     (List.length report.Pr.Session.outcome.Pr.delivered)
 
+(* ---- Atom_wire: framing, control plane, data-plane codecs ---- *)
+
+module Frame = Atom_wire.Frame
+module Ctrl = Atom_wire.Control
+module WC = Atom_wire.Codec.Make (G) (El)
+
+let all_control_msgs : Ctrl.t list =
+  [
+    Ctrl.Hello { node_id = 7 };
+    Ctrl.Join { node_id = 3; port = 9001 };
+    Ctrl.Peers { peers = [| (0, 5000); (1, 5001); (2, 5002) |] };
+    Ctrl.Group_assign { gid = 2; members = [| 4; 5; 6 |] };
+    Ctrl.Barrier { iter = 0 };
+    Ctrl.Abort { code = Ctrl.abort_proof_rejected; detail = "shuffle proof rejected gid=1" };
+    Ctrl.Shutdown;
+    Ctrl.Ack { token = 11 };
+    Ctrl.Submissions { gid = 1; blobs = [| ""; "ab"; String.make 40 'x' |] };
+    Ctrl.Trap_commitments { gid = 0; commitments = [| String.make 32 'c'; String.make 32 'd' |] };
+    Ctrl.Published { plaintexts = [| "hi"; ""; "third" |] };
+  ]
+
+(* One instance of every data-plane message, with real ciphertexts (both
+   with and without the carried Y component, so both branches of the
+   cipher codec are exercised). *)
+let sample_codec_msgs () : WC.msg list =
+  let r = rng () in
+  let kp = El.keygen r in
+  let next = El.keygen r in
+  let vec () = fst (El.enc_vec r kp.El.pk [| G.random r; G.random r |]) in
+  let vec_y () =
+    fst
+      (El.reenc_vec r ~share:(G.Scalar.random r) ~coeff:(G.Scalar.random r)
+         ~next_pk:(Some next.El.pk) (vec ()))
+  in
+  [
+    WC.Group_key { gid = 1; pk = kp.El.pk };
+    WC.Batch
+      {
+        gid = 0;
+        iter = 1;
+        src_gid = 2;
+        input = [| vec (); vec () |];
+        output = [| vec_y (); vec_y () |];
+        proofs = [| "p0"; "p1" |];
+      };
+    WC.Shuffle_step
+      {
+        gid = 3;
+        iter = 0;
+        step = 2;
+        input = [| vec () |];
+        output = [| vec () |];
+        proof = String.make 65 's';
+      };
+    WC.Reenc_step
+      {
+        gid = 1;
+        iter = 2;
+        batch_idx = 3;
+        step = 2;
+        input = [| vec () |];
+        output = [| vec_y () |];
+        proofs = [| "" |];
+      };
+    WC.Exit_batch
+      {
+        gid = 2;
+        batch_idx = 0;
+        input = [| vec (); vec_y () |];
+        output = [| vec_y () |];
+        proofs = [| "q" |];
+      };
+  ]
+
+let test_frame_roundtrip_all_kinds () =
+  List.iter
+    (fun (kind, name) ->
+      let body = "body-of-" ^ name in
+      match Frame.decode (Frame.encode ~kind body) with
+      | Some (k', b') ->
+          Alcotest.(check int) ("kind " ^ name) kind k';
+          Alcotest.(check string) ("body " ^ name) body b'
+      | None -> Alcotest.fail ("frame roundtrip failed: " ^ name))
+    Frame.kind_names;
+  (* Empty body is legal (Shutdown has one). *)
+  Alcotest.(check bool) "empty body roundtrips" true
+    (Frame.decode (Frame.encode ~kind:Frame.kind_shutdown "") = Some (Frame.kind_shutdown, ""))
+
+let test_frame_rejections () =
+  let f = Frame.encode ~kind:Frame.kind_barrier "\000\000\000\007" in
+  let flip i mask =
+    let b = Bytes.of_string f in
+    Bytes.set b i (Char.chr (Char.code f.[i] lxor mask));
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "bad magic" true (Frame.decode (flip 0 0x01) = None);
+  Alcotest.(check bool) "bad version" true (Frame.decode (flip 4 0x02) = None);
+  Alcotest.(check bool) "unknown kind" true (Frame.decode (flip 5 0x40) = None);
+  Alcotest.(check bool) "nonzero flags" true (Frame.decode (flip 6 0x01) = None);
+  Alcotest.(check bool) "bad body length" true (Frame.decode (flip 11 0x01) = None);
+  Alcotest.(check bool) "bad crc" true (Frame.decode (flip 12 0x80) = None);
+  Alcotest.(check bool) "flipped body byte" true (Frame.decode (flip 16 0x01) = None);
+  Alcotest.(check bool) "trailing garbage" true (Frame.decode (f ^ "\000") = None);
+  Alcotest.(check bool) "empty input" true (Frame.decode "" = None);
+  Alcotest.(check bool) "header survives intact" true (Frame.kind_of f = Some Frame.kind_barrier)
+
+let test_control_roundtrip_and_truncation () =
+  List.iter
+    (fun msg ->
+      let e = Ctrl.encode msg in
+      (match Ctrl.decode e with
+      | Some msg' -> Alcotest.(check bool) "control roundtrip" true (msg' = msg)
+      | None -> Alcotest.fail "control decode failed");
+      (* Every strict prefix must be rejected — no partial parses. *)
+      for i = 0 to String.length e - 1 do
+        if Ctrl.decode (String.sub e 0 i) <> None then
+          Alcotest.failf "truncation at byte %d accepted" i
+      done;
+      Alcotest.(check bool) "trailing byte rejected" true (Ctrl.decode (e ^ "\000") = None))
+    all_control_msgs
+
+let test_control_bitflips () =
+  List.iter
+    (fun msg ->
+      let e = Ctrl.encode msg in
+      String.iteri
+        (fun i _ ->
+          List.iter
+            (fun mask ->
+              let b = Bytes.of_string e in
+              Bytes.set b i (Char.chr (Char.code e.[i] lxor mask));
+              match Ctrl.decode (Bytes.to_string b) with
+              | None -> () (* checksum or header validation caught it *)
+              | Some msg' ->
+                  (* A kind-byte flip can land on another registered kind
+                     whose layout happens to parse; it must never
+                     reproduce the original message. *)
+                  Alcotest.(check bool) "flip never yields the original" true (msg' <> msg))
+            [ 0x01; 0x80 ])
+        e)
+    all_control_msgs
+
+let test_codec_roundtrip_truncation_bitflip () =
+  List.iter
+    (fun msg ->
+      let e = WC.encode msg in
+      (match WC.decode e with
+      | None -> Alcotest.fail "codec decode failed"
+      | Some msg' ->
+          (* The encoding is canonical, so re-encoding the decoded message
+             is a full structural equality check without needing element
+             comparison. *)
+          Alcotest.(check string) "canonical re-encode" e (WC.encode msg'));
+      for i = 0 to String.length e - 1 do
+        if WC.decode (String.sub e 0 i) <> None then
+          Alcotest.failf "codec truncation at byte %d accepted" i
+      done;
+      (* Every single-byte corruption of the body is caught by the CRC. *)
+      for i = Frame.header_bytes to String.length e - 1 do
+        let b = Bytes.of_string e in
+        Bytes.set b i (Char.chr (Char.code e.[i] lxor 0x10));
+        if WC.decode (Bytes.to_string b) <> None then
+          Alcotest.failf "codec body flip at byte %d accepted" i
+      done)
+    (sample_codec_msgs ())
+
+let gen_bytes n = QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound n))
+
+let prop_frame_decode_total =
+  QCheck2.Test.make ~name:"Frame decoders never raise" ~count:500 (gen_bytes 200) (fun s ->
+      ignore (Frame.decode s);
+      ignore (Frame.read_header s);
+      ignore (Frame.kind_of s);
+      true)
+
+let prop_control_decode_total =
+  QCheck2.Test.make ~name:"Control.decode never raises" ~count:500 (gen_bytes 200) (fun s ->
+      match Ctrl.decode s with Some _ | None -> true)
+
+let prop_codec_decode_total =
+  QCheck2.Test.make ~name:"Codec.decode never raises" ~count:500 (gen_bytes 200) (fun s ->
+      match WC.decode s with Some _ | None -> true)
+
+(* The hard half of totality: a random body behind a VALID header passes
+   the checksum, so this drives every kind's body parser on arbitrary
+   bytes (the frame-level fuzz above almost never gets past the CRC). *)
+let prop_decode_body_total =
+  QCheck2.Test.make ~name:"per-kind body decoders total + framed roundtrip" ~count:200
+    (gen_bytes 120) (fun body ->
+      List.for_all
+        (fun (kind, _) ->
+          (match Ctrl.decode_body kind body with Some _ | None -> true)
+          && (match WC.decode_body kind body with Some _ | None -> true)
+          &&
+          match Frame.decode (Frame.encode ~kind body) with
+          | Some (k, b) -> k = kind && b = body
+          | None -> false)
+        Frame.kind_names)
+
+(* ---- Message.unframe strictness (covert-channel hardening) ---- *)
+
+let test_unframe_strictness () =
+  (* +1 element of width forces a non-empty padding region. *)
+  let width = Msg.width_for ~payload_bytes:8 + 1 in
+  let framed = Msg.frame ~tag:Msg.tag_message "payload!" ~width in
+  (match Msg.unframe framed with
+  | Some (tag, payload) ->
+      Alcotest.(check char) "tag" Msg.tag_message tag;
+      Alcotest.(check string) "payload" "payload!" payload
+  | None -> Alcotest.fail "clean frame rejected");
+  let mut i c =
+    let b = Bytes.of_string framed in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  Alcotest.(check bool) "unknown tag rejected" true (Msg.unframe (mut 0 'X') = None);
+  Alcotest.(check bool) "non-zero padding rejected" true
+    (Msg.unframe (mut (String.length framed - 1) '\001') = None);
+  Alcotest.(check bool) "trap tag accepted" true
+    (match Msg.unframe (Msg.frame ~tag:Msg.tag_trap "trapdata" ~width) with
+    | Some (t, "trapdata") -> t = Msg.tag_trap
+    | _ -> false);
+  Alcotest.(check bool) "short input rejected" true (Msg.unframe "M" = None)
+
+(* ---- Submissions over the wire frame ---- *)
+
+let test_submissions_frame_roundtrip () =
+  let r = rng () in
+  let config = Config.tiny ~variant:Config.Nizk () in
+  let net = Pr.setup r config () in
+  let subs =
+    List.init 3 (fun i -> Pr.submit r net ~user:i ~entry_gid:1 (Printf.sprintf "m%d" i))
+  in
+  let frame = Pr.Wire.submissions_to_frame ~gid:1 subs in
+  (match Pr.Wire.submissions_of_frame frame with
+  | None -> Alcotest.fail "submissions frame decode failed"
+  | Some (gid, subs') ->
+      Alcotest.(check int) "gid" 1 gid;
+      Alcotest.(check (list int)) "users" [ 0; 1; 2 ]
+        (List.map (fun s -> s.Pr.user) subs'));
+  Alcotest.(check bool) "garbage rejected" true (Pr.Wire.submissions_of_frame "nope" = None);
+  (* A bad blob inside an otherwise-valid frame rejects the whole frame. *)
+  let bad = Ctrl.encode (Ctrl.Submissions { gid = 1; blobs = [| "junk" |] }) in
+  Alcotest.(check bool) "bad blob rejects whole frame" true
+    (Pr.Wire.submissions_of_frame bad = None)
+
+let prop_submissions_frame_total =
+  QCheck2.Test.make ~name:"submissions_of_frame never raises" ~count:300 (gen_bytes 200)
+    (fun s -> match Pr.Wire.submissions_of_frame s with Some _ | None -> true)
+
 let suite =
   let q t = QCheck_alcotest.to_alcotest t in
   ( "wire",
@@ -217,4 +467,18 @@ let suite =
       Alcotest.test_case "session blame + blacklist" `Quick test_session_blames_and_blacklists;
       Alcotest.test_case "session nizk fallback" `Quick test_session_falls_back_to_nizk;
       q prop_submission_decode_total;
+      Alcotest.test_case "frame roundtrip all kinds" `Quick test_frame_roundtrip_all_kinds;
+      Alcotest.test_case "frame rejections" `Quick test_frame_rejections;
+      Alcotest.test_case "control roundtrip + truncation" `Quick
+        test_control_roundtrip_and_truncation;
+      Alcotest.test_case "control bitflips" `Quick test_control_bitflips;
+      Alcotest.test_case "codec roundtrip + truncation + bitflip" `Quick
+        test_codec_roundtrip_truncation_bitflip;
+      Alcotest.test_case "unframe strictness" `Quick test_unframe_strictness;
+      Alcotest.test_case "submissions frame roundtrip" `Quick test_submissions_frame_roundtrip;
+      q prop_frame_decode_total;
+      q prop_control_decode_total;
+      q prop_codec_decode_total;
+      q prop_decode_body_total;
+      q prop_submissions_frame_total;
     ] )
