@@ -591,6 +591,146 @@ let wire_bench () =
     Printf.printf "wrote BENCH_wire.json\n\n"
   end
 
+(* ---- parallel: domain-pool scaling of the crypto hot paths ---- *)
+
+(* Wall-clock min over [reps] runs — bechamel's quota machinery suits
+   microsecond primitives, not multi-second pooled batches, and min-of-reps
+   is the usual noise floor for a scaling curve. *)
+let time_min ~(reps : int) (f : unit -> unit) : float =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let parallel () =
+  header "parallel: domain-pool scaling of the crypto batches (1/2/4/8 domains)";
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let reps = 2 in
+  (* Paper-shaped op mixes (Table 3 / §6): fixed-base batch and big MSM on
+     the prototype's curve, and the acceptance workload — one batched
+     shuffle-proof verification over n = 1024 units — on the 256-bit
+     Schnorr group, where a verification is one ~10·n-term
+     multi-exponentiation. Every workload returns a fingerprint of its
+     output so the scaling claim carries a bit-identity check: the pool
+     must change the wall clock, never the bytes. *)
+  let workloads =
+    let p256 =
+      let module G = Atom_group.P256 in
+      let rng = Atom_util.Rng.create 0xbe7c in
+      let ks = Array.init 1024 (fun _ -> G.Scalar.random rng) in
+      let pairs = Array.init 1024 (fun i -> (G.pow_gen ks.((i * 31) mod 1024), ks.(i))) in
+      [
+        ( "pow_gen_batch n=1024", "p256",
+          fun pool ->
+            Atom_hash.Sha256.digest_list
+              (Array.to_list (Array.map G.to_bytes (G.pow_gen_batch ~pool ks))) );
+        ("msm n=1024", "p256", fun pool -> G.to_bytes (G.msm ~pool pairs));
+      ]
+    in
+    let shuffle_verify =
+      let module G = (val Atom_group.Registry.zp_medium ()) in
+      let module El = Atom_elgamal.Elgamal.Make (G) in
+      let module Shuf = Atom_zkp.Shuffle_proof.Make (G) (El) in
+      let rng = Atom_util.Rng.create 0xbe7d in
+      let kp = El.keygen rng in
+      let units = Array.init 1024 (fun _ -> fst (El.enc_vec rng kp.El.pk [| G.random rng |])) in
+      let shuffled, witness = Option.get (El.shuffle_vec rng kp.El.pk units) in
+      let pi = Shuf.prove rng ~pk:kp.El.pk ~context:"par" ~input:units ~output:shuffled ~witness in
+      [
+        ( "shuffle-verify n=1024", "zp-256",
+          fun pool ->
+            if Shuf.verify ~pool ~pk:kp.El.pk ~context:"par" ~input:units ~output:shuffled pi
+            then "accept"
+            else "reject" );
+      ]
+    in
+    p256 @ shuffle_verify
+  in
+  (* The calibrated model's view of the same knob: per-core provisioning
+     of one NIZK mixing iteration (Figure 7's axis), to cross-check the
+     measured pool curve against what the cost model promises. *)
+  let model_seconds cores =
+    Simulate.one_iteration_seconds ~cal:Calibration.paper ~variant:Config.Nizk ~k:32 ~units:1024
+      ~points:1 ~cores ~intra_parallel:true ~include_network:false ()
+  in
+  let model_base = model_seconds 1 in
+  Printf.printf "%-24s %-8s %8s %12s %9s %9s  %s\n" "workload" "group" "domains" "seconds"
+    "speedup" "model" "identical";
+  let results =
+    List.map
+      (fun (name, group, run) ->
+        let reference = ref "" in
+        let rows =
+          List.map
+            (fun domains ->
+              let pool = Atom_exec.Pool.create ~domains () in
+              let fp = ref "" in
+              let seconds =
+                Fun.protect
+                  ~finally:(fun () -> Atom_exec.Pool.shutdown pool)
+                  (fun () -> time_min ~reps (fun () -> fp := run pool))
+              in
+              if domains = 1 then reference := !fp;
+              (domains, seconds, !fp = !reference))
+            domain_counts
+        in
+        let base = match rows with (_, s, _) :: _ -> s | [] -> nan in
+        let identical = List.for_all (fun (_, _, same) -> same) rows in
+        List.iter
+          (fun (domains, seconds, _) ->
+            Printf.printf "%-24s %-8s %8d %12.4f %8.2fx %8.2fx  %s\n" name group domains seconds
+              (base /. seconds)
+              (model_base /. model_seconds domains)
+              (if identical then "yes" else "NO"))
+          rows;
+        (name, group, rows, base, identical))
+      workloads
+  in
+  if List.exists (fun (_, _, _, _, identical) -> not identical) results then begin
+    Printf.printf "FAILED: pooled output diverged from the 1-domain reference\n";
+    exit 1
+  end;
+  Printf.printf
+    "(speedup = t(1 domain)/t(d); model = calibrated per-core provisioning, Figure 7 axis)\n\n";
+  if !json_mode then begin
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n  \"schema\": \"atom-bench-parallel/1\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"recommended_domains\": %d,\n" (Domain.recommended_domain_count ()));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"domains\": [%s],\n"
+         (String.concat ", " (List.map string_of_int domain_counts)));
+    Buffer.add_string buf "  \"workloads\": [\n";
+    let nw = List.length results in
+    List.iteri
+      (fun wi (name, group, rows, base, identical) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": %S, \"group\": %S, \"n\": 1024, \"identical\": %b,\n     \"results\": [\n"
+             name group identical);
+        let nr = List.length rows in
+        List.iteri
+          (fun i (domains, seconds, _) ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "       {\"domains\": %d, \"seconds\": %.6e, \"speedup\": %.3f, \"model_speedup\": %.3f}%s\n"
+                 domains seconds (base /. seconds)
+                 (model_base /. model_seconds domains)
+                 (if i = nr - 1 then "" else ",")))
+          rows;
+        Buffer.add_string buf (Printf.sprintf "     ]}%s\n" (if wi = nw - 1 then "" else ",")))
+      results;
+    Buffer.add_string buf "  ]\n}\n";
+    let oc = open_out "BENCH_parallel.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_parallel.json\n\n"
+  end
+
 let experiments : (string * string * (unit -> unit)) list =
   [
     ("table3", "crypto primitive latencies (bechamel)", table3);
@@ -599,6 +739,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig5", "mixing iteration vs #messages", fig5);
     ("fig6", "mixing iteration vs group size", fig6);
     ("fig7", "speed-up vs cores", fig7);
+    ("parallel", "domain-pool scaling of the crypto batches", parallel);
     ("fig8", "fleet and latency model", fig8);
     ("fig9", "end-to-end latency vs #messages", fig9);
     ("fig10", "speed-up vs #servers", fig10);

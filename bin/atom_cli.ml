@@ -339,8 +339,8 @@ let variant_name = function
 (* Spawn N atom_node processes on loopback, drive a full round over real
    TCP, and check the published plaintexts against the single-process
    reference run for the same seed. *)
-let run_cluster variant users servers groups group_size h iterations msg_bytes seed node_bin
-    timeout metrics metrics_out log_dir =
+let run_cluster variant users servers groups group_size h iterations msg_bytes seed domains
+    node_bin timeout metrics metrics_out log_dir =
   let ops0 = opcounts_before () in
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
@@ -398,6 +398,7 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
             "--iterations"; string_of_int iterations;
             "--msg-bytes"; string_of_int msg_bytes;
             "--seed"; string_of_int seed;
+            "--domains"; string_of_int domains;
             "--recv-timeout"; Printf.sprintf "%g" poll;
             "--max-idle"; string_of_int (max 1 (int_of_float (timeout /. poll)));
           |]
@@ -448,36 +449,42 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
   let ports = Hashtbl.create servers in
   while Hashtbl.length ports < servers && Unix.gettimeofday () < deadline do
     match Tcp.recv t ~timeout:0.5 with
-    | Some (_, frame) -> (
+    | Ok (_, frame) -> (
         match Ctrl.decode frame with
         | Some (Ctrl.Join { node_id; port }) ->
             Hashtbl.replace ports node_id port;
             Tcp.add_peer t ~node_id ~host:"127.0.0.1" ~port
         | _ -> ())
-    | None -> ()
+    | Error _ -> ()
   done;
   if Hashtbl.length ports < servers then
     die (Printf.sprintf "%d/%d nodes joined before timeout" (Hashtbl.length ports) servers);
   let peers = Array.init servers (fun i -> (i, Hashtbl.find ports i)) in
   for i = 0 to servers - 1 do
-    ignore (Tcp.send t ~dst:i (Ctrl.encode (Ctrl.Peers { peers })))
+    match Tcp.send t ~dst:i (Ctrl.encode (Ctrl.Peers { peers })) with
+    | Ok () -> ()
+    | Error e ->
+        die
+          (Printf.sprintf "peer list to node %d: %s" i (Atom_rpc.Transport.error_to_string e))
   done;
   let acked = ref 0 in
   while !acked < servers && Unix.gettimeofday () < deadline do
     match Tcp.recv t ~timeout:0.5 with
-    | Some (_, frame) -> (
+    | Ok (_, frame) -> (
         match Ctrl.decode frame with Some (Ctrl.Ack _) -> incr acked | _ -> ())
-    | None -> ()
+    | Error _ -> ()
   done;
   if !acked < servers then die (Printf.sprintf "%d/%d nodes acked the peer list" !acked servers);
   Printf.printf "cluster: %d node processes on loopback (coordinator port %d) [%.2fs]\n" servers
     port
     (Unix.gettimeofday () -. t0);
+  let pool = if domains > 1 then Some (Atom_exec.Pool.create ~domains ()) else None in
   let result =
-    Node.run_coordinator t ~config ~users ~recv_timeout:0.25
+    Node.run_coordinator ?pool t ~config ~users ~recv_timeout:0.25
       ~max_idle:(max 1 (int_of_float (timeout /. 0.25)))
       ()
   in
+  Option.iter Atom_exec.Pool.shutdown pool;
   reap ~kill:false;
   Tcp.close t;
   Printf.printf "cluster round: %d/%d messages delivered over TCP in %.2fs wall\n"
@@ -519,6 +526,12 @@ let cluster_cmd =
   let iterations = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Mixing iterations (T).") in
   let msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:"Worker domains per node for crypto batches (0 = honor ATOM_DOMAINS).")
+  in
   let node_bin =
     Arg.(value & opt (some string) None & info [ "node-bin" ] ~doc:"Path to the atom_node binary.")
   in
@@ -537,7 +550,7 @@ let cluster_cmd =
              the output against the single-process reference.")
     Term.(
       const run_cluster $ variant $ users $ servers $ groups $ group_size $ h $ iterations
-      $ msg_bytes $ seed $ node_bin $ timeout $ metrics_flag $ metrics_out $ log_dir)
+      $ msg_bytes $ seed $ domains $ node_bin $ timeout $ metrics_flag $ metrics_out $ log_dir)
 
 (* ---- sizing ---- *)
 

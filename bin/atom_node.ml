@@ -26,7 +26,7 @@ let variant_conv =
   Arg.conv (parse, print)
 
 let run node_id coord_port host variant servers groups group_size h iterations msg_bytes seed
-    recv_timeout max_idle verbose =
+    domains recv_timeout max_idle verbose =
   if verbose then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
@@ -48,25 +48,34 @@ let run node_id coord_port host variant servers groups group_size h iterations m
   in
   Config.validate config;
   let coord = servers in
+  (* --domains 0 (the default) defers to ATOM_DOMAINS / the process-wide
+     default pool; --domains 1 forces sequential; N > 1 builds a pool. *)
+  let pool =
+    if domains > 1 then Some (Atom_exec.Pool.create ~domains ())
+    else if domains = 1 then None
+    else Atom_exec.Pool.default ()
+  in
   let t = Atom_rpc.Tcp_transport.create ~host ~node_id () in
   Atom_rpc.Tcp_transport.add_peer t ~node_id:coord ~host ~port:coord_port;
-  if
-    not
-      (Atom_rpc.Tcp_transport.send t ~dst:coord
-         (Atom_wire.Control.encode
-            (Atom_wire.Control.Join { node_id; port = Atom_rpc.Tcp_transport.port t })))
-  then begin
-    prerr_endline "atom_node: cannot reach coordinator";
-    exit 1
-  end;
-  Node.run_node t ~config ~node_id ~coord ~recv_timeout ~max_idle
+  (match
+     Atom_rpc.Tcp_transport.send t ~dst:coord
+       (Atom_wire.Control.encode
+          (Atom_wire.Control.Join { node_id; port = Atom_rpc.Tcp_transport.port t }))
+   with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "atom_node: cannot reach coordinator: %s\n"
+        (Atom_rpc.Transport.error_to_string e);
+      exit 1);
+  Node.run_node ?pool t ~config ~node_id ~coord ~recv_timeout ~max_idle
     ~on_peers:(fun peers ->
       Array.iter
         (fun (id, port) ->
           if id <> node_id then Atom_rpc.Tcp_transport.add_peer t ~node_id:id ~host ~port)
         peers)
     ();
-  Atom_rpc.Tcp_transport.close t
+  Atom_rpc.Tcp_transport.close t;
+  if domains > 1 then Option.iter Atom_exec.Pool.shutdown pool
 
 let cmd =
   let node_id = Arg.(required & opt (some int) None & info [ "node-id" ] ~doc:"This server's id.") in
@@ -82,6 +91,12 @@ let cmd =
   let iterations = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Mixing iterations (T).") in
   let msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
+  let domains =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:"Worker domains for crypto batches (0 = honor ATOM_DOMAINS, 1 = sequential).")
+  in
   let recv_timeout =
     Arg.(value & opt float 0.5 & info [ "recv-timeout" ] ~doc:"Event-loop poll interval (s).")
   in
@@ -93,6 +108,6 @@ let cmd =
     (Cmd.info "atom_node" ~doc:"One Atom server process (spawned by atom_cli cluster).")
     Term.(
       const run $ node_id $ coord_port $ host $ variant $ servers $ groups $ group_size $ h
-      $ iterations $ msg_bytes $ seed $ recv_timeout $ max_idle $ verbose)
+      $ iterations $ msg_bytes $ seed $ domains $ recv_timeout $ max_idle $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -87,17 +87,17 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
   (* C' ← Shuffle(X, C): rerandomize all ciphertexts then permute, returning
      the witness needed for a proof of shuffle. The convention is
      output.(i) = rerandomize(input.(permutation.(i)), rerands.(i)). *)
-  let shuffle (rng : Atom_util.Rng.t) (pk : G.t) (cts : cipher array) :
+  let shuffle ?pool (rng : Atom_util.Rng.t) (pk : G.t) (cts : cipher array) :
       (cipher array * shuffle_witness) option =
     if Array.exists (fun ct -> ct.y <> None) cts then None
     else begin
       let n = Array.length cts in
       let permutation = Atom_util.Rng.permutation rng n in
       let rerands = Array.init n (fun _ -> G.Scalar.random rng) in
-      let gr = G.pow_gen_batch rerands in
-      let pkr = G.pow_batch pk rerands in
+      let gr = G.pow_gen_batch ?pool rerands in
+      let pkr = G.pow_batch ?pool pk rerands in
       let out =
-        Array.init n (fun i ->
+        Atom_exec.Pool.tabulate ?pool n (fun i ->
             let src = cts.(permutation.(i)) in
             { r = G.mul src.r gr.(i); c = G.mul src.c pkr.(i); y = None })
       in
@@ -138,52 +138,52 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
   (* Batch encryption: all the fixed-base work (g^{r_i} from the comb
      table, pk^{r_i} from one window table) is normalized with a single
      inversion per batch instead of one per exponentiation. Randomness is
-     drawn in the same order as the elementwise path. *)
-  let enc_vec rng pk (ms : G.t array) : vec * G.Scalar.t array =
+     drawn in the same order as the elementwise path — and always on the
+     caller, before any parallel region. *)
+  let enc_vec ?pool rng pk (ms : G.t array) : vec * G.Scalar.t array =
     let rs = Array.init (Array.length ms) (fun _ -> G.Scalar.random rng) in
-    let gr = G.pow_gen_batch rs in
-    let pkr = G.pow_batch pk rs in
-    let cts = Array.mapi (fun i m -> { r = gr.(i); c = G.mul m pkr.(i); y = None }) ms in
+    let gr = G.pow_gen_batch ?pool rs in
+    let pkr = G.pow_batch ?pool pk rs in
+    let cts =
+      Atom_exec.Pool.tabulate ?pool (Array.length ms) (fun i ->
+          { r = gr.(i); c = G.mul ms.(i) pkr.(i); y = None })
+    in
     (cts, rs)
 
-  let dec_vec sk (v : vec) : G.t array option =
-    let out = Array.map (dec sk) v in
+  let dec_vec ?pool sk (v : vec) : G.t array option =
+    let out = Atom_exec.Pool.map ?pool (dec sk) v in
     if Array.exists Option.is_none out then None else Some (Array.map Option.get out)
 
   (* Batch re-encryption. The strip factors D_i = Y_i^{x_eff} have distinct
-     bases and cannot share tables, but the fresh-randomness half (g^{r'_i}
-     and X'^{r'_i}) is pure fixed-base work and batches. Randomness is drawn
-     in the same order as the elementwise path. *)
-  let reenc_vec rng ~share ?(coeff = G.Scalar.one) ~next_pk (v : vec) :
+     bases and cannot share tables, but they are mutually independent and
+     go to the pool one exponentiation per index; the fresh-randomness half
+     (g^{r'_i} and X'^{r'_i}) is pure fixed-base work and batches.
+     Randomness is drawn in the same order as the elementwise path, on the
+     caller, before any parallel region. *)
+  let reenc_vec ?pool rng ~share ?(coeff = G.Scalar.one) ~next_pk (v : vec) :
       vec * reenc_witness array =
+    let n = Array.length v in
+    let x_eff = G.Scalar.mul coeff share in
+    let ys = Array.map (fun ct -> match ct.y with None -> ct.r | Some y -> y) v in
+    let rs = Array.map (fun ct -> match ct.y with None -> G.one | Some _ -> ct.r) v in
     match next_pk with
     | None ->
-        let x_eff = G.Scalar.mul coeff share in
-        let wits = Array.make (Array.length v) { stripped = G.one; fresh = G.Scalar.zero } in
+        let ds = Atom_exec.Pool.map ?pool (fun y -> G.pow y x_eff) ys in
+        let wits = Array.init n (fun i -> { stripped = ds.(i); fresh = G.Scalar.zero }) in
         let out =
-          Array.mapi
-            (fun i ct ->
-              let y, r = match ct.y with None -> (ct.r, G.one) | Some y -> (y, ct.r) in
-              let d = G.pow y x_eff in
-              wits.(i) <- { stripped = d; fresh = G.Scalar.zero };
-              { r; c = G.div ct.c d; y = Some y })
-            v
+          Atom_exec.Pool.tabulate ?pool n (fun i ->
+              { r = rs.(i); c = G.div v.(i).c ds.(i); y = Some ys.(i) })
         in
         (out, wits)
     | Some pk' ->
-        let x_eff = G.Scalar.mul coeff share in
-        let fresh = Array.init (Array.length v) (fun _ -> G.Scalar.random rng) in
-        let gr = G.pow_gen_batch fresh in
-        let pkr = G.pow_batch pk' fresh in
-        let wits = Array.make (Array.length v) { stripped = G.one; fresh = G.Scalar.zero } in
+        let fresh = Array.init n (fun _ -> G.Scalar.random rng) in
+        let ds = Atom_exec.Pool.map ?pool (fun y -> G.pow y x_eff) ys in
+        let gr = G.pow_gen_batch ?pool fresh in
+        let pkr = G.pow_batch ?pool pk' fresh in
+        let wits = Array.init n (fun i -> { stripped = ds.(i); fresh = fresh.(i) }) in
         let out =
-          Array.mapi
-            (fun i ct ->
-              let y, r = match ct.y with None -> (ct.r, G.one) | Some y -> (y, ct.r) in
-              let d = G.pow y x_eff in
-              wits.(i) <- { stripped = d; fresh = fresh.(i) };
-              { r = G.mul r gr.(i); c = G.mul (G.div ct.c d) pkr.(i); y = Some y })
-            v
+          Atom_exec.Pool.tabulate ?pool n (fun i ->
+              { r = G.mul rs.(i) gr.(i); c = G.mul (G.div v.(i).c ds.(i)) pkr.(i); y = Some ys.(i) })
         in
         (out, wits)
 
@@ -194,7 +194,7 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
   (* Shuffle a batch of vector ciphertexts: one shared permutation across
      messages, independent rerandomization per component. Convention:
      output.(j) = rerandomize(input.(vperm.(j))) with exponents vrerands.(j). *)
-  let shuffle_vec (rng : Atom_util.Rng.t) (pk : G.t) (vs : vec array) :
+  let shuffle_vec ?pool (rng : Atom_util.Rng.t) (pk : G.t) (vs : vec array) :
       (vec array * vec_shuffle_witness) option =
     if Array.exists (fun v -> Array.exists (fun ct -> Option.is_some ct.y) v) vs then None
     else begin
@@ -207,19 +207,23 @@ module Make (G : Atom_group.Group_intf.GROUP) = struct
             Array.init (Array.length vs.(vperm.(j))) (fun _ -> G.Scalar.random rng))
       in
       let flat = Array.concat (Array.to_list vrerands) in
-      let gr = G.pow_gen_batch flat in
-      let pkr = G.pow_batch pk flat in
-      let out = Array.make n [||] in
+      let gr = G.pow_gen_batch ?pool flat in
+      let pkr = G.pow_batch ?pool pk flat in
+      let offsets = Array.make n 0 in
       let off = ref 0 in
       for j = 0 to n - 1 do
-        let src = vs.(vperm.(j)) in
-        let base = !off in
-        out.(j) <-
-          Array.mapi
-            (fun w ct -> { r = G.mul ct.r gr.(base + w); c = G.mul ct.c pkr.(base + w); y = None })
-            src;
-        off := base + Array.length src
+        offsets.(j) <- !off;
+        off := !off + Array.length vs.(vperm.(j))
       done;
+      let out =
+        Atom_exec.Pool.tabulate ?pool n (fun j ->
+            let src = vs.(vperm.(j)) in
+            let base = offsets.(j) in
+            Array.mapi
+              (fun w ct ->
+                { r = G.mul ct.r gr.(base + w); c = G.mul ct.c pkr.(base + w); y = None })
+              src)
+      in
       Some (out, { vperm; vrerands })
     end
 

@@ -36,9 +36,17 @@ module Make (G : Atom_group.Group_intf.GROUP) : sig
 
   type shuffle_witness = { permutation : int array; rerands : G.Scalar.t array }
 
-  val shuffle : Atom_util.Rng.t -> G.t -> cipher array -> (cipher array * shuffle_witness) option
+  val shuffle :
+    ?pool:Atom_exec.Pool.t ->
+    Atom_util.Rng.t ->
+    G.t ->
+    cipher array ->
+    (cipher array * shuffle_witness) option
   (** Rerandomize-and-permute (the per-server piece of Algorithm 1 step 1);
-      output.(i) = rerandomize(input.(permutation.(i))). *)
+      output.(i) = rerandomize(input.(permutation.(i))). Like every batch
+      entry point below, takes an optional execution pool; randomness is
+      always drawn sequentially on the caller, so results are identical
+      for every pool size. *)
 
   type reenc_witness = { stripped : G.t; fresh : G.Scalar.t }
 
@@ -63,10 +71,13 @@ module Make (G : Atom_group.Group_intf.GROUP) : sig
   (* Vector ciphertexts: one component per embedded group element. *)
   type vec = cipher array
 
-  val enc_vec : Atom_util.Rng.t -> G.t -> G.t array -> vec * G.Scalar.t array
-  val dec_vec : G.Scalar.t -> vec -> G.t array option
+  val enc_vec :
+    ?pool:Atom_exec.Pool.t -> Atom_util.Rng.t -> G.t -> G.t array -> vec * G.Scalar.t array
+
+  val dec_vec : ?pool:Atom_exec.Pool.t -> G.Scalar.t -> vec -> G.t array option
 
   val reenc_vec :
+    ?pool:Atom_exec.Pool.t ->
     Atom_util.Rng.t ->
     share:G.Scalar.t ->
     ?coeff:G.Scalar.t ->
@@ -79,7 +90,11 @@ module Make (G : Atom_group.Group_intf.GROUP) : sig
   type vec_shuffle_witness = { vperm : int array; vrerands : G.Scalar.t array array }
 
   val shuffle_vec :
-    Atom_util.Rng.t -> G.t -> vec array -> (vec array * vec_shuffle_witness) option
+    ?pool:Atom_exec.Pool.t ->
+    Atom_util.Rng.t ->
+    G.t ->
+    vec array ->
+    (vec array * vec_shuffle_witness) option
   (** One shared permutation across messages, independent rerandomization
       per component. *)
 

@@ -1,0 +1,27 @@
+(* Domain-safe lazy initialization.
+
+   [Lazy.force] is not safe under concurrent forcing in OCaml 5 (a second
+   forcer raises [Lazy.Undefined]); this cell is. The value is published
+   through an [Atomic], so the fast path after initialization is a single
+   atomic load; the slow path serializes builders behind a mutex and
+   re-checks, so the thunk runs exactly once even when several domains
+   race to the first [get]. *)
+
+type 'a t = { mu : Mutex.t; cell : 'a option Atomic.t; f : unit -> 'a }
+
+let make f = { mu = Mutex.create (); cell = Atomic.make None; f }
+
+let get t =
+  match Atomic.get t.cell with
+  | Some v -> v
+  | None ->
+      Mutex.lock t.mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.mu)
+        (fun () ->
+          match Atomic.get t.cell with
+          | Some v -> v
+          | None ->
+              let v = t.f () in
+              Atomic.set t.cell (Some v);
+              v)

@@ -1,0 +1,14 @@
+(** Domain-safe lazy initialization: a thunk run at most once, its value
+    published through an [Atomic] so later reads are a single atomic load.
+    Replaces ['a lazy_t] where multiple domains may race to force (OCaml 5
+    raises [Lazy.Undefined] on a concurrent force). *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+
+val get : 'a t -> 'a
+(** Runs the thunk on first call (builders from other domains block until
+    it finishes); afterwards returns the cached value. If the thunk
+    raises, the exception propagates and the cell stays empty, so a later
+    [get] retries. *)

@@ -1,0 +1,73 @@
+(** A deterministic work-sharing domain pool for the crypto hot paths.
+
+    [run pool ~n f] executes [f i] for every [i] in [0, n), spread over a
+    fixed set of worker domains plus the calling thread, and returns when
+    all of them have run. Chunks of the index range are claimed from a
+    shared atomic cursor, so load balances dynamically — but because each
+    index writes only its own result slot and the pool never combines
+    values, the output is bit-identical for every pool size (including
+    the sequential fallback). Callers that fold chunk partials themselves
+    must fold in index order with an exact associative operation (modular
+    arithmetic qualifies; floats do not).
+
+    A pool drives one job at a time. A nested [run] from inside a job
+    body — e.g. a batched verifier calling a batched exponentiation — or
+    a concurrent [run] from another systhread silently degrades to
+    sequential execution on the calling thread, so one process-wide pool
+    can be shared without deadlock. The callback must therefore be safe
+    to run on worker domains: draw randomness and mutate shared state
+    {e before} entering the parallel region.
+
+    The {e default pool} is created lazily from the [ATOM_DOMAINS]
+    environment variable (unset, invalid, or [1] means "no pool":
+    everything runs sequentially) and is what [?pool]-taking APIs fall
+    back to when no explicit pool is passed. *)
+
+type t
+
+val create : ?obs:Atom_obs.Ctx.t -> domains:int -> unit -> t
+(** A pool that runs jobs on [domains] domains total: [domains - 1]
+    spawned workers plus the caller. [domains = 1] is a valid pool that
+    always runs sequentially. When [obs] is given (default
+    {!Atom_obs.Ctx.noop}), the pool records [exec.pool.jobs] and
+    [exec.pool.chunks] counters, an [exec.pool.queue_depth] gauge
+    (pending chunks of the job in flight), an
+    [exec.pool.worker_busy_seconds] histogram (per-participant busy time
+    for each job), and — when tracing is on — a [pool.run] span per job.
+    @raise Invalid_argument unless [1 <= domains <= 64]. *)
+
+val size : t -> int
+(** Total domains, caller included. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Must not be called while a job is
+    in flight; idempotent afterwards. *)
+
+val run : ?pool:t -> n:int -> (int -> unit) -> unit
+(** [run ?pool ~n f] runs [f 0 .. f (n-1)], each exactly once. Without
+    [?pool] the {!default} pool (if any) is used. Small ranges, 1-domain
+    pools, and nested/concurrent entries run sequentially on the caller.
+    If any [f i] raises, one such exception is re-raised after every
+    index has been attempted or the cursor exhausted. *)
+
+val tabulate : ?pool:t -> int -> (int -> 'a) -> 'a array
+(** [tabulate ?pool n f] is [[| f 0; ...; f (n-1) |]] with the work
+    spread over the pool. [f] must be pure (deterministic per index) —
+    [f 0] runs first on the caller to seed the result array, the rest in
+    pool order. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?pool f a] is [Array.map f a] with the work spread over the
+    pool; same purity requirement as {!tabulate}. *)
+
+val default : unit -> t option
+(** The process-wide pool, created on first use from [ATOM_DOMAINS].
+    [None] when parallelism is off. *)
+
+val set_default : t option -> unit
+(** Override the default pool (tests; [atom_node --domains]). Does not
+    shut the previous pool down — callers own that. *)
+
+val resolve : t option -> t option
+(** [resolve pool] is the pool a [?pool] argument denotes: itself when
+    explicit, otherwise {!default}. *)

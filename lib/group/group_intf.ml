@@ -67,22 +67,28 @@ module type GROUP = sig
   (* Fast-path multi-exponentiation. Every operation below is semantically
      a composition of [pow] and [mul]; backends are free to implement them
      with shared-doubling tricks (Shamir/Straus, Pippenger buckets) and
-     batch affine normalization. [Naive_multi] provides honest fallbacks. *)
+     batch affine normalization. [Naive_multi] provides honest fallbacks.
+
+     The batch entry points take an optional [?pool]: an
+     [Atom_exec.Pool.t] to spread the work over. Results are bit-identical
+     for every pool size (and for no pool at all) — parallelism is purely
+     an execution-time concern. When [?pool] is omitted the process-wide
+     default pool ([ATOM_DOMAINS]) applies. *)
 
   val pow2 : t -> scalar -> t -> scalar -> t
   (** [pow2 a j b k] = a^j · b^k (double-scalar multiplication, the shape of
       every sigma-protocol verification equation). *)
 
-  val msm : (t * scalar) array -> t
+  val msm : ?pool:Atom_exec.Pool.t -> (t * scalar) array -> t
   (** Multi-scalar multiplication: [msm [|(x1,k1);…|]] = Π xi^ki; the empty
       product is [one]. *)
 
-  val pow_batch : t -> scalar array -> t array
+  val pow_batch : ?pool:Atom_exec.Pool.t -> t -> scalar array -> t array
   (** [pow_batch x ks] = [|x^k1; x^k2; …|]: one base, many scalars. The
       base's window table is built once and curve backends normalize the
       whole batch with a single field inversion. *)
 
-  val pow_gen_batch : scalar array -> t array
+  val pow_gen_batch : ?pool:Atom_exec.Pool.t -> scalar array -> t array
   (** [pow_gen_batch ks] = [pow_batch generator ks], served from the
       fixed-base table. *)
 
@@ -140,7 +146,14 @@ end
     tests pin the specialized paths against these shapes. *)
 module Naive_multi (B : POW_CORE) = struct
   let pow2 a j b k = B.mul (B.pow a j) (B.pow b k)
-  let msm pairs = Array.fold_left (fun acc (x, k) -> B.mul acc (B.pow x k)) B.one pairs
-  let pow_batch x ks = Array.map (B.pow x) ks
-  let pow_gen_batch ks = Array.map B.pow_gen ks
+
+  (* Per-term exponentiations go to the pool; the fold stays on the
+     caller, in index order, so the result matches the sequential fold
+     exactly (group multiplication is exact and canonical). *)
+  let msm ?pool pairs =
+    let terms = Atom_exec.Pool.map ?pool (fun (x, k) -> B.pow x k) pairs in
+    Array.fold_left B.mul B.one terms
+
+  let pow_batch ?pool x ks = Atom_exec.Pool.map ?pool (B.pow x) ks
+  let pow_gen_batch ?pool ks = Atom_exec.Pool.map ?pool B.pow_gen ks
 end

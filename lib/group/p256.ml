@@ -224,9 +224,10 @@ let to_affine_batch (js : jac array) : t array =
 (* Fixed-base comb table: gen_table.(w).(d-1) = (d·16^w)·G in affine,
    for the 64 4-bit windows of a P-256 scalar. d·16^w is never ≡ 0 mod n
    (it is positive, < 2^256 < 2n, and ≠ n by parity), so every entry is
-   finite. Built lazily with one batch normalization (~1 ms, once). *)
-let gen_table : t array array lazy_t =
-  lazy
+   finite. Built on first use with one batch normalization (~1 ms, once);
+   [Once] rather than [lazy] because pool workers may race to force it. *)
+let gen_table : t array array Atom_exec.Once.t =
+  Atom_exec.Once.make (fun () ->
     begin
       let windows = 64 in
       let flat = Array.make (windows * 15) jac_inf in
@@ -241,12 +242,12 @@ let gen_table : t array array lazy_t =
       done;
       let aff = to_affine_batch flat in
       Array.init windows (fun w -> Array.sub aff (w * 15) 15)
-    end
+    end)
 
 (* g^e as a Jacobian point: one mixed addition per nonzero nibble, no
    doublings at all. *)
 let comb_jac (e : Nat.t) : jac =
-  let table = Lazy.force gen_table in
+  let table = Atom_exec.Once.get gen_table in
   let windows = (Nat.bit_length e + 3) / 4 in
   let acc = ref jac_inf in
   for w = 0 to windows - 1 do
@@ -275,13 +276,17 @@ let affine_table (base : t) : t array =
    keys, DKG share keys). A base's first sighting only records its key; the
    table is built — and the inversion spent — from the second sighting on,
    so one-shot bases (shuffle commitments, fresh ciphertext components)
-   cost nothing beyond an O(cap) key scan. *)
+   cost nothing beyond an O(cap) key scan. Domain-local: each pool worker
+   warms its own copy, so there is no cross-domain sharing to synchronize
+   (systhread interleavings within a domain can at worst waste a rebuild —
+   tables are deterministic in the base). *)
 type base_entry = { key : t; mutable table : t array option }
 
-let base_cache : base_entry list ref = ref []
+let base_cache_key : base_entry list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 let base_cache_cap = 16
 
 let cached_table (base : t) : t array option =
+  let base_cache = Domain.DLS.get base_cache_key in
   let rec extract acc = function
     | [] -> None
     | e :: rest when equal e.key base -> Some (e, List.rev_append acc rest)
@@ -398,8 +403,13 @@ let msm_straus (bases : t array) (exps : Nat.t array) ~(use_cache : bool) : jac 
 
 (* Pippenger bucket method for large batches: per window, drop each point
    into the bucket of its digit, then aggregate buckets with two running
-   sums. ~(256/c)·(n + 2^{c+1}) additions overall. *)
-let msm_pippenger (bases : t array) (exps : Nat.t array) : jac =
+   sums. ~(256/c)·(n + 2^{c+1}) additions overall. Windows are mutually
+   independent, so a pool computes the per-window sums in parallel; the
+   combine (c doublings between windows, ≈256 doublings total) stays on
+   the caller and is negligible next to the bucket work. The affine result
+   is identical either way — [to_affine] canonicalizes whatever Jacobian
+   representative the addition order produced. *)
+let msm_pippenger ?pool (bases : t array) (exps : Nat.t array) : jac =
   let n = Array.length bases in
   let c = if n < 512 then 6 else if n < 2048 then 7 else 8 in
   let points = Array.map to_jac bases in
@@ -416,14 +426,8 @@ let msm_pippenger (bases : t array) (exps : Nat.t array) : jac =
   in
   let nwin = (!max_bits + c - 1) / c in
   let nbuckets = (1 lsl c) - 1 in
-  let buckets = Array.make nbuckets jac_inf in
-  let acc = ref jac_inf in
-  for w = nwin - 1 downto 0 do
-    if w <> nwin - 1 then
-      for _ = 1 to c do
-        acc := jac_double !acc
-      done;
-    Array.fill buckets 0 nbuckets jac_inf;
+  let window_sum w =
+    let buckets = Array.make nbuckets jac_inf in
     for i = 0 to n - 1 do
       let d = digit exps.(i) (w * c) in
       if d <> 0 then buckets.(d - 1) <- jac_add buckets.(d - 1) points.(i)
@@ -433,13 +437,37 @@ let msm_pippenger (bases : t array) (exps : Nat.t array) : jac =
       run := jac_add !run buckets.(d);
       sum := jac_add !sum !run
     done;
-    acc := jac_add !acc !sum
+    !sum
+  in
+  let wsums = Atom_exec.Pool.tabulate ?pool nwin window_sum in
+  let acc = ref jac_inf in
+  for w = nwin - 1 downto 0 do
+    if w <> nwin - 1 then
+      for _ = 1 to c do
+        acc := jac_double !acc
+      done;
+    acc := jac_add !acc wsums.(w)
   done;
   !acc
 
 let pippenger_threshold = 200
 
-let msm_raw (pairs : (t * scalar) array) : t =
+(* Below the Pippenger threshold a pooled MSM splits the pairs into
+   contiguous chunks, runs Straus on each independently, and adds the
+   chunk partials in index order on the caller. *)
+let msm_straus_pooled pool (bases : t array) (exps : Nat.t array) : jac =
+  let n = Array.length bases in
+  let nchunks = min n (Atom_exec.Pool.size pool * 4) in
+  let partials =
+    Atom_exec.Pool.tabulate ~pool nchunks (fun ci ->
+        let lo = ci * n / nchunks and hi = (ci + 1) * n / nchunks in
+        msm_straus (Array.sub bases lo (hi - lo)) (Array.sub exps lo (hi - lo)) ~use_cache:false)
+  in
+  Array.fold_left jac_add jac_inf partials
+
+let msm_pool_threshold = 64
+
+let msm_raw ?pool (pairs : (t * scalar) array) : t =
   (* Generator terms collapse into a single comb exponent (g^a·g^b = g^{a+b});
      identity bases and zero scalars drop out. The cache is consulted only
      for small MSMs — flooding it with a shuffle-sized batch of one-shot
@@ -461,15 +489,22 @@ let msm_raw (pairs : (t * scalar) array) : t =
     if n = 0 then jac_inf
     else begin
       let bases = Array.map fst rest and exps = Array.map snd rest in
-      if n > pippenger_threshold then msm_pippenger bases exps
-      else msm_straus bases exps ~use_cache:(Array.length pairs <= 8)
+      if n > pippenger_threshold then msm_pippenger ?pool bases exps
+      else begin
+        match Atom_exec.Pool.resolve pool with
+        | Some pl when n >= msm_pool_threshold && Atom_exec.Pool.size pl > 1 ->
+            (* The cache is never consulted here: it only applies to MSMs
+               of <= 8 pairs, far below the pooling threshold. *)
+            msm_straus_pooled pl bases exps
+        | _ -> msm_straus bases exps ~use_cache:(Array.length pairs <= 8)
+      end
     end
   in
   to_affine (jac_add main comb_part)
 
-let msm (pairs : (t * scalar) array) : t =
+let msm ?pool (pairs : (t * scalar) array) : t =
   Atom_obs.Opcount.note_msm ~terms:(Array.length pairs);
-  msm_raw pairs
+  msm_raw ?pool pairs
 
 (* pow2 goes through [msm_raw] so it tallies as one composite op, not also
    as an msm call. *)
@@ -477,29 +512,35 @@ let pow2 (a : t) (j : scalar) (b : t) (k : scalar) : t =
   Atom_obs.Opcount.note_pow2 ();
   msm_raw [| (a, j); (b, k) |]
 
-(* ---- Batch fixed-base exponentiation with one shared normalization ---- *)
+(* ---- Batch fixed-base exponentiation with one shared normalization ----
 
-let pow_gen_batch_raw (ks : scalar array) : t array =
+   The per-scalar ladders are independent and go to the pool; the single
+   shared normalization inversion stays on the caller. Any table the
+   ladders read (the comb table, a per-base affine table) is built on the
+   caller before the parallel region and only read inside it. *)
+
+let pow_gen_batch_raw ?pool (ks : scalar array) : t array =
+  ignore (Atom_exec.Once.get gen_table);
   to_affine_batch
-    (Array.map
+    (Atom_exec.Pool.map ?pool
        (fun k ->
          let e = Scalar.to_nat k in
          if Nat.is_zero e then jac_inf else comb_jac e)
        ks)
 
-let pow_gen_batch (ks : scalar array) : t array =
+let pow_gen_batch ?pool (ks : scalar array) : t array =
   Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
-  pow_gen_batch_raw ks
+  pow_gen_batch_raw ?pool ks
 
-let pow_batch (base : t) (ks : scalar array) : t array =
+let pow_batch ?pool (base : t) (ks : scalar array) : t array =
   Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
   if Array.length ks = 0 then [||]
   else if is_one base then Array.map (fun _ -> Inf) ks
-  else if equal base generator then pow_gen_batch_raw ks
+  else if equal base generator then pow_gen_batch_raw ?pool ks
   else begin
     let tab = match cached_table base with Some t -> t | None -> affine_table base in
     to_affine_batch
-      (Array.map
+      (Atom_exec.Pool.map ?pool
          (fun k ->
            let e = Scalar.to_nat k in
            if Nat.is_zero e then jac_inf else windowed_jac tab e)

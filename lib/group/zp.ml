@@ -82,20 +82,38 @@ let make (params : params) : (module Group_intf.GROUP) =
       let pow_gen = pow_gen_raw
     end)
 
-    let pow_batch x ks =
+    let pow_batch ?pool x ks =
       Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
-      pow_batch x ks
+      pow_batch ?pool x ks
 
-    let pow_gen_batch ks =
+    let pow_gen_batch ?pool ks =
       Atom_obs.Opcount.note_batch ~scalars:(Array.length ks);
-      pow_gen_batch ks
+      pow_gen_batch ?pool ks
 
-    let msm_raw pairs =
-      Modarith.msm ctx_p (Array.map (fun (x, k) -> (x, Scalar.to_nat k)) pairs)
+    (* A pooled MSM splits the pairs into contiguous chunks, runs Straus
+       on each chunk independently, and folds the chunk partials in index
+       order. Modular multiplication is exact and elements are canonical
+       (fully reduced Montgomery form), so the fold equals the one-shot
+       Straus product bit for bit regardless of the chunk count. *)
+    let msm_pool_threshold = 64
 
-    let msm pairs =
+    let msm_raw ?pool pairs =
+      let nat_pairs = Array.map (fun (x, k) -> (x, Scalar.to_nat k)) pairs in
+      let n = Array.length nat_pairs in
+      match Atom_exec.Pool.resolve pool with
+      | Some p when n >= msm_pool_threshold && Atom_exec.Pool.size p > 1 ->
+          let nchunks = min n (Atom_exec.Pool.size p * 4) in
+          let partials =
+            Atom_exec.Pool.tabulate ~pool:p nchunks (fun c ->
+                let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+                Modarith.msm ctx_p (Array.sub nat_pairs lo (hi - lo)))
+          in
+          Array.fold_left (Modarith.mul ctx_p) (Modarith.one ctx_p) partials
+      | _ -> Modarith.msm ctx_p nat_pairs
+
+    let msm ?pool pairs =
       Atom_obs.Opcount.note_msm ~terms:(Array.length pairs);
-      msm_raw pairs
+      msm_raw ?pool pairs
 
     (* One composite op: must not also tally as an msm call. *)
     let pow2 a j b k =
@@ -134,11 +152,13 @@ let make (params : params) : (module Group_intf.GROUP) =
         if is_qr el then Some el else Some (Modarith.neg ctx_p el)
       end
 
-    let half_p = lazy (Nat.shift_right params.p 1)
+    (* Eager (not [lazy]): extract may run on pool worker domains, and a
+       concurrently forced lazy raises in OCaml 5. *)
+    let half_p = Nat.shift_right params.p 1
 
     let extract el =
       let v = Modarith.to_nat ctx_p el in
-      let c = if Nat.compare v (Lazy.force half_p) < 0 then v else Nat.sub params.p v in
+      let c = if Nat.compare v half_p < 0 then v else Nat.sub params.p v in
       if Nat.is_zero c then None
       else begin
         let payload = Nat.sub c Nat.one in
@@ -162,9 +182,12 @@ let make (params : params) : (module Group_intf.GROUP) =
   end in
   (module G)
 
-(* Cached deterministic parameter sets. *)
-let test_params = lazy (derive_params ~bits:96 ~seed:0x5af3)
-let medium_params = lazy (derive_params ~bits:256 ~seed:0x5af4)
+(* Cached deterministic parameter sets. [Once], not [lazy]: group
+   construction may be requested from several threads (a test harness
+   spinning up per-thread nodes), and concurrent forcing of a lazy is an
+   error in OCaml 5. *)
+let test_params = Atom_exec.Once.make (fun () -> derive_params ~bits:96 ~seed:0x5af3)
+let medium_params = Atom_exec.Once.make (fun () -> derive_params ~bits:256 ~seed:0x5af4)
 
-let test_group () : (module Group_intf.GROUP) = make (Lazy.force test_params)
-let medium_group () : (module Group_intf.GROUP) = make (Lazy.force medium_params)
+let test_group () : (module Group_intf.GROUP) = make (Atom_exec.Once.get test_params)
+let medium_group () : (module Group_intf.GROUP) = make (Atom_exec.Once.get medium_params)

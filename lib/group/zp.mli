@@ -1,0 +1,25 @@
+(** Schnorr group backend: the order-q subgroup of quadratic residues of
+    Z_p* where p = 2q + 1 is a safe prime.
+
+    Much faster than P-256 in pure OCaml, so the protocol test-suites run
+    on this backend. Groups are built from {!params}; the derived test and
+    medium parameter sets are cached, but each [test_group] /
+    [medium_group] call builds a fresh first-class module (instances are
+    safe to share across domains and threads either way — see
+    {!Atom_nat.Modarith}). *)
+
+open Atom_nat
+
+type params = { p : Nat.t; q : Nat.t; g : Nat.t }
+
+val derive_params : bits:int -> seed:int -> params
+(** Deterministically derive a safe-prime group of the given size. *)
+
+val make : params -> (module Group_intf.GROUP)
+
+val test_group : unit -> (module Group_intf.GROUP)
+(** 96-bit group (cached parameters): fast, for tests and examples. *)
+
+val medium_group : unit -> (module Group_intf.GROUP)
+(** 256-bit group (cached parameters): realistic modulus size without
+    curve arithmetic. *)

@@ -10,6 +10,18 @@ let limb_mask = (1 lsl limb_bits) - 1
 
 type el = int array
 
+(* The mutable working state of a context: CIOS accumulators reused across
+   calls, and the MRU window-table cache. Kept per-domain via [Domain.DLS]
+   so one ctx can serve every domain of a pool, and checked out per
+   operation (the [in_use] flag) so systhreads sharing a domain's storage
+   can't interleave mid-multiplication — see [with_tls]. *)
+type tls = {
+  scratch : int array; (* k+2 CIOS accumulator for mont_mul *)
+  scratch_sqr : int array; (* 2k+1 accumulator for mont_sqr *)
+  mutable pow_cache : (el * el array) list; (* MRU base -> window table *)
+  mutable in_use : bool;
+}
+
 type ctx = {
   modulus : Nat.t;
   m : int array; (* k limbs of the modulus *)
@@ -18,13 +30,37 @@ type ctx = {
   r2 : int array; (* R^2 mod m, for entering Montgomery form *)
   one_m : int array; (* R mod m, i.e. 1 in Montgomery form *)
   one_plain : int array; (* plain 1, the fixed second operand of to_nat *)
-  (* The scratch accumulators make a ctx single-threaded: concurrent calls
-     through one ctx corrupt each other's limbs. Give each thread (or
-     process) its own ctx — group instances are cheap to create. *)
-  scratch : int array; (* k+2 CIOS accumulator, reused across mont_mul calls *)
-  scratch_sqr : int array; (* 2k+1 accumulator for mont_sqr *)
-  mutable pow_cache : (el * el array) list; (* MRU base -> window table *)
+  tls : tls Domain.DLS.key;
 }
+
+let fresh_tls (k : int) : tls =
+  {
+    scratch = Array.make (k + 2) 0;
+    scratch_sqr = Array.make ((2 * k) + 1) 0;
+    pow_cache = [];
+    in_use = false;
+  }
+
+(* Check the domain-local state out for the duration of one exported
+   operation. The load-test-store on [in_use] contains no allocation or
+   function call, so a systhread cannot be preempted inside it; if the
+   domain's state is already held (another systhread of this domain is
+   mid-operation), fall back to a throwaway allocation — correctness
+   first, the fast path second. Internal helpers take the [tls] record
+   explicitly and never re-enter [with_tls] while holding it. *)
+let with_tls (ctx : ctx) (f : tls -> 'a) : 'a =
+  let t = Domain.DLS.get ctx.tls in
+  if t.in_use then f (fresh_tls ctx.k)
+  else begin
+    t.in_use <- true;
+    match f t with
+    | v ->
+        t.in_use <- false;
+        v
+    | exception e ->
+        t.in_use <- false;
+        raise e
+  end
 
 (* Widen a Nat (canonical, possibly short) to exactly k limbs, going through
    the byte serialization so Nat's representation stays abstract. *)
@@ -131,17 +167,15 @@ let create (modulus : Nat.t) : ctx =
     r2;
     one_m;
     one_plain;
-    scratch = Array.make (k + 2) 0;
-    scratch_sqr = Array.make ((2 * k) + 1) 0;
-    pow_cache = [];
+    tls = Domain.DLS.new_key (fun () -> fresh_tls k);
   }
 
 (* Montgomery multiplication: result = a*b*R^{-1} mod m (CIOS). The
-   accumulator lives in [ctx.scratch]: mont_mul never calls itself and the
+   accumulator lives in [t.scratch]: mont_mul_t never calls itself and the
    inputs are never the scratch array, so reuse is safe. *)
-let mont_mul (ctx : ctx) (a : el) (b : el) : el =
+let mont_mul_t (ctx : ctx) (tl : tls) (a : el) (b : el) : el =
   let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
-  let t = ctx.scratch in
+  let t = tl.scratch in
   Array.fill t 0 (k + 2) 0;
   for i = 0 to k - 1 do
     let ai = a.(i) in
@@ -179,9 +213,9 @@ let mont_mul (ctx : ctx) (a : el) (b : el) : el =
    curve ladder (jac_double is 5 squarings per step) lands here. Bounds: a
    doubled cross product is < 2^53 and carries stay < 2^28, so every
    intermediate fits a 62-bit native int. *)
-let mont_sqr (ctx : ctx) (a : el) : el =
+let mont_sqr_t (ctx : ctx) (tl : tls) (a : el) : el =
   let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
-  let t = ctx.scratch_sqr in
+  let t = tl.scratch_sqr in
   Array.fill t 0 ((2 * k) + 1) 0;
   (* t <- a·a, with symmetry. *)
   for i = 0 to k - 1 do
@@ -227,9 +261,10 @@ let mont_sqr (ctx : ctx) (a : el) : el =
 
 let of_nat (ctx : ctx) (a : Nat.t) : el =
   let reduced = if Nat.compare a ctx.modulus >= 0 then Nat.rem a ctx.modulus else a in
-  mont_mul ctx (widen ctx.k reduced) ctx.r2
+  with_tls ctx (fun t -> mont_mul_t ctx t (widen ctx.k reduced) ctx.r2)
 
-let to_nat (ctx : ctx) (a : el) : Nat.t = narrow (mont_mul ctx a ctx.one_plain)
+let to_nat (ctx : ctx) (a : el) : Nat.t =
+  narrow (with_tls ctx (fun t -> mont_mul_t ctx t a ctx.one_plain))
 
 let zero (ctx : ctx) : el = Array.make ctx.k 0
 let one (ctx : ctx) : el = Array.copy ctx.one_m
@@ -277,37 +312,39 @@ let sub (ctx : ctx) (a : el) (b : el) : el =
   out
 
 let neg (ctx : ctx) (a : el) : el = if is_zero a then Array.copy a else sub ctx (zero ctx) a
-let mul (ctx : ctx) (a : el) (b : el) : el = mont_mul ctx a b
-let sqr (ctx : ctx) (a : el) : el = mont_sqr ctx a
+let mul (ctx : ctx) (a : el) (b : el) : el = with_tls ctx (fun t -> mont_mul_t ctx t a b)
+let sqr (ctx : ctx) (a : el) : el = with_tls ctx (fun t -> mont_sqr_t ctx t a)
+let mont_sqr = sqr
 
 let double ctx a = add ctx a a
 
 (* Small MRU cache of 4-bit window tables, so exponentiations with a
    long-lived base (the Schnorr generator, a group public key) skip table
-   construction. Lookup is a linear scan with limb comparison — at most
-   [pow_cache_cap] k-limb compares, negligible next to an exponentiation.
-   One-shot bases cost one table build either way; they merely churn the
-   tail of the list. *)
+   construction. The cache is part of the domain-local state, so each
+   domain of a pool warms its own copy. Lookup is a linear scan with limb
+   comparison — at most [pow_cache_cap] k-limb compares, negligible next
+   to an exponentiation. One-shot bases cost one table build either way;
+   they merely churn the tail of the list. *)
 let pow_cache_cap = 8
 
-let pow_table (ctx : ctx) (base : el) : el array =
+let pow_table (ctx : ctx) (tl : tls) (base : el) : el array =
   let rec extract acc = function
     | [] -> None
     | ((b, _) as hit) :: rest when cmp_limbs b base = 0 -> Some (hit, List.rev_append acc rest)
     | entry :: rest -> extract (entry :: acc) rest
   in
-  match extract [] ctx.pow_cache with
+  match extract [] tl.pow_cache with
   | Some ((_, table) as hit, rest) ->
-      ctx.pow_cache <- hit :: rest;
+      tl.pow_cache <- hit :: rest;
       table
   | None ->
       let table = Array.make 16 (one ctx) in
       table.(1) <- Array.copy base;
       for i = 2 to 15 do
-        table.(i) <- mont_mul ctx table.(i - 1) base
+        table.(i) <- mont_mul_t ctx tl table.(i - 1) base
       done;
-      let cache = (Array.copy base, table) :: ctx.pow_cache in
-      ctx.pow_cache <- List.filteri (fun i _ -> i < pow_cache_cap) cache;
+      let cache = (Array.copy base, table) :: tl.pow_cache in
+      tl.pow_cache <- List.filteri (fun i _ -> i < pow_cache_cap) cache;
       table
 
 (* 4-bit window [w] of exponent [e]. *)
@@ -318,25 +355,27 @@ let nibble_of (e : Nat.t) (w : int) : int =
   lor if Nat.test_bit e (4 * w) then 1 else 0
 
 (* Fixed 4-bit-window exponentiation; exponent is a plain Nat. *)
-let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
+let pow_t (ctx : ctx) (tl : tls) (base : el) (e : Nat.t) : el =
   if Nat.is_zero e then one ctx
   else begin
-    let table = pow_table ctx base in
+    let table = pow_table ctx tl base in
     let bits = Nat.bit_length e in
     let windows = (bits + 3) / 4 in
     let acc = ref (one ctx) in
     for w = windows - 1 downto 0 do
       if w <> windows - 1 then begin
-        acc := sqr ctx !acc;
-        acc := sqr ctx !acc;
-        acc := sqr ctx !acc;
-        acc := sqr ctx !acc
+        acc := mont_sqr_t ctx tl !acc;
+        acc := mont_sqr_t ctx tl !acc;
+        acc := mont_sqr_t ctx tl !acc;
+        acc := mont_sqr_t ctx tl !acc
       end;
       let nibble = nibble_of e w in
-      if nibble <> 0 then acc := mont_mul ctx !acc table.(nibble)
+      if nibble <> 0 then acc := mont_mul_t ctx tl !acc table.(nibble)
     done;
     !acc
   end
+
+let pow (ctx : ctx) (base : el) (e : Nat.t) : el = with_tls ctx (fun t -> pow_t ctx t base e)
 
 (* Straus interleaved multi-scalar multiplication: Π base_i^{e_i} with one
    shared run of squarings across all pairs — 4 squarings per window total
@@ -345,7 +384,7 @@ let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
    in the batched shuffle verifier) costs a single table slot. The cached
    [pow_table] is deliberately not consulted: MSM callers pass crowds of
    one-shot bases that would flush it. *)
-let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el =
+let msm_t (ctx : ctx) (tl : tls) (pairs : (el * Nat.t) array) : el =
   let live = List.filter (fun (_, e) -> not (Nat.is_zero e)) (Array.to_list pairs) in
   match live with
   | [] -> one ctx
@@ -360,7 +399,7 @@ let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el =
             let t = Array.make (max_d + 1) (one ctx) in
             if max_d >= 1 then t.(1) <- b;
             for d = 2 to max_d do
-              t.(d) <- mont_mul ctx t.(d - 1) b
+              t.(d) <- mont_mul_t ctx tl t.(d - 1) b
             done;
             t)
           live
@@ -368,24 +407,26 @@ let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el =
       let acc = ref (one ctx) in
       for w = windows - 1 downto 0 do
         if w <> windows - 1 then begin
-          acc := mont_sqr ctx !acc;
-          acc := mont_sqr ctx !acc;
-          acc := mont_sqr ctx !acc;
-          acc := mont_sqr ctx !acc
+          acc := mont_sqr_t ctx tl !acc;
+          acc := mont_sqr_t ctx tl !acc;
+          acc := mont_sqr_t ctx tl !acc;
+          acc := mont_sqr_t ctx tl !acc
         end;
         Array.iteri
           (fun i (_, e) ->
             let nib = nibble_of e w in
-            if nib <> 0 then acc := mont_mul ctx !acc tables.(i).(nib))
+            if nib <> 0 then acc := mont_mul_t ctx tl !acc tables.(i).(nib))
           live
       done;
       !acc
+
+let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el = with_tls ctx (fun t -> msm_t ctx t pairs)
 
 (* Modular inverse via Fermat: only valid when the modulus is prime, which
    holds for every context in this repo (field primes and group orders). *)
 let inv (ctx : ctx) (a : el) : el =
   if is_zero a then raise Division_by_zero;
-  pow ctx a (Nat.sub ctx.modulus Nat.two)
+  with_tls ctx (fun t -> pow_t ctx t a (Nat.sub ctx.modulus Nat.two))
 
 let modulus ctx = ctx.modulus
 

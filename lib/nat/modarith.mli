@@ -3,7 +3,13 @@
     A {!ctx} is built once per modulus; elements ({!el}) are fixed-width limb
     arrays kept in Montgomery form. Inversion uses Fermat's little theorem
     and therefore requires a prime modulus — every context in this repository
-    (field primes, curve orders, Schnorr subgroup orders) is prime. *)
+    (field primes, curve orders, Schnorr subgroup orders) is prime.
+
+    A ctx is safe to share across domains and systhreads: the mutable
+    working state (CIOS scratch accumulators, the window-table cache) is
+    kept per-domain via [Domain.DLS] and checked out per operation, so a
+    single group instance can back an {!Atom_exec.Pool} worker set or a
+    threaded TCP cluster without per-thread instances. *)
 
 type ctx
 type el

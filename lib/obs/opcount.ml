@@ -3,11 +3,12 @@
    The GROUP backends bump these on every exported exponentiation-shaped
    call, so Table-3-style cost attribution ("how many pows did that round
    actually perform, and at what multi-exponentiation sizes?") is measured
-   rather than inferred from protocol arithmetic. Counters are plain
-   global ints bumped unconditionally: one integer increment against
-   multi-hundred-microsecond field operations is unmeasurable, which is
-   what lets the crypto bench run uninstrumented-fast with observability
-   compiled in.
+   rather than inferred from protocol arithmetic. Counters are global
+   [Atomic] ints bumped unconditionally: an uncontended atomic increment
+   against multi-hundred-microsecond field operations is unmeasurable,
+   which is what lets the crypto bench run uninstrumented-fast with
+   observability compiled in — and lets pool workers note ops from any
+   domain without losing counts.
 
    Composite fast-path entry points count once at their own level — a
    [pow2] does not also count as an [msm] — so a snapshot diff reads as
@@ -26,35 +27,35 @@ type snapshot = {
 
 let zero = { pow = 0; pow_gen = 0; pow2 = 0; msm_calls = 0; msm_terms = 0; batch_calls = 0; batch_scalars = 0 }
 
-let c_pow = ref 0
-let c_pow_gen = ref 0
-let c_pow2 = ref 0
-let c_msm_calls = ref 0
-let c_msm_terms = ref 0
-let c_batch_calls = ref 0
-let c_batch_scalars = ref 0
+let c_pow = Atomic.make 0
+let c_pow_gen = Atomic.make 0
+let c_pow2 = Atomic.make 0
+let c_msm_calls = Atomic.make 0
+let c_msm_terms = Atomic.make 0
+let c_batch_calls = Atomic.make 0
+let c_batch_scalars = Atomic.make 0
 
-let note_pow () = incr c_pow
-let note_pow_gen () = incr c_pow_gen
-let note_pow2 () = incr c_pow2
+let note_pow () = Atomic.incr c_pow
+let note_pow_gen () = Atomic.incr c_pow_gen
+let note_pow2 () = Atomic.incr c_pow2
 
 let note_msm ~(terms : int) =
-  incr c_msm_calls;
-  c_msm_terms := !c_msm_terms + terms
+  Atomic.incr c_msm_calls;
+  ignore (Atomic.fetch_and_add c_msm_terms terms)
 
 let note_batch ~(scalars : int) =
-  incr c_batch_calls;
-  c_batch_scalars := !c_batch_scalars + scalars
+  Atomic.incr c_batch_calls;
+  ignore (Atomic.fetch_and_add c_batch_scalars scalars)
 
 let snapshot () : snapshot =
   {
-    pow = !c_pow;
-    pow_gen = !c_pow_gen;
-    pow2 = !c_pow2;
-    msm_calls = !c_msm_calls;
-    msm_terms = !c_msm_terms;
-    batch_calls = !c_batch_calls;
-    batch_scalars = !c_batch_scalars;
+    pow = Atomic.get c_pow;
+    pow_gen = Atomic.get c_pow_gen;
+    pow2 = Atomic.get c_pow2;
+    msm_calls = Atomic.get c_msm_calls;
+    msm_terms = Atomic.get c_msm_terms;
+    batch_calls = Atomic.get c_batch_calls;
+    batch_scalars = Atomic.get c_batch_scalars;
   }
 
 let diff (after : snapshot) (before : snapshot) : snapshot =
@@ -69,13 +70,13 @@ let diff (after : snapshot) (before : snapshot) : snapshot =
   }
 
 let reset () =
-  c_pow := 0;
-  c_pow_gen := 0;
-  c_pow2 := 0;
-  c_msm_calls := 0;
-  c_msm_terms := 0;
-  c_batch_calls := 0;
-  c_batch_scalars := 0
+  Atomic.set c_pow 0;
+  Atomic.set c_pow_gen 0;
+  Atomic.set c_pow2 0;
+  Atomic.set c_msm_calls 0;
+  Atomic.set c_msm_terms 0;
+  Atomic.set c_batch_calls 0;
+  Atomic.set c_batch_scalars 0
 
 let total_calls (s : snapshot) : int =
   s.pow + s.pow_gen + s.pow2 + s.msm_calls + s.batch_calls

@@ -106,26 +106,24 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
             | None -> Frame.R.fail ()))
 
   (* Verify one proof-carrying hop: [proofs] has one blob per unit proving
-     input.(u) → output.(u) under [eff_pk]/[next_pk]. *)
-  let verify_hop ~(eff_pk : G.t) ~(next_pk : G.t option) ~(context : string)
+     input.(u) → output.(u) under [eff_pk]/[next_pk]. Units are independent,
+     so the checks fan out across the pool (the sequential path kept its
+     first-failure short-circuit; the pooled one checks every unit — same
+     verdict either way). *)
+  let verify_hop ?pool ~(eff_pk : G.t) ~(next_pk : G.t option) ~(context : string)
       ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proofs : string array) : bool =
     Array.length input = Array.length output
     && Array.length input = Array.length proofs
     && begin
-         let ok = ref true in
-         Array.iteri
-           (fun u blob ->
-             if !ok then
-               match reenc_proofs_of_blob blob with
-               | None -> ok := false
+         let oks =
+           Atom_exec.Pool.tabulate ?pool (Array.length proofs) (fun u ->
+               match reenc_proofs_of_blob proofs.(u) with
+               | None -> false
                | Some pis ->
-                   if
-                     not
-                       (Pr.P.Reenc_proof.verify_vec ~eff_pk ~next_pk ~context
-                          ~input:input.(u) ~output:output.(u) pis)
-                   then ok := false)
-           proofs;
-         !ok
+                   Pr.P.Reenc_proof.verify_vec ~eff_pk ~next_pk ~context
+                     ~input:input.(u) ~output:output.(u) pis)
+         in
+         Array.for_all Fun.id oks
        end
 
   (* ---- the node ---- *)
@@ -135,6 +133,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
   type node = {
     t : T.t;
     net : Pr.network;
+    pool : Atom_exec.Pool.t option; (* crypto fan-out; None = sequential *)
     rng : Atom_util.Rng.t; (* node-local randomness; never needs to agree *)
     node_id : int;
     coord : int;
@@ -169,9 +168,11 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     n.stop <- true
 
   let send_to (n : node) ~(dst : int) (frame : string) : unit =
-    if not (T.send n.t ~dst frame) then
-      abort n ~code:Ctrl.abort_internal
-        (Printf.sprintf "send to node %d failed after retries" dst)
+    match T.send n.t ~dst frame with
+    | Ok () -> ()
+    | Error e ->
+        abort n ~code:Ctrl.abort_internal
+          (Printf.sprintf "send to node %d: %s" dst (Transport.error_to_string e))
 
   let nizk (n : node) : bool = n.net.Pr.config.Config.variant = Config.Nizk
 
@@ -247,7 +248,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
          so downstream in-degree counting stays uniform. *)
       divide_and_reenc n gid iter units
     else begin
-      match Pr.El.shuffle_vec n.rng (Pr.group_pk net gid) units with
+      match Pr.El.shuffle_vec ?pool:n.pool n.rng (Pr.group_pk net gid) units with
       | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
       | Some (shuffled, witness) ->
           Atom_obs.Metrics.incr n.m_steps;
@@ -256,8 +257,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
             let proof =
               if nizk n then
                 Pr.Shuf.to_bytes
-                  (Pr.Shuf.prove n.rng ~pk:(Pr.group_pk net gid) ~context:(iter_ctx net gid iter)
-                     ~input:units ~output:shuffled ~witness)
+                  (Pr.Shuf.prove ?pool:n.pool n.rng ~pk:(Pr.group_pk net gid)
+                     ~context:(iter_ctx net gid iter) ~input:units ~output:shuffled ~witness)
               else ""
             in
             send_to n
@@ -325,7 +326,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       ||
       match Pr.Shuf.of_bytes proof with
       | None -> false
-      | Some pi -> Pr.Shuf.verify ~pk ~context:ctx ~input ~output pi
+      | Some pi -> Pr.Shuf.verify ?pool:n.pool ~pk ~context:ctx ~input ~output pi
     in
     if not verified then
       abort n ~code:Ctrl.abort_proof_rejected
@@ -334,14 +335,15 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       (* Back at the head: the whole quorum has shuffled. *)
       divide_and_reenc n gid iter output
     else begin
-      match Pr.El.shuffle_vec n.rng pk output with
+      match Pr.El.shuffle_vec ?pool:n.pool n.rng pk output with
       | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
       | Some (shuffled, witness) ->
           Atom_obs.Metrics.incr n.m_steps;
           let proof' =
             if nizk n then
               Pr.Shuf.to_bytes
-                (Pr.Shuf.prove n.rng ~pk ~context:ctx ~input:output ~output:shuffled ~witness)
+                (Pr.Shuf.prove ?pool:n.pool n.rng ~pk ~context:ctx ~input:output
+                   ~output:shuffled ~witness)
             else ""
           in
           let next_pos = if step = quorum then 1 else step + 1 in
@@ -363,7 +365,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     in
     let prev_ok =
       (not (nizk n))
-      || verify_hop ~eff_pk:(eff_pk net gid (step - 1)) ~next_pk ~context:ctx ~input ~output proofs
+      || verify_hop ?pool:n.pool ~eff_pk:(eff_pk net gid (step - 1)) ~next_pk ~context:ctx ~input
+           ~output proofs
     in
     if not prev_ok then
       abort n ~code:Ctrl.abort_proof_rejected
@@ -402,7 +405,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let quorum = Config.quorum net.Pr.config in
     let ok =
       (not (nizk n))
-      || verify_hop
+      || verify_hop ?pool:n.pool
            ~eff_pk:(eff_pk net src_gid quorum)
            ~next_pk:(Some (Pr.group_pk net gid))
            ~context:(iter_ctx net src_gid (iter - 1))
@@ -466,8 +469,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
   (* Run one server's event loop until Shutdown / abort / idle expiry.
      [on_peers] lets the transport register discovered peers (TCP needs
      host:port; the simulator transport knows everyone already). *)
-  let run_node ?(obs = Atom_obs.Ctx.noop) (t : T.t) ~(config : Config.t) ~(node_id : int)
-      ~(coord : int) ?(recv_timeout = 0.5) ?(max_idle = 240)
+  let run_node ?(obs = Atom_obs.Ctx.noop) ?pool (t : T.t) ~(config : Config.t)
+      ~(node_id : int) ~(coord : int) ?(recv_timeout = 0.5) ?(max_idle = 240)
       ?(on_peers = fun (_ : (int * int) array) -> ()) () : unit =
     let reg = Atom_obs.Ctx.metrics obs in
     let net = Pr.setup (Atom_util.Rng.create config.Config.seed) config () in
@@ -475,6 +478,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       {
         t;
         net;
+        pool;
         rng = Atom_util.Rng.create (config.Config.seed lxor (0x6e0de * (node_id + 1)));
         node_id;
         coord;
@@ -492,8 +496,9 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let idle = ref 0 in
     while (not n.stop) && !idle < max_idle do
       match T.recv t ~timeout:recv_timeout with
-      | None -> incr idle
-      | Some (_src, frame) ->
+      | Error Transport.Closed -> n.stop <- true
+      | Error _ -> incr idle
+      | Ok (_src, frame) ->
           idle := 0;
           (match Ctrl.decode frame with
           | Some (Ctrl.Peers { peers }) ->
@@ -518,7 +523,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
   (* Drive a full round over [t]: ship submissions to entry heads, release
      the barrier, collect and verify exit batches, run the variant endgame,
      and compare against the in-process reference execution. *)
-  let run_coordinator ?(obs = Atom_obs.Ctx.noop) (t : T.t) ~(config : Config.t)
+  let run_coordinator ?(obs = Atom_obs.Ctx.noop) ?pool (t : T.t) ~(config : Config.t)
       ~(users : int) ?(recv_timeout = 0.5) ?(max_idle = 240) () : cluster_outcome =
     ignore obs;
     let rng = Atom_util.Rng.create config.Config.seed in
@@ -571,14 +576,16 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let cluster_abort = ref None in
     while !got < want && !cluster_abort = None && !idle < max_idle do
       match T.recv t ~timeout:recv_timeout with
-      | None -> incr idle
-      | Some (_src, frame) -> (
+      | Error Transport.Closed ->
+          cluster_abort := Some "coordinator transport closed"
+      | Error _ -> incr idle
+      | Ok (_src, frame) -> (
           idle := 0;
           match C.decode frame with
           | Some (C.Exit_batch { gid; batch_idx = _; input; output; proofs }) ->
               let ok =
                 config.Config.variant <> Config.Nizk
-                || verify_hop ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
+                || verify_hop ?pool ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
                      ~context:(iter_ctx net gid last) ~input ~output proofs
               in
               if ok then begin

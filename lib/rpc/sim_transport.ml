@@ -31,15 +31,26 @@ let fleet (engine : Engine.t) (net : Net.t) ~(machines : Machine.t array) : t ar
 
 let self (t : t) : int = t.self
 
-let send (t : t) ~(dst : int) (msg : string) : bool =
-  if dst < 0 || dst >= Array.length t.machines then false
-  else
+let send (t : t) ~(dst : int) (msg : string) : (unit, Transport.error) result =
+  if dst < 0 || dst >= Array.length t.machines then Error (Transport.Unknown_peer dst)
+  else if
     Net.send_tracked t.net ~src:t.machines.(t.self) ~dst:t.machines.(dst)
       ~bytes:(float_of_int (String.length msg))
       t.boxes.(dst) (t.self, msg)
+  then Ok ()
+  else
+    Error
+      (Transport.Send_failed
+         {
+           dst;
+           attempts = Net.default_max_retries + 1;
+           reason = "simulated link dropped every retransmission";
+         })
 
-let recv (t : t) ~(timeout : float) : (int * string) option =
-  Mailbox.recv_timeout t.boxes.(t.self) ~timeout
+let recv (t : t) ~(timeout : float) : (int * string, Transport.error) result =
+  match Mailbox.recv_timeout t.boxes.(t.self) ~timeout with
+  | Some m -> Ok m
+  | None -> Error Transport.Timeout
 
 let close (_ : t) : unit = ()
 

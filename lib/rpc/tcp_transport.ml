@@ -225,26 +225,27 @@ let connect_peer (t : t) (p : peer) : Unix.file_descr =
      raise e);
   fd
 
-let send (t : t) ~(dst : int) (msg : string) : bool =
-  if dst = t.node_id then begin
+let send (t : t) ~(dst : int) (msg : string) : (unit, Transport.error) result =
+  if t.closed then Error Transport.Closed
+  else if dst = t.node_id then begin
     (* Self-send: a server can hold roles in several groups (the square
        topology routinely wires a group's tail to a head on the same
        machine). Loop it through the inbox directly. *)
     Atom_obs.Metrics.incr t.m_sends;
     enqueue t t.node_id msg;
-    true
+    Ok ()
   end
   else begin
   Mutex.lock t.peers_mu;
   let peer = Hashtbl.find_opt t.peers dst in
   Mutex.unlock t.peers_mu;
   match peer with
-  | None -> false
+  | None -> Error (Transport.Unknown_peer dst)
   | Some p ->
       let t0 = Unix.gettimeofday () in
       Mutex.lock p.mu;
       let rec attempt tries backoff =
-        if t.closed then false
+        if t.closed then Error Transport.Closed
         else
           match
             let fd =
@@ -261,8 +262,8 @@ let send (t : t) ~(dst : int) (msg : string) : bool =
               Atom_obs.Metrics.incr t.m_sends;
               Atom_obs.Metrics.add t.m_bytes_out (float_of_int (String.length msg));
               Atom_obs.Metrics.observe t.m_send_bytes (float_of_int (String.length msg));
-              true
-          | exception (Conn_closed | Unix.Unix_error _ | Sys_error _) ->
+              Ok ()
+          | exception ((Conn_closed | Unix.Unix_error _ | Sys_error _) as e) ->
               (match p.fd with
               | Some fd ->
                   close_quietly fd;
@@ -272,7 +273,10 @@ let send (t : t) ~(dst : int) (msg : string) : bool =
                 Atom_obs.Metrics.incr t.m_drops;
                 Atom_obs.Log.warn "rpc: dropped %d bytes %d->%d after %d retries"
                   (String.length msg) t.node_id dst t.max_retries;
-                false
+                let reason =
+                  match e with Conn_closed -> "connection closed" | e -> Printexc.to_string e
+                in
+                Error (Transport.Send_failed { dst; attempts = tries + 1; reason })
               end
               else begin
                 Atom_obs.Metrics.incr t.m_reconnects;
@@ -280,10 +284,10 @@ let send (t : t) ~(dst : int) (msg : string) : bool =
                 attempt (tries + 1) (backoff *. 2.)
               end
       in
-      let ok = attempt 0 t.retry_backoff in
+      let r = attempt 0 t.retry_backoff in
       Mutex.unlock p.mu;
       Atom_obs.Metrics.observe t.m_send_seconds (Unix.gettimeofday () -. t0);
-      ok
+      r
   end
 
 let drain_wake (t : t) : unit =
@@ -297,7 +301,7 @@ let drain_wake (t : t) : unit =
   in
   go ()
 
-let recv (t : t) ~(timeout : float) : (int * string) option =
+let recv (t : t) ~(timeout : float) : (int * string, Transport.error) result =
   let deadline = Unix.gettimeofday () +. timeout in
   let rec wait () =
     let item =
@@ -309,12 +313,12 @@ let recv (t : t) ~(timeout : float) : (int * string) option =
     match item with
     | Some (src, frame) ->
         Atom_obs.Metrics.incr t.m_recvs;
-        Some (src, frame)
+        Ok (src, frame)
     | None ->
-        if t.closed then None
+        if t.closed then Error Transport.Closed
         else
           let dt = deadline -. Unix.gettimeofday () in
-          if dt <= 0. then None
+          if dt <= 0. then Error Transport.Timeout
           else begin
             (match Unix.select [ t.wake_r ] [] [] dt with
             | [ _ ], _, _ -> drain_wake t

@@ -10,14 +10,29 @@
    suite pins the two transports to the same semantics.
 
    Contract:
-   - [send] is best-effort-with-retries: [true] means the message was
-     handed to the network (delivery still races node death), [false]
-     means it was abandoned after the implementation's retry budget.
+   - [send] is best-effort-with-retries: [Ok ()] means the message was
+     handed to the network (delivery still races node death). Failures are
+     typed: both transports report the same [error] cases so callers match
+     once and log the same way over sim and TCP.
    - [recv ~timeout] blocks (virtual or wall time) for the next message,
      returning the sender's node id alongside the bytes.
    - Messages between a given pair arrive in the order sent (mailbox FIFO
      in the simulator; a single pooled TCP stream per direction for real
      sockets). No ordering holds across different senders. *)
+
+type error =
+  | Unknown_peer of int  (** Destination id outside the peer table. *)
+  | Timeout  (** [recv] deadline passed with no message. *)
+  | Closed  (** Endpoint already shut down. *)
+  | Send_failed of { dst : int; attempts : int; reason : string }
+      (** Abandoned after the transport's retry budget. *)
+
+let error_to_string = function
+  | Unknown_peer dst -> Printf.sprintf "unknown peer %d" dst
+  | Timeout -> "timeout"
+  | Closed -> "transport closed"
+  | Send_failed { dst; attempts; reason } ->
+      Printf.sprintf "send to %d failed after %d attempt(s): %s" dst attempts reason
 
 module type S = sig
   type t
@@ -25,12 +40,13 @@ module type S = sig
   val self : t -> int
   (** This endpoint's node id. *)
 
-  val send : t -> dst:int -> string -> bool
-  (** Send one framed message; [false] after the retry budget is spent or
-      when [dst] is unknown. *)
+  val send : t -> dst:int -> string -> (unit, error) result
+  (** Send one framed message; [Error (Send_failed _)] after the retry
+      budget is spent, [Error (Unknown_peer _)] when [dst] is not wired. *)
 
-  val recv : t -> timeout:float -> (int * string) option
-  (** Next (sender, message); [None] on timeout. *)
+  val recv : t -> timeout:float -> (int * string, error) result
+  (** Next (sender, message); [Error Timeout] when the deadline passes,
+      [Error Closed] once the endpoint is shut down. *)
 
   val close : t -> unit
 end

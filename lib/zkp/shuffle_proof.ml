@@ -72,18 +72,21 @@ struct
       if w = 0 || Array.exists (fun v -> Array.length v <> w) vs then None else Some w
     end
 
-  let prove (rng : Atom_util.Rng.t) ~(pk : G.t) ~(context : string) ~(input : El.vec array)
-      ~(output : El.vec array) ~(witness : El.vec_shuffle_witness) : t =
+  let prove ?pool (rng : Atom_util.Rng.t) ~(pk : G.t) ~(context : string)
+      ~(input : El.vec array) ~(output : El.vec array)
+      ~(witness : El.vec_shuffle_witness) : t =
     let n = Array.length input in
     let width = match width_of input with Some w -> w | None -> invalid_arg "Shuffle_proof.prove" in
     let perm = witness.El.vperm in
     let h = generator_h context in
-    let hi = Array.init n (generator_hi context) in
+    let hi = Atom_exec.Pool.tabulate ?pool n (generator_hi context) in
     (* 1. permutation commitments: g^{r_j}·h_{π(j)} as a unit-scalar MSM so
-       curve backends spend one normalization, not two. *)
+       curve backends spend one normalization, not two. Randomness is drawn
+       before the (pooled) commitment loop, in the elementwise order. *)
     let r = Array.init n (fun _ -> S.random rng) in
     let perm_comm =
-      Array.init n (fun j -> G.msm [| (G.generator, r.(j)); (hi.(perm.(j)), S.one) |])
+      Atom_exec.Pool.tabulate ?pool n (fun j ->
+          G.msm [| (G.generator, r.(j)); (hi.(perm.(j)), S.one) |])
     in
     (* 2. challenges u, permuted u' *)
     let tr = statement_transcript ~pk ~context input output in
@@ -119,27 +122,27 @@ struct
     let w_prime = Array.init n (fun _ -> S.random rng) in
     let w_hat = Array.init n (fun _ -> S.random rng) in
     let t_a =
-      G.msm
+      G.msm ?pool
         (Array.init (n + 1) (fun i ->
              if i = 0 then (G.generator, w_rbar) else (hi.(i - 1), w_prime.(i - 1))))
     in
     let t_b = G.pow_gen w_rhat in
     let t_c = G.pow_gen w_d in
     let t_chain =
-      Array.init n (fun i ->
+      Atom_exec.Pool.tabulate ?pool n (fun i ->
           let prev = if i = 0 then h else chain.(i - 1) in
           G.pow2 G.generator w_hat.(i) prev w_prime.(i))
     in
     let t_er =
       Array.init width (fun w ->
-          G.msm
+          G.msm ?pool
             (Array.init (n + 1) (fun i ->
                  if i = 0 then (G.generator, w_s.(w))
                  else (input.(i - 1).(w).El.r, w_prime.(i - 1)))))
     in
     let t_ec =
       Array.init width (fun w ->
-          G.msm
+          G.msm ?pool
             (Array.init (n + 1) (fun i ->
                  if i = 0 then (pk, w_s.(w)) else (input.(i - 1).(w).El.c, w_prime.(i - 1)))))
     in
@@ -169,8 +172,8 @@ struct
       k_hat = Array.init n (fun i -> resp w_hat.(i) shat.(i));
     }
 
-  let verify ~(pk : G.t) ~(context : string) ~(input : El.vec array) ~(output : El.vec array)
-      (pi : t) : bool =
+  let verify ?pool ~(pk : G.t) ~(context : string) ~(input : El.vec array)
+      ~(output : El.vec array) (pi : t) : bool =
     let n = Array.length input in
     match width_of input with
     | None -> false
@@ -189,7 +192,7 @@ struct
         && (not (Array.exists (fun v -> Array.exists (fun ct -> Option.is_some ct.El.y) v) output))
         && begin
              let h = generator_h context in
-             let hi = Array.init n (generator_hi context) in
+             let hi = Atom_exec.Pool.tabulate ?pool n (generator_hi context) in
              let tr = statement_transcript ~pk ~context input output in
              Array.iter (fun c -> Transcript.add tr (G.to_bytes c)) pi.perm_comm;
              let u = challenges_u tr n in
@@ -278,7 +281,8 @@ struct
              done;
              push pk !pk_k;
              push G.generator !gen_k;
-             G.is_one (G.msm (Array.of_list !terms))
+             (* The whole system rides one (pooled) MSM: ~(6+4w)Â·n points. *)
+             G.is_one (G.msm ?pool (Array.of_list !terms))
            end
 
   (* ---- Serialization ----

@@ -17,6 +17,7 @@ module Make
   val generator_hi : string -> int -> G.t
 
   val prove :
+    ?pool:Atom_exec.Pool.t ->
     Atom_util.Rng.t ->
     pk:G.t ->
     context:string ->
@@ -24,9 +25,20 @@ module Make
     output:El.vec array ->
     witness:El.vec_shuffle_witness ->
     t
-  (** @raise Invalid_argument on empty or ragged input. *)
+  (** @raise Invalid_argument on empty or ragged input. Randomness is
+      drawn sequentially before any pooled region, so the proof bytes do
+      not depend on [?pool]. *)
 
-  val verify : pk:G.t -> context:string -> input:El.vec array -> output:El.vec array -> t -> bool
+  val verify :
+    ?pool:Atom_exec.Pool.t ->
+    pk:G.t ->
+    context:string ->
+    input:El.vec array ->
+    output:El.vec array ->
+    t ->
+    bool
+  (** The verifier folds every relation into one big multi-exponentiation;
+      [?pool] parallelizes it (the verdict is identical for any pool). *)
 
   val to_bytes : t -> string
 

@@ -1,0 +1,214 @@
+(* The execution engine: determinism of the work-sharing pool and of every
+   pooled crypto entry point.
+
+   The pool's contract is that results are bit-identical for every pool
+   size, including the no-pool sequential path — that is what lets a
+   deployment pick core counts freely without re-validating transcripts.
+   These tests pin the contract at three levels: the raw pool primitives,
+   the group/ElGamal/shuffle-proof batch APIs across pool sizes 1, 2, 7,
+   and a full simulator round whose trace must stay byte-identical when a
+   default pool is installed. *)
+
+module Pool = Atom_exec.Pool
+
+(* Run [f] with a temporary pool of [domains], shutting it down after. *)
+let with_pool (domains : int) (f : Pool.t -> 'a) : 'a =
+  let p = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+let pool_sizes = [ 1; 2; 7 ]
+
+(* ---- pool primitives ---- *)
+
+let test_pool_covers_all_indices () =
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let n = 1000 in
+          let hits = Array.make n 0 in
+          (* Each index writes only its own slot, so no synchronization is
+             needed to observe the counts after [run] returns. *)
+          Pool.run ~pool:p ~n (fun i -> hits.(i) <- hits.(i) + 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "every index exactly once (domains=%d)" domains)
+            true
+            (Array.for_all (fun c -> c = 1) hits)))
+    pool_sizes
+
+let test_pool_tabulate_matches_init () =
+  let f i = (i * 2654435761) land 0xffffff in
+  let want = Array.init 513 f in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "tabulate = init (domains=%d)" domains)
+            want
+            (Pool.tabulate ~pool:p 513 f)))
+    pool_sizes
+
+exception Boom of int
+
+let test_pool_propagates_exception () =
+  with_pool 4 (fun p ->
+      match Pool.run ~pool:p ~n:200 (fun i -> if i = 137 then raise (Boom i)) with
+      | () -> Alcotest.fail "exception swallowed"
+      | exception Boom 137 -> ()
+      | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  (* The pool survives a failed job. *)
+  with_pool 4 (fun p ->
+      ignore (try Pool.run ~pool:p ~n:50 (fun _ -> raise Exit) with Exit -> ());
+      let a = Pool.tabulate ~pool:p 100 (fun i -> i + 1) in
+      Alcotest.(check int) "pool usable after failure" 100 a.(99))
+
+let test_pool_nested_run_degrades () =
+  (* A nested run must complete sequentially rather than deadlock. *)
+  with_pool 4 (fun p ->
+      let outer = Array.make 64 0 in
+      Pool.run ~pool:p ~n:64 (fun i ->
+          let inner = Pool.tabulate ~pool:p 16 (fun j -> j * j) in
+          outer.(i) <- Array.fold_left ( + ) 0 inner);
+      Alcotest.(check bool) "nested results correct" true
+        (Array.for_all (fun v -> v = 1240) outer))
+
+(* ---- pooled crypto is bit-identical across pool sizes ---- *)
+
+(* Sequential reference vs pools of 1, 2, 7 for each pooled entry point;
+   byte-level equality so Montgomery canonicalization bugs can't hide
+   behind [G.equal]. *)
+let check_backend (name : string) (g : (module Atom_group.Group_intf.GROUP)) ~(n : int) =
+  let module G = (val g) in
+  let bytes_of xs = String.concat "" (Array.to_list (Array.map G.to_bytes xs)) in
+  let rng = Atom_util.Rng.create 0xe8ec in
+  let ks = Array.init n (fun _ -> G.Scalar.random rng) in
+  let base = G.random rng in
+  let pairs = Array.init n (fun i -> (G.pow_gen ks.((i * 7) mod n), ks.(i))) in
+  let ref_gen = bytes_of (G.pow_gen_batch ks) in
+  let ref_pow = bytes_of (G.pow_batch base ks) in
+  let ref_msm = G.to_bytes (G.msm pairs) in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let tag s = Printf.sprintf "%s %s (domains=%d)" name s domains in
+          Alcotest.(check string) (tag "pow_gen_batch") ref_gen
+            (bytes_of (G.pow_gen_batch ~pool:p ks));
+          Alcotest.(check string) (tag "pow_batch") ref_pow
+            (bytes_of (G.pow_batch ~pool:p base ks));
+          Alcotest.(check string) (tag "msm") ref_msm (G.to_bytes (G.msm ~pool:p pairs))))
+    pool_sizes
+
+let test_pooled_group_ops_identical_zp () =
+  check_backend "zp" (Atom_group.Registry.zp_test ()) ~n:150
+
+let test_pooled_group_ops_identical_p256 () =
+  (* Past both pooled-MSM thresholds (Straus chunking at 64, Pippenger at
+     200) without making the test slow. *)
+  check_backend "p256" (Atom_group.Registry.p256 ()) ~n:210
+
+(* Shuffle prove/verify: same seed must yield the same proof bytes and the
+   same verdict for every pool size (randomness is drawn on the caller). *)
+let test_pooled_shuffle_proof_identical () =
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module El = Atom_elgamal.Elgamal.Make (G) in
+  let module Shuf = Atom_zkp.Shuffle_proof.Make (G) (El) in
+  let n = 48 in
+  let make_proof ?pool () =
+    let rng = Atom_util.Rng.create 0x5f1e in
+    let kp = El.keygen rng in
+    let units =
+      Array.init n (fun _ -> fst (El.enc_vec ?pool rng kp.El.pk [| G.random rng; G.random rng |]))
+    in
+    match El.shuffle_vec ?pool rng kp.El.pk units with
+    | None -> Alcotest.fail "shuffle failed"
+    | Some (shuffled, witness) ->
+        let pi =
+          Shuf.prove ?pool rng ~pk:kp.El.pk ~context:"exec-test" ~input:units ~output:shuffled
+            ~witness
+        in
+        (kp.El.pk, units, shuffled, Shuf.to_bytes pi)
+  in
+  let pk, input, output, ref_bytes = make_proof () in
+  let pi = match Shuf.of_bytes ref_bytes with Some pi -> pi | None -> Alcotest.fail "decode" in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          let _, _, _, bytes = make_proof ~pool:p () in
+          Alcotest.(check string)
+            (Printf.sprintf "proof bytes (domains=%d)" domains)
+            ref_bytes bytes;
+          Alcotest.(check bool)
+            (Printf.sprintf "pooled verify accepts (domains=%d)" domains)
+            true
+            (Shuf.verify ~pool:p ~pk ~context:"exec-test" ~input ~output pi)))
+    pool_sizes
+
+(* One shared Zp group instance hammered from several systhreads: the
+   per-op scratch checkout in Modarith must keep concurrent threads off
+   each other's accumulators. Wrong answers, not crashes, are the failure
+   mode scratch corruption would produce. *)
+let test_shared_group_systhread_safety () =
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let rng = Atom_util.Rng.create 0x7a51 in
+  let ks = Array.init 64 (fun _ -> G.Scalar.random rng) in
+  let want = Array.map (fun k -> G.to_bytes (G.pow_gen k)) ks in
+  let failures = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun t ->
+        Thread.create
+          (fun () ->
+            for rep = 0 to 19 do
+              let i = (t + (rep * 13)) mod Array.length ks in
+              if G.to_bytes (G.pow_gen ks.(i)) <> want.(i) then Atomic.incr failures
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no corrupted results" 0 (Atomic.get failures)
+
+(* ---- the simulator round is oblivious to the default pool ---- *)
+
+let traced_round () =
+  let seed = 23 in
+  let config = Atom_core.Config.tiny ~variant:Atom_core.Config.Nizk ~seed () in
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Pr = Atom_core.Protocol.Make (G) in
+  let module Dist = Atom_core.Distributed.Make (G) (Pr) in
+  let rng = Atom_util.Rng.create seed in
+  let net = Pr.setup rng config () in
+  let subs =
+    List.init 6 (fun i ->
+        Pr.submit rng net ~user:i
+          ~entry_gid:(i mod config.Atom_core.Config.n_groups)
+          (Printf.sprintf "pooled-%d" i))
+  in
+  let obs = Atom_obs.Ctx.create ~tracing:true () in
+  let report = Dist.run ~obs ~costs:(Dist.Calibrated Atom_core.Calibration.paper) rng net subs in
+  (report.Dist.latency, Atom_obs.Trace.to_chrome_json (Atom_obs.Ctx.tracer obs))
+
+let test_sim_trace_unchanged_with_pool () =
+  let prev = Pool.default () in
+  let l0, j0 = traced_round () in
+  with_pool 3 (fun p ->
+      Pool.set_default (Some p);
+      Fun.protect
+        ~finally:(fun () -> Pool.set_default prev)
+        (fun () ->
+          let l1, j1 = traced_round () in
+          Alcotest.(check (float 0.)) "same virtual latency" l0 l1;
+          Alcotest.(check string) "byte-identical trace" j0 j1))
+
+let suite =
+  ( "exec",
+    [
+      Alcotest.test_case "pool covers all indices" `Quick test_pool_covers_all_indices;
+      Alcotest.test_case "tabulate matches init" `Quick test_pool_tabulate_matches_init;
+      Alcotest.test_case "exceptions propagate" `Quick test_pool_propagates_exception;
+      Alcotest.test_case "nested run degrades" `Quick test_pool_nested_run_degrades;
+      Alcotest.test_case "pooled ops identical (zp)" `Quick test_pooled_group_ops_identical_zp;
+      Alcotest.test_case "pooled ops identical (p256)" `Slow test_pooled_group_ops_identical_p256;
+      Alcotest.test_case "pooled shuffle proof identical" `Quick
+        test_pooled_shuffle_proof_identical;
+      Alcotest.test_case "shared group across threads" `Quick test_shared_group_systhread_safety;
+      Alcotest.test_case "sim trace unchanged with pool" `Quick
+        test_sim_trace_unchanged_with_pool;
+    ] )

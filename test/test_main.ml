@@ -23,5 +23,6 @@ let () =
       Test_misc.suite;
       Test_faults.suite;
       Test_obs.suite;
+      Test_exec.suite;
       Test_rpc.suite;
     ]

@@ -36,27 +36,40 @@ let test_tcp_loopback () =
   Alcotest.(check (list int)) "peer ids" [ 1 ] (TcpT.peer_ids a);
   let f1 = Ctrl.encode (Ctrl.Ack { token = 41 }) in
   let f2 = Ctrl.encode (Ctrl.Barrier { iter = 7 }) in
-  Alcotest.(check bool) "send 1" true (TcpT.send a ~dst:1 f1);
-  Alcotest.(check bool) "send 2" true (TcpT.send a ~dst:1 f2);
+  Alcotest.(check bool) "send 1" true (TcpT.send a ~dst:1 f1 = Ok ());
+  Alcotest.(check bool) "send 2" true (TcpT.send a ~dst:1 f2 = Ok ());
   (* Same-pair ordering holds: one pooled stream per direction. *)
   (match TcpT.recv b ~timeout:5.0 with
-  | Some (src, frame) ->
+  | Ok (src, frame) ->
       Alcotest.(check int) "src" 0 src;
       Alcotest.(check string) "frame 1 intact" f1 frame
-  | None -> Alcotest.fail "first frame not delivered");
+  | Error e -> Alcotest.failf "first frame: %s" (Atom_rpc.Transport.error_to_string e));
   (match TcpT.recv b ~timeout:5.0 with
-  | Some (_, frame) -> Alcotest.(check string) "frame 2 in order" f2 frame
-  | None -> Alcotest.fail "second frame not delivered");
+  | Ok (_, frame) -> Alcotest.(check string) "frame 2 in order" f2 frame
+  | Error e -> Alcotest.failf "second frame: %s" (Atom_rpc.Transport.error_to_string e));
   (* Self-send loops through the inbox without a socket. *)
-  Alcotest.(check bool) "self-send accepted" true (TcpT.send b ~dst:1 f1);
+  Alcotest.(check bool) "self-send accepted" true (TcpT.send b ~dst:1 f1 = Ok ());
   (match TcpT.recv b ~timeout:5.0 with
-  | Some (src, frame) ->
+  | Ok (src, frame) ->
       Alcotest.(check int) "self src" 1 src;
       Alcotest.(check string) "self frame" f1 frame
-  | None -> Alcotest.fail "self-send not delivered");
-  Alcotest.(check bool) "unknown peer refused" false (TcpT.send a ~dst:99 f1);
-  Alcotest.(check bool) "empty recv times out" true (TcpT.recv a ~timeout:0.05 = None);
+  | Error e -> Alcotest.failf "self-send: %s" (Atom_rpc.Transport.error_to_string e));
+  (* Failures are typed, and shared with the simulator transport. *)
+  (match TcpT.send a ~dst:99 f1 with
+  | Error (Atom_rpc.Transport.Unknown_peer 99) -> ()
+  | Ok () -> Alcotest.fail "unknown peer accepted"
+  | Error e -> Alcotest.failf "unknown peer: %s" (Atom_rpc.Transport.error_to_string e));
+  (match TcpT.recv a ~timeout:0.05 with
+  | Error Atom_rpc.Transport.Timeout -> ()
+  | Ok _ -> Alcotest.fail "empty recv delivered"
+  | Error e -> Alcotest.failf "empty recv: %s" (Atom_rpc.Transport.error_to_string e));
   TcpT.close a;
+  (* A closed endpoint reports [Closed], not a timeout. *)
+  (match TcpT.send a ~dst:1 f1 with
+  | Error Atom_rpc.Transport.Closed -> ()
+  | r ->
+      Alcotest.failf "closed send: %s"
+        (match r with Ok () -> "accepted" | Error e -> Atom_rpc.Transport.error_to_string e));
   TcpT.close b
 
 (* ---- ReEnc proof blobs (the one node-layer codec) ---- *)
@@ -154,7 +167,7 @@ let test_sim_node_rejects_bad_frame () =
   Engine.spawn e (fun () ->
       ignore (SimT.send fleet.(1) ~dst:0 "this is not a frame");
       match SimT.recv fleet.(1) ~timeout:60.0 with
-      | Some (0, frame) -> got := Ctrl.decode frame
+      | Ok (0, frame) -> got := Ctrl.decode frame
       | _ -> ());
   ignore (Engine.run e);
   match !got with
@@ -187,16 +200,15 @@ let test_tcp_threaded_cluster () =
           if i <> j then TcpT.add_peer t ~node_id:j ~host:"127.0.0.1" ~port:(TcpT.port u))
         ts)
     ts;
+  (* Every thread runs over the SAME group instance (module [G] at the top
+     of this file): Modarith contexts hand out per-domain scratch via DLS
+     with a per-op checkout, so concurrent threads on one shared context
+     are safe — the per-thread instances the seed needed are gone. *)
   let threads =
     List.init n (fun sid ->
         Thread.create
           (fun () ->
-            (* Each thread gets its own group instance: Modarith contexts
-               carry shared scratch accumulators and are single-threaded
-               (like the per-process instances of the real deployment). *)
-            let module Gt = (val Atom_group.Registry.zp_test ()) in
-            let module N = Atom_rpc.Node.Make (Gt) (TcpT.Check) in
-            N.run_node ts.(sid) ~config ~node_id:sid ~coord ~recv_timeout:0.2
+            NodeTcp.run_node ts.(sid) ~config ~node_id:sid ~coord ~recv_timeout:0.2
               ~max_idle:150 ())
           ())
   in
