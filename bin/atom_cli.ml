@@ -336,38 +336,102 @@ let variant_name = function
   | Config.Nizk -> "nizk"
   | Config.Trap -> "trap"
 
+(* Read an integer kB field (VmHWM, VmRSS) out of /proc/<pid>/status;
+   0 when unavailable (non-Linux host, already-dead pid). *)
+let proc_status_kb (pid : int) (field : string) : int =
+  let path = Printf.sprintf "/proc/%d/status" pid in
+  match
+    In_channel.with_open_text path (fun ic ->
+        let rec go () =
+          match In_channel.input_line ic with
+          | None -> 0
+          | Some line ->
+              if String.starts_with ~prefix:(field ^ ":") line then
+                let digits =
+                  String.to_seq line
+                  |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                  |> String.of_seq
+                in
+                (try int_of_string digits with Failure _ -> 0)
+              else go ()
+        in
+        go ())
+  with
+  | v -> v
+  | exception Sys_error _ -> 0
+
+(* Parse a node's --metrics-out dump back into (name, value) pairs: lines
+   of "name value"; histogram lines have more tokens and are skipped. *)
+let parse_metrics_file (path : string) : (string * float) list =
+  match
+    In_channel.with_open_text path (fun ic ->
+        let rec go acc =
+          match In_channel.input_line ic with
+          | None -> acc
+          | Some line -> (
+              match
+                List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+              with
+              | [ name; v ] -> (
+                  match float_of_string_opt v with
+                  | Some f -> go ((name, f) :: acc)
+                  | None -> go acc)
+              | _ -> go acc)
+        in
+        List.rev (go []))
+  with
+  | v -> v
+  | exception Sys_error _ -> []
+
+(* Group membership without the full (expensive) protocol setup: the same
+   beacon-driven formation [Pr.setup] uses, for --kill-group → victim pids. *)
+let members_of_group ~(config : Config.t) (gid : int) : int array =
+  if gid < 0 || gid >= config.Config.n_groups then
+    failwith
+      (Printf.sprintf "--kill-group %d: group ids are 0..%d" gid (config.Config.n_groups - 1));
+  let beacon = Beacon.create ~seed:config.Config.seed in
+  let formation =
+    Group_formation.form beacon ~round:0 ~n_servers:config.Config.n_servers
+      ~n_groups:config.Config.n_groups ~group_size:config.Config.group_size ()
+  in
+  formation.Group_formation.groups.(gid).Group_formation.members
+
+type fleet_summary = {
+  fs_matched : bool;
+  fs_abort : string option;
+  fs_delivered : string list;
+  fs_rejected : int list;
+  fs_recovery_rounds : int;
+  fs_failed_nodes : int list;
+  fs_exit_dups : int;
+  fs_wall_s : float;
+  fs_peak_child_rss_kb : int;
+  fs_node_counters : (string * float) list; (* summed across node dumps *)
+}
+
+exception Fleet_failure of string
+
 (* Spawn N atom_node processes on loopback, drive a full round over real
    TCP, and check the published plaintexts against the single-process
-   reference run for the same seed. *)
-let run_cluster variant users servers groups group_size h iterations msg_bytes seed domains
-    node_bin timeout metrics metrics_out log_dir =
-  let ops0 = opcounts_before () in
+   reference run for the same seed. [chaos] is forwarded to every node's
+   transport wrapper; [kills] schedules SIGKILLs (seconds after the round
+   starts, server ids) from a watcher thread that also samples the
+   children's peak RSS. One call = one epoch; the soak loops this. *)
+let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log_dir ~obs
+    ~(chaos : string) ~(kills : (float * int list) option)
+    ~(node_metrics_dir : string option) ~(label : string) () : fleet_summary =
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
   let module Tcp = Atom_rpc.Tcp_transport in
   let module Ctrl = Atom_wire.Control in
-  let config =
-    {
-      Config.variant;
-      n_servers = servers;
-      n_groups = groups;
-      group_size;
-      h;
-      f = 0.2;
-      topology = Config.Square iterations;
-      msg_bytes;
-      seed;
-      mailboxes = 64;
-      dummy_mu = 2.;
-      dummy_b = 1.;
-    }
-  in
   Config.validate config;
-  let obs =
-    if metrics || metrics_out <> None then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop
-  in
+  if log_dir <> None then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
+  let servers = config.Config.n_servers in
+  let seed = config.Config.seed in
   let coord = servers in
-  let t = Tcp.create ~obs ~node_id:coord () in
+  (* A 2s send budget keeps death detection cheap: a probe to a dead peer
+     fails within ~1.75s instead of the default 5s ladder. *)
+  let t = Tcp.create ~obs ~node_id:coord ~send_timeout:2.0 () in
   let port = Tcp.port t in
   let node_bin =
     match node_bin with
@@ -381,34 +445,51 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
   in
   let t0 = Unix.gettimeofday () in
   let poll = 0.2 in
-  (match log_dir with
-  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
-  | _ -> ());
+  List.iter
+    (fun d ->
+      match d with
+      | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+      | _ -> ())
+    [ log_dir; node_metrics_dir ];
+  let node_metrics_file i =
+    Option.map
+      (fun dir -> Filename.concat dir (Printf.sprintf "%s-node-%d.metrics" label i))
+      node_metrics_dir
+  in
   let pids =
     Array.init servers (fun i ->
         let args =
           [|
             node_bin; "--node-id"; string_of_int i;
             "--coordinator-port"; string_of_int port;
-            "--variant"; variant_name variant;
+            "--variant"; variant_name config.Config.variant;
             "--servers"; string_of_int servers;
-            "--groups"; string_of_int groups;
-            "--group-size"; string_of_int group_size;
-            "--honest"; string_of_int h;
-            "--iterations"; string_of_int iterations;
-            "--msg-bytes"; string_of_int msg_bytes;
+            "--groups"; string_of_int config.Config.n_groups;
+            "--group-size"; string_of_int config.Config.group_size;
+            "--honest"; string_of_int config.Config.h;
+            "--iterations";
+            (match config.Config.topology with
+            | Config.Square n -> string_of_int n
+            | _ -> failwith "cluster runs use the Square topology");
+            "--msg-bytes"; string_of_int config.Config.msg_bytes;
             "--seed"; string_of_int seed;
             "--domains"; string_of_int domains;
             "--recv-timeout"; Printf.sprintf "%g" poll;
             "--max-idle"; string_of_int (max 1 (int_of_float (timeout /. poll)));
           |]
         in
+        let args = if chaos = "" then args else Array.append args [| "--chaos"; chaos |] in
+        let args =
+          match node_metrics_file i with
+          | None -> args
+          | Some path -> Array.append args [| "--metrics-out"; path |]
+        in
         match log_dir with
         | None -> Unix.create_process node_bin args Unix.stdin Unix.stdout Unix.stderr
         | Some dir ->
             let log =
               Unix.openfile
-                (Filename.concat dir (Printf.sprintf "node-%d.log" i))
+                (Filename.concat dir (Printf.sprintf "%s-node-%d.log" label i))
                 [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
             in
             let pid =
@@ -437,69 +518,191 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
         try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
       !remaining
   in
-  let die msg =
-    Printf.printf "cluster FAILED: %s\n" msg;
+  let peak_child = ref 0 in
+  let collect_node_counters () =
+    let tbl = Hashtbl.create 32 in
+    for i = 0 to servers - 1 do
+      match node_metrics_file i with
+      | None -> ()
+      | Some path ->
+          List.iter
+            (fun (name, v) ->
+              Hashtbl.replace tbl name (v +. Option.value ~default:0. (Hashtbl.find_opt tbl name)))
+            (parse_metrics_file path)
+    done;
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  try
+    (* Bring-up: every node joins with its listen port, learns the fleet,
+       and acks — only then does protocol traffic start. The peer list is
+       re-broadcast until everyone acked (nodes re-ack on every copy), so
+       early chaos drops cannot wedge the handshake. *)
+    let deadline = Unix.gettimeofday () +. timeout in
+    let ports = Hashtbl.create servers in
+    while Hashtbl.length ports < servers && Unix.gettimeofday () < deadline do
+      match Tcp.recv t ~timeout:0.5 with
+      | Ok (_, frame) -> (
+          match Ctrl.decode frame with
+          | Some (Ctrl.Join { node_id; port }) ->
+              Hashtbl.replace ports node_id port;
+              Tcp.add_peer t ~node_id ~host:"127.0.0.1" ~port
+          | _ -> ())
+      | Error _ -> ()
+    done;
+    if Hashtbl.length ports < servers then
+      raise
+        (Fleet_failure
+           (Printf.sprintf "%d/%d nodes joined before timeout" (Hashtbl.length ports) servers));
+    let peers = Array.init servers (fun i -> (i, Hashtbl.find ports i)) in
+    let send_peers () =
+      for i = 0 to servers - 1 do
+        ignore (Tcp.send t ~dst:i (Ctrl.encode (Ctrl.Peers { peers })))
+      done
+    in
+    send_peers ();
+    let acked = Hashtbl.create servers in
+    let last_bcast = ref (Unix.gettimeofday ()) in
+    while Hashtbl.length acked < servers && Unix.gettimeofday () < deadline do
+      (match Tcp.recv t ~timeout:0.5 with
+      | Ok (_, frame) -> (
+          match Ctrl.decode frame with
+          | Some (Ctrl.Ack { token }) -> Hashtbl.replace acked token ()
+          | _ -> ())
+      | Error _ -> ());
+      if Hashtbl.length acked < servers && Unix.gettimeofday () -. !last_bcast > 2. then begin
+        last_bcast := Unix.gettimeofday ();
+        send_peers ()
+      end
+    done;
+    if Hashtbl.length acked < servers then
+      raise
+        (Fleet_failure
+           (Printf.sprintf "%d/%d nodes acked the peer list" (Hashtbl.length acked) servers));
+    Printf.printf "cluster[%s]: %d node processes on loopback (coordinator port %d) [%.2fs]\n%!"
+      label servers port
+      (Unix.gettimeofday () -. t0);
+    (* Watcher: fires the scheduled kills and tracks the children's peak
+       RSS (VmHWM) while the round runs. *)
+    let t_round = Unix.gettimeofday () in
+    let stop_watch = Atomic.make false in
+    let watcher =
+      Thread.create
+        (fun () ->
+          let killed = ref false in
+          while not (Atomic.get stop_watch) do
+            (match kills with
+            | Some (at, victims)
+              when (not !killed) && Unix.gettimeofday () -. t_round >= at ->
+                killed := true;
+                List.iter
+                  (fun sid ->
+                    Printf.printf "cluster[%s]: killing node %d (pid %d) at %.2fs\n%!" label
+                      sid pids.(sid)
+                      (Unix.gettimeofday () -. t_round);
+                    try Unix.kill pids.(sid) Sys.sigkill with Unix.Unix_error _ -> ())
+                  victims
+            | _ -> ());
+            Array.iter
+              (fun pid -> peak_child := max !peak_child (proc_status_kb pid "VmHWM"))
+              pids;
+            Thread.delay 0.05
+          done)
+        ()
+    in
+    let pool = if domains > 1 then Some (Atom_exec.Pool.create ~domains ()) else None in
+    let result =
+      Node.run_coordinator ~obs ?pool t ~config ~users ~recv_timeout:0.25
+        ~max_idle:(max 1 (int_of_float (timeout /. 0.25)))
+        ()
+    in
+    Option.iter Atom_exec.Pool.shutdown pool;
+    Atomic.set stop_watch true;
+    Thread.join watcher;
+    reap ~kill:false;
+    Tcp.close t;
+    {
+      fs_matched = result.Node.matched;
+      fs_abort = result.Node.cluster_abort;
+      fs_delivered = result.Node.delivered;
+      fs_rejected = result.Node.rejected_submissions;
+      fs_recovery_rounds = result.Node.recovery_rounds;
+      fs_failed_nodes = result.Node.failed_nodes;
+      fs_exit_dups =
+        int_of_float (Atom_obs.Metrics.counter_value (Atom_obs.Ctx.metrics obs) "coord.exit_dups");
+      fs_wall_s = Unix.gettimeofday () -. t0;
+      fs_peak_child_rss_kb = !peak_child;
+      fs_node_counters = collect_node_counters ();
+    }
+  with Fleet_failure msg ->
     reap ~kill:true;
     Tcp.close t;
-    exit 1
+    {
+      fs_matched = false;
+      fs_abort = Some msg;
+      fs_delivered = [];
+      fs_rejected = [];
+      fs_recovery_rounds = 0;
+      fs_failed_nodes = [];
+      fs_exit_dups = 0;
+      fs_wall_s = Unix.gettimeofday () -. t0;
+      fs_peak_child_rss_kb = !peak_child;
+      fs_node_counters = collect_node_counters ();
+    }
+
+let cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes ~seed =
+  {
+    Config.variant;
+    n_servers = servers;
+    n_groups = groups;
+    group_size;
+    h;
+    f = 0.2;
+    topology = Config.Square iterations;
+    msg_bytes;
+    seed;
+    mailboxes = 64;
+    dummy_mu = 2.;
+    dummy_b = 1.;
+  }
+
+let run_cluster variant users servers groups group_size h iterations msg_bytes seed domains
+    node_bin timeout kill_group fail_at loss chaos metrics metrics_out log_dir =
+  let ops0 = opcounts_before () in
+  let config =
+    cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes ~seed
   in
-  (* Bring-up: every node joins with its listen port, learns the fleet,
-     and acks — only then does protocol traffic start. *)
-  let deadline = Unix.gettimeofday () +. timeout in
-  let ports = Hashtbl.create servers in
-  while Hashtbl.length ports < servers && Unix.gettimeofday () < deadline do
-    match Tcp.recv t ~timeout:0.5 with
-    | Ok (_, frame) -> (
-        match Ctrl.decode frame with
-        | Some (Ctrl.Join { node_id; port }) ->
-            Hashtbl.replace ports node_id port;
-            Tcp.add_peer t ~node_id ~host:"127.0.0.1" ~port
-        | _ -> ())
-    | Error _ -> ()
-  done;
-  if Hashtbl.length ports < servers then
-    die (Printf.sprintf "%d/%d nodes joined before timeout" (Hashtbl.length ports) servers);
-  let peers = Array.init servers (fun i -> (i, Hashtbl.find ports i)) in
-  for i = 0 to servers - 1 do
-    match Tcp.send t ~dst:i (Ctrl.encode (Ctrl.Peers { peers })) with
-    | Ok () -> ()
-    | Error e ->
-        die
-          (Printf.sprintf "peer list to node %d: %s" i (Atom_rpc.Transport.error_to_string e))
-  done;
-  let acked = ref 0 in
-  while !acked < servers && Unix.gettimeofday () < deadline do
-    match Tcp.recv t ~timeout:0.5 with
-    | Ok (_, frame) -> (
-        match Ctrl.decode frame with Some (Ctrl.Ack _) -> incr acked | _ -> ())
-    | Error _ -> ()
-  done;
-  if !acked < servers then die (Printf.sprintf "%d/%d nodes acked the peer list" !acked servers);
-  Printf.printf "cluster: %d node processes on loopback (coordinator port %d) [%.2fs]\n" servers
-    port
-    (Unix.gettimeofday () -. t0);
-  let pool = if domains > 1 then Some (Atom_exec.Pool.create ~domains ()) else None in
-  let result =
-    Node.run_coordinator ?pool t ~config ~users ~recv_timeout:0.25
-      ~max_idle:(max 1 (int_of_float (timeout /. 0.25)))
-      ()
+  let obs =
+    if metrics || metrics_out <> None then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop
   in
-  Option.iter Atom_exec.Pool.shutdown pool;
-  reap ~kill:false;
-  Tcp.close t;
+  let kills =
+    match kill_group with
+    | Some gid -> Some (fail_at, Array.to_list (members_of_group ~config gid))
+    | None -> None
+  in
+  (* --loss synthesizes a drop-only chaos spec (appended, so it wins over a
+     drop= field in --chaos); the [after] guard keeps the handshake clean. *)
+  let chaos =
+    if loss > 0. then Printf.sprintf "%s;after=0.5;drop=%g;seed=%d" chaos loss seed else chaos
+  in
+  let r =
+    run_fleet_round ~config ~users ~domains ~node_bin ~timeout ~log_dir ~obs ~chaos ~kills
+      ~node_metrics_dir:None ~label:"round" ()
+  in
   Printf.printf "cluster round: %d/%d messages delivered over TCP in %.2fs wall\n"
-    (List.length result.Node.delivered) users
-    (Unix.gettimeofday () -. t0);
-  (match result.Node.cluster_abort with
+    (List.length r.fs_delivered) users r.fs_wall_s;
+  (match r.fs_abort with
   | Some d -> Printf.printf "cluster ABORTED: %s\n" d
   | None -> ());
-  if result.Node.rejected_submissions <> [] then
+  if r.fs_rejected <> [] then
     Printf.printf "rejected submissions: %s\n"
-      (String.concat ", " (List.map string_of_int result.Node.rejected_submissions));
-  List.iter (fun m -> Printf.printf "  %s\n" m) result.Node.delivered;
+      (String.concat ", " (List.map string_of_int r.fs_rejected));
+  if r.fs_failed_nodes <> [] then
+    Printf.printf "failed nodes: %s (%d recovery sweeps)\n"
+      (String.concat ", " (List.map string_of_int r.fs_failed_nodes))
+      r.fs_recovery_rounds;
+  List.iter (fun m -> Printf.printf "  %s\n" m) r.fs_delivered;
   print_endline
-    (if result.Node.matched then
-       "MATCH: cluster output equals the single-process reference"
+    (if r.fs_matched then "MATCH: cluster output equals the single-process reference"
      else "MISMATCH: cluster output differs from the single-process reference");
   (match metrics_out with
   | Some path ->
@@ -512,45 +715,317 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
     print_registry obs;
     print_opcounts ops0
   end;
-  if not result.Node.matched then exit 1
+  if not r.fs_matched then exit 1
 
-let cluster_cmd =
-  let users = Arg.(value & opt int 16 & info [ "users" ] ~doc:"Number of users.") in
-  let variant =
-    Arg.(value & opt variant_conv Config.Nizk & info [ "variant" ] ~doc:"basic|nizk|trap.")
-  in
-  let servers = Arg.(value & opt int 8 & info [ "servers" ] ~doc:"Node processes to spawn.") in
-  let groups = Arg.(value & opt int 4 & info [ "groups" ] ~doc:"Number of groups.") in
-  let group_size = Arg.(value & opt int 2 & info [ "group-size" ] ~doc:"Servers per group (k).") in
-  let h = Arg.(value & opt int 1 & info [ "honest" ] ~doc:"Required honest servers per group (h).") in
-  let iterations = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Mixing iterations (T).") in
-  let msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.") in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.") in
-  let domains =
-    Arg.(
-      value & opt int 0
-      & info [ "domains" ]
-          ~doc:"Worker domains per node for crypto batches (0 = honor ATOM_DOMAINS).")
-  in
-  let node_bin =
-    Arg.(value & opt (some string) None & info [ "node-bin" ] ~doc:"Path to the atom_node binary.")
-  in
+(* Flag set shared by `cluster` and `cluster soak`. *)
+let cluster_users = Arg.(value & opt int 16 & info [ "users" ] ~doc:"Number of users.")
+
+let cluster_servers =
+  Arg.(value & opt int 8 & info [ "servers" ] ~doc:"Node processes to spawn.")
+
+let cluster_groups = Arg.(value & opt int 4 & info [ "groups" ] ~doc:"Number of groups.")
+
+let cluster_group_size =
+  Arg.(value & opt int 2 & info [ "group-size" ] ~doc:"Servers per group (k).")
+
+let cluster_h =
+  Arg.(value & opt int 1 & info [ "honest" ] ~doc:"Required honest servers per group (h).")
+
+let cluster_iterations =
+  Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"Mixing iterations (T).")
+
+let cluster_msg_bytes = Arg.(value & opt int 32 & info [ "msg-bytes" ] ~doc:"Plaintext size.")
+let cluster_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic seed.")
+
+let cluster_domains =
+  Arg.(
+    value & opt int 0
+    & info [ "domains" ] ~doc:"Worker domains per node for crypto batches (0 = honor ATOM_DOMAINS).")
+
+let cluster_node_bin =
+  Arg.(value & opt (some string) None & info [ "node-bin" ] ~doc:"Path to the atom_node binary.")
+
+let cluster_log_dir =
+  Arg.(value & opt (some string) None & info [ "log-dir" ] ~doc:"Per-node verbose logs go here.")
+
+let cluster_kill_group =
+  Arg.(
+    value & opt (some int) None
+    & info [ "kill-group" ]
+        ~doc:"SIGKILL every member process of this group mid-round (mirrors `distributed`).")
+
+let cluster_fail_at =
+  Arg.(
+    value & opt float 1.0
+    & info [ "fail-at" ] ~doc:"Seconds after round start at which --kill-group fires.")
+
+let cluster_loss =
+  Arg.(
+    value & opt float 0.
+    & info [ "loss" ]
+        ~doc:"Per-message drop probability on every node's transport (mirrors `distributed`).")
+
+let cluster_chaos =
+  Arg.(
+    value & opt string ""
+    & info [ "chaos" ]
+        ~doc:
+          "Raw chaos spec forwarded to every node, e.g. \
+           'drop=0.02;corrupt=0.01;partition=1:3:0,1|2,3'.")
+
+let cluster_term =
   let timeout =
     Arg.(value & opt float 120. & info [ "timeout" ] ~doc:"Per-phase timeout budget (s).")
   in
   let metrics_out =
-    Arg.(value & opt (some string) None & info [ "metrics-out" ] ~doc:"Write the coordinator metrics dump here.")
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~doc:"Write the coordinator metrics dump here.")
   in
-  let log_dir =
-    Arg.(value & opt (some string) None & info [ "log-dir" ] ~doc:"Per-node verbose logs go here.")
+  let variant =
+    Arg.(value & opt variant_conv Config.Nizk & info [ "variant" ] ~doc:"basic|nizk|trap.")
+  in
+  Term.(
+    const run_cluster $ variant $ cluster_users $ cluster_servers $ cluster_groups
+    $ cluster_group_size $ cluster_h $ cluster_iterations $ cluster_msg_bytes $ cluster_seed
+    $ cluster_domains $ cluster_node_bin $ timeout $ cluster_kill_group $ cluster_fail_at
+    $ cluster_loss $ cluster_chaos $ metrics_flag $ metrics_out $ cluster_log_dir)
+
+(* ---- cluster soak ---- *)
+
+(* One epoch's fault plan. The rotation covers the ISSUE's error budget:
+   process kills, an N-way partition, and corrupted/dropped/duplicated/
+   delayed frames, with clean epochs interspersed as a control. *)
+type epoch_plan = { ep_kills : (float * int list) option; ep_chaos : string; ep_descr : string }
+
+let plan_epoch ~smoke ~servers ~fail_at ~loss ~corrupt ~(chaos_seed : int) (e : int) :
+    epoch_plan =
+  let ids lo hi = String.concat "," (List.map string_of_int (List.init (hi - lo) (fun i -> lo + i))) in
+  let half = max 1 (servers / 2) in
+  (* A healthy loopback round finishes in well under a second, so kill and
+     partition epochs stretch it with per-message delays; otherwise the
+     round would be over before the scheduled fault lands. *)
+  let stretch = "after=0.05;delay=0.6;delay_s=0.2" in
+  let partition_spec =
+    Printf.sprintf "%s;partition=0.4:1.6:%s|%s;seed=%d" stretch (ids 0 half) (ids half servers)
+      chaos_seed
+  in
+  let corrupt_spec =
+    Printf.sprintf "%s;drop=%g;corrupt=%g;dup=0.03;seed=%d" stretch loss corrupt chaos_seed
+  in
+  let kill =
+    (* Index by kill-epoch ordinal, not epoch number: the kill cadence
+       (every 3rd/4th epoch) must not alias with the server count. *)
+    let victim = e / (if smoke then 3 else 4) mod servers in
+    {
+      ep_kills = Some (fail_at, [ victim ]);
+      ep_chaos = Printf.sprintf "%s;seed=%d" stretch chaos_seed;
+      ep_descr = Printf.sprintf "kill node %d at %gs" victim fail_at;
+    }
+  in
+  let partition =
+    { ep_kills = None; ep_chaos = partition_spec; ep_descr = "partition halves 0.4-1.6s" }
+  in
+  let corrupt_ep =
+    { ep_kills = None; ep_chaos = corrupt_spec; ep_descr = "corrupt+loss+dup+delay" }
+  in
+  let clean = { ep_kills = None; ep_chaos = ""; ep_descr = "clean" } in
+  if smoke then
+    (* Short CI schedule: one kill, one partition with corrupt frames, one
+       clean epoch to confirm the fleet machinery is still sound. *)
+    match e mod 3 with
+    | 0 -> kill
+    | 1 ->
+        {
+          ep_kills = None;
+          ep_chaos = partition_spec ^ ";" ^ corrupt_spec;
+          ep_descr = "partition + corrupt frames";
+        }
+    | _ -> clean
+  else match e mod 4 with 0 -> clean | 1 -> kill | 2 -> partition | _ -> corrupt_ep
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let chaos_fault_counters =
+  [
+    "chaos.drops"; "chaos.delays"; "chaos.dups"; "chaos.corruptions"; "chaos.partition_drops";
+    "chaos.resets";
+  ]
+
+(* Long-haul soak: epochs of fresh fleets under a rotating fault schedule,
+   each epoch's published plaintexts checked against the single-process
+   reference. Telemetry (faults injected, recoveries completed, epochs
+   survived, peak RSS) lands in a JSON file; any mismatch exits non-zero.
+   This is the error budget for the real runtime (§4.5's claim under real
+   processes and real TCP). *)
+let run_soak variant users servers groups group_size h iterations msg_bytes seed domains
+    node_bin timeout epochs fail_at loss corrupt smoke telemetry_out log_dir =
+  let epochs = if smoke then 3 else epochs in
+  let metrics_dir = Filename.concat (Filename.get_temp_dir_name ()) (Printf.sprintf "atom-soak-%d" (Unix.getpid ())) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"epochs\": [\n";
+  let mismatches = ref 0 in
+  let total_kills = ref 0 in
+  let total_recoveries = ref 0 in
+  let total_recovery_sweeps = ref 0 in
+  let total_faults = ref 0. in
+  let peak_rss = ref 0 in
+  let coord_rss = Array.make (max 1 epochs) 0 in
+  let survived = ref 0 in
+  let self = Unix.getpid () in
+  (try
+     for e = 0 to epochs - 1 do
+       let epoch_seed = seed + e in
+       let plan =
+         plan_epoch ~smoke ~servers ~fail_at ~loss ~corrupt ~chaos_seed:(seed + (1000 * (e + 1))) e
+       in
+       let config =
+         cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes
+           ~seed:epoch_seed
+       in
+       Printf.printf "soak epoch %d/%d (seed %d): %s\n%!" (e + 1) epochs epoch_seed plan.ep_descr;
+       let obs = Atom_obs.Ctx.create () in
+       let r =
+         run_fleet_round ~config ~users ~domains ~node_bin ~timeout ~log_dir ~obs
+           ~chaos:plan.ep_chaos ~kills:plan.ep_kills ~node_metrics_dir:(Some metrics_dir)
+           ~label:(Printf.sprintf "epoch%d" e) ()
+       in
+       let counter name = Option.value ~default:0. (List.assoc_opt name r.fs_node_counters) in
+       let faults_this_epoch =
+         List.fold_left (fun acc name -> acc +. counter name) 0. chaos_fault_counters
+         +. float_of_int (match plan.ep_kills with Some (_, v) -> List.length v | None -> 0)
+       in
+       total_faults := !total_faults +. faults_this_epoch;
+       total_kills :=
+         !total_kills + (match plan.ep_kills with Some (_, v) -> List.length v | None -> 0);
+       total_recoveries := !total_recoveries + int_of_float (counter "node.recoveries");
+       total_recovery_sweeps := !total_recovery_sweeps + r.fs_recovery_rounds;
+       coord_rss.(e) <- proc_status_kb self "VmRSS";
+       peak_rss := max !peak_rss (max coord_rss.(e) r.fs_peak_child_rss_kb);
+       if r.fs_matched then incr survived else incr mismatches;
+       Printf.printf
+         "soak epoch %d/%d: %s (%.2fs wall, %d faults injected, %d sweeps, %d share \
+          recoveries, %d failed nodes, child peak RSS %d kB)\n%!"
+         (e + 1) epochs
+         (if r.fs_matched then "MATCH" else "MISMATCH")
+         r.fs_wall_s
+         (int_of_float faults_this_epoch)
+         r.fs_recovery_rounds
+         (int_of_float (counter "node.recoveries"))
+         (List.length r.fs_failed_nodes) r.fs_peak_child_rss_kb;
+       if e > 0 then Buffer.add_string buf ",\n";
+       Buffer.add_string buf
+         (Printf.sprintf
+            "    {\"epoch\": %d, \"seed\": %d, \"plan\": \"%s\", \"matched\": %b, \
+             \"abort\": %s, \"wall_s\": %.3f, \"delivered\": %d, \"faults_injected\": %d, \
+             \"recovery_sweeps\": %d, \"share_recoveries\": %d, \"failed_nodes\": [%s], \
+             \"bad_frames\": %d, \"dups_dropped\": %d, \"resends\": %d, \"exit_dups\": %d, \
+             \"coord_rss_kb\": %d, \"peak_child_rss_kb\": %d}"
+            e epoch_seed (json_escape plan.ep_descr) r.fs_matched
+            (match r.fs_abort with
+            | Some a -> Printf.sprintf "\"%s\"" (json_escape a)
+            | None -> "null")
+            r.fs_wall_s
+            (List.length r.fs_delivered)
+            (int_of_float faults_this_epoch)
+            r.fs_recovery_rounds
+            (int_of_float (counter "node.recoveries"))
+            (String.concat ", " (List.map string_of_int r.fs_failed_nodes))
+            (int_of_float (counter "node.bad_frames"))
+            (int_of_float (counter "node.dups_dropped"))
+            (int_of_float (counter "node.resends"))
+            r.fs_exit_dups coord_rss.(e) r.fs_peak_child_rss_kb);
+       if not r.fs_matched then begin
+         Printf.printf "soak: plaintext mismatch in epoch %d — stopping\n%!" e;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  Buffer.add_string buf "\n  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"summary\": {\"epochs_scheduled\": %d, \"epochs_survived\": %d, \"mismatches\": \
+        %d, \"kills\": %d, \"faults_injected\": %d, \"recovery_sweeps\": %d, \
+        \"share_recoveries\": %d, \"peak_rss_kb\": %d, \"coord_rss_first_kb\": %d, \
+        \"coord_rss_last_kb\": %d}\n"
+       epochs !survived !mismatches !total_kills
+       (int_of_float !total_faults)
+       !total_recovery_sweeps !total_recoveries !peak_rss
+       (if epochs > 0 then coord_rss.(0) else 0)
+       (if epochs > 0 then coord_rss.(max 0 (!survived + !mismatches - 1)) else 0));
+  Buffer.add_string buf "}\n";
+  Out_channel.with_open_bin telemetry_out (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf
+    "soak: %d/%d epochs survived, %d mismatches, %d faults injected, %d recovery sweeps, \
+     %d share recoveries, peak RSS %d kB\nwrote %s\n"
+    !survived epochs !mismatches
+    (int_of_float !total_faults)
+    !total_recovery_sweeps !total_recoveries !peak_rss telemetry_out;
+  if !mismatches > 0 then exit 1
+
+let soak_cmd =
+  let variant =
+    Arg.(value & opt variant_conv Config.Basic & info [ "variant" ] ~doc:"basic|nizk|trap.")
+  in
+  let timeout =
+    Arg.(value & opt float 60. & info [ "timeout" ] ~doc:"Per-epoch timeout budget (s).")
+  in
+  let epochs = Arg.(value & opt int 20 & info [ "epochs" ] ~doc:"Epochs (rounds) to run.") in
+  let fail_at =
+    Arg.(
+      value & opt float 0.75
+      & info [ "fail-at" ] ~doc:"Seconds into a kill epoch's round at which the kill fires.")
+  in
+  let loss =
+    Arg.(value & opt float 0.01 & info [ "loss" ] ~doc:"Drop probability in corrupt epochs.")
+  in
+  let corrupt =
+    Arg.(
+      value & opt float 0.05
+      & info [ "corrupt" ] ~doc:"Byzantine frame-mutation probability in corrupt epochs.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"CI preset: 3 epochs — one kill, one partition with corrupt frames, one clean.")
+  in
+  let telemetry_out =
+    Arg.(
+      value & opt string "soak-telemetry.json"
+      & info [ "telemetry-out" ] ~doc:"Write the recovery-telemetry JSON here.")
   in
   Cmd.v
-    (Cmd.info "cluster"
-       ~doc:"Spawn N atom_node processes on loopback, run a round over real TCP, and check \
-             the output against the single-process reference.")
+    (Cmd.info "soak"
+       ~doc:
+         "Long-haul chaos soak: epochs of fresh fleets under kills, partitions and corrupt \
+          frames; every epoch's plaintexts are checked against the reference (non-zero exit \
+          on any mismatch) and recovery telemetry is dumped as JSON.")
     Term.(
-      const run_cluster $ variant $ users $ servers $ groups $ group_size $ h $ iterations
-      $ msg_bytes $ seed $ domains $ node_bin $ timeout $ metrics_flag $ metrics_out $ log_dir)
+      const run_soak $ variant $ cluster_users $ cluster_servers $ cluster_groups
+      $ cluster_group_size $ cluster_h $ cluster_iterations $ cluster_msg_bytes $ cluster_seed
+      $ cluster_domains $ cluster_node_bin $ timeout $ epochs $ fail_at $ loss $ corrupt
+      $ smoke $ telemetry_out $ cluster_log_dir)
+
+let cluster_cmd =
+  Cmd.group ~default:cluster_term
+    (Cmd.info "cluster"
+       ~doc:
+         "Spawn N atom_node processes on loopback, run a round over real TCP, and check the \
+          output against the single-process reference (default), or run the chaos soak \
+          (`cluster soak`).")
+    [ soak_cmd ]
 
 (* ---- sizing ---- *)
 

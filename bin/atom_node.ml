@@ -26,10 +26,23 @@ let variant_conv =
   Arg.conv (parse, print)
 
 let run node_id coord_port host variant servers groups group_size h iterations msg_bytes seed
-    domains recv_timeout max_idle verbose =
+    domains recv_timeout max_idle chaos metrics_out verbose =
   if verbose then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
+  let obs = if metrics_out <> None then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop in
   let module G = (val Atom_group.Registry.zp_test ()) in
-  let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
+  (* The node always runs behind the chaos wrapper; an empty spec is a
+     passthrough, so the fault-free path pays one extra indirection and
+     nothing else. The chaos clock is seconds since process start, so
+     --chaos partition windows are node-relative. *)
+  let module ChaosT = Atom_rpc.Chaos_transport.Make (Atom_rpc.Tcp_transport.Check) in
+  let module Node = Atom_rpc.Node.Make (G) (ChaosT.Check) in
+  let chaos_spec =
+    match Atom_rpc.Chaos_transport.spec_of_string chaos with
+    | Ok s -> s
+    | Error m ->
+        Printf.eprintf "atom_node: bad --chaos spec: %s\n" m;
+        exit 2
+  in
   let config =
     {
       Config.variant;
@@ -55,7 +68,9 @@ let run node_id coord_port host variant servers groups group_size h iterations m
     else if domains = 1 then None
     else Atom_exec.Pool.default ()
   in
-  let t = Atom_rpc.Tcp_transport.create ~host ~node_id () in
+  (* Bounded send budget: a dead peer costs at most ~2s before the typed
+     Send_failed error triggers §4.5 rerouting. *)
+  let t = Atom_rpc.Tcp_transport.create ~obs ~host ~node_id ~send_timeout:2.0 () in
   Atom_rpc.Tcp_transport.add_peer t ~node_id:coord ~host ~port:coord_port;
   (match
      Atom_rpc.Tcp_transport.send t ~dst:coord
@@ -67,7 +82,14 @@ let run node_id coord_port host variant servers groups group_size h iterations m
       Printf.eprintf "atom_node: cannot reach coordinator: %s\n"
         (Atom_rpc.Transport.error_to_string e);
       exit 1);
-  Node.run_node ?pool t ~config ~node_id ~coord ~recv_timeout ~max_idle
+  let started = Unix.gettimeofday () in
+  let ct =
+    ChaosT.wrap ~obs
+      ~now:(fun () -> Unix.gettimeofday () -. started)
+      ~reset:(fun dst -> Atom_rpc.Tcp_transport.reset_peer t ~dst)
+      chaos_spec t
+  in
+  Node.run_node ~obs ?pool ct ~config ~node_id ~coord ~recv_timeout ~max_idle
     ~on_peers:(fun peers ->
       Array.iter
         (fun (id, port) ->
@@ -75,6 +97,12 @@ let run node_id coord_port host variant servers groups group_size h iterations m
         peers)
     ();
   Atom_rpc.Tcp_transport.close t;
+  (match metrics_out with
+  | Some path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Format.asprintf "%a" Atom_obs.Metrics.pp (Atom_obs.Ctx.metrics obs)))
+  | None -> ());
   if domains > 1 then Option.iter Atom_exec.Pool.shutdown pool
 
 let cmd =
@@ -103,11 +131,25 @@ let cmd =
   let max_idle =
     Arg.(value & opt int 240 & info [ "max-idle" ] ~doc:"Exit after this many idle polls.")
   in
+  let chaos =
+    Arg.(
+      value & opt string ""
+      & info [ "chaos" ]
+          ~doc:
+            "Fault-injection spec for this node's transport, e.g. \
+             'drop=0.02;corrupt=0.01;seed=7;partition=1:3:0,1|2,3'. Empty = no faults.")
+  in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-out" ] ~doc:"Write this node's metrics registry dump here at exit.")
+  in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log node activity to stderr.") in
   Cmd.v
     (Cmd.info "atom_node" ~doc:"One Atom server process (spawned by atom_cli cluster).")
     Term.(
       const run $ node_id $ coord_port $ host $ variant $ servers $ groups $ group_size $ h
-      $ iterations $ msg_bytes $ seed $ domains $ recv_timeout $ max_idle $ verbose)
+      $ iterations $ msg_bytes $ seed $ domains $ recv_timeout $ max_idle $ chaos
+      $ metrics_out $ verbose)
 
 let () = exit (Cmd.eval cmd)

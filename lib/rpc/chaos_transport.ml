@@ -1,0 +1,318 @@
+(* Chaos layer: wrap any [Transport.S] with a seeded, deterministic fault
+   plan — message drops, delays/reordering, duplicate delivery, connection
+   resets, N-way partitions, and byzantine frame corruption drawn from the
+   same mutation vocabulary as the wire fuzz suite (bit-flips, truncations,
+   CRC-valid garbage bodies, frame substitution).
+
+   Determinism: every per-message decision is drawn from an RNG seeded by
+   (spec.seed, endpoint id) in send order, so the decision *sequence* at an
+   endpoint is a pure function of the seed and that endpoint's send
+   sequence. Over the discrete-event simulator (where the send sequence
+   itself is deterministic) a chaos run replays bit-identically; over real
+   TCP the fault mix is reproducible even though wall-clock interleaving is
+   not. Partitions are windows on a caller-supplied clock ([~now]), so sim
+   tests can drive them from virtual time and the node runtime from
+   seconds-since-start.
+
+   Every injected fault is counted in the [Atom_obs] registry
+   (chaos.drops / delays / dups / corruptions / partition_drops / resets),
+   which is what the soak harness reports as the error budget's "faults
+   injected" side. *)
+
+type partition = {
+  from_t : float;
+  to_t : float;
+  sides : int list list; (* nodes in different sides cannot talk *)
+}
+
+type spec = {
+  seed : int;
+  drop : float; (* per-send silent drop probability *)
+  delay : float; (* per-send hold-back probability (also reorders) *)
+  delay_s : float; (* how long a held message waits *)
+  dup : float; (* per-send duplicate-delivery probability *)
+  corrupt : float; (* per-send byzantine mutation probability *)
+  reset_every : int; (* force a connection reset every N sends (0 = off) *)
+  after : float; (* probabilistic faults sleep until this clock time —
+                    lets a cluster bring itself up before the weather
+                    starts (partitions are windowed explicitly instead) *)
+  partitions : partition list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop = 0.;
+    delay = 0.;
+    delay_s = 0.05;
+    dup = 0.;
+    corrupt = 0.;
+    reset_every = 0;
+    after = 0.;
+    partitions = [];
+  }
+
+let is_none (s : spec) =
+  s.drop = 0. && s.delay = 0. && s.dup = 0. && s.corrupt = 0. && s.reset_every = 0
+  && s.partitions = []
+
+(* ---- compact textual form (CLI flags, node spawning) ----
+
+   "drop=0.02;corrupt=0.01;seed=7;partition=1.5:3.5:0,1|2,3"
+   Fields separated by ';', partitions repeatable; a partition is
+   t0:t1:side|side|... with comma-separated node ids per side. *)
+
+let partition_to_string (p : partition) : string =
+  Printf.sprintf "%g:%g:%s" p.from_t p.to_t
+    (String.concat "|"
+       (List.map (fun side -> String.concat "," (List.map string_of_int side)) p.sides))
+
+let spec_to_string (s : spec) : string =
+  let fields = ref [] in
+  let add k v = fields := Printf.sprintf "%s=%s" k v :: !fields in
+  if s.seed <> 0 then add "seed" (string_of_int s.seed);
+  if s.drop <> 0. then add "drop" (Printf.sprintf "%g" s.drop);
+  if s.delay <> 0. then add "delay" (Printf.sprintf "%g" s.delay);
+  if s.delay_s <> none.delay_s then add "delay_s" (Printf.sprintf "%g" s.delay_s);
+  if s.dup <> 0. then add "dup" (Printf.sprintf "%g" s.dup);
+  if s.corrupt <> 0. then add "corrupt" (Printf.sprintf "%g" s.corrupt);
+  if s.reset_every <> 0 then add "reset_every" (string_of_int s.reset_every);
+  if s.after <> 0. then add "after" (Printf.sprintf "%g" s.after);
+  List.iter (fun p -> add "partition" (partition_to_string p)) s.partitions;
+  String.concat ";" (List.rev !fields)
+
+let spec_of_string (str : string) : (spec, string) result =
+  let parse_ids s =
+    List.filter_map
+      (fun tok -> if tok = "" then None else Some (int_of_string (String.trim tok)))
+      (String.split_on_char ',' s)
+  in
+  let parse_partition v =
+    match String.split_on_char ':' v with
+    | [ t0; t1; sides ] ->
+        {
+          from_t = float_of_string t0;
+          to_t = float_of_string t1;
+          sides = List.map parse_ids (String.split_on_char '|' sides);
+        }
+    | _ -> failwith "partition wants t0:t1:ids|ids"
+  in
+  try
+    Ok
+      (List.fold_left
+         (fun acc field ->
+           if String.trim field = "" then acc
+           else
+             match String.index_opt field '=' with
+             | None -> failwith (Printf.sprintf "field %S is not key=value" field)
+             | Some i ->
+                 let k = String.trim (String.sub field 0 i) in
+                 let v = String.trim (String.sub field (i + 1) (String.length field - i - 1)) in
+                 (match k with
+                 | "seed" -> { acc with seed = int_of_string v }
+                 | "drop" -> { acc with drop = float_of_string v }
+                 | "delay" -> { acc with delay = float_of_string v }
+                 | "delay_s" -> { acc with delay_s = float_of_string v }
+                 | "dup" -> { acc with dup = float_of_string v }
+                 | "corrupt" -> { acc with corrupt = float_of_string v }
+                 | "reset_every" -> { acc with reset_every = int_of_string v }
+                 | "after" -> { acc with after = float_of_string v }
+                 | "partition" -> { acc with partitions = acc.partitions @ [ parse_partition v ] }
+                 | k -> failwith (Printf.sprintf "unknown chaos field %S" k)))
+         none
+         (String.split_on_char ';' str))
+  with Failure m -> Error m
+
+(* ---- byzantine frame mutation ----
+
+   The same vocabulary as the wire fuzz suite: a bit-flip anywhere in the
+   frame (CRC / header validation must catch it), a truncation (desyncs a
+   TCP stream; the reader kills the connection and the sender reconnects),
+   a CRC-valid garbage body behind a legitimate header (drives every
+   per-kind body decoder on arbitrary bytes — strict totality rejects it),
+   or substitution by an unrelated valid frame (a replay-shaped fault the
+   receiver's dedup/ignore paths absorb). *)
+
+let mutate (rng : Atom_util.Rng.t) (frame : string) : string =
+  let n = String.length frame in
+  match Atom_util.Rng.int_below rng 4 with
+  | 0 when n > 0 ->
+      (* bit-flip *)
+      let i = Atom_util.Rng.int_below rng n in
+      let b = Bytes.of_string frame in
+      Bytes.set b i (Char.chr (Char.code frame.[i] lxor (1 lsl Atom_util.Rng.int_below rng 8)));
+      Bytes.to_string b
+  | 1 when n > 1 ->
+      (* truncation *)
+      String.sub frame 0 (Atom_util.Rng.int_below rng (n - 1) + 1)
+  | 2 ->
+      (* valid header + CRC over a garbage body: passes framing, exercises
+         the per-kind strict body decoders *)
+      let kinds = Atom_wire.Frame.kind_names in
+      let kind = fst (List.nth kinds (Atom_util.Rng.int_below rng (List.length kinds))) in
+      let body =
+        String.init (Atom_util.Rng.int_below rng 64) (fun _ ->
+            Char.chr (Atom_util.Rng.int_below rng 256))
+      in
+      Atom_wire.Frame.encode ~kind body
+  | _ ->
+      (* substitution by an unrelated well-formed control frame *)
+      Atom_wire.Control.encode (Atom_wire.Control.Ack { token = Atom_util.Rng.int_below rng 0xffff })
+
+module Make (T : Transport.S) = struct
+  type pending = { due : float; dst : int; frame : string }
+
+  type t = {
+    u : T.t;
+    spec : spec;
+    rng : Atom_util.Rng.t;
+    now : unit -> float;
+    reset : int -> unit;
+    mu : Mutex.t;
+    mutable held : pending list; (* delayed frames, oldest due first *)
+    mutable sends : int;
+    m_drops : Atom_obs.Metrics.counter;
+    m_delays : Atom_obs.Metrics.counter;
+    m_dups : Atom_obs.Metrics.counter;
+    m_corruptions : Atom_obs.Metrics.counter;
+    m_partition_drops : Atom_obs.Metrics.counter;
+    m_resets : Atom_obs.Metrics.counter;
+  }
+
+  let wrap ?(obs = Atom_obs.Ctx.noop) ?(now = Unix.gettimeofday)
+      ?(reset = fun (_ : int) -> ()) (spec : spec) (u : T.t) : t =
+    let reg = Atom_obs.Ctx.metrics obs in
+    {
+      u;
+      spec;
+      rng = Atom_util.Rng.create (spec.seed lxor (0xc4a05 * (T.self u + 1)));
+      now;
+      reset;
+      mu = Mutex.create ();
+      held = [];
+      sends = 0;
+      m_drops = Atom_obs.Metrics.counter reg "chaos.drops";
+      m_delays = Atom_obs.Metrics.counter reg "chaos.delays";
+      m_dups = Atom_obs.Metrics.counter reg "chaos.dups";
+      m_corruptions = Atom_obs.Metrics.counter reg "chaos.corruptions";
+      m_partition_drops = Atom_obs.Metrics.counter reg "chaos.partition_drops";
+      m_resets = Atom_obs.Metrics.counter reg "chaos.resets";
+    }
+
+  let underlying (t : t) : T.t = t.u
+  let self (t : t) : int = T.self t.u
+
+  let partitioned (t : t) (dst : int) : bool =
+    let at = t.now () in
+    let side_of sides id =
+      let rec go i = function
+        | [] -> None
+        | s :: rest -> if List.mem id s then Some i else go (i + 1) rest
+      in
+      go 0 sides
+    in
+    List.exists
+      (fun p ->
+        at >= p.from_t && at < p.to_t
+        &&
+        match (side_of p.sides (self t), side_of p.sides dst) with
+        | Some a, Some b -> a <> b
+        | _ -> false)
+      t.spec.partitions
+
+  (* Flush held frames whose release time has come. Send failures on the
+     release path count as drops: the chaos layer already reported Ok for
+     these sends, so late errors cannot be surfaced to the caller. *)
+  let release_due (t : t) : unit =
+    Mutex.lock t.mu;
+    let at = t.now () in
+    let due, still = List.partition (fun p -> p.due <= at) t.held in
+    t.held <- still;
+    Mutex.unlock t.mu;
+    List.iter
+      (fun p ->
+        match T.send t.u ~dst:p.dst p.frame with
+        | Ok () -> ()
+        | Error _ -> Atom_obs.Metrics.incr t.m_drops)
+      due
+
+  let send (t : t) ~(dst : int) (msg : string) : (unit, Transport.error) result =
+    release_due t;
+    Mutex.lock t.mu;
+    t.sends <- t.sends + 1;
+    let seq = t.sends in
+    (* One decision draw per fault class per send, in fixed order, so the
+       decision stream is independent of which faults are enabled. *)
+    let d_drop = Atom_util.Rng.float t.rng in
+    let d_corrupt = Atom_util.Rng.float t.rng in
+    let d_delay = Atom_util.Rng.float t.rng in
+    let d_dup = Atom_util.Rng.float t.rng in
+    (* Quiet before [after]: draws are still consumed so the decision
+       stream doesn't shift, but no probabilistic fault fires. *)
+    let active = t.now () >= t.spec.after in
+    let d_drop = if active then d_drop else 1.0 in
+    let d_delay = if active then d_delay else 1.0 in
+    let d_dup = if active then d_dup else 1.0 in
+    let mutated =
+      if active && d_corrupt < t.spec.corrupt then Some (mutate t.rng msg) else None
+    in
+    Mutex.unlock t.mu;
+    if active && t.spec.reset_every > 0 && seq mod t.spec.reset_every = 0 then begin
+      Atom_obs.Metrics.incr t.m_resets;
+      t.reset dst
+    end;
+    if partitioned t dst then begin
+      (* Silent: a partition looks like loss, not an error, to the sender. *)
+      Atom_obs.Metrics.incr t.m_partition_drops;
+      Ok ()
+    end
+    else if d_drop < t.spec.drop then begin
+      Atom_obs.Metrics.incr t.m_drops;
+      Ok ()
+    end
+    else begin
+      let msg =
+        match mutated with
+        | Some m ->
+            Atom_obs.Metrics.incr t.m_corruptions;
+            m
+        | None -> msg
+      in
+      let result =
+        if d_delay < t.spec.delay then begin
+          Atom_obs.Metrics.incr t.m_delays;
+          Mutex.lock t.mu;
+          t.held <- t.held @ [ { due = t.now () +. t.spec.delay_s; dst; frame = msg } ];
+          Mutex.unlock t.mu;
+          Ok ()
+        end
+        else T.send t.u ~dst msg
+      in
+      if result = Ok () && d_dup < t.spec.dup then begin
+        Atom_obs.Metrics.incr t.m_dups;
+        ignore (T.send t.u ~dst msg)
+      end;
+      result
+    end
+
+  let recv (t : t) ~(timeout : float) : (int * string, Transport.error) result =
+    release_due t;
+    T.recv t.u ~timeout
+
+  let close (t : t) : unit =
+    (* Held frames die with the endpoint, like any other in-flight data. *)
+    Mutex.lock t.mu;
+    t.held <- [];
+    Mutex.unlock t.mu;
+    T.close t.u
+
+  (* The wrapped endpoint is itself a transport. *)
+  module Check : Transport.S with type t = t = struct
+    type nonrec t = t
+
+    let self = self
+    let send = send
+    let recv = recv
+    let close = close
+  end
+end

@@ -126,6 +126,77 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
          Array.for_all Fun.id oks
        end
 
+  (* ---- §4.5 failure routing ----
+
+     The simulator recovers a dead group in place (buddy sub-shares →
+     [Pr.recover_position]); the message-passing runtime realises the same
+     mechanism as deterministic *role replacement*: every process computes
+     the same replacement for a dead server from the shared network state,
+     so routing re-converges without coordination. The replacement is drawn
+     from the dead server's buddy group first (§4.5: the buddies hold the
+     re-sharing of its share), falling back to any live server. The
+     replacement can execute the dead member's pipeline steps because
+     handlers take (gid, pos) from the message, not from local identity —
+     and it proves it holds the position's share by running the buddy
+     recovery ceremony ([Pr.Dkg.recover] over the retained re-sharing)
+     before adopting the role. *)
+
+  let candidates (net : Pr.network) (sid : int) : int list =
+    let buddy =
+      match
+        Array.find_opt (fun g -> Array.exists (( = ) sid) g.Pr.members) net.Pr.groups
+      with
+      | Some g -> Array.to_list g.Pr.buddies
+      | None -> []
+    in
+    let everyone = List.init net.Pr.config.Config.n_servers Fun.id in
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun c -> c <> sid && not (Hashtbl.mem seen c) && (Hashtbl.add seen c (); true))
+      (buddy @ everyone)
+
+  (* First live candidate; pure in (net, failed), so every process that has
+     heard the same failure set routes identically. *)
+  let resolve (net : Pr.network) (failed : bool array) (sid : int) : int =
+    if sid < 0 || sid >= Array.length failed || not failed.(sid) then sid
+    else
+      match List.find_opt (fun c -> not failed.(c)) (candidates net sid) with
+      | Some c -> c
+      | None -> sid
+
+  (* Bounded per-peer ring of recently sent frames, keyed by the *logical*
+     destination (pre-rerouting) so a retained frame follows routing when
+     the failure set changes. Recovery is retransmission: the round's
+     in-flight state lives collectively in these rings, so a replacement
+     server can be fed the dead member's inputs and the pipeline resumes
+     from the furthest point it actually reached. The cap bounds memory —
+     a frame that ages out before a recovery that needed it stalls the
+     round into the coordinator's timeout, which is the graceful-
+     degradation contract (never OOM). *)
+  module Outbox = struct
+    type t = { cap : int; tbl : (int, string Queue.t) Hashtbl.t }
+
+    let create ?(cap = 32) () : t = { cap; tbl = Hashtbl.create 8 }
+
+    let note (t : t) ~(dst : int) (frame : string) : unit =
+      let q =
+        match Hashtbl.find_opt t.tbl dst with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.add t.tbl dst q;
+            q
+      in
+      Queue.add frame q;
+      if Queue.length q > t.cap then ignore (Queue.pop q)
+
+    let iter (t : t) (f : dst:int -> string -> unit) : unit =
+      Hashtbl.iter (fun dst q -> Queue.iter (fun fr -> f ~dst fr) q) t.tbl
+
+    let iter_dst (t : t) ~(dst : int) (f : string -> unit) : unit =
+      match Hashtbl.find_opt t.tbl dst with Some q -> Queue.iter f q | None -> ()
+  end
+
   (* ---- the node ---- *)
 
   type head_input = { mutable parts : Pr.El.vec array list; mutable got : int }
@@ -134,20 +205,28 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     t : T.t;
     net : Pr.network;
     pool : Atom_exec.Pool.t option; (* crypto fan-out; None = sequential *)
-    rng : Atom_util.Rng.t; (* node-local randomness; never needs to agree *)
     node_id : int;
     coord : int;
-    (* quorum positions this server holds, per group: (gid, pos) *)
-    roles : (int * int) list;
+    (* quorum positions this server holds, per group: (gid, pos) —
+       grows when §4.5 adoption hands this node a dead server's role *)
+    mutable roles : (int * int) list;
     (* head-only: accumulating inputs keyed (gid, iter) *)
     inputs : (int * int, head_input) Hashtbl.t;
     entry_units : (int, Pr.El.vec array) Hashtbl.t; (* gid -> verified units *)
     entry_started : (int, unit) Hashtbl.t;
     seen : (string, int) Hashtbl.t; (* duplicate-submission check, per head *)
+    failed : bool array; (* server id -> presumed dead (routing input) *)
+    outbox : Outbox.t; (* retained sent frames, for Retransmit *)
+    handled : (string, unit) Hashtbl.t; (* semantic dedup of pipeline steps *)
+    adopted : (int * int, unit) Hashtbl.t; (* (gid, pos) ceremonies done *)
     mutable barrier : bool;
     mutable stop : bool;
     m_verify_failures : Atom_obs.Metrics.counter;
     m_steps : Atom_obs.Metrics.counter;
+    m_bad_frames : Atom_obs.Metrics.counter;
+    m_dups_dropped : Atom_obs.Metrics.counter;
+    m_recoveries : Atom_obs.Metrics.counter;
+    m_resends : Atom_obs.Metrics.counter;
   }
 
   let roles_of (net : Pr.network) (node_id : int) : (int * int) list =
@@ -167,14 +246,129 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     ignore (T.send n.t ~dst:n.coord (Ctrl.encode (Ctrl.Abort { code; detail })));
     n.stop <- true
 
+  (* A frame that fails strict decoding is dropped and counted, never
+     fatal: under chaos (bit-flips, truncations, CRC-valid garbage) a
+     corrupted frame must cost the round nothing. Semantic failures — a
+     proof that verifies false, an assignment mismatch — still abort
+     (§4.4): those are evidence of misbehaviour, not line noise. *)
+  let bad_frame (n : node) (what : string) : unit =
+    Atom_obs.Metrics.incr n.m_bad_frames;
+    Atom_obs.Log.warn "node %d: dropped bad frame (%s)" n.node_id what
+
+  let route (n : node) (dst : int) : int =
+    if dst = n.coord then dst else resolve n.net n.failed dst
+
+  (* §4.5 adoption: for every dead server whose replacement this node now
+     is, run the buddy recovery ceremony once per (gid, pos) the dead
+     server held — reconstruct the position's share from the retained
+     buddy re-sharing and check it against the derived key material. In a
+     deployment the sub-shares would arrive from the buddy servers; the
+     derivation stands in for that transfer (as for the DKG itself), and
+     the equality check pins the reconstruction to the real data path. *)
+  let adopt_roles (n : node) : unit =
+    let quorum = Config.quorum n.net.Pr.config in
+    Array.iteri
+      (fun sid dead ->
+        if dead && resolve n.net n.failed sid = n.node_id then
+          List.iter
+            (fun (gid, pos) ->
+              if not (Hashtbl.mem n.adopted (gid, pos)) then begin
+                Hashtbl.add n.adopted (gid, pos) ();
+                let g = n.net.Pr.groups.(gid) in
+                let recovered =
+                  Pr.Dkg.recover g.Pr.reshares.(pos - 1)
+                    ~from:(List.init quorum (fun i -> i + 1))
+                in
+                if
+                  G.Scalar.equal recovered.Pr.Sh.value
+                    g.Pr.keys.Pr.Dkg.shares.(pos - 1).Pr.Sh.value
+                then begin
+                  Atom_obs.Metrics.incr n.m_recoveries;
+                  (* The role is ours now: position-addressed step frames
+                     already route here, but role-driven actions (starting
+                     an entry group on Barrier) consult [n.roles]. *)
+                  n.roles <- n.roles @ [ (gid, pos) ];
+                  Atom_obs.Log.warn "node %d: recovered share gid=%d pos=%d for dead node %d"
+                    n.node_id gid pos sid
+                end
+                else
+                  abort n ~code:Ctrl.abort_internal
+                    (Printf.sprintf "buddy recovery mismatch gid=%d pos=%d" gid pos)
+              end)
+            (roles_of n.net sid))
+      n.failed
+
+  let mark_failed (n : node) (sid : int) : unit =
+    if sid >= 0 && sid < Array.length n.failed && sid <> n.node_id && not n.failed.(sid)
+    then begin
+      n.failed.(sid) <- true;
+      Atom_obs.Log.warn "node %d: peer %d marked failed; replacement %d" n.node_id sid
+        (resolve n.net n.failed sid);
+      adopt_roles n
+    end
+
+  (* Physical send with rerouting: a typed send error marks the peer dead,
+     notifies the coordinator, and retries toward the replacement. Each
+     retry marks one more server, so the recursion is bounded by fleet
+     size. A coordinator failure is unrecoverable — it *is* the round. *)
+  let rec send_raw (n : node) ~(dst : int) (frame : string) : unit =
+    if not n.stop then begin
+      let target = route n dst in
+      match T.send n.t ~dst:target frame with
+      | Ok () -> ()
+      | Error e ->
+          if target = n.coord then begin
+            Atom_obs.Log.warn "node %d: coordinator unreachable: %s" n.node_id
+              (Transport.error_to_string e);
+            n.stop <- true
+          end
+          else begin
+            Atom_obs.Log.warn "node %d: peer %d unreachable (%s), rerouting" n.node_id
+              target (Transport.error_to_string e);
+            mark_failed n target;
+            ignore
+              (T.send n.t ~dst:n.coord (Ctrl.encode (Ctrl.Failed { sids = [| target |] })));
+            if route n dst <> target then send_raw n ~dst frame
+          end
+    end
+
+  (* All pipeline traffic is retained (coordinator-bound included: an
+     Exit_batch lost to a partition is recovered the same way) and sent
+     through the routing layer. *)
   let send_to (n : node) ~(dst : int) (frame : string) : unit =
-    match T.send n.t ~dst frame with
-    | Ok () -> ()
-    | Error e ->
-        abort n ~code:Ctrl.abort_internal
-          (Printf.sprintf "send to node %d: %s" dst (Transport.error_to_string e))
+    Outbox.note n.outbox ~dst frame;
+    send_raw n ~dst frame
+
+  (* Retransmission and duplicate delivery make every message potentially
+     multi-delivered; each pipeline step executes exactly once, keyed by
+     its position in the round, and later copies are dropped — whether
+     byte-identical resends or a re-execution by a replacement server
+     (which differs in randomness but not in meaning). *)
+  let fresh (n : node) (key : string) : bool =
+    if Hashtbl.mem n.handled key then begin
+      Atom_obs.Metrics.incr n.m_dups_dropped;
+      false
+    end
+    else begin
+      Hashtbl.add n.handled key ();
+      true
+    end
 
   let nizk (n : node) : bool = n.net.Pr.config.Config.variant = Config.Nizk
+
+  (* Randomness for pipeline-step execution is keyed to the *step*, not
+     the node: a §4.5 replacement re-executing a dead member's step must
+     reproduce the original's bytes exactly, or first-arrival dedup
+     downstream could stitch together two different shuffles of the same
+     layer (duplicating one message and losing another). [tag] encodes
+     the position within the (gid, iter) pipeline: shuffle position s is
+     tag s; re-encryption position s of batch b is tag 1000 + 64b + s. *)
+  let step_rng (n : node) ~(gid : int) ~(iter : int) ~(tag : int) : Atom_util.Rng.t =
+    Atom_util.Rng.create
+      (n.net.Pr.config.Config.seed
+      lxor (0x51ab5 * (gid + 1))
+      lxor (0x9e377 * (iter + 1))
+      lxor (0x85eb1 * (tag + 1)))
 
   (* Step 2+3 of the group iteration, run by the head once the collective
      shuffle is done: divide into β batches and launch each decrypt-and-
@@ -193,20 +387,21 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     Array.iteri
       (fun bi batch ->
         if not n.stop then begin
+          let rng = step_rng n ~gid ~iter ~tag:(1000 + (bi * 64) + 1) in
           let next_pk = if last_iter then None else Some (Pr.group_pk net nbrs.(bi)) in
           let output, proofs =
             if nizk n then begin
               let stepped =
                 Array.map
                   (fun v ->
-                    Pr.P.Reenc_proof.reenc_vec_with_proof n.rng ~share ~coeff ~next_pk
+                    Pr.P.Reenc_proof.reenc_vec_with_proof rng ~share ~coeff ~next_pk
                       ~context:ctx v)
                   batch
               in
               (Array.map fst stepped, Array.map (fun (_, pis) -> reenc_proofs_to_blob pis) stepped)
             end
             else
-              ( Array.map (fun v -> fst (Pr.El.reenc_vec n.rng ~share ~coeff ~next_pk v)) batch,
+              ( Array.map (fun v -> fst (Pr.El.reenc_vec rng ~share ~coeff ~next_pk v)) batch,
                 Array.map (fun _ -> "") batch )
           in
           Atom_obs.Metrics.incr n.m_steps;
@@ -248,7 +443,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
          so downstream in-degree counting stays uniform. *)
       divide_and_reenc n gid iter units
     else begin
-      match Pr.El.shuffle_vec ?pool:n.pool n.rng (Pr.group_pk net gid) units with
+      let rng = step_rng n ~gid ~iter ~tag:1 in
+      match Pr.El.shuffle_vec ?pool:n.pool rng (Pr.group_pk net gid) units with
       | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
       | Some (shuffled, witness) ->
           Atom_obs.Metrics.incr n.m_steps;
@@ -257,7 +453,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
             let proof =
               if nizk n then
                 Pr.Shuf.to_bytes
-                  (Pr.Shuf.prove ?pool:n.pool n.rng ~pk:(Pr.group_pk net gid)
+                  (Pr.Shuf.prove ?pool:n.pool rng ~pk:(Pr.group_pk net gid)
                      ~context:(iter_ctx net gid iter) ~input:units ~output:shuffled ~witness)
               else ""
             in
@@ -335,14 +531,15 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       (* Back at the head: the whole quorum has shuffled. *)
       divide_and_reenc n gid iter output
     else begin
-      match Pr.El.shuffle_vec ?pool:n.pool n.rng pk output with
+      let rng = step_rng n ~gid ~iter ~tag:step in
+      match Pr.El.shuffle_vec ?pool:n.pool rng pk output with
       | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
       | Some (shuffled, witness) ->
           Atom_obs.Metrics.incr n.m_steps;
           let proof' =
             if nizk n then
               Pr.Shuf.to_bytes
-                (Pr.Shuf.prove ?pool:n.pool n.rng ~pk ~context:ctx ~input:output
+                (Pr.Shuf.prove ?pool:n.pool rng ~pk ~context:ctx ~input:output
                    ~output:shuffled ~witness)
             else ""
           in
@@ -373,18 +570,19 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         (Printf.sprintf "reenc proofs rejected gid=%d iter=%d step=%d" gid iter (step - 1))
     else begin
       let share, coeff = share_and_coeff net gid step in
+      let rng = step_rng n ~gid ~iter ~tag:(1000 + (batch_idx * 64) + step) in
       let output', proofs' =
         if nizk n then begin
           let stepped =
             Array.map
               (fun v ->
-                Pr.P.Reenc_proof.reenc_vec_with_proof n.rng ~share ~coeff ~next_pk ~context:ctx v)
+                Pr.P.Reenc_proof.reenc_vec_with_proof rng ~share ~coeff ~next_pk ~context:ctx v)
               output
           in
           (Array.map fst stepped, Array.map (fun (_, pis) -> reenc_proofs_to_blob pis) stepped)
         end
         else
-          ( Array.map (fun v -> fst (Pr.El.reenc_vec n.rng ~share ~coeff ~next_pk v)) output,
+          ( Array.map (fun v -> fst (Pr.El.reenc_vec rng ~share ~coeff ~next_pk v)) output,
             Array.map (fun _ -> "") output )
       in
       Atom_obs.Metrics.incr n.m_steps;
@@ -434,7 +632,23 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
           n.barrier <- true;
           List.iter (fun (gid, pos) -> if pos = 1 then maybe_start_entry n gid) n.roles
         end
-    | Ctrl.Submissions { gid; blobs } -> on_submissions n gid blobs
+    | Ctrl.Submissions { gid; blobs } ->
+        (* Dedup is load-bearing here: reprocessing would trip the
+           duplicate-ciphertext check against the first pass's [seen]
+           entries and replace the verified units with an empty set. *)
+        if fresh n (Printf.sprintf "U%d" gid) then on_submissions n gid blobs
+    | Ctrl.Failed { sids } ->
+        Array.iter (mark_failed n) sids;
+        (* Adoption may have handed this node an entry-head role whose
+           submissions were rerouted here before the death was known —
+           idempotent thanks to the entry_started guard. *)
+        List.iter (fun (gid, pos) -> if pos = 1 then maybe_start_entry n gid) n.roles
+    | Ctrl.Retransmit ->
+        (* Recovery nudge: re-send every retained frame toward its current
+           route; receiver-side dedup makes this idempotent. *)
+        Outbox.iter n.outbox (fun ~dst frame ->
+            Atom_obs.Metrics.incr n.m_resends;
+            send_raw n ~dst frame)
     | Ctrl.Abort { detail; _ } ->
         Atom_obs.Log.warn "node %d: abort relayed: %s" n.node_id detail;
         n.stop <- true
@@ -447,11 +661,17 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
            || not (G.equal pk (Pr.group_pk n.net gid))
         then abort n ~code:Ctrl.abort_bad_assignment (Printf.sprintf "group %d key mismatch" gid)
     | C.Shuffle_step { gid; iter; step; input; output; proof } ->
-        on_shuffle_step n ~gid ~iter ~step ~input ~output proof
+        if fresh n (Printf.sprintf "S%d.%d.%d" gid iter step) then
+          on_shuffle_step n ~gid ~iter ~step ~input ~output proof
     | C.Reenc_step { gid; iter; batch_idx; step; input; output; proofs } ->
-        on_reenc_step n ~gid ~iter ~batch_idx ~step ~input ~output proofs
+        if fresh n (Printf.sprintf "R%d.%d.%d.%d" gid iter batch_idx step) then
+          on_reenc_step n ~gid ~iter ~batch_idx ~step ~input ~output proofs
     | C.Batch { gid; iter; src_gid; input; output; proofs } ->
-        on_batch n ~gid ~iter ~src_gid ~input ~output proofs
+        (* One batch per (src, dst) pair per layer: the square topology
+           never fans a group out twice to the same neighbor in a layer,
+           so this key distinguishes every legitimate batch. *)
+        if fresh n (Printf.sprintf "B%d.%d.%d" gid iter src_gid) then
+          on_batch n ~gid ~iter ~src_gid ~input ~output proofs
     | C.Exit_batch _ -> () (* coordinator-only traffic *)
 
   let handle_frame (n : node) (frame : string) : unit =
@@ -459,12 +679,12 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     | Some k when k >= Frame.kind_group_key -> (
         match C.decode frame with
         | Some msg -> handle_codec n msg
-        | None -> abort n ~code:Ctrl.abort_bad_frame (Printf.sprintf "bad %s frame" (Frame.kind_name k)))
+        | None -> bad_frame n (Printf.sprintf "bad %s body" (Frame.kind_name k)))
     | Some k -> (
         match Ctrl.decode frame with
         | Some msg -> handle_control n msg
-        | None -> abort n ~code:Ctrl.abort_bad_frame (Printf.sprintf "bad %s frame" (Frame.kind_name k)))
-    | None -> abort n ~code:Ctrl.abort_bad_frame "unparseable frame"
+        | None -> bad_frame n (Printf.sprintf "bad %s body" (Frame.kind_name k)))
+    | None -> bad_frame n "unparseable frame"
 
   (* Run one server's event loop until Shutdown / abort / idle expiry.
      [on_peers] lets the transport register discovered peers (TCP needs
@@ -479,7 +699,6 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         t;
         net;
         pool;
-        rng = Atom_util.Rng.create (config.Config.seed lxor (0x6e0de * (node_id + 1)));
         node_id;
         coord;
         roles = roles_of net node_id;
@@ -487,10 +706,18 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         entry_units = Hashtbl.create 8;
         entry_started = Hashtbl.create 8;
         seen = Hashtbl.create 64;
+        failed = Array.make config.Config.n_servers false;
+        outbox = Outbox.create ();
+        handled = Hashtbl.create 64;
+        adopted = Hashtbl.create 8;
         barrier = false;
         stop = false;
         m_verify_failures = Atom_obs.Metrics.counter reg "node.verify_failures";
         m_steps = Atom_obs.Metrics.counter reg "node.steps";
+        m_bad_frames = Atom_obs.Metrics.counter reg "node.bad_frames";
+        m_dups_dropped = Atom_obs.Metrics.counter reg "node.dups_dropped";
+        m_recoveries = Atom_obs.Metrics.counter reg "node.recoveries";
+        m_resends = Atom_obs.Metrics.counter reg "node.resends";
       }
     in
     let idle = ref 0 in
@@ -518,14 +745,26 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     matched : bool; (* sorted multiset equality *)
     cluster_abort : string option;
     rejected_submissions : int list;
+    recovery_rounds : int; (* stall-triggered §4.5 recovery sweeps *)
+    failed_nodes : int list; (* servers presumed dead by round end *)
   }
 
   (* Drive a full round over [t]: ship submissions to entry heads, release
      the barrier, collect and verify exit batches, run the variant endgame,
-     and compare against the in-process reference execution. *)
+     and compare against the in-process reference execution.
+
+     Failure detection is timeout-driven, per §4.5: [stall_strikes]
+     consecutive empty receives trigger a recovery sweep — probe every
+     presumed-live server with a cheap control send (a typed transport
+     error is the death certificate), broadcast the updated failure set,
+     re-send the coordinator's retained frames toward the replacements,
+     and nudge the fleet to do the same ([Retransmit]). A partitioned
+     server yields no send error; for that case the sweep's retransmission
+     alone completes the round once the partition heals. Sweeps are
+     bounded by [max_recovery_rounds] and the whole wait by [max_idle]. *)
   let run_coordinator ?(obs = Atom_obs.Ctx.noop) ?pool (t : T.t) ~(config : Config.t)
-      ~(users : int) ?(recv_timeout = 0.5) ?(max_idle = 240) () : cluster_outcome =
-    ignore obs;
+      ~(users : int) ?(recv_timeout = 0.5) ?(max_idle = 240) ?(stall_strikes = 8)
+      ?(max_recovery_rounds = 16) () : cluster_outcome =
     let rng = Atom_util.Rng.create config.Config.seed in
     let net = Pr.setup rng config () in
     let n_groups = config.Config.n_groups in
@@ -549,54 +788,130 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
               (c :: Option.value ~default:[] (Hashtbl.find_opt commitments s.Pr.entry_gid))
         | None -> ())
       accepted;
+    (* Routed, retained sends: the failure set starts empty and grows as
+       sends error out or stall sweeps find dead servers. *)
+    let reg = Atom_obs.Ctx.metrics obs in
+    let m_recovery_rounds = Atom_obs.Metrics.counter reg "coord.recovery_rounds" in
+    let m_failed_nodes = Atom_obs.Metrics.counter reg "coord.failed_nodes" in
+    let m_exit_dups = Atom_obs.Metrics.counter reg "coord.exit_dups" in
+    let n_servers = config.Config.n_servers in
+    let failed = Array.make n_servers false in
+    let outbox = Outbox.create ~cap:64 () in
+    let newly_failed = ref [] in
+    let mark sid =
+      if sid >= 0 && sid < n_servers && not failed.(sid) then begin
+        failed.(sid) <- true;
+        Atom_obs.Metrics.incr m_failed_nodes;
+        newly_failed := sid :: !newly_failed;
+        Atom_obs.Log.warn "coordinator: node %d presumed dead" sid
+      end
+    in
+    let rec send_raw ~dst frame =
+      let target = resolve net failed dst in
+      match T.send t ~dst:target frame with
+      | Ok () -> ()
+      | Error _ ->
+          mark target;
+          if resolve net failed dst <> target then send_raw ~dst frame
+    in
+    let send_c ~dst frame =
+      Outbox.note outbox ~dst frame;
+      send_raw ~dst frame
+    in
     (* Consistency cross-checks + submissions + barrier. *)
     for gid = 0 to n_groups - 1 do
       let g = net.Pr.groups.(gid) in
       let head = g.Pr.members.(0) in
       Array.iter
         (fun sid ->
-          ignore (T.send t ~dst:sid (Ctrl.encode (Ctrl.Group_assign { gid; members = g.Pr.members })));
-          ignore (T.send t ~dst:sid (C.encode (C.Group_key { gid; pk = Pr.group_pk net gid }))))
+          send_c ~dst:sid (Ctrl.encode (Ctrl.Group_assign { gid; members = g.Pr.members }));
+          send_c ~dst:sid (C.encode (C.Group_key { gid; pk = Pr.group_pk net gid })))
         g.Pr.members;
-      ignore
-        (T.send t ~dst:head
-           (Pr.Wire.submissions_to_frame ~gid
-              (List.filter (fun s -> s.Pr.entry_gid = gid) subs)))
+      send_c ~dst:head
+        (Pr.Wire.submissions_to_frame ~gid
+           (List.filter (fun s -> s.Pr.entry_gid = gid) subs))
     done;
-    for sid = 0 to config.Config.n_servers - 1 do
-      ignore (T.send t ~dst:sid (Ctrl.encode (Ctrl.Barrier { iter = 0 })))
+    for sid = 0 to n_servers - 1 do
+      send_c ~dst:sid (Ctrl.encode (Ctrl.Barrier { iter = 0 }))
     done;
+    (* One recovery sweep: probe, publish deaths, retransmit. *)
+    let recoveries = ref 0 in
+    let recovery_sweep () =
+      incr recoveries;
+      Atom_obs.Metrics.incr m_recovery_rounds;
+      for sid = 0 to n_servers - 1 do
+        if not failed.(sid) then
+          match T.send t ~dst:sid (Ctrl.encode (Ctrl.Ack { token = 0xbeef })) with
+          | Ok () -> ()
+          | Error _ -> mark sid
+      done;
+      if !newly_failed <> [] then begin
+        let sids = Array.of_list !newly_failed in
+        newly_failed := [];
+        for sid = 0 to n_servers - 1 do
+          if not failed.(sid) then
+            ignore (T.send t ~dst:sid (Ctrl.encode (Ctrl.Failed { sids })))
+        done;
+        (* Feed each replacement the frames its dead predecessor was sent. *)
+        Array.iter
+          (fun dead -> Outbox.iter_dst outbox ~dst:dead (fun fr -> send_raw ~dst:dead fr))
+          sids
+      end;
+      for sid = 0 to n_servers - 1 do
+        if not failed.(sid) then ignore (T.send t ~dst:sid (Ctrl.encode Ctrl.Retransmit))
+      done
+    in
     (* Collect exit batches. *)
     let last = iterations net - 1 in
     let quorum = Config.quorum config in
     let want = expected_exits net in
     let holdings = Array.make n_groups [] in
+    let seen_exits = Hashtbl.create 16 in
     let got = ref 0 in
     let idle = ref 0 in
+    let strikes = ref 0 in
     let cluster_abort = ref None in
     while !got < want && !cluster_abort = None && !idle < max_idle do
       match T.recv t ~timeout:recv_timeout with
       | Error Transport.Closed ->
           cluster_abort := Some "coordinator transport closed"
-      | Error _ -> incr idle
+      | Error _ ->
+          incr idle;
+          incr strikes;
+          if !strikes >= stall_strikes && !recoveries < max_recovery_rounds then begin
+            strikes := 0;
+            recovery_sweep ()
+          end
       | Ok (_src, frame) -> (
           idle := 0;
+          strikes := 0;
           match C.decode frame with
-          | Some (C.Exit_batch { gid; batch_idx = _; input; output; proofs }) ->
-              let ok =
-                config.Config.variant <> Config.Nizk
-                || verify_hop ?pool ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
-                     ~context:(iter_ctx net gid last) ~input ~output proofs
-              in
-              if ok then begin
-                Array.iter (fun v -> holdings.(gid) <- v :: holdings.(gid)) output;
-                incr got
+          | Some (C.Exit_batch { gid; batch_idx; input; output; proofs }) ->
+              if Hashtbl.mem seen_exits (gid, batch_idx) then
+                Atom_obs.Metrics.incr m_exit_dups
+              else begin
+                let ok =
+                  config.Config.variant <> Config.Nizk
+                  || verify_hop ?pool ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
+                       ~context:(iter_ctx net gid last) ~input ~output proofs
+                in
+                if ok then begin
+                  Hashtbl.add seen_exits (gid, batch_idx) ();
+                  Array.iter (fun v -> holdings.(gid) <- v :: holdings.(gid)) output;
+                  incr got
+                end
+                else cluster_abort := Some (Printf.sprintf "exit proofs rejected gid=%d" gid)
               end
-              else cluster_abort := Some (Printf.sprintf "exit proofs rejected gid=%d" gid)
           | Some _ -> ()
           | None -> (
               match Ctrl.decode frame with
               | Some (Ctrl.Abort { detail; _ }) -> cluster_abort := Some detail
+              | Some (Ctrl.Failed { sids }) ->
+                  (* A node saw a peer die before we did: adopt its view
+                     and run a sweep now rather than waiting for a stall. *)
+                  Array.iter mark sids;
+                  if !newly_failed <> [] && !recoveries < max_recovery_rounds then
+                    recovery_sweep ()
               | _ -> ()))
     done;
     if !cluster_abort = None && !got < want then
@@ -623,17 +938,24 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
                 List.map Pr.Msg.unpad_plaintext (Pr.open_inners net inner_payloads))
       end
     in
-    (* Publish and shut the fleet down. *)
-    for sid = 0 to config.Config.n_servers - 1 do
-      ignore
-        (T.send t ~dst:sid
-           (Ctrl.encode (Ctrl.Published { plaintexts = Array.of_list delivered })));
-      ignore (T.send t ~dst:sid (Ctrl.encode Ctrl.Shutdown))
+    (* Publish and shut the fleet down (best effort — dead peers are
+       skipped rather than paid for: each send to a dead peer would burn
+       the full bounded reconnect budget). *)
+    for sid = 0 to n_servers - 1 do
+      if not failed.(sid) then begin
+        ignore
+          (T.send t ~dst:sid
+             (Ctrl.encode (Ctrl.Published { plaintexts = Array.of_list delivered })));
+        ignore (T.send t ~dst:sid (Ctrl.encode Ctrl.Shutdown))
+      end
     done;
     let matched =
       !cluster_abort = None
       && reference.Pr.aborted = None
       && List.sort compare delivered = List.sort compare reference.Pr.delivered
+    in
+    let failed_nodes =
+      List.filter (fun sid -> failed.(sid)) (List.init n_servers Fun.id)
     in
     {
       delivered;
@@ -641,5 +963,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       matched;
       cluster_abort = !cluster_abort;
       rejected_submissions;
+      recovery_rounds = !recoveries;
+      failed_nodes;
     }
 end

@@ -37,8 +37,16 @@ type t = {
   port : int;
   peers : (int, peer) Hashtbl.t;
   peers_mu : Mutex.t;
+  (* Accepted incoming connections, tracked so [close] can sever them.
+     Without this a "dead" node's established connections linger in the
+     kernel and peers' writes keep succeeding silently — in-process kills
+     (tests, chaos) would look nothing like a real crash, which RSTs
+     every connection the moment the process dies. *)
+  readers : (Unix.file_descr, unit) Hashtbl.t;
+  readers_mu : Mutex.t;
   inbox : (int * string) Queue.t;
   inbox_mu : Mutex.t;
+  max_inbox : int; (* frames buffered before overflow drops kick in *)
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable closed : bool;
@@ -54,11 +62,20 @@ type t = {
   m_drops : Atom_obs.Metrics.counter;
   m_accepts : Atom_obs.Metrics.counter;
   m_protocol_errors : Atom_obs.Metrics.counter;
+  m_inbox_drops : Atom_obs.Metrics.counter;
+  m_resets : Atom_obs.Metrics.counter;
   m_send_bytes : Atom_obs.Metrics.histogram;
   m_send_seconds : Atom_obs.Metrics.histogram;
 }
 
 let default_send_timeout = 5.0
+
+(* Inbox bound: a flooding or byzantine peer must exhaust its own socket
+   buffers, not this process's heap. Generous enough that healthy rounds
+   never hit it (a round's whole traffic toward one node is a few hundred
+   frames); overflow drops the newest frame and counts it — recovery
+   retransmission makes the drop survivable. *)
+let default_max_inbox = 8192
 
 (* Mirror the simulator Net's retransmission policy. *)
 let default_max_retries = Atom_sim.Net.default_max_retries
@@ -96,9 +113,20 @@ let wake (t : t) : unit =
 
 let enqueue (t : t) (src : int) (frame : string) : unit =
   Mutex.lock t.inbox_mu;
-  Queue.add (src, frame) t.inbox;
+  let dropped = Queue.length t.inbox >= t.max_inbox in
+  if not dropped then Queue.add (src, frame) t.inbox;
   Mutex.unlock t.inbox_mu;
-  wake t
+  if dropped then Atom_obs.Metrics.incr t.m_inbox_drops else wake t
+
+let track_reader (t : t) (fd : Unix.file_descr) : unit =
+  Mutex.lock t.readers_mu;
+  Hashtbl.replace t.readers fd ();
+  Mutex.unlock t.readers_mu
+
+let untrack_reader (t : t) (fd : Unix.file_descr) : unit =
+  Mutex.lock t.readers_mu;
+  Hashtbl.remove t.readers fd;
+  Mutex.unlock t.readers_mu
 
 (* One incoming connection: Hello first, then framed messages forever. *)
 let reader_loop (t : t) (fd : Unix.file_descr) : unit =
@@ -126,22 +154,32 @@ let reader_loop (t : t) (fd : Unix.file_descr) : unit =
         while not t.closed do
           enqueue t src (read_frame ())
         done;
+        untrack_reader t fd;
         close_quietly fd
-      with Conn_closed | Unix.Unix_error _ | Sys_error _ -> close_quietly fd)
-  | exception (Conn_closed | Unix.Unix_error _ | Sys_error _) -> close_quietly fd
+      with Conn_closed | Unix.Unix_error _ | Sys_error _ ->
+        untrack_reader t fd;
+        close_quietly fd)
+  | exception (Conn_closed | Unix.Unix_error _ | Sys_error _) ->
+      untrack_reader t fd;
+      close_quietly fd
 
 let accept_loop (t : t) : unit =
   try
     while not t.closed do
       let fd, _ = Unix.accept t.listen_fd in
-      Atom_obs.Metrics.incr t.m_accepts;
-      ignore (Thread.create (fun () -> reader_loop t fd) ())
+      if t.closed then close_quietly fd
+      else begin
+        Atom_obs.Metrics.incr t.m_accepts;
+        track_reader t fd;
+        ignore (Thread.create (fun () -> reader_loop t fd) ())
+      end
     done
   with Unix.Unix_error _ | Sys_error _ -> () (* listen socket closed: shutting down *)
 
 let create ?(obs = Atom_obs.Ctx.noop) ?(host = "127.0.0.1") ?(port = 0)
     ?(send_timeout = default_send_timeout) ?(max_retries = default_max_retries)
-    ?(retry_backoff = default_retry_backoff) ~(node_id : int) () : t =
+    ?(retry_backoff = default_retry_backoff) ?(max_inbox = default_max_inbox)
+    ~(node_id : int) () : t =
   (* A dead peer mid-write must be a catchable error, not a fatal signal. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let reg = Atom_obs.Ctx.metrics obs in
@@ -164,8 +202,11 @@ let create ?(obs = Atom_obs.Ctx.noop) ?(host = "127.0.0.1") ?(port = 0)
       port = actual_port;
       peers = Hashtbl.create 64;
       peers_mu = Mutex.create ();
+      readers = Hashtbl.create 64;
+      readers_mu = Mutex.create ();
       inbox = Queue.create ();
       inbox_mu = Mutex.create ();
+      max_inbox;
       wake_r;
       wake_w;
       closed = false;
@@ -180,6 +221,8 @@ let create ?(obs = Atom_obs.Ctx.noop) ?(host = "127.0.0.1") ?(port = 0)
       m_drops = Atom_obs.Metrics.counter reg "rpc.drops";
       m_accepts = Atom_obs.Metrics.counter reg "rpc.accepts";
       m_protocol_errors = Atom_obs.Metrics.counter reg "rpc.protocol_errors";
+      m_inbox_drops = Atom_obs.Metrics.counter reg "rpc.inbox_drops";
+      m_resets = Atom_obs.Metrics.counter reg "rpc.resets";
       m_send_bytes =
         Atom_obs.Metrics.histogram reg ~buckets:24 ~lo:0. ~hi:1e6 "rpc.send_bytes";
       m_send_seconds =
@@ -201,6 +244,26 @@ let add_peer (t : t) ~(node_id : int) ~(host : string) ~(port : int) : unit =
       fd = None;
     };
   Mutex.unlock t.peers_mu
+
+(* Forcibly drop the pooled outgoing connection to [dst]; the next send
+   re-establishes it through the ordinary reconnect path. Chaos injection
+   uses this to model mid-round connection resets, and the test suite uses
+   it to pin the reconnect budget's behavior. *)
+let reset_peer (t : t) ~(dst : int) : unit =
+  Mutex.lock t.peers_mu;
+  let peer = Hashtbl.find_opt t.peers dst in
+  Mutex.unlock t.peers_mu;
+  match peer with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.mu;
+      (match p.fd with
+      | Some fd ->
+          close_quietly fd;
+          p.fd <- None;
+          Atom_obs.Metrics.incr t.m_resets
+      | None -> ());
+      Mutex.unlock p.mu
 
 let peer_ids (t : t) : int list =
   Mutex.lock t.peers_mu;
@@ -269,10 +332,18 @@ let send (t : t) ~(dst : int) (msg : string) : (unit, Transport.error) result =
                   close_quietly fd;
                   p.fd <- None
               | None -> ());
-              if tries >= t.max_retries then begin
+              (* The reconnect budget is bounded in *time* as well as
+                 attempts: a peer that is dead (connection refused) must
+                 fail the send within [send_timeout] so callers can turn
+                 the typed error into a death certificate promptly, rather
+                 than sitting out the full exponential-backoff ladder. *)
+              if
+                tries >= t.max_retries
+                || Unix.gettimeofday () -. t0 +. backoff > t.send_timeout
+              then begin
                 Atom_obs.Metrics.incr t.m_drops;
                 Atom_obs.Log.warn "rpc: dropped %d bytes %d->%d after %d retries"
-                  (String.length msg) t.node_id dst t.max_retries;
+                  (String.length msg) t.node_id dst tries;
                 let reason =
                   match e with Conn_closed -> "connection closed" | e -> Printexc.to_string e
                 in
@@ -332,7 +403,19 @@ let recv (t : t) ~(timeout : float) : (int * string, Transport.error) result =
 let close (t : t) : unit =
   if not t.closed then begin
     t.closed <- true;
+    (* Shutdown before close: on Linux this wakes a thread blocked in
+       accept(2) on this socket. A bare close would leave the blocked
+       accept holding the kernel socket open, so new connects to this
+       "dead" node would keep completing against the listen backlog. *)
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
     close_quietly t.listen_fd;
+    (* Sever accepted connections too — a crashed process RSTs them, and
+       peers rely on that typed send failure as the death certificate. *)
+    Mutex.lock t.readers_mu;
+    Hashtbl.iter
+      (fun fd () -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      t.readers;
+    Mutex.unlock t.readers_mu;
     Mutex.lock t.peers_mu;
     Hashtbl.iter
       (fun _ p ->

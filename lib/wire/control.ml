@@ -16,6 +16,8 @@
      submissions       u32 gid ‖ u32 n ‖ n × str32 blob
      trap_commitments  u32 gid ‖ u32 n ‖ n × 32-byte commitment
      published         u32 n ‖ n × str32 plaintext
+     failed            u32 n ‖ n × u32 sid
+     retransmit        (empty)
 
    Submission blobs are opaque at this layer (their group elements are
    validated by [Protocol.Wire.submission_of_bytes] at the protocol
@@ -33,6 +35,9 @@ type t =
   | Submissions of { gid : int; blobs : string array }
   | Trap_commitments of { gid : int; commitments : string array }
   | Published of { plaintexts : string array }
+  | Failed of { sids : int array }
+      (** These servers are presumed dead: reroute their roles (§4.5). *)
+  | Retransmit  (** Re-send retained in-flight frames (recovery nudge). *)
 
 (* Abort codes (carried on the wire; the detail string is for humans). *)
 let abort_bad_frame = 1
@@ -99,6 +104,11 @@ let encode (msg : t) : string =
         Frame.W.u32 b (Array.length plaintexts);
         Array.iter (Frame.W.str32 b) plaintexts;
         Frame.kind_published
+    | Failed { sids } ->
+        Frame.W.u32 b (Array.length sids);
+        Array.iter (Frame.W.u32 b) sids;
+        Frame.kind_failed
+    | Retransmit -> Frame.kind_retransmit
   in
   Frame.encode ~kind (Buffer.contents b)
 
@@ -139,6 +149,10 @@ let decode_body (kind : int) (body : string) : t option =
       else if kind = Frame.kind_published then
         let n = count r ~max:max_items in
         Published { plaintexts = Array.init n (fun _ -> str32 ~max:max_blob r) }
+      else if kind = Frame.kind_failed then
+        let n = count r ~max:max_nodes in
+        Failed { sids = Array.init n (fun _ -> u32 r) }
+      else if kind = Frame.kind_retransmit then Retransmit
       else fail ())
 
 let decode (framed : string) : t option =

@@ -49,6 +49,8 @@ let kind_ack = 0x08
 let kind_submissions = 0x09
 let kind_trap_commitments = 0x0a
 let kind_published = 0x0b
+let kind_failed = 0x0c
+let kind_retransmit = 0x0d
 let kind_group_key = 0x10
 let kind_batch = 0x11
 let kind_shuffle_step = 0x12
@@ -68,6 +70,8 @@ let kind_names : (int * string) list =
     (kind_submissions, "submissions");
     (kind_trap_commitments, "trap_commitments");
     (kind_published, "published");
+    (kind_failed, "failed");
+    (kind_retransmit, "retransmit");
     (kind_group_key, "group_key");
     (kind_batch, "batch");
     (kind_shuffle_step, "shuffle_step");

@@ -26,6 +26,8 @@ val kind_ack : int
 val kind_submissions : int
 val kind_trap_commitments : int
 val kind_published : int
+val kind_failed : int
+val kind_retransmit : int
 val kind_group_key : int
 val kind_batch : int
 val kind_shuffle_step : int

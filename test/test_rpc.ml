@@ -151,9 +151,11 @@ let test_sim_cluster_deterministic () =
   Alcotest.(check (list string)) "delivery order replays" o1.NodeSim.delivered
     o2.NodeSim.delivered
 
-(* A node that receives unparseable bytes aborts the round loudly (with
-   the bad-frame code) rather than wedging or crashing. *)
-let test_sim_node_rejects_bad_frame () =
+(* A node that receives unparseable bytes drops them, counts them, and
+   keeps running — line noise is not evidence of misbehaviour (§4.4
+   aborts are reserved for failed proofs), and a crash would turn one
+   corrupt frame into a dead server. *)
+let test_sim_node_survives_bad_frame () =
   let e = Engine.create () in
   let net = Net.create e in
   let machines =
@@ -161,19 +163,192 @@ let test_sim_node_rejects_bad_frame () =
   in
   let fleet = SimT.fleet e net ~machines in
   let config = cluster_config Config.Nizk in
+  let obs = Atom_obs.Ctx.create () in
   Engine.spawn e (fun () ->
-      NodeSim.run_node fleet.(0) ~config ~node_id:0 ~coord:1 ~recv_timeout:1.0 ~max_idle:60 ());
+      NodeSim.run_node ~obs fleet.(0) ~config ~node_id:0 ~coord:1 ~recv_timeout:1.0
+        ~max_idle:60 ());
   let got = ref None in
   Engine.spawn e (fun () ->
       ignore (SimT.send fleet.(1) ~dst:0 "this is not a frame");
+      ignore (SimT.send fleet.(1) ~dst:0 (Ctrl.encode Ctrl.Shutdown));
       match SimT.recv fleet.(1) ~timeout:60.0 with
       | Ok (0, frame) -> got := Ctrl.decode frame
       | _ -> ());
   ignore (Engine.run e);
-  match !got with
-  | Some (Ctrl.Abort { code; _ }) ->
-      Alcotest.(check int) "bad-frame abort code" Ctrl.abort_bad_frame code
-  | _ -> Alcotest.fail "node did not abort on garbage"
+  (match !got with
+  | Some (Ctrl.Abort { detail; _ }) -> Alcotest.failf "node aborted on garbage: %s" detail
+  | _ -> ());
+  Alcotest.(check (float 0.))
+    "bad frame counted" 1.0
+    (Atom_obs.Metrics.counter_value (Atom_obs.Ctx.metrics obs) "node.bad_frames")
+
+(* ---- Typed transport errors on real TCP ---- *)
+
+(* All four [Transport.error] cases, plus recovery after [Closed] via a
+   peer restart on the same port and an explicit [reset_peer]. *)
+let test_tcp_typed_errors () =
+  let a = TcpT.create ~node_id:0 ~send_timeout:1.0 ~max_retries:2 ~retry_backoff:0.05 () in
+  let b = TcpT.create ~node_id:1 () in
+  let b_port = TcpT.port b in
+  TcpT.add_peer a ~node_id:1 ~host:"127.0.0.1" ~port:b_port;
+  let f = Ctrl.encode (Ctrl.Ack { token = 5 }) in
+  (* Unknown_peer: never registered. *)
+  (match TcpT.send a ~dst:42 f with
+  | Error (Atom_rpc.Transport.Unknown_peer 42) -> ()
+  | r ->
+      Alcotest.failf "unknown peer: %s"
+        (match r with Ok () -> "accepted" | Error e -> Atom_rpc.Transport.error_to_string e));
+  (* Timeout: nothing inbound. *)
+  (match TcpT.recv a ~timeout:0.05 with
+  | Error Atom_rpc.Transport.Timeout -> ()
+  | r ->
+      Alcotest.failf "empty recv: %s"
+        (match r with Ok _ -> "delivered" | Error e -> Atom_rpc.Transport.error_to_string e));
+  (* Send_failed: the peer is dead (listener closed), and the bounded
+     reconnect budget turns that into a typed failure, not a hang. *)
+  Alcotest.(check bool) "send while up" true (TcpT.send a ~dst:1 f = Ok ());
+  (match TcpT.recv b ~timeout:5.0 with
+  | Ok (0, _) -> ()
+  | _ -> Alcotest.fail "frame while up");
+  TcpT.close b;
+  TcpT.reset_peer a ~dst:1;
+  (match TcpT.send a ~dst:1 f with
+  | Error (Atom_rpc.Transport.Send_failed { dst = 1; attempts; _ }) ->
+      Alcotest.(check bool) "attempts bounded" true (attempts >= 1 && attempts <= 3)
+  | r ->
+      Alcotest.failf "dead peer send: %s"
+        (match r with Ok () -> "accepted" | Error e -> Atom_rpc.Transport.error_to_string e));
+  (* Recovery: the peer restarts on the same port; the pooled connection
+     was already torn down, so the next send transparently reconnects. *)
+  let b' = TcpT.create ~node_id:1 ~port:b_port () in
+  TcpT.reset_peer a ~dst:1;
+  Alcotest.(check bool) "send after restart" true (TcpT.send a ~dst:1 f = Ok ());
+  (match TcpT.recv b' ~timeout:5.0 with
+  | Ok (src, frame) ->
+      Alcotest.(check int) "src after restart" 0 src;
+      Alcotest.(check string) "frame after restart" f frame
+  | Error e -> Alcotest.failf "recv after restart: %s" (Atom_rpc.Transport.error_to_string e));
+  TcpT.close b';
+  (* Closed: the local endpoint is gone. *)
+  TcpT.close a;
+  (match TcpT.send a ~dst:1 f with
+  | Error Atom_rpc.Transport.Closed -> ()
+  | r ->
+      Alcotest.failf "closed send: %s"
+        (match r with Ok () -> "accepted" | Error e -> Atom_rpc.Transport.error_to_string e));
+  match TcpT.recv a ~timeout:0.05 with
+  | Error Atom_rpc.Transport.Closed -> ()
+  | r ->
+      Alcotest.failf "closed recv: %s"
+        (match r with Ok _ -> "delivered" | Error e -> Atom_rpc.Transport.error_to_string e)
+
+(* ---- Chaos transport ---- *)
+
+module ChaosSpec = Atom_rpc.Chaos_transport
+module ChaosTcp = Atom_rpc.Chaos_transport.Make (TcpT.Check)
+module NodeChaosTcp = Atom_rpc.Node.Make (G) (ChaosTcp.Check)
+
+let test_chaos_spec_roundtrip () =
+  let spec =
+    {
+      ChaosSpec.seed = 7;
+      drop = 0.02;
+      corrupt = 0.01;
+      delay = 0.1;
+      delay_s = 0.25;
+      dup = 0.05;
+      reset_every = 40;
+      after = 1.5;
+      partitions =
+        [ { ChaosSpec.from_t = 1.; to_t = 3.5; sides = [ [ 0; 1 ]; [ 2; 3 ] ] } ];
+    }
+  in
+  (match ChaosSpec.spec_of_string (ChaosSpec.spec_to_string spec) with
+  | Ok s -> Alcotest.(check bool) "roundtrip" true (s = spec)
+  | Error m -> Alcotest.failf "roundtrip rejected: %s" m);
+  (match ChaosSpec.spec_of_string "" with
+  | Ok s -> Alcotest.(check bool) "empty spec is none" true (ChaosSpec.is_none s)
+  | Error m -> Alcotest.failf "empty rejected: %s" m);
+  (match ChaosSpec.spec_of_string "nonsense=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown field accepted");
+  match ChaosSpec.spec_of_string "drop=high" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad value accepted"
+
+(* The decision stream is a pure function of (seed, endpoint, send seq):
+   two identical runs drop the same messages and deliver the rest in the
+   same order. *)
+let test_chaos_deterministic_drops () =
+  let run () =
+    let a = TcpT.create ~node_id:0 () in
+    let b = TcpT.create ~node_id:1 () in
+    TcpT.add_peer a ~node_id:1 ~host:"127.0.0.1" ~port:(TcpT.port b);
+    let obs = Atom_obs.Ctx.create () in
+    let spec =
+      match ChaosSpec.spec_of_string "seed=42;drop=0.5" with
+      | Ok s -> s
+      | Error m -> Alcotest.failf "spec: %s" m
+    in
+    let ca = ChaosTcp.wrap ~obs ~now:(fun () -> 1.0) spec a in
+    for i = 0 to 99 do
+      match ChaosTcp.send ca ~dst:1 (Ctrl.encode (Ctrl.Ack { token = i })) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "chaos send: %s" (Atom_rpc.Transport.error_to_string e)
+    done;
+    let got = ref [] in
+    let quiet = ref 0 in
+    while !quiet < 3 do
+      match TcpT.recv b ~timeout:0.2 with
+      | Ok (_, frame) -> (
+          quiet := 0;
+          match Ctrl.decode frame with
+          | Some (Ctrl.Ack { token }) -> got := token :: !got
+          | _ -> ())
+      | Error _ -> incr quiet
+    done;
+    ChaosTcp.close ca;
+    TcpT.close b;
+    (List.rev !got, Atom_obs.Metrics.counter_value (Atom_obs.Ctx.metrics obs) "chaos.drops")
+  in
+  let got1, drops1 = run () in
+  let got2, drops2 = run () in
+  Alcotest.(check bool) "some dropped" true (drops1 > 0.);
+  Alcotest.(check bool) "some delivered" true (got1 <> []);
+  Alcotest.(check int) "drops + delivered = sends" 100 (List.length got1 + int_of_float drops1);
+  Alcotest.(check (list int)) "delivery replays" got1 got2;
+  Alcotest.(check (float 0.)) "drop count replays" drops1 drops2
+
+(* Partition windows: silent loss inside the window, delivery outside. *)
+let test_chaos_partition_window () =
+  let a = TcpT.create ~node_id:0 () in
+  let b = TcpT.create ~node_id:1 () in
+  TcpT.add_peer a ~node_id:1 ~host:"127.0.0.1" ~port:(TcpT.port b);
+  let obs = Atom_obs.Ctx.create () in
+  let spec =
+    match ChaosSpec.spec_of_string "partition=1:10:0|1" with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "spec: %s" m
+  in
+  let clock = ref 5.0 in
+  let ca = ChaosTcp.wrap ~obs ~now:(fun () -> !clock) spec a in
+  let f = Ctrl.encode (Ctrl.Ack { token = 9 }) in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "partitioned send looks ok" true (ChaosTcp.send ca ~dst:1 f = Ok ())
+  done;
+  (match TcpT.recv b ~timeout:0.2 with
+  | Error Atom_rpc.Transport.Timeout -> ()
+  | _ -> Alcotest.fail "frame crossed the partition");
+  Alcotest.(check (float 0.))
+    "partition drops counted" 5.0
+    (Atom_obs.Metrics.counter_value (Atom_obs.Ctx.metrics obs) "chaos.partition_drops");
+  clock := 20.0;
+  Alcotest.(check bool) "healed send" true (ChaosTcp.send ca ~dst:1 f = Ok ());
+  (match TcpT.recv b ~timeout:5.0 with
+  | Ok (0, frame) -> Alcotest.(check string) "healed frame" f frame
+  | _ -> Alcotest.fail "frame lost after heal");
+  ChaosTcp.close ca;
+  TcpT.close b
 
 (* ---- The same runtime over real TCP, one thread per server ---- *)
 
@@ -220,15 +395,177 @@ let test_tcp_threaded_cluster () =
   Alcotest.(check (option string)) "no abort" None outcome.NodeTcp.cluster_abort;
   Alcotest.(check bool) "tcp cluster matches reference" true outcome.NodeTcp.matched
 
+(* ---- §4.5 recovery over TCP: kill a member mid-round ---- *)
+
+(* The victim is picked from the round's actual group formation (sampling
+   is per-group, so an arbitrary server id may hold no role at all) and
+   crashes before the round starts: every one of its pipeline steps is
+   outstanding, so the coordinator's sweep must detect the death, the
+   fleet must re-route the dead member's roles (buddy share recovery),
+   and the round must still match the reference. Chaos delays stay on to
+   exercise recovery interleaved with held frames. *)
+let test_tcp_cluster_kill_recovery () =
+  let config =
+    {
+      (Config.tiny ~variant:Config.Basic ~seed:7 ()) with
+      Config.n_servers = 4;
+      n_groups = 2;
+      group_size = 2;
+      h = 1;
+      topology = Config.Square 2;
+    }
+  in
+  let n = config.Config.n_servers in
+  let coord = n in
+  (* Mirror [Pr.setup]'s formation to find a server that holds a role. *)
+  let victim =
+    let beacon = Beacon.create ~seed:config.Config.seed in
+    let formation =
+      Group_formation.form beacon ~round:0 ~n_servers:n
+        ~n_groups:config.Config.n_groups ~group_size:config.Config.group_size ()
+    in
+    formation.Group_formation.groups.(0).Group_formation.members.(0)
+  in
+  let obs = Atom_obs.Ctx.create () in
+  let ts =
+    Array.init (n + 1) (fun node_id ->
+        TcpT.create ~obs ~node_id ~send_timeout:1.0 ~max_retries:2 ~retry_backoff:0.05 ())
+  in
+  Array.iteri
+    (fun i t ->
+      Array.iteri
+        (fun j u ->
+          if i <> j then TcpT.add_peer t ~node_id:j ~host:"127.0.0.1" ~port:(TcpT.port u))
+        ts)
+    ts;
+  let spec =
+    match ChaosSpec.spec_of_string "delay=0.8;delay_s=0.2;seed=5" with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "spec: %s" m
+  in
+  let cts = Array.init n (fun sid -> ChaosTcp.wrap ~obs spec ts.(sid)) in
+  let threads =
+    List.init n (fun sid ->
+        Thread.create
+          (fun () ->
+            NodeChaosTcp.run_node ~obs cts.(sid) ~config ~node_id:sid ~coord ~recv_timeout:0.2
+              ~max_idle:150 ())
+          ())
+  in
+  (* Crash the victim before the round starts: deterministic, and the
+     replacement must reconstruct *all* of its pipeline work. *)
+  TcpT.close ts.(victim);
+  let outcome =
+    NodeTcp.run_coordinator ~obs ts.(coord) ~config ~users:8 ~recv_timeout:0.2 ~max_idle:150
+      ~stall_strikes:4 ()
+  in
+  List.iter Thread.join threads;
+  Array.iter TcpT.close ts;
+  Alcotest.(check (option string)) "no abort" None outcome.NodeTcp.cluster_abort;
+  Alcotest.(check bool) "kill was detected" true
+    (List.mem victim outcome.NodeTcp.failed_nodes);
+  Alcotest.(check bool) "recovery sweeps ran" true (outcome.NodeTcp.recovery_rounds >= 1);
+  Alcotest.(check bool) "buddy share recovery ran" true
+    (Atom_obs.Metrics.counter_value (Atom_obs.Ctx.metrics obs) "node.recoveries" >= 1.0);
+  Alcotest.(check bool) "matches reference despite kill" true outcome.NodeTcp.matched
+
+(* ---- malformed-frame injection at the TCP recv path, mid-round ----
+
+   The wire fuzz vocabulary (CRC-corrupt bodies, raw garbage that desyncs
+   the stream) sprayed at every node while a real round runs: every
+   protocol state must reject-and-survive — frames counted, connections
+   for desynced streams dropped, round unharmed. *)
+let test_tcp_cluster_survives_frame_injection () =
+  let config =
+    {
+      (Config.tiny ~variant:Config.Basic ~seed:7 ()) with
+      Config.n_servers = 4;
+      n_groups = 2;
+      group_size = 2;
+      h = 1;
+      topology = Config.Square 2;
+    }
+  in
+  let n = config.Config.n_servers in
+  let coord = n in
+  let obs = Atom_obs.Ctx.create () in
+  let ts = Array.init (n + 1) (fun node_id -> TcpT.create ~obs ~node_id ()) in
+  Array.iteri
+    (fun i t ->
+      Array.iteri
+        (fun j u ->
+          if i <> j then TcpT.add_peer t ~node_id:j ~host:"127.0.0.1" ~port:(TcpT.port u))
+        ts)
+    ts;
+  (* The attacker is just another TCP endpoint that knows the ports. *)
+  let attacker = TcpT.create ~node_id:99 ~send_timeout:0.5 ~max_retries:1 ~retry_backoff:0.02 () in
+  for sid = 0 to n - 1 do
+    TcpT.add_peer attacker ~node_id:sid ~host:"127.0.0.1" ~port:(TcpT.port ts.(sid))
+  done;
+  let stop = Atomic.make false in
+  let corrupt_frame i =
+    (* Valid header and length over a CRC-corrupt body: passes stream
+       framing, must die in the strict decoders. *)
+    let f = Ctrl.encode (Ctrl.Barrier { iter = i }) in
+    let b = Bytes.of_string f in
+    let last = Bytes.length b - 1 in
+    Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x40));
+    Bytes.to_string b
+  in
+  let sprayer =
+    Thread.create
+      (fun () ->
+        let i = ref 0 in
+        while not (Atomic.get stop) do
+          incr i;
+          for sid = 0 to n - 1 do
+            ignore (TcpT.send attacker ~dst:sid (corrupt_frame !i));
+            (* Every few frames, raw garbage: desyncs that node's reader
+               for the attacker's connection, which must only cost the
+               attacker its connection. *)
+            if !i mod 5 = 0 then ignore (TcpT.send attacker ~dst:sid "raw garbage, no header")
+          done;
+          Thread.delay 0.002
+        done)
+      ()
+  in
+  let threads =
+    List.init n (fun sid ->
+        Thread.create
+          (fun () ->
+            NodeTcp.run_node ~obs ts.(sid) ~config ~node_id:sid ~coord ~recv_timeout:0.2
+              ~max_idle:150 ())
+          ())
+  in
+  let outcome =
+    NodeTcp.run_coordinator ~obs ts.(coord) ~config ~users:8 ~recv_timeout:0.2 ~max_idle:150 ()
+  in
+  Atomic.set stop true;
+  Thread.join sprayer;
+  List.iter Thread.join threads;
+  TcpT.close attacker;
+  Array.iter TcpT.close ts;
+  Alcotest.(check (option string)) "no abort" None outcome.NodeTcp.cluster_abort;
+  Alcotest.(check bool) "corrupt frames were seen and dropped" true
+    (Atom_obs.Metrics.counter_value (Atom_obs.Ctx.metrics obs) "node.bad_frames" >= 1.0);
+  Alcotest.(check bool) "matches reference under injection" true outcome.NodeTcp.matched
+
 let suite =
   let q t = QCheck_alcotest.to_alcotest t in
   ( "rpc",
     [
       Alcotest.test_case "tcp loopback" `Quick test_tcp_loopback;
+      Alcotest.test_case "tcp typed errors" `Quick test_tcp_typed_errors;
       Alcotest.test_case "reenc blob roundtrip" `Quick test_reenc_blob_roundtrip;
+      Alcotest.test_case "chaos spec roundtrip" `Quick test_chaos_spec_roundtrip;
+      Alcotest.test_case "chaos deterministic drops" `Quick test_chaos_deterministic_drops;
+      Alcotest.test_case "chaos partition window" `Quick test_chaos_partition_window;
       Alcotest.test_case "sim cluster all variants" `Quick test_sim_cluster_all_variants;
       Alcotest.test_case "sim cluster deterministic" `Quick test_sim_cluster_deterministic;
-      Alcotest.test_case "node aborts on bad frame" `Quick test_sim_node_rejects_bad_frame;
+      Alcotest.test_case "node survives bad frame" `Quick test_sim_node_survives_bad_frame;
       Alcotest.test_case "tcp threaded cluster" `Quick test_tcp_threaded_cluster;
+      Alcotest.test_case "tcp cluster kill recovery" `Quick test_tcp_cluster_kill_recovery;
+      Alcotest.test_case "tcp cluster frame injection" `Quick
+        test_tcp_cluster_survives_frame_injection;
       q prop_reenc_blob_total;
     ] )

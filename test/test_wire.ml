@@ -221,6 +221,9 @@ let all_control_msgs : Ctrl.t list =
     Ctrl.Submissions { gid = 1; blobs = [| ""; "ab"; String.make 40 'x' |] };
     Ctrl.Trap_commitments { gid = 0; commitments = [| String.make 32 'c'; String.make 32 'd' |] };
     Ctrl.Published { plaintexts = [| "hi"; ""; "third" |] };
+    Ctrl.Failed { sids = [| 3; 5 |] };
+    Ctrl.Failed { sids = [||] };
+    Ctrl.Retransmit;
   ]
 
 (* One instance of every data-plane message, with real ciphertexts (both
