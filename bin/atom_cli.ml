@@ -609,13 +609,30 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
           done)
         ()
     in
-    let pool = if domains > 1 then Some (Atom_exec.Pool.create ~domains ()) else None in
+    (* --domains 0 (the default): honor ATOM_DOMAINS when set, otherwise
+       use the measured recommendation (host cores capped by the
+       recommended_domains a bench parallel run recorded on matching
+       hardware). Only pools this process created are shut down here. *)
+    let pool, own_pool =
+      if domains > 1 then (Some (Atom_exec.Pool.create ~domains ()), true)
+      else if domains = 1 then (None, false)
+      else begin
+        match Sys.getenv_opt "ATOM_DOMAINS" with
+        | Some _ -> (Atom_exec.Pool.default (), false)
+        | None ->
+            let d = Atom_exec.Pool.auto_domains () in
+            Printf.printf "cluster: coordinator using %d worker domain%s (measured default)\n%!"
+              d
+              (if d = 1 then "" else "s");
+            if d > 1 then (Some (Atom_exec.Pool.create ~domains:d ()), true) else (None, false)
+      end
+    in
     let result =
       Node.run_coordinator ~obs ?pool t ~config ~users ~recv_timeout:0.25
         ~max_idle:(max 1 (int_of_float (timeout /. 0.25)))
         ()
     in
-    Option.iter Atom_exec.Pool.shutdown pool;
+    if own_pool then Option.iter Atom_exec.Pool.shutdown pool;
     Atomic.set stop_watch true;
     Thread.join watcher;
     reap ~kill:false;
@@ -740,7 +757,11 @@ let cluster_seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Deterministic 
 let cluster_domains =
   Arg.(
     value & opt int 0
-    & info [ "domains" ] ~doc:"Worker domains per node for crypto batches (0 = honor ATOM_DOMAINS).")
+    & info [ "domains" ]
+        ~doc:
+          "Worker domains per node for crypto batches (0 = honor ATOM_DOMAINS when set, \
+           otherwise the measured default: host cores capped by the benched \
+           recommended_domains).")
 
 let cluster_node_bin =
   Arg.(value & opt (some string) None & info [ "node-bin" ] ~doc:"Path to the atom_node binary.")

@@ -61,12 +61,22 @@ let run node_id coord_port host variant servers groups group_size h iterations m
   in
   Config.validate config;
   let coord = servers in
-  (* --domains 0 (the default) defers to ATOM_DOMAINS / the process-wide
-     default pool; --domains 1 forces sequential; N > 1 builds a pool. *)
-  let pool =
-    if domains > 1 then Some (Atom_exec.Pool.create ~domains ())
-    else if domains = 1 then None
-    else Atom_exec.Pool.default ()
+  (* --domains 0 (the default): honor ATOM_DOMAINS when set, otherwise
+     fall back to the measured default — host cores capped by the
+     recommended_domains a bench parallel run recorded on matching
+     hardware. --domains 1 forces sequential; N > 1 builds a pool. *)
+  let pool, own_pool =
+    if domains > 1 then (Some (Atom_exec.Pool.create ~domains ()), true)
+    else if domains = 1 then (None, false)
+    else begin
+      match Sys.getenv_opt "ATOM_DOMAINS" with
+      | Some _ -> (Atom_exec.Pool.default (), false)
+      | None ->
+          let d = Atom_exec.Pool.auto_domains () in
+          Atom_obs.Log.info "atom_node %d: using %d worker domain%s (measured default)" node_id d
+            (if d = 1 then "" else "s");
+          if d > 1 then (Some (Atom_exec.Pool.create ~domains:d ()), true) else (None, false)
+    end
   in
   (* Bounded send budget: a dead peer costs at most ~2s before the typed
      Send_failed error triggers §4.5 rerouting. *)
@@ -103,7 +113,7 @@ let run node_id coord_port host variant servers groups group_size h iterations m
           Out_channel.output_string oc
             (Format.asprintf "%a" Atom_obs.Metrics.pp (Atom_obs.Ctx.metrics obs)))
   | None -> ());
-  if domains > 1 then Option.iter Atom_exec.Pool.shutdown pool
+  if own_pool then Option.iter Atom_exec.Pool.shutdown pool
 
 let cmd =
   let node_id = Arg.(required & opt (some int) None & info [ "node-id" ] ~doc:"This server's id.") in
@@ -123,7 +133,9 @@ let cmd =
     Arg.(
       value & opt int 0
       & info [ "domains" ]
-          ~doc:"Worker domains for crypto batches (0 = honor ATOM_DOMAINS, 1 = sequential).")
+          ~doc:
+            "Worker domains for crypto batches (0 = honor ATOM_DOMAINS when set, otherwise \
+             the measured default from BENCH_parallel.json; 1 = sequential).")
   in
   let recv_timeout =
     Arg.(value & opt float 0.5 & info [ "recv-timeout" ] ~doc:"Event-loop poll interval (s).")

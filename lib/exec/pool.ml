@@ -37,12 +37,16 @@ type t = {
   in_flight : bool Atomic.t; (* claims the pool for a single caller *)
   mutable workers : unit Domain.t list;
   busy : float array; (* per-slot busy seconds for the current job *)
+  minor : float array; (* per-slot minor words allocated during the job *)
+  promoted : float array; (* per-slot words promoted during the job *)
   timed : bool;
   tracer : Atom_obs.Trace.t;
   m_jobs : Atom_obs.Metrics.counter;
   m_chunks : Atom_obs.Metrics.counter;
   m_queue : Atom_obs.Metrics.gauge;
   m_busy : Atom_obs.Metrics.histogram;
+  m_minor : Atom_obs.Metrics.counter;
+  m_promoted : Atom_obs.Metrics.counter;
 }
 
 let size t = t.domains
@@ -51,8 +55,16 @@ let size t = t.domains
    are captured into the job (first one wins) so the protocol always
    reaches "all chunks claimed" and the caller can re-raise after the
    join — a worker must never die with the pool still running. *)
+let promoted_words () =
+  let _, promoted, _ = Gc.counters () in
+  promoted
+
 let run_chunks t slot (j : job) =
   let t0 = if t.timed then Unix.gettimeofday () else 0.0 in
+  (* GC counters are per-domain in OCaml 5, so a slot's delta really is
+     the allocation its share of the job caused. *)
+  let minor0 = if t.timed then Gc.minor_words () else 0.0 in
+  let promoted0 = if t.timed then promoted_words () else 0.0 in
   let worked = ref false in
   (try
      let continue = ref true in
@@ -72,7 +84,11 @@ let run_chunks t slot (j : job) =
      Mutex.lock t.mu;
      if j.failed = None then j.failed <- Some e;
      Mutex.unlock t.mu);
-  if t.timed && !worked then t.busy.(slot) <- t.busy.(slot) +. (Unix.gettimeofday () -. t0)
+  if t.timed && !worked then begin
+    t.busy.(slot) <- t.busy.(slot) +. (Unix.gettimeofday () -. t0);
+    t.minor.(slot) <- t.minor.(slot) +. (Gc.minor_words () -. minor0);
+    t.promoted.(slot) <- t.promoted.(slot) +. (promoted_words () -. promoted0)
+  end
 
 let worker_main t slot =
   let seen = ref 0 in
@@ -116,6 +132,8 @@ let create ?(obs = Atom_obs.Ctx.noop) ~domains () =
       in_flight = Atomic.make false;
       workers = [];
       busy = Array.make domains 0.0;
+      minor = Array.make domains 0.0;
+      promoted = Array.make domains 0.0;
       timed = Atom_obs.Metrics.enabled reg;
       tracer = Atom_obs.Ctx.tracer obs;
       m_jobs = Atom_obs.Metrics.counter reg "exec.pool.jobs";
@@ -123,6 +141,8 @@ let create ?(obs = Atom_obs.Ctx.noop) ~domains () =
       m_queue = Atom_obs.Metrics.gauge reg "exec.pool.queue_depth";
       m_busy =
         Atom_obs.Metrics.histogram reg ~lo:0.0 ~hi:1.0 "exec.pool.worker_busy_seconds";
+      m_minor = Atom_obs.Metrics.counter reg "exec.pool.minor_words";
+      m_promoted = Atom_obs.Metrics.counter reg "exec.pool.promoted_words";
     }
   in
   t.workers <- List.init (domains - 1) (fun i -> Domain.spawn (fun () -> worker_main t (i + 1)));
@@ -193,12 +213,21 @@ let sequential n body =
    worker to leave. A worker that wakes after the cursor is exhausted
    claims nothing and goes back to sleep, so the join only has to wait
    for workers that actually entered the job. *)
-let run_on (t : t) n body =
+let run_on (t : t) ?chunk n body =
   Atom_obs.Metrics.incr t.m_jobs;
-  let chunk = max 1 (n / (t.domains * 8)) in
+  (* Default granularity: 4 chunks per domain. Enough slack for dynamic
+     balancing when per-index cost is skewed, while keeping cursor traffic
+     and per-chunk bookkeeping negligible now that the allocation-free
+     kernels have made per-index cost far more uniform (re-tuned from 8
+     chunks per domain alongside the flat-limb refactor). *)
+  let chunk =
+    match chunk with Some c when c >= 1 -> c | _ -> max 1 (n / (t.domains * 4))
+  in
   let j = { body; jn = n; chunk; next = Atomic.make 0; failed = None } in
   if t.timed then begin
     Array.fill t.busy 0 t.domains 0.0;
+    Array.fill t.minor 0 t.domains 0.0;
+    Array.fill t.promoted 0 t.domains 0.0;
     Atom_obs.Metrics.set t.m_queue (float_of_int ((n + chunk - 1) / chunk))
   end;
   Mutex.lock t.mu;
@@ -215,11 +244,13 @@ let run_on (t : t) n body =
   Mutex.unlock t.mu;
   if t.timed then begin
     Atom_obs.Metrics.set t.m_queue 0.0;
-    Array.iter (fun b -> if b > 0.0 then Atom_obs.Metrics.observe t.m_busy b) t.busy
+    Array.iter (fun b -> if b > 0.0 then Atom_obs.Metrics.observe t.m_busy b) t.busy;
+    Array.iter (fun w -> if w > 0.0 then Atom_obs.Metrics.add t.m_minor w) t.minor;
+    Array.iter (fun w -> if w > 0.0 then Atom_obs.Metrics.add t.m_promoted w) t.promoted
   end;
   match j.failed with Some e -> raise e | None -> ()
 
-let run ?pool ~n body =
+let run ?pool ?chunk ~n body =
   if n > 0 then
     match resolve pool with
     | None -> sequential n body
@@ -236,23 +267,83 @@ let run ?pool ~n body =
               Atom_obs.Trace.with_span t.tracer ~cat:"exec"
                 ~args:[ ("n", Atom_obs.Trace.I n) ]
                 ~tid:0 "pool.run"
-                (fun () -> run_on t n body))
+                (fun () -> run_on t ?chunk n body))
 
-let tabulate ?pool n f =
+let tabulate ?pool ?chunk n f =
   if n <= 0 then [||]
   else begin
     let first = f 0 in
     let out = Array.make n first in
-    run ?pool ~n:(n - 1) (fun i -> out.(i + 1) <- f (i + 1));
+    run ?pool ?chunk ~n:(n - 1) (fun i -> out.(i + 1) <- f (i + 1));
     out
   end
 
-let map ?pool f a =
+let map ?pool ?chunk f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
     let first = f a.(0) in
     let out = Array.make n first in
-    run ?pool ~n:(n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
+    run ?pool ?chunk ~n:(n - 1) (fun i -> out.(i + 1) <- f a.(i + 1));
     out
   end
+
+(* ---- measured runtime default ----
+
+   [auto_domains] is the pool size a node should use when nobody said
+   otherwise: the host's core count, capped by the recommendation a
+   `bench parallel` run measured on comparable hardware. The committed
+   BENCH_parallel.json records the core count it was measured on; a
+   recommendation measured on a 1-core CI container must not cap a 32-core
+   deployment, so the cap only applies when the measuring host's core
+   count matches this one. The scan is a dumb substring search so the
+   bench JSON needs no parser dependency here. *)
+
+let scan_json_int (s : string) (key : string) : int option =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle and sl = String.length s in
+  let rec at i =
+    if i + nl > sl then None
+    else if String.sub s i nl = needle then begin
+      let j = ref (i + nl) in
+      while !j < sl && (s.[!j] = ' ' || s.[!j] = '\t') do
+        incr j
+      done;
+      let start = !j in
+      while !j < sl && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j > start then int_of_string_opt (String.sub s start (!j - start)) else None
+    end
+    else at (i + 1)
+  in
+  at 0
+
+let bench_parallel_path () =
+  let name = "BENCH_parallel.json" in
+  match Sys.getenv_opt "ATOM_BENCH_DIR" with
+  | Some d when Sys.file_exists (Filename.concat d name) -> Some (Filename.concat d name)
+  | _ -> if Sys.file_exists name then Some name else None
+
+let measured_recommendation () : (int * int) option =
+  match bench_parallel_path () with
+  | None -> None
+  | Some path -> (
+      match
+        try
+          In_channel.with_open_bin path (fun ic ->
+              Some (In_channel.input_all ic))
+        with Sys_error _ -> None
+      with
+      | None -> None
+      | Some body -> (
+          match (scan_json_int body "recommended_domains", scan_json_int body "host_cores") with
+          | Some r, Some hc when r >= 1 -> Some (r, hc)
+          | Some r, None when r >= 1 -> Some (r, 0)
+          | _ -> None))
+
+let auto_domains () =
+  let cores = max 1 (min 64 (Domain.recommended_domain_count ())) in
+  match measured_recommendation () with
+  | Some (r, hc) when hc = cores -> max 1 (min cores r)
+  | _ -> cores

@@ -33,7 +33,11 @@ val create : ?obs:Atom_obs.Ctx.t -> domains:int -> unit -> t
     [exec.pool.chunks] counters, an [exec.pool.queue_depth] gauge
     (pending chunks of the job in flight), an
     [exec.pool.worker_busy_seconds] histogram (per-participant busy time
-    for each job), and — when tracing is on — a [pool.run] span per job.
+    for each job), [exec.pool.minor_words] / [exec.pool.promoted_words]
+    counters (GC words allocated/promoted inside jobs, summed over the
+    participating domains — OCaml 5 GC counters are per-domain, so the
+    deltas attribute allocation to the job precisely), and — when tracing
+    is on — a [pool.run] span per job.
     @raise Invalid_argument unless [1 <= domains <= 64]. *)
 
 val size : t -> int
@@ -43,20 +47,23 @@ val shutdown : t -> unit
 (** Stop and join the worker domains. Must not be called while a job is
     in flight; idempotent afterwards. *)
 
-val run : ?pool:t -> n:int -> (int -> unit) -> unit
+val run : ?pool:t -> ?chunk:int -> n:int -> (int -> unit) -> unit
 (** [run ?pool ~n f] runs [f 0 .. f (n-1)], each exactly once. Without
     [?pool] the {!default} pool (if any) is used. Small ranges, 1-domain
     pools, and nested/concurrent entries run sequentially on the caller.
-    If any [f i] raises, one such exception is re-raised after every
-    index has been attempted or the cursor exhausted. *)
+    [chunk] overrides the scheduling granularity (indices claimed per
+    cursor fetch; default [n / (domains * 4)], at least 1) — results are
+    identical for every chunk size, only load balance changes. If any
+    [f i] raises, one such exception is re-raised after every index has
+    been attempted or the cursor exhausted. *)
 
-val tabulate : ?pool:t -> int -> (int -> 'a) -> 'a array
+val tabulate : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [tabulate ?pool n f] is [[| f 0; ...; f (n-1) |]] with the work
     spread over the pool. [f] must be pure (deterministic per index) —
     [f 0] runs first on the caller to seed the result array, the rest in
     pool order. *)
 
-val map : ?pool:t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ?pool f a] is [Array.map f a] with the work spread over the
     pool; same purity requirement as {!tabulate}. *)
 
@@ -71,3 +78,13 @@ val set_default : t option -> unit
 val resolve : t option -> t option
 (** [resolve pool] is the pool a [?pool] argument denotes: itself when
     explicit, otherwise {!default}. *)
+
+val auto_domains : unit -> int
+(** The pool size a node should use when neither [--domains] nor
+    [ATOM_DOMAINS] says otherwise: [Domain.recommended_domain_count ()],
+    capped by the [recommended_domains] a `bench parallel` run measured —
+    read from [BENCH_parallel.json] in [$ATOM_BENCH_DIR] or the working
+    directory. The cap only applies when that file's [host_cores] matches
+    this host's core count: a recommendation measured on different
+    hardware (say a 1-core CI runner) says nothing about this machine.
+    Always in [1, 64]. *)

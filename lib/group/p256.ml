@@ -5,6 +5,15 @@
    Montgomery contexts of [Atom_nat.Modarith]; the public element type is
    the canonical affine form so that [equal] and [to_bytes] are structural.
 
+   The Jacobian engine is allocation-free in steady state: a working point
+   ([jp]) is three preallocated flat limb buffers, the curve formulas write
+   through [Modarith.S] sessions, and every temporary comes from the
+   per-domain arena — a whole scalar ladder allocates nothing beyond its
+   destination point. The boxed affine world exists only at the public API
+   edge ([to_affine]/[to_affine_batch] canonicalize whatever Jacobian
+   representative the in-place schedule produced, so public results are
+   unchanged).
+
    Message embedding is try-and-increment: a 28-byte payload is placed in a
    fixed slice of the x-coordinate together with a 16-bit counter, and the
    counter is advanced until x³ − 3x + b is a square (probability 1/2 per
@@ -69,79 +78,215 @@ let on_curve = function
   | Inf -> true
   | Aff (x, y) -> Modarith.equal (Modarith.sqr fp y) (rhs_of_x x)
 
-(* ---- Jacobian internals ---- *)
+(* ---- Jacobian internals, in place over flat field buffers ----
 
-type jac = { jx : Modarith.el; jy : Modarith.el; jz : Modarith.el }
+   A [jp] is a Jacobian point whose coordinates are preallocated limb
+   buffers: [jp_fresh] allocates a long-lived point, [jp_take] checks one
+   out of the session arena (valid until the enclosing release point).
+   Infinity is z = 0. The formulas below stage new coordinates in arena
+   temporaries and copy back at the end, so every read of the old point
+   precedes the writes and a point can safely be its own destination. *)
 
-let jac_inf = { jx = Modarith.one fp; jy = Modarith.one fp; jz = Modarith.zero fp }
-let jac_is_inf j = Modarith.is_zero j.jz
+type jp = { x : Modarith.el; y : Modarith.el; z : Modarith.el }
 
-let to_jac = function
-  | Inf -> jac_inf
-  | Aff (x, y) -> { jx = x; jy = y; jz = Modarith.one fp }
+let jp_fresh () = { x = Modarith.alloc fp; y = Modarith.alloc fp; z = Modarith.alloc fp }
 
-let to_affine (j : jac) : t =
-  if jac_is_inf j then Inf
+let jp_take s = { x = Modarith.S.take s; y = Modarith.S.take s; z = Modarith.S.take s }
+
+let jp_is_inf pt = Modarith.is_zero pt.z
+
+let jp_set_inf pt =
+  Modarith.set_one fp pt.x;
+  Modarith.set_one fp pt.y;
+  Modarith.set_zero pt.z
+
+let jp_set_aff pt xa ya =
+  Modarith.copy_into ~dst:pt.x xa;
+  Modarith.copy_into ~dst:pt.y ya;
+  Modarith.set_one fp pt.z
+
+let jp_copy ~dst src =
+  Modarith.copy_into ~dst:dst.x src.x;
+  Modarith.copy_into ~dst:dst.y src.y;
+  Modarith.copy_into ~dst:dst.z src.z
+
+let jp_of_point pt = function Inf -> jp_set_inf pt | Aff (x, y) -> jp_set_aff pt x y
+
+(* pt <- 2·pt: dbl-2001-b for a = -3. *)
+let jdbl (s : Modarith.S.t) (pt : jp) : unit =
+  if jp_is_inf pt || Modarith.is_zero pt.y then jp_set_inf pt
   else begin
-    let zinv = Modarith.inv fp j.jz in
-    let zinv2 = Modarith.sqr fp zinv in
-    let zinv3 = Modarith.mul fp zinv2 zinv in
-    Aff (Modarith.mul fp j.jx zinv2, Modarith.mul fp j.jy zinv3)
+    let m = Modarith.S.mark s in
+    let delta = Modarith.S.take s and gamma = Modarith.S.take s and beta = Modarith.S.take s in
+    let alpha = Modarith.S.take s and t = Modarith.S.take s and u = Modarith.S.take s in
+    let x3 = Modarith.S.take s and y3 = Modarith.S.take s and z3 = Modarith.S.take s in
+    Modarith.S.sqr s ~dst:delta pt.z;
+    Modarith.S.sqr s ~dst:gamma pt.y;
+    Modarith.S.mul s ~dst:beta pt.x gamma;
+    Modarith.S.sub s ~dst:t pt.x delta;
+    Modarith.S.add s ~dst:u pt.x delta;
+    Modarith.S.mul s ~dst:alpha t u;
+    Modarith.S.mul s ~dst:alpha three alpha;
+    (* x3 = α² − 8β *)
+    Modarith.S.add s ~dst:t beta beta;
+    Modarith.S.add s ~dst:t t t;
+    (* t = 4β, kept for y3 *)
+    Modarith.S.add s ~dst:u t t;
+    Modarith.S.sqr s ~dst:x3 alpha;
+    Modarith.S.sub s ~dst:x3 x3 u;
+    (* z3 = (y+z)² − γ − δ *)
+    Modarith.S.add s ~dst:z3 pt.y pt.z;
+    Modarith.S.sqr s ~dst:z3 z3;
+    Modarith.S.sub s ~dst:z3 z3 gamma;
+    Modarith.S.sub s ~dst:z3 z3 delta;
+    (* y3 = α·(4β − x3) − 8γ² *)
+    Modarith.S.sub s ~dst:t t x3;
+    Modarith.S.mul s ~dst:y3 alpha t;
+    Modarith.S.sqr s ~dst:u gamma;
+    Modarith.S.add s ~dst:u u u;
+    Modarith.S.add s ~dst:u u u;
+    Modarith.S.add s ~dst:u u u;
+    Modarith.S.sub s ~dst:y3 y3 u;
+    Modarith.copy_into ~dst:pt.x x3;
+    Modarith.copy_into ~dst:pt.y y3;
+    Modarith.copy_into ~dst:pt.z z3;
+    Modarith.S.release s m
   end
 
-(* dbl-2001-b for a = -3. *)
-let jac_double (pt : jac) : jac =
-  if jac_is_inf pt || Modarith.is_zero pt.jy then jac_inf
+(* p1 <- p1 + (x2, y2), affine second operand (z2 = 1): madd-2004-hmv,
+   ~4 field mults cheaper than the general Jacobian add. *)
+let jadd_aff (s : Modarith.S.t) (p1 : jp) (x2 : Modarith.el) (y2 : Modarith.el) : unit =
+  if jp_is_inf p1 then jp_set_aff p1 x2 y2
   else begin
-    let delta = Modarith.sqr fp pt.jz in
-    let gamma = Modarith.sqr fp pt.jy in
-    let beta = Modarith.mul fp pt.jx gamma in
-    let alpha =
-      Modarith.mul fp three (Modarith.mul fp (Modarith.sub fp pt.jx delta) (Modarith.add fp pt.jx delta))
-    in
-    let eight_beta = Modarith.double fp (Modarith.double fp (Modarith.double fp beta)) in
-    let x3 = Modarith.sub fp (Modarith.sqr fp alpha) eight_beta in
-    let z3 =
-      Modarith.sub fp
-        (Modarith.sub fp (Modarith.sqr fp (Modarith.add fp pt.jy pt.jz)) gamma)
-        delta
-    in
-    let four_beta = Modarith.double fp (Modarith.double fp beta) in
-    let gamma2 = Modarith.sqr fp gamma in
-    let eight_gamma2 = Modarith.double fp (Modarith.double fp (Modarith.double fp gamma2)) in
-    let y3 = Modarith.sub fp (Modarith.mul fp alpha (Modarith.sub fp four_beta x3)) eight_gamma2 in
-    { jx = x3; jy = y3; jz = z3 }
-  end
-
-let jac_add (p1 : jac) (p2 : jac) : jac =
-  if jac_is_inf p1 then p2
-  else if jac_is_inf p2 then p1
-  else begin
-    let z1z1 = Modarith.sqr fp p1.jz in
-    let z2z2 = Modarith.sqr fp p2.jz in
-    let u1 = Modarith.mul fp p1.jx z2z2 in
-    let u2 = Modarith.mul fp p2.jx z1z1 in
-    let s1 = Modarith.mul fp p1.jy (Modarith.mul fp p2.jz z2z2) in
-    let s2 = Modarith.mul fp p2.jy (Modarith.mul fp p1.jz z1z1) in
-    let h = Modarith.sub fp u2 u1 in
-    let r = Modarith.sub fp s2 s1 in
-    if Modarith.is_zero h then if Modarith.is_zero r then jac_double p1 else jac_inf
+    let m = Modarith.S.mark s in
+    let z1z1 = Modarith.S.take s and u2 = Modarith.S.take s and s2 = Modarith.S.take s in
+    let h = Modarith.S.take s and r = Modarith.S.take s in
+    Modarith.S.sqr s ~dst:z1z1 p1.z;
+    Modarith.S.mul s ~dst:u2 x2 z1z1;
+    Modarith.S.mul s ~dst:s2 p1.z z1z1;
+    Modarith.S.mul s ~dst:s2 y2 s2;
+    Modarith.S.sub s ~dst:h u2 p1.x;
+    Modarith.S.sub s ~dst:r s2 p1.y;
+    if Modarith.is_zero h then begin
+      let dbl = Modarith.is_zero r in
+      Modarith.S.release s m;
+      if dbl then jdbl s p1 else jp_set_inf p1
+    end
     else begin
-      let hh = Modarith.sqr fp h in
-      let hhh = Modarith.mul fp h hh in
-      let v = Modarith.mul fp u1 hh in
-      let x3 =
-        Modarith.sub fp (Modarith.sub fp (Modarith.sqr fp r) hhh) (Modarith.double fp v)
-      in
-      let y3 =
-        Modarith.sub fp (Modarith.mul fp r (Modarith.sub fp v x3)) (Modarith.mul fp s1 hhh)
-      in
-      let z3 = Modarith.mul fp h (Modarith.mul fp p1.jz p2.jz) in
-      { jx = x3; jy = y3; jz = z3 }
+      let hh = Modarith.S.take s and hhh = Modarith.S.take s and v = Modarith.S.take s in
+      let x3 = Modarith.S.take s and y3 = Modarith.S.take s and t = Modarith.S.take s in
+      Modarith.S.sqr s ~dst:hh h;
+      Modarith.S.mul s ~dst:hhh h hh;
+      Modarith.S.mul s ~dst:v p1.x hh;
+      Modarith.S.sqr s ~dst:x3 r;
+      Modarith.S.sub s ~dst:x3 x3 hhh;
+      Modarith.S.add s ~dst:t v v;
+      Modarith.S.sub s ~dst:x3 x3 t;
+      Modarith.S.sub s ~dst:y3 v x3;
+      Modarith.S.mul s ~dst:y3 r y3;
+      Modarith.S.mul s ~dst:t p1.y hhh;
+      Modarith.S.sub s ~dst:y3 y3 t;
+      Modarith.S.mul s ~dst:p1.z p1.z h;
+      Modarith.copy_into ~dst:p1.x x3;
+      Modarith.copy_into ~dst:p1.y y3;
+      Modarith.S.release s m
     end
   end
 
-let mul a b = to_affine (jac_add (to_jac a) (to_jac b))
+(* p1 <- p1 + p2; p2 is only read. (p1 == p2 degenerates to h = r = 0 and
+   takes the doubling branch, so physical aliasing is still correct.) *)
+let jadd (s : Modarith.S.t) (p1 : jp) (p2 : jp) : unit =
+  if jp_is_inf p1 then jp_copy ~dst:p1 p2
+  else if jp_is_inf p2 then ()
+  else begin
+    let m = Modarith.S.mark s in
+    let z1z1 = Modarith.S.take s and z2z2 = Modarith.S.take s in
+    let u1 = Modarith.S.take s and u2 = Modarith.S.take s in
+    let s1 = Modarith.S.take s and s2 = Modarith.S.take s in
+    let h = Modarith.S.take s and r = Modarith.S.take s in
+    Modarith.S.sqr s ~dst:z1z1 p1.z;
+    Modarith.S.sqr s ~dst:z2z2 p2.z;
+    Modarith.S.mul s ~dst:u1 p1.x z2z2;
+    Modarith.S.mul s ~dst:u2 p2.x z1z1;
+    Modarith.S.mul s ~dst:s1 p2.z z2z2;
+    Modarith.S.mul s ~dst:s1 p1.y s1;
+    Modarith.S.mul s ~dst:s2 p1.z z1z1;
+    Modarith.S.mul s ~dst:s2 p2.y s2;
+    Modarith.S.sub s ~dst:h u2 u1;
+    Modarith.S.sub s ~dst:r s2 s1;
+    if Modarith.is_zero h then begin
+      let dbl = Modarith.is_zero r in
+      Modarith.S.release s m;
+      if dbl then jdbl s p1 else jp_set_inf p1
+    end
+    else begin
+      let hh = Modarith.S.take s and hhh = Modarith.S.take s and v = Modarith.S.take s in
+      let x3 = Modarith.S.take s and y3 = Modarith.S.take s and t = Modarith.S.take s in
+      Modarith.S.sqr s ~dst:hh h;
+      Modarith.S.mul s ~dst:hhh h hh;
+      Modarith.S.mul s ~dst:v u1 hh;
+      Modarith.S.sqr s ~dst:x3 r;
+      Modarith.S.sub s ~dst:x3 x3 hhh;
+      Modarith.S.add s ~dst:t v v;
+      Modarith.S.sub s ~dst:x3 x3 t;
+      Modarith.S.sub s ~dst:y3 v x3;
+      Modarith.S.mul s ~dst:y3 r y3;
+      Modarith.S.mul s ~dst:t s1 hhh;
+      Modarith.S.sub s ~dst:y3 y3 t;
+      Modarith.S.mul s ~dst:p1.z p1.z p2.z;
+      Modarith.S.mul s ~dst:p1.z p1.z h;
+      Modarith.copy_into ~dst:p1.x x3;
+      Modarith.copy_into ~dst:p1.y y3;
+      Modarith.S.release s m
+    end
+  end
+
+(* Canonicalization back to the boxed affine world. These run outside any
+   session (Fermat inversion and the public allocating ops), and their
+   results are fresh buffers — never aliases of the (reusable) jp ones. *)
+let to_affine (j : jp) : t =
+  if jp_is_inf j then Inf
+  else begin
+    let zinv = Modarith.inv fp j.z in
+    let zinv2 = Modarith.sqr fp zinv in
+    let zinv3 = Modarith.mul fp zinv2 zinv in
+    Aff (Modarith.mul fp j.x zinv2, Modarith.mul fp j.y zinv3)
+  end
+
+(* Montgomery's simultaneous-inversion trick: normalize a whole batch of
+   Jacobian points with a single field inversion (plus 3 mults per point
+   for the prefix bookkeeping). *)
+let to_affine_batch (js : jp array) : t array =
+  let n = Array.length js in
+  let prefix = Array.make n (Modarith.one fp) in
+  let acc = ref (Modarith.one fp) in
+  for i = 0 to n - 1 do
+    prefix.(i) <- !acc;
+    if not (jp_is_inf js.(i)) then acc := Modarith.mul fp !acc js.(i).z
+  done;
+  let out = Array.make n Inf in
+  let inv_acc = ref (Modarith.inv fp !acc) in
+  for i = n - 1 downto 0 do
+    let j = js.(i) in
+    if not (jp_is_inf j) then begin
+      let zinv = Modarith.mul fp !inv_acc prefix.(i) in
+      inv_acc := Modarith.mul fp !inv_acc j.z;
+      let zinv2 = Modarith.sqr fp zinv in
+      out.(i) <- Aff (Modarith.mul fp j.x zinv2, Modarith.mul fp j.y (Modarith.mul fp zinv2 zinv))
+    end
+  done;
+  out
+
+let mul a b =
+  match (a, b) with
+  | Inf, _ -> b
+  | _, Inf -> a
+  | Aff (ax, ay), Aff (bx, by) ->
+      let r = jp_fresh () in
+      Modarith.with_session fp (fun s ->
+          jp_set_aff r ax ay;
+          jadd_aff s r bx by);
+      to_affine r
 
 let inv = function Inf -> Inf | Aff (x, y) -> Aff (x, Modarith.neg fp y)
 let div a b = mul a (inv b)
@@ -168,59 +313,6 @@ let nibble_of (e : Nat.t) (w : int) : int =
   lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
   lor if Nat.test_bit e (4 * w) then 1 else 0
 
-(* Mixed addition p1 + (x2, y2) where the second operand is affine
-   (z2 = 1): madd-2004-hmv. *)
-let jac_add_aff (p1 : jac) (x2 : Modarith.el) (y2 : Modarith.el) : jac =
-  if jac_is_inf p1 then { jx = x2; jy = y2; jz = Modarith.one fp }
-  else begin
-    let z1z1 = Modarith.sqr fp p1.jz in
-    let u2 = Modarith.mul fp x2 z1z1 in
-    let s2 = Modarith.mul fp y2 (Modarith.mul fp p1.jz z1z1) in
-    let h = Modarith.sub fp u2 p1.jx in
-    let r = Modarith.sub fp s2 p1.jy in
-    if Modarith.is_zero h then if Modarith.is_zero r then jac_double p1 else jac_inf
-    else begin
-      let hh = Modarith.sqr fp h in
-      let hhh = Modarith.mul fp h hh in
-      let v = Modarith.mul fp p1.jx hh in
-      let x3 =
-        Modarith.sub fp (Modarith.sub fp (Modarith.sqr fp r) hhh) (Modarith.double fp v)
-      in
-      let y3 =
-        Modarith.sub fp (Modarith.mul fp r (Modarith.sub fp v x3)) (Modarith.mul fp p1.jy hhh)
-      in
-      { jx = x3; jy = y3; jz = Modarith.mul fp p1.jz h }
-    end
-  end
-
-let jac_add_point (p1 : jac) (p2 : t) : jac =
-  match p2 with Inf -> p1 | Aff (x, y) -> jac_add_aff p1 x y
-
-(* Montgomery's simultaneous-inversion trick: normalize a whole batch of
-   Jacobian points with a single field inversion (plus 3 mults per point
-   for the prefix bookkeeping). *)
-let to_affine_batch (js : jac array) : t array =
-  let n = Array.length js in
-  let prefix = Array.make n (Modarith.one fp) in
-  let acc = ref (Modarith.one fp) in
-  for i = 0 to n - 1 do
-    prefix.(i) <- !acc;
-    if not (jac_is_inf js.(i)) then acc := Modarith.mul fp !acc js.(i).jz
-  done;
-  let out = Array.make n Inf in
-  let inv_acc = ref (Modarith.inv fp !acc) in
-  for i = n - 1 downto 0 do
-    let j = js.(i) in
-    if not (jac_is_inf j) then begin
-      let zinv = Modarith.mul fp !inv_acc prefix.(i) in
-      inv_acc := Modarith.mul fp !inv_acc j.jz;
-      let zinv2 = Modarith.sqr fp zinv in
-      out.(i) <-
-        Aff (Modarith.mul fp j.jx zinv2, Modarith.mul fp j.jy (Modarith.mul fp zinv2 zinv))
-    end
-  done;
-  out
-
 (* Fixed-base comb table: gen_table.(w).(d-1) = (d·16^w)·G in affine,
    for the 64 4-bit windows of a P-256 scalar. d·16^w is never ≡ 0 mod n
    (it is positive, < 2^256 < 2n, and ≠ n by parity), so every entry is
@@ -228,48 +320,63 @@ let to_affine_batch (js : jac array) : t array =
    [Once] rather than [lazy] because pool workers may race to force it. *)
 let gen_table : t array array Atom_exec.Once.t =
   Atom_exec.Once.make (fun () ->
-    begin
       let windows = 64 in
-      let flat = Array.make (windows * 15) jac_inf in
-      let base = ref (to_jac generator) in
-      for w = 0 to windows - 1 do
-        flat.(w * 15) <- !base;
-        for d = 2 to 15 do
-          flat.((w * 15) + d - 1) <- jac_add flat.((w * 15) + d - 2) !base
-        done;
-        if w < windows - 1 then
-          base := jac_double (jac_double (jac_double (jac_double flat.(w * 15))))
-      done;
+      let flat = Array.init (windows * 15) (fun _ -> jp_fresh ()) in
+      let base = jp_fresh () in
+      Modarith.with_session fp (fun s ->
+          jp_of_point base generator;
+          for w = 0 to windows - 1 do
+            jp_copy ~dst:flat.(w * 15) base;
+            for d = 2 to 15 do
+              jp_copy ~dst:flat.((w * 15) + d - 1) flat.((w * 15) + d - 2);
+              jadd s flat.((w * 15) + d - 1) base
+            done;
+            if w < windows - 1 then begin
+              jdbl s base;
+              jdbl s base;
+              jdbl s base;
+              jdbl s base
+            end
+          done);
       let aff = to_affine_batch flat in
-      Array.init windows (fun w -> Array.sub aff (w * 15) 15)
-    end)
+      Array.init windows (fun w -> Array.sub aff (w * 15) 15))
 
-(* g^e as a Jacobian point: one mixed addition per nonzero nibble, no
-   doublings at all. *)
-let comb_jac (e : Nat.t) : jac =
+(* dst <- g^e: one mixed addition per nonzero nibble, no doublings at all.
+   Callers force [gen_table] before entering the session. *)
+let comb_into (s : Modarith.S.t) (dst : jp) (e : Nat.t) : unit =
   let table = Atom_exec.Once.get gen_table in
   let windows = (Nat.bit_length e + 3) / 4 in
-  let acc = ref jac_inf in
+  jp_set_inf dst;
   for w = 0 to windows - 1 do
     let d = nibble_of e w in
-    if d <> 0 then acc := jac_add_point !acc table.(w).(d - 1)
-  done;
-  !acc
+    if d <> 0 then
+      match table.(w).(d - 1) with Inf -> () | Aff (x, y) -> jadd_aff s dst x y
+  done
+
+let comb_point (e : Nat.t) : t =
+  ignore (Atom_exec.Once.get gen_table);
+  let r = jp_fresh () in
+  Modarith.with_session fp (fun s -> comb_into s r e);
+  to_affine r
 
 let pow_gen (k : scalar) : t =
   Atom_obs.Opcount.note_pow_gen ();
   let e = Scalar.to_nat k in
-  if Nat.is_zero e then Inf else to_affine (comb_jac e)
+  if Nat.is_zero e then Inf else comb_point e
 
 (* 15-entry affine window table for an arbitrary base: one batch
    normalization (one inversion) per table. *)
 let affine_table (base : t) : t array =
-  let bj = to_jac base in
-  let jt = Array.make 15 jac_inf in
-  jt.(0) <- bj;
-  for d = 1 to 14 do
-    jt.(d) <- jac_add jt.(d - 1) bj
-  done;
+  let jt = Array.init 15 (fun _ -> jp_fresh ()) in
+  (match base with
+  | Inf -> Array.iter jp_set_inf jt
+  | Aff (bx, by) ->
+      Modarith.with_session fp (fun s ->
+          jp_set_aff jt.(0) bx by;
+          for d = 1 to 14 do
+            jp_copy ~dst:jt.(d) jt.(d - 1);
+            jadd_aff s jt.(d) bx by
+          done));
   to_affine_batch jt
 
 (* MRU cache of per-base affine tables, for long-lived bases (group public
@@ -309,110 +416,132 @@ let cached_table (base : t) : t array option =
       base_cache := { key = base; table = None } :: tail;
       None
 
-(* 4-bit windowed double-and-add over an affine table. *)
-let windowed_jac (tab : t array) (e : Nat.t) : jac =
+(* dst <- base^e, 4-bit windowed double-and-add over an affine table. *)
+let windowed_into (s : Modarith.S.t) (dst : jp) (tab : t array) (e : Nat.t) : unit =
   let windows = (Nat.bit_length e + 3) / 4 in
-  let acc = ref jac_inf in
+  jp_set_inf dst;
   for w = windows - 1 downto 0 do
     if w <> windows - 1 then begin
-      acc := jac_double !acc;
-      acc := jac_double !acc;
-      acc := jac_double !acc;
-      acc := jac_double !acc
+      jdbl s dst;
+      jdbl s dst;
+      jdbl s dst;
+      jdbl s dst
     end;
     let d = nibble_of e w in
-    if d <> 0 then acc := jac_add_point !acc tab.(d - 1)
-  done;
-  !acc
+    if d <> 0 then
+      match tab.(d - 1) with Inf -> () | Aff (x, y) -> jadd_aff s dst x y
+  done
 
-(* One-shot path: per-call Jacobian table, no inversion spent on it. *)
-let windowed_jac_oneshot (base : t) (e : Nat.t) : jac =
-  let table = Array.make 16 jac_inf in
-  table.(1) <- to_jac base;
+(* One-shot path: per-call Jacobian table on the arena, no inversion spent
+   on it. *)
+let windowed_oneshot_into (s : Modarith.S.t) (dst : jp) (bx : Modarith.el) (by : Modarith.el)
+    (e : Nat.t) : unit =
+  let m = Modarith.S.mark s in
+  let table = Array.init 16 (fun _ -> jp_take s) in
+  jp_set_aff table.(1) bx by;
   for i = 2 to 15 do
-    table.(i) <- jac_add table.(i - 1) table.(1)
+    jp_copy ~dst:table.(i) table.(i - 1);
+    jadd_aff s table.(i) bx by
   done;
   let windows = (Nat.bit_length e + 3) / 4 in
-  let acc = ref jac_inf in
+  jp_set_inf dst;
   for w = windows - 1 downto 0 do
     if w <> windows - 1 then begin
-      acc := jac_double !acc;
-      acc := jac_double !acc;
-      acc := jac_double !acc;
-      acc := jac_double !acc
+      jdbl s dst;
+      jdbl s dst;
+      jdbl s dst;
+      jdbl s dst
     end;
     let d = nibble_of e w in
-    if d <> 0 then acc := jac_add !acc table.(d)
+    if d <> 0 then jadd s dst table.(d)
   done;
-  !acc
+  Modarith.S.release s m
 
 let pow (base : t) (k : scalar) : t =
   Atom_obs.Opcount.note_pow ();
   let e = Scalar.to_nat k in
   if Nat.is_zero e || is_one base then Inf
-  else if equal base generator then to_affine (comb_jac e)
+  else if equal base generator then comb_point e
   else begin
-    match cached_table base with
-    | Some tab -> to_affine (windowed_jac tab e)
-    | None -> to_affine (windowed_jac_oneshot base e)
+    let r = jp_fresh () in
+    (match (cached_table base, base) with
+    | Some tab, _ -> Modarith.with_session fp (fun s -> windowed_into s r tab e)
+    | None, Aff (bx, by) -> Modarith.with_session fp (fun s -> windowed_oneshot_into s r bx by e)
+    | None, Inf -> assert false);
+    to_affine r
   end
 
 (* ---- Multi-scalar multiplication ---- *)
 
-(* Straus (shared doublings, per-base 4-bit window tables) for small batches.
-   Tables are Jacobian and built only up to the largest nibble the scalar
-   can produce, so tiny scalars (e.g. the all-ones MSM of combine_pks) skip
-   table construction entirely. *)
-let msm_straus (bases : t array) (exps : Nat.t array) ~(use_cache : bool) : jac =
-  let n = Array.length bases in
-  let max_bits = ref 0 in
-  for i = 0 to n - 1 do
-    max_bits := max !max_bits (Nat.bit_length exps.(i))
-  done;
-  let adders =
-    Array.init n (fun i ->
-        let cached = if use_cache then cached_table bases.(i) else None in
-        match cached with
-        | Some tab -> fun acc d -> jac_add_point acc tab.(d - 1)
-        | None ->
-            let max_d =
-              if Nat.bit_length exps.(i) > 4 then 15 else Nat.to_int_exn exps.(i)
-            in
-            let table = Array.make (max_d + 1) jac_inf in
-            if max_d >= 1 then table.(1) <- to_jac bases.(i);
-            for d = 2 to max_d do
-              table.(d) <- jac_add table.(d - 1) table.(1)
-            done;
-            fun acc d -> jac_add acc table.(d))
-  in
-  let windows = (!max_bits + 3) / 4 in
-  let acc = ref jac_inf in
-  for w = windows - 1 downto 0 do
-    if w <> windows - 1 then begin
-      acc := jac_double !acc;
-      acc := jac_double !acc;
-      acc := jac_double !acc;
-      acc := jac_double !acc
-    end;
-    for i = 0 to n - 1 do
-      let d = nibble_of exps.(i) w in
-      if d <> 0 then acc := adders.(i) !acc d
-    done
-  done;
-  !acc
+(* Straus (shared doublings, per-base 4-bit window tables) for small
+   batches, over the pair slice [lo, hi). A pair's window table is either a
+   cached affine table or a per-call Jacobian table on the arena, built
+   only up to the largest nibble the scalar can produce — tiny scalars
+   (e.g. the all-ones MSM of combine_pks) skip table construction
+   entirely. *)
+type straus_tab = T_aff of t array | T_jac of jp array
+
+let msm_straus (bases : t array) (exps : Nat.t array) ~(lo : int) ~(hi : int)
+    ~(use_cache : bool) : jp =
+  let n = hi - lo in
+  let acc = jp_fresh () in
+  Modarith.with_session fp (fun s ->
+      let m0 = Modarith.S.mark s in
+      let max_bits = ref 0 in
+      for i = lo to hi - 1 do
+        max_bits := max !max_bits (Nat.bit_length exps.(i))
+      done;
+      let tabs =
+        Array.init n (fun j ->
+            let i = lo + j in
+            match (if use_cache then cached_table bases.(i) else None) with
+            | Some tab -> T_aff tab
+            | None ->
+                let max_d = if Nat.bit_length exps.(i) > 4 then 15 else Nat.to_int_exn exps.(i) in
+                let table = Array.init (max_d + 1) (fun _ -> jp_take s) in
+                (match bases.(i) with
+                | Inf -> Array.iter jp_set_inf table
+                | Aff (bx, by) ->
+                    if max_d >= 1 then jp_set_aff table.(1) bx by;
+                    for d = 2 to max_d do
+                      jp_copy ~dst:table.(d) table.(d - 1);
+                      jadd_aff s table.(d) bx by
+                    done);
+                T_jac table)
+      in
+      let windows = (!max_bits + 3) / 4 in
+      jp_set_inf acc;
+      for w = windows - 1 downto 0 do
+        if w <> windows - 1 then begin
+          jdbl s acc;
+          jdbl s acc;
+          jdbl s acc;
+          jdbl s acc
+        end;
+        for j = 0 to n - 1 do
+          let d = nibble_of exps.(lo + j) w in
+          if d <> 0 then
+            match tabs.(j) with
+            | T_aff tab -> (
+                match tab.(d - 1) with Inf -> () | Aff (x, y) -> jadd_aff s acc x y)
+            | T_jac table -> jadd s acc table.(d)
+        done
+      done;
+      Modarith.S.release s m0);
+  acc
 
 (* Pippenger bucket method for large batches: per window, drop each point
    into the bucket of its digit, then aggregate buckets with two running
    sums. ~(256/c)·(n + 2^{c+1}) additions overall. Windows are mutually
-   independent, so a pool computes the per-window sums in parallel; the
-   combine (c doublings between windows, ≈256 doublings total) stays on
-   the caller and is negligible next to the bucket work. The affine result
-   is identical either way — [to_affine] canonicalizes whatever Jacobian
+   independent, so a pool computes the per-window sums in parallel (each
+   worker in its own session, buckets on its own arena); the combine
+   (c doublings between windows, ≈256 doublings total) stays on the caller
+   and is negligible next to the bucket work. The affine result is
+   identical either way — [to_affine] canonicalizes whatever Jacobian
    representative the addition order produced. *)
-let msm_pippenger ?pool (bases : t array) (exps : Nat.t array) : jac =
+let msm_pippenger ?pool (bases : t array) (exps : Nat.t array) : jp =
   let n = Array.length bases in
   let c = if n < 512 then 6 else if n < 2048 then 7 else 8 in
-  let points = Array.map to_jac bases in
   let max_bits = ref 0 in
   for i = 0 to n - 1 do
     max_bits := max !max_bits (Nat.bit_length exps.(i))
@@ -427,43 +556,62 @@ let msm_pippenger ?pool (bases : t array) (exps : Nat.t array) : jac =
   let nwin = (!max_bits + c - 1) / c in
   let nbuckets = (1 lsl c) - 1 in
   let window_sum w =
-    let buckets = Array.make nbuckets jac_inf in
-    for i = 0 to n - 1 do
-      let d = digit exps.(i) (w * c) in
-      if d <> 0 then buckets.(d - 1) <- jac_add buckets.(d - 1) points.(i)
-    done;
-    let run = ref jac_inf and sum = ref jac_inf in
-    for d = nbuckets - 1 downto 0 do
-      run := jac_add !run buckets.(d);
-      sum := jac_add !sum !run
-    done;
-    !sum
+    let sum = jp_fresh () in
+    Modarith.with_session fp (fun s ->
+        let m = Modarith.S.mark s in
+        let buckets =
+          Array.init nbuckets (fun _ ->
+              let b = jp_take s in
+              jp_set_inf b;
+              b)
+        in
+        for i = 0 to n - 1 do
+          let d = digit exps.(i) (w * c) in
+          if d <> 0 then
+            match bases.(i) with Inf -> () | Aff (x, y) -> jadd_aff s buckets.(d - 1) x y
+        done;
+        let run = jp_take s in
+        jp_set_inf run;
+        jp_set_inf sum;
+        for d = nbuckets - 1 downto 0 do
+          jadd s run buckets.(d);
+          jadd s sum run
+        done;
+        Modarith.S.release s m);
+    sum
   in
   let wsums = Atom_exec.Pool.tabulate ?pool nwin window_sum in
-  let acc = ref jac_inf in
-  for w = nwin - 1 downto 0 do
-    if w <> nwin - 1 then
-      for _ = 1 to c do
-        acc := jac_double !acc
-      done;
-    acc := jac_add !acc wsums.(w)
-  done;
-  !acc
+  let acc = jp_fresh () in
+  Modarith.with_session fp (fun s ->
+      jp_set_inf acc;
+      for w = nwin - 1 downto 0 do
+        if w <> nwin - 1 then
+          for _ = 1 to c do
+            jdbl s acc
+          done;
+        jadd s acc wsums.(w)
+      done);
+  acc
 
 let pippenger_threshold = 200
 
 (* Below the Pippenger threshold a pooled MSM splits the pairs into
-   contiguous chunks, runs Straus on each independently, and adds the
-   chunk partials in index order on the caller. *)
-let msm_straus_pooled pool (bases : t array) (exps : Nat.t array) : jac =
+   contiguous chunks, runs Straus on each slice independently (no sub-array
+   materialization), and adds the chunk partials in index order on the
+   caller. *)
+let msm_straus_pooled pool (bases : t array) (exps : Nat.t array) : jp =
   let n = Array.length bases in
   let nchunks = min n (Atom_exec.Pool.size pool * 4) in
   let partials =
     Atom_exec.Pool.tabulate ~pool nchunks (fun ci ->
         let lo = ci * n / nchunks and hi = (ci + 1) * n / nchunks in
-        msm_straus (Array.sub bases lo (hi - lo)) (Array.sub exps lo (hi - lo)) ~use_cache:false)
+        msm_straus bases exps ~lo ~hi ~use_cache:false)
   in
-  Array.fold_left jac_add jac_inf partials
+  let acc = jp_fresh () in
+  Modarith.with_session fp (fun s ->
+      jp_set_inf acc;
+      Array.iter (fun partial -> jadd s acc partial) partials);
+  acc
 
 let msm_pool_threshold = 64
 
@@ -480,27 +628,34 @@ let msm_raw ?pool (pairs : (t * scalar) array) : t =
       else if equal x generator then gen_k := Scalar.add !gen_k k
       else rest := (x, Scalar.to_nat k) :: !rest)
     pairs;
-  let comb_part =
-    if Scalar.is_zero !gen_k then jac_inf else comb_jac (Scalar.to_nat !gen_k)
-  in
   let rest = Array.of_list !rest in
   let n = Array.length rest in
   let main =
-    if n = 0 then jac_inf
+    if n = 0 then None
     else begin
       let bases = Array.map fst rest and exps = Array.map snd rest in
-      if n > pippenger_threshold then msm_pippenger ?pool bases exps
+      if n > pippenger_threshold then Some (msm_pippenger ?pool bases exps)
       else begin
         match Atom_exec.Pool.resolve pool with
         | Some pl when n >= msm_pool_threshold && Atom_exec.Pool.size pl > 1 ->
             (* The cache is never consulted here: it only applies to MSMs
                of <= 8 pairs, far below the pooling threshold. *)
-            msm_straus_pooled pl bases exps
-        | _ -> msm_straus bases exps ~use_cache:(Array.length pairs <= 8)
+            Some (msm_straus_pooled pl bases exps)
+        | _ -> Some (msm_straus bases exps ~lo:0 ~hi:n ~use_cache:(Array.length pairs <= 8))
       end
     end
   in
-  to_affine (jac_add main comb_part)
+  match (main, Scalar.is_zero !gen_k) with
+  | None, true -> Inf
+  | None, false -> comb_point (Scalar.to_nat !gen_k)
+  | Some j, true -> to_affine j
+  | Some j, false ->
+      ignore (Atom_exec.Once.get gen_table);
+      let g = jp_fresh () in
+      Modarith.with_session fp (fun s ->
+          comb_into s g (Scalar.to_nat !gen_k);
+          jadd s j g);
+      to_affine j
 
 let msm ?pool (pairs : (t * scalar) array) : t =
   Atom_obs.Opcount.note_msm ~terms:(Array.length pairs);
@@ -514,10 +669,11 @@ let pow2 (a : t) (j : scalar) (b : t) (k : scalar) : t =
 
 (* ---- Batch fixed-base exponentiation with one shared normalization ----
 
-   The per-scalar ladders are independent and go to the pool; the single
-   shared normalization inversion stays on the caller. Any table the
-   ladders read (the comb table, a per-base affine table) is built on the
-   caller before the parallel region and only read inside it. *)
+   The per-scalar ladders are independent and go to the pool, each worker
+   running in its own session on its own arena; the single shared
+   normalization inversion stays on the caller. Any table the ladders read
+   (the comb table, a per-base affine table) is built on the caller before
+   the parallel region and only read inside it. *)
 
 let pow_gen_batch_raw ?pool (ks : scalar array) : t array =
   ignore (Atom_exec.Once.get gen_table);
@@ -525,7 +681,10 @@ let pow_gen_batch_raw ?pool (ks : scalar array) : t array =
     (Atom_exec.Pool.map ?pool
        (fun k ->
          let e = Scalar.to_nat k in
-         if Nat.is_zero e then jac_inf else comb_jac e)
+         let r = jp_fresh () in
+         if Nat.is_zero e then jp_set_inf r
+         else Modarith.with_session fp (fun s -> comb_into s r e);
+         r)
        ks)
 
 let pow_gen_batch ?pool (ks : scalar array) : t array =
@@ -543,7 +702,10 @@ let pow_batch ?pool (base : t) (ks : scalar array) : t array =
       (Atom_exec.Pool.map ?pool
          (fun k ->
            let e = Scalar.to_nat k in
-           if Nat.is_zero e then jac_inf else windowed_jac tab e)
+           let r = jp_fresh () in
+           if Nat.is_zero e then jp_set_inf r
+           else Modarith.with_session fp (fun s -> windowed_into s r tab e);
+           r)
          ks)
   end
 

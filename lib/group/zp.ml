@@ -106,7 +106,7 @@ let make (params : params) : (module Group_intf.GROUP) =
           let partials =
             Atom_exec.Pool.tabulate ~pool:p nchunks (fun c ->
                 let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
-                Modarith.msm ctx_p (Array.sub nat_pairs lo (hi - lo)))
+                Modarith.msm_slice ctx_p nat_pairs ~lo ~hi)
           in
           Array.fold_left (Modarith.mul ctx_p) (Modarith.one ctx_p) partials
       | _ -> Modarith.msm ctx_p nat_pairs

@@ -3,7 +3,19 @@
    Elements are fixed-width little-endian limb arrays (base 2^26) kept in
    Montgomery form (x·R mod m with R = 2^(26k)).  Multiplication uses the
    CIOS (coarsely integrated operand scanning) algorithm; with 26-bit limbs
-   every intermediate product fits comfortably in a 63-bit native int. *)
+   every intermediate product fits comfortably in a 63-bit native int.
+
+   Memory discipline (the flat-limb refactor): an [el] is a flat unboxed
+   buffer of native-int limbs, and every hot kernel is *destination-passing*
+   — [mont_mul_into] and friends write into a caller-provided k-limb buffer
+   and allocate nothing. Temporaries come from a per-domain arena of
+   preallocated k-limb slots ([tls.slots]) handed out in stack order and
+   released en masse when the enclosing operation (or {!with_session} scope)
+   ends, so the steady-state inner loops of pow/msm touch the minor heap
+   zero times. The boxed world (fresh [el] results, [Nat.t] conversions)
+   exists only at the API edge. The classic allocating implementations are
+   retained verbatim-in-spirit under {!Ref} — property tests pin the flat
+   kernels byte-identical to them. *)
 
 let limb_bits = 26
 let limb_mask = (1 lsl limb_bits) - 1
@@ -11,13 +23,16 @@ let limb_mask = (1 lsl limb_bits) - 1
 type el = int array
 
 (* The mutable working state of a context: CIOS accumulators reused across
-   calls, and the MRU window-table cache. Kept per-domain via [Domain.DLS]
-   so one ctx can serve every domain of a pool, and checked out per
-   operation (the [in_use] flag) so systhreads sharing a domain's storage
-   can't interleave mid-multiplication — see [with_tls]. *)
+   calls, the arena of k-limb scratch slots, and the MRU window-table
+   cache. Kept per-domain via [Domain.DLS] so one ctx can serve every
+   domain of a pool, and checked out per operation (the [in_use] flag) so
+   systhreads sharing a domain's storage can't interleave mid-
+   multiplication — see [with_tls]. *)
 type tls = {
   scratch : int array; (* k+2 CIOS accumulator for mont_mul *)
   scratch_sqr : int array; (* 2k+1 accumulator for mont_sqr *)
+  mutable slots : int array array; (* arena of k-limb scratch elements *)
+  mutable top : int; (* arena stack pointer *)
   mutable pow_cache : (el * el array) list; (* MRU base -> window table *)
   mutable in_use : bool;
 }
@@ -37,6 +52,8 @@ let fresh_tls (k : int) : tls =
   {
     scratch = Array.make (k + 2) 0;
     scratch_sqr = Array.make ((2 * k) + 1) 0;
+    slots = [||];
+    top = 0;
     pow_cache = [];
     in_use = false;
   }
@@ -61,6 +78,26 @@ let with_tls (ctx : ctx) (f : tls -> 'a) : 'a =
         t.in_use <- false;
         raise e
   end
+
+(* ---- the arena: preallocated k-limb slots, stack discipline ---- *)
+
+let arena_mark (t : tls) : int = t.top
+
+let arena_release (t : tls) (mark : int) : unit = t.top <- mark
+
+(* Hand out the next preallocated slot, growing the arena (amortized,
+   start-up only) when the high-water mark rises. Slot contents are
+   arbitrary stale limbs — callers always fully overwrite. *)
+let arena_take (ctx : ctx) (t : tls) : el =
+  if t.top = Array.length t.slots then begin
+    let old = Array.length t.slots in
+    let grown = max 16 (2 * old) in
+    t.slots <-
+      Array.init grown (fun i -> if i < old then t.slots.(i) else Array.make ctx.k 0)
+  end;
+  let v = t.slots.(t.top) in
+  t.top <- t.top + 1;
+  v
 
 (* Widen a Nat (canonical, possibly short) to exactly k limbs, going through
    the byte serialization so Nat's representation stays abstract. *)
@@ -103,22 +140,29 @@ let narrow (a : int array) : Nat.t =
   done;
   Nat.of_bytes_be (Bytes.unsafe_to_string out)
 
-(* Comparison of fixed-width limb arrays. *)
+(* Comparison of fixed-width limb arrays. A plain loop, not a local
+   recursive function: the latter captures [a]/[b] in a heap-allocated
+   closure, and this runs inside the allocation-free kernels. *)
 let cmp_limbs (a : int array) (b : int array) : int =
-  let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then compare a.(i) b.(i) else go (i - 1) in
-  go (Array.length a - 1)
+  let i = ref (Array.length a - 1) and r = ref 0 in
+  while !r = 0 && !i >= 0 do
+    let ai = Array.unsafe_get a !i and bi = Array.unsafe_get b !i in
+    if ai <> bi then r := if ai < bi then -1 else 1;
+    decr i
+  done;
+  !r
 
 (* a <- a - b (fixed width, assumes a >= b). *)
 let sub_in_place (a : int array) (b : int array) : unit =
   let borrow = ref 0 in
   for i = 0 to Array.length a - 1 do
-    let s = a.(i) - b.(i) - !borrow in
+    let s = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
     if s < 0 then begin
-      a.(i) <- s + (1 lsl limb_bits);
+      Array.unsafe_set a i (s + (1 lsl limb_bits));
       borrow := 1
     end
     else begin
-      a.(i) <- s;
+      Array.unsafe_set a i s;
       borrow := 0
     end
   done
@@ -170,20 +214,28 @@ let create (modulus : Nat.t) : ctx =
     tls = Domain.DLS.new_key (fun () -> fresh_tls k);
   }
 
-(* Montgomery multiplication: result = a*b*R^{-1} mod m (CIOS). The
-   accumulator lives in [t.scratch]: mont_mul_t never calls itself and the
-   inputs are never the scratch array, so reuse is safe. *)
-let mont_mul_t (ctx : ctx) (tl : tls) (a : el) (b : el) : el =
+(* ---- allocation-free kernels ----
+
+   Every [_into] kernel writes its result into a caller-provided k-limb
+   destination and allocates nothing: the CIOS accumulator lives in the
+   checked-out [tls], the operands are only read, and the final copy-out
+   happens after every operand read, so [dst] may alias [a] or [b].
+   Inner loops use unsafe accessors — widths are fixed at [ctx.k] by
+   construction and the kernels are pinned against {!Ref} by property
+   tests. *)
+
+(* dst <- a*b*R^{-1} mod m (CIOS). *)
+let mont_mul_into (ctx : ctx) (tl : tls) (dst : el) (a : el) (b : el) : unit =
   let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
   let t = tl.scratch in
   Array.fill t 0 (k + 2) 0;
   for i = 0 to k - 1 do
-    let ai = a.(i) in
+    let ai = Array.unsafe_get a i in
     (* t += ai * b *)
     let c = ref 0 in
     for j = 0 to k - 1 do
-      let s = t.(j) + (ai * b.(j)) + !c in
-      t.(j) <- s land limb_mask;
+      let s = Array.unsafe_get t j + (ai * Array.unsafe_get b j) + !c in
+      Array.unsafe_set t j (s land limb_mask);
       c := s lsr limb_bits
     done;
     let s = t.(k) + !c in
@@ -191,11 +243,11 @@ let mont_mul_t (ctx : ctx) (tl : tls) (a : el) (b : el) : el =
     t.(k + 1) <- t.(k + 1) + (s lsr limb_bits);
     (* reduce one limb *)
     let mfac = t.(0) * m0inv land limb_mask in
-    let s0 = t.(0) + (mfac * m.(0)) in
+    let s0 = t.(0) + (mfac * Array.unsafe_get m 0) in
     let c = ref (s0 lsr limb_bits) in
     for j = 1 to k - 1 do
-      let s = t.(j) + (mfac * m.(j)) + !c in
-      t.(j - 1) <- s land limb_mask;
+      let s = Array.unsafe_get t j + (mfac * Array.unsafe_get m j) + !c in
+      Array.unsafe_set t (j - 1) (s land limb_mask);
       c := s lsr limb_bits
     done;
     let s = t.(k) + !c in
@@ -203,31 +255,31 @@ let mont_mul_t (ctx : ctx) (tl : tls) (a : el) (b : el) : el =
     t.(k) <- t.(k + 1) + (s lsr limb_bits);
     t.(k + 1) <- 0
   done;
-  let out = Array.sub t 0 k in
-  if t.(k) <> 0 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
-  out
+  let over = t.(k) <> 0 in
+  Array.blit t 0 dst 0 k;
+  if over || cmp_limbs dst ctx.m >= 0 then sub_in_place dst ctx.m
 
-(* Montgomery squaring: a*a*R^{-1} mod m. Exploits product symmetry — each
-   cross term a_i·a_j (i<j) is computed once and doubled, so the schoolbook
-   phase does ~k²/2 limb products instead of CIOS's k². The doubling-heavy
-   curve ladder (jac_double is 5 squarings per step) lands here. Bounds: a
+(* dst <- a*a*R^{-1} mod m. Exploits product symmetry — each cross term
+   a_i·a_j (i<j) is computed once and doubled, so the schoolbook phase
+   does ~k²/2 limb products instead of CIOS's k². The doubling-heavy
+   curve ladder (jdbl is 5 squarings per step) lands here. Bounds: a
    doubled cross product is < 2^53 and carries stay < 2^28, so every
    intermediate fits a 62-bit native int. *)
-let mont_sqr_t (ctx : ctx) (tl : tls) (a : el) : el =
+let mont_sqr_into (ctx : ctx) (tl : tls) (dst : el) (a : el) : unit =
   let k = ctx.k and m = ctx.m and m0inv = ctx.m0inv in
   let t = tl.scratch_sqr in
   Array.fill t 0 ((2 * k) + 1) 0;
   (* t <- a·a, with symmetry. *)
   for i = 0 to k - 1 do
-    let ai = a.(i) in
+    let ai = Array.unsafe_get a i in
     let s = t.(2 * i) + (ai * ai) in
     t.(2 * i) <- s land limb_mask;
     let c = ref (s lsr limb_bits) in
     let idx = ref ((2 * i) + 1) in
     for j = i + 1 to k - 1 do
-      let p = ai * a.(j) in
-      let s = t.(!idx) + p + p + !c in
-      t.(!idx) <- s land limb_mask;
+      let p = ai * Array.unsafe_get a j in
+      let s = Array.unsafe_get t !idx + p + p + !c in
+      Array.unsafe_set t !idx (s land limb_mask);
       c := s lsr limb_bits;
       incr idx
     done;
@@ -243,8 +295,8 @@ let mont_sqr_t (ctx : ctx) (tl : tls) (a : el) : el =
     let mfac = t.(i) * m0inv land limb_mask in
     let c = ref 0 in
     for j = 0 to k - 1 do
-      let s = t.(i + j) + (mfac * m.(j)) + !c in
-      t.(i + j) <- s land limb_mask;
+      let s = Array.unsafe_get t (i + j) + (mfac * Array.unsafe_get m j) + !c in
+      Array.unsafe_set t (i + j) (s land limb_mask);
       c := s lsr limb_bits
     done;
     let idx = ref (i + k) in
@@ -255,8 +307,50 @@ let mont_sqr_t (ctx : ctx) (tl : tls) (a : el) : el =
       incr idx
     done
   done;
-  let out = Array.sub t k k in
-  if t.(2 * k) <> 0 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
+  let over = t.(2 * k) <> 0 in
+  Array.blit t k dst 0 k;
+  if over || cmp_limbs dst ctx.m >= 0 then sub_in_place dst ctx.m
+
+(* dst <- a + b mod m; no scratch needed, dst may alias a or b. *)
+let add_into (ctx : ctx) (dst : el) (a : el) (b : el) : unit =
+  let k = ctx.k in
+  let carry = ref 0 in
+  for i = 0 to k - 1 do
+    let s = Array.unsafe_get a i + Array.unsafe_get b i + !carry in
+    Array.unsafe_set dst i (s land limb_mask);
+    carry := s lsr limb_bits
+  done;
+  if !carry = 1 || cmp_limbs dst ctx.m >= 0 then sub_in_place dst ctx.m
+
+(* dst <- a - b mod m. *)
+let sub_into (ctx : ctx) (dst : el) (a : el) (b : el) : unit =
+  let k = ctx.k in
+  let borrow = ref 0 in
+  for i = 0 to k - 1 do
+    let s = Array.unsafe_get a i - Array.unsafe_get b i - !borrow in
+    if s < 0 then begin
+      Array.unsafe_set dst i (s + (1 lsl limb_bits));
+      borrow := 1
+    end
+    else begin
+      Array.unsafe_set dst i s;
+      borrow := 0
+    end
+  done;
+  if !borrow = 1 then begin
+    (* add modulus back *)
+    let carry = ref 0 in
+    for i = 0 to k - 1 do
+      let s = dst.(i) + ctx.m.(i) + !carry in
+      dst.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done
+  end
+
+(* Boxed conveniences over the kernels (one result allocation each). *)
+let mont_mul_t (ctx : ctx) (tl : tls) (a : el) (b : el) : el =
+  let out = Array.make ctx.k 0 in
+  mont_mul_into ctx tl out a b;
   out
 
 let of_nat (ctx : ctx) (a : Nat.t) : el =
@@ -273,47 +367,30 @@ let of_int ctx i = of_nat ctx (Nat.of_int i)
 let equal (a : el) (b : el) : bool = cmp_limbs a b = 0
 let is_zero (a : el) = Array.for_all (fun x -> x = 0) a
 
+let alloc (ctx : ctx) : el = Array.make ctx.k 0
+let copy_into ~(dst : el) (a : el) : unit = Array.blit a 0 dst 0 (Array.length dst)
+let set_zero (dst : el) : unit = Array.fill dst 0 (Array.length dst) 0
+let set_one (ctx : ctx) (dst : el) : unit = Array.blit ctx.one_m 0 dst 0 ctx.k
+
 let add (ctx : ctx) (a : el) (b : el) : el =
-  let k = ctx.k in
-  let out = Array.make k 0 in
-  let carry = ref 0 in
-  for i = 0 to k - 1 do
-    let s = a.(i) + b.(i) + !carry in
-    out.(i) <- s land limb_mask;
-    carry := s lsr limb_bits
-  done;
-  if !carry = 1 || cmp_limbs out ctx.m >= 0 then sub_in_place out ctx.m;
+  let out = Array.make ctx.k 0 in
+  add_into ctx out a b;
   out
 
 let sub (ctx : ctx) (a : el) (b : el) : el =
-  let k = ctx.k in
-  let out = Array.make k 0 in
-  let borrow = ref 0 in
-  for i = 0 to k - 1 do
-    let s = a.(i) - b.(i) - !borrow in
-    if s < 0 then begin
-      out.(i) <- s + (1 lsl limb_bits);
-      borrow := 1
-    end
-    else begin
-      out.(i) <- s;
-      borrow := 0
-    end
-  done;
-  if !borrow = 1 then begin
-    (* add modulus back *)
-    let carry = ref 0 in
-    for i = 0 to k - 1 do
-      let s = out.(i) + ctx.m.(i) + !carry in
-      out.(i) <- s land limb_mask;
-      carry := s lsr limb_bits
-    done
-  end;
+  let out = Array.make ctx.k 0 in
+  sub_into ctx out a b;
   out
 
 let neg (ctx : ctx) (a : el) : el = if is_zero a then Array.copy a else sub ctx (zero ctx) a
 let mul (ctx : ctx) (a : el) (b : el) : el = with_tls ctx (fun t -> mont_mul_t ctx t a b)
-let sqr (ctx : ctx) (a : el) : el = with_tls ctx (fun t -> mont_sqr_t ctx t a)
+
+let sqr (ctx : ctx) (a : el) : el =
+  with_tls ctx (fun t ->
+      let out = Array.make ctx.k 0 in
+      mont_sqr_into ctx t out a;
+      out)
+
 let mont_sqr = sqr
 
 let double ctx a = add ctx a a
@@ -324,7 +401,9 @@ let double ctx a = add ctx a a
    domain of a pool warms its own copy. Lookup is a linear scan with limb
    comparison — at most [pow_cache_cap] k-limb compares, negligible next
    to an exponentiation. One-shot bases cost one table build either way;
-   they merely churn the tail of the list. *)
+   they merely churn the tail of the list. Cached tables are built once
+   and only read afterwards, so the steady-state pow of a warm base
+   allocates nothing beyond its result. *)
 let pow_cache_cap = 8
 
 let pow_table (ctx : ctx) (tl : tls) (base : el) : el array =
@@ -354,80 +433,180 @@ let nibble_of (e : Nat.t) (w : int) : int =
   lor (if Nat.test_bit e ((4 * w) + 1) then 2 else 0)
   lor if Nat.test_bit e (4 * w) then 1 else 0
 
-(* Fixed 4-bit-window exponentiation; exponent is a plain Nat. *)
-let pow_t (ctx : ctx) (tl : tls) (base : el) (e : Nat.t) : el =
-  if Nat.is_zero e then one ctx
+(* Fixed 4-bit-window exponentiation into [dst]; the accumulator IS the
+   destination, squared and multiplied in place, so a warm-cache pow
+   allocates nothing. [dst] may alias [base]: the window table is built
+   (from copies) before [dst] is first written. *)
+let pow_into_t (ctx : ctx) (tl : tls) (dst : el) (base : el) (e : Nat.t) : unit =
+  if Nat.is_zero e then set_one ctx dst
   else begin
     let table = pow_table ctx tl base in
     let bits = Nat.bit_length e in
     let windows = (bits + 3) / 4 in
-    let acc = ref (one ctx) in
+    set_one ctx dst;
     for w = windows - 1 downto 0 do
       if w <> windows - 1 then begin
-        acc := mont_sqr_t ctx tl !acc;
-        acc := mont_sqr_t ctx tl !acc;
-        acc := mont_sqr_t ctx tl !acc;
-        acc := mont_sqr_t ctx tl !acc
+        mont_sqr_into ctx tl dst dst;
+        mont_sqr_into ctx tl dst dst;
+        mont_sqr_into ctx tl dst dst;
+        mont_sqr_into ctx tl dst dst
       end;
       let nibble = nibble_of e w in
-      if nibble <> 0 then acc := mont_mul_t ctx tl !acc table.(nibble)
-    done;
-    !acc
+      if nibble <> 0 then mont_mul_into ctx tl dst dst table.(nibble)
+    done
   end
 
-let pow (ctx : ctx) (base : el) (e : Nat.t) : el = with_tls ctx (fun t -> pow_t ctx t base e)
+let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
+  with_tls ctx (fun t ->
+      let out = Array.make ctx.k 0 in
+      pow_into_t ctx t out base e;
+      out)
 
-(* Straus interleaved multi-scalar multiplication: Π base_i^{e_i} with one
-   shared run of squarings across all pairs — 4 squarings per window total
-   instead of 4 per window per base. Window tables are built lazily to the
-   largest digit an exponent can produce, so a unit-exponent pair (common
-   in the batched shuffle verifier) costs a single table slot. The cached
-   [pow_table] is deliberately not consulted: MSM callers pass crowds of
-   one-shot bases that would flush it. *)
-let msm_t (ctx : ctx) (tl : tls) (pairs : (el * Nat.t) array) : el =
-  let live = List.filter (fun (_, e) -> not (Nat.is_zero e)) (Array.to_list pairs) in
-  match live with
-  | [] -> one ctx
-  | live ->
-      let live = Array.of_list live in
-      let max_bits = Array.fold_left (fun acc (_, e) -> max acc (Nat.bit_length e)) 0 live in
-      let windows = (max_bits + 3) / 4 in
-      let tables =
-        Array.map
-          (fun (b, e) ->
-            let max_d = if Nat.bit_length e > 4 then 15 else Nat.to_int_exn e in
-            let t = Array.make (max_d + 1) (one ctx) in
-            if max_d >= 1 then t.(1) <- b;
-            for d = 2 to max_d do
-              t.(d) <- mont_mul_t ctx tl t.(d - 1) b
-            done;
-            t)
-          live
-      in
-      let acc = ref (one ctx) in
-      for w = windows - 1 downto 0 do
-        if w <> windows - 1 then begin
-          acc := mont_sqr_t ctx tl !acc;
-          acc := mont_sqr_t ctx tl !acc;
-          acc := mont_sqr_t ctx tl !acc;
-          acc := mont_sqr_t ctx tl !acc
-        end;
-        Array.iteri
-          (fun i (_, e) ->
-            let nib = nibble_of e w in
-            if nib <> 0 then acc := mont_mul_t ctx tl !acc tables.(i).(nib))
-          live
-      done;
-      !acc
+(* Straus interleaved multi-scalar multiplication over [lo, hi):
+   dst <- Π base_i^{e_i} with one shared run of squarings across all pairs
+   — 4 squarings per window total instead of 4 per window per base.
+   Window tables are built lazily to the largest digit an exponent can
+   produce, so a unit-exponent pair (common in the batched shuffle
+   verifier) costs a single table slot. Table entries beyond the base
+   itself live in the arena; only the per-call table spines are fresh.
+   The cached [pow_table] is deliberately not consulted: MSM callers pass
+   crowds of one-shot bases that would flush it. [dst] must not alias any
+   base (the public wrappers allocate it fresh). *)
+let msm_into_t (ctx : ctx) (tl : tls) (dst : el) (pairs : (el * Nat.t) array) (lo : int)
+    (hi : int) : unit =
+  let mark = arena_mark tl in
+  let nl = ref 0 in
+  for i = lo to hi - 1 do
+    if not (Nat.is_zero (snd pairs.(i))) then incr nl
+  done;
+  if !nl = 0 then set_one ctx dst
+  else begin
+    let nl = !nl in
+    let idx = Array.make nl 0 in
+    let tables = Array.make nl [||] in
+    let j = ref 0 and max_bits = ref 0 in
+    for i = lo to hi - 1 do
+      let b, e = pairs.(i) in
+      if not (Nat.is_zero e) then begin
+        idx.(!j) <- i;
+        max_bits := max !max_bits (Nat.bit_length e);
+        let max_d = if Nat.bit_length e > 4 then 15 else Nat.to_int_exn e in
+        let t = Array.make (max_d + 1) b in
+        (* t.(0) is never read (zero digits are skipped); t.(1) aliases the
+           caller's base, which is only ever read. *)
+        for d = 2 to max_d do
+          let slot = arena_take ctx tl in
+          mont_mul_into ctx tl slot t.(d - 1) b;
+          t.(d) <- slot
+        done;
+        tables.(!j) <- t;
+        incr j
+      end
+    done;
+    let windows = (!max_bits + 3) / 4 in
+    set_one ctx dst;
+    for w = windows - 1 downto 0 do
+      if w <> windows - 1 then begin
+        mont_sqr_into ctx tl dst dst;
+        mont_sqr_into ctx tl dst dst;
+        mont_sqr_into ctx tl dst dst;
+        mont_sqr_into ctx tl dst dst
+      end;
+      for jj = 0 to nl - 1 do
+        let e = snd pairs.(idx.(jj)) in
+        let nib = nibble_of e w in
+        if nib <> 0 then mont_mul_into ctx tl dst dst tables.(jj).(nib)
+      done
+    done;
+    arena_release tl mark
+  end
 
-let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el = with_tls ctx (fun t -> msm_t ctx t pairs)
+let msm_slice (ctx : ctx) (pairs : (el * Nat.t) array) ~(lo : int) ~(hi : int) : el =
+  if lo < 0 || hi > Array.length pairs || lo > hi then invalid_arg "Modarith.msm_slice";
+  with_tls ctx (fun t ->
+      let out = Array.make ctx.k 0 in
+      msm_into_t ctx t out pairs lo hi;
+      out)
+
+let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el =
+  msm_slice ctx pairs ~lo:0 ~hi:(Array.length pairs)
 
 (* Modular inverse via Fermat: only valid when the modulus is prime, which
    holds for every context in this repo (field primes and group orders). *)
 let inv (ctx : ctx) (a : el) : el =
   if is_zero a then raise Division_by_zero;
-  with_tls ctx (fun t -> pow_t ctx t a (Nat.sub ctx.modulus Nat.two))
+  with_tls ctx (fun t ->
+      let out = Array.make ctx.k 0 in
+      pow_into_t ctx t out a (Nat.sub ctx.modulus Nat.two);
+      out)
 
 let modulus ctx = ctx.modulus
 
 let copy (a : el) : el = Array.copy a
+
+(* ---- sessions: scoped access to the in-place kernels ---- *)
+
+(* A session pins the domain-local working state for a whole ladder (a
+   curve scalar-mult, an MSM window run) instead of checking it out per
+   field op. Arena slots taken inside the session are released when it
+   ends. Holding a session, the public one-shot ops on the same ctx from
+   the same thread still work (they fall back to a throwaway tls), so a
+   session can never deadlock — but hot paths should stay on the session
+   ops. *)
+module S = struct
+  type t = { sctx : ctx; stl : tls }
+
+  let mul (s : t) ~(dst : el) (a : el) (b : el) : unit = mont_mul_into s.sctx s.stl dst a b
+  let sqr (s : t) ~(dst : el) (a : el) : unit = mont_sqr_into s.sctx s.stl dst a
+  let add (s : t) ~(dst : el) (a : el) (b : el) : unit = add_into s.sctx dst a b
+  let sub (s : t) ~(dst : el) (a : el) (b : el) : unit = sub_into s.sctx dst a b
+  let pow (s : t) ~(dst : el) (base : el) (e : Nat.t) : unit = pow_into_t s.sctx s.stl dst base e
+  let take (s : t) : el = arena_take s.sctx s.stl
+  let mark (s : t) : int = arena_mark s.stl
+  let release (s : t) (m : int) : unit = arena_release s.stl m
+end
+
+let with_session (ctx : ctx) (f : S.t -> 'a) : 'a =
+  with_tls ctx (fun tl ->
+      let mark = arena_mark tl in
+      match f { S.sctx = ctx; stl = tl } with
+      | v ->
+          arena_release tl mark;
+          v
+      | exception e ->
+          arena_release tl mark;
+          raise e)
+
+(* ---- retained reference implementations ----
+
+   Deliberately naive and structurally independent of the CIOS kernels:
+   products via [Nat]'s schoolbook multiply, reduction via [Nat]'s binary
+   long division, exponentiation by square-and-multiply over those. The
+   property suite pins every flat kernel byte-identical to these across
+   random operands on all three backend moduli. Cold-path only. *)
+module Ref = struct
+  let mul (ctx : ctx) (a : el) (b : el) : el =
+    of_nat ctx (Nat.rem (Nat.mul (to_nat ctx a) (to_nat ctx b)) ctx.modulus)
+
+  let sqr (ctx : ctx) (a : el) : el = mul ctx a a
+
+  let add (ctx : ctx) (a : el) (b : el) : el =
+    of_nat ctx (Nat.rem (Nat.add (to_nat ctx a) (to_nat ctx b)) ctx.modulus)
+
+  let sub (ctx : ctx) (a : el) (b : el) : el =
+    (* a - b mod m as a + (m - b): to_nat is always < m. *)
+    of_nat ctx
+      (Nat.rem (Nat.add (to_nat ctx a) (Nat.sub ctx.modulus (to_nat ctx b))) ctx.modulus)
+
+  let pow (ctx : ctx) (base : el) (e : Nat.t) : el =
+    let bits = Nat.bit_length e in
+    let acc = ref (one ctx) in
+    for i = bits - 1 downto 0 do
+      acc := mul ctx !acc !acc;
+      if Nat.test_bit e i then acc := mul ctx !acc base
+    done;
+    !acc
+
+  let msm (ctx : ctx) (pairs : (el * Nat.t) array) : el =
+    Array.fold_left (fun acc (b, e) -> mul ctx acc (pow ctx b e)) (one ctx) pairs
+end

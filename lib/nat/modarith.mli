@@ -12,7 +12,12 @@
     threaded TCP cluster without per-thread instances. *)
 
 type ctx
-type el
+
+type el = int array
+(** A fixed-width little-endian limb buffer (base 2^26) in Montgomery form.
+    The representation is exposed so callers (the group layer) can hold
+    elements in preallocated flat buffers and use the in-place session API
+    below; treat the limbs themselves as opaque. *)
 
 val create : Nat.t -> ctx
 (** @raise Invalid_argument if the modulus is even or < 3. *)
@@ -58,6 +63,78 @@ val msm : ctx -> (el * Nat.t) array -> el
     one exponentiation's squarings plus n window-digit multiplications per
     window. Zero exponents are skipped; the empty product is [one]. *)
 
+val msm_slice : ctx -> (el * Nat.t) array -> lo:int -> hi:int -> el
+(** [msm] restricted to pairs.(lo..hi-1), without materializing a sub-array.
+    Used by pooled MSM to hand each worker a chunk allocation-free.
+    @raise Invalid_argument on an out-of-range slice. *)
+
 val inv : ctx -> el -> el
 (** Inverse via Fermat (prime modulus only).
     @raise Division_by_zero on zero. *)
+
+(** {1 Flat-buffer / in-place API}
+
+    The allocation-free surface. [alloc] makes a destination buffer once;
+    the [S] operations then write results in place, drawing temporaries
+    from a per-domain arena of preallocated slots. A {!with_session} scope
+    checks the domain-local state out once for a whole ladder (a curve
+    scalar-mult, an MSM run) instead of per field op, and releases every
+    arena slot taken inside it when it ends.
+
+    Rules: session values ([S.t]) must not escape their scope, must not be
+    shared across threads, and must not be held across calls that may run
+    the same ctx on this thread re-entrantly (e.g. [Atom_exec.Pool] jobs) —
+    the re-entrant call would silently fall back to a throwaway working
+    state. Buffers from [S.take] are only valid until the session (or the
+    enclosing [S.mark]/[S.release] pair) ends. *)
+
+val alloc : ctx -> el
+(** A fresh zeroed destination buffer of the context's width. *)
+
+val copy_into : dst:el -> el -> unit
+val set_zero : el -> unit
+val set_one : ctx -> el -> unit
+
+module S : sig
+  type t
+
+  val mul : t -> dst:el -> el -> el -> unit
+  (** [dst] may alias either operand. *)
+
+  val sqr : t -> dst:el -> el -> unit
+  (** [dst] may alias the operand. *)
+
+  val add : t -> dst:el -> el -> el -> unit
+  val sub : t -> dst:el -> el -> el -> unit
+
+  val pow : t -> dst:el -> el -> Nat.t -> unit
+  (** [dst] may alias the base (the window table copies it first). *)
+
+  val take : t -> el
+  (** Check a scratch element out of the arena: stale contents, valid
+      until the enclosing release point. *)
+
+  val mark : t -> int
+  val release : t -> int -> unit
+  (** [release s (mark s)] frees every slot taken since, en masse. Use
+      around per-step temporaries inside long ladders so the arena's
+      high-water mark stays at the per-step working set. *)
+end
+
+val with_session : ctx -> (S.t -> 'a) -> 'a
+(** Run [f] with the calling domain's working state pinned. Arena slots
+    taken inside are released on exit (also on exception). *)
+
+(** {1 Reference implementations}
+
+    Structurally independent slow paths ([Nat] schoolbook multiply +
+    binary long division, square-and-multiply pow) used by property tests
+    to pin the CIOS kernels byte-identical. Not for production use. *)
+module Ref : sig
+  val mul : ctx -> el -> el -> el
+  val sqr : ctx -> el -> el
+  val add : ctx -> el -> el -> el
+  val sub : ctx -> el -> el -> el
+  val pow : ctx -> el -> Nat.t -> el
+  val msm : ctx -> (el * Nat.t) array -> el
+end

@@ -47,6 +47,66 @@ let test_pool_tabulate_matches_init () =
             (Pool.tabulate ~pool:p 513 f)))
     pool_sizes
 
+(* [?chunk] changes only scheduling granularity, never results — from a
+   single index per cursor fetch to one chunk spanning the whole range. *)
+let test_pool_chunk_identity () =
+  let f i = (i * 2654435761) land 0xffffff in
+  let want = Array.init 513 f in
+  List.iter
+    (fun domains ->
+      with_pool domains (fun p ->
+          List.iter
+            (fun chunk ->
+              Alcotest.(check (array int))
+                (Printf.sprintf "tabulate identical (domains=%d chunk=%d)" domains chunk)
+                want
+                (Pool.tabulate ~pool:p ~chunk 513 f);
+              let hits = Array.make 513 0 in
+              Pool.run ~pool:p ~chunk ~n:513 (fun i -> hits.(i) <- hits.(i) + 1);
+              Alcotest.(check bool)
+                (Printf.sprintf "run covers once (domains=%d chunk=%d)" domains chunk)
+                true
+                (Array.for_all (fun c -> c = 1) hits))
+            [ 1; 7; 64; 513; 10_000 ]))
+    pool_sizes
+
+(* auto_domains caps by a measured recommendation only when the bench file
+   was produced on a host with the same core count. *)
+let test_auto_domains_host_guard () =
+  let cores = max 1 (min 64 (Domain.recommended_domain_count ())) in
+  let dir = Filename.temp_file "atom_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let old = Sys.getenv_opt "ATOM_BENCH_DIR" in
+  let old_cwd = Sys.getcwd () in
+  let restore () =
+    Sys.chdir old_cwd;
+    (match old with Some v -> Unix.putenv "ATOM_BENCH_DIR" v | None -> Unix.putenv "ATOM_BENCH_DIR" "");
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  in
+  Fun.protect ~finally:restore (fun () ->
+      (* chdir too: the resolver falls back to ./BENCH_parallel.json, which
+         may exist when the tests run from a checkout root *)
+      Sys.chdir dir;
+      Unix.putenv "ATOM_BENCH_DIR" dir;
+      let write json =
+        Out_channel.with_open_text (Filename.concat dir "BENCH_parallel.json") (fun oc ->
+            Out_channel.output_string oc json)
+      in
+      (* no file: plain core count *)
+      Alcotest.(check int) "no bench file" cores (Pool.auto_domains ());
+      (* matching host: the recommendation caps *)
+      write
+        (Printf.sprintf {|{"schema":"atom-bench-parallel/2","host_cores":%d,"recommended_domains":1}|}
+           cores);
+      Alcotest.(check int) "matching host caps" (min cores 1) (Pool.auto_domains ());
+      (* other hardware: recommendation ignored *)
+      write
+        (Printf.sprintf {|{"schema":"atom-bench-parallel/2","host_cores":%d,"recommended_domains":1}|}
+           (cores + 1));
+      Alcotest.(check int) "foreign host ignored" cores (Pool.auto_domains ()))
+
 exception Boom of int
 
 let test_pool_propagates_exception () =
@@ -202,6 +262,8 @@ let suite =
     [
       Alcotest.test_case "pool covers all indices" `Quick test_pool_covers_all_indices;
       Alcotest.test_case "tabulate matches init" `Quick test_pool_tabulate_matches_init;
+      Alcotest.test_case "chunk override identity" `Quick test_pool_chunk_identity;
+      Alcotest.test_case "auto_domains host guard" `Quick test_auto_domains_host_guard;
       Alcotest.test_case "exceptions propagate" `Quick test_pool_propagates_exception;
       Alcotest.test_case "nested run degrades" `Quick test_pool_nested_run_degrades;
       Alcotest.test_case "pooled ops identical (zp)" `Quick test_pooled_group_ops_identical_zp;

@@ -140,6 +140,139 @@ let test_modarith_small_modulus () =
     done
   done
 
+(* ---- flat kernels vs retained reference implementations ----
+
+   The CIOS kernels must be byte-identical (same limbs, via Modarith.equal)
+   to Modarith.Ref — the structurally independent Nat-based slow path —
+   across random operands on every modulus the three group backends use:
+   the P-256 field prime and curve order, and both Schnorr groups' p and q
+   (recovered from the cached group instances: p = 2q + 1). *)
+
+let backend_moduli () =
+  let module Z96 = (val Atom_group.Registry.zp_test ()) in
+  let module Z256 = (val Atom_group.Registry.zp_medium ()) in
+  let schnorr_pair name (order : Nat.t) =
+    [ (name ^ "-p", Nat.add (Nat.shift_left order 1) Nat.one); (name ^ "-q", order) ]
+  in
+  [
+    ( "p256-p",
+      Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" );
+    ( "p256-n",
+      Nat.of_hex "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551" );
+  ]
+  @ schnorr_pair "zp96" Z96.Scalar.order
+  @ schnorr_pair "zp256" Z256.Scalar.order
+
+let test_flat_vs_ref () =
+  List.iter
+    (fun (name, m) ->
+      let ctx = Modarith.create m in
+      let rng = Atom_util.Rng.create 0x51a7 in
+      let check label cond = Alcotest.(check bool) (name ^ " " ^ label) true cond in
+      for _ = 1 to 25 do
+        let a = Nat.random_below rng m and b = Nat.random_below rng m in
+        let ma = Modarith.of_nat ctx a and mb = Modarith.of_nat ctx b in
+        check "mul" (Modarith.equal (Modarith.mul ctx ma mb) (Modarith.Ref.mul ctx ma mb));
+        check "sqr" (Modarith.equal (Modarith.sqr ctx ma) (Modarith.Ref.sqr ctx ma));
+        check "add" (Modarith.equal (Modarith.add ctx ma mb) (Modarith.Ref.add ctx ma mb));
+        check "sub" (Modarith.equal (Modarith.sub ctx ma mb) (Modarith.Ref.sub ctx ma mb))
+      done;
+      for _ = 1 to 4 do
+        let base = Modarith.of_nat ctx (Nat.random_below rng m) in
+        let e = Nat.random_below rng m in
+        check "pow" (Modarith.equal (Modarith.pow ctx base e) (Modarith.Ref.pow ctx base e))
+      done;
+      let pairs =
+        Array.init 5 (fun i ->
+            ( Modarith.of_nat ctx (Nat.random_below rng m),
+              (* mix tiny and full-width exponents so both table shapes run *)
+              if i mod 2 = 0 then Nat.of_int i else Nat.random_below rng m ))
+      in
+      check "msm" (Modarith.equal (Modarith.msm ctx pairs) (Modarith.Ref.msm ctx pairs));
+      check "msm_slice"
+        (Modarith.equal
+           (Modarith.msm_slice ctx pairs ~lo:1 ~hi:4)
+           (Modarith.Ref.msm ctx (Array.sub pairs 1 3))))
+    (backend_moduli ())
+
+(* The in-place session surface against the same reference, including the
+   documented aliasing cases (dst == operand). *)
+let test_session_inplace () =
+  List.iter
+    (fun (name, m) ->
+      let ctx = Modarith.create m in
+      let rng = Atom_util.Rng.create 0x5e55 in
+      let check label cond = Alcotest.(check bool) (name ^ " " ^ label) true cond in
+      for _ = 1 to 10 do
+        let a = Modarith.of_nat ctx (Nat.random_below rng m) in
+        let b = Modarith.of_nat ctx (Nat.random_below rng m) in
+        let e = Nat.random_below rng m in
+        Modarith.with_session ctx (fun s ->
+            let dst = Modarith.S.take s in
+            Modarith.S.mul s ~dst a b;
+            check "S.mul" (Modarith.equal dst (Modarith.Ref.mul ctx a b));
+            Modarith.S.sqr s ~dst a;
+            check "S.sqr" (Modarith.equal dst (Modarith.Ref.sqr ctx a));
+            Modarith.S.add s ~dst a b;
+            check "S.add" (Modarith.equal dst (Modarith.Ref.add ctx a b));
+            Modarith.S.sub s ~dst a b;
+            check "S.sub" (Modarith.equal dst (Modarith.Ref.sub ctx a b));
+            (* aliasing: dst is also an operand *)
+            Modarith.copy_into ~dst a;
+            Modarith.S.mul s ~dst dst b;
+            check "S.mul dst=a" (Modarith.equal dst (Modarith.Ref.mul ctx a b));
+            Modarith.copy_into ~dst a;
+            Modarith.S.sqr s ~dst dst;
+            check "S.sqr dst=a" (Modarith.equal dst (Modarith.Ref.sqr ctx a));
+            (* pow, with dst aliasing the base *)
+            Modarith.S.pow s ~dst a e;
+            check "S.pow" (Modarith.equal dst (Modarith.Ref.pow ctx a e));
+            Modarith.copy_into ~dst a;
+            Modarith.S.pow s ~dst dst e;
+            check "S.pow dst=base" (Modarith.equal dst (Modarith.Ref.pow ctx a e));
+            (* mark/release: slots reused after release still compute right *)
+            let mark = Modarith.S.mark s in
+            let t1 = Modarith.S.take s in
+            Modarith.S.mul s ~dst:t1 a b;
+            Modarith.S.release s mark;
+            let t2 = Modarith.S.take s in
+            Modarith.S.mul s ~dst:t2 b a;
+            check "arena reuse" (Modarith.equal t2 (Modarith.Ref.mul ctx a b));
+            Modarith.S.release s mark)
+      done)
+    [
+      ( "p256-p",
+        Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" );
+      ("small", Nat.of_int 65537);
+    ]
+
+(* The tentpole's contract: steady-state Montgomery mul/sqr (and the
+   in-place add/sub) allocate zero words. The only allocation in the
+   measurement window is Gc.minor_words itself boxing its float result, so
+   the slack is a few hundred words against 40k kernel calls — under one
+   hundredth of a word per call. *)
+let test_kernels_zero_alloc () =
+  let m = Nat.of_hex "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff" in
+  let ctx = Modarith.create m in
+  let rng = Atom_util.Rng.create 0xa110c in
+  let a = Modarith.of_nat ctx (Nat.random_below rng m) in
+  let b = Modarith.of_nat ctx (Nat.random_below rng m) in
+  Modarith.with_session ctx (fun s ->
+      let dst = Modarith.S.take s in
+      (* warm up: any arena growth happens on the first calls *)
+      Modarith.S.mul s ~dst a b;
+      Modarith.S.sqr s ~dst dst;
+      let m0 = Gc.minor_words () in
+      for _ = 1 to 10_000 do
+        Modarith.S.mul s ~dst a b;
+        Modarith.S.sqr s ~dst dst;
+        Modarith.S.add s ~dst dst a;
+        Modarith.S.sub s ~dst dst b
+      done;
+      let dm = Gc.minor_words () -. m0 in
+      if dm >= 256.0 then
+        Alcotest.failf "steady-state kernels allocated %.0f minor words over 40k calls" dm)
+
 let test_prime_known () =
   let primes = [ 2; 3; 5; 7; 97; 65537; 1_000_000_007 ] in
   List.iter
@@ -233,6 +366,9 @@ let suite =
       Alcotest.test_case "montgomery pow" `Quick test_modarith_pow;
       Alcotest.test_case "montgomery inverse" `Quick test_modarith_inv;
       Alcotest.test_case "montgomery small modulus exhaustive" `Slow test_modarith_small_modulus;
+      Alcotest.test_case "flat kernels match reference (all backends)" `Quick test_flat_vs_ref;
+      Alcotest.test_case "session in-place ops match reference" `Quick test_session_inplace;
+      Alcotest.test_case "montgomery kernels allocation-free" `Quick test_kernels_zero_alloc;
       Alcotest.test_case "known primes and composites" `Quick test_prime_known;
       Alcotest.test_case "random prime" `Quick test_random_prime;
       Alcotest.test_case "safe prime" `Quick test_safe_prime;
