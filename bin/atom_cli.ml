@@ -360,28 +360,13 @@ let proc_status_kb (pid : int) (field : string) : int =
   | v -> v
   | exception Sys_error _ -> 0
 
-(* Parse a node's --metrics-out dump back into (name, value) pairs: lines
-   of "name value"; histogram lines have more tokens and are skipped. *)
-let parse_metrics_file (path : string) : (string * float) list =
-  match
-    In_channel.with_open_text path (fun ic ->
-        let rec go acc =
-          match In_channel.input_line ic with
-          | None -> acc
-          | Some line -> (
-              match
-                List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
-              with
-              | [ name; v ] -> (
-                  match float_of_string_opt v with
-                  | Some f -> go ((name, f) :: acc)
-                  | None -> go acc)
-              | _ -> go acc)
-        in
-        List.rev (go []))
-  with
-  | v -> v
-  | exception Sys_error _ -> []
+(* Load a node's atom-metrics/1 snapshot (the --metrics-out exit dump).
+   Strict: a missing file and a malformed document are distinct errors so
+   the caller can report which node produced garbage. *)
+let load_snapshot (path : string) : (Atom_obs.Snapshot.t, string) result =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Atom_obs.Snapshot.of_json s
+  | exception Sys_error e -> Error e
 
 (* Group membership without the full (expensive) protocol setup: the same
    beacon-driven formation [Pr.setup] uses, for --kill-group → victim pids. *)
@@ -407,6 +392,12 @@ type fleet_summary = {
   fs_wall_s : float;
   fs_peak_child_rss_kb : int;
   fs_node_counters : (string * float) list; (* summed across node dumps *)
+  fs_recovery_seconds : float list; (* coordinator: sweep → pipeline resumption *)
+  fs_join_times : (int * float) list;
+      (* node → coordinator-clock Join receipt: the clock-alignment offset
+         for that node's lane in the merged trace *)
+  fs_node_snapshots : (int * Atom_obs.Snapshot.t) list; (* live-collected, decoded *)
+  fs_snapshot_errors : (int * string) list; (* nodes whose snapshot was missing/bad *)
 }
 
 exception Fleet_failure of string
@@ -419,7 +410,8 @@ exception Fleet_failure of string
    children's peak RSS. One call = one epoch; the soak loops this. *)
 let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log_dir ~obs
     ~(chaos : string) ~(kills : (float * int list) option)
-    ~(node_metrics_dir : string option) ~(label : string) () : fleet_summary =
+    ~(node_metrics_dir : string option) ~(label : string) ?(trace = false) () :
+    fleet_summary =
   let module G = (val Atom_group.Registry.zp_test ()) in
   let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
   let module Tcp = Atom_rpc.Tcp_transport in
@@ -479,6 +471,7 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
           |]
         in
         let args = if chaos = "" then args else Array.append args [| "--chaos"; chaos |] in
+        let args = if trace then Array.append args [| "--trace" |] else args in
         let args =
           match node_metrics_file i with
           | None -> args
@@ -524,11 +517,15 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
     for i = 0 to servers - 1 do
       match node_metrics_file i with
       | None -> ()
-      | Some path ->
-          List.iter
-            (fun (name, v) ->
-              Hashtbl.replace tbl name (v +. Option.value ~default:0. (Hashtbl.find_opt tbl name)))
-            (parse_metrics_file path)
+      | Some path -> (
+          match load_snapshot path with
+          | Ok snap ->
+              List.iter
+                (fun (name, v) ->
+                  Hashtbl.replace tbl name
+                    (v +. Option.value ~default:0. (Hashtbl.find_opt tbl name)))
+                (Atom_obs.Snapshot.counters snap)
+          | Error _ -> () (* killed mid-epoch: no exit dump to fold in *))
     done;
     List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
   in
@@ -539,11 +536,18 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
        early chaos drops cannot wedge the handshake. *)
     let deadline = Unix.gettimeofday () +. timeout in
     let ports = Hashtbl.create servers in
+    (* Clock alignment for the merged trace: a node's trace clock starts at
+       the instant before its Join send, so the coordinator-clock receipt
+       time of that Join (loopback: sub-ms later) is the offset that maps
+       the node's timestamps onto the coordinator's timebase. *)
+    let join_times = Hashtbl.create servers in
     while Hashtbl.length ports < servers && Unix.gettimeofday () < deadline do
       match Tcp.recv t ~timeout:0.5 with
       | Ok (_, frame) -> (
           match Ctrl.decode frame with
           | Some (Ctrl.Join { node_id; port }) ->
+              if not (Hashtbl.mem join_times node_id) then
+                Hashtbl.replace join_times node_id (Unix.gettimeofday () -. t0);
               Hashtbl.replace ports node_id port;
               Tcp.add_peer t ~node_id ~host:"127.0.0.1" ~port
           | _ -> ())
@@ -628,7 +632,9 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
       end
     in
     let result =
-      Node.run_coordinator ~obs ?pool t ~config ~users ~recv_timeout:0.25
+      Node.run_coordinator ~obs
+        ~clock:(fun () -> Unix.gettimeofday () -. t0)
+        ~collect_stats:trace ?pool t ~config ~users ~recv_timeout:0.25
         ~max_idle:(max 1 (int_of_float (timeout /. 0.25)))
         ()
     in
@@ -637,6 +643,30 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
     Thread.join watcher;
     reap ~kill:false;
     Tcp.close t;
+    (* Strict decode of the live-collected snapshots; when stats were
+       requested, a live node that never answered is an error too — the
+       schema gate in CI must see every lane. *)
+    let node_snapshots, snapshot_errors =
+      List.fold_left
+        (fun (oks, errs) (sid, json) ->
+          match Atom_obs.Snapshot.of_json json with
+          | Ok s -> ((sid, s) :: oks, errs)
+          | Error e -> (oks, (sid, e) :: errs))
+        ([], []) result.Node.node_snapshots
+    in
+    let snapshot_errors =
+      if not trace then snapshot_errors
+      else
+        List.fold_left
+          (fun errs sid ->
+            if
+              List.mem sid result.Node.failed_nodes
+              || List.mem_assoc sid result.Node.node_snapshots
+            then errs
+            else (sid, "no Stats_reply received") :: errs)
+          snapshot_errors
+          (List.init servers Fun.id)
+    in
     {
       fs_matched = result.Node.matched;
       fs_abort = result.Node.cluster_abort;
@@ -649,6 +679,11 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
       fs_wall_s = Unix.gettimeofday () -. t0;
       fs_peak_child_rss_kb = !peak_child;
       fs_node_counters = collect_node_counters ();
+      fs_recovery_seconds = result.Node.recovery_seconds;
+      fs_join_times =
+        List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) join_times []);
+      fs_node_snapshots = List.sort compare node_snapshots;
+      fs_snapshot_errors = List.sort compare snapshot_errors;
     }
   with Fleet_failure msg ->
     reap ~kill:true;
@@ -664,6 +699,10 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
       fs_wall_s = Unix.gettimeofday () -. t0;
       fs_peak_child_rss_kb = !peak_child;
       fs_node_counters = collect_node_counters ();
+      fs_recovery_seconds = [];
+      fs_join_times = [];
+      fs_node_snapshots = [];
+      fs_snapshot_errors = [];
     }
 
 let cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes ~seed =
@@ -682,14 +721,65 @@ let cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_byt
     dummy_b = 1.;
   }
 
+(* Per-phase wall-time percentiles across the node lanes (from each
+   snapshot's tid-0 phase spans — the event-loop tracker, which tiles the
+   node's round by construction) with slowest-node attribution: the
+   cluster-wide "where did the round go" table. *)
+let phase_summary_table (snaps : (int * Atom_obs.Snapshot.t) list) : string =
+  let module Tr = Atom_obs.Trace in
+  let per_node =
+    List.map
+      (fun (sid, s) ->
+        let tracks = Tr.Breakdown.tracks s.Atom_obs.Snapshot.events in
+        let phases =
+          match List.find_opt (fun trk -> trk.Tr.Breakdown.tid = 0) tracks with
+          | Some trk -> trk.Tr.Breakdown.phases
+          | None -> []
+        in
+        (sid, phases))
+      snaps
+  in
+  let names =
+    List.fold_left
+      (fun acc (_, phases) ->
+        List.fold_left
+          (fun acc (nm, _) -> if List.mem nm acc then acc else acc @ [ nm ])
+          acc phases)
+      [] per_node
+  in
+  let b = Buffer.create 512 in
+  Buffer.add_string b "cluster phase breakdown across nodes (event-loop wall time):\n";
+  Buffer.add_string b
+    (Printf.sprintf "  %-10s %9s %9s %9s %9s  %s\n" "phase" "p50(s)" "p90(s)" "p99(s)"
+       "max(s)" "slowest");
+  List.iter
+    (fun nm ->
+      let of_node (_, ph) = Option.value ~default:0. (List.assoc_opt nm ph) in
+      let arr = Array.of_list (List.map of_node per_node) in
+      let p q = Atom_util.Stats.percentile arr q in
+      let slowest, _ =
+        List.fold_left
+          (fun (bs, bv) node -> if of_node node > bv then (fst node, of_node node) else (bs, bv))
+          (-1, neg_infinity) per_node
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %-10s %9.3f %9.3f %9.3f %9.3f  node %d\n" nm (p 50.) (p 90.)
+           (p 99.) (p 100.) slowest))
+    names;
+  Buffer.contents b
+
 let run_cluster variant users servers groups group_size h iterations msg_bytes seed domains
-    node_bin timeout kill_group fail_at loss chaos metrics metrics_out log_dir =
+    node_bin timeout kill_group fail_at loss chaos metrics metrics_out trace_out log_dir =
   let ops0 = opcounts_before () in
   let config =
     cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes ~seed
   in
+  (* --trace-out needs a live tracer on the coordinator too — its lane
+     anchors the merged timebase. *)
   let obs =
-    if metrics || metrics_out <> None then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop
+    if metrics || metrics_out <> None || trace_out <> None then
+      Atom_obs.Ctx.create ~tracing:(trace_out <> None) ()
+    else Atom_obs.Ctx.noop
   in
   let kills =
     match kill_group with
@@ -703,7 +793,7 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
   in
   let r =
     run_fleet_round ~config ~users ~domains ~node_bin ~timeout ~log_dir ~obs ~chaos ~kills
-      ~node_metrics_dir:None ~label:"round" ()
+      ~node_metrics_dir:None ~label:"round" ~trace:(trace_out <> None) ()
   in
   Printf.printf "cluster round: %d/%d messages delivered over TCP in %.2fs wall\n"
     (List.length r.fs_delivered) users r.fs_wall_s;
@@ -717,22 +807,62 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
     Printf.printf "failed nodes: %s (%d recovery sweeps)\n"
       (String.concat ", " (List.map string_of_int r.fs_failed_nodes))
       r.fs_recovery_rounds;
+  if r.fs_recovery_seconds <> [] then
+    Printf.printf "recovery repair times: %s s (sweep start to pipeline resumption)\n"
+      (String.concat ", " (List.map (Printf.sprintf "%.2f") r.fs_recovery_seconds));
   List.iter (fun m -> Printf.printf "  %s\n" m) r.fs_delivered;
   print_endline
     (if r.fs_matched then "MATCH: cluster output equals the single-process reference"
      else "MISMATCH: cluster output differs from the single-process reference");
   (match metrics_out with
   | Some path ->
+      let snap = Atom_obs.Snapshot.of_ctx ~node_id:servers obs in
       Out_channel.with_open_bin path (fun oc ->
-          Out_channel.output_string oc
-            (Format.asprintf "%a" Atom_obs.Metrics.pp (Atom_obs.Ctx.metrics obs)));
+          Out_channel.output_string oc (Atom_obs.Snapshot.to_json snap));
       Printf.printf "wrote %s\n" path
   | None -> ());
+  let snapshots_ok = r.fs_snapshot_errors = [] in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+      List.iter
+        (fun (sid, e) -> Printf.printf "cluster: node %d snapshot invalid: %s\n" sid e)
+        r.fs_snapshot_errors;
+      if not snapshots_ok then
+        Printf.printf "cluster: merged trace %s will be missing lanes\n" path;
+      (* One merged Chrome trace: a pid lane per node plus the coordinator,
+         node timestamps shifted onto the coordinator's clock by each
+         node's Join-receipt offset. *)
+      let coord_lane =
+        {
+          Atom_obs.Trace.lane_pid = servers + 1;
+          lane_name = "coordinator";
+          lane_offset = 0.;
+          lane_events = Atom_obs.Trace.events (Atom_obs.Ctx.tracer obs);
+        }
+      in
+      let node_lanes =
+        List.map
+          (fun (sid, snap) ->
+            {
+              Atom_obs.Trace.lane_pid = sid + 1;
+              lane_name = Printf.sprintf "node %d" sid;
+              lane_offset = Option.value ~default:0. (List.assoc_opt sid r.fs_join_times);
+              lane_events = snap.Atom_obs.Snapshot.events;
+            })
+          r.fs_node_snapshots
+      in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc
+            (Atom_obs.Trace.to_chrome_json_lanes (node_lanes @ [ coord_lane ])));
+      Printf.printf "wrote %s (%d lanes; load it at https://ui.perfetto.dev)\n" path
+        (List.length node_lanes + 1);
+      print_string (phase_summary_table r.fs_node_snapshots));
   if metrics then begin
     print_registry obs;
     print_opcounts ops0
   end;
-  if not r.fs_matched then exit 1
+  if (not r.fs_matched) || not snapshots_ok then exit 1
 
 (* Flag set shared by `cluster` and `cluster soak`. *)
 let cluster_users = Arg.(value & opt int 16 & info [ "users" ] ~doc:"Number of users.")
@@ -801,7 +931,18 @@ let cluster_term =
   let metrics_out =
     Arg.(
       value & opt (some string) None
-      & info [ "metrics-out" ] ~doc:"Write the coordinator metrics dump here.")
+      & info [ "metrics-out" ]
+          ~doc:"Write the coordinator's atom-metrics/1 JSON snapshot here.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ]
+          ~doc:
+            "Trace every node's round on its wall clock, collect the buffers over the \
+             control plane, and write one merged Chrome trace (a lane per node, \
+             coordinator timebase) here. Non-zero exit if any node's snapshot is \
+             missing or malformed.")
   in
   let variant =
     Arg.(value & opt variant_conv Config.Nizk & info [ "variant" ] ~doc:"basic|nizk|trap.")
@@ -810,7 +951,8 @@ let cluster_term =
     const run_cluster $ variant $ cluster_users $ cluster_servers $ cluster_groups
     $ cluster_group_size $ cluster_h $ cluster_iterations $ cluster_msg_bytes $ cluster_seed
     $ cluster_domains $ cluster_node_bin $ timeout $ cluster_kill_group $ cluster_fail_at
-    $ cluster_loss $ cluster_chaos $ metrics_flag $ metrics_out $ cluster_log_dir)
+    $ cluster_loss $ cluster_chaos $ metrics_flag $ metrics_out $ trace_out
+    $ cluster_log_dir)
 
 (* ---- cluster soak ---- *)
 
@@ -904,6 +1046,12 @@ let run_soak variant users servers groups group_size h iterations msg_bytes seed
   let peak_rss = ref 0 in
   let coord_rss = Array.make (max 1 epochs) 0 in
   let survived = ref 0 in
+  (* Error-budget accounting: a fault counts as recovered iff its epoch
+     finished with the published plaintexts matching the reference — the
+     round absorbed it. Repair times (sweep → pipeline resumption) pool
+     across epochs into one histogram. *)
+  let faults_recovered = ref 0. in
+  let all_recovery_s = ref [] in
   let self = Unix.getpid () in
   (try
      for e = 0 to epochs - 1 do
@@ -928,6 +1076,8 @@ let run_soak variant users servers groups group_size h iterations msg_bytes seed
          +. float_of_int (match plan.ep_kills with Some (_, v) -> List.length v | None -> 0)
        in
        total_faults := !total_faults +. faults_this_epoch;
+       if r.fs_matched then faults_recovered := !faults_recovered +. faults_this_epoch;
+       all_recovery_s := !all_recovery_s @ r.fs_recovery_seconds;
        total_kills :=
          !total_kills + (match plan.ep_kills with Some (_, v) -> List.length v | None -> 0);
        total_recoveries := !total_recoveries + int_of_float (counter "node.recoveries");
@@ -952,7 +1102,7 @@ let run_soak variant users servers groups group_size h iterations msg_bytes seed
              \"abort\": %s, \"wall_s\": %.3f, \"delivered\": %d, \"faults_injected\": %d, \
              \"recovery_sweeps\": %d, \"share_recoveries\": %d, \"failed_nodes\": [%s], \
              \"bad_frames\": %d, \"dups_dropped\": %d, \"resends\": %d, \"exit_dups\": %d, \
-             \"coord_rss_kb\": %d, \"peak_child_rss_kb\": %d}"
+             \"recovery_seconds\": [%s], \"coord_rss_kb\": %d, \"peak_child_rss_kb\": %d}"
             e epoch_seed (json_escape plan.ep_descr) r.fs_matched
             (match r.fs_abort with
             | Some a -> Printf.sprintf "\"%s\"" (json_escape a)
@@ -966,7 +1116,9 @@ let run_soak variant users servers groups group_size h iterations msg_bytes seed
             (int_of_float (counter "node.bad_frames"))
             (int_of_float (counter "node.dups_dropped"))
             (int_of_float (counter "node.resends"))
-            r.fs_exit_dups coord_rss.(e) r.fs_peak_child_rss_kb);
+            r.fs_exit_dups
+            (String.concat ", " (List.map (Printf.sprintf "%.3f") r.fs_recovery_seconds))
+            coord_rss.(e) r.fs_peak_child_rss_kb);
        if not r.fs_matched then begin
          Printf.printf "soak: plaintext mismatch in epoch %d — stopping\n%!" e;
          raise Exit
@@ -979,20 +1131,38 @@ let run_soak variant users servers groups group_size h iterations msg_bytes seed
        "  \"summary\": {\"epochs_scheduled\": %d, \"epochs_survived\": %d, \"mismatches\": \
         %d, \"kills\": %d, \"faults_injected\": %d, \"recovery_sweeps\": %d, \
         \"share_recoveries\": %d, \"peak_rss_kb\": %d, \"coord_rss_first_kb\": %d, \
-        \"coord_rss_last_kb\": %d}\n"
+        \"coord_rss_last_kb\": %d},\n"
        epochs !survived !mismatches !total_kills
        (int_of_float !total_faults)
        !total_recovery_sweeps !total_recoveries !peak_rss
        (if epochs > 0 then coord_rss.(0) else 0)
        (if epochs > 0 then coord_rss.(max 0 (!survived + !mismatches - 1)) else 0));
+  (* The error budget: every injected fault must land in an epoch whose
+     output matched the reference ("recovered"), and no epoch may
+     mismatch. CI asserts faults_injected == faults_recovered and
+     verdict == "met" on this block. *)
+  let rec_arr = Array.of_list !all_recovery_s in
+  let rp q = if Array.length rec_arr = 0 then 0. else Atom_util.Stats.percentile rec_arr q in
+  let faults_injected = int_of_float !total_faults in
+  let recovered = int_of_float !faults_recovered in
+  let unrecovered = faults_injected - recovered in
+  let verdict = if unrecovered = 0 && !mismatches = 0 then "met" else "missed" in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"error_budget\": {\"faults_injected\": %d, \"faults_recovered\": %d, \
+        \"faults_unrecovered\": %d, \"mismatches\": %d, \"recovery_time_s\": {\"count\": \
+        %d, \"p50\": %.3f, \"p90\": %.3f, \"p99\": %.3f, \"max\": %.3f}, \"verdict\": \
+        \"%s\"}\n"
+       faults_injected recovered unrecovered !mismatches (Array.length rec_arr) (rp 50.)
+       (rp 90.) (rp 99.) (rp 100.) verdict);
   Buffer.add_string buf "}\n";
   Out_channel.with_open_bin telemetry_out (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf
-    "soak: %d/%d epochs survived, %d mismatches, %d faults injected, %d recovery sweeps, \
-     %d share recoveries, peak RSS %d kB\nwrote %s\n"
-    !survived epochs !mismatches
-    (int_of_float !total_faults)
-    !total_recovery_sweeps !total_recoveries !peak_rss telemetry_out;
+    "soak: %d/%d epochs survived, %d mismatches, %d faults injected (%d recovered), %d \
+     recovery sweeps, %d share recoveries, peak RSS %d kB\n\
+     error budget %s; wrote %s\n"
+    !survived epochs !mismatches faults_injected recovered !total_recovery_sweeps
+    !total_recoveries !peak_rss verdict telemetry_out;
   if !mismatches > 0 then exit 1
 
 let soak_cmd =

@@ -26,9 +26,12 @@ let variant_conv =
   Arg.conv (parse, print)
 
 let run node_id coord_port host variant servers groups group_size h iterations msg_bytes seed
-    domains recv_timeout max_idle chaos metrics_out verbose =
+    domains recv_timeout max_idle chaos metrics_out trace stats_every verbose =
   if verbose then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
-  let obs = if metrics_out <> None then Atom_obs.Ctx.create () else Atom_obs.Ctx.noop in
+  (* The registry is always live — counters are a load+store, and a node
+     must be able to answer Stats_request at any time. Tracing stays
+     opt-in: a trace buffer grows with the round. *)
+  let obs = Atom_obs.Ctx.create ~tracing:trace () in
   let module G = (val Atom_group.Registry.zp_test ()) in
   (* The node always runs behind the chaos wrapper; an empty spec is a
      passthrough, so the fault-free path pays one extra indirection and
@@ -82,6 +85,12 @@ let run node_id coord_port host variant servers groups group_size h iterations m
      Send_failed error triggers §4.5 rerouting. *)
   let t = Atom_rpc.Tcp_transport.create ~obs ~host ~node_id ~send_timeout:2.0 () in
   Atom_rpc.Tcp_transport.add_peer t ~node_id:coord ~host ~port:coord_port;
+  (* One process-relative wall clock drives everything timestamped here:
+     the trace spans, the chaos schedule, and the snapshot [now]. Zero is
+     the instant before Join, which is what the coordinator stamps on its
+     side to compute this node's lane offset in the merged trace. *)
+  let started = Unix.gettimeofday () in
+  let clock () = Unix.gettimeofday () -. started in
   (match
      Atom_rpc.Tcp_transport.send t ~dst:coord
        (Atom_wire.Control.encode
@@ -92,14 +101,47 @@ let run node_id coord_port host variant servers groups group_size h iterations m
       Printf.eprintf "atom_node: cannot reach coordinator: %s\n"
         (Atom_rpc.Transport.error_to_string e);
       exit 1);
-  let started = Unix.gettimeofday () in
   let ct =
-    ChaosT.wrap ~obs
-      ~now:(fun () -> Unix.gettimeofday () -. started)
+    ChaosT.wrap ~obs ~now:clock
       ~reset:(fun dst -> Atom_rpc.Tcp_transport.reset_peer t ~dst)
       chaos_spec t
   in
-  Node.run_node ~obs ?pool ct ~config ~node_id ~coord ~recv_timeout ~max_idle
+  (* atom-metrics/1 snapshot writer (exit dump + optional periodic
+     refresh). tmp+rename keeps a reader from ever seeing a torn file;
+     the mutex keeps the periodic thread from clobbering the final dump.
+     Periodic snapshots skip the trace buffer — it is still growing. *)
+  let stop_stats = ref false in
+  let stats_mu = Mutex.create () in
+  let write_snapshot ~final () =
+    match metrics_out with
+    | None -> ()
+    | Some path -> (
+        try
+          let snap =
+            Atom_obs.Snapshot.of_ctx ~node_id ~now:(clock ())
+              ~include_trace:(final && trace) obs
+          in
+          let tmp = path ^ ".tmp" in
+          Out_channel.with_open_bin tmp (fun oc ->
+              Out_channel.output_string oc (Atom_obs.Snapshot.to_json snap));
+          Sys.rename tmp path
+        with _ -> ())
+  in
+  (match (stats_every, metrics_out) with
+  | Some period, Some _ when period > 0. ->
+      ignore
+        (Thread.create
+           (fun () ->
+             while not !stop_stats do
+               Thread.delay period;
+               Mutex.lock stats_mu;
+               if not !stop_stats then write_snapshot ~final:false ();
+               Mutex.unlock stats_mu
+             done)
+           ())
+  | Some _, None -> Printf.eprintf "atom_node: --stats-every needs --metrics-out; ignoring\n%!"
+  | _ -> ());
+  Node.run_node ~obs ~clock ?pool ct ~config ~node_id ~coord ~recv_timeout ~max_idle
     ~on_peers:(fun peers ->
       Array.iter
         (fun (id, port) ->
@@ -107,12 +149,10 @@ let run node_id coord_port host variant servers groups group_size h iterations m
         peers)
     ();
   Atom_rpc.Tcp_transport.close t;
-  (match metrics_out with
-  | Some path ->
-      Out_channel.with_open_bin path (fun oc ->
-          Out_channel.output_string oc
-            (Format.asprintf "%a" Atom_obs.Metrics.pp (Atom_obs.Ctx.metrics obs)))
-  | None -> ());
+  Mutex.lock stats_mu;
+  stop_stats := true;
+  write_snapshot ~final:true ();
+  Mutex.unlock stats_mu;
   if own_pool then Option.iter Atom_exec.Pool.shutdown pool
 
 let cmd =
@@ -154,7 +194,23 @@ let cmd =
   let metrics_out =
     Arg.(
       value & opt (some string) None
-      & info [ "metrics-out" ] ~doc:"Write this node's metrics registry dump here at exit.")
+      & info [ "metrics-out" ]
+          ~doc:"Write this node's atom-metrics/1 JSON snapshot here at exit.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record wall-clock phase/step spans; included in the exit snapshot and served \
+             over Stats_request (merged into one cluster trace by atom_cli).")
+  in
+  let stats_every =
+    Arg.(
+      value & opt (some float) None
+      & info [ "stats-every" ]
+          ~doc:"Rewrite the --metrics-out snapshot every $(docv) seconds while running."
+          ~docv:"SECONDS")
   in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log node activity to stderr.") in
   Cmd.v
@@ -162,6 +218,6 @@ let cmd =
     Term.(
       const run $ node_id $ coord_port $ host $ variant $ servers $ groups $ group_size $ h
       $ iterations $ msg_bytes $ seed $ domains $ recv_timeout $ max_idle $ chaos
-      $ metrics_out $ verbose)
+      $ metrics_out $ trace $ stats_every $ verbose)
 
 let () = exit (Cmd.eval cmd)

@@ -134,6 +134,17 @@ let hist_count (h : histogram) : int = h.n
 let hist_sum (h : histogram) : float = h.sum
 let hist_mean (h : histogram) : float = if h.n = 0 then 0. else h.sum /. float_of_int h.n
 
+(* Structural accessors for serializers (the JSON snapshot codec): the
+   bucket bounds and raw tallies, with the empty-histogram min/max
+   normalized to 0 so no infinity ever reaches a wire format. *)
+let hist_lo (h : histogram) : float = h.lo
+let hist_hi (h : histogram) : float = h.hi
+let hist_buckets (h : histogram) : int array = Array.copy h.counts
+let hist_min (h : histogram) : float = if h.n = 0 then 0. else h.minv
+let hist_max (h : histogram) : float = if h.n = 0 then 0. else h.maxv
+let hist_below (h : histogram) : int = h.below
+let hist_above (h : histogram) : int = h.above
+
 (* Percentile estimate from the bucket counts: linear interpolation inside
    the bucket containing the target rank; under/overflow tallies clamp to
    lo/hi. Exact min/max are used for the extreme ranks. *)
@@ -204,8 +215,9 @@ let pp (fmt : Format.formatter) (t : t) : unit =
             else Format.fprintf fmt "%-44s %14.4f@." name c
         | V_gauge g -> Format.fprintf fmt "%-44s %14.4g@." name g
         | V_histogram h ->
-            Format.fprintf fmt "%-44s count %-8d mean %.3e  p50 %.3e  p99 %.3e  max %.3e@."
-              name h.n (hist_mean h) (hist_quantile h 50.) (hist_quantile h 99.)
+            Format.fprintf fmt
+              "%-44s count %-8d mean %.3e  p50 %.3e  p90 %.3e  p99 %.3e  max %.3e@." name h.n
+              (hist_mean h) (hist_quantile h 50.) (hist_quantile h 90.) (hist_quantile h 99.)
               (if h.n = 0 then 0. else h.maxv))
       entries
   end

@@ -51,6 +51,23 @@ val hist_quantile : histogram -> float -> float
 (** Percentile estimate by linear interpolation inside the target bucket;
     the extreme ranks return the exact observed min/max. 0 when empty. *)
 
+val hist_lo : histogram -> float
+val hist_hi : histogram -> float
+
+val hist_buckets : histogram -> int array
+(** A copy of the per-bucket tallies (empty for the noop scratch cell). *)
+
+val hist_min : histogram -> float
+(** Exact observed minimum; 0 when empty (never an infinity — safe to
+    serialize). *)
+
+val hist_max : histogram -> float
+
+val hist_below : histogram -> int
+(** Observations under [lo] (tallied, not bucketed). *)
+
+val hist_above : histogram -> int
+
 type view =
   | V_counter of float
   | V_gauge of float

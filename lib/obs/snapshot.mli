@@ -1,0 +1,59 @@
+(** atom-metrics/1: the machine-readable observability snapshot.
+
+    One JSON document carrying a process's metrics registry (histogram
+    quantiles precomputed), its open-span summary, and optionally its
+    trace buffer — served live over [Ctrl.Stats_request], written
+    periodically by [atom_node --stats-every], dumped at exit, and parsed
+    back by the cluster launcher with {!of_json}.
+
+    The decoder is total (malformed input returns [Error], never raises)
+    and strict (unknown fields and schema mismatches are rejected), and
+    inverts the encoder bit-exactly: [of_json (to_json s) = Ok s]. *)
+
+val schema : string
+(** ["atom-metrics/1"]. Bumps when the document layout changes. *)
+
+type hist = {
+  h_lo : float;
+  h_hi : float;
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** exact observed; 0 when empty *)
+  h_max : float;
+  h_below : int;
+  h_above : int;
+  h_p50 : float;
+  h_p90 : float;
+  h_p99 : float;
+  h_buckets : int array;
+}
+
+type metric = Counter of float | Gauge of float | Histogram of hist
+
+type open_span = { os_tid : int; os_phase : string; os_since : float }
+
+type t = {
+  node_id : int;
+  now : float;  (** the process clock at snapshot time (s) *)
+  metrics : (string * metric) list;  (** name-sorted, as [Metrics.dump] *)
+  open_spans : open_span list;
+  events : Trace.event list;  (** trace buffer; [[]] unless requested *)
+}
+
+val of_ctx : node_id:int -> ?now:float -> ?include_trace:bool -> Ctx.t -> t
+(** Capture the context's current state. [now] defaults to the tracer's
+    clock reading (0 for an unbound or noop tracer); [include_trace]
+    (default false) copies the full event buffer into the snapshot. *)
+
+val counters : t -> (string * float) list
+(** Just the counters — the shape report builders sum across nodes. *)
+
+val counter_value : t -> string -> float
+(** Counter by name; 0 when absent or not a counter. *)
+
+val to_json : t -> string
+(** The snapshot as one deterministic JSON document. *)
+
+val of_json : string -> (t, string) result
+(** Strict total inverse of {!to_json}; the error is a human-readable
+    path to the first offending field. *)

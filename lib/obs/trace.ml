@@ -31,10 +31,17 @@ type t = {
   mutable clock : unit -> float;
   mutable rev_events : event list;
   mutable count : int;
+  (* Live phase trackers, tid -> (current phase, entered at). This is the
+     "open span" surface a stats snapshot reports: closed spans are in
+     [rev_events]; what the track is doing *right now* lives here. *)
+  open_tbl : (int, string * float) Hashtbl.t;
 }
 
-let create () : t = { enabled = true; clock = (fun () -> 0.); rev_events = []; count = 0 }
-let noop : t = { enabled = false; clock = (fun () -> 0.); rev_events = []; count = 0 }
+let create () : t =
+  { enabled = true; clock = (fun () -> 0.); rev_events = []; count = 0; open_tbl = Hashtbl.create 8 }
+
+let noop : t =
+  { enabled = false; clock = (fun () -> 0.); rev_events = []; count = 0; open_tbl = Hashtbl.create 1 }
 let enabled (t : t) : bool = t.enabled
 let set_clock (t : t) (clock : unit -> float) : unit = if t.enabled then t.clock <- clock
 let now (t : t) : float = t.clock ()
@@ -49,6 +56,11 @@ let event_count (t : t) : int = t.count
 let clear (t : t) : unit =
   t.rev_events <- [];
   t.count <- 0
+
+(* (tid, phase, since) for every live phase tracker, tid-sorted. *)
+let open_phases (t : t) : (int * string * float) list =
+  Hashtbl.fold (fun tid (name, since) acc -> (tid, name, since) :: acc) t.open_tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 type span = {
   sp_name : string;
@@ -112,7 +124,9 @@ module Phase = struct
   let cat = "phase"
 
   let start (tr : t) ?(args = []) ~(tid : int) (name : string) : tracker =
-    { tr; tid; cur = name; since = (if tr.enabled then tr.clock () else 0.); args; stopped = false }
+    let since = if tr.enabled then tr.clock () else 0. in
+    if tr.enabled then Hashtbl.replace tr.open_tbl tid (name, since);
+    { tr; tid; cur = name; since; args; stopped = false }
 
   let current (p : tracker) : string = p.cur
 
@@ -130,12 +144,14 @@ module Phase = struct
       flush p t1;
       p.cur <- name;
       p.since <- t1;
+      Hashtbl.replace p.tr.open_tbl p.tid (name, t1);
       match args with Some a -> p.args <- a | None -> ()
     end
 
   let stop (p : tracker) : unit =
     if p.tr.enabled && not p.stopped then begin
       p.stopped <- true;
+      Hashtbl.remove p.tr.open_tbl p.tid;
       flush p (p.tr.clock ())
     end
 end
@@ -166,14 +182,15 @@ let arg_json = function
    clock readings always serialize to equal bytes. *)
 let us (seconds : float) : string = Printf.sprintf "%.3f" (seconds *. 1e6)
 
-let event_json (buf : Buffer.t) (ev : event) : unit =
+let event_json ?(pid = 1) ?(offset = 0.) (buf : Buffer.t) (ev : event) : unit =
   Buffer.add_string buf
     (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%s"
        (json_escape ev.name)
        (json_escape (if ev.cat = "" then "atom" else ev.cat))
-       ev.ph (us ev.ts));
+       ev.ph
+       (us ((if ev.ph = 'M' then 0. else offset) +. ev.ts)));
   if ev.ph = 'X' then Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (us ev.dur));
-  Buffer.add_string buf (Printf.sprintf ",\"pid\":1,\"tid\":%d" ev.tid);
+  Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid ev.tid);
   if ev.args <> [] then begin
     Buffer.add_string buf ",\"args\":{";
     List.iteri
@@ -196,6 +213,50 @@ let to_chrome_json (t : t) : string =
   Buffer.add_string buf "\n]}\n";
   Buffer.contents buf
 
+(* ---- Merged multi-process traces ----
+
+   A cluster run yields one event buffer per node, each timestamped on
+   that node's own clock (seconds since its process start). A lane gives
+   the buffer a Chrome pid (its own swimlane group in Perfetto), a
+   process_name metadata label, and a clock offset: the merge shifts every
+   timestamp by the lane's offset so all lanes share the receiving
+   coordinator's timebase. Alignment uses the coordinator's handshake
+   timestamps — a node's clock starts ticking moments before its Join
+   frame lands, so offset = (coordinator clock at Join) bounds the skew by
+   the connection setup time, plenty for eyeballing cross-node phases. *)
+
+type lane = {
+  lane_pid : int;
+  lane_name : string;
+  lane_offset : float; (* added to every event timestamp (s) *)
+  lane_events : event list;
+}
+
+let to_chrome_json_lanes (lanes : lane list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  let first = ref true in
+  let put ?pid ?offset ev =
+    if !first then first := false else Buffer.add_string buf ",\n";
+    event_json ?pid ?offset buf ev
+  in
+  List.iter
+    (fun l ->
+      put ~pid:l.lane_pid
+        {
+          name = "process_name";
+          cat = "";
+          ph = 'M';
+          ts = 0.;
+          dur = 0.;
+          tid = 0;
+          args = [ ("name", S l.lane_name) ];
+        };
+      List.iter (fun ev -> put ~pid:l.lane_pid ~offset:l.lane_offset ev) l.lane_events)
+    lanes;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
 (* ---- Per-phase breakdown ---- *)
 
 module Breakdown = struct
@@ -207,8 +268,13 @@ module Breakdown = struct
   }
 
   (* Fixed presentation order for the protocol phases; anything else
-     follows alphabetically. *)
-  let canonical = [ "verify"; "shuffle"; "decrypt"; "network"; "recovery"; "barrier"; "exit" ]
+     follows alphabetically. The simulator uses the virtual-time subset
+     (verify/shuffle/decrypt/network/...); the wall-clock node runtime adds
+     reenc/send/recv-wait. Relative order of the original names is
+     unchanged, so pre-existing breakdowns render identically. *)
+  let canonical =
+    [ "verify"; "shuffle"; "reenc"; "decrypt"; "network"; "send"; "recv-wait"; "recovery";
+      "barrier"; "exit" ]
 
   let phase_rank name =
     let rec idx i = function

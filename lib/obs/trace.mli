@@ -52,10 +52,36 @@ val events : t -> event list
 val event_count : t -> int
 val clear : t -> unit
 
+val open_phases : t -> (int * string * float) list
+(** The live {!Phase} trackers as [(tid, phase, since)], tid-sorted — what
+    every track is doing right now. This is the open-span summary a stats
+    snapshot carries; closed spans are in {!events}. *)
+
 val to_chrome_json : t -> string
 (** The full trace as [{"traceEvents": [...]}] with microsecond
     timestamps. Deterministic: equal event lists serialize to equal
     bytes. *)
+
+(** One process's event buffer in a merged cluster trace: a Chrome pid
+    (its own Perfetto lane group), a process_name label, and a clock
+    offset added to every timestamp so all lanes share the coordinator's
+    timebase (offsets come from the coordinator's handshake receipt
+    times). *)
+type lane = {
+  lane_pid : int;
+  lane_name : string;
+  lane_offset : float;  (** seconds, added to every event timestamp *)
+  lane_events : event list;
+}
+
+val to_chrome_json_lanes : lane list -> string
+(** Merge per-process buffers into one Chrome trace: each lane's events
+    under its own pid with a process_name metadata record, timestamps
+    shifted by the lane offset. Deterministic for equal inputs. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping (backslash, quote, control bytes), shared
+    with the snapshot codec. *)
 
 (** Exclusive phase accounting: a tracker keeps its track inside exactly
     one leaf phase at every instant, so a track's phase durations tile its

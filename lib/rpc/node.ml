@@ -40,6 +40,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
   module C = Atom_wire.Codec.Make (G) (Pr.El)
   module Ctrl = Atom_wire.Control
   module Frame = Atom_wire.Frame
+  module Trace = Atom_obs.Trace
 
   (* ---- shared derivations ---- *)
 
@@ -221,6 +222,12 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     adopted : (int * int, unit) Hashtbl.t; (* (gid, pos) ceremonies done *)
     mutable barrier : bool;
     mutable stop : bool;
+    obs : Atom_obs.Ctx.t;
+    (* Exclusive wall-clock phase tracker for the event loop (tid 0). The
+       loop is single-threaded, so switching phases at each state change
+       makes the phase spans tile the node's round wall-time by
+       construction — the property the merged cluster trace asserts. *)
+    ph : Trace.Phase.tracker;
     m_verify_failures : Atom_obs.Metrics.counter;
     m_steps : Atom_obs.Metrics.counter;
     m_bad_frames : Atom_obs.Metrics.counter;
@@ -255,6 +262,18 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     Atom_obs.Metrics.incr n.m_bad_frames;
     Atom_obs.Log.warn "node %d: dropped bad frame (%s)" n.node_id what
 
+  let phase (n : node) (name : string) : unit = Trace.Phase.switch n.ph name
+
+  (* Step-granularity detail spans: each (gid, iter, step) pipeline hop as
+     a span on the group's own track (tid 1+gid, cat "step"), tagged with
+     the executing node so it stays attributable after lane merging. Args
+     are built lazily so the disabled path allocates nothing. *)
+  let step_spanned (n : node) (name : string) ~(tid : int)
+      ~(argf : unit -> (string * Trace.arg) list) (f : unit -> 'a) : 'a =
+    let tr = Atom_obs.Ctx.tracer n.obs in
+    if Trace.enabled tr then Trace.with_span tr ~cat:"step" ~args:(argf ()) ~tid name f
+    else f ()
+
   let route (n : node) (dst : int) : int =
     if dst = n.coord then dst else resolve n.net n.failed dst
 
@@ -266,6 +285,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
      derivation stands in for that transfer (as for the DKG itself), and
      the equality check pins the reconstruction to the real data path. *)
   let adopt_roles (n : node) : unit =
+    phase n "recovery";
     let quorum = Config.quorum n.net.Pr.config in
     Array.iteri
       (fun sid dead ->
@@ -288,6 +308,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
                      already route here, but role-driven actions (starting
                      an entry group on Barrier) consult [n.roles]. *)
                   n.roles <- n.roles @ [ (gid, pos) ];
+                  Trace.thread_name (Atom_obs.Ctx.tracer n.obs) ~tid:(1 + gid)
+                    (Printf.sprintf "group %d" gid);
                   Atom_obs.Log.warn "node %d: recovered share gid=%d pos=%d for dead node %d"
                     n.node_id gid pos sid
                 end
@@ -313,6 +335,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
      size. A coordinator failure is unrecoverable — it *is* the round. *)
   let rec send_raw (n : node) ~(dst : int) (frame : string) : unit =
     if not n.stop then begin
+      phase n "send";
       let target = route n dst in
       match T.send n.t ~dst:target frame with
       | Ok () -> ()
@@ -387,6 +410,12 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     Array.iteri
       (fun bi batch ->
         if not n.stop then begin
+          phase n "reenc";
+          step_spanned n "head_reenc" ~tid:(1 + gid)
+            ~argf:(fun () ->
+              [ ("node", Trace.I n.node_id); ("gid", Trace.I gid);
+                ("iter", Trace.I iter); ("batch", Trace.I bi) ])
+          @@ fun () ->
           let rng = step_rng n ~gid ~iter ~tag:(1000 + (bi * 64) + 1) in
           let next_pk = if last_iter then None else Some (Pr.group_pk net nbrs.(bi)) in
           let output, proofs =
@@ -443,6 +472,12 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
          so downstream in-degree counting stays uniform. *)
       divide_and_reenc n gid iter units
     else begin
+      phase n "shuffle";
+      step_spanned n "shuffle_head" ~tid:(1 + gid)
+        ~argf:(fun () ->
+          [ ("node", Trace.I n.node_id); ("gid", Trace.I gid);
+            ("iter", Trace.I iter); ("step", Trace.I 1) ])
+      @@ fun () ->
       let rng = step_rng n ~gid ~iter ~tag:1 in
       match Pr.El.shuffle_vec ?pool:n.pool rng (Pr.group_pk net gid) units with
       | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
@@ -497,6 +532,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
        (The single-process engine shares one duplicate table across entry
        groups; per-head tables are equivalent for well-formed traffic
        since a submission targets exactly one entry group.) *)
+    phase n "verify";
     let units = ref [] in
     Array.iter
       (fun blob ->
@@ -512,6 +548,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
 
   let on_shuffle_step (n : node) ~(gid : int) ~(iter : int) ~(step : int)
       ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proof : string) : unit =
+    phase n "verify";
     let net = n.net in
     let quorum = Config.quorum net.Pr.config in
     let pk = Pr.group_pk net gid in
@@ -531,6 +568,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       (* Back at the head: the whole quorum has shuffled. *)
       divide_and_reenc n gid iter output
     else begin
+      phase n "shuffle";
       let rng = step_rng n ~gid ~iter ~tag:step in
       match Pr.El.shuffle_vec ?pool:n.pool rng pk output with
       | None -> abort n ~code:Ctrl.abort_internal (Printf.sprintf "shuffle failed gid=%d" gid)
@@ -553,6 +591,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
 
   let on_reenc_step (n : node) ~(gid : int) ~(iter : int) ~(batch_idx : int) ~(step : int)
       ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proofs : string array) : unit =
+    phase n "verify";
     let net = n.net in
     let quorum = Config.quorum net.Pr.config in
     let last_iter = iter = iterations net - 1 in
@@ -569,6 +608,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       abort n ~code:Ctrl.abort_proof_rejected
         (Printf.sprintf "reenc proofs rejected gid=%d iter=%d step=%d" gid iter (step - 1))
     else begin
+      phase n "reenc";
       let share, coeff = share_and_coeff net gid step in
       let rng = step_rng n ~gid ~iter ~tag:(1000 + (batch_idx * 64) + step) in
       let output', proofs' =
@@ -599,6 +639,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proofs : string array) : unit =
     (* Next-layer head verifies the sending tail's final ReEnc step, then
        strips the carried Y components before mixing. *)
+    phase n "verify";
     let net = n.net in
     let quorum = Config.quorum net.Pr.config in
     let ok =
@@ -614,11 +655,24 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         (Printf.sprintf "batch from gid=%d rejected at gid=%d iter=%d" src_gid gid iter)
     else accept_input n gid iter (Array.map Pr.El.clear_y_vec output)
 
-  let handle_control (n : node) (msg : Ctrl.t) : unit =
+  let handle_control (n : node) ~(src : int) (msg : Ctrl.t) : unit =
     match msg with
     | Ctrl.Peers _ | Ctrl.Hello _ | Ctrl.Join _ | Ctrl.Ack _ | Ctrl.Published _
-    | Ctrl.Trap_commitments _ ->
+    | Ctrl.Trap_commitments _ | Ctrl.Stats_reply _ ->
         () (* peers are registered by the caller's [on_peers]; rest is informational *)
+    | Ctrl.Stats_request { token } ->
+        (* Live stats service: snapshot the registry + trace buffer and send
+           it back to whoever asked (normally the coordinator merging the
+           cluster trace). Served at any point in the round — the open-span
+           summary says what this node is doing right now. *)
+        let snap =
+          Atom_obs.Snapshot.of_ctx ~node_id:n.node_id ~include_trace:true n.obs
+        in
+        ignore
+          (T.send n.t ~dst:src
+             (Ctrl.encode
+                (Ctrl.Stats_reply
+                   { token; node_id = n.node_id; snapshot = Atom_obs.Snapshot.to_json snap })))
     | Ctrl.Group_assign { gid; members } ->
         (* Cross-check the coordinator's view against our own derivation:
            any divergence means the deterministic setup drifted. *)
@@ -638,6 +692,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
            entries and replace the verified units with an empty set. *)
         if fresh n (Printf.sprintf "U%d" gid) then on_submissions n gid blobs
     | Ctrl.Failed { sids } ->
+        phase n "recovery";
         Array.iter (mark_failed n) sids;
         (* Adoption may have handed this node an entry-head role whose
            submissions were rerouted here before the death was known —
@@ -646,6 +701,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     | Ctrl.Retransmit ->
         (* Recovery nudge: re-send every retained frame toward its current
            route; receiver-side dedup makes this idempotent. *)
+        phase n "recovery";
         Outbox.iter n.outbox (fun ~dst frame ->
             Atom_obs.Metrics.incr n.m_resends;
             send_raw n ~dst frame)
@@ -662,19 +718,32 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         then abort n ~code:Ctrl.abort_bad_assignment (Printf.sprintf "group %d key mismatch" gid)
     | C.Shuffle_step { gid; iter; step; input; output; proof } ->
         if fresh n (Printf.sprintf "S%d.%d.%d" gid iter step) then
-          on_shuffle_step n ~gid ~iter ~step ~input ~output proof
+          step_spanned n "shuffle_step" ~tid:(1 + gid)
+            ~argf:(fun () ->
+              [ ("node", Trace.I n.node_id); ("gid", Trace.I gid);
+                ("iter", Trace.I iter); ("step", Trace.I step) ])
+            (fun () -> on_shuffle_step n ~gid ~iter ~step ~input ~output proof)
     | C.Reenc_step { gid; iter; batch_idx; step; input; output; proofs } ->
         if fresh n (Printf.sprintf "R%d.%d.%d.%d" gid iter batch_idx step) then
-          on_reenc_step n ~gid ~iter ~batch_idx ~step ~input ~output proofs
+          step_spanned n "reenc_step" ~tid:(1 + gid)
+            ~argf:(fun () ->
+              [ ("node", Trace.I n.node_id); ("gid", Trace.I gid);
+                ("iter", Trace.I iter); ("batch", Trace.I batch_idx);
+                ("step", Trace.I step) ])
+            (fun () -> on_reenc_step n ~gid ~iter ~batch_idx ~step ~input ~output proofs)
     | C.Batch { gid; iter; src_gid; input; output; proofs } ->
         (* One batch per (src, dst) pair per layer: the square topology
            never fans a group out twice to the same neighbor in a layer,
            so this key distinguishes every legitimate batch. *)
         if fresh n (Printf.sprintf "B%d.%d.%d" gid iter src_gid) then
-          on_batch n ~gid ~iter ~src_gid ~input ~output proofs
+          step_spanned n "batch_verify" ~tid:(1 + gid)
+            ~argf:(fun () ->
+              [ ("node", Trace.I n.node_id); ("gid", Trace.I gid);
+                ("iter", Trace.I iter); ("src_gid", Trace.I src_gid) ])
+            (fun () -> on_batch n ~gid ~iter ~src_gid ~input ~output proofs)
     | C.Exit_batch _ -> () (* coordinator-only traffic *)
 
-  let handle_frame (n : node) (frame : string) : unit =
+  let handle_frame (n : node) ~(src : int) (frame : string) : unit =
     match Frame.kind_of frame with
     | Some k when k >= Frame.kind_group_key -> (
         match C.decode frame with
@@ -682,18 +751,24 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         | None -> bad_frame n (Printf.sprintf "bad %s body" (Frame.kind_name k)))
     | Some k -> (
         match Ctrl.decode frame with
-        | Some msg -> handle_control n msg
+        | Some msg -> handle_control n ~src msg
         | None -> bad_frame n (Printf.sprintf "bad %s body" (Frame.kind_name k)))
     | None -> bad_frame n "unparseable frame"
 
   (* Run one server's event loop until Shutdown / abort / idle expiry.
      [on_peers] lets the transport register discovered peers (TCP needs
      host:port; the simulator transport knows everyone already). *)
-  let run_node ?(obs = Atom_obs.Ctx.noop) ?pool (t : T.t) ~(config : Config.t)
+  let run_node ?(obs = Atom_obs.Ctx.noop) ?clock ?pool (t : T.t) ~(config : Config.t)
       ~(node_id : int) ~(coord : int) ?(recv_timeout = 0.5) ?(max_idle = 240)
       ?(on_peers = fun (_ : (int * int) array) -> ()) () : unit =
+    (* [clock] binds the tracer's timebase (a wall clock for real
+       deployments). Left unbound, the simulator-transport tests keep their
+       deterministic zero clock. *)
+    (match clock with Some c -> Atom_obs.Ctx.bind_clock obs c | None -> ());
     let reg = Atom_obs.Ctx.metrics obs in
+    let tr = Atom_obs.Ctx.tracer obs in
     let net = Pr.setup (Atom_util.Rng.create config.Config.seed) config () in
+    Trace.thread_name tr ~tid:0 "event loop";
     let n =
       {
         t;
@@ -712,6 +787,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         adopted = Hashtbl.create 8;
         barrier = false;
         stop = false;
+        obs;
+        ph = Trace.Phase.start tr ~tid:0 "barrier";
         m_verify_failures = Atom_obs.Metrics.counter reg "node.verify_failures";
         m_steps = Atom_obs.Metrics.counter reg "node.steps";
         m_bad_frames = Atom_obs.Metrics.counter reg "node.bad_frames";
@@ -720,12 +797,20 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         m_resends = Atom_obs.Metrics.counter reg "node.resends";
       }
     in
+    List.iter
+      (fun (gid, _) -> Trace.thread_name tr ~tid:(1 + gid) (Printf.sprintf "group %d" gid))
+      n.roles;
     let idle = ref 0 in
     while (not n.stop) && !idle < max_idle do
+      (* Between frames the node is either waiting out the bring-up
+         ("barrier") or blocked on upstream pipeline traffic ("recv-wait");
+         handlers switch to their own phase on arrival, so the tid-0 phase
+         spans tile the whole loop lifetime. *)
+      phase n (if n.barrier then "recv-wait" else "barrier");
       match T.recv t ~timeout:recv_timeout with
       | Error Transport.Closed -> n.stop <- true
       | Error _ -> incr idle
-      | Ok (_src, frame) ->
+      | Ok (src, frame) ->
           idle := 0;
           (match Ctrl.decode frame with
           | Some (Ctrl.Peers { peers }) ->
@@ -734,8 +819,9 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
               on_peers peers;
               ignore (T.send t ~dst:coord (Ctrl.encode (Ctrl.Ack { token = node_id })))
           | _ -> ());
-          handle_frame n frame
-    done
+          handle_frame n ~src frame
+    done;
+    Trace.Phase.stop n.ph
 
   (* ---- coordinator ---- *)
 
@@ -747,6 +833,13 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     rejected_submissions : int list;
     recovery_rounds : int; (* stall-triggered §4.5 recovery sweeps *)
     failed_nodes : int list; (* servers presumed dead by round end *)
+    recovery_seconds : float list;
+        (* per-sweep repair time on the coordinator's clock: sweep start →
+           next exit-batch arrival (pipeline resumption), chronological.
+           Empty when no sweep ran or no clock was bound. *)
+    node_snapshots : (int * string) list;
+        (* (node_id, atom-metrics/1 JSON) collected over Stats_request just
+           before shutdown; [] unless [collect_stats] was set. *)
   }
 
   (* Drive a full round over [t]: ship submissions to entry heads, release
@@ -762,9 +855,17 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
      server yields no send error; for that case the sweep's retransmission
      alone completes the round once the partition heals. Sweeps are
      bounded by [max_recovery_rounds] and the whole wait by [max_idle]. *)
-  let run_coordinator ?(obs = Atom_obs.Ctx.noop) ?pool (t : T.t) ~(config : Config.t)
-      ~(users : int) ?(recv_timeout = 0.5) ?(max_idle = 240) ?(stall_strikes = 8)
-      ?(max_recovery_rounds = 16) () : cluster_outcome =
+  let run_coordinator ?(obs = Atom_obs.Ctx.noop) ?clock ?pool (t : T.t)
+      ~(config : Config.t) ~(users : int) ?(recv_timeout = 0.5) ?(max_idle = 240)
+      ?(stall_strikes = 8) ?(max_recovery_rounds = 16) ?(collect_stats = false) () :
+      cluster_outcome =
+    (match clock with Some c -> Atom_obs.Ctx.bind_clock obs c | None -> ());
+    let tr = Atom_obs.Ctx.tracer obs in
+    Trace.thread_name tr ~tid:0 "event loop";
+    let cph = Trace.Phase.start tr ~tid:0 "send" in
+    (* Repair times ride on whatever clock the caller bound; unbound (the
+       deterministic sim harness) it reads a constant and yields zeros. *)
+    let mono = match clock with Some c -> c | None -> fun () -> Trace.now tr in
     let rng = Atom_util.Rng.create config.Config.seed in
     let net = Pr.setup rng config () in
     let n_groups = config.Config.n_groups in
@@ -794,6 +895,9 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let m_recovery_rounds = Atom_obs.Metrics.counter reg "coord.recovery_rounds" in
     let m_failed_nodes = Atom_obs.Metrics.counter reg "coord.failed_nodes" in
     let m_exit_dups = Atom_obs.Metrics.counter reg "coord.exit_dups" in
+    let m_recovery_s =
+      Atom_obs.Metrics.histogram reg ~buckets:24 ~lo:0. ~hi:60. "coord.recovery_seconds"
+    in
     let n_servers = config.Config.n_servers in
     let failed = Array.make n_servers false in
     let outbox = Outbox.create ~cap:64 () in
@@ -836,8 +940,16 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     done;
     (* One recovery sweep: probe, publish deaths, retransmit. *)
     let recoveries = ref 0 in
+    (* Sweep start times awaiting a resumption mark: each is closed out by
+       the next exit-batch arrival, which is the first proof the pipeline
+       is moving again. That delta is the §4.5 repair time the error
+       budget histograms. *)
+    let pending_sweeps = ref [] in
+    let recovery_seconds = ref [] in
     let recovery_sweep () =
+      Trace.Phase.switch cph "recovery";
       incr recoveries;
+      pending_sweeps := mono () :: !pending_sweeps;
       Atom_obs.Metrics.incr m_recovery_rounds;
       for sid = 0 to n_servers - 1 do
         if not failed.(sid) then
@@ -872,6 +984,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let strikes = ref 0 in
     let cluster_abort = ref None in
     while !got < want && !cluster_abort = None && !idle < max_idle do
+      Trace.Phase.switch cph "recv-wait";
       match T.recv t ~timeout:recv_timeout with
       | Error Transport.Closed ->
           cluster_abort := Some "coordinator transport closed"
@@ -890,6 +1003,17 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
               if Hashtbl.mem seen_exits (gid, batch_idx) then
                 Atom_obs.Metrics.incr m_exit_dups
               else begin
+                Trace.Phase.switch cph "verify";
+                if !pending_sweeps <> [] then begin
+                  let now = mono () in
+                  List.iter
+                    (fun t0 ->
+                      let d = now -. t0 in
+                      recovery_seconds := d :: !recovery_seconds;
+                      Atom_obs.Metrics.observe m_recovery_s d)
+                    (List.rev !pending_sweeps);
+                  pending_sweeps := []
+                end;
                 let ok =
                   config.Config.variant <> Config.Nizk
                   || verify_hop ?pool ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
@@ -917,6 +1041,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     if !cluster_abort = None && !got < want then
       cluster_abort := Some (Printf.sprintf "timed out with %d/%d exit batches" !got want);
     (* Variant endgame over the assembled holdings, as in [Pr.run]. *)
+    Trace.Phase.switch cph "decrypt";
     let delivered =
       if !cluster_abort <> None then []
       else begin
@@ -938,9 +1063,47 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
                 List.map Pr.Msg.unpad_plaintext (Pr.open_inners net inner_payloads))
       end
     in
+    (* Stats harvest, while the fleet is still alive (Shutdown would race
+       the replies): ask every presumed-live node for its atom-metrics/1
+       snapshot; chaos can eat a request, so laggards get re-asked. Only
+       the trace-merging launcher pays this cost. *)
+    let node_snapshots =
+      if not collect_stats then []
+      else begin
+        Trace.Phase.switch cph "recv-wait";
+        let live = List.filter (fun sid -> not failed.(sid)) (List.init n_servers Fun.id) in
+        let req = Ctrl.encode (Ctrl.Stats_request { token = 1 }) in
+        List.iter (fun sid -> ignore (T.send t ~dst:sid req)) live;
+        let got_stats : (int, string) Hashtbl.t = Hashtbl.create 16 in
+        let polls = ref 0 in
+        let empties = ref 0 in
+        let max_polls = max 16 (4 * n_servers) in
+        while Hashtbl.length got_stats < List.length live && !polls < max_polls do
+          incr polls;
+          match T.recv t ~timeout:recv_timeout with
+          | Ok (_src, frame) -> (
+              match Ctrl.decode frame with
+              | Some (Ctrl.Stats_reply { node_id; snapshot; _ }) ->
+                  Hashtbl.replace got_stats node_id snapshot
+              | _ -> ())
+          | Error Transport.Closed -> polls := max_polls
+          | Error _ ->
+              incr empties;
+              if !empties mod 4 = 0 then
+                List.iter
+                  (fun sid ->
+                    if not (Hashtbl.mem got_stats sid) then ignore (T.send t ~dst:sid req))
+                  live
+        done;
+        List.filter_map
+          (fun sid -> Option.map (fun s -> (sid, s)) (Hashtbl.find_opt got_stats sid))
+          live
+      end
+    in
     (* Publish and shut the fleet down (best effort — dead peers are
        skipped rather than paid for: each send to a dead peer would burn
        the full bounded reconnect budget). *)
+    Trace.Phase.switch cph "send";
     for sid = 0 to n_servers - 1 do
       if not failed.(sid) then begin
         ignore
@@ -957,6 +1120,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let failed_nodes =
       List.filter (fun sid -> failed.(sid)) (List.init n_servers Fun.id)
     in
+    Trace.Phase.stop cph;
     {
       delivered;
       reference = reference.Pr.delivered;
@@ -965,5 +1129,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       rejected_submissions;
       recovery_rounds = !recoveries;
       failed_nodes;
+      recovery_seconds = List.rev !recovery_seconds;
+      node_snapshots;
     }
 end

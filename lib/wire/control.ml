@@ -18,6 +18,8 @@
      published         u32 n ‖ n × str32 plaintext
      failed            u32 n ‖ n × u32 sid
      retransmit        (empty)
+     stats_request     u32 token
+     stats_reply       u32 token ‖ u32 node_id ‖ str32 snapshot
 
    Submission blobs are opaque at this layer (their group elements are
    validated by [Protocol.Wire.submission_of_bytes] at the protocol
@@ -38,6 +40,11 @@ type t =
   | Failed of { sids : int array }
       (** These servers are presumed dead: reroute their roles (§4.5). *)
   | Retransmit  (** Re-send retained in-flight frames (recovery nudge). *)
+  | Stats_request of { token : int }
+      (** Serve your observability snapshot now; echoed in the reply. *)
+  | Stats_reply of { token : int; node_id : int; snapshot : string }
+      (** [snapshot] is an atom-metrics/1 JSON document ([Atom_obs.Snapshot]);
+          opaque at this layer, strictly decoded by the receiver. *)
 
 (* Abort codes (carried on the wire; the detail string is for humans). *)
 let abort_bad_frame = 1
@@ -48,6 +55,11 @@ let abort_internal = 4
 let max_nodes = 1 lsl 16
 let max_items = 1 lsl 16
 let max_blob = 1 lsl 20
+
+(* A stats snapshot carrying a full trace buffer outgrows [max_blob]; its
+   own cap still keeps a hostile length prefix from driving allocation
+   beyond the frame-level [Frame.max_body]. *)
+let max_snapshot = 1 lsl 24
 let commitment_bytes = 32
 
 let encode (msg : t) : string =
@@ -109,6 +121,14 @@ let encode (msg : t) : string =
         Array.iter (Frame.W.u32 b) sids;
         Frame.kind_failed
     | Retransmit -> Frame.kind_retransmit
+    | Stats_request { token } ->
+        Frame.W.u32 b token;
+        Frame.kind_stats_request
+    | Stats_reply { token; node_id; snapshot } ->
+        Frame.W.u32 b token;
+        Frame.W.u32 b node_id;
+        Frame.W.str32 b snapshot;
+        Frame.kind_stats_reply
   in
   Frame.encode ~kind (Buffer.contents b)
 
@@ -153,6 +173,11 @@ let decode_body (kind : int) (body : string) : t option =
         let n = count r ~max:max_nodes in
         Failed { sids = Array.init n (fun _ -> u32 r) }
       else if kind = Frame.kind_retransmit then Retransmit
+      else if kind = Frame.kind_stats_request then Stats_request { token = u32 r }
+      else if kind = Frame.kind_stats_reply then
+        let token = u32 r in
+        let node_id = u32 r in
+        Stats_reply { token; node_id; snapshot = str32 ~max:max_snapshot r }
       else fail ())
 
 let decode (framed : string) : t option =

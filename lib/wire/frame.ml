@@ -51,6 +51,8 @@ let kind_trap_commitments = 0x0a
 let kind_published = 0x0b
 let kind_failed = 0x0c
 let kind_retransmit = 0x0d
+let kind_stats_request = 0x0e
+let kind_stats_reply = 0x0f
 let kind_group_key = 0x10
 let kind_batch = 0x11
 let kind_shuffle_step = 0x12
@@ -72,6 +74,8 @@ let kind_names : (int * string) list =
     (kind_published, "published");
     (kind_failed, "failed");
     (kind_retransmit, "retransmit");
+    (kind_stats_request, "stats_request");
+    (kind_stats_reply, "stats_reply");
     (kind_group_key, "group_key");
     (kind_batch, "batch");
     (kind_shuffle_step, "shuffle_step");

@@ -28,6 +28,8 @@ val kind_trap_commitments : int
 val kind_published : int
 val kind_failed : int
 val kind_retransmit : int
+val kind_stats_request : int
+val kind_stats_reply : int
 val kind_group_key : int
 val kind_batch : int
 val kind_shuffle_step : int

@@ -264,6 +264,156 @@ let test_chrome_json_well_formed () =
   Alcotest.(check bool) "perfetto preamble" true
     (String.length json > 20 && String.sub json 0 20 = "{\"displayTimeUnit\":\"")
 
+let test_merged_lanes () =
+  let mk name ts dur = { Trace.name; cat = "phase"; ph = 'X'; ts; dur; tid = 0; args = [] } in
+  let lanes =
+    [
+      {
+        Trace.lane_pid = 1;
+        lane_name = "node 0";
+        lane_offset = 2.5;
+        lane_events =
+          [
+            {
+              Trace.name = "thread_name";
+              cat = "";
+              ph = 'M';
+              ts = 9.;
+              dur = 0.;
+              tid = 0;
+              args = [ ("name", Trace.S "event loop") ];
+            };
+            mk "verify" 1.0 0.5;
+          ];
+      };
+      {
+        Trace.lane_pid = 2;
+        lane_name = "coordinator";
+        lane_offset = 0.;
+        lane_events = [ mk "send" 0.25 0.125 ];
+      };
+    ]
+  in
+  let json = Trace.to_chrome_json_lanes lanes in
+  validate_json json;
+  (* Each lane opens with its own process_name metadata record. *)
+  Alcotest.(check int) "one process_name per lane" 2 (count_occurrences "\"process_name\"" json);
+  (* The node lane's span is shifted onto the coordinator timebase:
+     (1.0 + 2.5) s = 3500000 µs. Its duration is not shifted. *)
+  Alcotest.(check int) "offset applied to span ts" 1 (count_occurrences "\"ts\":3500000.000" json);
+  Alcotest.(check int) "dur unshifted" 1 (count_occurrences "\"dur\":500000.000" json);
+  (* Metadata records keep their own timestamps — offsets apply only to
+     real events, so lane labels don't wander off ts 0. *)
+  Alcotest.(check int) "metadata never shifted" 0
+    (count_occurrences "\"ts\":11500000.000" json);
+  Alcotest.(check int) "metadata ts intact" 1 (count_occurrences "\"ts\":9000000.000" json);
+  (* Every event lands in its lane's pid group. *)
+  Alcotest.(check int) "pid 1 events" 3 (count_occurrences "\"pid\":1" json);
+  Alcotest.(check int) "pid 2 events" 2 (count_occurrences "\"pid\":2" json)
+
+let test_open_phases () =
+  let tr = Trace.create () in
+  let now = ref 1. in
+  Trace.set_clock tr (fun () -> !now);
+  Alcotest.(check int) "none open initially" 0 (List.length (Trace.open_phases tr));
+  let p0 = Trace.Phase.start tr ~tid:0 "barrier" in
+  now := 2.;
+  let p1 = Trace.Phase.start tr ~tid:4 "recv-wait" in
+  (match Trace.open_phases tr with
+  | [ (0, "barrier", s0); (4, "recv-wait", s1) ] ->
+      Alcotest.(check (float 1e-9)) "since of first" 1. s0;
+      Alcotest.(check (float 1e-9)) "since of second" 2. s1
+  | l -> Alcotest.failf "unexpected open phases (%d entries)" (List.length l));
+  now := 3.;
+  Trace.Phase.switch p0 "verify";
+  (match Trace.open_phases tr with
+  | (0, "verify", s) :: _ -> Alcotest.(check (float 1e-9)) "switch resets since" 3. s
+  | _ -> Alcotest.fail "expected open verify phase");
+  Trace.Phase.stop p0;
+  Trace.Phase.stop p1;
+  Alcotest.(check int) "all closed after stop" 0 (List.length (Trace.open_phases tr))
+
+(* ---- atom-metrics/1 snapshots ---- *)
+
+let test_snapshot_roundtrip () =
+  let obs = Ctx.create ~tracing:true () in
+  let now = ref 0. in
+  Ctx.bind_clock obs (fun () -> !now);
+  let reg = Ctx.metrics obs in
+  Metrics.incr (Metrics.counter reg "round.count");
+  Metrics.add (Metrics.counter reg "bytes.sent") 1234.5;
+  Metrics.set (Metrics.gauge reg "peers.live") 7.;
+  let h = Metrics.histogram reg ~buckets:4 ~lo:0. ~hi:4. "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 3.9; -1.; 9. ];
+  let tr = Ctx.tracer obs in
+  Trace.thread_name tr ~tid:0 "event loop";
+  Trace.instant tr ~cat:"fault" ~tid:0 ~args:[ ("machine", Trace.I 3) ] "kill";
+  now := 0.25;
+  Trace.with_span tr ~tid:1 ~cat:"step"
+    ~args:[ ("s", Trace.S "a\"b\\c\nd"); ("i", Trace.I (-2)); ("f", Trace.F 1.5) ]
+    "shuffle_step"
+    (fun () -> now := 1.);
+  let ph = Trace.Phase.start tr ~tid:0 "barrier" in
+  now := 2.;
+  Trace.Phase.switch ph "verify";
+  (* [ph] is left open, so the snapshot must carry it as an open span. *)
+  let snap = Snapshot.of_ctx ~node_id:5 ~include_trace:true obs in
+  Alcotest.(check int) "node id" 5 snap.Snapshot.node_id;
+  Alcotest.(check (float 1e-9)) "now read from the bound clock" 2. snap.Snapshot.now;
+  Alcotest.(check (float 1e-9)) "counter carried" 1. (Snapshot.counter_value snap "round.count");
+  Alcotest.(check bool) "open span captured" true
+    (List.exists
+       (fun os -> os.Snapshot.os_tid = 0 && os.Snapshot.os_phase = "verify")
+       snap.Snapshot.open_spans);
+  Alcotest.(check bool) "trace buffer included" true (List.length snap.Snapshot.events >= 3);
+  let j = Snapshot.to_json snap in
+  validate_json j;
+  (match Snapshot.of_json j with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok snap' -> Alcotest.(check bool) "bit-exact roundtrip" true (snap' = snap));
+  (* Encoding is deterministic and the trace buffer stays opt-in. *)
+  Alcotest.(check string) "deterministic encode" j (Snapshot.to_json snap);
+  let snap2 = Snapshot.of_ctx ~node_id:0 ~now:0.5 obs in
+  Alcotest.(check int) "no events unless requested" 0 (List.length snap2.Snapshot.events);
+  (match Snapshot.of_json (Snapshot.to_json snap2) with
+  | Error e -> Alcotest.failf "decode failed (no trace): %s" e
+  | Ok s' -> Alcotest.(check bool) "roundtrip without trace" true (s' = snap2));
+  Trace.Phase.stop ph
+
+let find_sub (hay : string) (needle : string) : int option =
+  let n = String.length hay and m = String.length needle in
+  let rec go i =
+    if i + m > n then None else if String.sub hay i m = needle then Some i else go (i + 1)
+  in
+  go 0
+
+let replace_once ~(sub : string) ~(by : string) (s : string) : string =
+  match find_sub s sub with
+  | None -> Alcotest.failf "substring %S not found" sub
+  | Some i ->
+      String.sub s 0 i ^ by ^ String.sub s (i + String.length sub) (String.length s - i - String.length sub)
+
+let test_snapshot_strict_decode () =
+  let obs = Ctx.create () in
+  Metrics.incr (Metrics.counter (Ctx.metrics obs) "c");
+  Metrics.observe (Metrics.histogram (Ctx.metrics obs) ~lo:0. ~hi:1. "h") 0.5;
+  let j = Snapshot.to_json (Snapshot.of_ctx ~node_id:1 obs) in
+  let ok s = match Snapshot.of_json s with Ok _ -> true | Error _ -> false in
+  Alcotest.(check bool) "baseline decodes" true (ok j);
+  (* Strictness: schema pinning, unknown fields, trailing bytes. *)
+  Alcotest.(check bool) "wrong schema rejected" false
+    (ok (replace_once ~sub:"atom-metrics/1" ~by:"atom-metrics/9" j));
+  Alcotest.(check bool) "renamed field rejected" false
+    (ok (replace_once ~sub:"\"node_id\"" ~by:"\"bogus_id\"" j));
+  Alcotest.(check bool) "injected unknown field rejected" false
+    (ok (replace_once ~sub:"{\"schema\"" ~by:"{\"extra\":1,\"schema\"" j));
+  Alcotest.(check bool) "trailing garbage rejected" false (ok (j ^ "x"));
+  Alcotest.(check bool) "not json rejected" false (ok "atom");
+  (* Totality: every strict prefix is an [Error], never an exception. *)
+  for i = 0 to String.length j - 1 do
+    if ok (String.sub j 0 i) then Alcotest.failf "prefix of %d bytes accepted" i
+  done
+
 (* ---- leveled logging ---- *)
 
 let test_log_levels () =
@@ -416,6 +566,10 @@ let suite =
       Alcotest.test_case "span nesting+ordering" `Quick test_span_nesting;
       Alcotest.test_case "phase tiling" `Quick test_phase_tiling;
       Alcotest.test_case "chrome json well-formed" `Quick test_chrome_json_well_formed;
+      Alcotest.test_case "merged lanes: pids, labels, offsets" `Quick test_merged_lanes;
+      Alcotest.test_case "open phase summary" `Quick test_open_phases;
+      Alcotest.test_case "snapshot roundtrip identity" `Quick test_snapshot_roundtrip;
+      Alcotest.test_case "snapshot strict decode" `Quick test_snapshot_strict_decode;
       Alcotest.test_case "log levels" `Quick test_log_levels;
       Alcotest.test_case "opcount composite semantics" `Quick test_opcount;
       Alcotest.test_case "trace determinism" `Slow test_trace_determinism;

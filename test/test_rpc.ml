@@ -395,6 +395,96 @@ let test_tcp_threaded_cluster () =
   Alcotest.(check (option string)) "no abort" None outcome.NodeTcp.cluster_abort;
   Alcotest.(check bool) "tcp cluster matches reference" true outcome.NodeTcp.matched
 
+(* ---- wall-clock tracing + live stats over the same TCP runtime ----
+
+   Every process gets its own tracing context and the shared wall clock;
+   the coordinator harvests per-node atom-metrics/1 snapshots over
+   Stats_request before shutdown. Two invariants under test: every live
+   node answers with a strictly-decodable snapshot carrying its trace
+   buffer, and each node's event-loop phase spans tile its round
+   wall-time — the single-threaded loop is always in exactly one phase,
+   so closed tid-0 spans are contiguous with no overlap. *)
+let test_tcp_traced_cluster_stats () =
+  let config =
+    {
+      (Config.tiny ~variant:Config.Basic ~seed:7 ()) with
+      Config.n_servers = 4;
+      n_groups = 2;
+      group_size = 2;
+      h = 1;
+      topology = Config.Square 2;
+    }
+  in
+  let n = config.Config.n_servers in
+  let coord = n in
+  let started = Unix.gettimeofday () in
+  let clock () = Unix.gettimeofday () -. started in
+  let obss = Array.init (n + 1) (fun _ -> Atom_obs.Ctx.create ~tracing:true ()) in
+  let ts = Array.init (n + 1) (fun node_id -> TcpT.create ~obs:obss.(node_id) ~node_id ()) in
+  Array.iteri
+    (fun i t ->
+      Array.iteri
+        (fun j u ->
+          if i <> j then TcpT.add_peer t ~node_id:j ~host:"127.0.0.1" ~port:(TcpT.port u))
+        ts)
+    ts;
+  let threads =
+    List.init n (fun sid ->
+        Thread.create
+          (fun () ->
+            NodeTcp.run_node ~obs:obss.(sid) ~clock ts.(sid) ~config ~node_id:sid ~coord
+              ~recv_timeout:0.2 ~max_idle:150 ())
+          ())
+  in
+  let outcome =
+    NodeTcp.run_coordinator ~obs:obss.(coord) ~clock ts.(coord) ~config ~users:6
+      ~recv_timeout:0.2 ~max_idle:150 ~collect_stats:true ()
+  in
+  List.iter Thread.join threads;
+  Array.iter TcpT.close ts;
+  Alcotest.(check (option string)) "no abort" None outcome.NodeTcp.cluster_abort;
+  Alcotest.(check bool) "matches reference" true outcome.NodeTcp.matched;
+  Alcotest.(check int) "one snapshot per node" n (List.length outcome.NodeTcp.node_snapshots);
+  let module Snapshot = Atom_obs.Snapshot in
+  let module Trace = Atom_obs.Trace in
+  List.iter
+    (fun (sid, json) ->
+      match Snapshot.of_json json with
+      | Error e -> Alcotest.failf "node %d snapshot rejected: %s" sid e
+      | Ok snap ->
+          Alcotest.(check int) (Printf.sprintf "node %d id" sid) sid snap.Snapshot.node_id;
+          (* The Stats_request round trip happened mid-recv-loop, so the
+             node is inside an open phase at snapshot time. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d has an open tid-0 phase" sid)
+            true
+            (List.exists (fun os -> os.Snapshot.os_tid = 0) snap.Snapshot.open_spans);
+          (* Closed tid-0 phase spans tile the loop's wall-time exactly:
+             emitted in close order, each segment starts where the
+             previous one ended. *)
+          let segs =
+            List.filter
+              (fun (e : Trace.event) ->
+                e.Trace.ph = 'X' && e.Trace.tid = 0 && e.Trace.cat = Trace.Phase.cat)
+              snap.Snapshot.events
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "node %d recorded phases" sid)
+            true (segs <> []);
+          let eps = 1e-6 in
+          ignore
+            (List.fold_left
+               (fun prev_end (e : Trace.event) ->
+                 (match prev_end with
+                 | Some pe ->
+                     if Float.abs (e.Trace.ts -. pe) > eps then
+                       Alcotest.failf "node %d: phase gap/overlap at %.6f (prev end %.6f)"
+                         sid e.Trace.ts pe
+                 | None -> ());
+                 Some (e.Trace.ts +. e.Trace.dur))
+               None segs))
+    outcome.NodeTcp.node_snapshots
+
 (* ---- §4.5 recovery over TCP: kill a member mid-round ---- *)
 
 (* The victim is picked from the round's actual group formation (sampling
@@ -564,6 +654,7 @@ let suite =
       Alcotest.test_case "sim cluster deterministic" `Quick test_sim_cluster_deterministic;
       Alcotest.test_case "node survives bad frame" `Quick test_sim_node_survives_bad_frame;
       Alcotest.test_case "tcp threaded cluster" `Quick test_tcp_threaded_cluster;
+      Alcotest.test_case "tcp traced cluster stats" `Quick test_tcp_traced_cluster_stats;
       Alcotest.test_case "tcp cluster kill recovery" `Quick test_tcp_cluster_kill_recovery;
       Alcotest.test_case "tcp cluster frame injection" `Quick
         test_tcp_cluster_survives_frame_injection;

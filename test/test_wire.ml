@@ -224,6 +224,10 @@ let all_control_msgs : Ctrl.t list =
     Ctrl.Failed { sids = [| 3; 5 |] };
     Ctrl.Failed { sids = [||] };
     Ctrl.Retransmit;
+    Ctrl.Stats_request { token = 7 };
+    Ctrl.Stats_reply
+      { token = 7; node_id = 3; snapshot = "{\"schema\":\"atom-metrics/1\",\"node_id\":3}" };
+    Ctrl.Stats_reply { token = 0; node_id = 0; snapshot = "" };
   ]
 
 (* One instance of every data-plane message, with real ciphertexts (both
