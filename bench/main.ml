@@ -537,7 +537,7 @@ let wire_bench () =
   in
   let msg =
     C.Batch
-      { gid = 0; iter = 1; src_gid = 1; input = units; output = units;
+      { gid = 0; iter = 1; src_gid = 1; sent_at = 0; input = units; output = units;
         proofs = Array.make 1024 "" }
   in
   let encoded = C.encode msg in
@@ -798,10 +798,199 @@ let parallel () =
     Printf.printf "wrote BENCH_parallel.json\n\n"
   end
 
+(* ---- ingest: the submission plane ----
+
+   Three layers, measured separately so a regression names its culprit:
+   the admission verdict itself (token bucket + structural checks), the
+   intake path (dedup digest + bounded queue + seal), and the pipelined
+   epoch end to end (admit with real proof verification, mix through
+   Algorithm 2, seal and sign the bulletin). The hostile-mix pass reports
+   rejection rates under flooding and garbage — the numbers the CI gate
+   pins. *)
+
+let ingest_bench () =
+  header "Submission plane: admission, intake, pipelined epochs (zp-test group)";
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Pr = Protocol.Make (G) in
+  let module Adm = Atom_ingest.Admission in
+  let module Intake = Atom_ingest.Intake in
+  let module BSign = Bulletin.Signer (G) in
+  let rng = Atom_util.Rng.create 0x1d9e57 in
+  (* Cheap unique blobs for the non-cryptographic layers: an 8-byte
+     counter in a fixed-size buffer, no allocation churn beyond the
+     string itself. *)
+  let blob_of i =
+    let b = Bytes.make 24 'b' in
+    Bytes.set_int64_le b 0 (Int64.of_int i);
+    Bytes.unsafe_to_string b
+  in
+  (* Admission verdicts: wide-open policy so every check walks the full
+     token-bucket path and answers Admit. *)
+  let open_policy = { Adm.default_policy with Adm.rate = 1e9; burst = 1e9; queue_cap = max_int } in
+  let adm = Adm.create open_policy in
+  let n_adm = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n_adm - 1 do
+    ignore (Adm.check adm ~now:(float_of_int i *. 1e-6) ~client:(i land 1023) ~blob:(blob_of i) ~pow:"")
+  done;
+  let adm_rate = float_of_int n_adm /. (Unix.gettimeofday () -. t0) in
+  (* Intake submits: dedup digest + queue accounting + a trivial validate,
+     sealing every 4096 so the seal/purge cost is amortized in. *)
+  let ik = Intake.create ~policy:open_policy () in
+  let n_sub = 100_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n_sub - 1 do
+    (match
+       Intake.submit ik ~now:(float_of_int i *. 1e-6) ~client:(i land 1023) ~blob:(blob_of i)
+         ~pow:"" ~validate:(fun ~epoch:_ _ -> true)
+     with
+    | Intake.Accepted _ -> ()
+    | _ -> failwith "bench ingest: open-policy submit not accepted");
+    if i land 4095 = 4095 then ignore (Intake.seal ik ~epoch:(Intake.epoch ik))
+  done;
+  let sub_rate = float_of_int n_sub /. (Unix.gettimeofday () -. t0) in
+  (* Hashcash solve rate: what a client pays per submission at each
+     difficulty (expected 2^bits hashes per solve). *)
+  let pow_rates =
+    List.map
+      (fun (bits, solves) ->
+        let t0 = Unix.gettimeofday () in
+        for i = 0 to solves - 1 do
+          ignore (Adm.pow_solve ~bits ~blob:(blob_of (0x90000 + i)))
+        done;
+        (bits, float_of_int solves /. (Unix.gettimeofday () -. t0)))
+      [ (8, 40); (12, 6) ]
+  in
+  Printf.printf "%-34s %14s\n" "layer" "ops/s";
+  Printf.printf "%-34s %14.0f\n" "admission verdict" adm_rate;
+  Printf.printf "%-34s %14.0f\n" "intake submit (+seal/4096)" sub_rate;
+  List.iter
+    (fun (bits, r) ->
+      Printf.printf "%-34s %14.1f\n" (Printf.sprintf "pow solve (%d bits)" bits) r)
+    pow_rates;
+  (* End-to-end pipelined epochs: admit U submissions per epoch with the
+     real proof verification, mix them through Algorithm 2, seal and sign
+     the bulletin. Steady-state throughput is one epoch's posts over one
+     epoch's latency — collection overlaps the mix by construction. *)
+  let servers = 8 and groups = 4 in
+  let config =
+    {
+      Config.variant = Config.Basic; n_servers = servers; n_groups = groups; group_size = 2;
+      h = 1; f = 0.2; topology = Config.Square 3; msg_bytes = 32; seed = 11; mailboxes = 64;
+      dummy_mu = 2.; dummy_b = 1.;
+    }
+  in
+  Config.validate config;
+  let net = Pr.setup rng config () in
+  let bulletin_sk, bulletin_pk = BSign.keypair ~seed:config.Config.seed in
+  let board = Bulletin.create () in
+  let u_per_epoch = 128 and n_epochs = 6 in
+  let lats = Array.make n_epochs 0. in
+  let admit_lats = Array.make n_epochs 0. in
+  for e = 0 to n_epochs - 1 do
+    let subs =
+      List.init u_per_epoch (fun i ->
+          Pr.submit rng net ~user:i ~entry_gid:(i mod groups) (Printf.sprintf "e%d.m%d" e i))
+    in
+    let blobs = List.map Pr.Wire.submission_to_bytes subs in
+    let ik = Intake.create ~policy:open_policy () in
+    let seen = Hashtbl.create 256 in
+    let t_adm = Unix.gettimeofday () in
+    List.iteri
+      (fun i blob ->
+        match
+          Intake.submit ik ~now:(float_of_int i *. 1e-3) ~client:i ~blob ~pow:""
+            ~validate:(fun ~epoch:_ b ->
+              match Pr.Wire.submission_of_bytes b with
+              | Some s -> Pr.verify_submission net seen s
+              | None -> false)
+        with
+        | Intake.Accepted _ -> ()
+        | _ -> failwith "bench ingest: pipeline submission not accepted")
+      blobs;
+    ignore (Intake.seal ik ~epoch:e);
+    admit_lats.(e) <- Unix.gettimeofday () -. t_adm;
+    let t_mix = Unix.gettimeofday () in
+    let outcome = Pr.run rng net subs in
+    (match outcome.Pr.aborted with
+    | Some _ -> failwith "bench ingest: epoch aborted"
+    | None -> ());
+    let sealed = Bulletin.seal ~epoch:e outcome.Pr.delivered in
+    let signature = BSign.sign_sealed ~sk:bulletin_sk sealed in
+    if not (BSign.verify_sealed ~pk:bulletin_pk sealed ~signature) then
+      failwith "bench ingest: bulletin signature check failed";
+    Bulletin.publish_sealed board sealed;
+    lats.(e) <- Unix.gettimeofday () -. t_mix
+  done;
+  let p arr q = Atom_util.Stats.percentile arr q in
+  let lat_p50 = p lats 50. and lat_p99 = p lats 99. in
+  let pipe_sps = float_of_int u_per_epoch /. lat_p50 in
+  Printf.printf
+    "pipeline: %d submissions/epoch through %d servers (%d groups): admit %.3fs, epoch \
+     latency p50/p99 %.3f/%.3f s -> %.1f sub/s (%.2f per node)\n"
+    u_per_epoch servers groups (p admit_lats 50.) lat_p50 lat_p99 pipe_sps
+    (pipe_sps /. float_of_int servers);
+  (* Hostile mix: 4 clients flooding far over the sustained rate with 10%
+     garbage blobs; the interesting outputs are the backpressure and
+     reject fractions. *)
+  let hostile = Adm.create { Adm.default_policy with Adm.rate = 100.; burst = 20. } in
+  let offered = 2000 in
+  let acc = ref 0 and bp = ref 0 and rej = ref 0 in
+  for i = 0 to offered - 1 do
+    let garbage = i mod 10 = 0 in
+    match
+      Adm.check hostile ~now:(float_of_int i *. 1e-4) ~client:(i land 3)
+        ~blob:(if garbage then String.make (Adm.default_policy.Adm.max_blob + 1) 'g' else blob_of i)
+        ~pow:""
+    with
+    | Adm.Admit -> incr acc
+    | Adm.Backoff _ -> incr bp
+    | Adm.Deny _ -> incr rej
+  done;
+  let frac n = float_of_int n /. float_of_int offered in
+  Printf.printf
+    "hostile mix: %d offered -> %.1f%% admitted, %.1f%% backpressured, %.1f%% rejected\n\n"
+    offered (100. *. frac !acc) (100. *. frac !bp) (100. *. frac !rej);
+  if !json_mode then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"schema\": \"atom-bench-ingest/1\",\n  \"group\": \"zp-test\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"admission_checks_per_sec\": %.1f,\n  \"intake_submissions_per_sec\": %.1f,\n"
+         adm_rate sub_rate);
+    Buffer.add_string buf "  \"pow\": [";
+    List.iteri
+      (fun i (bits, r) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s{\"bits\": %d, \"solves_per_sec\": %.2f}"
+             (if i = 0 then "" else ", ")
+             bits r))
+      pow_rates;
+    Buffer.add_string buf "],\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"pipeline\": {\"servers\": %d, \"groups\": %d, \"users_per_epoch\": %d, \
+          \"epochs\": %d, \"admit_s_p50\": %.4f, \"epoch_latency_s\": {\"p50\": %.4f, \
+          \"p99\": %.4f}, \"submissions_per_sec\": %.2f, \"submissions_per_sec_per_node\": \
+          %.3f},\n"
+         servers groups u_per_epoch n_epochs (p admit_lats 50.) lat_p50 lat_p99 pipe_sps
+         (pipe_sps /. float_of_int servers));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"rejection\": {\"offered\": %d, \"admitted\": %d, \"backpressured\": %d, \
+          \"rejected\": %d, \"backpressure_rate\": %.4f, \"rejected_rate\": %.4f}\n"
+         offered !acc !bp !rej (frac !bp) (frac !rej));
+    Buffer.add_string buf "}\n";
+    let oc = open_out "BENCH_ingest.json" in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote BENCH_ingest.json\n\n"
+  end
+
 let experiments : (string * string * (unit -> unit)) list =
   [
     ("table3", "crypto primitive latencies (bechamel)", table3);
     ("wire", "wire codec encode/decode throughput", wire_bench);
+    ("ingest", "submission-plane admission/intake/epoch pipeline", ingest_bench);
     ("table4", "group setup latency (DKG)", table4);
     ("fig5", "mixing iteration vs #messages", fig5);
     ("fig6", "mixing iteration vs group size", fig6);

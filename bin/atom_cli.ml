@@ -381,6 +381,60 @@ let members_of_group ~(config : Config.t) (gid : int) : int array =
   in
   formation.Group_formation.groups.(gid).Group_formation.members
 
+(* Reap child node processes and report *unexpected* failures: a child
+   that exited non-zero or died to a signal nobody meant to send.
+   [deliberate] holds node ids the harness itself killed (chaos kill
+   schedules); stragglers force-killed right here are excluded the same
+   way. The caller decides what a non-empty report costs — `cluster`
+   exits non-zero on one even when everything else (trace collection
+   included) succeeded. *)
+let reap_children ~(pids : int array) ~(deliberate : (int, unit) Hashtbl.t) ~(kill : bool) :
+    (int * string) list =
+  let idx_of pid =
+    let r = ref (-1) in
+    Array.iteri (fun i p -> if p = pid then r := i) pids;
+    !r
+  in
+  let forced = Hashtbl.create 4 in
+  let failures = ref [] in
+  let note pid st =
+    let i = idx_of pid in
+    if not (Hashtbl.mem forced pid || Hashtbl.mem deliberate i) then
+      match st with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c -> failures := (i, Printf.sprintf "exit status %d" c) :: !failures
+      | Unix.WSIGNALED s -> failures := (i, Printf.sprintf "killed by signal %d" s) :: !failures
+      | Unix.WSTOPPED _ -> ()
+  in
+  let force pid =
+    Hashtbl.replace forced pid ();
+    try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+  in
+  let deadline = Unix.gettimeofday () +. 5. in
+  let remaining = ref (Array.to_list pids) in
+  while !remaining <> [] && Unix.gettimeofday () < deadline do
+    remaining :=
+      List.filter
+        (fun pid ->
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ -> true
+          | _, st ->
+              note pid st;
+              false
+          | exception Unix.Unix_error _ -> false)
+        !remaining;
+    if !remaining <> [] && not kill then Unix.sleepf 0.05
+    else if !remaining <> [] then List.iter force !remaining
+  done;
+  List.iter
+    (fun pid ->
+      force pid;
+      match Unix.waitpid [] pid with
+      | _, st -> note pid st
+      | exception Unix.Unix_error _ -> ())
+    !remaining;
+  List.sort compare !failures
+
 type fleet_summary = {
   fs_matched : bool;
   fs_abort : string option;
@@ -398,6 +452,9 @@ type fleet_summary = {
          for that node's lane in the merged trace *)
   fs_node_snapshots : (int * Atom_obs.Snapshot.t) list; (* live-collected, decoded *)
   fs_snapshot_errors : (int * string) list; (* nodes whose snapshot was missing/bad *)
+  fs_child_failures : (int * string) list;
+      (* node processes that exited non-zero or died to a signal the
+         harness did not send — a failure even when the round matched *)
 }
 
 exception Fleet_failure of string
@@ -492,25 +549,8 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
             Unix.close log;
             pid)
   in
-  let reap ~kill =
-    let deadline = Unix.gettimeofday () +. 5. in
-    let remaining = ref (Array.to_list pids) in
-    while !remaining <> [] && Unix.gettimeofday () < deadline do
-      remaining :=
-        List.filter
-          (fun pid -> match Unix.waitpid [ Unix.WNOHANG ] pid with 0, _ -> true | _ -> false)
-          !remaining;
-      if !remaining <> [] && not kill then Unix.sleepf 0.05
-      else if !remaining <> [] then begin
-        List.iter (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()) !remaining
-      end
-    done;
-    List.iter
-      (fun pid ->
-        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-      !remaining
-  in
+  let deliberate = Hashtbl.create 4 in
+  let reap ~kill = reap_children ~pids ~deliberate ~kill in
   let peak_child = ref 0 in
   let collect_node_counters () =
     let tbl = Hashtbl.create 32 in
@@ -603,6 +643,7 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
                     Printf.printf "cluster[%s]: killing node %d (pid %d) at %.2fs\n%!" label
                       sid pids.(sid)
                       (Unix.gettimeofday () -. t_round);
+                    Hashtbl.replace deliberate sid ();
                     try Unix.kill pids.(sid) Sys.sigkill with Unix.Unix_error _ -> ())
                   victims
             | _ -> ());
@@ -641,7 +682,7 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
     if own_pool then Option.iter Atom_exec.Pool.shutdown pool;
     Atomic.set stop_watch true;
     Thread.join watcher;
-    reap ~kill:false;
+    let child_failures = reap ~kill:false in
     Tcp.close t;
     (* Strict decode of the live-collected snapshots; when stats were
        requested, a live node that never answered is an error too — the
@@ -684,9 +725,10 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
         List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) join_times []);
       fs_node_snapshots = List.sort compare node_snapshots;
       fs_snapshot_errors = List.sort compare snapshot_errors;
+      fs_child_failures = child_failures;
     }
   with Fleet_failure msg ->
-    reap ~kill:true;
+    let child_failures = reap ~kill:true in
     Tcp.close t;
     {
       fs_matched = false;
@@ -703,6 +745,7 @@ let run_fleet_round ~(config : Config.t) ~users ~domains ~node_bin ~timeout ~log
       fs_join_times = [];
       fs_node_snapshots = [];
       fs_snapshot_errors = [];
+      fs_child_failures = child_failures;
     }
 
 let cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes ~seed =
@@ -811,6 +854,9 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
     Printf.printf "recovery repair times: %s s (sweep start to pipeline resumption)\n"
       (String.concat ", " (List.map (Printf.sprintf "%.2f") r.fs_recovery_seconds));
   List.iter (fun m -> Printf.printf "  %s\n" m) r.fs_delivered;
+  List.iter
+    (fun (sid, why) -> Printf.printf "cluster: node %d process failed: %s\n" sid why)
+    r.fs_child_failures;
   print_endline
     (if r.fs_matched then "MATCH: cluster output equals the single-process reference"
      else "MISMATCH: cluster output differs from the single-process reference");
@@ -862,7 +908,9 @@ let run_cluster variant users servers groups group_size h iterations msg_bytes s
     print_registry obs;
     print_opcounts ops0
   end;
-  if (not r.fs_matched) || not snapshots_ok then exit 1
+  (* A child that crashed is a failed run even when the plaintext check and
+     the trace collection both succeeded — its exit status must propagate. *)
+  if (not r.fs_matched) || (not snapshots_ok) || r.fs_child_failures <> [] then exit 1
 
 (* Flag set shared by `cluster` and `cluster soak`. *)
 let cluster_users = Arg.(value & opt int 16 & info [ "users" ] ~doc:"Number of users.")
@@ -1218,6 +1266,545 @@ let cluster_cmd =
           (`cluster soak`).")
     [ soak_cmd ]
 
+(* ---- clients: submission-plane load generator ---- *)
+
+(* Per-client tallies, written only by that client's thread (joined before
+   the cross-check reads them). *)
+type client_stats = {
+  mutable cs_accepted : (string * int) list; (* honest plaintext, acked epoch *)
+  mutable cs_rejected_msgs : string list; (* well-formed but misrouted: must never publish *)
+  mutable cs_rejected : int;
+  mutable cs_backpressure : int;
+  mutable cs_retries : int;
+  mutable cs_lost : int; (* honest submission never acked within the budget *)
+  mutable cs_anomalies : int; (* misbehaving submission the plane accepted *)
+  mutable cs_announces : int;
+  mutable cs_bad_sigs : int;
+}
+
+(* Spawn an ingest-mode fleet, run N concurrent simulated clients against
+   the entry heads over real TCP, and drive pipelined epochs with
+   [run_ingest_coordinator]. The exit gate is the submission plane's
+   contract: every accepted submission appears on the signed bulletin of
+   exactly its acked epoch, nothing rejected or unacked ever appears, and
+   every epoch's seal verifies under the publisher key — including under
+   chaos drops and a mid-run kill of a non-entry-head node. *)
+let run_clients variant n_clients per_client arrival misbehave servers groups group_size h
+    iterations msg_bytes seed domains node_bin timeout epoch_s min_epochs pow_bits
+    ingest_rate ingest_burst queue_cap loss kill_at json_out log_dir =
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let module Pr = Protocol.Make (G) in
+  let module Node = Atom_rpc.Node.Make (G) (Atom_rpc.Tcp_transport.Check) in
+  let module Tcp = Atom_rpc.Tcp_transport in
+  let module Ctrl = Atom_wire.Control in
+  let module Adm = Atom_ingest.Admission in
+  if variant = Config.Trap then
+    failwith "clients: the trap endgame has no submission plane (basic|nizk)";
+  let config =
+    cluster_config ~variant ~servers ~groups ~group_size ~h ~iterations ~msg_bytes ~seed
+  in
+  Config.validate config;
+  if log_dir <> None then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
+  let obs = Atom_obs.Ctx.create () in
+  let coord = servers in
+  let t = Tcp.create ~obs ~node_id:coord ~send_timeout:2.0 () in
+  let port = Tcp.port t in
+  let node_bin =
+    match node_bin with
+    | Some p -> p
+    | None ->
+        let dir = Filename.dirname Sys.executable_name in
+        let exe = Filename.concat dir "atom_node.exe" in
+        if Sys.file_exists exe then exe else Filename.concat dir "atom_node"
+  in
+  let t0 = Unix.gettimeofday () in
+  let poll = 0.2 in
+  (match log_dir with
+  | Some dir when not (Sys.file_exists dir) -> Unix.mkdir dir 0o755
+  | _ -> ());
+  (* The [after] guard keeps the bring-up handshake clean; everything past
+     it — Submits, acks, step frames, announcements — rides the lossy
+     transport and must still satisfy the exactly-once gate. *)
+  let chaos = if loss > 0. then Printf.sprintf "after=1.0;drop=%g;seed=%d" loss seed else "" in
+  let pids =
+    Array.init servers (fun i ->
+        let args =
+          [|
+            node_bin; "--node-id"; string_of_int i;
+            "--coordinator-port"; string_of_int port;
+            "--variant"; variant_name config.Config.variant;
+            "--servers"; string_of_int servers;
+            "--groups"; string_of_int groups;
+            "--group-size"; string_of_int group_size;
+            "--honest"; string_of_int h;
+            "--iterations"; string_of_int iterations;
+            "--msg-bytes"; string_of_int msg_bytes;
+            "--seed"; string_of_int seed;
+            "--domains"; string_of_int domains;
+            "--recv-timeout"; Printf.sprintf "%g" poll;
+            "--max-idle"; string_of_int (max 1 (int_of_float (timeout /. poll)));
+            "--ingest";
+            "--ingest-rate"; Printf.sprintf "%g" ingest_rate;
+            "--ingest-burst"; Printf.sprintf "%g" ingest_burst;
+            "--ingest-pow-bits"; string_of_int pow_bits;
+            "--ingest-queue-cap"; string_of_int queue_cap;
+          |]
+        in
+        let args = if chaos = "" then args else Array.append args [| "--chaos"; chaos |] in
+        match log_dir with
+        | None -> Unix.create_process node_bin args Unix.stdin Unix.stdout Unix.stderr
+        | Some dir ->
+            let log =
+              Unix.openfile
+                (Filename.concat dir (Printf.sprintf "clients-node-%d.log" i))
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+            in
+            let pid =
+              Unix.create_process node_bin (Array.append args [| "--verbose" |]) Unix.stdin log
+                log
+            in
+            Unix.close log;
+            pid)
+  in
+  let deliberate = Hashtbl.create 4 in
+  let reap ~kill = reap_children ~pids ~deliberate ~kill in
+  let ports = Hashtbl.create servers in
+  (try
+     let deadline = Unix.gettimeofday () +. timeout in
+     while Hashtbl.length ports < servers && Unix.gettimeofday () < deadline do
+       match Tcp.recv t ~timeout:0.5 with
+       | Ok (_, frame) -> (
+           match Ctrl.decode frame with
+           | Some (Ctrl.Join { node_id; port }) ->
+               Hashtbl.replace ports node_id port;
+               Tcp.add_peer t ~node_id ~host:"127.0.0.1" ~port
+           | _ -> ())
+       | Error _ -> ()
+     done;
+     if Hashtbl.length ports < servers then
+       raise
+         (Fleet_failure
+            (Printf.sprintf "%d/%d nodes joined before timeout" (Hashtbl.length ports) servers));
+     let peers = Array.init servers (fun i -> (i, Hashtbl.find ports i)) in
+     let send_peers () =
+       for i = 0 to servers - 1 do
+         ignore (Tcp.send t ~dst:i (Ctrl.encode (Ctrl.Peers { peers })))
+       done
+     in
+     send_peers ();
+     let acked = Hashtbl.create servers in
+     let last_bcast = ref (Unix.gettimeofday ()) in
+     while Hashtbl.length acked < servers && Unix.gettimeofday () < deadline do
+       (match Tcp.recv t ~timeout:0.5 with
+       | Ok (_, frame) -> (
+           match Ctrl.decode frame with
+           | Some (Ctrl.Ack { token }) -> Hashtbl.replace acked token ()
+           | _ -> ())
+       | Error _ -> ());
+       if Hashtbl.length acked < servers && Unix.gettimeofday () -. !last_bcast > 2. then begin
+         last_bcast := Unix.gettimeofday ();
+         send_peers ()
+       end
+     done;
+     if Hashtbl.length acked < servers then
+       raise
+         (Fleet_failure
+            (Printf.sprintf "%d/%d nodes acked the peer list" (Hashtbl.length acked) servers))
+   with Fleet_failure msg ->
+     ignore (reap ~kill:true);
+     Tcp.close t;
+     Printf.printf "clients: fleet bring-up failed: %s\n" msg;
+     exit 1);
+  Printf.printf "clients: %d ingest nodes up (coordinator port %d) [%.2fs]\n%!" servers port
+    (Unix.gettimeofday () -. t0);
+  (* The same deterministic setup every node derived from --seed: the
+     client threads need it to build onions, the harness to know who the
+     entry heads are. Read-only from here on, so sharing across threads is
+     safe. *)
+  let net = Pr.setup (Atom_util.Rng.create seed) config () in
+  let heads = Array.init groups (fun gid -> net.Pr.groups.(gid).Pr.members.(0)) in
+  let is_head sid = Array.exists (fun hd -> hd = sid) heads in
+  let _, bulletin_pk = Node.bulletin_keypair config in
+  (* Chaos kill: a non-entry-head only. A dead entry head loses the units
+     only it had admitted — the documented loss bound — so the zero-loss
+     gate pins the kill to a mixing-only node (§4.5 recovers its roles). *)
+  let victim =
+    if kill_at <= 0. then None
+    else
+      match List.find_opt (fun sid -> not (is_head sid)) (List.init servers Fun.id) with
+      | None ->
+          Printf.printf "clients: every server heads an entry group; skipping --kill-at\n";
+          None
+      | v -> v
+  in
+  let stop_watch = Atomic.make false in
+  let watcher =
+    Thread.create
+      (fun () ->
+        let killed = ref false in
+        while not (Atomic.get stop_watch) do
+          (match victim with
+          | Some sid when (not !killed) && Unix.gettimeofday () -. t0 >= kill_at ->
+              killed := true;
+              Hashtbl.replace deliberate sid ();
+              Printf.printf "clients: killing node %d (pid %d) at %.2fs\n%!" sid pids.(sid)
+                (Unix.gettimeofday () -. t0);
+              (try Unix.kill pids.(sid) Sys.sigkill with Unix.Unix_error _ -> ())
+          | _ -> ());
+          Thread.delay 0.05
+        done)
+      ()
+  in
+  let active = Atomic.make n_clients in
+  let stop_all = Atomic.make false in
+  let stats =
+    Array.init n_clients (fun _ ->
+        {
+          cs_accepted = []; cs_rejected_msgs = []; cs_rejected = 0; cs_backpressure = 0;
+          cs_retries = 0; cs_lost = 0; cs_anomalies = 0; cs_announces = 0; cs_bad_sigs = 0;
+        })
+  in
+  let misbehaving j = j < int_of_float (misbehave *. float_of_int n_clients) in
+  let run_client j =
+    let st = stats.(j) in
+    let cid = servers + 1 + j in
+    let gid = j mod groups in
+    let head = heads.(gid) in
+    let ct = Tcp.create ~node_id:cid ~send_timeout:2.0 () in
+    Tcp.add_peer ct ~node_id:head ~host:"127.0.0.1" ~port:(Hashtbl.find ports head);
+    let rng = Atom_util.Rng.create (seed lxor (0x5eed0 + cid)) in
+    let on_announce ~epoch ~digest ~signature ~posts =
+      st.cs_announces <- st.cs_announces + 1;
+      if
+        not
+          (Node.BSign.verify_sealed ~pk:bulletin_pk { Bulletin.epoch; posts; digest } ~signature)
+      then st.cs_bad_sigs <- st.cs_bad_sigs + 1
+    in
+    for s = 0 to per_client - 1 do
+      (* Misbehaving clients flood (no pacing) and rotate garbage and
+         misrouted blobs through their traffic; honest ones pace to the
+         arrival rate with uniform jitter. *)
+      let bad = misbehaving j in
+      if not bad then
+        Unix.sleepf ((0.5 +. (float_of_int (Atom_util.Rng.int_below rng 1000) /. 1000.)) /. arrival);
+      let msg = Printf.sprintf "c%d.%d" cid s in
+      let kind =
+        if not bad then `Honest
+        else
+          match s mod 3 with
+          | 0 -> `Garbage
+          | 1 when groups > 1 -> `Misrouted
+          | _ -> `Honest
+      in
+      let blob =
+        match kind with
+        | `Garbage -> Atom_util.Rng.bytes rng 48
+        | `Misrouted ->
+            (* A perfectly valid onion handed to the wrong entry head:
+               stays well-formed end to end, so its absence from the
+               bulletin is the rejected-never-published check. *)
+            Pr.Wire.submission_to_bytes
+              (Pr.submit rng net ~user:cid ~entry_gid:((gid + 1) mod groups) msg)
+        | `Honest -> Pr.Wire.submission_to_bytes (Pr.submit rng net ~user:cid ~entry_gid:gid msg)
+      in
+      let pow = if pow_bits > 0 then Adm.pow_solve ~bits:pow_bits ~blob else "" in
+      let deadline = Unix.gettimeofday () +. timeout in
+      let verdict = ref `Pending in
+      while !verdict = `Pending && Unix.gettimeofday () < deadline do
+        (match
+           Tcp.send ct ~dst:head
+             (Ctrl.encode
+                (Ctrl.Submit
+                   { client = cid; port = Tcp.port ct; token = s; gid; epoch = 0; blob; pow }))
+         with
+        | Ok () -> ()
+        | Error _ -> ());
+        let wait_until = Unix.gettimeofday () +. 0.5 in
+        while !verdict = `Pending && Unix.gettimeofday () < wait_until do
+          match Tcp.recv ct ~timeout:0.25 with
+          | Ok (_, frame) -> (
+              match Ctrl.decode frame with
+              | Some (Ctrl.Submit_ack { token; status; epoch; retry_ms; queue_len = _ })
+                when token = s ->
+                  if status = Ctrl.submit_accepted then verdict := `Accepted epoch
+                  else if status = Ctrl.submit_retry then begin
+                    st.cs_backpressure <- st.cs_backpressure + 1;
+                    Unix.sleepf (float_of_int (max 1 retry_ms) /. 1000.);
+                    verdict := `Resend
+                  end
+                  else verdict := `Rejected
+              | Some (Ctrl.Bulletin_announce { epoch; digest; signature; posts }) ->
+                  on_announce ~epoch ~digest ~signature ~posts
+              | _ -> ())
+          | Error _ -> ()
+        done;
+        match !verdict with
+        | `Resend | `Pending ->
+            verdict := `Pending;
+            st.cs_retries <- st.cs_retries + 1
+        | _ -> ()
+      done;
+      match (!verdict, kind) with
+      | `Accepted e, `Honest -> st.cs_accepted <- (msg, e) :: st.cs_accepted
+      | `Accepted _, _ -> st.cs_anomalies <- st.cs_anomalies + 1
+      | `Rejected, `Misrouted ->
+          st.cs_rejected <- st.cs_rejected + 1;
+          st.cs_rejected_msgs <- msg :: st.cs_rejected_msgs
+      | `Rejected, _ -> st.cs_rejected <- st.cs_rejected + 1
+      | `Pending, `Honest -> st.cs_lost <- st.cs_lost + 1
+      | _ -> ()
+    done;
+    Atomic.decr active;
+    (* Stay on the line for bulletin announcements: the flush epoch is
+       sealed, mixed and announced only after every client has finished
+       submitting. *)
+    while not (Atomic.get stop_all) do
+      match Tcp.recv ct ~timeout:0.25 with
+      | Ok (_, frame) -> (
+          match Ctrl.decode frame with
+          | Some (Ctrl.Bulletin_announce { epoch; digest; signature; posts }) ->
+              on_announce ~epoch ~digest ~signature ~posts
+          | _ -> ())
+      | Error _ -> ()
+    done;
+    Tcp.close ct
+  in
+  let threads = List.init n_clients (fun j -> Thread.create run_client j) in
+  let pool, own_pool =
+    if domains > 1 then (Some (Atom_exec.Pool.create ~domains ()), true)
+    else if domains = 1 then (None, false)
+    else
+      match Sys.getenv_opt "ATOM_DOMAINS" with
+      | Some _ -> (Atom_exec.Pool.default (), false)
+      | None ->
+          let d = Atom_exec.Pool.auto_domains () in
+          if d > 1 then (Some (Atom_exec.Pool.create ~domains:d ()), true) else (None, false)
+  in
+  let outcome =
+    Node.run_ingest_coordinator ~obs
+      ~clock:(fun () -> Unix.gettimeofday () -. t0)
+      ?pool t ~config ~recv_timeout:0.1
+      ~max_idle:(max 1 (int_of_float (timeout /. 0.1)))
+      ~epoch_s ~min_epochs
+      ~keep_collecting:(fun () -> Atomic.get active > 0)
+      ()
+  in
+  if own_pool then Option.iter Atom_exec.Pool.shutdown pool;
+  Atomic.set stop_all true;
+  List.iter Thread.join threads;
+  Atomic.set stop_watch true;
+  Thread.join watcher;
+  let child_failures = reap ~kill:false in
+  Tcp.close t;
+  let wall = Unix.gettimeofday () -. t0 in
+  let epochs = outcome.Node.ing_epochs in
+  let posts_of e = Array.to_list e.Node.ep_sealed.Bulletin.posts in
+  let published = List.concat_map posts_of epochs in
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 stats in
+  let accepted = List.concat_map (fun st -> st.cs_accepted) (Array.to_list stats) in
+  (* The contract, checked per acked epoch: an accepted submission is on
+     the bulletin of exactly the epoch its ack named. *)
+  let lost =
+    List.filter
+      (fun (m, e) ->
+        match List.find_opt (fun ep -> ep.Node.ep_epoch = e) epochs with
+        | Some ep -> not (List.mem m (posts_of ep))
+        | None -> true)
+      accepted
+  in
+  let ghosts = List.filter (fun p -> not (List.mem_assoc p accepted)) published in
+  let dupes =
+    let sorted = List.sort compare published in
+    let rec count = function
+      | a :: (b :: _ as tl) -> (if a = b then 1 else 0) + count tl
+      | _ -> 0
+    in
+    count sorted
+  in
+  let rejected_on_board =
+    List.concat_map (fun st -> st.cs_rejected_msgs) (Array.to_list stats)
+    |> List.filter (fun m -> List.mem m published)
+  in
+  let sigs_ok =
+    List.for_all
+      (fun ep -> Node.BSign.verify_sealed ~pk:bulletin_pk ep.Node.ep_sealed ~signature:ep.Node.ep_signature)
+      epochs
+  in
+  let lost_acks = sum (fun st -> st.cs_lost) in
+  let anomalies = sum (fun st -> st.cs_anomalies) in
+  let bad_sigs = sum (fun st -> st.cs_bad_sigs) in
+  let lat = Array.of_list (List.map (fun ep -> ep.Node.ep_latency_s) epochs) in
+  let lp q = if Array.length lat = 0 then 0. else Atom_util.Stats.percentile lat q in
+  let n_accepted = List.length accepted in
+  let collect_s = float_of_int (List.length epochs) *. epoch_s in
+  let sps = if collect_s > 0. then float_of_int n_accepted /. collect_s else 0. in
+  let ok =
+    outcome.Node.ing_abort = None
+    && List.length epochs >= min_epochs
+    && lost = [] && ghosts = [] && dupes = 0 && rejected_on_board = [] && lost_acks = 0
+    && anomalies = 0 && sigs_ok && bad_sigs = 0 && child_failures = []
+  in
+  Printf.printf
+    "clients: %d clients, %d epochs published, %d accepted (%d on bulletin), %d rejected, \
+     %d backpressure acks, %d retries in %.2fs wall\n"
+    n_clients (List.length epochs) n_accepted
+    (List.length published)
+    (sum (fun st -> st.cs_rejected))
+    (sum (fun st -> st.cs_backpressure))
+    (sum (fun st -> st.cs_retries))
+    wall;
+  List.iter
+    (fun ep ->
+      Printf.printf "  epoch %d: %d posts, %d units mixed, seal->bulletin %.3fs\n"
+        ep.Node.ep_epoch
+        (Array.length ep.Node.ep_sealed.Bulletin.posts)
+        ep.Node.ep_mixed ep.Node.ep_latency_s)
+    epochs;
+  Printf.printf
+    "clients: %.1f accepted submissions/s (%.2f per node), epoch seal->bulletin p50/p99 \
+     %.3f/%.3f s, %d announcements heard\n"
+    sps
+    (sps /. float_of_int servers)
+    (lp 50.) (lp 99.)
+    (sum (fun st -> st.cs_announces));
+  (match outcome.Node.ing_abort with
+  | Some a -> Printf.printf "clients: coordinator ABORT: %s\n" a
+  | None -> ());
+  if outcome.Node.ing_failed_nodes <> [] then
+    Printf.printf "clients: failed nodes %s (%d recovery sweeps)\n"
+      (String.concat ", " (List.map string_of_int outcome.Node.ing_failed_nodes))
+      outcome.Node.ing_recovery_rounds;
+  if lost <> [] then
+    Printf.printf "clients: LOST %d accepted submissions (e.g. %s @ epoch %d)\n"
+      (List.length lost)
+      (fst (List.hd lost))
+      (snd (List.hd lost));
+  if ghosts <> [] then
+    Printf.printf "clients: %d bulletin posts nobody submitted\n" (List.length ghosts);
+  if dupes > 0 then Printf.printf "clients: %d duplicated bulletin posts\n" dupes;
+  if rejected_on_board <> [] then
+    Printf.printf "clients: %d REJECTED submissions reached the bulletin\n"
+      (List.length rejected_on_board);
+  if lost_acks > 0 then Printf.printf "clients: %d honest submissions never acked\n" lost_acks;
+  if anomalies > 0 then
+    Printf.printf "clients: %d misbehaving submissions were accepted\n" anomalies;
+  if (not sigs_ok) || bad_sigs > 0 then print_endline "clients: bulletin signature check FAILED";
+  List.iter
+    (fun (sid, why) -> Printf.printf "clients: node %d process failed: %s\n" sid why)
+    child_failures;
+  print_endline
+    (if ok then "OK: every accepted submission is on the signed bulletin exactly once"
+     else "FAILED: submission-plane contract violated");
+  (match json_out with
+  | None -> ()
+  | Some path ->
+      let b = Buffer.create 1024 in
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\n  \"schema\": \"atom-clients/1\",\n  \"clients\": %d,\n  \"servers\": %d,\n\
+           \  \"groups\": %d,\n  \"epochs\": %d,\n  \"accepted\": %d,\n  \"published\": %d,\n\
+           \  \"rejected\": %d,\n  \"backpressure\": %d,\n  \"retries\": %d,\n\
+           \  \"lost_acks\": %d,\n  \"lost_published\": %d,\n  \"ghost_published\": %d,\n\
+           \  \"duplicate_published\": %d,\n  \"rejected_on_bulletin\": %d,\n\
+           \  \"anomalies\": %d,\n  \"announces\": %d,\n  \"bad_sigs\": %d,\n\
+           \  \"submissions_per_sec\": %.3f,\n  \"submissions_per_sec_per_node\": %.4f,\n\
+           \  \"epoch_latency_s\": {\"p50\": %.4f, \"p99\": %.4f},\n  \"wall_s\": %.3f,\n\
+           \  \"failed_nodes\": [%s],\n  \"child_failures\": [%s],\n  \"abort\": %s,\n\
+           \  \"verdict\": \"%s\"\n}\n"
+           n_clients servers groups (List.length epochs) n_accepted (List.length published)
+           (sum (fun st -> st.cs_rejected))
+           (sum (fun st -> st.cs_backpressure))
+           (sum (fun st -> st.cs_retries))
+           lost_acks (List.length lost) (List.length ghosts) dupes
+           (List.length rejected_on_board)
+           anomalies
+           (sum (fun st -> st.cs_announces))
+           bad_sigs sps
+           (sps /. float_of_int servers)
+           (lp 50.) (lp 99.) wall
+           (String.concat ", " (List.map string_of_int outcome.Node.ing_failed_nodes))
+           (String.concat ", "
+              (List.map
+                 (fun (sid, why) -> Printf.sprintf "[%d, \"%s\"]" sid (json_escape why))
+                 child_failures))
+           (match outcome.Node.ing_abort with
+           | Some a -> Printf.sprintf "\"%s\"" (json_escape a)
+           | None -> "null")
+           (if ok then "ok" else "failed"));
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
+      Printf.printf "wrote %s\n" path);
+  if not ok then exit 1
+
+let clients_cmd =
+  let variant =
+    Arg.(value & opt variant_conv Config.Basic & info [ "variant" ] ~doc:"basic|nizk.")
+  in
+  let n_clients =
+    Arg.(value & opt int 200 & info [ "clients" ] ~doc:"Concurrent simulated clients.")
+  in
+  let per_client =
+    Arg.(value & opt int 3 & info [ "per-client" ] ~doc:"Submissions per client.")
+  in
+  let arrival =
+    Arg.(
+      value & opt float 2.
+      & info [ "arrival" ] ~doc:"Honest per-client submission arrival rate (1/s).")
+  in
+  let misbehave =
+    Arg.(
+      value & opt float 0.1
+      & info [ "misbehave" ]
+          ~doc:
+            "Fraction of clients that flood and rotate garbage / misrouted blobs through \
+             their traffic.")
+  in
+  let timeout =
+    Arg.(value & opt float 120. & info [ "timeout" ] ~doc:"Bring-up / per-submission / idle budget (s).")
+  in
+  let epoch_s =
+    Arg.(value & opt float 2. & info [ "epoch-s" ] ~doc:"Seal an ingest epoch every this many seconds.")
+  in
+  let min_epochs =
+    Arg.(value & opt int 3 & info [ "min-epochs" ] ~doc:"Pipelined epochs to run at minimum.")
+  in
+  let pow_bits =
+    Arg.(
+      value & opt int 0
+      & info [ "pow-bits" ] ~doc:"Hashcash difficulty (nodes enforce, clients solve); 0 disables.")
+  in
+  let ingest_rate =
+    Arg.(value & opt float 20. & info [ "ingest-rate" ] ~doc:"Admission: sustained submissions/s per client.")
+  in
+  let ingest_burst =
+    Arg.(value & opt float 8. & info [ "ingest-burst" ] ~doc:"Admission: token-bucket depth.")
+  in
+  let queue_cap =
+    Arg.(value & opt int 4096 & info [ "queue-cap" ] ~doc:"Per-epoch intake bound (backpressure above).")
+  in
+  let kill_at =
+    Arg.(
+      value & opt float 0.
+      & info [ "kill-at" ]
+          ~doc:"SIGKILL one non-entry-head node this many seconds in (0 disables).")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None & info [ "json-out" ] ~doc:"Write the run summary JSON here.")
+  in
+  Cmd.v
+    (Cmd.info "clients"
+       ~doc:
+         "Submission-plane load generator: an ingest-mode fleet on loopback, N concurrent \
+          TCP clients (some misbehaving) submitting into entry groups, pipelined epochs \
+          sealed on a timer, and a signed bulletin per epoch. Non-zero exit if any accepted \
+          submission is lost or duplicated, anything rejected is published, or a node \
+          process fails unexpectedly.")
+    Term.(
+      const run_clients $ variant $ n_clients $ per_client $ arrival $ misbehave
+      $ cluster_servers $ cluster_groups $ cluster_group_size $ cluster_h $ cluster_iterations
+      $ cluster_msg_bytes $ cluster_seed $ cluster_domains $ cluster_node_bin $ timeout
+      $ epoch_s $ min_epochs $ pow_bits $ ingest_rate $ ingest_burst $ queue_cap
+      $ cluster_loss $ kill_at $ json_out $ cluster_log_dir)
+
 (* ---- sizing ---- *)
 
 let run_sizing f groups bits h_max =
@@ -1257,6 +1844,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            round_cmd; simulate_cmd; distributed_cmd; trace_cmd; cluster_cmd; sizing_cmd;
-            calibrate_cmd;
+            round_cmd; simulate_cmd; distributed_cmd; trace_cmd; cluster_cmd; clients_cmd;
+            sizing_cmd; calibrate_cmd;
           ]))

@@ -26,7 +26,8 @@ let variant_conv =
   Arg.conv (parse, print)
 
 let run node_id coord_port host variant servers groups group_size h iterations msg_bytes seed
-    domains recv_timeout max_idle chaos metrics_out trace stats_every verbose =
+    domains recv_timeout max_idle chaos metrics_out trace stats_every verbose ingest
+    ingest_rate ingest_burst ingest_pow_bits ingest_queue_cap =
   if verbose then Atom_obs.Log.set_level (Some Atom_obs.Log.Info);
   (* The registry is always live — counters are a load+store, and a node
      must be able to answer Stats_request at any time. Tracing stays
@@ -141,12 +142,31 @@ let run node_id coord_port host variant servers groups group_size h iterations m
            ())
   | Some _, None -> Printf.eprintf "atom_node: --stats-every needs --metrics-out; ignoring\n%!"
   | _ -> ());
+  (* Ingest mode: accept client Submit frames under an admission policy.
+     Clients self-identify with their listen port; registering them as TCP
+     peers opens the ack/bulletin return path (ids above the server range
+     never enter §4.5 routing). *)
+  let ingest_policy =
+    if not ingest then None
+    else
+      Some
+        {
+          Atom_ingest.Admission.default_policy with
+          Atom_ingest.Admission.rate = ingest_rate;
+          burst = ingest_burst;
+          pow_bits = ingest_pow_bits;
+          queue_cap = ingest_queue_cap;
+        }
+  in
   Node.run_node ~obs ~clock ?pool ct ~config ~node_id ~coord ~recv_timeout ~max_idle
     ~on_peers:(fun peers ->
       Array.iter
         (fun (id, port) ->
           if id <> node_id then Atom_rpc.Tcp_transport.add_peer t ~node_id:id ~host ~port)
         peers)
+    ?ingest:ingest_policy
+    ~register_client:(fun ~client ~port ->
+      Atom_rpc.Tcp_transport.add_peer t ~node_id:client ~host ~port)
     ();
   Atom_rpc.Tcp_transport.close t;
   Mutex.lock stats_mu;
@@ -213,11 +233,36 @@ let cmd =
           ~docv:"SECONDS")
   in
   let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log node activity to stderr.") in
+  let ingest =
+    Arg.(
+      value & flag
+      & info [ "ingest" ]
+          ~doc:
+            "Accept client submissions directly (Submit frames) under admission control, \
+             with epochs sealed by coordinator barriers.")
+  in
+  let ingest_rate =
+    Arg.(value & opt float 10. & info [ "ingest-rate" ] ~doc:"Sustained submissions/sec per client.")
+  in
+  let ingest_burst =
+    Arg.(value & opt float 20. & info [ "ingest-burst" ] ~doc:"Per-client token-bucket depth.")
+  in
+  let ingest_pow_bits =
+    Arg.(
+      value & opt int 0
+      & info [ "ingest-pow-bits" ] ~doc:"Hashcash difficulty for submissions (0 disables).")
+  in
+  let ingest_queue_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "ingest-queue-cap" ] ~doc:"Per-epoch intake queue bound (backpressure above).")
+  in
   Cmd.v
     (Cmd.info "atom_node" ~doc:"One Atom server process (spawned by atom_cli cluster).")
     Term.(
       const run $ node_id $ coord_port $ host $ variant $ servers $ groups $ group_size $ h
       $ iterations $ msg_bytes $ seed $ domains $ recv_timeout $ max_idle $ chaos
-      $ metrics_out $ trace $ stats_every $ verbose)
+      $ metrics_out $ trace $ stats_every $ verbose $ ingest $ ingest_rate $ ingest_burst
+      $ ingest_pow_bits $ ingest_queue_cap)
 
 let () = exit (Cmd.eval cmd)

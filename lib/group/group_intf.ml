@@ -104,6 +104,14 @@ module type GROUP = sig
   (** Decode with full validation (subgroup / curve membership); [None] on
       malformed input. *)
 
+  val of_bytes_unchecked : string -> t option
+  (** Decode with structural validation only (length / range), deferring
+      any expensive membership check to first use — e.g. to a batched
+      verification over a whole decoded vector. Backends whose decoding is
+      inherently validating (curve-point decompression with cofactor 1)
+      alias {!of_bytes}. Never feed the result to secret-dependent
+      operations without a later membership check. *)
+
   val embed_bytes : int
   (** Payload capacity of {!embed}, in bytes. *)
 

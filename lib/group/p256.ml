@@ -746,6 +746,10 @@ let of_bytes s =
     | _ -> None
   end
 
+(* Decompression already solves the curve equation for y and the cofactor
+   is 1, so there is no membership check left to defer. *)
+let of_bytes_unchecked = of_bytes
+
 let embed_bytes = 28
 let embed_marker = '\x01'
 

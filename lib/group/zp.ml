@@ -140,6 +140,17 @@ let make (params : params) : (module Group_intf.GROUP) =
         end
       end
 
+    (* Structural checks only: the QR (subgroup) test above is a full
+       exponentiation and dominates decode cost, so the deferred-validation
+       decode path skips it here and batch-verifies membership later. *)
+    let of_bytes_unchecked s =
+      if String.length s <> element_bytes then None
+      else begin
+        let v = Nat.of_bytes_be s in
+        if Nat.is_zero v || Nat.compare v params.p >= 0 then None
+        else Some (Modarith.of_nat ctx_p v)
+      end
+
     (* Payload must stay below p/2 with margin: reserve 9 bits. *)
     let embed_bytes = (Nat.bit_length params.p - 9) / 8
 

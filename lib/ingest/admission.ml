@@ -1,0 +1,145 @@
+(* Admission control for the client submission plane.
+
+   Two abuse-resistance mechanisms, composable and independently tunable
+   (both are standard for anonymous intake — Dissent's accountability
+   argument applies: an anonymity system that accepts unmetered writes
+   invites its own jamming):
+
+   - a per-client token bucket: sustained [rate] submissions/sec with
+     [burst] depth, refilled continuously from the caller-supplied clock
+     (no timers of our own — virtual time in the simulator, wall time on
+     TCP, both flow through [now]);
+   - optional hashcash proof-of-work: SHA-256(tag ‖ blob ‖ nonce) must
+     carry [pow_bits] leading zero bits, binding the work to the exact
+     submission bytes so a nonce cannot be reused across onions.
+
+   The per-client table is bounded: once [max_clients] distinct ids are
+   tracked, unknown ids are denied outright — an attacker minting client
+   ids exhausts its admission quota, not this process's heap. *)
+
+type policy = {
+  rate : float;  (* sustained submissions/sec per client *)
+  burst : float;  (* token-bucket depth *)
+  pow_bits : int;  (* hashcash difficulty; 0 disables *)
+  queue_cap : int;  (* per-epoch intake queue bound (enforced by Intake) *)
+  max_blob : int;  (* largest acceptable submission blob *)
+  max_clients : int;  (* per-client accounting table bound *)
+}
+
+let default_policy =
+  {
+    rate = 10.0;
+    burst = 20.0;
+    pow_bits = 0;
+    queue_cap = 4096;
+    max_blob = 1 lsl 20;
+    max_clients = 1 lsl 16;
+  }
+
+type verdict =
+  | Admit
+  | Backoff of int  (** Over rate; retry after this many milliseconds. *)
+  | Deny of string  (** Structurally unacceptable; retrying won't help. *)
+
+(* ---- Hashcash ---- *)
+
+let pow_tag = "atom-pow/1"
+
+let leading_zero_bits (s : string) : int =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then acc
+    else
+      let b = Char.code s.[i] in
+      if b = 0 then go (i + 1) (acc + 8)
+      else
+        let rec top k = if b land (0x80 lsr k) = 0 then top (k + 1) else k in
+        acc + top 0
+  in
+  go 0 0
+
+let pow_check ~(bits : int) ~(blob : string) ~(pow : string) : bool =
+  bits <= 0
+  || leading_zero_bits (Atom_hash.Sha256.digest (pow_tag ^ blob ^ pow)) >= bits
+
+(* Client-side solver (load generator, bench). Deterministic: counts
+   nonces up from 0, so the expected work is 2^bits hashes. *)
+let pow_solve ~(bits : int) ~(blob : string) : string =
+  if bits <= 0 then ""
+  else begin
+    let rec go i =
+      let nonce = string_of_int i in
+      if pow_check ~bits ~blob ~pow:nonce then nonce else go (i + 1)
+    in
+    go 0
+  end
+
+(* ---- Per-client token buckets ---- *)
+
+type bucket = { mutable tokens : float; mutable last : float }
+
+type t = {
+  policy : policy;
+  buckets : (int, bucket) Hashtbl.t;
+  m_admitted : Atom_obs.Metrics.counter;
+  m_rate_limited : Atom_obs.Metrics.counter;
+  m_pow_rejected : Atom_obs.Metrics.counter;
+  m_denied : Atom_obs.Metrics.counter;
+}
+
+let create ?(obs = Atom_obs.Ctx.noop) (policy : policy) : t =
+  let reg = Atom_obs.Ctx.metrics obs in
+  {
+    policy;
+    buckets = Hashtbl.create 256;
+    m_admitted = Atom_obs.Metrics.counter reg "ingest.admitted";
+    m_rate_limited = Atom_obs.Metrics.counter reg "ingest.rate_limited";
+    m_pow_rejected = Atom_obs.Metrics.counter reg "ingest.pow_rejected";
+    m_denied = Atom_obs.Metrics.counter reg "ingest.denied";
+  }
+
+let clients_tracked (t : t) : int = Hashtbl.length t.buckets
+
+let check (t : t) ~(now : float) ~(client : int) ~(blob : string) ~(pow : string) : verdict =
+  let p = t.policy in
+  if String.length blob > p.max_blob then begin
+    Atom_obs.Metrics.incr t.m_denied;
+    Deny "blob exceeds max size"
+  end
+  else if not (pow_check ~bits:p.pow_bits ~blob ~pow) then begin
+    Atom_obs.Metrics.incr t.m_pow_rejected;
+    Deny "proof-of-work check failed"
+  end
+  else begin
+    let bucket =
+      match Hashtbl.find_opt t.buckets client with
+      | Some b -> Some b
+      | None ->
+          if Hashtbl.length t.buckets >= p.max_clients then None
+          else begin
+            let b = { tokens = p.burst; last = now } in
+            Hashtbl.add t.buckets client b;
+            Some b
+          end
+    in
+    match bucket with
+    | None ->
+        Atom_obs.Metrics.incr t.m_denied;
+        Deny "client table full"
+    | Some b ->
+        (* Refill continuously; clocks that jump backwards (coarse virtual
+           time) must not mint tokens, hence the max. *)
+        let dt = Float.max 0. (now -. b.last) in
+        b.tokens <- Float.min p.burst (b.tokens +. (dt *. p.rate));
+        b.last <- now;
+        if b.tokens >= 1.0 then begin
+          b.tokens <- b.tokens -. 1.0;
+          Atom_obs.Metrics.incr t.m_admitted;
+          Admit
+        end
+        else begin
+          Atom_obs.Metrics.incr t.m_rate_limited;
+          let wait_s = (1.0 -. b.tokens) /. Float.max 1e-9 p.rate in
+          Backoff (max 1 (int_of_float (ceil (wait_s *. 1000.))))
+        end
+  end

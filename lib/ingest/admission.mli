@@ -1,0 +1,34 @@
+(** Admission control for the client submission plane: per-client token
+    buckets plus optional hashcash proof-of-work, both clock-agnostic
+    (time flows in through [now]). *)
+
+type policy = {
+  rate : float;  (** Sustained submissions/sec per client. *)
+  burst : float;  (** Token-bucket depth. *)
+  pow_bits : int;  (** Hashcash difficulty in leading zero bits; 0 disables. *)
+  queue_cap : int;  (** Per-epoch intake queue bound (enforced by {!Intake}). *)
+  max_blob : int;  (** Largest acceptable submission blob. *)
+  max_clients : int;  (** Per-client accounting table bound. *)
+}
+
+val default_policy : policy
+
+type verdict =
+  | Admit
+  | Backoff of int  (** Over rate; retry after this many milliseconds. *)
+  | Deny of string  (** Structurally unacceptable; retrying won't help. *)
+
+val leading_zero_bits : string -> int
+
+val pow_check : bits:int -> blob:string -> pow:string -> bool
+(** SHA-256(tag ‖ blob ‖ nonce) carries ≥ [bits] leading zero bits; the
+    binding to [blob] stops nonce reuse across submissions. *)
+
+val pow_solve : bits:int -> blob:string -> string
+(** Client-side solver (load generator / bench): expected 2^bits hashes. *)
+
+type t
+
+val create : ?obs:Atom_obs.Ctx.t -> policy -> t
+val clients_tracked : t -> int
+val check : t -> now:float -> client:int -> blob:string -> pow:string -> verdict

@@ -1,0 +1,148 @@
+(* Per-node intake: bounded epoch queues with explicit backpressure and
+   exactly-once admission.
+
+   The intake owns *admission state* — token buckets, the blob-digest
+   dedup table, per-epoch queue counts — while the embedding node owns the
+   admitted payloads (decoded onion units) via the [validate] callback:
+   validation and stashing happen in one pass over the blob, and this
+   module stays independent of the group backend.
+
+   Exactly-once discipline: a client retries a submission until it sees an
+   ack, so the same blob may arrive many times (the first ack can be lost,
+   the chaos layer may drop either direction). The dedup table maps blob
+   digest → the epoch it was admitted into, and a retry of an admitted
+   blob is re-acked with the *original* epoch, without charging tokens or
+   re-validating. Dedup runs before everything else — in particular before
+   the protocol-layer validator, whose replay tracking would otherwise
+   reject the retry as a replay and turn a lost ack into a lost message.
+
+   Epoch pipelining: [epoch t] is the epoch currently collecting. [seal]
+   (driven by the coordinator's barrier) closes an epoch and advances
+   collection to the next one, so epoch k's mixing overlaps epoch k+1's
+   collection. Dedup entries are kept for [dedup_window] sealed epochs —
+   a client that is still retrying a submission that long after admission
+   has already timed out at the application layer. *)
+
+type status =
+  | Accepted of { epoch : int; queue_len : int }
+  | Backpressure of { retry_ms : int; queue_len : int }
+  | Rejected of { reason : string; queue_len : int }
+
+let dedup_window = 8
+
+type t = {
+  adm : Admission.t;
+  policy : Admission.policy;
+  mutable epoch : int;  (* collecting epoch *)
+  counts : (int, int ref) Hashtbl.t;  (* epoch -> admitted count *)
+  seen : (string, int) Hashtbl.t;  (* blob digest -> admitted epoch *)
+  by_epoch : (int, string list ref) Hashtbl.t;  (* for dedup purging *)
+  m_accepted : Atom_obs.Metrics.counter;
+  m_rejected : Atom_obs.Metrics.counter;
+  m_backpressure : Atom_obs.Metrics.counter;
+  m_dedup_hits : Atom_obs.Metrics.counter;
+  m_sealed : Atom_obs.Metrics.counter;
+  g_queue : Atom_obs.Metrics.gauge;
+  g_epoch : Atom_obs.Metrics.gauge;
+}
+
+let create ?(obs = Atom_obs.Ctx.noop) ?(policy = Admission.default_policy) () : t =
+  let reg = Atom_obs.Ctx.metrics obs in
+  {
+    adm = Admission.create ~obs policy;
+    policy;
+    epoch = 0;
+    counts = Hashtbl.create 8;
+    seen = Hashtbl.create 1024;
+    by_epoch = Hashtbl.create 8;
+    m_accepted = Atom_obs.Metrics.counter reg "ingest.accepted";
+    m_rejected = Atom_obs.Metrics.counter reg "ingest.rejected";
+    m_backpressure = Atom_obs.Metrics.counter reg "ingest.backpressure";
+    m_dedup_hits = Atom_obs.Metrics.counter reg "ingest.dedup_hits";
+    m_sealed = Atom_obs.Metrics.counter reg "ingest.epochs_sealed";
+    g_queue = Atom_obs.Metrics.gauge reg "ingest.queue_depth";
+    g_epoch = Atom_obs.Metrics.gauge reg "ingest.collecting_epoch";
+  }
+
+let policy (t : t) : Admission.policy = t.policy
+let epoch (t : t) : int = t.epoch
+
+let queue_len (t : t) : int =
+  match Hashtbl.find_opt t.counts t.epoch with Some c -> !c | None -> 0
+
+let epoch_count (t : t) ~(epoch : int) : int =
+  match Hashtbl.find_opt t.counts epoch with Some c -> !c | None -> 0
+
+(* [validate] decodes + verifies the blob and, on success, stashes its
+   payload under [epoch t] — one pass, caller-owned storage. *)
+let submit (t : t) ~(now : float) ~(client : int) ~(blob : string) ~(pow : string)
+    ~(validate : epoch:int -> string -> bool) : status =
+  let ql = queue_len t in
+  let digest = Atom_hash.Sha256.digest blob in
+  match Hashtbl.find_opt t.seen digest with
+  | Some admitted_epoch ->
+      (* Idempotent re-ack: the client's first ack was lost. *)
+      Atom_obs.Metrics.incr t.m_dedup_hits;
+      Accepted { epoch = admitted_epoch; queue_len = ql }
+  | None -> (
+      match Admission.check t.adm ~now ~client ~blob ~pow with
+      | Admission.Deny reason ->
+          Atom_obs.Metrics.incr t.m_rejected;
+          Rejected { reason; queue_len = ql }
+      | Admission.Backoff retry_ms ->
+          Atom_obs.Metrics.incr t.m_backpressure;
+          Backpressure { retry_ms; queue_len = ql }
+      | Admission.Admit ->
+          if ql >= t.policy.Admission.queue_cap then begin
+            (* Queue full: explicit backpressure, retry next epoch. *)
+            Atom_obs.Metrics.incr t.m_backpressure;
+            Backpressure { retry_ms = 250; queue_len = ql }
+          end
+          else if not (validate ~epoch:t.epoch blob) then begin
+            Atom_obs.Metrics.incr t.m_rejected;
+            Rejected { reason = "invalid submission"; queue_len = ql }
+          end
+          else begin
+            let c =
+              match Hashtbl.find_opt t.counts t.epoch with
+              | Some c -> c
+              | None ->
+                  let c = ref 0 in
+                  Hashtbl.add t.counts t.epoch c;
+                  c
+            in
+            incr c;
+            Hashtbl.replace t.seen digest t.epoch;
+            let lst =
+              match Hashtbl.find_opt t.by_epoch t.epoch with
+              | Some l -> l
+              | None ->
+                  let l = ref [] in
+                  Hashtbl.add t.by_epoch t.epoch l;
+                  l
+            in
+            lst := digest :: !lst;
+            Atom_obs.Metrics.incr t.m_accepted;
+            Atom_obs.Metrics.set t.g_queue (float_of_int !c);
+            Accepted { epoch = t.epoch; queue_len = !c }
+          end)
+
+(* Close [epoch] and advance collection past it (idempotent; barriers can
+   be retransmitted). Returns the admitted count for the sealed epoch. *)
+let seal (t : t) ~(epoch : int) : int =
+  let n = epoch_count t ~epoch in
+  if t.epoch <= epoch then begin
+    t.epoch <- epoch + 1;
+    Atom_obs.Metrics.incr t.m_sealed;
+    Atom_obs.Metrics.set t.g_epoch (float_of_int t.epoch);
+    Atom_obs.Metrics.set t.g_queue (float_of_int (queue_len t))
+  end;
+  (* Purge dedup entries old enough that no client still retries them. *)
+  let purge = epoch - dedup_window in
+  (match Hashtbl.find_opt t.by_epoch purge with
+  | Some l ->
+      List.iter (Hashtbl.remove t.seen) !l;
+      Hashtbl.remove t.by_epoch purge;
+      Hashtbl.remove t.counts purge
+  | None -> ());
+  n

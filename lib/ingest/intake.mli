@@ -1,0 +1,40 @@
+(** Per-node intake: bounded epoch queues, explicit backpressure, and
+    exactly-once admission via blob-digest dedup with idempotent re-acks.
+    The embedding node owns admitted payloads through the [validate]
+    callback; this module owns admission state only. *)
+
+type status =
+  | Accepted of { epoch : int; queue_len : int }
+  | Backpressure of { retry_ms : int; queue_len : int }
+  | Rejected of { reason : string; queue_len : int }
+
+val dedup_window : int
+(** Sealed epochs a blob digest stays deduplicable for. *)
+
+type t
+
+val create : ?obs:Atom_obs.Ctx.t -> ?policy:Admission.policy -> unit -> t
+val policy : t -> Admission.policy
+
+val epoch : t -> int
+(** The epoch currently collecting. *)
+
+val queue_len : t -> int
+val epoch_count : t -> epoch:int -> int
+
+val submit :
+  t ->
+  now:float ->
+  client:int ->
+  blob:string ->
+  pow:string ->
+  validate:(epoch:int -> string -> bool) ->
+  status
+(** Order: dedup (re-ack with the original epoch, no token charge) →
+    size/PoW/rate admission → queue bound → [validate] (which decodes,
+    verifies and stashes in one pass). *)
+
+val seal : t -> epoch:int -> int
+(** Close [epoch], advance collection past it (idempotent), purge dedup
+    state older than {!dedup_window}; returns the sealed epoch's admitted
+    count. *)

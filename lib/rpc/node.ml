@@ -67,11 +67,19 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
   let member_at (net : Pr.network) (gid : int) (pos : int) : int =
     net.Pr.groups.(gid).Pr.members.(pos - 1)
 
-  let neighbors (net : Pr.network) ~(iter : int) ~(gid : int) : int array =
-    net.Pr.topo.Atom_topology.Topology.neighbors ~iter ~group:gid
-
   let iterations (net : Pr.network) : int =
     net.Pr.topo.Atom_topology.Topology.iterations
+
+  (* Iterations are *absolute* across pipelined epochs: epoch e's layer l
+     runs as iter = e·T + l (T = topology iterations). Everything keyed by
+     iter — dedup keys, proof contexts, step RNG — is epoch-unique for
+     free; only the topology itself is per-layer, so lookups normalize. *)
+  let neighbors (net : Pr.network) ~(iter : int) ~(gid : int) : int array =
+    net.Pr.topo.Atom_topology.Topology.neighbors ~iter:(iter mod iterations net)
+      ~group:gid
+
+  let last_layer (net : Pr.network) (iter : int) : bool =
+    iter mod iterations net = iterations net - 1
 
   (* Batches arriving at [gid]'s layer [iter]: the fan-out of layer iter−1
      toward it. Derived from the topology so any wiring works, not just
@@ -200,6 +208,28 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
 
   (* ---- the node ---- *)
 
+  module Intake = Atom_ingest.Intake
+  module Admission = Atom_ingest.Admission
+  module BSign = Bulletin.Signer (G)
+
+  (* Seed-derived bulletin signing key: every process recomputes the same
+     keypair from the shared config seed, mirroring the stand-in DKG. *)
+  let bulletin_keypair (config : Config.t) : BSign.sk * BSign.pk =
+    BSign.keypair ~seed:config.Config.seed
+
+  (* Client submission plane state, present when the node runs with an
+     admission policy. Clients are *not* fleet members: their ids live
+     above the server range and they never appear in routing or failure
+     tracking — only in this table, for acks and bulletin fan-out. *)
+  type ingest_state = {
+    intake : Intake.t;
+    register_client : client:int -> port:int -> unit;
+    (* verified onion units accumulating per (gid, epoch) while collecting *)
+    ingest_pending : (int * int, Pr.El.vec list ref) Hashtbl.t;
+    ingest_clients : (int, unit) Hashtbl.t; (* submitters, for bulletin fan-out *)
+    bulletin_pk : BSign.pk;
+  }
+
   type head_input = { mutable parts : Pr.El.vec array list; mutable got : int }
 
   type node = {
@@ -213,8 +243,11 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     mutable roles : (int * int) list;
     (* head-only: accumulating inputs keyed (gid, iter) *)
     inputs : (int * int, head_input) Hashtbl.t;
-    entry_units : (int, Pr.El.vec array) Hashtbl.t; (* gid -> verified units *)
-    entry_started : (int, unit) Hashtbl.t;
+    (* (gid, epoch) -> verified units (legacy single-round flow is epoch 0) *)
+    entry_units : (int * int, Pr.El.vec array) Hashtbl.t;
+    entry_started : (int * int, unit) Hashtbl.t;
+    ingest : ingest_state option;
+    now : unit -> float; (* caller clock; constant 0.0 when unbound *)
     seen : (string, int) Hashtbl.t; (* duplicate-submission check, per head *)
     failed : bool array; (* server id -> presumed dead (routing input) *)
     outbox : Outbox.t; (* retained sent frames, for Retransmit *)
@@ -234,6 +267,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     m_dups_dropped : Atom_obs.Metrics.counter;
     m_recoveries : Atom_obs.Metrics.counter;
     m_resends : Atom_obs.Metrics.counter;
+    m_flight : Atom_obs.Metrics.histogram; (* step-frame send → receive, s *)
   }
 
   let roles_of (net : Pr.network) (node_id : int) : (int * int) list =
@@ -263,6 +297,21 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     Atom_obs.Log.warn "node %d: dropped bad frame (%s)" n.node_id what
 
   let phase (n : node) (name : string) : unit = Trace.Phase.switch n.ph name
+
+  (* Send timestamp for step frames, µs on the caller's clock; 0 means
+     unclocked (the deterministic sim harness) and receivers skip it. *)
+  let now_us (n : node) : int = int_of_float (n.now () *. 1e6)
+
+  (* Receive-side flight time. Only meaningful when both ends are clocked;
+     cross-process the clocks are per-process zeroed, so this is a skew-
+     bounded estimate — groundwork for the roadmap's lane-alignment item,
+     never a protocol input. *)
+  let observe_flight (n : node) (sent_at : int) : unit =
+    if sent_at > 0 then begin
+      let now = now_us n in
+      if now > 0 then
+        Atom_obs.Metrics.observe n.m_flight (float_of_int (now - sent_at) /. 1e6)
+    end
 
   (* Step-granularity detail spans: each (gid, iter, step) pipeline hop as
      a span on the group's own track (tid 1+gid, cat "step"), tagged with
@@ -401,7 +450,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let quorum = Config.quorum net.Pr.config in
     let nbrs = neighbors net ~iter ~gid in
     let beta = Array.length nbrs in
-    let last_iter = iter = iterations net - 1 in
+    let last_iter = last_layer net iter in
     let ctx = iter_ctx net gid iter in
     let share, coeff = share_and_coeff net gid 1 in
     let batches = Array.make beta [] in
@@ -437,7 +486,10 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
           if quorum > 1 then
             send_to n
               ~dst:(member_at n.net gid 2)
-              (C.encode (C.Reenc_step { gid; iter; batch_idx = bi; step = 2; input = batch; output; proofs }))
+              (C.encode
+                 (C.Reenc_step
+                    { gid; iter; batch_idx = bi; step = 2; sent_at = now_us n;
+                      input = batch; output; proofs }))
           else
             (* Single-member quorum: the head is also the tail. *)
             finish_batch n gid iter bi ~input:batch ~output ~proofs
@@ -451,16 +503,17 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (* pre-clear_y *)
       ~(proofs : string array) : unit =
     let net = n.net in
-    let last_iter = iter = iterations net - 1 in
-    if last_iter then
+    if last_layer net iter then
       send_to n ~dst:n.coord
-        (C.encode (C.Exit_batch { gid; batch_idx; input; output; proofs }))
+        (C.encode (C.Exit_batch { gid; iter; batch_idx; input; output; proofs }))
     else begin
       let dst_gid = (neighbors net ~iter ~gid).(batch_idx) in
       send_to n
         ~dst:(member_at net dst_gid 1)
         (C.encode
-           (C.Batch { gid = dst_gid; iter = iter + 1; src_gid = gid; input; output; proofs }))
+           (C.Batch
+              { gid = dst_gid; iter = iter + 1; src_gid = gid; sent_at = now_us n;
+                input; output; proofs }))
     end
 
   (* Head: start the collective shuffle for (gid, iter) over [units]. *)
@@ -494,7 +547,10 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
             in
             send_to n
               ~dst:(member_at net gid 2)
-              (C.encode (C.Shuffle_step { gid; iter; step = 2; input = units; output = shuffled; proof }))
+              (C.encode
+                 (C.Shuffle_step
+                    { gid; iter; step = 2; sent_at = now_us n; input = units;
+                      output = shuffled; proof }))
           end
     end
 
@@ -516,13 +572,25 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       begin_iter n gid iter (Array.concat (List.rev st.parts))
     end
 
-  let maybe_start_entry (n : node) (gid : int) : unit =
-    if n.barrier && not (Hashtbl.mem n.entry_started gid) then
-      match Hashtbl.find_opt n.entry_units gid with
+  (* Start entry mixing for (gid, epoch) exactly once. Legacy flow waits
+     for the coordinator's Submissions frame; ingest flow has already
+     sealed the epoch's units locally, so an absent entry means an empty
+     epoch and the (empty) batch flow still runs to keep downstream
+     in-degree counting uniform. *)
+  let maybe_start_entry (n : node) (gid : int) ~(epoch : int) : unit =
+    if n.barrier && not (Hashtbl.mem n.entry_started (gid, epoch)) then begin
+      let units =
+        match Hashtbl.find_opt n.entry_units (gid, epoch) with
+        | Some units -> Some units
+        | None -> if n.ingest <> None then Some [||] else None
+      in
+      match units with
       | Some units ->
-          Hashtbl.add n.entry_started gid ();
-          begin_iter n gid 0 units
+          Hashtbl.add n.entry_started (gid, epoch) ();
+          Hashtbl.remove n.entry_units (gid, epoch);
+          begin_iter n gid (epoch * iterations n.net) units
       | None -> ()
+    end
 
   (* ---- message handlers ---- *)
 
@@ -543,8 +611,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
               Array.iter (fun u -> units := u.Pr.vec :: !units) s.Pr.units
             else Atom_obs.Metrics.incr n.m_verify_failures)
       blobs;
-    Hashtbl.replace n.entry_units gid (Array.of_list (List.rev !units));
-    maybe_start_entry n gid
+    Hashtbl.replace n.entry_units (gid, 0) (Array.of_list (List.rev !units));
+    maybe_start_entry n gid ~epoch:0
 
   let on_shuffle_step (n : node) ~(gid : int) ~(iter : int) ~(step : int)
       ~(input : Pr.El.vec array) ~(output : Pr.El.vec array) (proof : string) : unit =
@@ -586,7 +654,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
             ~dst:(member_at net gid next_pos)
             (C.encode
                (C.Shuffle_step
-                  { gid; iter; step = step + 1; input = output; output = shuffled; proof = proof' }))
+                  { gid; iter; step = step + 1; sent_at = now_us n; input = output;
+                    output = shuffled; proof = proof' }))
     end
 
   let on_reenc_step (n : node) ~(gid : int) ~(iter : int) ~(batch_idx : int) ~(step : int)
@@ -594,10 +663,10 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     phase n "verify";
     let net = n.net in
     let quorum = Config.quorum net.Pr.config in
-    let last_iter = iter = iterations net - 1 in
     let ctx = iter_ctx net gid iter in
     let next_pk =
-      if last_iter then None else Some (Pr.group_pk net (neighbors net ~iter ~gid).(batch_idx))
+      if last_layer net iter then None
+      else Some (Pr.group_pk net (neighbors net ~iter ~gid).(batch_idx))
     in
     let prev_ok =
       (not (nizk n))
@@ -631,7 +700,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
           ~dst:(member_at net gid (step + 1))
           (C.encode
              (C.Reenc_step
-                { gid; iter; batch_idx; step = step + 1; input = output; output = output'; proofs = proofs' }))
+                { gid; iter; batch_idx; step = step + 1; sent_at = now_us n;
+                  input = output; output = output'; proofs = proofs' }))
       else finish_batch n gid iter batch_idx ~input:output ~output:output' ~proofs:proofs'
     end
 
@@ -654,6 +724,73 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       abort n ~code:Ctrl.abort_proof_rejected
         (Printf.sprintf "batch from gid=%d rejected at gid=%d iter=%d" src_gid gid iter)
     else accept_input n gid iter (Array.map Pr.El.clear_y_vec output)
+
+  (* ---- client submission plane ---- *)
+
+  let heads_gid (n : node) (gid : int) : bool =
+    List.exists (fun (g, pos) -> g = gid && pos = 1) n.roles
+
+  (* One client submission: register the return path, run admission, and
+     ack with an explicit verdict. Acks go straight to the client id —
+     clients are outside the server range, so none of the routing /
+     failure-marking machinery applies to them. *)
+  let on_submit (n : node) (ing : ingest_state) ~(client : int) ~(port : int)
+      ~(token : int) ~(gid : int) ~(blob : string) ~(pow : string) : unit =
+    phase n "ingest";
+    ing.register_client ~client ~port;
+    Hashtbl.replace ing.ingest_clients client ();
+    let reply msg = ignore (T.send n.t ~dst:client (Ctrl.encode msg)) in
+    if String.length blob = 0 then begin
+      (* Empty blob is an epoch query, not a submission. *)
+      let p = Intake.policy ing.intake in
+      reply
+        (Ctrl.Epoch_info
+           { epoch = Intake.epoch ing.intake; pow_bits = p.Admission.pow_bits;
+             queue_cap = p.Admission.queue_cap; queue_len = Intake.queue_len ing.intake })
+    end
+    else if gid < 0 || gid >= Array.length n.net.Pr.groups || not (heads_gid n gid) then
+      reply
+        (Ctrl.Submit_ack
+           { token; status = Ctrl.submit_rejected; epoch = 0; retry_ms = 0; queue_len = 0 })
+    else begin
+      (* Decode, verify (EncProofs + duplicate-ciphertext) and stash in one
+         pass; the intake dedups retries *before* this runs, so a lost ack
+         never trips the replay check. *)
+      let validate ~epoch blob =
+        match Pr.Wire.submission_of_bytes blob with
+        | None -> false
+        | Some s ->
+            if s.Pr.entry_gid = gid && Pr.verify_submission n.net n.seen s then begin
+              let key = (gid, epoch) in
+              let l =
+                match Hashtbl.find_opt ing.ingest_pending key with
+                | Some l -> l
+                | None ->
+                    let l = ref [] in
+                    Hashtbl.add ing.ingest_pending key l;
+                    l
+              in
+              Array.iter (fun u -> l := u.Pr.vec :: !l) s.Pr.units;
+              true
+            end
+            else false
+      in
+      match Intake.submit ing.intake ~now:(n.now ()) ~client ~blob ~pow ~validate with
+      | Intake.Accepted { epoch; queue_len } ->
+          reply
+            (Ctrl.Submit_ack
+               { token; status = Ctrl.submit_accepted; epoch; retry_ms = 0; queue_len })
+      | Intake.Backpressure { retry_ms; queue_len } ->
+          reply
+            (Ctrl.Submit_ack
+               { token; status = Ctrl.submit_retry; epoch = Intake.epoch ing.intake;
+                 retry_ms; queue_len })
+      | Intake.Rejected { reason = _; queue_len } ->
+          reply
+            (Ctrl.Submit_ack
+               { token; status = Ctrl.submit_rejected; epoch = Intake.epoch ing.intake;
+                 retry_ms = 0; queue_len })
+    end
 
   let handle_control (n : node) ~(src : int) (msg : Ctrl.t) : unit =
     match msg with
@@ -681,11 +818,56 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
           || gid >= Array.length n.net.Pr.groups
           || n.net.Pr.groups.(gid).Pr.members <> members
         then abort n ~code:Ctrl.abort_bad_assignment (Printf.sprintf "group %d assignment mismatch" gid)
-    | Ctrl.Barrier { iter } ->
-        if iter = 0 then begin
-          n.barrier <- true;
-          List.iter (fun (gid, pos) -> if pos = 1 then maybe_start_entry n gid) n.roles
-        end
+    | Ctrl.Barrier { iter } -> (
+        match n.ingest with
+        | None ->
+            if iter = 0 then begin
+              n.barrier <- true;
+              List.iter
+                (fun (gid, pos) -> if pos = 1 then maybe_start_entry n gid ~epoch:0)
+                n.roles
+            end
+        | Some ing ->
+            (* Ingest mode: Barrier e seals epoch e — collection moves on to
+               e+1 (that's the pipelining: e mixes while e+1 collects) and
+               e's verified units become the entry batch. Idempotent under
+               barrier retransmission. *)
+            phase n "ingest";
+            n.barrier <- true;
+            let epoch = iter in
+            ignore (Intake.seal ing.intake ~epoch);
+            List.iter
+              (fun (gid, pos) ->
+                if pos = 1 then begin
+                  (match Hashtbl.find_opt ing.ingest_pending (gid, epoch) with
+                  | Some l ->
+                      Hashtbl.replace n.entry_units (gid, epoch)
+                        (Array.of_list (List.rev !l));
+                      Hashtbl.remove ing.ingest_pending (gid, epoch)
+                  | None -> ());
+                  maybe_start_entry n gid ~epoch
+                end)
+              n.roles)
+    | Ctrl.Submit { client; port; token; gid; epoch = _; blob; pow } -> (
+        match n.ingest with
+        | None -> bad_frame n "submit without ingest enabled"
+        | Some ing -> on_submit n ing ~client ~port ~token ~gid ~blob ~pow)
+    | Ctrl.Submit_ack _ | Ctrl.Epoch_info _ -> () (* client-side traffic *)
+    | Ctrl.Bulletin_announce { epoch; digest; signature; posts } -> (
+        match n.ingest with
+        | None -> ()
+        | Some ing ->
+            let s = { Bulletin.epoch; posts; digest } in
+            if not (BSign.verify_sealed ~pk:ing.bulletin_pk s ~signature) then
+              bad_frame n "bulletin announce signature rejected"
+            else if fresh n (Printf.sprintf "A%d" epoch) then begin
+              (* Fan the signed bulletin out to every client that submitted
+                 here; client-side verification closes the loop. *)
+              let frame = Ctrl.encode msg in
+              Hashtbl.iter
+                (fun c () -> ignore (T.send n.t ~dst:c frame))
+                ing.ingest_clients
+            end)
     | Ctrl.Submissions { gid; blobs } ->
         (* Dedup is load-bearing here: reprocessing would trip the
            duplicate-ciphertext check against the first pass's [seen]
@@ -696,8 +878,19 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         Array.iter (mark_failed n) sids;
         (* Adoption may have handed this node an entry-head role whose
            submissions were rerouted here before the death was known —
-           idempotent thanks to the entry_started guard. *)
-        List.iter (fun (gid, pos) -> if pos = 1 then maybe_start_entry n gid) n.roles
+           idempotent thanks to the entry_started guard. Ingest mode
+           revisits every sealed epoch (the replacement starts an empty
+           entry; units accepted only by the dead head are the documented
+           loss bound, which the harness avoids by killing non-heads). *)
+        let epochs =
+          match n.ingest with
+          | None -> [ 0 ]
+          | Some ing -> List.init (Intake.epoch ing.intake) Fun.id
+        in
+        List.iter
+          (fun (gid, pos) ->
+            if pos = 1 then List.iter (fun e -> maybe_start_entry n gid ~epoch:e) epochs)
+          n.roles
     | Ctrl.Retransmit ->
         (* Recovery nudge: re-send every retained frame toward its current
            route; receiver-side dedup makes this idempotent. *)
@@ -716,14 +909,16 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         if gid < 0 || gid >= Array.length n.net.Pr.groups
            || not (G.equal pk (Pr.group_pk n.net gid))
         then abort n ~code:Ctrl.abort_bad_assignment (Printf.sprintf "group %d key mismatch" gid)
-    | C.Shuffle_step { gid; iter; step; input; output; proof } ->
+    | C.Shuffle_step { gid; iter; step; sent_at; input; output; proof } ->
+        observe_flight n sent_at;
         if fresh n (Printf.sprintf "S%d.%d.%d" gid iter step) then
           step_spanned n "shuffle_step" ~tid:(1 + gid)
             ~argf:(fun () ->
               [ ("node", Trace.I n.node_id); ("gid", Trace.I gid);
                 ("iter", Trace.I iter); ("step", Trace.I step) ])
             (fun () -> on_shuffle_step n ~gid ~iter ~step ~input ~output proof)
-    | C.Reenc_step { gid; iter; batch_idx; step; input; output; proofs } ->
+    | C.Reenc_step { gid; iter; batch_idx; step; sent_at; input; output; proofs } ->
+        observe_flight n sent_at;
         if fresh n (Printf.sprintf "R%d.%d.%d.%d" gid iter batch_idx step) then
           step_spanned n "reenc_step" ~tid:(1 + gid)
             ~argf:(fun () ->
@@ -731,10 +926,12 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
                 ("iter", Trace.I iter); ("batch", Trace.I batch_idx);
                 ("step", Trace.I step) ])
             (fun () -> on_reenc_step n ~gid ~iter ~batch_idx ~step ~input ~output proofs)
-    | C.Batch { gid; iter; src_gid; input; output; proofs } ->
+    | C.Batch { gid; iter; src_gid; sent_at; input; output; proofs } ->
         (* One batch per (src, dst) pair per layer: the square topology
            never fans a group out twice to the same neighbor in a layer,
-           so this key distinguishes every legitimate batch. *)
+           so this key distinguishes every legitimate batch (iter is
+           absolute, so the key is also epoch-unique). *)
+        observe_flight n sent_at;
         if fresh n (Printf.sprintf "B%d.%d.%d" gid iter src_gid) then
           step_spanned n "batch_verify" ~tid:(1 + gid)
             ~argf:(fun () ->
@@ -745,7 +942,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
 
   let handle_frame (n : node) ~(src : int) (frame : string) : unit =
     match Frame.kind_of frame with
-    | Some k when k >= Frame.kind_group_key -> (
+    | Some k when k >= Frame.kind_group_key && k <= Frame.kind_exit_batch -> (
         match C.decode frame with
         | Some msg -> handle_codec n msg
         | None -> bad_frame n (Printf.sprintf "bad %s body" (Frame.kind_name k)))
@@ -760,7 +957,9 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
      host:port; the simulator transport knows everyone already). *)
   let run_node ?(obs = Atom_obs.Ctx.noop) ?clock ?pool (t : T.t) ~(config : Config.t)
       ~(node_id : int) ~(coord : int) ?(recv_timeout = 0.5) ?(max_idle = 240)
-      ?(on_peers = fun (_ : (int * int) array) -> ()) () : unit =
+      ?(on_peers = fun (_ : (int * int) array) -> ())
+      ?(ingest : Admission.policy option)
+      ?(register_client = fun ~client:(_ : int) ~port:(_ : int) -> ()) () : unit =
     (* [clock] binds the tracer's timebase (a wall clock for real
        deployments). Left unbound, the simulator-transport tests keep their
        deterministic zero clock. *)
@@ -769,6 +968,20 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
     let tr = Atom_obs.Ctx.tracer obs in
     let net = Pr.setup (Atom_util.Rng.create config.Config.seed) config () in
     Trace.thread_name tr ~tid:0 "event loop";
+    let now = match clock with Some c -> c | None -> fun () -> 0. in
+    let ingest =
+      Option.map
+        (fun policy ->
+          let _, bulletin_pk = bulletin_keypair config in
+          {
+            intake = Intake.create ~obs ~policy ();
+            register_client;
+            ingest_pending = Hashtbl.create 16;
+            ingest_clients = Hashtbl.create 64;
+            bulletin_pk;
+          })
+        ingest
+    in
     let n =
       {
         t;
@@ -781,6 +994,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         entry_units = Hashtbl.create 8;
         entry_started = Hashtbl.create 8;
         seen = Hashtbl.create 64;
+        ingest;
+        now;
         failed = Array.make config.Config.n_servers false;
         outbox = Outbox.create ();
         handled = Hashtbl.create 64;
@@ -795,6 +1010,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         m_dups_dropped = Atom_obs.Metrics.counter reg "node.dups_dropped";
         m_recoveries = Atom_obs.Metrics.counter reg "node.recoveries";
         m_resends = Atom_obs.Metrics.counter reg "node.resends";
+        m_flight =
+          Atom_obs.Metrics.histogram reg ~buckets:20 ~lo:0. ~hi:2. "node.step_flight_s";
       }
     in
     List.iter
@@ -999,7 +1216,7 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
           idle := 0;
           strikes := 0;
           match C.decode frame with
-          | Some (C.Exit_batch { gid; batch_idx; input; output; proofs }) ->
+          | Some (C.Exit_batch { gid; iter = _; batch_idx; input; output; proofs }) ->
               if Hashtbl.mem seen_exits (gid, batch_idx) then
                 Atom_obs.Metrics.incr m_exit_dups
               else begin
@@ -1131,5 +1348,317 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       failed_nodes;
       recovery_seconds = List.rev !recovery_seconds;
       node_snapshots;
+    }
+
+  (* ---- ingest coordinator: pipelined epochs over client submissions ---- *)
+
+  type epoch_outcome = {
+    ep_epoch : int;
+    ep_sealed : Bulletin.sealed;
+    ep_signature : string;
+    ep_mixed : int; (* onion units mixed through the pipeline this epoch *)
+    ep_latency_s : float; (* barrier (seal broadcast) → signed bulletin *)
+  }
+
+  type ingest_outcome = {
+    ing_epochs : epoch_outcome list; (* ascending epoch order *)
+    ing_abort : string option;
+    ing_recovery_rounds : int;
+    ing_failed_nodes : int list;
+    ing_board : Bulletin.t; (* all sealed epochs, published under round = epoch *)
+  }
+
+  type exit_accum = {
+    ea_holdings : Pr.El.vec list array;
+    ea_seen : (int * int, unit) Hashtbl.t; (* (gid, batch_idx) *)
+    mutable ea_got : int;
+    mutable ea_sealed_at : float;
+  }
+
+  (* Drive pipelined epochs: nodes collect client submissions continuously
+     (they run with [?ingest]); every [epoch_s] this coordinator broadcasts
+     [Barrier {iter = e}] — the seal for epoch e — so epoch e mixes while
+     epoch e+1 collects. Exit batches carry their absolute iteration, which
+     keys them back to an epoch (iter / T); a completed epoch is decoded,
+     canonicalized, signed, published locally and announced to the fleet
+     (entry heads fan the announcement out to their clients).
+
+     Epoch cadence: at least [min_epochs]; after that, one *flush* epoch is
+     sealed once [keep_collecting] turns false — the load generator stops
+     its clients before flipping it, so the flush epoch drains anything
+     admitted after the previous barrier and nothing can land beyond it.
+     [max_epochs] bounds a keep_collecting that never yields.
+
+     Recovery matches [run_coordinator]: stall-triggered §4.5 sweeps
+     (probe, publish deaths, replay retained frames, Retransmit nudge).
+     Trap-variant endgames need per-round trap commitments the submission
+     plane doesn't carry, so only Basic/Nizk are accepted. *)
+  let run_ingest_coordinator ?(obs = Atom_obs.Ctx.noop) ?clock ?pool (t : T.t)
+      ~(config : Config.t) ?(recv_timeout = 0.25) ?(max_idle = 240)
+      ?(stall_strikes = 8) ?(max_recovery_rounds = 32) ~(epoch_s : float)
+      ~(min_epochs : int) ?(max_epochs = 64) ?(keep_collecting = fun () -> false) () :
+      ingest_outcome =
+    if config.Config.variant = Config.Trap then
+      invalid_arg "run_ingest_coordinator: Trap endgame needs per-round commitments";
+    (match clock with Some c -> Atom_obs.Ctx.bind_clock obs c | None -> ());
+    let tr = Atom_obs.Ctx.tracer obs in
+    Trace.thread_name tr ~tid:0 "event loop";
+    let cph = Trace.Phase.start tr ~tid:0 "send" in
+    (* Unclocked callers (the deterministic sim harness) get a synthetic
+       monotonic clock advanced by each empty receive — epoch pacing then
+       counts receive timeouts instead of wall seconds. *)
+    let synth = ref 0. in
+    let mono = match clock with Some c -> c | None -> fun () -> !synth in
+    let tick () = if clock = None then synth := !synth +. recv_timeout in
+    let net = Pr.setup (Atom_util.Rng.create config.Config.seed) config () in
+    let bulletin_sk, _ = bulletin_keypair config in
+    let n_groups = config.Config.n_groups in
+    let n_servers = config.Config.n_servers in
+    let iters = iterations net in
+    let quorum = Config.quorum config in
+    let want = expected_exits net in
+    let reg = Atom_obs.Ctx.metrics obs in
+    let m_recovery_rounds = Atom_obs.Metrics.counter reg "coord.recovery_rounds" in
+    let m_failed_nodes = Atom_obs.Metrics.counter reg "coord.failed_nodes" in
+    let m_exit_dups = Atom_obs.Metrics.counter reg "coord.exit_dups" in
+    let m_epochs = Atom_obs.Metrics.counter reg "coord.epochs_published" in
+    let m_epoch_s =
+      Atom_obs.Metrics.histogram reg ~buckets:24 ~lo:0. ~hi:120. "coord.epoch_seconds"
+    in
+    let failed = Array.make n_servers false in
+    let outbox = Outbox.create ~cap:128 () in
+    let newly_failed = ref [] in
+    let mark sid =
+      if sid >= 0 && sid < n_servers && not failed.(sid) then begin
+        failed.(sid) <- true;
+        Atom_obs.Metrics.incr m_failed_nodes;
+        newly_failed := sid :: !newly_failed;
+        Atom_obs.Log.warn "ingest coordinator: node %d presumed dead" sid
+      end
+    in
+    let rec send_raw ~dst frame =
+      let target = resolve net failed dst in
+      match T.send t ~dst:target frame with
+      | Ok () -> ()
+      | Error _ ->
+          mark target;
+          if resolve net failed dst <> target then send_raw ~dst frame
+    in
+    let send_c ~dst frame =
+      Outbox.note outbox ~dst frame;
+      send_raw ~dst frame
+    in
+    let broadcast frame =
+      for sid = 0 to n_servers - 1 do
+        send_c ~dst:sid frame
+      done
+    in
+    (* Bring-up: consistency cross-checks only — submissions arrive from
+       clients at the nodes, not through us. *)
+    for gid = 0 to n_groups - 1 do
+      let g = net.Pr.groups.(gid) in
+      Array.iter
+        (fun sid ->
+          send_c ~dst:sid (Ctrl.encode (Ctrl.Group_assign { gid; members = g.Pr.members }));
+          send_c ~dst:sid (C.encode (C.Group_key { gid; pk = Pr.group_pk net gid })))
+        g.Pr.members
+    done;
+    let recoveries = ref 0 in
+    let recovery_sweep () =
+      Trace.Phase.switch cph "recovery";
+      incr recoveries;
+      Atom_obs.Metrics.incr m_recovery_rounds;
+      for sid = 0 to n_servers - 1 do
+        if not failed.(sid) then
+          match T.send t ~dst:sid (Ctrl.encode (Ctrl.Ack { token = 0xbeef })) with
+          | Ok () -> ()
+          | Error _ -> mark sid
+      done;
+      if !newly_failed <> [] then begin
+        let sids = Array.of_list !newly_failed in
+        newly_failed := [];
+        for sid = 0 to n_servers - 1 do
+          if not failed.(sid) then
+            ignore (T.send t ~dst:sid (Ctrl.encode (Ctrl.Failed { sids })))
+        done;
+        Array.iter
+          (fun dead -> Outbox.iter_dst outbox ~dst:dead (fun fr -> send_raw ~dst:dead fr))
+          sids
+      end;
+      for sid = 0 to n_servers - 1 do
+        if not failed.(sid) then ignore (T.send t ~dst:sid (Ctrl.encode Ctrl.Retransmit))
+      done
+    in
+    (* Epoch bookkeeping. [sealed] = number of barriers broadcast; epochs
+       0..sealed-1 are sealed and owe a published bulletin. *)
+    let board = Bulletin.create () in
+    let accums : (int, exit_accum) Hashtbl.t = Hashtbl.create 8 in
+    let published : (int, epoch_outcome) Hashtbl.t = Hashtbl.create 8 in
+    let sealed = ref 0 in
+    let stop_after = ref None in
+    let cluster_abort = ref None in
+    let t0 = mono () in
+    let deadline e = t0 +. (float_of_int (e + 1) *. epoch_s) in
+    let accum epoch =
+      match Hashtbl.find_opt accums epoch with
+      | Some a -> a
+      | None ->
+          let a =
+            {
+              ea_holdings = Array.make n_groups [];
+              ea_seen = Hashtbl.create 16;
+              ea_got = 0;
+              ea_sealed_at = mono ();
+            }
+          in
+          Hashtbl.add accums epoch a;
+          a
+    in
+    let publish_epoch epoch (a : exit_accum) =
+      Trace.Phase.switch cph "decrypt";
+      let holdings = Array.map (fun l -> Array.of_list (List.rev l)) a.ea_holdings in
+      let mixed = Array.fold_left (fun acc h -> acc + Array.length h) 0 holdings in
+      let exits = Pr.decode_exit net holdings in
+      let posts =
+        List.filter_map
+          (fun u ->
+            if u.Pr.tag = Pr.Msg.tag_message then Some (Pr.Msg.unpad_plaintext u.Pr.payload)
+            else None)
+          exits
+      in
+      let sb = Bulletin.seal ~epoch posts in
+      let signature = BSign.sign_sealed ~sk:bulletin_sk sb in
+      Bulletin.publish_sealed board sb;
+      let latency = Float.max 0. (mono () -. a.ea_sealed_at) in
+      Atom_obs.Metrics.incr m_epochs;
+      Atom_obs.Metrics.observe m_epoch_s latency;
+      Atom_obs.Log.info
+        "ingest coordinator: epoch %d published (%d posts, %d units, %.3fs)" epoch
+        (Array.length sb.Bulletin.posts) mixed latency;
+      Hashtbl.remove accums epoch;
+      Hashtbl.replace published epoch
+        {
+          ep_epoch = epoch;
+          ep_sealed = sb;
+          ep_signature = signature;
+          ep_mixed = mixed;
+          ep_latency_s = latency;
+        };
+      Trace.Phase.switch cph "send";
+      broadcast
+        (Ctrl.encode
+           (Ctrl.Bulletin_announce
+              { epoch; digest = sb.Bulletin.digest; signature; posts = sb.Bulletin.posts }))
+    in
+    let done_collecting () =
+      match !stop_after with Some e -> !sealed > e | None -> false
+    in
+    let all_published () = done_collecting () && Hashtbl.length published >= !sealed in
+    let idle = ref 0 in
+    let strikes = ref 0 in
+    while (not (all_published ())) && !cluster_abort = None && !idle < max_idle do
+      let now = mono () in
+      if (not (done_collecting ())) && now >= deadline !sealed then begin
+        (* Seal the collecting epoch: its accumulator starts the latency
+           clock, the barrier starts its mixing, and collection rolls over
+           to the next epoch on every entry head. *)
+        Trace.Phase.switch cph "send";
+        let e = !sealed in
+        (accum e).ea_sealed_at <- now;
+        broadcast (Ctrl.encode (Ctrl.Barrier { iter = e }));
+        sealed := e + 1;
+        (match !stop_after with
+        | Some _ -> ()
+        | None ->
+            if e + 1 >= max_epochs then stop_after := Some e
+            else if e + 1 >= min_epochs && not (keep_collecting ()) then
+              stop_after := Some (e + 1))
+      end
+      else begin
+        Trace.Phase.switch cph "recv-wait";
+        let tmo =
+          if done_collecting () then recv_timeout
+          else Float.min recv_timeout (Float.max 0.01 (deadline !sealed -. now))
+        in
+        match T.recv t ~timeout:tmo with
+        | Error Transport.Closed -> cluster_abort := Some "coordinator transport closed"
+        | Error _ ->
+            tick ();
+            incr idle;
+            incr strikes;
+            if !strikes >= stall_strikes && !recoveries < max_recovery_rounds then begin
+              strikes := 0;
+              recovery_sweep ()
+            end
+        | Ok (_src, frame) -> (
+            idle := 0;
+            strikes := 0;
+            match C.decode frame with
+            | Some (C.Exit_batch { gid; iter; batch_idx; input; output; proofs }) ->
+                let epoch = if iters > 0 then iter / iters else 0 in
+                if
+                  gid < 0 || gid >= n_groups || iter < 0
+                  || not (last_layer net iter)
+                  || epoch >= !sealed
+                then Atom_obs.Metrics.incr m_exit_dups
+                else begin
+                  let a = accum epoch in
+                  if Hashtbl.mem a.ea_seen (gid, batch_idx) then
+                    Atom_obs.Metrics.incr m_exit_dups
+                  else begin
+                    Trace.Phase.switch cph "verify";
+                    let ok =
+                      config.Config.variant <> Config.Nizk
+                      || verify_hop ?pool ~eff_pk:(eff_pk net gid quorum) ~next_pk:None
+                           ~context:(iter_ctx net gid iter) ~input ~output proofs
+                    in
+                    if ok then begin
+                      Hashtbl.add a.ea_seen (gid, batch_idx) ();
+                      Array.iter
+                        (fun v -> a.ea_holdings.(gid) <- v :: a.ea_holdings.(gid))
+                        output;
+                      a.ea_got <- a.ea_got + 1;
+                      if a.ea_got = want then publish_epoch epoch a
+                    end
+                    else
+                      cluster_abort :=
+                        Some (Printf.sprintf "exit proofs rejected gid=%d epoch=%d" gid epoch)
+                  end
+                end
+            | Some _ -> ()
+            | None -> (
+                match Ctrl.decode frame with
+                | Some (Ctrl.Abort { detail; _ }) -> cluster_abort := Some detail
+                | Some (Ctrl.Failed { sids }) ->
+                    Array.iter mark sids;
+                    if !newly_failed <> [] && !recoveries < max_recovery_rounds then
+                      recovery_sweep ()
+                | _ -> ()))
+      end
+    done;
+    if !cluster_abort = None && not (all_published ()) then
+      cluster_abort :=
+        Some
+          (Printf.sprintf "timed out with %d/%d epochs published" (Hashtbl.length published)
+             !sealed);
+    Trace.Phase.switch cph "send";
+    for sid = 0 to n_servers - 1 do
+      if not failed.(sid) then ignore (T.send t ~dst:sid (Ctrl.encode Ctrl.Shutdown))
+    done;
+    let failed_nodes =
+      List.filter (fun sid -> failed.(sid)) (List.init n_servers Fun.id)
+    in
+    let epochs =
+      List.sort
+        (fun a b -> compare a.ep_epoch b.ep_epoch)
+        (Hashtbl.fold (fun _ e acc -> e :: acc) published [])
+    in
+    Trace.Phase.stop cph;
+    {
+      ing_epochs = epochs;
+      ing_abort = !cluster_abort;
+      ing_recovery_rounds = !recoveries;
+      ing_failed_nodes = failed_nodes;
+      ing_board = board;
     }
 end

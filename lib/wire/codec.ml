@@ -18,18 +18,30 @@
      proofs       u32 count ‖ count × str32
 
      group_key    u32 gid ‖ element
-     batch        u32 dst_gid ‖ u32 iter ‖ u32 src_gid ‖ vecs input ‖
-                  vecs output ‖ proofs
-     shuffle_step u32 gid ‖ u32 iter ‖ u16 step ‖ vecs input ‖
-                  vecs output ‖ str32 proof
-     reenc_step   u32 gid ‖ u32 iter ‖ u32 batch_idx ‖ u16 step ‖
+     batch        u32 dst_gid ‖ u32 iter ‖ u32 src_gid ‖ u64 sent_at ‖
                   vecs input ‖ vecs output ‖ proofs
-     exit_batch   u32 gid ‖ u32 batch_idx ‖ vecs input ‖ vecs output ‖
-                  proofs
+     shuffle_step u32 gid ‖ u32 iter ‖ u16 step ‖ u64 sent_at ‖
+                  vecs input ‖ vecs output ‖ str32 proof
+     reenc_step   u32 gid ‖ u32 iter ‖ u32 batch_idx ‖ u16 step ‖
+                  u64 sent_at ‖ vecs input ‖ vecs output ‖ proofs
+     exit_batch   u32 gid ‖ u32 iter ‖ u32 batch_idx ‖ vecs input ‖
+                  vecs output ‖ proofs
+
+   [sent_at] is the sender's process-relative clock in microseconds at
+   encode time (0 when the sender has no clock): pure telemetry, letting
+   the merged cluster trace split a receiver's recv-wait into "peer still
+   computing" vs. "frame in flight". It is never used for protocol
+   decisions. [exit_batch.iter] is the absolute iteration of the final
+   layer, so pipelined epochs (absolute iter = epoch·T + layer) keep exit
+   collection keyed by epoch.
 
    Strict and total like every decoder in this library: arbitrary bytes
    yield [None], never an exception, and every group element is validated
-   by the backend codec on the way in. *)
+   by the backend codec on the way in. Decoders take
+   [?validate:[`Eager|`Deferred]] (default [`Eager]): [`Deferred] decodes
+   group elements with structural checks only ([G.of_bytes_unchecked]),
+   deferring subgroup membership to batch verification at first use —
+   the intake hot path's fast decode. *)
 
 module Make
     (G : Atom_group.Group_intf.GROUP)
@@ -39,8 +51,9 @@ struct
     | Group_key of { gid : int; pk : G.t }
     | Batch of {
         gid : int; (* destination group *)
-        iter : int; (* destination layer *)
+        iter : int; (* destination absolute iteration (epoch·T + layer) *)
         src_gid : int;
+        sent_at : int; (* sender clock, µs; 0 = unclocked *)
         input : El.vec array; (* pre-final-step state, for proof checks *)
         output : El.vec array; (* proven output (Y not yet cleared) *)
         proofs : string array; (* last ReEnc step's proofs, per unit *)
@@ -49,6 +62,7 @@ struct
         gid : int;
         iter : int;
         step : int; (* quorum index of the receiving member *)
+        sent_at : int;
         input : El.vec array;
         output : El.vec array;
         proof : string; (* ShufProof bytes; empty in the basic variant *)
@@ -58,12 +72,14 @@ struct
         iter : int;
         batch_idx : int;
         step : int;
+        sent_at : int;
         input : El.vec array;
         output : El.vec array;
         proofs : string array;
       }
     | Exit_batch of {
         gid : int;
+        iter : int; (* absolute iteration of the final layer *)
         batch_idx : int;
         input : El.vec array;
         output : El.vec array;
@@ -74,6 +90,11 @@ struct
   let max_proof = Frame.max_body
 
   (* ---- writers ---- *)
+
+  (* 63-bit OCaml ints cover u64 timestamps for any plausible uptime. *)
+  let write_u64 (b : Buffer.t) (v : int) =
+    Frame.W.u32 b (v lsr 32);
+    Frame.W.u32 b v
 
   let write_vec (b : Buffer.t) (v : El.vec) =
     if Array.length v > max_width then invalid_arg "Codec.write_vec: width too large";
@@ -90,33 +111,43 @@ struct
 
   (* ---- readers ---- *)
 
-  let read_cipher (r : Frame.R.t) : El.cipher =
-    let eb = G.element_bytes in
-    let head = Frame.R.bytes r ((2 * eb) + 1) in
-    let full =
-      match head.[2 * eb] with
-      | '\000' -> head
-      | '\001' -> head ^ Frame.R.bytes r eb
-      | _ -> Frame.R.fail ()
-    in
-    match El.cipher_of_bytes full with Some ct -> ct | None -> Frame.R.fail ()
+  let read_u64 (r : Frame.R.t) : int =
+    let hi = Frame.R.u32 r in
+    let lo = Frame.R.u32 r in
+    (hi lsl 32) lor lo
 
-  let read_vec (r : Frame.R.t) : El.vec =
+  (* [`Deferred] skips the subgroup-membership exponentiation per element
+     (structural length/range checks remain); callers owe a batched
+     membership check before the elements reach secret-dependent ops. *)
+  let el_decoder = function `Eager -> G.of_bytes | `Deferred -> G.of_bytes_unchecked
+
+  let read_cipher ~validate (r : Frame.R.t) : El.cipher =
+    let eb = G.element_bytes in
+    let dec = el_decoder validate in
+    let el s = match dec s with Some e -> e | None -> Frame.R.fail () in
+    let rr = el (Frame.R.bytes r eb) in
+    let c = el (Frame.R.bytes r eb) in
+    match Frame.R.u8 r with
+    | 0 -> { El.r = rr; c; y = None }
+    | 1 -> { El.r = rr; c; y = Some (el (Frame.R.bytes r eb)) }
+    | _ -> Frame.R.fail ()
+
+  let read_vec ~validate (r : Frame.R.t) : El.vec =
     let w = Frame.R.u16 r in
     if w > max_width then Frame.R.fail ();
-    Array.init w (fun _ -> read_cipher r)
+    Array.init w (fun _ -> read_cipher ~validate r)
 
-  let read_vecs (r : Frame.R.t) : El.vec array =
+  let read_vecs ~validate (r : Frame.R.t) : El.vec array =
     (* Each vec consumes ≥ 2 bytes, so [remaining] bounds the allocation. *)
     let n = Frame.R.count r ~max:(Frame.R.remaining r) in
-    Array.init n (fun _ -> read_vec r)
+    Array.init n (fun _ -> read_vec ~validate r)
 
   let read_proofs (r : Frame.R.t) : string array =
     let n = Frame.R.count r ~max:(Frame.R.remaining r) in
     Array.init n (fun _ -> Frame.R.str32 ~max:max_proof r)
 
-  let read_element (r : Frame.R.t) : G.t =
-    match G.of_bytes (Frame.R.bytes r G.element_bytes) with
+  let read_element ~validate (r : Frame.R.t) : G.t =
+    match el_decoder validate (Frame.R.bytes r G.element_bytes) with
     | Some e -> e
     | None -> Frame.R.fail ()
 
@@ -130,33 +161,37 @@ struct
           Frame.W.u32 b gid;
           Buffer.add_string b (G.to_bytes pk);
           Frame.kind_group_key
-      | Batch { gid; iter; src_gid; input; output; proofs } ->
+      | Batch { gid; iter; src_gid; sent_at; input; output; proofs } ->
           Frame.W.u32 b gid;
           Frame.W.u32 b iter;
           Frame.W.u32 b src_gid;
+          write_u64 b sent_at;
           write_vecs b input;
           write_vecs b output;
           write_proofs b proofs;
           Frame.kind_batch
-      | Shuffle_step { gid; iter; step; input; output; proof } ->
+      | Shuffle_step { gid; iter; step; sent_at; input; output; proof } ->
           Frame.W.u32 b gid;
           Frame.W.u32 b iter;
           Frame.W.u16 b step;
+          write_u64 b sent_at;
           write_vecs b input;
           write_vecs b output;
           Frame.W.str32 b proof;
           Frame.kind_shuffle_step
-      | Reenc_step { gid; iter; batch_idx; step; input; output; proofs } ->
+      | Reenc_step { gid; iter; batch_idx; step; sent_at; input; output; proofs } ->
           Frame.W.u32 b gid;
           Frame.W.u32 b iter;
           Frame.W.u32 b batch_idx;
           Frame.W.u16 b step;
+          write_u64 b sent_at;
           write_vecs b input;
           write_vecs b output;
           write_proofs b proofs;
           Frame.kind_reenc_step
-      | Exit_batch { gid; batch_idx; input; output; proofs } ->
+      | Exit_batch { gid; iter; batch_idx; input; output; proofs } ->
           Frame.W.u32 b gid;
+          Frame.W.u32 b iter;
           Frame.W.u32 b batch_idx;
           write_vecs b input;
           write_vecs b output;
@@ -165,44 +200,50 @@ struct
     in
     Frame.encode ~kind (Buffer.contents b)
 
-  let decode_body (kind : int) (body : string) : msg option =
+  let decode_body ?(validate = `Eager) (kind : int) (body : string) : msg option =
     let open Frame.R in
     decode body (fun r ->
         if kind = Frame.kind_group_key then
           let gid = u32 r in
-          Group_key { gid; pk = read_element r }
+          Group_key { gid; pk = read_element ~validate r }
         else if kind = Frame.kind_batch then
           let gid = u32 r in
           let iter = u32 r in
           let src_gid = u32 r in
-          let input = read_vecs r in
-          let output = read_vecs r in
-          Batch { gid; iter; src_gid; input; output; proofs = read_proofs r }
+          let sent_at = read_u64 r in
+          let input = read_vecs ~validate r in
+          let output = read_vecs ~validate r in
+          Batch { gid; iter; src_gid; sent_at; input; output; proofs = read_proofs r }
         else if kind = Frame.kind_shuffle_step then
           let gid = u32 r in
           let iter = u32 r in
           let step = u16 r in
-          let input = read_vecs r in
-          let output = read_vecs r in
-          Shuffle_step { gid; iter; step; input; output; proof = str32 ~max:max_proof r }
+          let sent_at = read_u64 r in
+          let input = read_vecs ~validate r in
+          let output = read_vecs ~validate r in
+          Shuffle_step
+            { gid; iter; step; sent_at; input; output; proof = str32 ~max:max_proof r }
         else if kind = Frame.kind_reenc_step then
           let gid = u32 r in
           let iter = u32 r in
           let batch_idx = u32 r in
           let step = u16 r in
-          let input = read_vecs r in
-          let output = read_vecs r in
-          Reenc_step { gid; iter; batch_idx; step; input; output; proofs = read_proofs r }
+          let sent_at = read_u64 r in
+          let input = read_vecs ~validate r in
+          let output = read_vecs ~validate r in
+          Reenc_step
+            { gid; iter; batch_idx; step; sent_at; input; output; proofs = read_proofs r }
         else if kind = Frame.kind_exit_batch then
           let gid = u32 r in
+          let iter = u32 r in
           let batch_idx = u32 r in
-          let input = read_vecs r in
-          let output = read_vecs r in
-          Exit_batch { gid; batch_idx; input; output; proofs = read_proofs r }
+          let input = read_vecs ~validate r in
+          let output = read_vecs ~validate r in
+          Exit_batch { gid; iter; batch_idx; input; output; proofs = read_proofs r }
         else fail ())
 
-  let decode (framed : string) : msg option =
+  let decode ?(validate = `Eager) (framed : string) : msg option =
     match Frame.decode framed with
     | None -> None
-    | Some (kind, body) -> decode_body kind body
+    | Some (kind, body) -> decode_body ~validate kind body
 end

@@ -20,10 +20,22 @@
      retransmit        (empty)
      stats_request     u32 token
      stats_reply       u32 token ‖ u32 node_id ‖ str32 snapshot
+     submit            u32 client ‖ u16 port ‖ u32 token ‖ u32 gid ‖
+                       u32 epoch ‖ str32 blob ‖ str32 pow
+     submit_ack        u32 token ‖ u8 status ‖ u32 epoch ‖ u32 retry_ms ‖
+                       u32 queue_len
+     epoch_info        u32 epoch ‖ u32 pow_bits ‖ u32 queue_cap ‖
+                       u32 queue_len
+     bulletin_announce u32 epoch ‖ 32-byte digest ‖ str32 signature ‖
+                       u32 n ‖ n × str32 post
 
    Submission blobs are opaque at this layer (their group elements are
    validated by [Protocol.Wire.submission_of_bytes] at the protocol
-   boundary); everything else is fully validated here. *)
+   boundary); everything else is fully validated here. A [Submit] with an
+   empty blob is an epoch query: the serving node answers [Epoch_info]
+   instead of admitting anything. [port] is the client's own listen port,
+   so the node can register a return path for the ack on transports that
+   need explicit peer wiring. *)
 
 type t =
   | Hello of { node_id : int }
@@ -45,6 +57,30 @@ type t =
   | Stats_reply of { token : int; node_id : int; snapshot : string }
       (** [snapshot] is an atom-metrics/1 JSON document ([Atom_obs.Snapshot]);
           opaque at this layer, strictly decoded by the receiver. *)
+  | Submit of {
+      client : int;
+      port : int;  (** Client's listen port (return path for the ack). *)
+      token : int;  (** Client-chosen, echoed verbatim in the ack. *)
+      gid : int;  (** Entry group the onion targets. *)
+      epoch : int;  (** Advisory; the node assigns the actual epoch. *)
+      blob : string;  (** Opaque onion ([Protocol.Wire] submission bytes). *)
+      pow : string;  (** Hashcash nonce; empty when PoW is disabled. *)
+    }
+  | Submit_ack of {
+      token : int;
+      status : int;  (** [submit_accepted] / [submit_retry] / [submit_rejected]. *)
+      epoch : int;  (** Epoch the submission was admitted into (accept). *)
+      retry_ms : int;  (** Backpressure hint (retry status). *)
+      queue_len : int;  (** Serving node's current epoch-queue depth. *)
+    }
+  | Epoch_info of { epoch : int; pow_bits : int; queue_cap : int; queue_len : int }
+      (** Collecting epoch plus the admission parameters a client needs. *)
+  | Bulletin_announce of {
+      epoch : int;
+      digest : string;  (** 32-byte sealed-bulletin digest. *)
+      signature : string;  (** Publisher's Schnorr signature over the digest. *)
+      posts : string array;  (** The sealed epoch output, in bulletin order. *)
+    }
 
 (* Abort codes (carried on the wire; the detail string is for humans). *)
 let abort_bad_frame = 1
@@ -61,6 +97,16 @@ let max_blob = 1 lsl 20
    beyond the frame-level [Frame.max_body]. *)
 let max_snapshot = 1 lsl 24
 let commitment_bytes = 32
+
+(* Submission-plane bounds: a hostile client must not drive allocation
+   past one blob; PoW nonces and signatures are small fixed-cost items. *)
+let max_pow = 64
+let max_sig = 256
+
+(* Submit_ack statuses. *)
+let submit_accepted = 0
+let submit_retry = 1
+let submit_rejected = 2
 
 let encode (msg : t) : string =
   let b = Buffer.create 64 in
@@ -129,6 +175,37 @@ let encode (msg : t) : string =
         Frame.W.u32 b node_id;
         Frame.W.str32 b snapshot;
         Frame.kind_stats_reply
+    | Submit { client; port; token; gid; epoch; blob; pow } ->
+        Frame.W.u32 b client;
+        Frame.W.u16 b port;
+        Frame.W.u32 b token;
+        Frame.W.u32 b gid;
+        Frame.W.u32 b epoch;
+        Frame.W.str32 b blob;
+        Frame.W.str32 b pow;
+        Frame.kind_submit
+    | Submit_ack { token; status; epoch; retry_ms; queue_len } ->
+        Frame.W.u32 b token;
+        Frame.W.u8 b status;
+        Frame.W.u32 b epoch;
+        Frame.W.u32 b retry_ms;
+        Frame.W.u32 b queue_len;
+        Frame.kind_submit_ack
+    | Epoch_info { epoch; pow_bits; queue_cap; queue_len } ->
+        Frame.W.u32 b epoch;
+        Frame.W.u32 b pow_bits;
+        Frame.W.u32 b queue_cap;
+        Frame.W.u32 b queue_len;
+        Frame.kind_epoch_info
+    | Bulletin_announce { epoch; digest; signature; posts } ->
+        if String.length digest <> commitment_bytes then
+          invalid_arg "Control.encode: bulletin digest must be 32 bytes";
+        Frame.W.u32 b epoch;
+        Buffer.add_string b digest;
+        Frame.W.str32 b signature;
+        Frame.W.u32 b (Array.length posts);
+        Array.iter (Frame.W.str32 b) posts;
+        Frame.kind_bulletin_announce
   in
   Frame.encode ~kind (Buffer.contents b)
 
@@ -178,6 +255,33 @@ let decode_body (kind : int) (body : string) : t option =
         let token = u32 r in
         let node_id = u32 r in
         Stats_reply { token; node_id; snapshot = str32 ~max:max_snapshot r }
+      else if kind = Frame.kind_submit then
+        let client = u32 r in
+        let port = u16 r in
+        let token = u32 r in
+        let gid = u32 r in
+        let epoch = u32 r in
+        let blob = str32 ~max:max_blob r in
+        Submit { client; port; token; gid; epoch; blob; pow = str32 ~max:max_pow r }
+      else if kind = Frame.kind_submit_ack then
+        let token = u32 r in
+        let status = u8 r in
+        if status > submit_rejected then fail ();
+        let epoch = u32 r in
+        let retry_ms = u32 r in
+        Submit_ack { token; status; epoch; retry_ms; queue_len = u32 r }
+      else if kind = Frame.kind_epoch_info then
+        let epoch = u32 r in
+        let pow_bits = u32 r in
+        let queue_cap = u32 r in
+        Epoch_info { epoch; pow_bits; queue_cap; queue_len = u32 r }
+      else if kind = Frame.kind_bulletin_announce then
+        let epoch = u32 r in
+        let digest = bytes r commitment_bytes in
+        let signature = str32 ~max:max_sig r in
+        let n = count r ~max:max_items in
+        Bulletin_announce
+          { epoch; digest; signature; posts = Array.init n (fun _ -> str32 ~max:max_blob r) }
       else fail ())
 
 let decode (framed : string) : t option =

@@ -5,7 +5,7 @@
 
      offset  size  field
      0       4     magic     "ATOM" (0x41544F4D)
-     4       1     version   (currently 1)
+     4       1     version   (currently 2)
      5       1     kind      (registered message kind)
      6       2     flags     (reserved, must be 0)
      8       4     body_len
@@ -13,17 +13,19 @@
      16      ...   body
 
    Version policy: a decoder accepts exactly the versions it knows
-   (currently only 1) and rejects everything else — there is no silent
+   (currently only 2) and rejects everything else — there is no silent
    downgrade. Adding a message kind is a same-version change (old peers
    reject unknown kinds loudly); changing the layout of an existing kind
-   bumps [version].
+   bumps [version]. Version 2 added send-timestamps to the data-plane
+   step frames and an absolute iteration index to exit batches (epoch
+   pipelining).
 
    Decoders are strict and total: truncated, oversized, trailing-garbage,
    bad-checksum, unknown-kind, and non-zero-flag inputs all return [None];
    no exception escapes on arbitrary bytes. *)
 
 let magic = 0x41544F4D
-let version = 1
+let version = 2
 let header_bytes = 16
 
 (* Frames larger than this are rejected outright — a malicious length
@@ -59,6 +61,13 @@ let kind_shuffle_step = 0x12
 let kind_reenc_step = 0x13
 let kind_exit_batch = 0x14
 
+(* Client-facing submission plane (ingest). Control-plane: G-independent,
+   onion payloads travel as opaque blobs validated at the protocol layer. *)
+let kind_submit = 0x15
+let kind_submit_ack = 0x16
+let kind_epoch_info = 0x17
+let kind_bulletin_announce = 0x18
+
 let kind_names : (int * string) list =
   [
     (kind_hello, "hello");
@@ -81,6 +90,10 @@ let kind_names : (int * string) list =
     (kind_shuffle_step, "shuffle_step");
     (kind_reenc_step, "reenc_step");
     (kind_exit_batch, "exit_batch");
+    (kind_submit, "submit");
+    (kind_submit_ack, "submit_ack");
+    (kind_epoch_info, "epoch_info");
+    (kind_bulletin_announce, "bulletin_announce");
   ]
 
 let kind_name (k : int) : string =

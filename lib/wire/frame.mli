@@ -35,6 +35,10 @@ val kind_batch : int
 val kind_shuffle_step : int
 val kind_reenc_step : int
 val kind_exit_batch : int
+val kind_submit : int
+val kind_submit_ack : int
+val kind_epoch_info : int
+val kind_bulletin_announce : int
 
 val kind_names : (int * string) list
 (** Every registered kind with its display name (exhaustive — property

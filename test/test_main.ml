@@ -25,4 +25,5 @@ let () =
       Test_obs.suite;
       Test_exec.suite;
       Test_rpc.suite;
+      Test_ingest.suite;
     ]

@@ -228,6 +228,24 @@ let all_control_msgs : Ctrl.t list =
     Ctrl.Stats_reply
       { token = 7; node_id = 3; snapshot = "{\"schema\":\"atom-metrics/1\",\"node_id\":3}" };
     Ctrl.Stats_reply { token = 0; node_id = 0; snapshot = "" };
+    Ctrl.Submit
+      { client = 1001; port = 6001; token = 3; gid = 2; epoch = 5; blob = "onion-bytes";
+        pow = "42" };
+    Ctrl.Submit { client = 0; port = 0; token = 0; gid = 0; epoch = 0; blob = ""; pow = "" };
+    Ctrl.Submit_ack
+      { token = 3; status = Ctrl.submit_accepted; epoch = 5; retry_ms = 0; queue_len = 17 };
+    Ctrl.Submit_ack
+      { token = 4; status = Ctrl.submit_retry; epoch = 6; retry_ms = 250; queue_len = 4096 };
+    Ctrl.Epoch_info { epoch = 9; pow_bits = 12; queue_cap = 4096; queue_len = 77 };
+    Ctrl.Bulletin_announce
+      {
+        epoch = 2;
+        digest = String.make 32 'h';
+        signature = String.make 96 's';
+        posts = [| "alpha"; ""; "gamma" |];
+      };
+    Ctrl.Bulletin_announce
+      { epoch = 0; digest = String.make 32 '\000'; signature = ""; posts = [||] };
   ]
 
 (* One instance of every data-plane message, with real ciphertexts (both
@@ -250,6 +268,7 @@ let sample_codec_msgs () : WC.msg list =
         gid = 0;
         iter = 1;
         src_gid = 2;
+        sent_at = 1_722_000_123_456_789;
         input = [| vec (); vec () |];
         output = [| vec_y (); vec_y () |];
         proofs = [| "p0"; "p1" |];
@@ -259,6 +278,7 @@ let sample_codec_msgs () : WC.msg list =
         gid = 3;
         iter = 0;
         step = 2;
+        sent_at = 0;
         input = [| vec () |];
         output = [| vec () |];
         proof = String.make 65 's';
@@ -269,6 +289,7 @@ let sample_codec_msgs () : WC.msg list =
         iter = 2;
         batch_idx = 3;
         step = 2;
+        sent_at = 987_654_321;
         input = [| vec () |];
         output = [| vec_y () |];
         proofs = [| "" |];
@@ -276,6 +297,7 @@ let sample_codec_msgs () : WC.msg list =
     WC.Exit_batch
       {
         gid = 2;
+        iter = 7;
         batch_idx = 0;
         input = [| vec (); vec_y () |];
         output = [| vec_y () |];
@@ -374,6 +396,56 @@ let test_codec_roundtrip_truncation_bitflip () =
           Alcotest.failf "codec body flip at byte %d accepted" i
       done)
     (sample_codec_msgs ())
+
+(* Satellite: eager vs deferred group-element validation on decode. An
+   encoding that is structurally sound but outside the subgroup must be
+   rejected eagerly and pass structurally when deferred. *)
+let test_codec_deferred_validation () =
+  let r = rng () in
+  let pk = (El.keygen r).El.pk in
+  let e = WC.encode (WC.Group_key { gid = 0; pk }) in
+  let _, body =
+    match Frame.decode e with Some kb -> kb | None -> Alcotest.fail "frame decode"
+  in
+  let needle = G.to_bytes pk in
+  let nlen = String.length needle in
+  let idx =
+    let bn = String.length body in
+    let rec go i =
+      if i + nlen > bn then Alcotest.fail "element bytes not found in body"
+      else if String.sub body i nlen = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let bad =
+    let rec find v =
+      if v > 4096 then Alcotest.fail "no non-subgroup encoding found"
+      else
+        let s =
+          String.init nlen (fun i ->
+              if i = nlen - 1 then Char.chr (v land 0xff)
+              else if i = nlen - 2 then Char.chr ((v lsr 8) land 0xff)
+              else '\000')
+        in
+        match (G.of_bytes s, G.of_bytes_unchecked s) with
+        | None, Some _ -> s
+        | _ -> find (v + 1)
+    in
+    find 2
+  in
+  let body' =
+    String.sub body 0 idx ^ bad
+    ^ String.sub body (idx + nlen) (String.length body - idx - nlen)
+  in
+  Alcotest.(check bool) "eager rejects out-of-subgroup element" true
+    (WC.decode_body ~validate:`Eager Frame.kind_group_key body' = None);
+  (match WC.decode_body ~validate:`Deferred Frame.kind_group_key body' with
+  | Some (WC.Group_key { pk = pk'; _ }) ->
+      Alcotest.(check string) "deferred keeps the raw bytes" bad (G.to_bytes pk')
+  | _ -> Alcotest.fail "deferred decode rejected a structurally sound body");
+  Alcotest.(check bool) "deferred accepts honest body" true
+    (WC.decode_body ~validate:`Deferred Frame.kind_group_key body <> None)
 
 let gen_bytes n = QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound n))
 
@@ -481,6 +553,7 @@ let suite =
       Alcotest.test_case "control bitflips" `Quick test_control_bitflips;
       Alcotest.test_case "codec roundtrip + truncation + bitflip" `Quick
         test_codec_roundtrip_truncation_bitflip;
+      Alcotest.test_case "codec deferred validation" `Quick test_codec_deferred_validation;
       Alcotest.test_case "unframe strictness" `Quick test_unframe_strictness;
       Alcotest.test_case "submissions frame roundtrip" `Quick test_submissions_frame_roundtrip;
       q prop_frame_decode_total;
