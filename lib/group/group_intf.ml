@@ -104,13 +104,61 @@ module type GROUP = sig
   (** Decode with full validation (subgroup / curve membership); [None] on
       malformed input. *)
 
-  val of_bytes_unchecked : string -> t option
-  (** Decode with structural validation only (length / range), deferring
-      any expensive membership check to first use — e.g. to a batched
-      verification over a whole decoded vector. Backends whose decoding is
-      inherently validating (curve-point decompression with cofactor 1)
-      alias {!of_bytes}. Never feed the result to secret-dependent
-      operations without a later membership check. *)
+  (* ---- Membership verification ----
+
+     Wire decode used to spend a full exponentiation per element on the
+     subgroup check; both backends now verify membership structurally
+     (P-256 decompression solves the curve equation; Zp uses the group of
+     signed quadratic residues, where membership is a range check on the
+     canonical representative). The batch API below is the decode hot
+     path's single entry point, and [Unverified] is the typed escape hatch
+     for deferring even that check. *)
+
+  val is_member : t -> bool
+  (** Full membership predicate on an already-constructed value. [true]
+      for everything produced by this module's own operations; only
+      hand-built representations (e.g. a raw affine point) can fail. *)
+
+  val check_batch : ?pool:Atom_exec.Pool.t -> t array -> bool
+  (** One membership verdict for a whole batch ([true] for the empty
+      batch). Equivalent to [Array.for_all is_member] but free to amortize
+      (and to spread across [?pool]); a single non-member anywhere in the
+      batch makes the whole batch fail. *)
+
+  val find_non_member : t array -> int option
+  (** Index of the first non-member, for diagnostics after a failed
+      {!check_batch}: the per-element fallback that names the culprit. *)
+
+  (** Structurally-decoded elements whose membership check is still owed.
+
+      [elt] is deliberately NOT [t]: an undischarged element cannot reach
+      group arithmetic by construction — the only way out is {!discharge}
+      (or {!discharge_batch}), which runs the membership check. This
+      closes the old [of_bytes_unchecked] hole where deferred-validation
+      values were ordinary [t]s. Backends whose structural decode is
+      already fully validating (P-256) discharge for free; Zp defers its
+      canonical-range subgroup check to discharge time. *)
+  module Unverified : sig
+    type elt
+
+    val of_bytes : string -> elt option
+    (** Structural checks only (length / field range); [None] on malformed
+        input. Accepts a superset of {!of_bytes}: anything it accepts that
+        full validation would reject is caught at discharge. *)
+
+    val of_bytes_sub : string -> pos:int -> elt option
+    (** [of_bytes_sub s ~pos] decodes [element_bytes] bytes at [pos]
+        without copying the slice — the zero-copy view decode for wire
+        parsers. [None] on a short buffer or malformed encoding. *)
+
+    val discharge : elt -> t option
+    (** Run the membership check; [None] on a non-member. *)
+
+    val discharge_batch : ?pool:Atom_exec.Pool.t -> elt array -> (t array, int) result
+    (** Discharge a whole batch with one amortized check; on failure
+        falls back to per-element checks and reports the index of the
+        first non-member as [Error i]. *)
+  end
 
   val embed_bytes : int
   (** Payload capacity of {!embed}, in bytes. *)
@@ -164,4 +212,35 @@ module Naive_multi (B : POW_CORE) = struct
 
   let pow_batch ?pool x ks = Atom_exec.Pool.map ?pool (B.pow x) ks
   let pow_gen_batch ?pool ks = Atom_exec.Pool.map ?pool B.pow_gen ks
+end
+
+(** What a backend must provide before the batch membership API is bolted
+    on. *)
+module type MEMBER_CORE = sig
+  type t
+
+  val is_member : t -> bool
+end
+
+(** Honest per-element fallback for the batch membership API: sequential
+    short-circuit scan for small batches, a pooled sweep above
+    [pool_threshold]. Backends with a cheaper amortized check (a combined
+    random-linear-combination verification, say) override; the property
+    tests pin any specialized path against this shape. *)
+module Naive_check (B : MEMBER_CORE) = struct
+  let pool_threshold = 256
+
+  let check_batch ?pool (els : B.t array) : bool =
+    let n = Array.length els in
+    match Atom_exec.Pool.resolve pool with
+    | Some p when n >= pool_threshold && Atom_exec.Pool.size p > 1 ->
+        Array.for_all Fun.id (Atom_exec.Pool.map ~pool:p B.is_member els)
+    | _ ->
+        let rec go i = i >= n || (B.is_member els.(i) && go (i + 1)) in
+        go 0
+
+  let find_non_member (els : B.t array) : int option =
+    let n = Array.length els in
+    let rec go i = if i >= n then None else if B.is_member els.(i) then go (i + 1) else Some i in
+    go 0
 end

@@ -724,13 +724,19 @@ let sqrt (v : Modarith.el) : Modarith.el option =
   let r = Modarith.pow fp v sqrt_exp in
   if Modarith.equal (Modarith.sqr fp r) v then Some r else None
 
-let of_bytes s =
-  if String.length s <> element_bytes then None
-  else if s = String.make element_bytes '\000' then Some Inf
-  else begin
-    match s.[0] with
+(* Decode [element_bytes] at [pos] without materializing the slice (the
+   x-coordinate is read straight out of the buffer). Decompression solves
+   the curve equation for y and the cofactor is 1, so a decoded point is
+   on the curve by construction — decode is inherently validating. *)
+let of_bytes_sub s ~pos =
+  if pos < 0 || pos + element_bytes > String.length s then None
+  else
+    match s.[pos] with
+    | '\000' ->
+        let rec all_zero i = i >= element_bytes || (s.[pos + i] = '\000' && all_zero (i + 1)) in
+        if all_zero 1 then Some Inf else None
     | '\002' | '\003' -> begin
-        let xv = Nat.of_bytes_be (String.sub s 1 32) in
+        let xv = Nat.of_bytes_be_sub s ~pos:(pos + 1) ~len:32 in
         if Nat.compare xv p >= 0 then None
         else begin
           let x = Modarith.of_nat fp xv in
@@ -738,17 +744,44 @@ let of_bytes s =
           | None -> None
           | Some y ->
               let y_odd = Nat.is_odd (Modarith.to_nat fp y) in
-              let want_odd = s.[0] = '\003' in
+              let want_odd = s.[pos] = '\003' in
               let y = if y_odd = want_odd then y else Modarith.neg fp y in
               Some (Aff (x, y))
         end
       end
     | _ -> None
-  end
 
-(* Decompression already solves the curve equation for y and the cofactor
-   is 1, so there is no membership check left to defer. *)
-let of_bytes_unchecked = of_bytes
+let of_bytes s = if String.length s <> element_bytes then None else of_bytes_sub s ~pos:0
+
+(* Membership is the curve equation; [Inf] is the group identity and a
+   member. Only hand-built [Aff] values can fail (the type is exposed for
+   known-answer tests), so the batch check over decoded frames is pure
+   defense in depth — but it is cheap (two squarings and two
+   multiplications per point, no inversion) and pools above the
+   [Naive_check] threshold. *)
+let is_member = on_curve
+
+include Group_intf.Naive_check (struct
+  type nonrec t = t
+
+  let is_member = is_member
+end)
+
+(* Decode already validates (see [of_bytes_sub]), so there is nothing
+   left to defer: [elt] is the point itself and discharge re-runs the
+   curve equation only as a cross-check on hand-built values that could
+   enter through the exposed constructor. *)
+module Unverified = struct
+  type elt = t
+
+  let of_bytes = of_bytes
+  let of_bytes_sub = of_bytes_sub
+  let discharge (e : elt) : t option = if on_curve e then Some e else None
+
+  let discharge_batch ?pool (els : elt array) : (t array, int) result =
+    if check_batch ?pool els then Ok els
+    else Error (match find_non_member els with Some i -> i | None -> 0)
+end
 
 let embed_bytes = 28
 let embed_marker = '\x01'

@@ -1,11 +1,25 @@
-(* Schnorr group backend: the order-q subgroup of quadratic residues of Z_p*
-   where p = 2q + 1 is a safe prime.
+(* Schnorr group backend over a safe prime p = 2q + 1, represented as the
+   group of *signed quadratic residues* QR⁺(p) (Hofheinz–Kiltz): the set
+   {1, …, q} under a∘b = |a·b mod p|, where |x| = min(x, p − x) picks the
+   smaller of the two representatives of {x, −x}.
 
-   Much faster than P-256 in pure OCaml, so the protocol test-suites run on
-   this backend; the P-256 backend matches the paper's prototype. Message
-   embedding uses the classic QR trick: for p ≡ 3 (mod 4), exactly one of
-   {c, p−c} is a quadratic residue, and exactly one of them is < p/2, so a
-   payload c ∈ [1, p/2) maps bijectively onto QR(p). *)
+   For a safe prime, x ↦ |x| is a group isomorphism QR(p) → QR⁺(p) (every
+   class {x, −x} contains exactly one quadratic residue and exactly one
+   value ≤ q, and the map respects multiplication up to sign), so QR⁺ is
+   cyclic of prime order q and DDH-equivalent to the classic residue
+   subgroup. The payoff is the decode path: membership in QR⁺ is the range
+   check 1 ≤ v ≤ q on the canonical representative — constant time in
+   group operations — where membership in QR(p) costs a full Euler-
+   criterion exponentiation x^q mod p per element. Wire decode of a
+   ciphertext batch is therefore structural, and the batched-validation
+   machinery ([check_batch], [Unverified.discharge_batch]) runs at memory
+   speed instead of exponentiation speed.
+
+   Much faster than P-256 in pure OCaml, so the protocol test-suites run
+   on this backend; the P-256 backend matches the paper's prototype.
+   Message embedding is the classic half-range bijection, now with no
+   residue test at all: payloads map to c ∈ [1, q] directly, which *is*
+   the canonical range. *)
 
 open Atom_nat
 
@@ -14,8 +28,9 @@ type params = { p : Nat.t; q : Nat.t; g : Nat.t }
 let derive_params ~(bits : int) ~(seed : int) : params =
   let rng = Atom_util.Rng.create seed in
   let p, q = Prime.random_safe_prime rng ~bits in
-  (* 4 = 2^2 is always a quadratic residue, hence a generator of the order-q
-     subgroup (q prime means every non-identity QR generates it). *)
+  (* 4 = 2² is a quadratic residue, and |4| = 4 (any plausible q exceeds
+     4), so 4 generates QR⁺ (q prime means every non-identity element
+     generates it). *)
   { p; q; g = Nat.of_int 4 }
 
 let make (params : params) : (module Group_intf.GROUP) =
@@ -49,12 +64,18 @@ let make (params : params) : (module Group_intf.GROUP) =
     type t = Modarith.el
     type scalar = Scalar.t
 
+    (* Canonicalize a Z_p* value into QR⁺: pick the representative ≤ q of
+       the class {x, −x}. Every public operation ends here, so [equal] and
+       [to_bytes] stay structural. *)
+    let norm (x : Modarith.el) : Modarith.el =
+      if Nat.leq (Modarith.to_nat ctx_p x) params.q then x else Modarith.neg ctx_p x
+
     let generator = Modarith.of_nat ctx_p params.g
     let one = Modarith.one ctx_p
-    let mul = Modarith.mul ctx_p
-    let inv = Modarith.inv ctx_p
+    let mul a b = norm (Modarith.mul ctx_p a b)
+    let inv a = norm (Modarith.inv ctx_p a)
     let div a b = mul a (inv b)
-    let pow_raw x k = Modarith.pow ctx_p x (Scalar.to_nat k)
+    let pow_raw x k = norm (Modarith.pow ctx_p x (Scalar.to_nat k))
     let pow_gen_raw k = pow_raw generator k
 
     let pow x k =
@@ -92,24 +113,27 @@ let make (params : params) : (module Group_intf.GROUP) =
 
     (* A pooled MSM splits the pairs into contiguous chunks, runs Straus
        on each chunk independently, and folds the chunk partials in index
-       order. Modular multiplication is exact and elements are canonical
-       (fully reduced Montgomery form), so the fold equals the one-shot
-       Straus product bit for bit regardless of the chunk count. *)
+       order. The sign components of the partials multiply out exactly
+       like the underlying Z_p* values, so one [norm] on the folded
+       product lands on the same canonical element as normalizing every
+       step — the fold equals the one-shot Straus product bit for bit
+       regardless of the chunk count. *)
     let msm_pool_threshold = 64
 
     let msm_raw ?pool pairs =
       let nat_pairs = Array.map (fun (x, k) -> (x, Scalar.to_nat k)) pairs in
       let n = Array.length nat_pairs in
-      match Atom_exec.Pool.resolve pool with
-      | Some p when n >= msm_pool_threshold && Atom_exec.Pool.size p > 1 ->
-          let nchunks = min n (Atom_exec.Pool.size p * 4) in
-          let partials =
-            Atom_exec.Pool.tabulate ~pool:p nchunks (fun c ->
-                let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
-                Modarith.msm_slice ctx_p nat_pairs ~lo ~hi)
-          in
-          Array.fold_left (Modarith.mul ctx_p) (Modarith.one ctx_p) partials
-      | _ -> Modarith.msm ctx_p nat_pairs
+      norm
+        (match Atom_exec.Pool.resolve pool with
+        | Some p when n >= msm_pool_threshold && Atom_exec.Pool.size p > 1 ->
+            let nchunks = min n (Atom_exec.Pool.size p * 4) in
+            let partials =
+              Atom_exec.Pool.tabulate ~pool:p nchunks (fun c ->
+                  let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
+                  Modarith.msm_slice ctx_p nat_pairs ~lo ~hi)
+            in
+            Array.fold_left (Modarith.mul ctx_p) (Modarith.one ctx_p) partials
+        | _ -> Modarith.msm ctx_p nat_pairs)
 
     let msm ?pool pairs =
       Atom_obs.Opcount.note_msm ~terms:(Array.length pairs);
@@ -125,54 +149,83 @@ let make (params : params) : (module Group_intf.GROUP) =
     let element_bytes = (Nat.bit_length params.p + 7) / 8
     let to_bytes x = Nat.to_bytes_be ~length:element_bytes (Modarith.to_nat ctx_p x)
 
-    (* Legendre symbol via Euler's criterion: x^q mod p (q = (p-1)/2). *)
-    let is_qr (x : Modarith.el) : bool =
-      Nat.equal (Modarith.to_nat ctx_p (Modarith.pow ctx_p x params.q)) Nat.one
+    (* Membership in QR⁺ is the canonical-range check — no exponentiation.
+       Values built by this module are canonical by construction; the
+       check exists for decode-time verification and defense in depth. *)
+    let is_member (x : t) : bool =
+      let v = Modarith.to_nat ctx_p x in
+      (not (Nat.is_zero v)) && Nat.leq v params.q
+
+    include Group_intf.Naive_check (struct
+      type nonrec t = t
+
+      let is_member = is_member
+    end)
+
+    (* The canonical-range bound in plain limb form, for the wire-decode
+       fast path's threshold compares. *)
+    let q_plain = Modarith.plain_of_nat ctx_p params.q
 
     let of_bytes s =
       if String.length s <> element_bytes then None
-      else begin
-        let v = Nat.of_bytes_be s in
-        if Nat.is_zero v || Nat.compare v params.p >= 0 then None
-        else begin
-          let el = Modarith.of_nat ctx_p v in
-          if is_qr el then Some el else None
-        end
-      end
+      else
+        match Modarith.parse_be_sub ctx_p s ~pos:0 ~len:element_bytes with
+        | Some v when (not (Modarith.plain_is_zero v)) && Modarith.plain_leq v q_plain ->
+            Some (Modarith.mont_of_plain ctx_p v)
+        | _ -> None
 
-    (* Structural checks only: the QR (subgroup) test above is a full
-       exponentiation and dominates decode cost, so the deferred-validation
-       decode path skips it here and batch-verifies membership later. *)
-    let of_bytes_unchecked s =
-      if String.length s <> element_bytes then None
-      else begin
-        let v = Nat.of_bytes_be s in
-        if Nat.is_zero v || Nat.compare v params.p >= 0 then None
-        else Some (Modarith.of_nat ctx_p v)
-      end
+    (* Structurally decoded, membership (the canonical-range check) still
+       owed. [elt] is the plain limb value straight off the wire: discharge
+       is one limb compare against [q_plain] plus the Montgomery entry
+       multiplication — which [discharge_batch] amortizes over a pool, so
+       the expensive half of decoding a frame parallelizes while the
+       structural parse stays a single cheap pass. *)
+    module Unverified = struct
+      type elt = Modarith.plain
 
-    (* Payload must stay below p/2 with margin: reserve 9 bits. *)
+      let of_bytes_sub s ~pos =
+        match Modarith.parse_be_sub ctx_p s ~pos ~len:element_bytes with
+        | Some v when not (Modarith.plain_is_zero v) -> Some v
+        | _ -> None
+
+      let of_bytes s = if String.length s <> element_bytes then None else of_bytes_sub s ~pos:0
+
+      let discharge (v : elt) : t option =
+        if Modarith.plain_leq v q_plain then Some (Modarith.mont_of_plain ctx_p v) else None
+
+      let pool_threshold = 256
+
+      let discharge_batch ?pool (us : elt array) : (t array, int) result =
+        let n = Array.length us in
+        let rec scan i =
+          if i >= n then None
+          else if Modarith.plain_leq us.(i) q_plain then scan (i + 1)
+          else Some i
+        in
+        match scan 0 with
+        | Some i -> Error i
+        | None -> (
+            let conv = Modarith.mont_of_plain ctx_p in
+            match Atom_exec.Pool.resolve pool with
+            | Some p when n >= pool_threshold && Atom_exec.Pool.size p > 1 ->
+                Ok (Atom_exec.Pool.map ~pool:p conv us)
+            | _ -> Ok (Array.map conv us))
+    end
+
+    (* Payload must stay below q with margin: reserve 9 bits. *)
     let embed_bytes = (Nat.bit_length params.p - 9) / 8
 
+    (* c ∈ [1, q] *is* the canonical range, so embedding needs no residue
+       test and no sign fix-up — the +1 shift only avoids zero. *)
     let embed payload =
       if String.length payload > embed_bytes then None
-      else begin
-        (* c in [1, p/2): the +1 shift avoids zero. *)
-        let c = Nat.add (Nat.of_bytes_be payload) Nat.one in
-        let el = Modarith.of_nat ctx_p c in
-        if is_qr el then Some el else Some (Modarith.neg ctx_p el)
-      end
-
-    (* Eager (not [lazy]): extract may run on pool worker domains, and a
-       concurrently forced lazy raises in OCaml 5. *)
-    let half_p = Nat.shift_right params.p 1
+      else Some (Modarith.of_nat ctx_p (Nat.add (Nat.of_bytes_be payload) Nat.one))
 
     let extract el =
       let v = Modarith.to_nat ctx_p el in
-      let c = if Nat.compare v half_p < 0 then v else Nat.sub params.p v in
-      if Nat.is_zero c then None
+      if Nat.is_zero v then None
       else begin
-        let payload = Nat.sub c Nat.one in
+        let payload = Nat.sub v Nat.one in
         if Nat.bit_length payload > embed_bytes * 8 then None
         else Some (Nat.to_bytes_be ~length:embed_bytes payload)
       end
@@ -180,13 +233,14 @@ let make (params : params) : (module Group_intf.GROUP) =
     let random rng = pow_gen (Scalar.random rng)
     let hash_to_scalar msg = Scalar.of_bytes_mod (Atom_hash.Sha256.digest msg)
 
-    (* Hash-to-group: square the hash value to land in QR(p); nobody knows
-       its discrete log w.r.t. the generator. *)
+    (* Hash-to-group: square the hash value to land in QR(p), then fold to
+       the canonical representative; nobody knows its discrete log w.r.t.
+       the generator. *)
     let of_hash label =
       let rec go ctr =
         let digest = Atom_hash.Sha256.digest_list [ "zp-of-hash"; label; string_of_int ctr ] in
         let v = Nat.rem (Nat.of_bytes_be digest) params.p in
-        let el = Modarith.sqr ctx_p (Modarith.of_nat ctx_p v) in
+        let el = norm (Modarith.sqr ctx_p (Modarith.of_nat ctx_p v)) in
         if Modarith.is_zero el || is_one el then go (ctr + 1) else el
       in
       go 0
@@ -197,8 +251,11 @@ let make (params : params) : (module Group_intf.GROUP) =
    construction may be requested from several threads (a test harness
    spinning up per-thread nodes), and concurrent forcing of a lazy is an
    error in OCaml 5. *)
-let test_params = Atom_exec.Once.make (fun () -> derive_params ~bits:96 ~seed:0x5af3)
-let medium_params = Atom_exec.Once.make (fun () -> derive_params ~bits:256 ~seed:0x5af4)
+let test_params_once = Atom_exec.Once.make (fun () -> derive_params ~bits:96 ~seed:0x5af3)
+let medium_params_once = Atom_exec.Once.make (fun () -> derive_params ~bits:256 ~seed:0x5af4)
 
-let test_group () : (module Group_intf.GROUP) = make (Atom_exec.Once.get test_params)
-let medium_group () : (module Group_intf.GROUP) = make (Atom_exec.Once.get medium_params)
+let test_params () : params = Atom_exec.Once.get test_params_once
+let medium_params () : params = Atom_exec.Once.get medium_params_once
+
+let test_group () : (module Group_intf.GROUP) = make (test_params ())
+let medium_group () : (module Group_intf.GROUP) = make (medium_params ())

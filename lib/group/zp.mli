@@ -1,5 +1,10 @@
-(** Schnorr group backend: the order-q subgroup of quadratic residues of
-    Z_p* where p = 2q + 1 is a safe prime.
+(** Schnorr group backend over a safe prime p = 2q + 1, represented as the
+    group of signed quadratic residues QR⁺(p): the set {1, …, q} under
+    a∘b = |a·b mod p|, isomorphic to the classic residue subgroup QR(p)
+    (Hofheinz–Kiltz). The representation makes subgroup membership a
+    range check (1 ≤ v ≤ q) on the canonical encoding instead of an
+    Euler-criterion exponentiation, so wire decode validates elements
+    structurally — see DESIGN.md, "Wire validation policies".
 
     Much faster than P-256 in pure OCaml, so the protocol test-suites run
     on this backend. Groups are built from {!params}; the derived test and
@@ -16,6 +21,14 @@ val derive_params : bits:int -> seed:int -> params
 (** Deterministically derive a safe-prime group of the given size. *)
 
 val make : params -> (module Group_intf.GROUP)
+
+val test_params : unit -> params
+(** The cached 96-bit parameter set behind {!test_group} — exposed so the
+    validation soundness tests can craft non-canonical encodings
+    (q < v < p) that structural decode accepts and discharge rejects. *)
+
+val medium_params : unit -> params
+(** The cached 256-bit parameter set behind {!medium_group}. *)
 
 val test_group : unit -> (module Group_intf.GROUP)
 (** 96-bit group (cached parameters): fast, for tests and examples. *)

@@ -360,6 +360,50 @@ let of_nat (ctx : ctx) (a : Nat.t) : el =
 let to_nat (ctx : ctx) (a : el) : Nat.t =
   narrow (with_tls ctx (fun t -> mont_mul_t ctx t a ctx.one_plain))
 
+(* ---- wire parse: plain values ----
+
+   The wire-decode fast path. [of_nat] costs a Nat round trip (widen
+   re-serializes through bytes) on top of the Montgomery entry
+   multiplication; a structural decoder validating thousands of elements
+   per frame cannot afford either until the element is actually released
+   to arithmetic. [parse_be_sub] reads the wire bytes straight into a
+   k-limb plain value and range-checks it against the modulus with one
+   limb compare; [plain_leq] gives threshold checks (canonical-range
+   membership) the same way; [mont_of_plain] pays the one entry
+   multiplication at discharge time. *)
+
+type plain = int array
+
+let parse_be_sub (ctx : ctx) (s : string) ~(pos : int) ~(len : int) : plain option =
+  if pos < 0 || len < 0 || pos + len > String.length s then None
+  else begin
+    let k = ctx.k in
+    let out = Array.make k 0 in
+    let acc = ref 0 and acc_bits = ref 0 and limb = ref 0 in
+    let fits = ref true in
+    for i = pos + len - 1 downto pos do
+      acc := !acc lor (Char.code (String.unsafe_get s i) lsl !acc_bits);
+      acc_bits := !acc_bits + 8;
+      while !acc_bits >= limb_bits do
+        let l = !acc land limb_mask in
+        if !limb < k then out.(!limb) <- l else if l <> 0 then fits := false;
+        acc := !acc lsr limb_bits;
+        acc_bits := !acc_bits - limb_bits;
+        incr limb
+      done
+    done;
+    if !acc_bits > 0 then
+      if !limb < k then out.(!limb) <- !acc else if !acc <> 0 then fits := false;
+    if !fits && cmp_limbs out ctx.m < 0 then Some out else None
+  end
+
+let plain_is_zero (a : plain) : bool = Array.for_all (fun x -> x = 0) a
+let plain_leq (a : plain) (b : plain) : bool = cmp_limbs a b <= 0
+let plain_of_nat (ctx : ctx) (a : Nat.t) : plain = widen ctx.k a
+
+let mont_of_plain (ctx : ctx) (a : plain) : el =
+  with_tls ctx (fun t -> mont_mul_t ctx t a ctx.r2)
+
 let zero (ctx : ctx) : el = Array.make ctx.k 0
 let one (ctx : ctx) : el = Array.copy ctx.one_m
 let of_int ctx i = of_nat ctx (Nat.of_int i)

@@ -30,6 +30,38 @@ val of_nat : ctx -> Nat.t -> el
 val to_nat : ctx -> el -> Nat.t
 val of_int : ctx -> int -> el
 
+(** {1 Wire parse: plain values}
+
+    The wire-decode fast path. A {!plain} is a fixed-width limb value
+    that has {e not} entered Montgomery form: {!parse_be_sub} reads it
+    straight off a receive buffer (no [Nat] round trip) and range-checks
+    it against the modulus, {!plain_leq} compares it against a
+    precomputed threshold with one limb loop, and {!mont_of_plain} pays
+    the Montgomery entry multiplication only when the element is released
+    to arithmetic — so a structural decoder can parse thousands of
+    elements per frame and batch the expensive step. *)
+
+type plain
+
+val parse_be_sub : ctx -> string -> pos:int -> len:int -> plain option
+(** Big-endian value of [s.[pos .. pos+len-1]]. [None] when the slice is
+    out of range or the value is ≥ the modulus. Total: never raises on
+    wire input. *)
+
+val plain_is_zero : plain -> bool
+
+val plain_of_nat : ctx -> Nat.t -> plain
+(** For precomputing comparison thresholds (e.g. the canonical-range
+    bound q).
+    @raise Invalid_argument if the value exceeds the context width. *)
+
+val plain_leq : plain -> plain -> bool
+
+val mont_of_plain : ctx -> plain -> el
+(** Enter Montgomery form: one multiplication by R². The value must come
+    from {!parse_be_sub} or {!plain_of_nat} of the same context (already
+    reduced). *)
+
 val zero : ctx -> el
 val one : ctx -> el
 val equal : el -> el -> bool

@@ -214,13 +214,13 @@ let div_small (a : t) (d : int) : t * int =
   done;
   (normalize out, !r)
 
-let of_bytes_be (s : string) : t =
-  let n = String.length s in
-  let bits = n * 8 in
+let of_bytes_be_sub (s : string) ~(pos : int) ~(len : int) : t =
+  if pos < 0 || len < 0 || pos + len > String.length s then invalid_arg "Nat.of_bytes_be_sub";
+  let bits = len * 8 in
   let limbs = ((bits + limb_bits - 1) / limb_bits) + 1 in
   let out = Array.make limbs 0 in
   let acc = ref 0 and acc_bits = ref 0 and limb = ref 0 in
-  for i = n - 1 downto 0 do
+  for i = pos + len - 1 downto pos do
     acc := !acc lor (Char.code s.[i] lsl !acc_bits);
     acc_bits := !acc_bits + 8;
     while !acc_bits >= limb_bits do
@@ -232,6 +232,8 @@ let of_bytes_be (s : string) : t =
   done;
   if !acc_bits > 0 then out.(!limb) <- !acc;
   normalize out
+
+let of_bytes_be (s : string) : t = of_bytes_be_sub s ~pos:0 ~len:(String.length s)
 
 let to_bytes_be ?(length : int option) (a : t) : string =
   let byte_len = (bit_length a + 7) / 8 in

@@ -52,6 +52,13 @@ val mod_small : t -> int -> int
 val div_small : t -> int -> t * int
 
 val of_bytes_be : string -> t
+
+val of_bytes_be_sub : string -> pos:int -> len:int -> t
+(** [of_bytes_be_sub s ~pos ~len] reads the big-endian value of
+    [s.[pos .. pos+len-1]] without materializing the substring — the
+    zero-copy decode primitive for wire parsers.
+    @raise Invalid_argument on an out-of-range slice. *)
+
 val to_bytes_be : ?length:int -> t -> string
 (** Big-endian bytes; zero-padded to [length] when given.
     @raise Invalid_argument if the value does not fit in [length] bytes. *)

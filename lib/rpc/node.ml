@@ -943,8 +943,19 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
   let handle_frame (n : node) ~(src : int) (frame : string) : unit =
     match Frame.kind_of frame with
     | Some k when k >= Frame.kind_group_key && k <= Frame.kind_exit_batch -> (
-        match C.decode frame with
-        | Some msg -> handle_codec n msg
+        (* Data-plane hot path: one structural parse (zero-copy element
+           views), then one batched membership discharge over the whole
+           frame — no per-element validation work. Decoding deferred and
+           discharging explicitly (rather than [~policy:Batched]) keeps
+           the non-member index for the abort detail. *)
+        match C.decode ~policy:Atom_wire.Validation.Deferred frame with
+        | Some (C.Unchecked d) -> (
+            match C.discharge ?pool:n.pool d with
+            | Ok msg -> handle_codec n msg
+            | Error i ->
+                bad_frame n
+                  (Printf.sprintf "non-member element %d in %s" i (Frame.kind_name k)))
+        | Some (C.Msg msg) -> handle_codec n msg
         | None -> bad_frame n (Printf.sprintf "bad %s body" (Frame.kind_name k)))
     | Some k -> (
         match Ctrl.decode frame with
@@ -1215,8 +1226,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
       | Ok (_src, frame) -> (
           idle := 0;
           strikes := 0;
-          match C.decode frame with
-          | Some (C.Exit_batch { gid; iter = _; batch_idx; input; output; proofs }) ->
+          match C.decode ?pool ~policy:Atom_wire.Validation.Batched frame with
+          | Some (C.Msg (C.Exit_batch { gid; iter = _; batch_idx; input; output; proofs })) ->
               if Hashtbl.mem seen_exits (gid, batch_idx) then
                 Atom_obs.Metrics.incr m_exit_dups
               else begin
@@ -1593,8 +1604,8 @@ module Make (G : Atom_group.Group_intf.GROUP) (T : Transport.S) = struct
         | Ok (_src, frame) -> (
             idle := 0;
             strikes := 0;
-            match C.decode frame with
-            | Some (C.Exit_batch { gid; iter; batch_idx; input; output; proofs }) ->
+            match C.decode ?pool ~policy:Atom_wire.Validation.Batched frame with
+            | Some (C.Msg (C.Exit_batch { gid; iter; batch_idx; input; output; proofs })) ->
                 let epoch = if iters > 0 then iter / iters else 0 in
                 if
                   gid < 0 || gid >= n_groups || iter < 0

@@ -35,13 +35,25 @@
    layer, so pipelined epochs (absolute iter = epoch·T + layer) keep exit
    collection keyed by epoch.
 
+   Decode runs in two phases under every [Validation] policy:
+
+   1. One structural parse of the body, strict and total. Group elements
+      are decoded as [G.Unverified.elt] views straight off the receive
+      buffer ([Frame.R.view] offsets + [G.Unverified.of_bytes_sub] — no
+      per-element substring copies), accumulated in wire order, with a
+      [raw] skeleton recording the message shape (per-cipher Y-flags) so
+      the bytes are parsed exactly once.
+   2. A membership discharge, scheduled by the policy: [Eager] discharges
+      per element (fail-fast), [Batched] runs one amortized
+      [discharge_batch] over the whole frame and returns the finished
+      [msg], [Deferred] returns the undischarged [deferred] so the caller
+      can dedup / route cheaply and [discharge] later — which also
+      reports *which* element was a non-member.
+
    Strict and total like every decoder in this library: arbitrary bytes
-   yield [None], never an exception, and every group element is validated
-   by the backend codec on the way in. Decoders take
-   [?validate:[`Eager|`Deferred]] (default [`Eager]): [`Deferred] decodes
-   group elements with structural checks only ([G.of_bytes_unchecked]),
-   deferring subgroup membership to batch verification at first use —
-   the intake hot path's fast decode. *)
+   yield [None], never an exception. A frame containing a non-member
+   element is rejected under every policy; only the timing of the check
+   differs. *)
 
 module Make
     (G : Atom_group.Group_intf.GROUP)
@@ -109,47 +121,206 @@ struct
     Frame.W.u32 b (Array.length ps);
     Array.iter (Frame.W.str32 b) ps
 
-  (* ---- readers ---- *)
+  (* ---- structural parse (phase 1) ----
+
+     The skeleton mirrors [msg] with every group element factored out into
+     one flat accumulator: a cipher is its per-position Y-flag, a vec is a
+     flag array, and elements live in [elts] in exact wire order. [build]
+     re-threads a discharged element array through the same shape. *)
+
+  type raw =
+    | R_group_key of { gid : int }
+    | R_batch of {
+        gid : int;
+        iter : int;
+        src_gid : int;
+        sent_at : int;
+        input : bool array array;
+        output : bool array array;
+        proofs : string array;
+      }
+    | R_shuffle_step of {
+        gid : int;
+        iter : int;
+        step : int;
+        sent_at : int;
+        input : bool array array;
+        output : bool array array;
+        proof : string;
+      }
+    | R_reenc_step of {
+        gid : int;
+        iter : int;
+        batch_idx : int;
+        step : int;
+        sent_at : int;
+        input : bool array array;
+        output : bool array array;
+        proofs : string array;
+      }
+    | R_exit_batch of {
+        gid : int;
+        iter : int;
+        batch_idx : int;
+        input : bool array array;
+        output : bool array array;
+        proofs : string array;
+      }
+
+  type deferred = { raw : raw; elts : G.Unverified.elt array }
+  (** A structurally-parsed frame whose elements' membership checks are
+      still owed; release the message with {!discharge}. *)
+
+  (* Growable element accumulator ([elt] is abstract, so growth seeds new
+     storage with the pushed value instead of a dummy). Body length bounds
+     the element count, so capacity is bounded by [Frame.max_body]. *)
+  type acc = { mutable els : G.Unverified.elt array; mutable n : int }
+
+  let acc_push (a : acc) (e : G.Unverified.elt) =
+    let cap = Array.length a.els in
+    if a.n = cap then begin
+      let grown = Array.make (max 64 (2 * cap)) e in
+      Array.blit a.els 0 grown 0 a.n;
+      a.els <- grown
+    end;
+    a.els.(a.n) <- e;
+    a.n <- a.n + 1
 
   let read_u64 (r : Frame.R.t) : int =
     let hi = Frame.R.u32 r in
     let lo = Frame.R.u32 r in
     (hi lsl 32) lor lo
 
-  (* [`Deferred] skips the subgroup-membership exponentiation per element
-     (structural length/range checks remain); callers owe a batched
-     membership check before the elements reach secret-dependent ops. *)
-  let el_decoder = function `Eager -> G.of_bytes | `Deferred -> G.of_bytes_unchecked
+  (* One element: a zero-copy view into the receive buffer, structurally
+     decoded in place. *)
+  let read_elt (acc : acc) (r : Frame.R.t) : unit =
+    let pos = Frame.R.view r G.element_bytes in
+    match G.Unverified.of_bytes_sub (Frame.R.src r) ~pos with
+    | Some e -> acc_push acc e
+    | None -> Frame.R.fail ()
 
-  let read_cipher ~validate (r : Frame.R.t) : El.cipher =
-    let eb = G.element_bytes in
-    let dec = el_decoder validate in
-    let el s = match dec s with Some e -> e | None -> Frame.R.fail () in
-    let rr = el (Frame.R.bytes r eb) in
-    let c = el (Frame.R.bytes r eb) in
+  let read_cipher (acc : acc) (r : Frame.R.t) : bool =
+    read_elt acc r;
+    (* R *)
+    read_elt acc r;
+    (* c *)
     match Frame.R.u8 r with
-    | 0 -> { El.r = rr; c; y = None }
-    | 1 -> { El.r = rr; c; y = Some (el (Frame.R.bytes r eb)) }
+    | 0 -> false
+    | 1 ->
+        read_elt acc r;
+        (* Y *)
+        true
     | _ -> Frame.R.fail ()
 
-  let read_vec ~validate (r : Frame.R.t) : El.vec =
+  let read_vec (acc : acc) (r : Frame.R.t) : bool array =
     let w = Frame.R.u16 r in
     if w > max_width then Frame.R.fail ();
-    Array.init w (fun _ -> read_cipher ~validate r)
+    Array.init w (fun _ -> read_cipher acc r)
 
-  let read_vecs ~validate (r : Frame.R.t) : El.vec array =
+  let read_vecs (acc : acc) (r : Frame.R.t) : bool array array =
     (* Each vec consumes ≥ 2 bytes, so [remaining] bounds the allocation. *)
     let n = Frame.R.count r ~max:(Frame.R.remaining r) in
-    Array.init n (fun _ -> read_vec ~validate r)
+    Array.init n (fun _ -> read_vec acc r)
 
   let read_proofs (r : Frame.R.t) : string array =
     let n = Frame.R.count r ~max:(Frame.R.remaining r) in
     Array.init n (fun _ -> Frame.R.str32 ~max:max_proof r)
 
-  let read_element ~validate (r : Frame.R.t) : G.t =
-    match el_decoder validate (Frame.R.bytes r G.element_bytes) with
-    | Some e -> e
-    | None -> Frame.R.fail ()
+  let parse_body (kind : int) (body : string) : deferred option =
+    let acc = { els = [||]; n = 0 } in
+    let open Frame.R in
+    decode body (fun r ->
+        let raw =
+          if kind = Frame.kind_group_key then begin
+            let gid = u32 r in
+            read_elt acc r;
+            R_group_key { gid }
+          end
+          else if kind = Frame.kind_batch then
+            let gid = u32 r in
+            let iter = u32 r in
+            let src_gid = u32 r in
+            let sent_at = read_u64 r in
+            let input = read_vecs acc r in
+            let output = read_vecs acc r in
+            R_batch { gid; iter; src_gid; sent_at; input; output; proofs = read_proofs r }
+          else if kind = Frame.kind_shuffle_step then
+            let gid = u32 r in
+            let iter = u32 r in
+            let step = u16 r in
+            let sent_at = read_u64 r in
+            let input = read_vecs acc r in
+            let output = read_vecs acc r in
+            R_shuffle_step
+              { gid; iter; step; sent_at; input; output; proof = str32 ~max:max_proof r }
+          else if kind = Frame.kind_reenc_step then
+            let gid = u32 r in
+            let iter = u32 r in
+            let batch_idx = u32 r in
+            let step = u16 r in
+            let sent_at = read_u64 r in
+            let input = read_vecs acc r in
+            let output = read_vecs acc r in
+            R_reenc_step
+              { gid; iter; batch_idx; step; sent_at; input; output; proofs = read_proofs r }
+          else if kind = Frame.kind_exit_batch then
+            let gid = u32 r in
+            let iter = u32 r in
+            let batch_idx = u32 r in
+            let input = read_vecs acc r in
+            let output = read_vecs acc r in
+            R_exit_batch { gid; iter; batch_idx; input; output; proofs = read_proofs r }
+          else fail ()
+        in
+        { raw; elts = Array.sub acc.els 0 acc.n })
+
+  (* ---- rebuild (phase 2) ---- *)
+
+  let build (raw : raw) (els : G.t array) : msg =
+    let k = ref 0 in
+    let next () =
+      let e = els.(!k) in
+      incr k;
+      e
+    in
+    let cipher has_y =
+      let r = next () in
+      let c = next () in
+      let y = if has_y then Some (next ()) else None in
+      { El.r; c; y }
+    in
+    let vec flags = Array.init (Array.length flags) (fun i -> cipher flags.(i)) in
+    let vecs fss = Array.init (Array.length fss) (fun i -> vec fss.(i)) in
+    match raw with
+    | R_group_key { gid } -> Group_key { gid; pk = next () }
+    | R_batch { gid; iter; src_gid; sent_at; input; output; proofs } ->
+        let input = vecs input in
+        let output = vecs output in
+        Batch { gid; iter; src_gid; sent_at; input; output; proofs }
+    | R_shuffle_step { gid; iter; step; sent_at; input; output; proof } ->
+        let input = vecs input in
+        let output = vecs output in
+        Shuffle_step { gid; iter; step; sent_at; input; output; proof }
+    | R_reenc_step { gid; iter; batch_idx; step; sent_at; input; output; proofs } ->
+        let input = vecs input in
+        let output = vecs output in
+        Reenc_step { gid; iter; batch_idx; step; sent_at; input; output; proofs }
+    | R_exit_batch { gid; iter; batch_idx; input; output; proofs } ->
+        let input = vecs input in
+        let output = vecs output in
+        Exit_batch { gid; iter; batch_idx; input; output; proofs }
+
+  let discharge ?pool (d : deferred) : (msg, int) result =
+    match G.Unverified.discharge_batch ?pool d.elts with
+    | Ok els -> Ok (build d.raw els)
+    | Error i -> Error i
+
+  type decoded = Msg of msg | Unchecked of deferred
+
+  let force ?pool (d : decoded) : msg option =
+    match d with
+    | Msg m -> Some m
+    | Unchecked d -> ( match discharge ?pool d with Ok m -> Some m | Error _ -> None)
 
   (* ---- message codec ---- *)
 
@@ -200,50 +371,33 @@ struct
     in
     Frame.encode ~kind (Buffer.contents b)
 
-  let decode_body ?(validate = `Eager) (kind : int) (body : string) : msg option =
-    let open Frame.R in
-    decode body (fun r ->
-        if kind = Frame.kind_group_key then
-          let gid = u32 r in
-          Group_key { gid; pk = read_element ~validate r }
-        else if kind = Frame.kind_batch then
-          let gid = u32 r in
-          let iter = u32 r in
-          let src_gid = u32 r in
-          let sent_at = read_u64 r in
-          let input = read_vecs ~validate r in
-          let output = read_vecs ~validate r in
-          Batch { gid; iter; src_gid; sent_at; input; output; proofs = read_proofs r }
-        else if kind = Frame.kind_shuffle_step then
-          let gid = u32 r in
-          let iter = u32 r in
-          let step = u16 r in
-          let sent_at = read_u64 r in
-          let input = read_vecs ~validate r in
-          let output = read_vecs ~validate r in
-          Shuffle_step
-            { gid; iter; step; sent_at; input; output; proof = str32 ~max:max_proof r }
-        else if kind = Frame.kind_reenc_step then
-          let gid = u32 r in
-          let iter = u32 r in
-          let batch_idx = u32 r in
-          let step = u16 r in
-          let sent_at = read_u64 r in
-          let input = read_vecs ~validate r in
-          let output = read_vecs ~validate r in
-          Reenc_step
-            { gid; iter; batch_idx; step; sent_at; input; output; proofs = read_proofs r }
-        else if kind = Frame.kind_exit_batch then
-          let gid = u32 r in
-          let iter = u32 r in
-          let batch_idx = u32 r in
-          let input = read_vecs ~validate r in
-          let output = read_vecs ~validate r in
-          Exit_batch { gid; iter; batch_idx; input; output; proofs = read_proofs r }
-        else fail ())
+  let decode_body ?pool ?(policy = Validation.Eager) (kind : int) (body : string) :
+      decoded option =
+    match parse_body kind body with
+    | None -> None
+    | Some d -> (
+        match policy with
+        | Validation.Deferred -> Some (Unchecked d)
+        | Validation.Batched -> (
+            match discharge ?pool d with Ok m -> Some (Msg m) | Error _ -> None)
+        | Validation.Eager ->
+            (* Fail-fast per-element discharge; [G.one] only seeds the
+               output array and every slot is overwritten before use. *)
+            let n = Array.length d.elts in
+            let out = Array.make n G.one in
+            let rec go i =
+              if i >= n then Some (Msg (build d.raw out))
+              else
+                match G.Unverified.discharge d.elts.(i) with
+                | Some e ->
+                    out.(i) <- e;
+                    go (i + 1)
+                | None -> None
+            in
+            go 0)
 
-  let decode ?(validate = `Eager) (framed : string) : msg option =
+  let decode ?pool ?policy (framed : string) : decoded option =
     match Frame.decode framed with
     | None -> None
-    | Some (kind, body) -> decode_body ~validate kind body
+    | Some (kind, body) -> decode_body ?pool ?policy kind body
 end

@@ -165,6 +165,18 @@ module R = struct
     r.pos <- r.pos + n;
     s
 
+  (* Zero-copy slice: consume [n] bytes and return their start offset in
+     [src] instead of materializing a substring — decoders that parse a
+     fixed-width field in place ([Nat.of_bytes_be_sub], element decoders)
+     skip the per-field allocation. *)
+  let src (r : t) : string = r.s
+
+  let view (r : t) (n : int) : int =
+    need r n;
+    let pos = r.pos in
+    r.pos <- pos + n;
+    pos
+
   let str32 ?(max = max_body) (r : t) : string =
     let n = u32 r in
     if n > max then fail ();

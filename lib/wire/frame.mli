@@ -71,6 +71,14 @@ module R : sig
   val bytes : t -> int -> string
   val str32 : ?max:int -> t -> string
 
+  val src : t -> string
+  (** The underlying buffer, for zero-copy reads via {!view} offsets. *)
+
+  val view : t -> int -> int
+  (** [view r n] consumes [n] bytes and returns their start offset in
+      {!src} — the zero-copy alternative to {!bytes} for fixed-width
+      fields parsed in place (group elements, big-endian naturals). *)
+
   val count : t -> max:int -> int
   (** u32 element count, rejected above [max] (allocation bound). *)
 

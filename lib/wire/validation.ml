@@ -1,0 +1,23 @@
+(* First-class group-element validation policy for the data-plane codecs,
+   replacing the old ad-hoc [?validate:[`Eager|`Deferred]] flag. See
+   DESIGN.md, "Wire validation policies". *)
+
+type t =
+  | Eager  (** Per-element membership discharge during decode. *)
+  | Batched
+      (** Structural decode, then one amortized membership check over every
+          element of the frame before the message is released. *)
+  | Deferred
+      (** Structural decode only; the caller receives an undischarged value
+          and owes an explicit discharge before the elements can reach
+          group arithmetic. *)
+
+let to_string = function Eager -> "eager" | Batched -> "batched" | Deferred -> "deferred"
+
+let of_string = function
+  | "eager" -> Some Eager
+  | "batched" -> Some Batched
+  | "deferred" -> Some Deferred
+  | _ -> None
+
+let all = [ Eager; Batched; Deferred ]

@@ -1,0 +1,30 @@
+(** Group-element validation policy for the data-plane codecs.
+
+    Every policy accepts exactly the same set of frames — a frame carrying
+    a non-member element is rejected under all three — they differ only in
+    *when* the membership check runs and what the caller holds before it
+    has run:
+
+    - {!Eager}: each element is membership-checked as it is decoded
+      (fail-fast, the conservative default);
+    - {!Batched}: the frame is decoded structurally (zero-copy views over
+      the receive buffer) and a single amortized {!Group_intf.GROUP}
+      [check_batch]-style discharge covers every element before the
+      message is released — the data-plane hot path;
+    - {!Deferred}: structural decode only; the caller gets a typed
+      undischarged value ([Codec.Make.deferred]) and must discharge it
+      explicitly, which also reports *which* element failed.
+
+    Control-plane frames ({!Control}) carry no group elements, so no
+    policy applies there. *)
+
+type t = Eager | Batched | Deferred
+
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} ([None] on anything else) — for CLI flags and
+    benchmark labels. *)
+
+val all : t list
+(** Every policy, in declaration order (benchmark sweeps). *)

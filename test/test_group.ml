@@ -191,14 +191,29 @@ let test_p256_compressed_generator () =
 
 let test_zp_subgroup_validation () =
   let module G = (val Atom_group.Registry.zp_test ()) in
-  (* A non-residue must be rejected by of_bytes: the generator is a residue,
-     so flip to p - g which is a non-residue for safe primes. *)
+  let params = Atom_group.Zp.test_params () in
   let g_bytes = G.to_bytes G.generator in
-  match G.of_bytes g_bytes with
+  (match G.of_bytes g_bytes with
   | None -> Alcotest.fail "generator should decode"
-  | Some _ ->
-      Alcotest.(check bool) "zero rejected" true
-        (G.of_bytes (String.make G.element_bytes '\000') = None)
+  | Some _ -> ());
+  Alcotest.(check bool) "zero rejected" true
+    (G.of_bytes (String.make G.element_bytes '\000') = None);
+  (* In the QR⁺ representation the canonical range is 1 ≤ v ≤ q: anything
+     in (q, p) — e.g. p - g, the non-canonical mirror of the generator —
+     must be rejected even though it is a valid residue-class encoding. *)
+  let mirror =
+    Nat.to_bytes_be ~length:G.element_bytes
+      (Nat.sub params.Atom_group.Zp.p (Nat.of_bytes_be g_bytes))
+  in
+  Alcotest.(check bool) "non-canonical mirror rejected" true (G.of_bytes mirror = None);
+  Alcotest.(check bool) "v = q accepted" true
+    (G.of_bytes (Nat.to_bytes_be ~length:G.element_bytes params.Atom_group.Zp.q) <> None);
+  Alcotest.(check bool) "v = q+1 rejected" true
+    (G.of_bytes
+       (Nat.to_bytes_be ~length:G.element_bytes (Nat.add params.Atom_group.Zp.q Nat.one))
+    = None);
+  Alcotest.(check bool) "v >= p rejected" true
+    (G.of_bytes (Nat.to_bytes_be ~length:G.element_bytes params.Atom_group.Zp.p) = None)
 
 let suite () =
   let module Zp_laws = Laws ((val Atom_group.Registry.zp_test ())) in

@@ -19,6 +19,7 @@ let () =
       Test_baseline.suite;
       Test_extended.suite;
       Test_wire.suite;
+      Test_validation.suite;
       Test_anonymity.suite;
       Test_misc.suite;
       Test_faults.suite;

@@ -1,0 +1,339 @@
+(* Adversarial soundness of the batched membership API ([check_batch] /
+   [find_non_member] / [Unverified.discharge_batch]) across every group
+   backend, and fuzz totality of the policy-driven codec decode path.
+
+   The attacks are the ones the wire layer must survive: a hostile peer
+   plants a single structurally-sound non-member element at a random index
+   of a random-size batch. Every validation policy must reject the frame,
+   and the deferred-discharge path must name the planted index so the
+   abort can blame the right element. *)
+
+module Pool = Atom_exec.Pool
+module Validation = Atom_wire.Validation
+module Frame = Atom_wire.Frame
+module Rng = Atom_util.Rng
+open Atom_nat
+
+let rng () = Rng.create 0x5a11
+
+let with_pool (domains : int) (f : Pool.t -> 'a) : 'a =
+  let p = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) (fun () -> f p)
+
+(* ---- crafting non-members ----
+
+   In the QR⁺ representation a non-member encoding is any v with
+   q < v < p: it passes the structural range check (nonzero, below p) but
+   fails the canonical-range membership check, exactly the gap the
+   discharge must close. Sampled uniformly so every trial plants a
+   different value. *)
+
+let zp_bad_bytes (params : Atom_group.Zp.params) ~(len : int) (r : Rng.t) : string =
+  let gap = Nat.sub (Nat.sub params.Atom_group.Zp.p params.Atom_group.Zp.q) Nat.one in
+  let v =
+    Nat.add params.Atom_group.Zp.q (Nat.add Nat.one (Nat.random_below r gap))
+  in
+  Nat.to_bytes_be ~length:len v
+
+(* For P-256 there is no structurally-sound off-curve wire encoding (the
+   compressed decode solves the curve equation), so the adversarial value
+   is a hand-built affine point just off the curve: (x, y+1) fails the
+   equation unless 2y + 1 = 0, which we retry away. *)
+let p256_bad_point (r : Rng.t) : Atom_group.P256.t =
+  let module P = Atom_group.P256 in
+  let rec go () =
+    match P.random r with
+    | P.Inf -> go ()
+    | P.Aff (x, y) ->
+        let y' = Modarith.add P.fp y (Modarith.of_nat P.fp Nat.one) in
+        let cand = P.Aff (x, y') in
+        if P.on_curve cand then go () else cand
+  in
+  go ()
+
+(* ---- zp backends: planted non-member at a random index ---- *)
+
+let test_zp_planted (group : unit -> (module Atom_group.Group_intf.GROUP))
+    (params : Atom_group.Zp.params) () =
+  let module G = (val group ()) in
+  let r = rng () in
+  let unverified s =
+    match G.Unverified.of_bytes s with
+    | Some u -> u
+    | None -> Alcotest.fail "structurally sound bytes rejected by Unverified.of_bytes"
+  in
+  for _trial = 1 to 25 do
+    let n = 1 + Rng.int_below r 64 in
+    let idx = Rng.int_below r n in
+    let bad = zp_bad_bytes params ~len:G.element_bytes r in
+    Alcotest.(check bool) "non-member rejected by of_bytes" true (G.of_bytes bad = None);
+    let bad_u = unverified bad in
+    Alcotest.(check bool) "non-member fails discharge" true
+      (G.Unverified.discharge bad_u = None);
+    let batch =
+      Array.init n (fun i ->
+          if i = idx then bad_u else unverified (G.to_bytes (G.random r)))
+    in
+    (match G.Unverified.discharge_batch batch with
+    | Error i -> Alcotest.(check int) "discharge_batch names the planted index" idx i
+    | Ok _ -> Alcotest.fail "discharge_batch accepted a planted non-member")
+  done;
+  (* Honest batches discharge to members check_batch accepts. *)
+  let honest = Array.init 48 (fun _ -> G.random r) in
+  (match G.Unverified.discharge_batch (Array.map (fun e -> unverified (G.to_bytes e)) honest) with
+  | Ok els ->
+      Alcotest.(check bool) "honest batch checks" true (G.check_batch els);
+      Alcotest.(check bool) "no non-member found" true (G.find_non_member els = None)
+  | Error i -> Alcotest.failf "honest batch failed discharge at %d" i);
+  Alcotest.(check bool) "empty batch checks" true (G.check_batch [||])
+
+(* The headline soundness case from the API contract: a single non-member
+   hidden in a 1024-element batch must be caught — sequentially and over a
+   pool (1024 is past the pooled-check threshold). *)
+let test_zp_1024_batch () =
+  let module G = (val Atom_group.Registry.zp_test ()) in
+  let params = Atom_group.Zp.test_params () in
+  let r = rng () in
+  let n = 1024 in
+  let idx = Rng.int_below r n in
+  let bad = zp_bad_bytes params ~len:G.element_bytes r in
+  let batch =
+    Array.init n (fun i ->
+        let s = if i = idx then bad else G.to_bytes (G.random r) in
+        match G.Unverified.of_bytes s with
+        | Some u -> u
+        | None -> Alcotest.fail "structural decode rejected sound bytes")
+  in
+  with_pool 3 (fun pool ->
+      (match G.Unverified.discharge_batch ~pool batch with
+      | Error i -> Alcotest.(check int) "pooled discharge names the index" idx i
+      | Ok _ -> Alcotest.fail "pooled discharge missed the non-member");
+      match G.Unverified.discharge_batch batch with
+      | Error i -> Alcotest.(check int) "sequential discharge names the index" idx i
+      | Ok _ -> Alcotest.fail "sequential discharge missed the non-member");
+  (* And the all-honest 1024 batch passes the pooled check_batch path. *)
+  let honest = Array.init n (fun _ -> G.random r) in
+  with_pool 3 (fun pool ->
+      Alcotest.(check bool) "pooled check_batch accepts honest 1024" true
+        (G.check_batch ~pool honest));
+  Alcotest.(check bool) "sequential check_batch accepts honest 1024" true
+    (G.check_batch honest)
+
+(* ---- p256: off-curve point at a random index ---- *)
+
+let test_p256_planted () =
+  let module P = Atom_group.P256 in
+  let r = rng () in
+  (* P-256 point generation is costly in pure OCaml: draw a small pool of
+     honest points and tile the batches from it. *)
+  let honest = Array.init 8 (fun _ -> P.random r) in
+  for _trial = 1 to 10 do
+    let n = 1 + Rng.int_below r 64 in
+    let idx = Rng.int_below r n in
+    let bad = p256_bad_point r in
+    (* Unlike zp, no wire encoding reaches an off-curve point (compressed
+       decode solves the curve equation), so the adversarial surface is
+       the in-memory batch API over hand-built points. *)
+    Alcotest.(check bool) "off-curve point is not a member" false (P.is_member bad);
+    Alcotest.(check bool) "off-curve encoding rejected by of_bytes" true
+      (P.of_bytes (P.to_bytes bad) <> Some bad);
+    let batch = Array.init n (fun i -> if i = idx then bad else honest.(i mod 8)) in
+    Alcotest.(check bool) "check_batch rejects planted off-curve point" false
+      (P.check_batch batch);
+    Alcotest.(check bool) "find_non_member names the index" true
+      (P.find_non_member batch = Some idx)
+  done;
+  let clean = Array.init 32 (fun i -> honest.(i mod 8)) in
+  Alcotest.(check bool) "honest p256 batch checks" true (P.check_batch clean);
+  Alcotest.(check bool) "no non-member in honest batch" true (P.find_non_member clean = None)
+
+(* Every registry backend honors the batch API on honest input. *)
+let test_registry_check_batch () =
+  let r = rng () in
+  List.iter
+    (fun (name, make) ->
+      let module G = (val (make () : (module Atom_group.Group_intf.GROUP))) in
+      let seedn = if name = "p256" then 4 else 32 in
+      let seeds = Array.init seedn (fun _ -> G.random r) in
+      let batch = Array.init 32 (fun i -> seeds.(i mod seedn)) in
+      Alcotest.(check bool) (name ^ " honest batch checks") true (G.check_batch batch);
+      Alcotest.(check bool) (name ^ " empty batch checks") true (G.check_batch [||]);
+      Alcotest.(check bool)
+        (name ^ " roundtrip through Unverified")
+        true
+        (match G.Unverified.discharge_batch (Array.map (fun e -> Option.get (G.Unverified.of_bytes (G.to_bytes e))) batch) with
+        | Ok els -> Array.for_all2 G.equal els batch
+        | Error _ -> false))
+    Atom_group.Registry.available
+
+(* ---- codec level: a planted element inside a Batch frame ---- *)
+
+module G = (val Atom_group.Registry.zp_test ())
+module El = Atom_elgamal.Elgamal.Make (G)
+module WC = Atom_wire.Codec.Make (G) (El)
+
+(* Walk a Batch body and return the byte offset of every group element, in
+   wire order (the same order discharge reports indices in): 20 fixed
+   bytes, then two vecs sections — u32 count, per vec u16 width, per
+   cipher R ‖ c ‖ flag [‖ Y] — then proofs we don't need to reach. *)
+let batch_element_offsets (body : string) : int list =
+  let eb = G.element_bytes in
+  let u16 p = (Char.code body.[p] lsl 8) lor Char.code body.[p + 1] in
+  let u32 p = (u16 p lsl 16) lor u16 (p + 2) in
+  let offs = ref [] in
+  let pos = ref 20 in
+  for _section = 1 to 2 do
+    let nvecs = u32 !pos in
+    pos := !pos + 4;
+    for _v = 1 to nvecs do
+      let width = u16 !pos in
+      pos := !pos + 2;
+      for _c = 1 to width do
+        offs := !pos :: !offs;
+        (* R *)
+        offs := (!pos + eb) :: !offs;
+        (* c *)
+        let flag = Char.code body.[!pos + (2 * eb)] in
+        pos := !pos + (2 * eb) + 1;
+        if flag = 1 then (
+          offs := !pos :: !offs;
+          pos := !pos + eb)
+      done
+    done
+  done;
+  List.rev !offs
+
+let sample_batch () =
+  let r = rng () in
+  let kp = El.keygen r in
+  let next = El.keygen r in
+  let vec width = fst (El.enc_vec r kp.El.pk (Array.init width (fun _ -> G.random r))) in
+  let vec_y width =
+    (* Re-encryption toward a next-hop key attaches the Y component, so the
+       planted-element walk also covers the 3-element cipher layout. *)
+    fst
+      (El.reenc_vec r ~share:(G.Scalar.random r) ~coeff:(G.Scalar.random r)
+         ~next_pk:(Some next.El.pk) (vec width))
+  in
+  WC.Batch
+    {
+      gid = 1;
+      iter = 9;
+      src_gid = 2;
+      sent_at = 0;
+      input = [| vec 2; vec_y 1 |];
+      output = [| vec_y 2 |];
+      proofs = [| "pf" |];
+    }
+
+let test_codec_planted_element () =
+  let r = rng () in
+  let params = Atom_group.Zp.test_params () in
+  let framed = WC.encode (sample_batch ()) in
+  let kind, body =
+    match Frame.decode framed with Some kb -> kb | None -> Alcotest.fail "frame decode"
+  in
+  let offsets = Array.of_list (batch_element_offsets body) in
+  Alcotest.(check bool) "sample batch has several elements" true (Array.length offsets >= 8);
+  for _trial = 1 to 8 do
+    let idx = Rng.int_below r (Array.length offsets) in
+    let bad = zp_bad_bytes params ~len:G.element_bytes r in
+    let body' =
+      let b = Bytes.of_string body in
+      Bytes.blit_string bad 0 b offsets.(idx) G.element_bytes;
+      Bytes.to_string b
+    in
+    let framed' = Frame.encode ~kind body' in
+    Alcotest.(check bool) "eager rejects planted frame" true
+      (WC.decode ~policy:Validation.Eager framed' = None);
+    Alcotest.(check bool) "batched rejects planted frame" true
+      (WC.decode ~policy:Validation.Batched framed' = None);
+    match WC.decode ~policy:Validation.Deferred framed' with
+    | Some (WC.Unchecked d) -> (
+        match WC.discharge d with
+        | Error i -> Alcotest.(check int) "discharge blames the planted element" idx i
+        | Ok _ -> Alcotest.fail "discharge accepted a planted frame")
+    | Some (WC.Msg _) -> Alcotest.fail "deferred decode validated early"
+    | None -> Alcotest.fail "deferred decode rejected a structurally sound frame"
+  done
+
+(* Policies agree on honest frames, and the batched path survives a pool. *)
+let test_codec_policies_agree () =
+  let framed = WC.encode (sample_batch ()) in
+  let eager =
+    match WC.decode framed with
+    | Some (WC.Msg m) -> m
+    | _ -> Alcotest.fail "eager decode failed"
+  in
+  with_pool 2 (fun pool ->
+      match WC.decode ~pool ~policy:Validation.Batched framed with
+      | Some (WC.Msg m) ->
+          Alcotest.(check string) "batched = eager" (WC.encode eager) (WC.encode m)
+      | _ -> Alcotest.fail "batched decode failed");
+  match WC.decode ~policy:Validation.Deferred framed with
+  | Some (WC.Unchecked d) -> (
+      match WC.force (WC.Unchecked d) with
+      | Some m -> Alcotest.(check string) "deferred = eager" (WC.encode eager) (WC.encode m)
+      | None -> Alcotest.fail "force failed on honest frame")
+  | _ -> Alcotest.fail "deferred decode failed"
+
+(* ---- totality of the new decode path ---- *)
+
+(* Truncation at every byte and every single-byte corruption must yield
+   None under every policy — never an exception, never a partial parse. *)
+let test_codec_truncation_bitflip_all_policies () =
+  let framed = WC.encode (sample_batch ()) in
+  List.iter
+    (fun policy ->
+      for i = 0 to String.length framed - 1 do
+        if WC.decode ~policy (String.sub framed 0 i) <> None then
+          Alcotest.failf "truncation at byte %d accepted (%s)" i
+            (Validation.to_string policy)
+      done;
+      for i = Frame.header_bytes to String.length framed - 1 do
+        let b = Bytes.of_string framed in
+        Bytes.set b i (Char.chr (Char.code framed.[i] lxor 0x04));
+        if WC.decode ~policy (Bytes.to_string b) <> None then
+          Alcotest.failf "body flip at byte %d accepted (%s)" i (Validation.to_string policy)
+      done)
+    Validation.all
+
+let gen_bytes n = QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound n))
+
+(* Random bodies behind a valid header reach every kind's body parser past
+   the CRC; run them through every policy. *)
+let prop_decode_body_total_all_policies =
+  QCheck2.Test.make ~name:"codec body decoders total under every policy" ~count:150
+    (gen_bytes 160) (fun body ->
+      List.for_all
+        (fun policy ->
+          List.for_all
+            (fun (kind, _) ->
+              match WC.decode_body ~policy kind body with Some _ | None -> true)
+            Frame.kind_names)
+        Validation.all)
+
+let prop_validation_of_string_roundtrip =
+  QCheck2.Test.make ~name:"Validation.of_string/to_string roundtrip" ~count:50
+    QCheck2.Gen.(oneofl Validation.all) (fun p ->
+      Validation.of_string (Validation.to_string p) = Some p)
+
+let suite =
+  let q t = QCheck_alcotest.to_alcotest t in
+  ( "validation",
+    [
+      Alcotest.test_case "zp-test planted non-member" `Quick
+        (test_zp_planted Atom_group.Registry.zp_test (Atom_group.Zp.test_params ()));
+      Alcotest.test_case "zp-medium planted non-member" `Quick
+        (test_zp_planted Atom_group.Registry.zp_medium (Atom_group.Zp.medium_params ()));
+      Alcotest.test_case "zp 1024-batch single non-member" `Quick test_zp_1024_batch;
+      Alcotest.test_case "p256 planted off-curve point" `Quick test_p256_planted;
+      Alcotest.test_case "registry check_batch" `Quick test_registry_check_batch;
+      Alcotest.test_case "codec planted element all policies" `Quick
+        test_codec_planted_element;
+      Alcotest.test_case "codec policies agree" `Quick test_codec_policies_agree;
+      Alcotest.test_case "codec truncation + bitflip all policies" `Quick
+        test_codec_truncation_bitflip_all_policies;
+      q prop_decode_body_total_all_policies;
+      q prop_validation_of_string_roundtrip;
+    ] )

@@ -377,13 +377,20 @@ let test_codec_roundtrip_truncation_bitflip () =
   List.iter
     (fun msg ->
       let e = WC.encode msg in
-      (match WC.decode e with
-      | None -> Alcotest.fail "codec decode failed"
-      | Some msg' ->
-          (* The encoding is canonical, so re-encoding the decoded message
-             is a full structural equality check without needing element
-             comparison. *)
-          Alcotest.(check string) "canonical re-encode" e (WC.encode msg'));
+      (* All three validation policies must accept the honest frame and
+         agree on the decoded message. The encoding is canonical, so
+         re-encoding the decoded message is a full structural equality
+         check without needing element comparison. *)
+      List.iter
+        (fun policy ->
+          match WC.decode ~policy e with
+          | None -> Alcotest.fail "codec decode failed"
+          | Some d -> (
+              match WC.force d with
+              | None -> Alcotest.fail "honest frame failed discharge"
+              | Some msg' ->
+                  Alcotest.(check string) "canonical re-encode" e (WC.encode msg')))
+        Atom_wire.Validation.all;
       for i = 0 to String.length e - 1 do
         if WC.decode (String.sub e 0 i) <> None then
           Alcotest.failf "codec truncation at byte %d accepted" i
@@ -397,9 +404,11 @@ let test_codec_roundtrip_truncation_bitflip () =
       done)
     (sample_codec_msgs ())
 
-(* Satellite: eager vs deferred group-element validation on decode. An
-   encoding that is structurally sound but outside the subgroup must be
-   rejected eagerly and pass structurally when deferred. *)
+(* Satellite: the three validation policies on decode. An encoding that
+   is structurally sound but outside the subgroup (q < v < p in the QR⁺
+   representation) must be rejected by Eager and Batched, and must pass
+   the structural phase under Deferred but fail its discharge — with the
+   discharge naming the planted element's index. *)
 let test_codec_deferred_validation () =
   let r = rng () in
   let pk = (El.keygen r).El.pk in
@@ -419,33 +428,38 @@ let test_codec_deferred_validation () =
     go 0
   in
   let bad =
-    let rec find v =
-      if v > 4096 then Alcotest.fail "no non-subgroup encoding found"
-      else
-        let s =
-          String.init nlen (fun i ->
-              if i = nlen - 1 then Char.chr (v land 0xff)
-              else if i = nlen - 2 then Char.chr ((v lsr 8) land 0xff)
-              else '\000')
-        in
-        match (G.of_bytes s, G.of_bytes_unchecked s) with
-        | None, Some _ -> s
-        | _ -> find (v + 1)
-    in
-    find 2
+    (* q + 1 is nonzero and < p, so the structural range check accepts
+       it, but it is above the canonical QR⁺ range and not a member. *)
+    let params = Atom_group.Zp.test_params () in
+    let open Atom_nat in
+    Nat.to_bytes_be ~length:nlen (Nat.add params.Atom_group.Zp.q Nat.one)
   in
+  Alcotest.(check bool) "crafted bytes are structurally sound" true
+    (G.Unverified.of_bytes bad <> None);
+  Alcotest.(check bool) "crafted bytes are not a member" true (G.of_bytes bad = None);
   let body' =
     String.sub body 0 idx ^ bad
     ^ String.sub body (idx + nlen) (String.length body - idx - nlen)
   in
   Alcotest.(check bool) "eager rejects out-of-subgroup element" true
-    (WC.decode_body ~validate:`Eager Frame.kind_group_key body' = None);
-  (match WC.decode_body ~validate:`Deferred Frame.kind_group_key body' with
-  | Some (WC.Group_key { pk = pk'; _ }) ->
-      Alcotest.(check string) "deferred keeps the raw bytes" bad (G.to_bytes pk')
-  | _ -> Alcotest.fail "deferred decode rejected a structurally sound body");
-  Alcotest.(check bool) "deferred accepts honest body" true
-    (WC.decode_body ~validate:`Deferred Frame.kind_group_key body <> None)
+    (WC.decode_body ~policy:Atom_wire.Validation.Eager Frame.kind_group_key body' = None);
+  Alcotest.(check bool) "batched rejects out-of-subgroup element" true
+    (WC.decode_body ~policy:Atom_wire.Validation.Batched Frame.kind_group_key body' = None);
+  (match WC.decode_body ~policy:Atom_wire.Validation.Deferred Frame.kind_group_key body' with
+  | Some (WC.Unchecked d) ->
+      Alcotest.(check bool) "discharge names the planted element" true
+        (WC.discharge d = Error 0)
+  | Some (WC.Msg _) -> Alcotest.fail "deferred decode validated early"
+  | None -> Alcotest.fail "deferred decode rejected a structurally sound body");
+  match WC.decode_body ~policy:Atom_wire.Validation.Deferred Frame.kind_group_key body with
+  | Some (WC.Unchecked d) -> (
+      match WC.discharge d with
+      | Ok (WC.Group_key { pk = pk'; _ }) ->
+          Alcotest.(check string) "honest body discharges to the same key" needle
+            (G.to_bytes pk')
+      | Ok _ -> Alcotest.fail "discharge built the wrong message"
+      | Error i -> Alcotest.failf "honest body failed discharge at %d" i)
+  | _ -> Alcotest.fail "deferred decode rejected the honest body"
 
 let gen_bytes n = QCheck2.Gen.(string_size ~gen:(map Char.chr (int_bound 255)) (int_bound n))
 
